@@ -1,0 +1,90 @@
+//! Criterion benchmarks of end-to-end compilation: Chassis, the Herbie-style
+//! baseline and the Clang-style baseline on a representative benchmark.
+
+use chassis::baseline::clang::{compile_clang, ClangConfig, OptLevel};
+use chassis::baseline::herbie::HerbieCompiler;
+use chassis::{Chassis, Config};
+use criterion::{criterion_group, criterion_main, Criterion};
+use fpcore::parse_fpcore;
+use std::time::Duration;
+use targets::builtin;
+
+fn benchmark_core() -> fpcore::FPCore {
+    benchsuite::by_name("sqrt-add-one-minus-sqrt")
+        .expect("corpus benchmark")
+        .fpcore()
+}
+
+fn bench_chassis_compile(c: &mut Criterion) {
+    let core = benchmark_core();
+    c.bench_function("chassis_compile_c99_fast", |b| {
+        b.iter(|| {
+            let target = builtin::by_name("c99").unwrap();
+            let compiler = Chassis::new(target).with_config(Config::fast());
+            std::hint::black_box(compiler.compile(&core).unwrap())
+        })
+    });
+    c.bench_function("chassis_compile_avx_fast", |b| {
+        b.iter(|| {
+            let target = builtin::by_name("avx").unwrap();
+            let compiler = Chassis::new(target).with_config(Config::fast());
+            std::hint::black_box(compiler.compile(&core))
+        })
+    });
+}
+
+fn bench_baselines(c: &mut Criterion) {
+    let core = benchmark_core();
+    c.bench_function("herbie_baseline_compile_fast", |b| {
+        b.iter(|| {
+            let herbie = HerbieCompiler::new(Config::fast());
+            std::hint::black_box(herbie.compile(&core).unwrap())
+        })
+    });
+    let target = builtin::by_name("c99").unwrap();
+    c.bench_function("clang_baseline_o2_fastmath", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                compile_clang(
+                    &core,
+                    &target,
+                    ClangConfig {
+                        level: OptLevel::O2,
+                        fast_math: true,
+                    },
+                )
+                .unwrap(),
+            )
+        })
+    });
+    let core32 = parse_fpcore("(FPCore (x) (sqrt (+ (* x x) 1)))").unwrap();
+    c.bench_function("clang_baseline_simple_lowering", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                compile_clang(
+                    &core32,
+                    &target,
+                    ClangConfig {
+                        level: OptLevel::O0,
+                        fast_math: false,
+                    },
+                )
+                .unwrap(),
+            )
+        })
+    });
+}
+
+fn configured() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = compile;
+    config = configured();
+    targets = bench_chassis_compile, bench_baselines
+}
+criterion_main!(compile);

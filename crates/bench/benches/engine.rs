@@ -1,0 +1,65 @@
+//! Criterion micro-benchmarks of the engine components: equality saturation,
+//! typed extraction, ground-truth evaluation, and program interpretation.
+
+use chassis::isel::{InstructionSelector, IselConfig};
+use chassis::lower::lower_fpcore;
+use criterion::{criterion_group, criterion_main, Criterion};
+use fpcore::{parse_expr, parse_fpcore, FpType, Symbol};
+use rival::{ground_truth, Evaluator};
+use std::collections::HashMap;
+use std::time::Duration;
+use targets::builtin;
+
+fn bench_equality_saturation(c: &mut Criterion) {
+    let target = builtin::by_name("c99").unwrap();
+    let expr = parse_expr("(- (sqrt (+ x 1)) (sqrt x))").unwrap();
+    let vars: HashMap<Symbol, FpType> =
+        [(Symbol::new("x"), FpType::Binary64)].into_iter().collect();
+    let config = IselConfig {
+        node_limit: 3_000,
+        iter_limit: 4,
+        ..IselConfig::default()
+    };
+    c.bench_function("isel_modulo_equivalence_c99", |b| {
+        b.iter(|| {
+            let selector = InstructionSelector::new(&target, config);
+            std::hint::black_box(selector.run(&expr, &vars, FpType::Binary64))
+        })
+    });
+}
+
+fn bench_ground_truth(c: &mut Criterion) {
+    let expr = parse_expr("(/ (- (exp x) 1) x)").unwrap();
+    let env = vec![(Symbol::new("x"), 1e-9)];
+    c.bench_function("rival_ground_truth_expm1_over_x", |b| {
+        b.iter(|| std::hint::black_box(ground_truth(&expr, &env, FpType::Binary64)))
+    });
+    let evaluator = Evaluator::with_precisions(vec![96, 192]);
+    c.bench_function("rival_ground_truth_low_precision", |b| {
+        b.iter(|| std::hint::black_box(evaluator.eval(&expr, &env, FpType::Binary64)))
+    });
+}
+
+fn bench_interpreter(c: &mut Criterion) {
+    let target = builtin::by_name("vdt").unwrap();
+    let core = parse_fpcore("(FPCore (x) (/ (sin x) (+ 1 (* x x))))").unwrap();
+    let program = lower_fpcore(&core, &target).unwrap();
+    let env: HashMap<Symbol, f64> = [(Symbol::new("x"), 0.7)].into_iter().collect();
+    c.bench_function("interpret_float_program_vdt", |b| {
+        b.iter(|| std::hint::black_box(targets::eval_float_expr(&target, &program, &env)))
+    });
+}
+
+fn configured() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = engine;
+    config = configured();
+    targets = bench_equality_saturation, bench_ground_truth, bench_interpreter
+}
+criterion_main!(engine);

@@ -1,0 +1,71 @@
+//! Regenerates Figure 10: correlation between Chassis' estimated cost and the
+//! measured run time of its output programs.
+//!
+//! Every implementation Chassis produces is executed by the target interpreter
+//! over the benchmark's test points and timed; the estimated cost is the target
+//! cost model's value. The paper reports a moderate-to-strong positive
+//! correlation.
+//!
+//! ```text
+//! cargo run --release -p chassis-bench --bin fig10_costmodel -- --limit 6
+//! ```
+
+use chassis_bench::{pearson_correlation, run_chassis_full, HarnessOptions};
+use targets::{builtin, measure_runtime};
+
+fn main() {
+    let options = HarnessOptions::from_args();
+    let config = options.config();
+    let benchmarks = options.benchmarks();
+    // A spread of targets with different cost profiles.
+    let target_names = ["c99", "avx", "julia", "vdt"];
+    println!(
+        "Figure 10: estimated cost vs measured run time ({} benchmarks x {} targets)",
+        benchmarks.len(),
+        target_names.len()
+    );
+    println!(
+        "{:<28} {:<8} {:>14} {:>16}",
+        "benchmark", "target", "est. cost", "measured (ns)"
+    );
+
+    let mut costs = Vec::new();
+    let mut times = Vec::new();
+    for name in target_names {
+        let target = builtin::by_name(name).expect("builtin target");
+        for benchmark in &benchmarks {
+            let core = benchmark.fpcore();
+            let Some(result) = run_chassis_full(&target, &core, &config) else {
+                continue;
+            };
+            for implementation in &result.implementations {
+                let elapsed = measure_runtime(
+                    &target,
+                    &implementation.expr,
+                    &result.samples.vars,
+                    &result.samples.test,
+                    3,
+                );
+                let nanos = elapsed.as_nanos() as f64 / result.samples.test.len().max(1) as f64;
+                costs.push(implementation.cost);
+                times.push(nanos);
+                println!(
+                    "{:<28} {:<8} {:>14.1} {:>16.1}",
+                    benchmark.name, name, implementation.cost, nanos
+                );
+            }
+        }
+    }
+    let r = pearson_correlation(&costs, &times);
+    // Correlation of the logs is closer to how the paper's scatter plot reads
+    // (both axes span orders of magnitude).
+    let log_costs: Vec<f64> = costs.iter().map(|c| c.max(1e-9).ln()).collect();
+    let log_times: Vec<f64> = times.iter().map(|t| t.max(1e-9).ln()).collect();
+    let r_log = pearson_correlation(&log_costs, &log_times);
+    println!(
+        "\n{} implementations; Pearson r = {:.3} (linear), {:.3} (log-log)",
+        costs.len(),
+        r,
+        r_log
+    );
+}

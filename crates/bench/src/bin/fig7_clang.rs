@@ -1,0 +1,124 @@
+//! Regenerates Figure 7: Chassis vs. Clang on the C99 target.
+//!
+//! For every benchmark, the Clang baseline is compiled in each configuration
+//! (optimization level × fast-math) and Chassis produces a Pareto frontier.
+//! Speedups are relative to the benchmark's `-O0` program; accuracies are summed
+//! across benchmarks; speedups are aggregated by geometric mean — exactly the
+//! aggregation described in Section 6.2.
+//!
+//! ```text
+//! cargo run --release -p chassis-bench --bin fig7_clang -- --limit 8
+//! ```
+
+use chassis::accuracy;
+use chassis::baseline::clang::{compile_clang, ClangConfig};
+use chassis::sample::Sampler;
+use chassis_bench::{geometric_mean, joint_curve, run_chassis, HarnessOptions};
+use targets::{builtin, program_cost};
+
+fn main() {
+    let options = HarnessOptions::from_args();
+    let config = options.config();
+    let target = builtin::by_name("c99").expect("c99 target");
+    let benchmarks = options.benchmarks();
+    println!(
+        "Figure 7: Chassis vs Clang on the C99 target ({} benchmarks)",
+        benchmarks.len()
+    );
+
+    // --- Clang configurations -------------------------------------------------
+    // For every benchmark: per-configuration (cost, accuracy), with the -O0 cost
+    // as the speedup reference.
+    let mut per_config: Vec<(String, Vec<f64>, f64)> = Vec::new(); // (name, speedups, total accuracy)
+    let mut reference_costs: Vec<(String, f64)> = Vec::new();
+    let mut chassis_outcomes = Vec::new();
+
+    let mut clang_rows: Vec<(String, Vec<(f64, f64)>)> = ClangConfig::all()
+        .into_iter()
+        .map(|c| (c.name(), Vec::new()))
+        .collect();
+
+    for benchmark in &benchmarks {
+        let core = benchmark.fpcore();
+        // Sample once per benchmark so every configuration is scored on the same
+        // points.
+        let Ok(samples) = Sampler::new(config.seed).sample(&core, config.train_points, config.test_points)
+        else {
+            continue;
+        };
+        let Ok(o0) = compile_clang(&core, &target, ClangConfig::all()[0]) else {
+            continue;
+        };
+        let o0_cost = program_cost(&target, &o0);
+        reference_costs.push((benchmark.name.to_owned(), o0_cost));
+
+        for (config_idx, clang_config) in ClangConfig::all().into_iter().enumerate() {
+            if let Ok(program) = compile_clang(&core, &target, clang_config) {
+                let cost = program_cost(&target, &program);
+                let (_, acc) = accuracy::evaluate_on_test(&target, &program, &samples);
+                clang_rows[config_idx].1.push((o0_cost / cost.max(1e-9), acc));
+            }
+        }
+
+        if let Some(outcome) = run_chassis(&target, benchmark, &config) {
+            chassis_outcomes.push(outcome);
+        }
+    }
+
+    println!("\nClang configurations (aggregate over {} benchmarks):", reference_costs.len());
+    println!("{:<22} {:>10} {:>16}", "configuration", "speedup", "total accuracy");
+    for (name, rows) in &clang_rows {
+        if rows.is_empty() {
+            continue;
+        }
+        let speedups: Vec<f64> = rows.iter().map(|(s, _)| *s).collect();
+        let accuracy: f64 = rows.iter().map(|(_, a)| *a).sum();
+        per_config.push((name.clone(), speedups.clone(), accuracy));
+        println!(
+            "{:<22} {:>10.2} {:>16.1}",
+            name,
+            geometric_mean(&speedups),
+            accuracy
+        );
+    }
+
+    // --- Chassis joint Pareto curve -------------------------------------------
+    // Chassis speedups are measured against the same -O0 reference.
+    for outcome in &mut chassis_outcomes {
+        if let Some((_, cost)) = reference_costs.iter().find(|(n, _)| *n == outcome.name) {
+            outcome.initial.cost = *cost;
+        }
+    }
+    println!("\nChassis joint Pareto curve (cheapest -> most accurate):");
+    println!("{:<8} {:>10} {:>16}", "point", "speedup", "total accuracy");
+    for (i, point) in joint_curve(&chassis_outcomes, 8).iter().enumerate() {
+        println!("{:<8} {:>10.2} {:>16.1}", i, point.speedup, point.total_accuracy);
+    }
+
+    // --- Headline comparison ---------------------------------------------------
+    if let Some(best_clang) = per_config
+        .iter()
+        .max_by(|a, b| {
+            geometric_mean(&a.1)
+                .partial_cmp(&geometric_mean(&b.1))
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })
+    {
+        let clang_speed = geometric_mean(&best_clang.1);
+        let clang_acc = best_clang.2;
+        // The Chassis point with at least Clang's aggregate accuracy.
+        let curve = joint_curve(&chassis_outcomes, 16);
+        let at_matched = curve
+            .iter()
+            .filter(|p| p.total_accuracy >= clang_acc)
+            .map(|p| p.speedup)
+            .fold(f64::NAN, f64::max);
+        println!(
+            "\nHeadline: fastest Clang configuration ({}) reaches {:.2}x; at >= its accuracy Chassis reaches {:.2}x ({:.1}x better)",
+            best_clang.0,
+            clang_speed,
+            at_matched,
+            at_matched / clang_speed
+        );
+    }
+}

@@ -1,0 +1,78 @@
+//! Regenerates Figure 8: Chassis vs. Herbie across all nine targets.
+//!
+//! For each target, Chassis' target-specific Pareto frontier is compared against
+//! the Herbie-style baseline's target-agnostic output transcribed onto that
+//! target (Section 6.3). The aggregate curves use the same construction as
+//! Figure 7: geometric-mean speedup over the initial programs vs. summed
+//! accuracy.
+//!
+//! ```text
+//! cargo run --release -p chassis-bench --bin fig8_herbie -- --limit 5
+//! ```
+
+use chassis_bench::{joint_curve, run_chassis, run_herbie_transcribed, HarnessOptions};
+use targets::builtin;
+
+fn main() {
+    let options = HarnessOptions::from_args();
+    let config = options.config();
+    let benchmarks = options.benchmarks();
+    println!(
+        "Figure 8: Chassis vs Herbie on 9 targets ({} benchmarks each)",
+        benchmarks.len()
+    );
+
+    for target in builtin::all_targets() {
+        let mut chassis_outcomes = Vec::new();
+        let mut herbie_outcomes = Vec::new();
+        for benchmark in &benchmarks {
+            let chassis_outcome = run_chassis(&target, benchmark, &config);
+            let herbie_outcome = run_herbie_transcribed(&target, benchmark, &config);
+            // As in the paper, a benchmark is dropped from the comparison (for
+            // both systems) when Herbie's output cannot be expressed on the
+            // target at all.
+            if let (Some(c), Some(h)) = (chassis_outcome, herbie_outcome) {
+                chassis_outcomes.push(c);
+                herbie_outcomes.push(h);
+            }
+        }
+        println!(
+            "\n=== target {} ({} comparable benchmarks) ===",
+            target.name,
+            chassis_outcomes.len()
+        );
+        if chassis_outcomes.is_empty() {
+            println!("  (no comparable benchmarks at this limit)");
+            continue;
+        }
+        let chassis_curve = joint_curve(&chassis_outcomes, 6);
+        let herbie_curve = joint_curve(&herbie_outcomes, 6);
+        println!(
+            "  {:<8} {:>14} {:>16}   {:>14} {:>16}",
+            "point", "chassis spd", "chassis acc", "herbie spd", "herbie acc"
+        );
+        for (i, (c, h)) in chassis_curve.iter().zip(&herbie_curve).enumerate() {
+            println!(
+                "  {:<8} {:>14.2} {:>16.1}   {:>14.2} {:>16.1}",
+                i, c.speedup, c.total_accuracy, h.speedup, h.total_accuracy
+            );
+        }
+        // Headline per target: Chassis speedup over Herbie at Herbie's own most
+        // accurate point.
+        let herbie_best_acc = herbie_curve.last().map(|p| p.total_accuracy).unwrap_or(0.0);
+        let herbie_best_speed = herbie_curve.last().map(|p| p.speedup).unwrap_or(1.0);
+        let chassis_at = chassis_curve
+            .iter()
+            .filter(|p| p.total_accuracy >= herbie_best_acc * 0.98)
+            .map(|p| p.speedup)
+            .fold(f64::NAN, f64::max);
+        let chassis_fastest = chassis_curve
+            .iter()
+            .map(|p| p.speedup)
+            .fold(f64::NAN, f64::max);
+        println!(
+            "  summary: herbie best ({:.2}x, {:.1} bits); chassis at matched accuracy {:.2}x; chassis fastest {:.2}x",
+            herbie_best_speed, herbie_best_acc, chassis_at, chassis_fastest
+        );
+    }
+}

@@ -1,0 +1,73 @@
+//! Regenerates Figure 9: Chassis' speedup *over Herbie's output programs* at
+//! matched accuracy, per target.
+//!
+//! This is the alternative view of the Figure 8 data: instead of normalizing by
+//! the initial input programs, each accuracy level is normalized by the cost of
+//! Herbie's cheapest program reaching that accuracy.
+//!
+//! ```text
+//! cargo run --release -p chassis-bench --bin fig9_over_herbie -- --limit 5
+//! ```
+
+use chassis_bench::{geometric_mean, run_chassis, run_herbie_transcribed, HarnessOptions};
+use targets::builtin;
+
+fn main() {
+    let options = HarnessOptions::from_args();
+    let config = options.config();
+    let benchmarks = options.benchmarks();
+    println!(
+        "Figure 9: Chassis speedup over Herbie at matched accuracy ({} benchmarks)",
+        benchmarks.len()
+    );
+    println!(
+        "{:<12} {:>12} {:>12} {:>12}  {:>10}",
+        "target", "low acc", "mid acc", "high acc", "benchmarks"
+    );
+
+    for target in builtin::all_targets() {
+        let mut per_level: Vec<Vec<f64>> = vec![Vec::new(), Vec::new(), Vec::new()];
+        let mut counted = 0usize;
+        for benchmark in &benchmarks {
+            let (Some(chassis), Some(herbie)) = (
+                run_chassis(&target, benchmark, &config),
+                run_herbie_transcribed(&target, benchmark, &config),
+            ) else {
+                continue;
+            };
+            counted += 1;
+            // Accuracy levels: span Herbie's frontier from its cheapest to its
+            // most accurate output.
+            let herbie_min = herbie
+                .frontier
+                .iter()
+                .map(|p| p.accuracy_bits)
+                .fold(f64::INFINITY, f64::min);
+            let herbie_max = herbie
+                .frontier
+                .iter()
+                .map(|p| p.accuracy_bits)
+                .fold(f64::NEG_INFINITY, f64::max);
+            for (level_idx, t) in [0.1, 0.5, 0.9].iter().enumerate() {
+                let threshold = herbie_min + (herbie_max - herbie_min) * t;
+                let (Some(h), Some(c)) = (
+                    herbie.cheapest_at_least(threshold),
+                    chassis.cheapest_at_least(threshold),
+                ) else {
+                    continue;
+                };
+                per_level[level_idx].push(h.cost / c.cost.max(1e-9));
+            }
+        }
+        println!(
+            "{:<12} {:>11.2}x {:>11.2}x {:>11.2}x  {:>10}",
+            target.name,
+            geometric_mean(&per_level[0]),
+            geometric_mean(&per_level[1]),
+            geometric_mean(&per_level[2]),
+            counted
+        );
+    }
+    println!("\n(values > 1 mean Chassis' program is cheaper than Herbie's at that accuracy level;");
+    println!(" 'high acc' is the regime the paper notes Herbie is especially tuned for)");
+}

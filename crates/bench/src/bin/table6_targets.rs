@@ -1,0 +1,40 @@
+//! Regenerates Figure 6: the table of target descriptions.
+//!
+//! ```text
+//! cargo run -p chassis-bench --bin table6_targets
+//! ```
+
+use targets::builtin;
+use targets::IfCostStyle;
+
+fn main() {
+    println!("Figure 6: target descriptions implemented for Chassis");
+    println!(
+        "{:<10} {:>9} {:>8} {:>8} {:>5} {:>5}  {}",
+        "Target", "Operators", "Linked", "Emulated", "L/E", "S/V", "Costs"
+    );
+    for target in builtin::all_targets() {
+        let (linked, emulated) = target.linked_emulated_counts();
+        let le = if linked > 0 { "L" } else { "E" };
+        let sv = match target.if_cost_style {
+            IfCostStyle::Scalar => "S",
+            IfCostStyle::Vector => "V",
+        };
+        println!(
+            "{:<10} {:>9} {:>8} {:>8} {:>5} {:>5}  {}",
+            target.name,
+            target.operators.len(),
+            linked,
+            emulated,
+            le,
+            sv,
+            target.cost_source
+        );
+    }
+    println!();
+    println!("Details:");
+    for target in builtin::all_targets() {
+        println!("  {}", target);
+        println!("    {}", target.description);
+    }
+}

@@ -1,0 +1,350 @@
+//! Shared harness code for the figure-regeneration binaries.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure from the paper's
+//! evaluation (Section 6). The heavy lifting — running Chassis, the Herbie-style
+//! baseline and the Clang-style baseline over the benchmark corpus, and
+//! aggregating per-benchmark Pareto frontiers into the paper's joint curves — is
+//! shared here.
+
+use benchsuite::Benchmark;
+use chassis::baseline::herbie::{transcribe, HerbieCompiler};
+use chassis::{Chassis, CompilationResult, Config};
+use fpcore::FPCore;
+use targets::{program_cost, Target};
+
+/// One implementation's aggregate-relevant statistics.
+#[derive(Clone, Copy, Debug)]
+pub struct PointStats {
+    /// Estimated cost under the target's cost model.
+    pub cost: f64,
+    /// Accuracy in bits (`p −` mean bits of error on the test points).
+    pub accuracy_bits: f64,
+}
+
+/// The outcome of running one compiler on one benchmark.
+#[derive(Clone, Debug)]
+pub struct BenchmarkOutcome {
+    /// Benchmark name.
+    pub name: String,
+    /// The cost of the naive direct lowering (speedups are relative to this).
+    pub initial: PointStats,
+    /// The Pareto frontier produced by the compiler, sorted by increasing cost.
+    pub frontier: Vec<PointStats>,
+}
+
+impl BenchmarkOutcome {
+    fn from_result(name: &str, result: &CompilationResult) -> BenchmarkOutcome {
+        BenchmarkOutcome {
+            name: name.to_owned(),
+            initial: PointStats {
+                cost: result.initial.cost,
+                accuracy_bits: result.initial.accuracy_bits,
+            },
+            frontier: result
+                .implementations
+                .iter()
+                .map(|imp| PointStats {
+                    cost: imp.cost,
+                    accuracy_bits: imp.accuracy_bits,
+                })
+                .collect(),
+        }
+    }
+
+    /// Picks the frontier point at a fractional position `t ∈ [0, 1]` from the
+    /// cheapest (0) to the most accurate (1).
+    pub fn at_fraction(&self, t: f64) -> PointStats {
+        if self.frontier.is_empty() {
+            return self.initial;
+        }
+        let idx = ((self.frontier.len() - 1) as f64 * t).round() as usize;
+        self.frontier[idx.min(self.frontier.len() - 1)]
+    }
+
+    /// The cheapest frontier point whose accuracy is at least `bits`; `None` when
+    /// no point reaches that accuracy.
+    pub fn cheapest_at_least(&self, bits: f64) -> Option<PointStats> {
+        self.frontier
+            .iter()
+            .filter(|p| p.accuracy_bits >= bits)
+            .min_by(|a, b| a.cost.partial_cmp(&b.cost).unwrap_or(std::cmp::Ordering::Equal))
+            .copied()
+    }
+}
+
+/// Harness-wide options parsed from the command line.
+#[derive(Clone, Debug)]
+pub struct HarnessOptions {
+    /// Maximum number of benchmarks to run (subsamples the corpus).
+    pub limit: usize,
+    /// Use the fast search configuration.
+    pub fast: bool,
+}
+
+impl Default for HarnessOptions {
+    fn default() -> Self {
+        HarnessOptions {
+            limit: 8,
+            fast: true,
+        }
+    }
+}
+
+impl HarnessOptions {
+    /// Parses `--limit N`, `--full` and `--thorough` from `std::env::args`.
+    pub fn from_args() -> HarnessOptions {
+        let mut options = HarnessOptions::default();
+        let args: Vec<String> = std::env::args().collect();
+        let mut i = 1;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--limit" => {
+                    if let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) {
+                        options.limit = v;
+                    }
+                    i += 2;
+                }
+                "--full" => {
+                    options.limit = usize::MAX;
+                    i += 1;
+                }
+                "--thorough" => {
+                    options.fast = false;
+                    i += 1;
+                }
+                _ => i += 1,
+            }
+        }
+        options
+    }
+
+    /// The search configuration implied by the options.
+    pub fn config(&self) -> Config {
+        if self.fast {
+            Config::fast()
+        } else {
+            Config::default()
+        }
+    }
+
+    /// The benchmark subset implied by the options (spread across groups).
+    pub fn benchmarks(&self) -> Vec<&'static Benchmark> {
+        let all = benchsuite::all();
+        if self.limit >= all.len() {
+            return all.iter().collect();
+        }
+        // Take benchmarks round-robin across groups so small limits stay diverse.
+        let groups = benchsuite::groups();
+        let mut picked = Vec::new();
+        let mut index = 0usize;
+        while picked.len() < self.limit {
+            let mut added = false;
+            for group in &groups {
+                let members = benchsuite::by_group(group);
+                if let Some(b) = members.get(index) {
+                    picked.push(*b);
+                    added = true;
+                    if picked.len() >= self.limit {
+                        break;
+                    }
+                }
+            }
+            if !added {
+                break;
+            }
+            index += 1;
+        }
+        picked
+    }
+}
+
+/// Runs Chassis on one benchmark for one target.
+pub fn run_chassis(
+    target: &Target,
+    benchmark: &Benchmark,
+    config: &Config,
+) -> Option<BenchmarkOutcome> {
+    let core = benchmark.fpcore();
+    let result = Chassis::new(target.clone())
+        .with_config(config.clone())
+        .compile(&core)
+        .ok()?;
+    Some(BenchmarkOutcome::from_result(benchmark.name, &result))
+}
+
+/// Runs the full Chassis pipeline and returns the raw result (used by the case
+/// studies, which need the rendered programs).
+pub fn run_chassis_full(
+    target: &Target,
+    core: &FPCore,
+    config: &Config,
+) -> Option<CompilationResult> {
+    Chassis::new(target.clone())
+        .with_config(config.clone())
+        .compile(core)
+        .ok()
+}
+
+/// Runs the Herbie-style baseline on one benchmark and transcribes each output to
+/// the given target (Section 6.3). Programs using unavailable operators are
+/// discarded, as in the paper.
+pub fn run_herbie_transcribed(
+    target: &Target,
+    benchmark: &Benchmark,
+    config: &Config,
+) -> Option<BenchmarkOutcome> {
+    let core = benchmark.fpcore();
+    let herbie = HerbieCompiler::new(config.clone());
+    let result = herbie.compile(&core).ok()?;
+    let samples = &result.samples;
+    let mut frontier: Vec<PointStats> = Vec::new();
+    for imp in &result.implementations {
+        let Some(ported) = transcribe(&imp.expr, herbie.target(), target, core.precision) else {
+            continue;
+        };
+        let (err, acc) = chassis::accuracy::evaluate_on_test(target, &ported, samples);
+        let _ = err;
+        frontier.push(PointStats {
+            cost: program_cost(target, &ported),
+            accuracy_bits: acc,
+        });
+    }
+    if frontier.is_empty() {
+        return None;
+    }
+    frontier.sort_by(|a, b| a.cost.partial_cmp(&b.cost).unwrap_or(std::cmp::Ordering::Equal));
+    // The initial program: the direct lowering of the original expression on the
+    // concrete target (same reference as Chassis uses).
+    let initial_expr = chassis::lower_fpcore(&core, target).ok();
+    let initial = match initial_expr {
+        Some(expr) => {
+            let (_, acc) = chassis::accuracy::evaluate_on_test(target, &expr, samples);
+            PointStats {
+                cost: program_cost(target, &expr),
+                accuracy_bits: acc,
+            }
+        }
+        None => frontier[0],
+    };
+    Some(BenchmarkOutcome {
+        name: benchmark.name.to_owned(),
+        initial,
+        frontier,
+    })
+}
+
+/// Geometric mean of a set of strictly positive values.
+pub fn geometric_mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 1.0;
+    }
+    let log_sum: f64 = values.iter().map(|v| v.max(1e-12).ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+/// One point of a joint (aggregate) Pareto curve.
+#[derive(Clone, Copy, Debug)]
+pub struct JointPoint {
+    /// Geometric-mean speedup over each benchmark's initial program.
+    pub speedup: f64,
+    /// Sum of accuracies across benchmarks (the paper's vertical axis).
+    pub total_accuracy: f64,
+}
+
+/// Aggregates per-benchmark frontiers into a joint Pareto curve by sweeping the
+/// frontier fraction from cheapest to most accurate (paper Figures 7 and 8).
+pub fn joint_curve(outcomes: &[BenchmarkOutcome], steps: usize) -> Vec<JointPoint> {
+    (0..=steps)
+        .map(|i| {
+            let t = i as f64 / steps as f64;
+            let speedups: Vec<f64> = outcomes
+                .iter()
+                .map(|o| {
+                    let p = o.at_fraction(t);
+                    o.initial.cost / p.cost.max(1e-9)
+                })
+                .collect();
+            let total_accuracy: f64 = outcomes.iter().map(|o| o.at_fraction(t).accuracy_bits).sum();
+            JointPoint {
+                speedup: geometric_mean(&speedups),
+                total_accuracy,
+            }
+        })
+        .collect()
+}
+
+/// Pearson correlation coefficient between two equally long slices.
+pub fn pearson_correlation(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len());
+    let n = xs.len() as f64;
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let mean_x: f64 = xs.iter().sum::<f64>() / n;
+    let mean_y: f64 = ys.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut var_x = 0.0;
+    let mut var_y = 0.0;
+    for (x, y) in xs.iter().zip(ys) {
+        cov += (x - mean_x) * (y - mean_y);
+        var_x += (x - mean_x) * (x - mean_x);
+        var_y += (y - mean_y) * (y - mean_y);
+    }
+    if var_x == 0.0 || var_y == 0.0 {
+        return 0.0;
+    }
+    cov / (var_x * var_y).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometric_mean_and_correlation() {
+        assert!((geometric_mean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert_eq!(geometric_mean(&[]), 1.0);
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [2.0, 4.1, 5.9, 8.2];
+        assert!(pearson_correlation(&xs, &ys) > 0.99);
+        let zs = [5.0, 1.0, 4.0, 0.0];
+        assert!(pearson_correlation(&xs, &zs).abs() < 0.9);
+    }
+
+    #[test]
+    fn joint_curve_interpolates_frontier() {
+        let outcome = BenchmarkOutcome {
+            name: "synthetic".into(),
+            initial: PointStats {
+                cost: 100.0,
+                accuracy_bits: 20.0,
+            },
+            frontier: vec![
+                PointStats {
+                    cost: 10.0,
+                    accuracy_bits: 20.0,
+                },
+                PointStats {
+                    cost: 50.0,
+                    accuracy_bits: 50.0,
+                },
+            ],
+        };
+        let curve = joint_curve(&[outcome], 4);
+        assert_eq!(curve.len(), 5);
+        assert!(curve[0].speedup > curve[4].speedup);
+        assert!(curve[0].total_accuracy < curve[4].total_accuracy);
+    }
+
+    #[test]
+    fn harness_subsampling_is_diverse() {
+        let options = HarnessOptions {
+            limit: 6,
+            fast: true,
+        };
+        let picked = options.benchmarks();
+        assert_eq!(picked.len(), 6);
+        let groups: std::collections::HashSet<&str> = picked.iter().map(|b| b.group).collect();
+        assert!(groups.len() >= 5, "subsample should cover many groups");
+    }
+}

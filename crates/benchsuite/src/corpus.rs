@@ -1,0 +1,470 @@
+//! The benchmark corpus.
+
+use fpcore::{parse_fpcore, FPCore};
+
+/// One benchmark: a name, the group it belongs to, and its FPCore source.
+#[derive(Clone, Copy, Debug)]
+pub struct Benchmark {
+    /// Unique benchmark name.
+    pub name: &'static str,
+    /// Source group (mirrors the Herbie suite's directory structure).
+    pub group: &'static str,
+    /// FPCore source text.
+    pub source: &'static str,
+}
+
+impl Benchmark {
+    /// Parses the benchmark into an [`FPCore`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the embedded source is malformed (checked by the test suite).
+    pub fn fpcore(&self) -> FPCore {
+        parse_fpcore(self.source)
+            .unwrap_or_else(|e| panic!("benchmark {} is malformed: {e}", self.name))
+    }
+}
+
+macro_rules! benchmarks {
+    ($(($name:literal, $group:literal, $source:literal)),+ $(,)?) => {
+        &[ $( Benchmark { name: $name, group: $group, source: $source } ),+ ]
+    };
+}
+
+/// The full corpus.
+pub const CORPUS: &[Benchmark] = benchmarks![
+    // ----------------------------------------------------------------- hamming
+    (
+        "sqrt-add-one-minus-sqrt",
+        "hamming",
+        "(FPCore (x) :name \"sqrt(x+1) - sqrt(x)\" :pre (and (> x 1) (< x 1e15)) (- (sqrt (+ x 1)) (sqrt x)))"
+    ),
+    (
+        "expm1-over-x",
+        "hamming",
+        "(FPCore (x) :name \"(exp(x)-1)/x\" :pre (and (> x -1) (< x 1) (!= x 0)) (/ (- (exp x) 1) x))"
+    ),
+    (
+        "one-minus-cos-over-sq",
+        "hamming",
+        "(FPCore (x) :name \"(1-cos(x))/x^2\" :pre (and (> x 1e-8) (< x 1)) (/ (- 1 (cos x)) (* x x)))"
+    ),
+    (
+        "log-one-plus-over-x",
+        "hamming",
+        "(FPCore (x) :name \"log(1+x)/x\" :pre (and (> x 1e-12) (< x 1)) (/ (log (+ 1 x)) x))"
+    ),
+    (
+        "sin-minus-x-over-cube",
+        "hamming",
+        "(FPCore (x) :name \"(x-sin(x))/x^3\" :pre (and (> x 1e-4) (< x 1)) (/ (- x (sin x)) (* x (* x x))))"
+    ),
+    (
+        "tan-minus-sin",
+        "hamming",
+        "(FPCore (x) :name \"tan(x) - sin(x)\" :pre (and (> x 1e-6) (< x 1)) (- (tan x) (sin x)))"
+    ),
+    (
+        "sqrt-diff-of-squares",
+        "hamming",
+        "(FPCore (x y) :name \"sqrt(x^2 - y^2)\" :pre (and (> x 1) (< x 1e6) (> y 0) (< y 1)) (sqrt (- (* x x) (* y y))))"
+    ),
+    (
+        "exp-minus-exp-neg",
+        "hamming",
+        "(FPCore (x) :name \"2 sinh via exp\" :pre (and (> x 1e-8) (< x 1)) (- (exp x) (exp (- x))))"
+    ),
+    (
+        "cos-diff-identity",
+        "hamming",
+        "(FPCore (x eps) :name \"cos(x+eps) - cos(x)\" :pre (and (> x 0) (< x 6) (> eps 1e-9) (< eps 1e-3)) (- (cos (+ x eps)) (cos x)))"
+    ),
+    (
+        "quadrature-small-angle",
+        "hamming",
+        "(FPCore (x) :name \"1 - cos^2\" :pre (and (> x 1e-8) (< x 1e-2)) (- 1 (* (cos x) (cos x))))"
+    ),
+    (
+        "log-quotient",
+        "hamming",
+        "(FPCore (x) :name \"log((x+1)/x)\" :pre (and (> x 1) (< x 1e12)) (log (/ (+ x 1) x)))"
+    ),
+    (
+        "inverse-sum-difference",
+        "hamming",
+        "(FPCore (x) :name \"1/(x+1) - 1/x\" :pre (and (> x 1) (< x 1e10)) (- (/ 1 (+ x 1)) (/ 1 x)))"
+    ),
+    // ------------------------------------------------------------- quadratics
+    (
+        "quadratic-formula-positive-root",
+        "quadratics",
+        "(FPCore (a b c) :name \"quadratic formula (+)\" :pre (and (> a 1e-3) (< a 1e3) (> b 1e-2) (< b 1e4) (> c 1e-3) (< c 1) (> (- (* b b) (* 4 (* a c))) 0)) (/ (+ (- b) (sqrt (- (* b b) (* 4 (* a c))))) (* 2 a)))"
+    ),
+    (
+        "quadratic-formula-negative-root",
+        "quadratics",
+        "(FPCore (a b c) :name \"quadratic formula (-)\" :pre (and (> a 1e-3) (< a 1e3) (> b 1e-2) (< b 1e4) (> c 1e-3) (< c 1) (> (- (* b b) (* 4 (* a c))) 0)) (/ (- (- b) (sqrt (- (* b b) (* 4 (* a c))))) (* 2 a)))"
+    ),
+    (
+        "quadratic-halfb",
+        "quadratics",
+        "(FPCore (a b2 c) :name \"half-b quadratic (paper case study)\" :pre (and (> a 1e-3) (< a 1e3) (> b2 1e-2) (< b2 1e4) (> c 1e-3) (< c 1) (> (- (* b2 b2) (* a c)) 0)) (/ (+ (- b2) (sqrt (- (* b2 b2) (* a c)))) a))"
+    ),
+    (
+        "discriminant",
+        "quadratics",
+        "(FPCore (a b c) :name \"discriminant\" :pre (and (> a 1e-6) (< a 1e6) (> b 1e-6) (< b 1e6) (> c 1e-6) (< c 1e6)) (- (* b b) (* 4 (* a c))))"
+    ),
+    (
+        "vieta-product",
+        "quadratics",
+        "(FPCore (a b c) :name \"root product via Vieta\" :pre (and (> a 1e-3) (< a 1e3) (> b 1) (< b 1e4) (> c 1e-3) (< c 1e3)) (/ c a))"
+    ),
+    (
+        "cubic-depressed-shift",
+        "quadratics",
+        "(FPCore (a b) :name \"depressed cubic shift\" :pre (and (> a 1e-3) (< a 1e3) (> b 1e-3) (< b 1e3)) (- b (/ (* a a) 3)))"
+    ),
+    (
+        "poly-eval-horner3",
+        "quadratics",
+        "(FPCore (x) :name \"cubic polynomial, expanded\" :pre (and (> x -10) (< x 10)) (+ (+ (+ (* 2 (* x (* x x))) (* 3 (* x x))) (* 4 x)) 5))"
+    ),
+    (
+        "poly-root-residual",
+        "quadratics",
+        "(FPCore (x) :name \"(x-1)(x-2) expanded\" :pre (and (> x 0.5) (< x 3)) (+ (- (* x x) (* 3 x)) 2))"
+    ),
+    // -------------------------------------------------------------------- trig
+    (
+        "ellipse-coefficient",
+        "trig",
+        "(FPCore (a b theta) :name \"ellipse coefficient (paper case study)\" :pre (and (> a 1e-3) (< a 1e3) (> b 1e-3) (< b 1e3) (> theta -360) (< theta 360)) (+ (* (* a a) (* (sin (* (/ PI 180) theta)) (sin (* (/ PI 180) theta)))) (* (* b b) (* (cos (* (/ PI 180) theta)) (cos (* (/ PI 180) theta))))))"
+    ),
+    (
+        "haversine-kernel",
+        "trig",
+        "(FPCore (dlat dlon lat1 lat2) :name \"haversine kernel\" :pre (and (> dlat -3) (< dlat 3) (> dlon -3) (< dlon 3) (> lat1 -1.5) (< lat1 1.5) (> lat2 -1.5) (< lat2 1.5)) (+ (* (sin (/ dlat 2)) (sin (/ dlat 2))) (* (* (cos lat1) (cos lat2)) (* (sin (/ dlon 2)) (sin (/ dlon 2))))))"
+    ),
+    (
+        "sin-sum-identity",
+        "trig",
+        "(FPCore (a b) :name \"sin(a+b)\" :pre (and (> a -3) (< a 3) (> b -3) (< b 3)) (sin (+ a b)))"
+    ),
+    (
+        "tan-half-angle",
+        "trig",
+        "(FPCore (x) :name \"tan half angle\" :pre (and (> x 1e-6) (< x 1.5)) (/ (- 1 (cos x)) (sin x)))"
+    ),
+    (
+        "cot-difference",
+        "trig",
+        "(FPCore (x) :name \"1/tan - cos/sin\" :pre (and (> x 0.01) (< x 1.5)) (- (/ 1 (tan x)) (/ (cos x) (sin x))))"
+    ),
+    (
+        "atan-quotient",
+        "trig",
+        "(FPCore (y x) :name \"atan2 via atan\" :pre (and (> x 0.01) (< x 1e3) (> y 0.01) (< y 1e3)) (atan (/ y x)))"
+    ),
+    (
+        "asin-sqrt",
+        "trig",
+        "(FPCore (x) :name \"asin(sqrt(x))\" :pre (and (> x 1e-6) (< x 0.999)) (asin (sqrt x)))"
+    ),
+    (
+        "degrees-to-radians-sin",
+        "trig",
+        "(FPCore (d) :name \"sin of degrees\" :pre (and (> d -720) (< d 720)) (sin (* d (/ PI 180))))"
+    ),
+    (
+        "chord-length",
+        "trig",
+        "(FPCore (r theta) :name \"chord length\" :pre (and (> r 0.01) (< r 1e3) (> theta 1e-4) (< theta 3)) (* (* 2 r) (sin (/ theta 2))))"
+    ),
+    (
+        "sinc",
+        "trig",
+        "(FPCore (x) :name \"sinc\" :pre (and (> x 1e-9) (< x 10)) (/ (sin x) x))"
+    ),
+    // ------------------------------------------------------------------ logexp
+    (
+        "acoth-paper",
+        "logexp",
+        "(FPCore (x) :name \"inverse hyperbolic cotangent (paper case study)\" :pre (and (> x -0.9) (< x 0.9) (!= x 0)) (* (/ 1 2) (log (/ (+ 1 x) (- 1 x)))))"
+    ),
+    (
+        "acoth-log1p-form",
+        "logexp",
+        "(FPCore (x) :name \"acoth via log1p\" :pre (and (> x -0.9) (< x 0.9)) (* 0.5 (- (log1p x) (log1p (- x)))))"
+    ),
+    (
+        "log-sum-exp-2",
+        "logexp",
+        "(FPCore (a b) :name \"logaddexp\" :pre (and (> a -20) (< a 20) (> b -20) (< b 20)) (log (+ (exp a) (exp b))))"
+    ),
+    (
+        "logistic",
+        "logexp",
+        "(FPCore (x) :name \"logistic function\" :pre (and (> x -30) (< x 30)) (/ 1 (+ 1 (exp (- x)))))"
+    ),
+    (
+        "logit",
+        "logexp",
+        "(FPCore (p) :name \"logit\" :pre (and (> p 1e-6) (< p 0.999999)) (log (/ p (- 1 p))))"
+    ),
+    (
+        "softplus",
+        "logexp",
+        "(FPCore (x) :name \"softplus\" :pre (and (> x -30) (< x 30)) (log (+ 1 (exp x))))"
+    ),
+    (
+        "exp-diff-quotient",
+        "logexp",
+        "(FPCore (x h) :name \"exp difference quotient\" :pre (and (> x -5) (< x 5) (> h 1e-9) (< h 1e-2)) (/ (- (exp (+ x h)) (exp x)) h))"
+    ),
+    (
+        "log-ratio-close",
+        "logexp",
+        "(FPCore (x y) :name \"log of close ratio\" :pre (and (> x 1) (< x 1e6) (> y 1) (< y 1e6)) (log (/ x y)))"
+    ),
+    (
+        "pow-via-exp-log",
+        "logexp",
+        "(FPCore (x y) :name \"x^y\" :pre (and (> x 0.1) (< x 100) (> y -5) (< y 5)) (pow x y))"
+    ),
+    (
+        "exp-sq-difference",
+        "logexp",
+        "(FPCore (x) :name \"exp(x)^2 - exp(2x)\" :pre (and (> x -10) (< x 10)) (- (* (exp x) (exp x)) (exp (* 2 x))))"
+    ),
+    (
+        "entropy-term",
+        "logexp",
+        "(FPCore (p) :name \"entropy term\" :pre (and (> p 1e-9) (< p 1)) (- (* p (log p))))"
+    ),
+    (
+        "geometric-mean-2",
+        "logexp",
+        "(FPCore (a b) :name \"geometric mean\" :pre (and (> a 1e-6) (< a 1e6) (> b 1e-6) (< b 1e6)) (exp (/ (+ (log a) (log b)) 2)))"
+    ),
+    // ---------------------------------------------------------------- geometry
+    (
+        "hypotenuse",
+        "geometry",
+        "(FPCore (x y) :name \"hypotenuse\" :pre (and (> x 1e-6) (< x 1e8) (> y 1e-6) (< y 1e8)) (sqrt (+ (* x x) (* y y))))"
+    ),
+    (
+        "hypotenuse-3d",
+        "geometry",
+        "(FPCore (x y z) :name \"3D vector norm\" :pre (and (> x 1e-3) (< x 1e6) (> y 1e-3) (< y 1e6) (> z 1e-3) (< z 1e6)) (sqrt (+ (* x x) (+ (* y y) (* z z)))))"
+    ),
+    (
+        "triangle-area-heron",
+        "geometry",
+        "(FPCore (a b c) :name \"Heron's formula\" :pre (and (> a 1) (< a 100) (> b 1) (< b 100) (> c 1) (< c 100) (> (+ a b) c) (> (+ b c) a) (> (+ a c) b)) (sqrt (* (* (/ (+ (+ a b) c) 2) (- (/ (+ (+ a b) c) 2) a)) (* (- (/ (+ (+ a b) c) 2) b) (- (/ (+ (+ a b) c) 2) c)))))"
+    ),
+    (
+        "unit-vector-x",
+        "geometry",
+        "(FPCore (x y) :name \"normalize x component\" :pre (and (> x 1e-3) (< x 1e6) (> y 1e-3) (< y 1e6)) (/ x (sqrt (+ (* x x) (* y y)))))"
+    ),
+    (
+        "dot-product-2d",
+        "geometry",
+        "(FPCore (ax ay bx by) :name \"2D dot product\" :pre (and (> ax -1e3) (< ax 1e3) (> ay -1e3) (< ay 1e3) (> bx -1e3) (< bx 1e3) (> by -1e3) (< by 1e3)) (+ (* ax bx) (* ay by)))"
+    ),
+    (
+        "cross-product-z",
+        "geometry",
+        "(FPCore (ax ay bx by) :name \"2D cross product\" :pre (and (> ax 0.1) (< ax 1e3) (> ay 0.1) (< ay 1e3) (> bx 0.1) (< bx 1e3) (> by 0.1) (< by 1e3)) (- (* ax by) (* ay bx)))"
+    ),
+    (
+        "sphere-cap-volume",
+        "geometry",
+        "(FPCore (r h) :name \"spherical cap volume\" :pre (and (> r 0.1) (< r 1e3) (> h 0.01) (< h 0.2)) (* (* (/ PI 3) (* h h)) (- (* 3 r) h)))"
+    ),
+    (
+        "circle-segment-area",
+        "geometry",
+        "(FPCore (r theta) :name \"circular segment area\" :pre (and (> r 0.1) (< r 1e3) (> theta 1e-3) (< theta 3)) (* (* 0.5 (* r r)) (- theta (sin theta))))"
+    ),
+    (
+        "distance-squared-diff",
+        "geometry",
+        "(FPCore (x1 x2) :name \"difference of squares distance\" :pre (and (> x1 1) (< x1 1e7) (> x2 1) (< x2 1e7)) (- (* x1 x1) (* x2 x2)))"
+    ),
+    (
+        "slope",
+        "geometry",
+        "(FPCore (x1 y1 x2 y2) :name \"slope between points\" :pre (and (> x1 0) (< x1 1e3) (> y1 0) (< y1 1e3) (> x2 1e3) (< x2 2e3) (> y2 0) (< y2 1e3)) (/ (- y2 y1) (- x2 x1)))"
+    ),
+    // ----------------------------------------------------------------- physics
+    (
+        "relativistic-gamma",
+        "physics",
+        "(FPCore (beta) :name \"Lorentz factor\" :pre (and (> beta 1e-6) (< beta 0.999999)) (/ 1 (sqrt (- 1 (* beta beta)))))"
+    ),
+    (
+        "kinetic-energy-relativistic",
+        "physics",
+        "(FPCore (m beta) :name \"relativistic kinetic energy factor\" :pre (and (> m 1e-3) (< m 1e3) (> beta 1e-6) (< beta 0.99)) (* m (- (/ 1 (sqrt (- 1 (* beta beta)))) 1)))"
+    ),
+    (
+        "projectile-range",
+        "physics",
+        "(FPCore (v theta g) :name \"projectile range\" :pre (and (> v 0.1) (< v 1e3) (> theta 0.01) (< theta 1.5) (> g 9) (< g 10)) (/ (* (* v v) (sin (* 2 theta))) g))"
+    ),
+    (
+        "pendulum-period",
+        "physics",
+        "(FPCore (l g) :name \"pendulum period\" :pre (and (> l 0.01) (< l 100) (> g 9) (< g 10)) (* (* 2 PI) (sqrt (/ l g))))"
+    ),
+    (
+        "planck-radiation-tail",
+        "physics",
+        "(FPCore (x) :name \"Planck tail 1/(e^x - 1)\" :pre (and (> x 1e-6) (< x 30)) (/ 1 (- (exp x) 1)))"
+    ),
+    (
+        "doppler-shift",
+        "physics",
+        "(FPCore (f v c) :name \"Doppler shift\" :pre (and (> f 1) (< f 1e9) (> v 0.1) (< v 300) (> c 299792457) (< c 299792459)) (* f (/ c (- c v))))"
+    ),
+    (
+        "lens-equation",
+        "physics",
+        "(FPCore (do di) :name \"thin lens focal length\" :pre (and (> do 0.01) (< do 1e3) (> di 0.01) (< di 1e3)) (/ 1 (+ (/ 1 do) (/ 1 di))))"
+    ),
+    (
+        "rms-velocity",
+        "physics",
+        "(FPCore (a b c) :name \"root mean square of three\" :pre (and (> a 1e-3) (< a 1e3) (> b 1e-3) (< b 1e3) (> c 1e-3) (< c 1e3)) (sqrt (/ (+ (* a a) (+ (* b b) (* c c))) 3)))"
+    ),
+    (
+        "gravitational-potential-diff",
+        "physics",
+        "(FPCore (m r1 r2) :name \"potential energy difference\" :pre (and (> m 1e-3) (< m 1e6) (> r1 1) (< r1 1e6) (> r2 1) (< r2 1e6)) (* m (- (/ 1 r1) (/ 1 r2))))"
+    ),
+    (
+        "snell-refraction",
+        "physics",
+        "(FPCore (n1 n2 theta) :name \"Snell's law sine\" :pre (and (> n1 1) (< n1 2) (> n2 1) (< n2 2) (> theta 0.01) (< theta 1.5)) (asin (* (/ n1 n2) (sin theta))))"
+    ),
+    // -------------------------------------------------------------- statistics
+    (
+        "variance-two-pass-term",
+        "statistics",
+        "(FPCore (x mu) :name \"squared deviation\" :pre (and (> x -1e6) (< x 1e6) (> mu -1e6) (< mu 1e6)) (* (- x mu) (- x mu)))"
+    ),
+    (
+        "variance-naive",
+        "statistics",
+        "(FPCore (sx sxx n) :name \"naive variance\" :pre (and (> n 2) (< n 1e6) (> sx 1) (< sx 1e6) (> sxx 1) (< sxx 1e9) (> (- (* n sxx) (* sx sx)) 0)) (/ (- (* n sxx) (* sx sx)) (* n (- n 1))))"
+    ),
+    (
+        "gaussian-pdf-exponent",
+        "statistics",
+        "(FPCore (x mu sigma) :name \"Gaussian exponent\" :pre (and (> x -100) (< x 100) (> mu -100) (< mu 100) (> sigma 0.01) (< sigma 100)) (- (/ (* (- x mu) (- x mu)) (* 2 (* sigma sigma)))))"
+    ),
+    (
+        "gaussian-pdf",
+        "statistics",
+        "(FPCore (x sigma) :name \"Gaussian density at mean offset x\" :pre (and (> x -30) (< x 30) (> sigma 0.1) (< sigma 10)) (/ (exp (- (/ (* x x) (* 2 (* sigma sigma))))) (* sigma (sqrt (* 2 PI)))))"
+    ),
+    (
+        "log-likelihood-ratio",
+        "statistics",
+        "(FPCore (p q) :name \"log likelihood ratio term\" :pre (and (> p 1e-9) (< p 1) (> q 1e-9) (< q 1)) (* p (log (/ p q))))"
+    ),
+    (
+        "odds-ratio",
+        "statistics",
+        "(FPCore (p q) :name \"odds ratio\" :pre (and (> p 1e-6) (< p 0.999) (> q 1e-6) (< q 0.999)) (/ (* p (- 1 q)) (* q (- 1 p))))"
+    ),
+    (
+        "sigmoid-derivative",
+        "statistics",
+        "(FPCore (x) :name \"sigmoid derivative\" :pre (and (> x -30) (< x 30)) (* (/ 1 (+ 1 (exp (- x)))) (- 1 (/ 1 (+ 1 (exp (- x)))))))"
+    ),
+    (
+        "welford-update",
+        "statistics",
+        "(FPCore (mean x n) :name \"Welford mean update\" :pre (and (> mean -1e6) (< mean 1e6) (> x -1e6) (< x 1e6) (> n 1) (< n 1e9)) (+ mean (/ (- x mean) n)))"
+    ),
+    // -------------------------------------------------------------- libraries
+    (
+        "fast-inverse-sqrt-use",
+        "libraries",
+        "(FPCore (x) :name \"reciprocal square root\" :pre (and (> x 1e-6) (< x 1e6)) (/ 1 (sqrt x)))"
+    ),
+    (
+        "reciprocal",
+        "libraries",
+        "(FPCore (x) :name \"reciprocal\" :pre (and (> x 1e-6) (< x 1e6)) (/ 1 x))"
+    ),
+    (
+        "fused-axpy",
+        "libraries",
+        "(FPCore (a x y) :name \"axpy kernel\" :pre (and (> a -1e3) (< a 1e3) (> x -1e3) (< x 1e3) (> y -1e3) (< y 1e3)) (+ (* a x) y))"
+    ),
+    (
+        "polynomial-kernel-degree2",
+        "libraries",
+        "(FPCore (x y c) :name \"quadratic kernel\" :pre (and (> x -1e2) (< x 1e2) (> y -1e2) (< y 1e2) (> c 0) (< c 10)) (* (+ (* x y) c) (+ (* x y) c)))"
+    ),
+    (
+        "smoothstep",
+        "libraries",
+        "(FPCore (x) :name \"smoothstep\" :pre (and (> x 0) (< x 1)) (* (* x x) (- 3 (* 2 x))))"
+    ),
+    (
+        "lerp",
+        "libraries",
+        "(FPCore (a b t) :name \"linear interpolation\" :pre (and (> a -1e6) (< a 1e6) (> b -1e6) (< b 1e6) (> t 0) (< t 1)) (+ a (* t (- b a))))"
+    ),
+    (
+        "hypot-scaled",
+        "libraries",
+        "(FPCore (x y) :name \"scaled hypot\" :pre (and (> x 1e-3) (< x 1e3) (> y 1e-3) (< y 1e3)) (* x (sqrt (+ 1 (/ (* y y) (* x x))))))"
+    ),
+    (
+        "rsqrt-newton-step",
+        "libraries",
+        "(FPCore (x r) :name \"rsqrt Newton refinement\" :pre (and (> x 0.5) (< x 2) (> r 0.5) (< r 2)) (* r (- 1.5 (* (* 0.5 x) (* r r)))))"
+    ),
+    (
+        "normalized-difference",
+        "libraries",
+        "(FPCore (a b) :name \"normalized difference index\" :pre (and (> a 1e-3) (< a 1e4) (> b 1e-3) (< b 1e4)) (/ (- a b) (+ a b)))"
+    ),
+    (
+        "mean-of-two",
+        "libraries",
+        "(FPCore (a b) :name \"midpoint\" :pre (and (> a -1e15) (< a 1e15) (> b -1e15) (< b 1e15)) (/ (+ a b) 2))"
+    ),
+];
+
+/// Every benchmark in the corpus.
+pub fn all() -> &'static [Benchmark] {
+    CORPUS
+}
+
+/// The distinct group names, in corpus order.
+pub fn groups() -> Vec<&'static str> {
+    let mut seen = Vec::new();
+    for b in CORPUS {
+        if !seen.contains(&b.group) {
+            seen.push(b.group);
+        }
+    }
+    seen
+}
+
+/// The benchmarks belonging to a group.
+pub fn by_group(group: &str) -> Vec<&'static Benchmark> {
+    CORPUS.iter().filter(|b| b.group == group).collect()
+}
+
+/// Looks a benchmark up by name.
+pub fn by_name(name: &str) -> Option<&'static Benchmark> {
+    CORPUS.iter().find(|b| b.name == name)
+}

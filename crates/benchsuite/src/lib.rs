@@ -1,0 +1,60 @@
+//! # benchsuite
+//!
+//! A benchmark corpus for the Chassis reproduction, mirroring the *sources and
+//! shape* of the 547-benchmark Herbie 2.0.2 suite used in the paper's evaluation:
+//! numerical-analysis textbook kernels (Hamming), quadratic/cubic formula
+//! variants, math-library identities, and geometry / physics / statistics
+//! kernels. Each benchmark is a self-contained FPCore with a precondition
+//! describing its interesting input domain.
+//!
+//! The corpus is smaller than Herbie's (the aggregate Pareto curves only need a
+//! representative spread of accuracy-limited and cost-limited kernels), but every
+//! benchmark is a real expression drawn from the same literature.
+
+pub mod corpus;
+
+pub use corpus::{all, by_group, by_name, groups, Benchmark};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fpcore::parse_fpcore;
+
+    #[test]
+    fn corpus_is_nonempty_and_diverse() {
+        let benchmarks = all();
+        assert!(benchmarks.len() >= 50, "expected a substantial corpus, got {}", benchmarks.len());
+        assert!(groups().len() >= 5);
+        for group in groups() {
+            assert!(
+                by_group(group).len() >= 4,
+                "group {group} should have several benchmarks"
+            );
+        }
+    }
+
+    #[test]
+    fn every_benchmark_parses() {
+        for b in all() {
+            let core = parse_fpcore(b.source).unwrap_or_else(|e| {
+                panic!("benchmark {} does not parse: {e}", b.name)
+            });
+            assert!(!core.args.is_empty() || core.body.variables().is_empty());
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<&str> = all().iter().map(|b| b.name).collect();
+        let before = names.len();
+        names.sort();
+        names.dedup();
+        assert_eq!(before, names.len(), "duplicate benchmark names");
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(by_name("quadratic-formula-positive-root").is_some());
+        assert!(by_name("does-not-exist").is_none());
+    }
+}

@@ -1,0 +1,233 @@
+//! Accuracy measurement: ULP distance and bits of error against ground truth.
+//!
+//! Chassis (like Herbie) measures the error of a floating-point result against
+//! the correctly rounded real result in *units in the last place* (ULPs), and
+//! aggregates `log2(1 + ulps)` — "bits of error" — over the sample points. The
+//! paper reports accuracy as `p − log2 ULP` where `p` is the output precision.
+
+use crate::sample::SampleSet;
+use fpcore::{FpType, Symbol};
+use std::collections::HashMap;
+use targets::{eval_float_expr, FloatExpr, Target};
+
+/// Maps a float to an ordered integer such that adjacent floats map to adjacent
+/// integers (the standard "Bruce Dawson" trick), making ULP distance a simple
+/// subtraction.
+fn ordered_bits_f64(x: f64) -> i64 {
+    let bits = x.to_bits() as i64;
+    if bits < 0 {
+        i64::MIN.wrapping_add(bits.wrapping_neg())
+    } else {
+        bits
+    }
+}
+
+fn ordered_bits_f32(x: f32) -> i64 {
+    let bits = x.to_bits() as i32 as i64;
+    if bits < 0 {
+        -(bits & 0x7fff_ffff)
+    } else {
+        bits
+    }
+}
+
+/// ULP distance between two values in the given representation.
+///
+/// NaN compared with NaN is zero ULPs; NaN compared with a number is the maximum
+/// error for the format.
+pub fn ulps_between(a: f64, b: f64, ty: FpType) -> u64 {
+    if a.is_nan() && b.is_nan() {
+        return 0;
+    }
+    if a.is_nan() || b.is_nan() {
+        return max_ulps(ty);
+    }
+    match ty {
+        FpType::Binary32 => {
+            let (a, b) = (a as f32, b as f32);
+            if a == b {
+                return 0;
+            }
+            (ordered_bits_f32(a) - ordered_bits_f32(b)).unsigned_abs()
+        }
+        _ => {
+            if a == b {
+                return 0;
+            }
+            ordered_bits_f64(a)
+                .wrapping_sub(ordered_bits_f64(b))
+                .unsigned_abs()
+        }
+    }
+}
+
+/// The ULP distance treated as "maximal" for a format (spanning the whole range).
+pub fn max_ulps(ty: FpType) -> u64 {
+    match ty {
+        FpType::Binary32 => 1 << 31,
+        _ => 1 << 62,
+    }
+}
+
+/// Bits of error: `log2(1 + ulps)`, clamped to the precision-dependent maximum
+/// used by Herbie's reports (64 bits for binary64, 32 for binary32).
+pub fn bits_of_error(actual: f64, truth: f64, ty: FpType) -> f64 {
+    let ulps = ulps_between(actual, truth, ty);
+    let bits = ((ulps as f64) + 1.0).log2();
+    bits.min(max_bits(ty))
+}
+
+/// The maximum bits of error reported for a format.
+pub fn max_bits(ty: FpType) -> f64 {
+    match ty {
+        FpType::Binary32 => 32.0,
+        _ => 64.0,
+    }
+}
+
+/// The mean bits of error of a program over points with known ground truth.
+pub fn mean_bits_of_error(
+    target: &Target,
+    expr: &FloatExpr,
+    vars: &[Symbol],
+    points: &[Vec<f64>],
+    truths: &[f64],
+    ty: FpType,
+) -> f64 {
+    assert_eq!(points.len(), truths.len(), "each point needs a ground truth");
+    if points.is_empty() {
+        return 0.0;
+    }
+    let mut env: HashMap<Symbol, f64> = HashMap::with_capacity(vars.len());
+    let total: f64 = points
+        .iter()
+        .zip(truths)
+        .map(|(point, truth)| {
+            env.clear();
+            for (v, x) in vars.iter().zip(point) {
+                env.insert(*v, *x);
+            }
+            let out = eval_float_expr(target, expr, &env);
+            bits_of_error(out, *truth, ty)
+        })
+        .sum();
+    total / points.len() as f64
+}
+
+/// Accuracy in the paper's reporting convention: `p − mean bits of error`,
+/// clamped at zero.
+pub fn accuracy_bits(mean_error_bits: f64, ty: FpType) -> f64 {
+    let p = match ty {
+        FpType::Binary32 => 24.0,
+        _ => 53.0,
+    };
+    (p - mean_error_bits).max(0.0)
+}
+
+/// Evaluates a candidate on the training set, returning
+/// `(mean bits of error, accuracy)`.
+pub fn evaluate_on_train(target: &Target, expr: &FloatExpr, samples: &SampleSet) -> (f64, f64) {
+    let err = mean_bits_of_error(
+        target,
+        expr,
+        &samples.vars,
+        &samples.train,
+        &samples.train_truth,
+        samples.output_type,
+    );
+    (err, accuracy_bits(err, samples.output_type))
+}
+
+/// Evaluates a candidate on the held-out test set.
+pub fn evaluate_on_test(target: &Target, expr: &FloatExpr, samples: &SampleSet) -> (f64, f64) {
+    let err = mean_bits_of_error(
+        target,
+        expr,
+        &samples.vars,
+        &samples.test,
+        &samples.test_truth,
+        samples.output_type,
+    );
+    (err, accuracy_bits(err, samples.output_type))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ulp_distance_basics() {
+        assert_eq!(ulps_between(1.0, 1.0, FpType::Binary64), 0);
+        assert_eq!(
+            ulps_between(1.0, f64::from_bits(1.0f64.to_bits() + 1), FpType::Binary64),
+            1
+        );
+        assert_eq!(ulps_between(0.0, -0.0, FpType::Binary64), 0);
+        // Crossing zero counts the representable values in between.
+        let tiny = f64::from_bits(1);
+        assert_eq!(ulps_between(tiny, -tiny, FpType::Binary64), 2);
+        assert_eq!(ulps_between(f64::NAN, f64::NAN, FpType::Binary64), 0);
+        assert_eq!(
+            ulps_between(f64::NAN, 1.0, FpType::Binary64),
+            max_ulps(FpType::Binary64)
+        );
+    }
+
+    #[test]
+    fn binary32_ulps_are_coarser() {
+        let a = 1.0f64;
+        let b = 1.0f64 + 1e-9;
+        // Adjacent in f32 terms (identical, actually), far apart in f64 terms.
+        assert_eq!(ulps_between(a, b, FpType::Binary32), 0);
+        assert!(ulps_between(a, b, FpType::Binary64) > 1_000_000);
+    }
+
+    #[test]
+    fn bits_of_error_scale() {
+        assert_eq!(bits_of_error(1.0, 1.0, FpType::Binary64), 0.0);
+        let one_ulp = f64::from_bits(1.0f64.to_bits() + 1);
+        assert_eq!(bits_of_error(one_ulp, 1.0, FpType::Binary64), 1.0);
+        let nan_err = bits_of_error(f64::NAN, 1.0, FpType::Binary64);
+        assert!((60.0..=64.0).contains(&nan_err), "NaN mismatch should be maximal, got {nan_err}");
+    }
+
+    #[test]
+    fn accuracy_reporting() {
+        assert_eq!(accuracy_bits(0.0, FpType::Binary64), 53.0);
+        assert_eq!(accuracy_bits(10.0, FpType::Binary64), 43.0);
+        assert_eq!(accuracy_bits(60.0, FpType::Binary64), 0.0);
+        assert_eq!(accuracy_bits(0.0, FpType::Binary32), 24.0);
+    }
+
+    #[test]
+    fn program_error_measurement() {
+        use targets::builtin;
+        let t = builtin::by_name("c99").unwrap();
+        let sub = t.find_operator("-.f64").unwrap();
+        let sqrt = t.find_operator("sqrt.f64").unwrap();
+        let add = t.find_operator("+.f64").unwrap();
+        let x = FloatExpr::Var(Symbol::new("x"), FpType::Binary64);
+        // The cancellation-prone sqrt(x+1) - sqrt(x).
+        let naive = FloatExpr::Op(
+            sub,
+            vec![
+                FloatExpr::Op(
+                    sqrt,
+                    vec![FloatExpr::Op(add, vec![x.clone(), FloatExpr::literal(1.0, FpType::Binary64)])],
+                ),
+                FloatExpr::Op(sqrt, vec![x.clone()]),
+            ],
+        );
+        let vars = [Symbol::new("x")];
+        let points: Vec<Vec<f64>> = vec![vec![1e15], vec![4e15]];
+        let truths: Vec<f64> = points
+            .iter()
+            .map(|p| {
+                let x = p[0];
+                1.0 / ((x + 1.0).sqrt() + x.sqrt())
+            })
+            .collect();
+        let err = mean_bits_of_error(&t, &naive, &vars, &points, &truths, FpType::Binary64);
+        assert!(err > 10.0, "the naive form should lose many bits, got {err}");
+    }
+}

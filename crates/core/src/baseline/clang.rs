@@ -1,0 +1,286 @@
+//! A Clang-style baseline: a traditional, semantics-preserving compiler.
+//!
+//! Clang either preserves the source floating-point semantics bit-for-bit (which
+//! forbids most algebraic rewriting) or, under `-ffast-math`, applies algebraic
+//! transformations with no regard for accuracy. This module models both: direct
+//! lowering to the C target, a small pipeline of semantics-preserving passes at
+//! `-O1` and above, and the classic fast-math transformations (FMA contraction,
+//! reciprocal strength reduction, reassociation) when requested.
+//!
+//! The passes operate on our interpreted cost model, so differences between
+//! optimization levels are smaller than on real hardware; what matters for the
+//! comparison (Figure 7) is the *shape*: Clang produces one program per
+//! configuration with essentially fixed accuracy, while Chassis produces a whole
+//! accuracy/cost frontier.
+
+use crate::lower::{lower_fpcore, DirectLowering, LowerError};
+use fpcore::{FPCore, FpType, RealOp};
+use targets::{FloatExpr, Target};
+
+/// Clang optimization levels (Figure 7 evaluates O0-O3, Os and Oz; Os/Oz behave
+/// like O2 for straight-line numeric code, so they share a variant here).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum OptLevel {
+    /// No optimization.
+    O0,
+    /// Constant folding.
+    O1,
+    /// Constant folding plus IEEE-safe identity simplification (also models Os/Oz).
+    O2,
+    /// Same pipeline as O2 (vectorization has no analogue in our scalar model).
+    O3,
+}
+
+impl OptLevel {
+    /// All modelled levels.
+    pub const ALL: [OptLevel; 4] = [OptLevel::O0, OptLevel::O1, OptLevel::O2, OptLevel::O3];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            OptLevel::O0 => "-O0",
+            OptLevel::O1 => "-O1",
+            OptLevel::O2 => "-O2",
+            OptLevel::O3 => "-O3",
+        }
+    }
+}
+
+/// A Clang configuration: optimization level plus fast-math.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ClangConfig {
+    /// Optimization level.
+    pub level: OptLevel,
+    /// Whether `-ffast-math` is enabled.
+    pub fast_math: bool,
+}
+
+impl ClangConfig {
+    /// The twelve configurations evaluated in the paper (six levels × fast-math),
+    /// collapsed onto the four modelled levels.
+    pub fn all() -> Vec<ClangConfig> {
+        let mut out = Vec::new();
+        for level in OptLevel::ALL {
+            for fast_math in [false, true] {
+                out.push(ClangConfig { level, fast_math });
+            }
+        }
+        out
+    }
+
+    /// Display name, e.g. `-O2 -ffast-math`.
+    pub fn name(&self) -> String {
+        if self.fast_math {
+            format!("{} -ffast-math", self.level.name())
+        } else {
+            self.level.name().to_owned()
+        }
+    }
+}
+
+/// Compiles an FPCore with the Clang-style pipeline on the given (C-like) target.
+pub fn compile_clang(
+    core: &FPCore,
+    target: &Target,
+    config: ClangConfig,
+) -> Result<FloatExpr, LowerError> {
+    let mut program = lower_fpcore(core, target)?;
+    if config.level != OptLevel::O0 {
+        program = constant_fold(target, &program);
+    }
+    if matches!(config.level, OptLevel::O2 | OptLevel::O3) {
+        program = simplify_identities(target, &program);
+    }
+    if config.fast_math {
+        program = fast_math(target, &program, core.precision);
+        program = constant_fold(target, &program);
+    }
+    Ok(program)
+}
+
+fn rebuild(expr: &FloatExpr, f: &impl Fn(&FloatExpr) -> FloatExpr) -> FloatExpr {
+    match expr {
+        FloatExpr::Num(_, _) | FloatExpr::Var(_, _) => expr.clone(),
+        FloatExpr::Op(id, args) => {
+            let args = args.iter().map(|a| f(a)).collect();
+            FloatExpr::Op(*id, args)
+        }
+        FloatExpr::Cmp(op, a, b) => FloatExpr::Cmp(*op, Box::new(f(a)), Box::new(f(b))),
+        FloatExpr::If(c, t, e) => {
+            FloatExpr::If(Box::new(f(c)), Box::new(f(t)), Box::new(f(e)))
+        }
+    }
+}
+
+/// Evaluates operators whose arguments are all literals (semantics-preserving:
+/// the operator implementation itself is used).
+fn constant_fold(target: &Target, expr: &FloatExpr) -> FloatExpr {
+    let folded = rebuild(expr, &|e| constant_fold(target, e));
+    if let FloatExpr::Op(id, args) = &folded {
+        let literals: Option<Vec<f64>> = args
+            .iter()
+            .map(|a| match a {
+                FloatExpr::Num(v, _) => Some(*v),
+                _ => None,
+            })
+            .collect();
+        if let Some(values) = literals {
+            let op = target.operator(*id);
+            return FloatExpr::literal(op.execute(&values), op.ret_type);
+        }
+    }
+    folded
+}
+
+fn is_literal(expr: &FloatExpr, value: f64) -> bool {
+    matches!(expr, FloatExpr::Num(v, _) if *v == value)
+}
+
+fn real_op_of(target: &Target, expr: &FloatExpr) -> Option<RealOp> {
+    if let FloatExpr::Op(id, args) = expr {
+        if let fpcore::Expr::Op(op, dargs) = &target.operator(*id).desugaring {
+            if dargs.len() == args.len() {
+                return Some(*op);
+            }
+        }
+    }
+    None
+}
+
+/// IEEE-safe identity simplifications Clang performs without fast-math:
+/// `x * 1 → x`, `x / 1 → x` (exact), and double-negation removal.
+fn simplify_identities(target: &Target, expr: &FloatExpr) -> FloatExpr {
+    let simplified = rebuild(expr, &|e| simplify_identities(target, e));
+    if let FloatExpr::Op(_, args) = &simplified {
+        match real_op_of(target, &simplified) {
+            Some(RealOp::Mul) if is_literal(&args[1], 1.0) => return args[0].clone(),
+            Some(RealOp::Mul) if is_literal(&args[0], 1.0) => return args[1].clone(),
+            Some(RealOp::Div) if is_literal(&args[1], 1.0) => return args[0].clone(),
+            Some(RealOp::Neg) => {
+                if let Some(RealOp::Neg) = real_op_of(target, &args[0]) {
+                    if let FloatExpr::Op(_, inner) = &args[0] {
+                        return inner[0].clone();
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    simplified
+}
+
+/// Fast-math transformations: FMA contraction, division by a constant turned into
+/// multiplication by its reciprocal, and `x - x → 0`.
+fn fast_math(target: &Target, expr: &FloatExpr, ty: FpType) -> FloatExpr {
+    let lowering = DirectLowering::new(target);
+    let transformed = rebuild(expr, &|e| fast_math(target, e, ty));
+    if let FloatExpr::Op(_, args) = &transformed {
+        match real_op_of(target, &transformed) {
+            // a*b + c  →  fma(a, b, c)  (contraction changes rounding; allowed
+            // only under fast-math / -ffp-contract).
+            Some(RealOp::Add) => {
+                if let Some(fma) = lowering.operator_for(RealOp::Fma, ty) {
+                    for (product, addend) in [(&args[0], &args[1]), (&args[1], &args[0])] {
+                        if real_op_of(target, product) == Some(RealOp::Mul) {
+                            if let FloatExpr::Op(_, mul_args) = product {
+                                return FloatExpr::Op(
+                                    fma,
+                                    vec![mul_args[0].clone(), mul_args[1].clone(), (*addend).clone()],
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+            // x / c  →  x * (1/c) for a literal c.
+            Some(RealOp::Div) => {
+                if let FloatExpr::Num(c, num_ty) = &args[1] {
+                    if *c != 0.0 {
+                        if let Some(mul) = lowering.operator_for(RealOp::Mul, ty) {
+                            return FloatExpr::Op(
+                                mul,
+                                vec![args[0].clone(), FloatExpr::literal(1.0 / c, *num_ty)],
+                            );
+                        }
+                    }
+                }
+            }
+            // x - x → 0 (not IEEE-safe: wrong for NaN and infinities).
+            Some(RealOp::Sub) if args[0] == args[1] => {
+                return FloatExpr::literal(0.0, ty);
+            }
+            _ => {}
+        }
+    }
+    transformed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fpcore::parse_fpcore;
+    use targets::{builtin, program_cost};
+
+    fn c99() -> Target {
+        builtin::by_name("c99").unwrap()
+    }
+
+    #[test]
+    fn twelve_configurations_exist() {
+        assert_eq!(ClangConfig::all().len(), 8);
+        assert!(ClangConfig::all().iter().any(|c| c.name() == "-O2 -ffast-math"));
+    }
+
+    #[test]
+    fn o0_is_a_plain_lowering() {
+        let core = parse_fpcore("(FPCore (x) (* (+ 1 2) x))").unwrap();
+        let t = c99();
+        let o0 = compile_clang(&core, &t, ClangConfig { level: OptLevel::O0, fast_math: false })
+            .unwrap();
+        let o1 = compile_clang(&core, &t, ClangConfig { level: OptLevel::O1, fast_math: false })
+            .unwrap();
+        // O1 folds 1+2; O0 does not.
+        assert!(program_cost(&t, &o1) < program_cost(&t, &o0));
+        assert_eq!(o0.desugar(&t), core.body);
+    }
+
+    #[test]
+    fn o2_removes_multiplication_by_one() {
+        let core = parse_fpcore("(FPCore (x) (* x 1))").unwrap();
+        let t = c99();
+        let o2 = compile_clang(&core, &t, ClangConfig { level: OptLevel::O2, fast_math: false })
+            .unwrap();
+        assert_eq!(o2, FloatExpr::Var(fpcore::Symbol::new("x"), FpType::Binary64));
+    }
+
+    #[test]
+    fn fast_math_contracts_fma_and_strength_reduces_division() {
+        let t = c99();
+        let core = parse_fpcore("(FPCore (a b c) (+ (* a b) c))").unwrap();
+        let fused = compile_clang(&core, &t, ClangConfig { level: OptLevel::O2, fast_math: true })
+            .unwrap();
+        assert!(fused.render(&t).contains("fma.f64"));
+        let strict = compile_clang(&core, &t, ClangConfig { level: OptLevel::O2, fast_math: false })
+            .unwrap();
+        assert!(!strict.render(&t).contains("fma.f64"), "contraction requires fast-math");
+        assert!(program_cost(&t, &fused) < program_cost(&t, &strict));
+
+        let core = parse_fpcore("(FPCore (x) (/ x 8))").unwrap();
+        let reduced = compile_clang(&core, &t, ClangConfig { level: OptLevel::O3, fast_math: true })
+            .unwrap();
+        assert!(reduced.render(&t).contains("*.f64"));
+    }
+
+    #[test]
+    fn fast_math_changes_semantics_only_when_enabled() {
+        // x - x is NaN for x = inf; fast-math folds it to 0.
+        let t = c99();
+        let core = parse_fpcore("(FPCore (x) (- x x))").unwrap();
+        let strict = compile_clang(&core, &t, ClangConfig { level: OptLevel::O2, fast_math: false })
+            .unwrap();
+        let fast = compile_clang(&core, &t, ClangConfig { level: OptLevel::O2, fast_math: true })
+            .unwrap();
+        assert_ne!(strict, fast);
+        assert!(matches!(fast, FloatExpr::Num(v, _) if v == 0.0));
+    }
+}

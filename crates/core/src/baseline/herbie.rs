@@ -1,0 +1,154 @@
+//! A Herbie-style baseline: target-agnostic accuracy-first compilation.
+//!
+//! Herbie (Panchekha et al.) runs essentially the same iterative loop as Chassis
+//! but knows nothing about the eventual target: its output programs use exactly
+//! the abstract Rival operator set, and its cost model assigns 1 to arithmetic
+//! and 100 to every other function call (paper Section 3.1). To compare against
+//! it on a concrete target, Herbie's output is *transcribed*: unsupported
+//! operators are desugared into simpler ones where possible, and programs that
+//! still use unavailable operators are discarded (Section 6.3).
+
+use crate::compiler::{Chassis, CompilationResult, CompileError, Config};
+use crate::lower::{desugar_unsupported, DirectLowering};
+use fpcore::{FPCore, FpType, RealOp};
+use targets::{FloatExpr, Operator, Target};
+
+/// Builds the abstract target Herbie compiles to: every Rival real operator,
+/// binary64 only, with Herbie's 1-vs-100 cost model.
+pub fn herbie_target() -> Target {
+    let mut target = Target::new(
+        "herbie",
+        "Target-agnostic Rival operator set with Herbie's 1 (arithmetic) / 100 (call) cost model",
+    )
+    .with_leaf_costs(1.0, 1.0)
+    .with_cost_source("Herbie 1/100 model");
+    for &op in RealOp::ALL {
+        if op.is_predicate() {
+            continue;
+        }
+        let cost = match op {
+            RealOp::Add | RealOp::Sub | RealOp::Mul | RealOp::Div | RealOp::Neg | RealOp::Fabs => {
+                1.0
+            }
+            _ => 100.0,
+        };
+        let args: Vec<FpType> = vec![FpType::Binary64; op.arity()];
+        let desugaring = {
+            let vars: Vec<String> = (0..op.arity()).map(|i| format!("a{i}")).collect();
+            format!("({} {})", op.name(), vars.join(" "))
+        };
+        target.add_operator(Operator::emulated(
+            &format!("{}.f64", op.name()),
+            &args,
+            FpType::Binary64,
+            &desugaring,
+            cost,
+        ));
+    }
+    target
+}
+
+/// The Herbie-style compiler: Chassis' loop over the abstract target.
+#[derive(Clone, Debug)]
+pub struct HerbieCompiler {
+    inner: Chassis,
+}
+
+impl Default for HerbieCompiler {
+    fn default() -> Self {
+        HerbieCompiler::new(Config::default())
+    }
+}
+
+impl HerbieCompiler {
+    /// Creates the baseline compiler with the given search configuration.
+    pub fn new(config: Config) -> HerbieCompiler {
+        HerbieCompiler {
+            inner: Chassis::new(herbie_target()).with_config(config),
+        }
+    }
+
+    /// The abstract target Herbie compiles to.
+    pub fn target(&self) -> &Target {
+        self.inner.target()
+    }
+
+    /// Compiles a benchmark target-agnostically.
+    pub fn compile(&self, core: &FPCore) -> Result<CompilationResult, CompileError> {
+        self.inner.compile(core)
+    }
+}
+
+/// Transcribes a Herbie output program onto a concrete target: the program is
+/// desugared back to a real expression, unsupported operators are expanded into
+/// simpler ones, and the result is lowered directly. Returns `None` when some
+/// operator is fundamentally unavailable (such programs are discarded from the
+/// comparison, biasing it toward Herbie, exactly as the paper does).
+pub fn transcribe(
+    program: &FloatExpr,
+    herbie_target: &Target,
+    concrete: &Target,
+    output: FpType,
+) -> Option<FloatExpr> {
+    let real = program.desugar(herbie_target);
+    let lowering = DirectLowering::new(concrete);
+    let desugared = desugar_unsupported(&real, &lowering, output);
+    lowering.lower(&desugared, output).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fpcore::parse_fpcore;
+    use targets::builtin;
+
+    #[test]
+    fn herbie_target_has_the_one_vs_hundred_cost_model() {
+        let t = herbie_target();
+        let add = t.operator(t.find_operator("+.f64").unwrap()).cost;
+        let sin = t.operator(t.find_operator("sin.f64").unwrap()).cost;
+        assert_eq!(add, 1.0);
+        assert_eq!(sin, 100.0);
+        assert!(t.find_operator("<.f64").is_none(), "predicates are not operators");
+    }
+
+    #[test]
+    fn herbie_improves_accuracy_without_target_knowledge() {
+        let core = parse_fpcore(
+            "(FPCore (x) :pre (and (> x 1e8) (< x 1e14)) (- (sqrt (+ x 1)) (sqrt x)))",
+        )
+        .unwrap();
+        let herbie = HerbieCompiler::new(Config::fast());
+        let result = herbie.compile(&core).unwrap();
+        assert!(result.most_accurate().error_bits + 5.0 < result.initial.error_bits);
+    }
+
+    #[test]
+    fn transcription_desugars_missing_operators() {
+        let herbie = herbie_target();
+        let fma = herbie.find_operator("fma.f64").unwrap();
+        let program = FloatExpr::Op(
+            fma,
+            vec![
+                FloatExpr::Var(fpcore::Symbol::new("x"), FpType::Binary64),
+                FloatExpr::Var(fpcore::Symbol::new("y"), FpType::Binary64),
+                FloatExpr::Var(fpcore::Symbol::new("z"), FpType::Binary64),
+            ],
+        );
+        // Python has no fma: the transcription must expand it to x*y + z.
+        let python = builtin::by_name("python").unwrap();
+        let ported = transcribe(&program, &herbie, &python, FpType::Binary64).unwrap();
+        assert_eq!(
+            ported.desugar(&python),
+            fpcore::parse_expr("(+ (* x y) z)").unwrap()
+        );
+        // The bare Arith target cannot express sin at all: discard.
+        let sin = herbie.find_operator("sin.f64").unwrap();
+        let program = FloatExpr::Op(
+            sin,
+            vec![FloatExpr::Var(fpcore::Symbol::new("x"), FpType::Binary64)],
+        );
+        let arith = builtin::by_name("arith").unwrap();
+        assert!(transcribe(&program, &herbie, &arith, FpType::Binary64).is_none());
+    }
+}

@@ -1,0 +1,15 @@
+//! The baselines Chassis is evaluated against (paper Section 6):
+//!
+//! * [`herbie`] — a Herbie-style *target-agnostic* numerical compiler: the same
+//!   iterative loop run over the abstract Rival operator set with Herbie's
+//!   simplistic 1-vs-100 cost model, whose output is then transcribed onto each
+//!   concrete target (Section 6.3), and
+//! * [`clang`] — a Clang-style *traditional* compiler: semantics-preserving
+//!   direct lowering plus the classic optimization passes, with and without
+//!   fast-math (Section 6.2).
+
+pub mod clang;
+pub mod herbie;
+
+pub use clang::{compile_clang, ClangConfig, OptLevel};
+pub use herbie::{herbie_target, transcribe, HerbieCompiler};

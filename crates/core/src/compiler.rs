@@ -1,0 +1,313 @@
+//! The public Chassis compiler API.
+//!
+//! [`Chassis::compile`] ties the whole pipeline together, mirroring Figure 1 of
+//! the paper: sample inputs, lower the input expression, iterate instruction
+//! selection guided by the heuristics, optionally infer regimes, and report the
+//! Pareto-optimal implementations evaluated on held-out test points.
+
+use crate::accuracy;
+use crate::improve::{improve, Candidate, ImproveConfig};
+use crate::isel::{InstructionSelector, IselConfig};
+use crate::lower::{lower_fpcore, variable_types, LowerError};
+use crate::regimes::infer_regimes;
+use crate::sample::{SampleError, SampleSet, Sampler};
+use fpcore::FPCore;
+use targets::{program_cost, FloatExpr, Target};
+
+/// Chassis configuration.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Training points used to guide the search.
+    pub train_points: usize,
+    /// Held-out test points used for the reported accuracy.
+    pub test_points: usize,
+    /// RNG seed for sampling.
+    pub seed: u64,
+    /// Iterative-improvement settings.
+    pub improve: ImproveConfig,
+    /// Whether to run regime inference at the end.
+    pub regimes: bool,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            train_points: 24,
+            test_points: 32,
+            seed: 20250413,
+            improve: ImproveConfig::default(),
+            regimes: true,
+        }
+    }
+}
+
+impl Config {
+    /// A faster configuration for large benchmark sweeps (fewer points, fewer
+    /// iterations, smaller e-graphs).
+    pub fn fast() -> Config {
+        Config {
+            train_points: 12,
+            test_points: 16,
+            improve: ImproveConfig {
+                iterations: 2,
+                candidates_per_iteration: 1,
+                subexprs_per_candidate: 2,
+                isel: IselConfig {
+                    node_limit: 3_000,
+                    iter_limit: 4,
+                    max_candidates: 24,
+                    ..IselConfig::default()
+                },
+                ..ImproveConfig::default()
+            },
+            ..Config::default()
+        }
+    }
+}
+
+/// Why compilation failed.
+#[derive(Clone, PartialEq, Debug)]
+pub enum CompileError {
+    /// Sampling could not find enough valid input points.
+    Sampling(SampleError),
+    /// The expression uses operators that cannot be implemented on the target,
+    /// even after desugaring and instruction selection.
+    Unsupported(String),
+}
+
+impl std::fmt::Display for CompileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CompileError::Sampling(e) => write!(f, "sampling failed: {e}"),
+            CompileError::Unsupported(what) => write!(f, "cannot implement on this target: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+impl From<SampleError> for CompileError {
+    fn from(e: SampleError) -> Self {
+        CompileError::Sampling(e)
+    }
+}
+
+/// One output implementation (a point on the Pareto frontier).
+#[derive(Clone, Debug)]
+pub struct Implementation {
+    /// The target-specific program.
+    pub expr: FloatExpr,
+    /// Human-readable rendering using the target's operator names.
+    pub rendered: String,
+    /// Estimated cost under the target cost model.
+    pub cost: f64,
+    /// Mean bits of error on the held-out test points.
+    pub error_bits: f64,
+    /// Accuracy in the paper's convention (`p −` mean bits of error).
+    pub accuracy_bits: f64,
+}
+
+/// The result of compiling one FPCore on one target.
+#[derive(Clone, Debug)]
+pub struct CompilationResult {
+    /// Pareto-optimal implementations, sorted by increasing cost.
+    pub implementations: Vec<Implementation>,
+    /// The naive direct lowering of the input (the "initial program" that
+    /// speedups are measured against).
+    pub initial: Implementation,
+    /// The sampled points used during compilation.
+    pub samples: SampleSet,
+}
+
+impl CompilationResult {
+    /// The most accurate implementation.
+    pub fn most_accurate(&self) -> &Implementation {
+        self.implementations
+            .iter()
+            .min_by(|a, b| {
+                a.error_bits
+                    .partial_cmp(&b.error_bits)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .expect("at least one implementation")
+    }
+
+    /// The cheapest implementation.
+    pub fn cheapest(&self) -> &Implementation {
+        self.implementations
+            .iter()
+            .min_by(|a, b| a.cost.partial_cmp(&b.cost).unwrap_or(std::cmp::Ordering::Equal))
+            .expect("at least one implementation")
+    }
+
+    /// Estimated speedup of the cheapest implementation over the initial program
+    /// (cost ratio; the cost model is inversely related to speed).
+    pub fn best_speedup(&self) -> f64 {
+        self.initial.cost / self.cheapest().cost.max(f64::MIN_POSITIVE)
+    }
+}
+
+/// The Chassis compiler for one target.
+#[derive(Clone, Debug)]
+pub struct Chassis {
+    target: Target,
+    config: Config,
+}
+
+impl Chassis {
+    /// A compiler for `target` with the default configuration.
+    pub fn new(target: Target) -> Chassis {
+        Chassis {
+            target,
+            config: Config::default(),
+        }
+    }
+
+    /// Overrides the configuration (builder style).
+    pub fn with_config(mut self, config: Config) -> Chassis {
+        self.config = config;
+        self
+    }
+
+    /// The target this compiler produces code for.
+    pub fn target(&self) -> &Target {
+        &self.target
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &Config {
+        &self.config
+    }
+
+    /// Produces the initial program: the direct lowering when possible, otherwise
+    /// the cheapest program found by instruction selection on the whole body
+    /// (this is what makes expressions with, say, transcendental functions
+    /// compilable to targets that lack them only if an equivalent form exists).
+    fn initial_program(&self, core: &FPCore) -> Result<FloatExpr, CompileError> {
+        match lower_fpcore(core, &self.target) {
+            Ok(prog) => Ok(prog),
+            Err(LowerError::UnsupportedOperator(op, ty)) => {
+                let selector = InstructionSelector::new(&self.target, self.config.improve.isel);
+                let vars = variable_types(core);
+                let result = selector.run(&core.body, &vars, core.precision);
+                result
+                    .best
+                    .get(&core.precision)
+                    .cloned()
+                    .ok_or_else(|| CompileError::Unsupported(format!("{op} at {ty}")))
+            }
+        }
+    }
+
+    /// Compiles an FPCore benchmark to a Pareto frontier of implementations.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompileError::Sampling`] when no valid inputs exist and
+    /// [`CompileError::Unsupported`] when the expression cannot be expressed with
+    /// the target's operators at all.
+    pub fn compile(&self, core: &FPCore) -> Result<CompilationResult, CompileError> {
+        let mut sampler = Sampler::new(self.config.seed);
+        let samples = sampler.sample(core, self.config.train_points, self.config.test_points)?;
+        let var_types = variable_types(core);
+
+        let initial = self.initial_program(core)?;
+        let mut frontier = improve(
+            &self.target,
+            initial.clone(),
+            &samples,
+            &var_types,
+            &self.config.improve,
+        );
+
+        if self.config.regimes {
+            if let Some((branched, cost, err)) = infer_regimes(&self.target, &frontier, &samples) {
+                frontier.insert(
+                    cost,
+                    err,
+                    Candidate {
+                        expr: branched,
+                        cost,
+                        error_bits: err,
+                    },
+                );
+            }
+        }
+
+        // Final evaluation on the held-out test points.
+        let implementations: Vec<Implementation> = frontier
+            .into_sorted()
+            .into_iter()
+            .map(|(cost, _, candidate)| self.describe(candidate.expr, cost, &samples))
+            .collect();
+        let initial_cost = program_cost(&self.target, &initial);
+        let initial_impl = self.describe(initial, initial_cost, &samples);
+        Ok(CompilationResult {
+            implementations,
+            initial: initial_impl,
+            samples,
+        })
+    }
+
+    fn describe(&self, expr: FloatExpr, cost: f64, samples: &SampleSet) -> Implementation {
+        let (error_bits, accuracy_bits) = accuracy::evaluate_on_test(&self.target, &expr, samples);
+        Implementation {
+            rendered: expr.render(&self.target),
+            expr,
+            cost,
+            error_bits,
+            accuracy_bits,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fpcore::parse_fpcore;
+    use targets::builtin;
+
+    #[test]
+    fn compiles_the_quickstart_example_end_to_end() {
+        let core = parse_fpcore(
+            "(FPCore (x) :pre (and (> x 1) (< x 1e14)) (- (sqrt (+ x 1)) (sqrt x)))",
+        )
+        .unwrap();
+        let target = builtin::by_name("c99").unwrap();
+        let result = Chassis::new(target)
+            .with_config(Config::fast())
+            .compile(&core)
+            .unwrap();
+        assert!(!result.implementations.is_empty());
+        // The most accurate implementation should beat the naive lowering by a
+        // wide margin on this classic cancellation example.
+        assert!(
+            result.most_accurate().error_bits + 5.0 < result.initial.error_bits,
+            "expected accuracy improvement: best {:.1} vs initial {:.1}",
+            result.most_accurate().error_bits,
+            result.initial.error_bits
+        );
+        // Implementations are sorted by cost.
+        let costs: Vec<f64> = result.implementations.iter().map(|i| i.cost).collect();
+        let mut sorted = costs.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(costs, sorted);
+    }
+
+    #[test]
+    fn unsupported_expressions_are_reported() {
+        // sin cannot be implemented on the bare Arith target.
+        let core = parse_fpcore("(FPCore (x) (sin x))").unwrap();
+        let target = builtin::by_name("arith").unwrap();
+        let result = Chassis::new(target).with_config(Config::fast()).compile(&core);
+        assert!(matches!(result, Err(CompileError::Unsupported(_))));
+    }
+
+    #[test]
+    fn impossible_preconditions_fail_sampling() {
+        let core = parse_fpcore("(FPCore (x) :pre (< x (- x 1)) (+ x 1))").unwrap();
+        let target = builtin::by_name("c99").unwrap();
+        let result = Chassis::new(target).with_config(Config::fast()).compile(&core);
+        assert!(matches!(result, Err(CompileError::Sampling(_))));
+    }
+}

@@ -1,0 +1,316 @@
+//! Instruction selection modulo equivalence (paper Section 5.1).
+//!
+//! Given a real expression and a target, Chassis builds an e-graph seeded with
+//! the expression, then saturates it with
+//!
+//! 1. the target-independent mathematical identity rules ([`crate::rules`]), and
+//! 2. *desugaring rules* derived from the target description: for every operator
+//!    `op` with desugaring `D(a0, ..., an)`, the bidirectional rewrite
+//!    `D(?a0, ..., ?an)  ⇌  op(?a0, ..., ?an)`.
+//!
+//! The resulting e-graph contains mixed real/float terms in which each e-class
+//! denotes equivalence of real values; typed extraction then recovers well-typed
+//! floating-point programs.
+
+use crate::lang::{expr_to_rec, ChassisNode};
+use crate::rules;
+use crate::typed_extract::TypedExtractor;
+use egraph::{EGraph, Id, NoAnalysis, Pattern, PatternNode, Rewrite, RunReport, Runner, RunnerLimits};
+use fpcore::{Expr, FpType, Symbol};
+use std::collections::HashMap;
+use std::time::Duration;
+use targets::operator::arg_symbol;
+use targets::{FloatExpr, Target};
+
+/// Resource limits for one instruction-selection run.
+#[derive(Clone, Copy, Debug)]
+pub struct IselConfig {
+    /// E-graph node limit (the paper uses 8000).
+    pub node_limit: usize,
+    /// Saturation iteration limit.
+    pub iter_limit: usize,
+    /// Wall-clock budget.
+    pub time_limit: Duration,
+    /// Cap on candidates returned by multi-extraction (the paper reports ~40).
+    pub max_candidates: usize,
+}
+
+impl Default for IselConfig {
+    fn default() -> Self {
+        IselConfig {
+            node_limit: 8_000,
+            iter_limit: 6,
+            time_limit: Duration::from_millis(1_500),
+            max_candidates: 40,
+        }
+    }
+}
+
+/// The outcome of an instruction-selection run on one (sub)expression.
+#[derive(Clone, Debug)]
+pub struct IselResult {
+    /// The lowest-cost program for each floating-point type.
+    pub best: HashMap<FpType, FloatExpr>,
+    /// All candidate programs from multi-extraction at the requested type.
+    pub candidates: Vec<FloatExpr>,
+    /// Saturation statistics.
+    pub report: RunReport,
+}
+
+/// The instruction selector for one target.
+pub struct InstructionSelector<'a> {
+    target: &'a Target,
+    rules: Vec<Rewrite<ChassisNode, NoAnalysis>>,
+    config: IselConfig,
+}
+
+/// Builds the desugaring rewrites for every operator of a target.
+pub fn desugaring_rules(target: &Target) -> Vec<Rewrite<ChassisNode, NoAnalysis>> {
+    let mut out = Vec::new();
+    for id in target.operator_ids() {
+        let op = target.operator(id);
+        let lhs = rules::pattern_from_expr(&op.desugaring);
+        // The float side: op applied to the desugaring's argument metavariables.
+        let mut nodes: Vec<PatternNode<ChassisNode>> = Vec::new();
+        let mut children = Vec::new();
+        for i in 0..op.arity() {
+            nodes.push(PatternNode::Var(egraph::PatVar::new(
+                arg_symbol(i).as_str(),
+            )));
+            children.push(Id::from(i));
+        }
+        nodes.push(PatternNode::ENode(ChassisNode::Float(id, children)));
+        let rhs = Pattern::from_nodes(nodes);
+        // Only emit the lowering direction when the desugaring actually mentions
+        // every argument (otherwise the rhs would have unbound metavariables —
+        // e.g. a hypothetical operator ignoring an argument).
+        let lhs_vars = lhs.variables();
+        let all_bound = (0..op.arity())
+            .all(|i| lhs_vars.contains(&egraph::PatVar::new(arg_symbol(i).as_str())));
+        if all_bound {
+            out.push(Rewrite::new(
+                format!("lower-{}", op.name),
+                lhs.clone(),
+                rhs.clone(),
+            ));
+        }
+        // The desugaring direction is always valid.
+        out.push(Rewrite::new(format!("desugar-{}", op.name), rhs, lhs));
+    }
+    out
+}
+
+impl<'a> InstructionSelector<'a> {
+    /// Creates a selector for `target` with the full mathematical rule set plus
+    /// the target's desugaring rules.
+    pub fn new(target: &'a Target, config: IselConfig) -> Self {
+        let mut all_rules = rules::full_rules::<NoAnalysis>();
+        all_rules.extend(desugaring_rules(target));
+        InstructionSelector {
+            target,
+            rules: all_rules,
+            config,
+        }
+    }
+
+    /// A selector that only uses the simplifying rule subset (for the
+    /// cost-opportunity analysis).
+    pub fn simplifying(target: &'a Target, config: IselConfig) -> Self {
+        let mut all_rules = rules::simplifying_rules::<NoAnalysis>();
+        all_rules.extend(desugaring_rules(target));
+        InstructionSelector {
+            target,
+            rules: all_rules,
+            config,
+        }
+    }
+
+    /// The number of rewrite rules in use.
+    pub fn rule_count(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// Runs instruction selection modulo equivalence on a real expression,
+    /// extracting programs of the given output type.
+    pub fn run(
+        &self,
+        expr: &Expr,
+        var_types: &HashMap<Symbol, FpType>,
+        output: FpType,
+    ) -> IselResult {
+        let rec = expr_to_rec(expr);
+        let mut egraph: EGraph<ChassisNode, NoAnalysis> = EGraph::default();
+        let root = egraph.add_expr(&rec);
+        let limits = RunnerLimits {
+            iter_limit: self.config.iter_limit,
+            node_limit: self.config.node_limit,
+            time_limit: self.config.time_limit,
+            ..RunnerLimits::default()
+        };
+        let report = Runner::with_limits(limits).run(&mut egraph, &self.rules);
+
+        let extractor = TypedExtractor::new(&egraph, self.target, var_types);
+        let mut best = HashMap::new();
+        for ty in FpType::numeric() {
+            if let Some(expr) = extractor.extract_best(root, ty) {
+                best.insert(ty, expr);
+            }
+        }
+        let mut candidates = extractor.extract_all(root, output);
+        // Ensure the globally-cheapest program is always among the candidates.
+        if let Some(b) = best.get(&output) {
+            if !candidates.contains(b) {
+                candidates.push(b.clone());
+            }
+        }
+        candidates.truncate(self.config.max_candidates);
+        IselResult {
+            best,
+            candidates,
+            report,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fpcore::parse_expr;
+    use targets::builtin;
+    use targets::program_cost;
+
+    fn var_types(vars: &[&str]) -> HashMap<Symbol, FpType> {
+        vars.iter()
+            .map(|n| (Symbol::new(n), FpType::Binary64))
+            .collect()
+    }
+
+    fn run_on(target_name: &str, src: &str, vars: &[&str]) -> (IselResult, targets::Target) {
+        let target = builtin::by_name(target_name).unwrap();
+        let selector = InstructionSelector::new(&target, IselConfig::default());
+        let result = selector.run(
+            &parse_expr(src).unwrap(),
+            &var_types(vars),
+            FpType::Binary64,
+        );
+        (result, target)
+    }
+
+    #[test]
+    fn lowers_simple_arithmetic_on_every_target() {
+        for name in ["arith", "c99", "python", "julia", "numpy", "fdlibm", "vdt"] {
+            let (result, target) = run_on(name, "(+ (* x x) 1)", &["x"]);
+            let best = result
+                .best
+                .get(&FpType::Binary64)
+                .unwrap_or_else(|| panic!("no lowering on {name}"));
+            // Whatever operators were chosen, the program must still compute x²+1.
+            let env: std::collections::HashMap<Symbol, f64> =
+                [(Symbol::new("x"), 3.0)].into_iter().collect();
+            let out = targets::eval_float_expr(&target, best, &env);
+            assert!((out - 10.0).abs() < 1e-9, "{name}: {} gave {out}", best.render(&target));
+        }
+    }
+
+    #[test]
+    fn selects_fma_when_available() {
+        let (result, target) = run_on("arith-fma", "(+ (* x y) z)", &["x", "y", "z"]);
+        let best = result.best.get(&FpType::Binary64).unwrap();
+        assert!(
+            best.render(&target).contains("fma.f64"),
+            "expected an fma, got {}",
+            best.render(&target)
+        );
+        // The plain mul+add version must also be among the candidates.
+        assert!(result.candidates.len() >= 2);
+    }
+
+    #[test]
+    fn avx_uses_rcp_for_reciprocals_in_single_precision() {
+        let target = builtin::by_name("avx").unwrap();
+        let selector = InstructionSelector::new(&target, IselConfig::default());
+        let vars: HashMap<Symbol, FpType> =
+            [(Symbol::new("x"), FpType::Binary32)].into_iter().collect();
+        let result = selector.run(
+            &parse_expr("(/ 1 x)").unwrap(),
+            &vars,
+            FpType::Binary32,
+        );
+        let best = result.best.get(&FpType::Binary32).unwrap();
+        assert!(
+            best.render(&target).contains("rcp.f32"),
+            "expected rcpps, got {}",
+            best.render(&target)
+        );
+        let div_version = result
+            .candidates
+            .iter()
+            .find(|c| c.render(&target).contains("/.f32"));
+        assert!(div_version.is_some(), "the exact division must remain a candidate");
+        let rcp_cost = program_cost(&target, best);
+        let div_cost = program_cost(&target, div_version.unwrap());
+        assert!(rcp_cost < div_cost);
+    }
+
+    #[test]
+    fn julia_selects_log1p_helper() {
+        let (result, target) = run_on("julia", "(log (+ 1 x))", &["x"]);
+        let best = result.best.get(&FpType::Binary64).unwrap();
+        assert!(
+            best.render(&target).contains("log1p.f64"),
+            "expected log1p, got {}",
+            best.render(&target)
+        );
+    }
+
+    #[test]
+    fn fdlibm_selects_log1pmd_for_the_acoth_kernel() {
+        // The paper's overview example: log1p(x) - log1p(-x) should become a
+        // single call to the library-internal log1pmd operator.
+        let (result, target) = run_on("fdlibm", "(- (log1p x) (log1p (- x)))", &["x"]);
+        let best = result.best.get(&FpType::Binary64).unwrap();
+        assert!(
+            best.render(&target).contains("log1pmd.f64"),
+            "expected log1pmd, got {}",
+            best.render(&target)
+        );
+    }
+
+    #[test]
+    fn desugaring_is_preserved_by_all_candidates() {
+        let (result, target) = run_on("c99", "(- (sqrt (+ x 1)) (sqrt x))", &["x"]);
+        assert!(!result.candidates.is_empty());
+        // Every candidate must desugar to a real expression; spot-check that the
+        // desugarings mention the input variable and are valid expressions.
+        for candidate in &result.candidates {
+            let desugared = candidate.desugar(&target);
+            assert!(desugared.variables().contains(&Symbol::new("x")));
+        }
+    }
+
+    #[test]
+    fn respects_node_limit() {
+        let target = builtin::by_name("c99").unwrap();
+        let config = IselConfig {
+            node_limit: 50,
+            ..IselConfig::default()
+        };
+        let selector = InstructionSelector::new(&target, config);
+        let result = selector.run(
+            &parse_expr("(+ (* a b) (+ (* c d) (* e f)))").unwrap(),
+            &var_types(&["a", "b", "c", "d", "e", "f"]),
+            FpType::Binary64,
+        );
+        assert!(result.report.nodes <= 200, "node limit should bound growth");
+    }
+
+    #[test]
+    fn desugaring_rules_cover_every_operator() {
+        for name in ["avx", "julia", "vdt"] {
+            let target = builtin::by_name(name).unwrap();
+            let rules = desugaring_rules(&target);
+            // At least one rule per operator (the desugar direction always exists).
+            assert!(rules.len() >= target.operators.len());
+        }
+    }
+}

@@ -1,0 +1,219 @@
+//! The mixed real/float e-graph language (paper Section 5.1).
+//!
+//! Chassis performs equality saturation over expressions that freely mix
+//! real-number operators (whose e-classes denote equivalence of real values) and
+//! target-specific floating-point operators (related to the real fragment through
+//! their desugarings). [`ChassisNode`] is the e-node type; conversions to and from
+//! [`fpcore::Expr`] and [`targets::FloatExpr`] live here too.
+
+use egraph::{Id, Language, RecExpr};
+use fpcore::{Constant, Expr, RealOp, Symbol};
+use targets::{FloatExpr, OpId, Target};
+
+/// An e-node of the mixed real/float language.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub enum ChassisNode {
+    /// A real-number literal.
+    Num(Constant),
+    /// A free variable.
+    Var(Symbol),
+    /// A real-number operator applied to e-classes.
+    Real(RealOp, Vec<Id>),
+    /// A target-specific floating-point operator applied to e-classes.
+    Float(OpId, Vec<Id>),
+    /// A conditional (kept opaque during instruction selection).
+    If([Id; 3]),
+}
+
+impl Language for ChassisNode {
+    fn children(&self) -> &[Id] {
+        match self {
+            ChassisNode::Num(_) | ChassisNode::Var(_) => &[],
+            ChassisNode::Real(_, c) | ChassisNode::Float(_, c) => c,
+            ChassisNode::If(c) => c,
+        }
+    }
+
+    fn children_mut(&mut self) -> &mut [Id] {
+        match self {
+            ChassisNode::Num(_) | ChassisNode::Var(_) => &mut [],
+            ChassisNode::Real(_, c) | ChassisNode::Float(_, c) => c,
+            ChassisNode::If(c) => c,
+        }
+    }
+
+    fn matches_op(&self, other: &Self) -> bool {
+        match (self, other) {
+            (ChassisNode::Num(a), ChassisNode::Num(b)) => a == b,
+            (ChassisNode::Var(a), ChassisNode::Var(b)) => a == b,
+            (ChassisNode::Real(a, ca), ChassisNode::Real(b, cb)) => a == b && ca.len() == cb.len(),
+            (ChassisNode::Float(a, ca), ChassisNode::Float(b, cb)) => {
+                a == b && ca.len() == cb.len()
+            }
+            (ChassisNode::If(_), ChassisNode::If(_)) => true,
+            _ => false,
+        }
+    }
+}
+
+/// Converts a real expression into a flattened [`RecExpr`] over [`ChassisNode`]s.
+pub fn expr_to_rec(expr: &Expr) -> RecExpr<ChassisNode> {
+    fn go(expr: &Expr, out: &mut RecExpr<ChassisNode>) -> Id {
+        match expr {
+            Expr::Num(c) => out.add(ChassisNode::Num(*c)),
+            Expr::Var(v) => out.add(ChassisNode::Var(*v)),
+            Expr::Op(op, args) => {
+                let children: Vec<Id> = args.iter().map(|a| go(a, out)).collect();
+                out.add(ChassisNode::Real(*op, children))
+            }
+            Expr::If(c, t, e) => {
+                let c = go(c, out);
+                let t = go(t, out);
+                let e = go(e, out);
+                out.add(ChassisNode::If([c, t, e]))
+            }
+        }
+    }
+    let mut out = RecExpr::new();
+    go(expr, &mut out);
+    out
+}
+
+/// Converts a [`RecExpr`] back to a real expression.
+///
+/// # Panics
+///
+/// Panics if the term contains floating-point operators (use
+/// [`rec_to_float_expr`] for those).
+pub fn rec_to_expr(rec: &RecExpr<ChassisNode>, root: Id) -> Expr {
+    match rec.node(root) {
+        ChassisNode::Num(c) => Expr::Num(*c),
+        ChassisNode::Var(v) => Expr::Var(*v),
+        ChassisNode::Real(op, children) => Expr::Op(
+            *op,
+            children.iter().map(|&c| rec_to_expr(rec, c)).collect(),
+        ),
+        ChassisNode::If([c, t, e]) => Expr::If(
+            Box::new(rec_to_expr(rec, *c)),
+            Box::new(rec_to_expr(rec, *t)),
+            Box::new(rec_to_expr(rec, *e)),
+        ),
+        ChassisNode::Float(_, _) => panic!("rec_to_expr called on a floating-point term"),
+    }
+}
+
+/// Converts a purely floating-point [`RecExpr`] into a target program.
+///
+/// Numeric literals and variables are given the type expected by their context
+/// (`expected` for the root). Returns `None` if a real operator remains in the
+/// term (i.e. the term is not a valid lowering).
+pub fn rec_to_float_expr(
+    rec: &RecExpr<ChassisNode>,
+    root: Id,
+    target: &Target,
+    expected: fpcore::FpType,
+) -> Option<FloatExpr> {
+    match rec.node(root) {
+        ChassisNode::Num(c) => Some(FloatExpr::literal(c.to_f64(), expected)),
+        ChassisNode::Var(v) => Some(FloatExpr::Var(*v, expected)),
+        ChassisNode::Float(op, children) => {
+            let operator = target.operator(*op);
+            let args: Option<Vec<FloatExpr>> = children
+                .iter()
+                .zip(&operator.arg_types)
+                .map(|(&c, ty)| rec_to_float_expr(rec, c, target, *ty))
+                .collect();
+            Some(FloatExpr::Op(*op, args?))
+        }
+        ChassisNode::Real(_, _) | ChassisNode::If(_) => None,
+    }
+}
+
+/// Converts a target program into a flattened mixed-language term (all nodes are
+/// `Float`, `Num`, or `Var`).
+pub fn float_expr_to_rec(expr: &FloatExpr, target: &Target) -> RecExpr<ChassisNode> {
+    fn go(expr: &FloatExpr, target: &Target, out: &mut RecExpr<ChassisNode>) -> Id {
+        match expr {
+            FloatExpr::Num(v, _) => {
+                let c = fpcore::Rational::from_f64(*v)
+                    .map(Constant::Rational)
+                    .unwrap_or(Constant::Nan);
+                out.add(ChassisNode::Num(c))
+            }
+            FloatExpr::Var(v, _) => out.add(ChassisNode::Var(*v)),
+            FloatExpr::Op(id, args) => {
+                let children: Vec<Id> = args.iter().map(|a| go(a, target, out)).collect();
+                out.add(ChassisNode::Float(*id, children))
+            }
+            FloatExpr::Cmp(op, a, b) => {
+                let a = go(a, target, out);
+                let b = go(b, target, out);
+                out.add(ChassisNode::Real(*op, vec![a, b]))
+            }
+            FloatExpr::If(c, t, e) => {
+                let c = go(c, target, out);
+                let t = go(t, target, out);
+                let e = go(e, target, out);
+                out.add(ChassisNode::If([c, t, e]))
+            }
+        }
+    }
+    let mut out = RecExpr::new();
+    go(expr, target, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fpcore::parse_expr;
+    use fpcore::FpType::Binary64;
+    use targets::builtin;
+
+    #[test]
+    fn expr_round_trip() {
+        for src in ["(+ x 1)", "(if (< x 0) (- x) x)", "(sqrt (* x x))", "(fma a b c)"] {
+            let e = parse_expr(src).unwrap();
+            let rec = expr_to_rec(&e);
+            assert_eq!(rec_to_expr(&rec, rec.root()), e, "round trip of {src}");
+        }
+    }
+
+    #[test]
+    fn matches_op_distinguishes_operators() {
+        let a = ChassisNode::Real(RealOp::Add, vec![Id::from(0usize), Id::from(1usize)]);
+        let b = ChassisNode::Real(RealOp::Add, vec![Id::from(2usize), Id::from(3usize)]);
+        let c = ChassisNode::Real(RealOp::Mul, vec![Id::from(0usize), Id::from(1usize)]);
+        assert!(a.matches_op(&b));
+        assert!(!a.matches_op(&c));
+        let f = ChassisNode::Float(OpId(0), vec![Id::from(0usize)]);
+        let g = ChassisNode::Float(OpId(1), vec![Id::from(0usize)]);
+        assert!(!f.matches_op(&g));
+        assert!(!f.matches_op(&a));
+    }
+
+    #[test]
+    fn float_expr_round_trip_through_rec() {
+        let t = builtin::by_name("c99").unwrap();
+        let add = t.find_operator("+.f64").unwrap();
+        let exp = t.find_operator("exp.f64").unwrap();
+        let prog = FloatExpr::Op(
+            add,
+            vec![
+                FloatExpr::Op(exp, vec![FloatExpr::Var(Symbol::new("x"), Binary64)]),
+                FloatExpr::literal(1.0, Binary64),
+            ],
+        );
+        let rec = float_expr_to_rec(&prog, &t);
+        let back = rec_to_float_expr(&rec, rec.root(), &t, Binary64).unwrap();
+        assert_eq!(back.desugar(&t), prog.desugar(&t));
+    }
+
+    #[test]
+    fn mixed_terms_are_not_valid_lowerings() {
+        let t = builtin::by_name("c99").unwrap();
+        let e = parse_expr("(+ x 1)").unwrap();
+        let rec = expr_to_rec(&e);
+        assert!(rec_to_float_expr(&rec, rec.root(), &t, Binary64).is_none());
+    }
+}

@@ -1,0 +1,168 @@
+//! The local error heuristic (paper Section 5.2, originally from Herbie).
+//!
+//! Local error measures how much error each *operator* introduces in isolation:
+//! for an operator node `f(c1, ..., cn)`, evaluate the children exactly (ground
+//! truth of their desugarings), round them to the operator's argument types,
+//! apply the target's floating-point operator, and compare against the correctly
+//! rounded value of the node's own desugaring. Operators are therefore not blamed
+//! for error introduced by their arguments.
+
+use crate::sample::SampleSet;
+use fpcore::Symbol;
+use rival::{Evaluator, GroundTruth};
+use targets::operator::round_to_type;
+use targets::{FloatExpr, Target};
+
+/// A subexpression of a candidate paired with its heuristic score.
+#[derive(Clone, Debug)]
+pub struct ScoredSubexpr {
+    /// The operator subexpression (a [`FloatExpr::Op`] node).
+    pub expr: FloatExpr,
+    /// The score (mean bits of local error, or cost-opportunity units).
+    pub score: f64,
+}
+
+/// Enumerates the operator subexpressions of a program, innermost first.
+pub fn operator_subexpressions(expr: &FloatExpr) -> Vec<FloatExpr> {
+    fn walk(expr: &FloatExpr, out: &mut Vec<FloatExpr>) {
+        match expr {
+            FloatExpr::Num(_, _) | FloatExpr::Var(_, _) => {}
+            FloatExpr::Op(_, args) => {
+                for a in args {
+                    walk(a, out);
+                }
+                if !out.contains(expr) {
+                    out.push(expr.clone());
+                }
+            }
+            FloatExpr::Cmp(_, a, b) => {
+                walk(a, out);
+                walk(b, out);
+            }
+            FloatExpr::If(c, t, e) => {
+                walk(c, out);
+                walk(t, out);
+                walk(e, out);
+            }
+        }
+    }
+    let mut out = Vec::new();
+    walk(expr, &mut out);
+    out
+}
+
+/// Computes the local error of every operator subexpression of `candidate`,
+/// averaged over the training points. Returns one entry per distinct operator
+/// node, sorted by decreasing score.
+pub fn local_errors(
+    target: &Target,
+    candidate: &FloatExpr,
+    samples: &SampleSet,
+) -> Vec<ScoredSubexpr> {
+    let evaluator = Evaluator::with_precisions(vec![96, 192, 384]);
+    let subexprs = operator_subexpressions(candidate);
+    let mut scored = Vec::with_capacity(subexprs.len());
+    for sub in subexprs {
+        let (op_id, args) = match &sub {
+            FloatExpr::Op(id, args) => (*id, args),
+            _ => continue,
+        };
+        let op = target.operator(op_id);
+        let node_real = sub.desugar(target);
+        let arg_reals: Vec<fpcore::Expr> = args.iter().map(|a| a.desugar(target)).collect();
+        let mut total = 0.0;
+        let mut counted = 0usize;
+        for point in &samples.train {
+            let env: Vec<(Symbol, f64)> = samples
+                .vars
+                .iter()
+                .copied()
+                .zip(point.iter().copied())
+                .collect();
+            // Exact value of the node itself.
+            let exact_node = match evaluator.eval(&node_real, &env, op.ret_type) {
+                GroundTruth::Value(v) => v,
+                GroundTruth::Nan => f64::NAN,
+                GroundTruth::Unsamplable => continue,
+            };
+            // Exact values of the arguments, rounded to the argument types.
+            let mut exact_args = Vec::with_capacity(arg_reals.len());
+            let mut ok = true;
+            for (real, ty) in arg_reals.iter().zip(&op.arg_types) {
+                match evaluator.eval(real, &env, *ty) {
+                    GroundTruth::Value(v) => exact_args.push(round_to_type(v, *ty)),
+                    GroundTruth::Nan => exact_args.push(f64::NAN),
+                    GroundTruth::Unsamplable => {
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+            if !ok {
+                continue;
+            }
+            let local_out = op.execute(&exact_args);
+            total += crate::accuracy::bits_of_error(local_out, exact_node, op.ret_type);
+            counted += 1;
+        }
+        let score = if counted == 0 {
+            0.0
+        } else {
+            total / counted as f64
+        };
+        scored.push(ScoredSubexpr { expr: sub, score });
+    }
+    scored.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal));
+    scored
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower::lower_fpcore;
+    use crate::sample::Sampler;
+    use fpcore::parse_fpcore;
+    use targets::builtin;
+
+    #[test]
+    fn subexpression_enumeration() {
+        let t = builtin::by_name("c99").unwrap();
+        let core = parse_fpcore("(FPCore (x) (- (sqrt (+ x 1)) (sqrt x)))").unwrap();
+        let prog = lower_fpcore(&core, &t).unwrap();
+        let subs = operator_subexpressions(&prog);
+        // +, sqrt(x+1), sqrt(x), and the outer subtraction.
+        assert_eq!(subs.len(), 4);
+        // Innermost-first: the addition comes before the outer subtraction.
+        assert!(subs[0].size() < subs.last().unwrap().size());
+    }
+
+    #[test]
+    fn cancellation_blames_the_subtraction() {
+        let t = builtin::by_name("c99").unwrap();
+        let core = parse_fpcore(
+            "(FPCore (x) :pre (and (> x 1e10) (< x 1e15)) (- (sqrt (+ x 1)) (sqrt x)))",
+        )
+        .unwrap();
+        let prog = lower_fpcore(&core, &t).unwrap();
+        let samples = Sampler::new(1).sample(&core, 8, 2).unwrap();
+        let scored = local_errors(&t, &prog, &samples);
+        assert!(!scored.is_empty());
+        // The highest-scoring node must be the outer subtraction: the square roots
+        // and the addition are individually accurate; the subtraction cancels.
+        let worst = &scored[0];
+        let rendered = worst.expr.render(&t);
+        assert!(
+            rendered.starts_with("(-.f64"),
+            "expected the subtraction to be blamed, got {rendered} (score {})",
+            worst.score
+        );
+        assert!(worst.score > 5.0, "cancellation should cost many bits");
+        // The addition x+1 introduces almost no local error.
+        let add_score = scored
+            .iter()
+            .find(|s| s.expr.render(&t).starts_with("(+.f64"))
+            .map(|s| s.score)
+            .unwrap_or(0.0);
+        assert!(add_score < 1.0, "x+1 is locally accurate, got {add_score}");
+    }
+}

@@ -1,0 +1,318 @@
+//! Direct lowering of real expressions to target programs.
+//!
+//! Direct lowering maps each real operator to the target operator whose
+//! desugaring is exactly that operator applied to its arguments (e.g. `+` lowers
+//! to `+.f64`). It is used for the initial candidate program, for transcribing
+//! Herbie's target-agnostic output onto a target (Section 6.3), and by the
+//! traditional-compiler baseline. Operators with no direct counterpart can first
+//! be *desugared* into simpler operators (`fma(a,b,c)` → `a*b+c`) exactly as the
+//! paper does when porting Herbie output.
+
+use fpcore::{Expr, FpType, RealOp, Symbol};
+use std::collections::HashMap;
+use targets::operator::arg_symbol;
+use targets::{FloatExpr, OpId, Target};
+
+/// Why an expression could not be lowered onto a target.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum LowerError {
+    /// No operator on the target implements this real operator at this type.
+    UnsupportedOperator(RealOp, FpType),
+}
+
+impl std::fmt::Display for LowerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LowerError::UnsupportedOperator(op, ty) => {
+                write!(f, "operator {op} is not available at {ty} on this target")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LowerError {}
+
+/// An index from real operators to the target operators that implement them
+/// directly (i.e. whose desugaring is `op(a0, ..., an)`).
+#[derive(Clone, Debug)]
+pub struct DirectLowering {
+    index: HashMap<(RealOp, FpType), OpId>,
+}
+
+impl DirectLowering {
+    /// Builds the index for a target.
+    pub fn new(target: &Target) -> DirectLowering {
+        let mut index = HashMap::new();
+        for id in target.operator_ids() {
+            let op = target.operator(id);
+            if let Expr::Op(real, args) = &op.desugaring {
+                let is_direct = args.len() == op.arity()
+                    && args
+                        .iter()
+                        .enumerate()
+                        .all(|(i, a)| *a == Expr::Var(arg_symbol(i)));
+                if is_direct {
+                    index.entry((*real, op.ret_type)).or_insert(id);
+                }
+            }
+        }
+        DirectLowering { index }
+    }
+
+    /// The operator directly implementing `op` at type `ty`, if any.
+    pub fn operator_for(&self, op: RealOp, ty: FpType) -> Option<OpId> {
+        self.index.get(&(op, ty)).copied()
+    }
+
+    /// Lowers a real expression to a target program at type `ty`.
+    ///
+    /// Conditionals lower to [`FloatExpr::If`] with comparisons kept as
+    /// comparisons; numeric operators must be directly available.
+    pub fn lower(&self, expr: &Expr, ty: FpType) -> Result<FloatExpr, LowerError> {
+        match expr {
+            Expr::Num(c) => Ok(FloatExpr::literal(c.to_f64(), ty)),
+            Expr::Var(v) => Ok(FloatExpr::Var(*v, ty)),
+            Expr::If(c, t, e) => Ok(FloatExpr::If(
+                Box::new(self.lower_condition(c, ty)?),
+                Box::new(self.lower(t, ty)?),
+                Box::new(self.lower(e, ty)?),
+            )),
+            Expr::Op(op, args) if op.is_comparison() || op.is_boolean_connective() => {
+                self.lower_condition(expr, ty)
+            }
+            Expr::Op(op, args) => {
+                let lowered_args: Result<Vec<FloatExpr>, LowerError> =
+                    args.iter().map(|a| self.lower(a, ty)).collect();
+                let lowered_args = lowered_args?;
+                if let Some(id) = self.operator_for(*op, ty) {
+                    return Ok(FloatExpr::Op(id, lowered_args));
+                }
+                Err(LowerError::UnsupportedOperator(*op, ty))
+            }
+        }
+    }
+
+    fn lower_condition(&self, expr: &Expr, ty: FpType) -> Result<FloatExpr, LowerError> {
+        match expr {
+            Expr::Op(op, args) if op.is_comparison() => Ok(FloatExpr::Cmp(
+                *op,
+                Box::new(self.lower(&args[0], ty)?),
+                Box::new(self.lower(&args[1], ty)?),
+            )),
+            // Boolean connectives are encoded with nested conditionals so that the
+            // output stays within the FloatExpr vocabulary every target supports.
+            Expr::Op(RealOp::And, args) => Ok(FloatExpr::If(
+                Box::new(self.lower_condition(&args[0], ty)?),
+                Box::new(self.lower_condition(&args[1], ty)?),
+                Box::new(FloatExpr::literal(0.0, ty)),
+            )),
+            Expr::Op(RealOp::Or, args) => Ok(FloatExpr::If(
+                Box::new(self.lower_condition(&args[0], ty)?),
+                Box::new(FloatExpr::literal(1.0, ty)),
+                Box::new(self.lower_condition(&args[1], ty)?),
+            )),
+            Expr::Op(RealOp::Not, args) => Ok(FloatExpr::If(
+                Box::new(self.lower_condition(&args[0], ty)?),
+                Box::new(FloatExpr::literal(0.0, ty)),
+                Box::new(FloatExpr::literal(1.0, ty)),
+            )),
+            other => self.lower(other, ty),
+        }
+    }
+}
+
+/// Rewrites a real expression so that operators missing from the target are
+/// expressed through simpler ones (the "desugar unsupported operators" step used
+/// when porting Herbie output, Section 6.3). Returns the rewritten expression;
+/// operators that cannot be desugared are left in place and will surface as
+/// [`LowerError`]s during lowering.
+pub fn desugar_unsupported(expr: &Expr, lowering: &DirectLowering, ty: FpType) -> Expr {
+    let rewritten = match expr {
+        Expr::Num(_) | Expr::Var(_) => expr.clone(),
+        Expr::If(c, t, e) => Expr::If(
+            Box::new(desugar_unsupported(c, lowering, ty)),
+            Box::new(desugar_unsupported(t, lowering, ty)),
+            Box::new(desugar_unsupported(e, lowering, ty)),
+        ),
+        Expr::Op(op, args) => {
+            let args: Vec<Expr> = args
+                .iter()
+                .map(|a| desugar_unsupported(a, lowering, ty))
+                .collect();
+            Expr::Op(*op, args)
+        }
+    };
+    match &rewritten {
+        Expr::Op(op, args)
+            if !op.is_comparison()
+                && !op.is_boolean_connective()
+                && lowering.operator_for(*op, ty).is_none() =>
+        {
+            if let Some(replacement) = fallback_expansion(*op, args) {
+                desugar_unsupported(&replacement, lowering, ty)
+            } else {
+                rewritten
+            }
+        }
+        _ => rewritten,
+    }
+}
+
+/// A textbook expansion of an operator into simpler operators, used when a target
+/// lacks the operator entirely (e.g. `fma` on Python).
+fn fallback_expansion(op: RealOp, args: &[Expr]) -> Option<Expr> {
+    use RealOp::*;
+    let a = || args[0].clone();
+    let b = || args.get(1).cloned().unwrap_or_else(|| Expr::int(0));
+    let c = || args.get(2).cloned().unwrap_or_else(|| Expr::int(0));
+    let e = match op {
+        Fma => Expr::bin(Add, Expr::bin(Mul, a(), b()), c()),
+        Neg => Expr::bin(Sub, Expr::int(0), a()),
+        Hypot => Expr::un(
+            Sqrt,
+            Expr::bin(Add, Expr::bin(Mul, a(), a()), Expr::bin(Mul, b(), b())),
+        ),
+        Expm1 => Expr::bin(Sub, Expr::un(Exp, a()), Expr::int(1)),
+        Log1p => Expr::un(Log, Expr::bin(Add, Expr::int(1), a())),
+        Exp2 => Expr::bin(Pow, Expr::int(2), a()),
+        Log2 => Expr::bin(Div, Expr::un(Log, a()), Expr::un(Log, Expr::int(2))),
+        Log10 => Expr::bin(Div, Expr::un(Log, a()), Expr::un(Log, Expr::int(10))),
+        Cbrt => Expr::bin(Pow, a(), Expr::Num(fpcore::Constant::Rational(fpcore::Rational::new(1, 3)))),
+        Fdim => Expr::If(
+            Box::new(Expr::bin(Gt, a(), b())),
+            Box::new(Expr::bin(Sub, a(), b())),
+            Box::new(Expr::int(0)),
+        ),
+        Tan => Expr::bin(Div, Expr::un(Sin, a()), Expr::un(Cos, a())),
+        Sinh => Expr::bin(
+            Div,
+            Expr::bin(Sub, Expr::un(Exp, a()), Expr::un(Exp, Expr::un(Neg, a()))),
+            Expr::int(2),
+        ),
+        Cosh => Expr::bin(
+            Div,
+            Expr::bin(Add, Expr::un(Exp, a()), Expr::un(Exp, Expr::un(Neg, a()))),
+            Expr::int(2),
+        ),
+        Tanh => Expr::bin(Div, Expr::un(Sinh, a()), Expr::un(Cosh, a())),
+        Asinh => Expr::un(
+            Log,
+            Expr::bin(
+                Add,
+                a(),
+                Expr::un(Sqrt, Expr::bin(Add, Expr::bin(Mul, a(), a()), Expr::int(1))),
+            ),
+        ),
+        Acosh => Expr::un(
+            Log,
+            Expr::bin(
+                Add,
+                a(),
+                Expr::un(Sqrt, Expr::bin(Sub, Expr::bin(Mul, a(), a()), Expr::int(1))),
+            ),
+        ),
+        Atanh => Expr::bin(
+            Div,
+            Expr::un(
+                Log,
+                Expr::bin(Div, Expr::bin(Add, Expr::int(1), a()), Expr::bin(Sub, Expr::int(1), a())),
+            ),
+            Expr::int(2),
+        ),
+        Pow => Expr::un(Exp, Expr::bin(Mul, b(), Expr::un(Log, a()))),
+        Copysign | Fmod | Round | Trunc | Floor | Ceil | Fmin | Fmax => return None,
+        _ => return None,
+    };
+    Some(e)
+}
+
+/// Convenience: lowers an FPCore body directly, choosing the output type from the
+/// core's `:precision`.
+pub fn lower_fpcore(
+    core: &fpcore::FPCore,
+    target: &Target,
+) -> Result<FloatExpr, LowerError> {
+    let lowering = DirectLowering::new(target);
+    let desugared = desugar_unsupported(&core.body, &lowering, core.precision);
+    lowering.lower(&desugared, core.precision)
+}
+
+/// The variable types of an FPCore, as a map (used by typed extraction).
+pub fn variable_types(core: &fpcore::FPCore) -> HashMap<Symbol, FpType> {
+    core.args.iter().map(|(s, t)| (*s, *t)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fpcore::{parse_expr, parse_fpcore};
+    use targets::builtin;
+
+    #[test]
+    fn lowers_arithmetic_directly() {
+        let t = builtin::by_name("c99").unwrap();
+        let lowering = DirectLowering::new(&t);
+        let expr = parse_expr("(+ (* x x) (sqrt y))").unwrap();
+        let prog = lowering.lower(&expr, FpType::Binary64).unwrap();
+        assert_eq!(prog.desugar(&t), expr);
+        // Lowering at binary32 picks the f32 operators.
+        let prog32 = lowering.lower(&expr, FpType::Binary32).unwrap();
+        assert!(prog32.render(&t).contains(".f32"));
+    }
+
+    #[test]
+    fn missing_operators_are_reported() {
+        let t = builtin::by_name("arith").unwrap();
+        let lowering = DirectLowering::new(&t);
+        let expr = parse_expr("(exp x)").unwrap();
+        assert_eq!(
+            lowering.lower(&expr, FpType::Binary64),
+            Err(LowerError::UnsupportedOperator(RealOp::Exp, FpType::Binary64))
+        );
+    }
+
+    #[test]
+    fn fma_desugars_on_python() {
+        let t = builtin::by_name("python").unwrap();
+        let core = parse_fpcore("(FPCore (x y z) (fma x y z))").unwrap();
+        let prog = lower_fpcore(&core, &t).unwrap();
+        // Python has no fma, so the lowering uses multiply + add.
+        assert_eq!(prog.desugar(&t), parse_expr("(+ (* x y) z)").unwrap());
+    }
+
+    #[test]
+    fn conditionals_and_preconditions_lower() {
+        let t = builtin::by_name("c99").unwrap();
+        let core = parse_fpcore("(FPCore (x) (if (and (> x 0) (< x 1)) (sqrt x) x))").unwrap();
+        let prog = lower_fpcore(&core, &t).unwrap();
+        assert!(matches!(prog, FloatExpr::If(_, _, _)));
+    }
+
+    #[test]
+    fn negation_lowers_on_avx_via_subtraction() {
+        // AVX has no negation instruction; lowering must still succeed.
+        let t = builtin::by_name("avx").unwrap();
+        let core = parse_fpcore("(FPCore (x) (- x))").unwrap();
+        let prog = lower_fpcore(&core, &t).unwrap();
+        assert_eq!(prog.desugar(&t), parse_expr("(- 0 x)").unwrap());
+    }
+
+    #[test]
+    fn transcendentals_cannot_be_lowered_to_avx() {
+        let t = builtin::by_name("avx").unwrap();
+        let core = parse_fpcore("(FPCore (x) (sin x))").unwrap();
+        assert!(lower_fpcore(&core, &t).is_err());
+    }
+
+    #[test]
+    fn julia_helpers_are_not_used_by_direct_lowering() {
+        // Direct lowering is deliberately naive: sind is only reachable through
+        // instruction selection, not through the one-to-one index.
+        let t = builtin::by_name("julia").unwrap();
+        let lowering = DirectLowering::new(&t);
+        assert!(lowering.operator_for(RealOp::Sin, FpType::Binary64).is_some());
+        let expr = parse_expr("(sin (* x (/ PI 180)))").unwrap();
+        let prog = lowering.lower(&expr, FpType::Binary64).unwrap();
+        assert!(!prog.render(&t).contains("sind"));
+    }
+}

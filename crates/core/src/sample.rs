@@ -1,0 +1,262 @@
+//! Input sampling (shared with Herbie; paper Section 2).
+//!
+//! Chassis samples training and test points from the expression's input domain:
+//! values are drawn uniformly over the representable floats (plus a share of
+//! moderate-magnitude values), filtered by the FPCore precondition, and kept only
+//! when the ground-truth evaluator can produce a finite correctly rounded result
+//! (points whose true value is NaN or undecidable are discarded, as in Herbie).
+
+use fpcore::{FPCore, FpType, Symbol};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rival::{Evaluator, GroundTruth};
+
+/// A set of sampled points with their ground-truth results.
+#[derive(Clone, Debug)]
+pub struct SampleSet {
+    /// Variable order used by every point vector.
+    pub vars: Vec<Symbol>,
+    /// Output representation used for ground truth.
+    pub output_type: FpType,
+    /// Training points (used to guide the search).
+    pub train: Vec<Vec<f64>>,
+    /// Correctly rounded value of the input expression at each training point.
+    pub train_truth: Vec<f64>,
+    /// Held-out test points (used for reporting).
+    pub test: Vec<Vec<f64>>,
+    /// Correctly rounded value at each test point.
+    pub test_truth: Vec<f64>,
+}
+
+impl SampleSet {
+    /// Number of training points.
+    pub fn train_len(&self) -> usize {
+        self.train.len()
+    }
+
+    /// Number of test points.
+    pub fn test_len(&self) -> usize {
+        self.test.len()
+    }
+}
+
+/// Why sampling failed.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum SampleError {
+    /// Too few valid points were found (precondition too tight, or the expression
+    /// is NaN almost everywhere).
+    NotEnoughPoints {
+        /// How many valid points were found.
+        found: usize,
+        /// How many were requested.
+        requested: usize,
+    },
+}
+
+impl std::fmt::Display for SampleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SampleError::NotEnoughPoints { found, requested } => write!(
+                f,
+                "could not sample enough valid points ({found} of {requested})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SampleError {}
+
+/// Samples valid input points for an FPCore benchmark.
+#[derive(Clone, Debug)]
+pub struct Sampler {
+    rng: StdRng,
+    evaluator: Evaluator,
+}
+
+impl Sampler {
+    /// A sampler with the given RNG seed (results are deterministic per seed).
+    pub fn new(seed: u64) -> Sampler {
+        Sampler {
+            rng: StdRng::seed_from_u64(seed),
+            evaluator: Evaluator::with_precisions(vec![96, 192, 384, 768]),
+        }
+    }
+
+    /// Draws one candidate value for a variable: a quarter of the time a uniformly
+    /// random finite float (Herbie-style "sample the representation"), otherwise a
+    /// moderate-magnitude value where most benchmark preconditions are satisfied
+    /// (benchmark domains are overwhelmingly positive and within a few orders of
+    /// magnitude of 1, so biasing the proposal distribution there keeps rejection
+    /// sampling cheap without changing which points are *accepted*).
+    fn draw(&mut self, ty: FpType) -> f64 {
+        let strategy: u8 = self.rng.gen_range(0..4);
+        let value = match strategy {
+            0 => loop {
+                // Uniform over bit patterns, rejecting NaN and infinity.
+                let bits: u64 = self.rng.gen();
+                let v = f64::from_bits(bits);
+                if v.is_finite() {
+                    break v;
+                }
+            },
+            1 => self.rng.gen_range(-1e3..1e3),
+            _ => {
+                // Log-uniform magnitude in [1e-6, 1e6), mostly positive.
+                let exp = self.rng.gen_range(-6.0..6.0);
+                let sign = if self.rng.gen_range(0.0..1.0) < 0.75 { 1.0 } else { -1.0 };
+                sign * 10f64.powf(exp)
+            }
+        };
+        match ty {
+            FpType::Binary32 => value as f32 as f64,
+            _ => value,
+        }
+    }
+
+    /// Samples `train + test` valid points for `core`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SampleError::NotEnoughPoints`] when fewer than a quarter of the
+    /// requested points could be found within the attempt budget.
+    pub fn sample(
+        &mut self,
+        core: &FPCore,
+        train: usize,
+        test: usize,
+    ) -> Result<SampleSet, SampleError> {
+        let vars = core.arg_names();
+        let types: Vec<FpType> = core.args.iter().map(|(_, t)| *t).collect();
+        let requested = train + test;
+        let mut points: Vec<Vec<f64>> = Vec::with_capacity(requested);
+        let mut truths: Vec<f64> = Vec::with_capacity(requested);
+        let max_attempts = requested * 400 + 2_000;
+        let mut attempts = 0;
+        while points.len() < requested && attempts < max_attempts {
+            attempts += 1;
+            let point: Vec<f64> = types.iter().map(|ty| self.draw(*ty)).collect();
+            let env: Vec<(Symbol, f64)> = vars.iter().copied().zip(point.iter().copied()).collect();
+            if let Some(pre) = &core.pre {
+                match self.evaluator.eval_bool(pre, &env) {
+                    Some(true) => {}
+                    _ => continue,
+                }
+            }
+            match self.evaluator.eval(&core.body, &env, core.precision) {
+                GroundTruth::Value(v) if v.is_finite() => {
+                    points.push(point);
+                    truths.push(v);
+                }
+                _ => continue,
+            }
+        }
+        if points.len() < (requested / 4).max(2) {
+            return Err(SampleError::NotEnoughPoints {
+                found: points.len(),
+                requested,
+            });
+        }
+        // Split into train / test, keeping the requested proportions when short.
+        let train_len = ((points.len() * train) / requested).max(1);
+        let test_points = points.split_off(train_len.min(points.len()));
+        let test_truths = truths.split_off(train_len.min(truths.len()));
+        Ok(SampleSet {
+            vars,
+            output_type: core.precision,
+            train: points,
+            train_truth: truths,
+            test: test_points,
+            test_truth: test_truths,
+        })
+    }
+
+    /// Recomputes ground truth for an arbitrary real expression over existing
+    /// points (used by the accuracy evaluation of candidate programs whose
+    /// desugaring differs from the original only by real-equivalent rewrites, and
+    /// by the local-error heuristic for subexpressions).
+    pub fn ground_truths(
+        &self,
+        expr: &fpcore::Expr,
+        vars: &[Symbol],
+        points: &[Vec<f64>],
+        ty: FpType,
+    ) -> Vec<GroundTruth> {
+        points
+            .iter()
+            .map(|point| {
+                let env: Vec<(Symbol, f64)> =
+                    vars.iter().copied().zip(point.iter().copied()).collect();
+                self.evaluator.eval(expr, &env, ty)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fpcore::parse_fpcore;
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let core = parse_fpcore("(FPCore (x) (+ x 1))").unwrap();
+        let a = Sampler::new(7).sample(&core, 8, 4).unwrap();
+        let b = Sampler::new(7).sample(&core, 8, 4).unwrap();
+        let c = Sampler::new(8).sample(&core, 8, 4).unwrap();
+        assert_eq!(a.train, b.train);
+        assert_ne!(a.train, c.train);
+        assert_eq!(a.train_len(), 8);
+        assert_eq!(a.test_len(), 4);
+    }
+
+    #[test]
+    fn preconditions_are_respected() {
+        let core =
+            parse_fpcore("(FPCore (x) :pre (and (> x 0) (< x 1)) (sqrt x))").unwrap();
+        let set = Sampler::new(1).sample(&core, 12, 4).unwrap();
+        for point in set.train.iter().chain(&set.test) {
+            assert!(point[0] > 0.0 && point[0] < 1.0, "point {point:?} violates the precondition");
+        }
+    }
+
+    #[test]
+    fn truths_match_ground_truth() {
+        let core = parse_fpcore("(FPCore (x) (* x x))").unwrap();
+        let set = Sampler::new(3).sample(&core, 6, 2).unwrap();
+        for (point, truth) in set.train.iter().zip(&set.train_truth) {
+            // x*x rounded once: ground truth equals the double product here.
+            assert_eq!(*truth, point[0] * point[0]);
+        }
+    }
+
+    #[test]
+    fn nan_regions_are_rejected() {
+        // sqrt of a negative number is NaN; all sampled points must be >= 0.
+        let core = parse_fpcore("(FPCore (x) (sqrt x))").unwrap();
+        let set = Sampler::new(11).sample(&core, 10, 2).unwrap();
+        for point in set.train.iter().chain(&set.test) {
+            assert!(point[0] >= 0.0);
+        }
+    }
+
+    #[test]
+    fn impossible_preconditions_error_out() {
+        let core = parse_fpcore("(FPCore (x) :pre (< x (- x 1)) x)").unwrap();
+        let mut sampler = Sampler::new(5);
+        assert!(matches!(
+            sampler.sample(&core, 8, 4),
+            Err(SampleError::NotEnoughPoints { .. })
+        ));
+    }
+
+    #[test]
+    fn binary32_cores_sample_binary32_values() {
+        let core = parse_fpcore("(FPCore ((! :precision binary32 x)) :precision binary32 (+ x 1))")
+            .unwrap();
+        let set = Sampler::new(2).sample(&core, 6, 2).unwrap();
+        for point in &set.train {
+            assert_eq!(point[0], point[0] as f32 as f64, "values must be binary32");
+        }
+        assert_eq!(set.output_type, FpType::Binary32);
+    }
+}

@@ -1,0 +1,109 @@
+//! E-class analyses: per-e-class semilattice data maintained across unions.
+//!
+//! An [`Analysis`] attaches a datum to every e-class (for example "the constant
+//! value of every term in this class, if they all fold to one" or "the set of
+//! floating-point types this class can be extracted at"). The datum is created
+//! from each e-node by [`Analysis::make`] and merged across unions by
+//! [`Analysis::merge`]; [`Analysis::modify`] can then add new e-nodes based on the
+//! merged datum (this is how constant folding inserts literal nodes).
+
+use crate::egraph::EGraph;
+use crate::language::{Id, Language};
+use std::fmt::Debug;
+
+/// Per-e-class analysis data and how to maintain it.
+pub trait Analysis<L: Language>: Sized {
+    /// The per-e-class datum.
+    type Data: Clone + Debug + PartialEq;
+
+    /// Computes the datum for a single e-node, given the e-graph (from which the
+    /// children's data can be read).
+    fn make(egraph: &EGraph<L, Self>, enode: &L) -> Self::Data;
+
+    /// Merges `b` into `a` when two e-classes are unioned. Returns `true` if `a`
+    /// changed (used to trigger re-analysis of parents).
+    fn merge(a: &mut Self::Data, b: Self::Data) -> bool;
+
+    /// Hook called after an e-class's datum is created or changed; may add nodes
+    /// or perform unions (e.g. constant folding).
+    fn modify(_egraph: &mut EGraph<L, Self>, _id: Id) {}
+}
+
+/// The trivial analysis carrying no data.
+#[derive(Clone, Copy, Default, Debug, PartialEq, Eq)]
+pub struct NoAnalysis;
+
+impl<L: Language> Analysis<L> for NoAnalysis {
+    type Data = ();
+
+    fn make(_egraph: &EGraph<L, Self>, _enode: &L) -> Self::Data {}
+
+    fn merge(_a: &mut Self::Data, _b: Self::Data) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::language::testlang::TestLang;
+
+    /// Constant-folding analysis for the test language.
+    #[derive(Clone, Copy, Default, Debug, PartialEq, Eq)]
+    struct ConstFold;
+
+    impl Analysis<TestLang> for ConstFold {
+        type Data = Option<i64>;
+
+        fn make(egraph: &EGraph<TestLang, Self>, enode: &TestLang) -> Self::Data {
+            let c = |id: Id| *egraph.class_data(id);
+            match enode {
+                TestLang::Num(n) => Some(*n),
+                TestLang::Var(_) => None,
+                TestLang::Add([a, b]) => Some(c(*a)? + c(*b)?),
+                TestLang::Mul([a, b]) => Some(c(*a)? * c(*b)?),
+                TestLang::Neg([a]) => Some(-c(*a)?),
+            }
+        }
+
+        fn merge(a: &mut Self::Data, b: Self::Data) -> bool {
+            if a.is_none() && b.is_some() {
+                *a = b;
+                true
+            } else {
+                false
+            }
+        }
+
+        fn modify(egraph: &mut EGraph<TestLang, Self>, id: Id) {
+            if let Some(n) = *egraph.class_data(id) {
+                let lit = egraph.add(TestLang::Num(n));
+                egraph.union(id, lit);
+            }
+        }
+    }
+
+    #[test]
+    fn constant_folding_through_analysis() {
+        let mut eg: EGraph<TestLang, ConstFold> = EGraph::default();
+        let two = eg.add(TestLang::Num(2));
+        let three = eg.add(TestLang::Num(3));
+        let sum = eg.add(TestLang::Add([two, three]));
+        eg.rebuild();
+        assert_eq!(*eg.class_data(sum), Some(5));
+        // The modify hook should have inserted the literal 5 into the same class.
+        let five = eg.add(TestLang::Num(5));
+        assert_eq!(eg.find(five), eg.find(sum));
+    }
+
+    #[test]
+    fn merge_propagates_constants_across_union() {
+        let mut eg: EGraph<TestLang, ConstFold> = EGraph::default();
+        let x = eg.add(TestLang::Var("x"));
+        let four = eg.add(TestLang::Num(4));
+        assert_eq!(*eg.class_data(x), None);
+        eg.union(x, four);
+        eg.rebuild();
+        assert_eq!(*eg.class_data(x), Some(4));
+    }
+}

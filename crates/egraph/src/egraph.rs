@@ -1,0 +1,414 @@
+//! The e-graph data structure: hash-consed e-nodes grouped into e-classes.
+
+use crate::analysis::Analysis;
+use crate::language::{Id, Language, RecExpr};
+use crate::unionfind::UnionFind;
+use std::collections::{BTreeMap, HashMap};
+
+/// An equivalence class of e-nodes.
+#[derive(Clone, Debug)]
+pub struct EClass<L, D> {
+    /// The canonical id of this class (at the time of the last rebuild).
+    pub id: Id,
+    /// The e-nodes belonging to this class. Children ids are canonical after a
+    /// [`EGraph::rebuild`].
+    pub nodes: Vec<L>,
+    /// The analysis datum for this class.
+    pub data: D,
+}
+
+impl<L, D> EClass<L, D> {
+    /// Number of e-nodes in the class.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if the class holds no e-nodes (never the case for reachable classes).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+}
+
+/// An e-graph over language `L` with analysis `A`.
+///
+/// See the crate-level documentation for an example.
+#[derive(Clone, Debug)]
+pub struct EGraph<L: Language, A: Analysis<L>> {
+    unionfind: UnionFind,
+    memo: HashMap<L, Id>,
+    classes: BTreeMap<Id, EClass<L, A::Data>>,
+    /// Set by `union`, cleared by `rebuild`. Searching a dirty e-graph is allowed
+    /// but may miss congruent matches.
+    dirty: bool,
+    /// Total number of unions performed (used by the runner to detect saturation).
+    union_count: usize,
+}
+
+impl<L: Language, A: Analysis<L>> Default for EGraph<L, A> {
+    fn default() -> Self {
+        EGraph {
+            unionfind: UnionFind::new(),
+            memo: HashMap::new(),
+            classes: BTreeMap::new(),
+            dirty: false,
+            union_count: 0,
+        }
+    }
+}
+
+impl<L: Language, A: Analysis<L>> EGraph<L, A> {
+    /// Creates an empty e-graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The canonical representative of `id`.
+    pub fn find(&self, id: Id) -> Id {
+        self.unionfind.find(id)
+    }
+
+    /// Number of e-classes.
+    pub fn number_of_classes(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Total number of e-nodes across all classes.
+    pub fn number_of_nodes(&self) -> usize {
+        self.classes.values().map(|c| c.nodes.len()).sum()
+    }
+
+    /// Total number of unions performed so far.
+    pub fn union_count(&self) -> usize {
+        self.union_count
+    }
+
+    /// True if unions have happened since the last [`rebuild`](Self::rebuild).
+    pub fn is_dirty(&self) -> bool {
+        self.dirty
+    }
+
+    /// Iterates over all e-classes in a deterministic order.
+    pub fn classes(&self) -> impl Iterator<Item = &EClass<L, A::Data>> {
+        self.classes.values()
+    }
+
+    /// The e-class containing `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was never returned by this e-graph.
+    pub fn class(&self, id: Id) -> &EClass<L, A::Data> {
+        let canon = self.find(id);
+        self.classes
+            .get(&canon)
+            .expect("id does not belong to this e-graph")
+    }
+
+    /// The analysis datum of the class containing `id`.
+    pub fn class_data(&self, id: Id) -> &A::Data {
+        &self.class(id).data
+    }
+
+    /// Adds an e-node (canonicalizing its children), returning its e-class.
+    /// Structurally identical e-nodes are deduplicated.
+    pub fn add(&mut self, mut enode: L) -> Id {
+        enode.update_children(|c| self.unionfind.find(c));
+        if let Some(&id) = self.memo.get(&enode) {
+            return self.find(id);
+        }
+        let data = A::make(self, &enode);
+        let id = self.unionfind.make_set();
+        self.classes.insert(
+            id,
+            EClass {
+                id,
+                nodes: vec![enode.clone()],
+                data,
+            },
+        );
+        self.memo.insert(enode, id);
+        A::modify(self, id);
+        self.find(id)
+    }
+
+    /// Adds every node of a [`RecExpr`], returning the e-class of its root.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the expression is empty.
+    pub fn add_expr(&mut self, expr: &RecExpr<L>) -> Id {
+        assert!(!expr.is_empty(), "cannot add an empty expression");
+        let mut ids: Vec<Id> = Vec::with_capacity(expr.len());
+        for node in expr.nodes() {
+            let canonical = node.map_children(|c| ids[c.index()]);
+            ids.push(self.add(canonical));
+        }
+        *ids.last().expect("nonempty expression")
+    }
+
+    /// Looks up the e-class of an e-node without inserting it.
+    pub fn lookup(&self, mut enode: L) -> Option<Id> {
+        enode.update_children(|c| self.unionfind.find(c));
+        self.memo.get(&enode).map(|&id| self.find(id))
+    }
+
+    /// Merges the e-classes of `a` and `b`. Returns the surviving canonical id and
+    /// whether anything changed. Call [`rebuild`](Self::rebuild) before searching
+    /// again to restore congruence.
+    pub fn union(&mut self, a: Id, b: Id) -> (Id, bool) {
+        let a = self.find(a);
+        let b = self.find(b);
+        if a == b {
+            return (a, false);
+        }
+        let winner = self.unionfind.union(a, b);
+        let loser = if winner == a { b } else { a };
+        let loser_class = self
+            .classes
+            .remove(&loser)
+            .expect("loser class must exist");
+        let winner_class = self
+            .classes
+            .get_mut(&winner)
+            .expect("winner class must exist");
+        winner_class.nodes.extend(loser_class.nodes);
+        let data_changed = A::merge(&mut winner_class.data, loser_class.data);
+        self.dirty = true;
+        self.union_count += 1;
+        if data_changed {
+            A::modify(self, winner);
+        }
+        (winner, true)
+    }
+
+    /// Restores the e-graph invariants after unions: canonicalizes every e-node,
+    /// re-establishes hash-consing, performs congruence-induced unions, and
+    /// re-propagates analysis data, repeating until a fixed point.
+    pub fn rebuild(&mut self) {
+        loop {
+            let congruence_changed = self.rebuild_classes();
+            let analysis_changed = self.update_analysis();
+            if !congruence_changed && !analysis_changed {
+                break;
+            }
+        }
+        self.dirty = false;
+    }
+
+    fn rebuild_classes(&mut self) -> bool {
+        let ids: Vec<Id> = self.classes.keys().copied().collect();
+        let mut new_memo: HashMap<L, Id> = HashMap::with_capacity(self.memo.len());
+        let mut pending: Vec<(Id, Id)> = Vec::new();
+        for id in ids {
+            let uf = &self.unionfind;
+            let class = self
+                .classes
+                .get_mut(&id)
+                .expect("class keys are canonical between unions");
+            for node in &mut class.nodes {
+                node.update_children(|c| uf.find(c));
+            }
+            class.nodes.sort();
+            class.nodes.dedup();
+            for node in &class.nodes {
+                match new_memo.entry(node.clone()) {
+                    std::collections::hash_map::Entry::Occupied(e) => {
+                        if *e.get() != id {
+                            pending.push((*e.get(), id));
+                        }
+                    }
+                    std::collections::hash_map::Entry::Vacant(e) => {
+                        e.insert(id);
+                    }
+                }
+            }
+        }
+        self.memo = new_memo;
+        let mut changed = false;
+        for (a, b) in pending {
+            changed |= self.union(a, b).1;
+        }
+        changed
+    }
+
+    fn update_analysis(&mut self) -> bool {
+        let mut changed = false;
+        let ids: Vec<Id> = self.classes.keys().copied().collect();
+        for id in ids {
+            let id = self.find(id);
+            if !self.classes.contains_key(&id) {
+                continue;
+            }
+            let nodes = self.classes[&id].nodes.clone();
+            for node in nodes {
+                let data = A::make(self, &node);
+                let id = self.find(id);
+                let class = self
+                    .classes
+                    .get_mut(&id)
+                    .expect("canonical class must exist");
+                if A::merge(&mut class.data, data) {
+                    changed = true;
+                    A::modify(self, id);
+                }
+            }
+        }
+        changed
+    }
+
+    /// Extracts *some* concrete term from the class of `id` (the first found by a
+    /// depth-first walk that avoids cycles). Mostly useful for debugging; use an
+    /// [`crate::Extractor`] for cost-aware extraction.
+    pub fn any_term(&self, id: Id) -> Option<RecExpr<L>> {
+        fn go<L: Language, A: Analysis<L>>(
+            eg: &EGraph<L, A>,
+            id: Id,
+            seen: &mut Vec<Id>,
+            out: &mut RecExpr<L>,
+        ) -> Option<Id> {
+            let id = eg.find(id);
+            if seen.contains(&id) {
+                return None;
+            }
+            seen.push(id);
+            // Prefer leaves so the walk terminates quickly.
+            let mut nodes: Vec<&L> = eg.class(id).nodes.iter().collect();
+            nodes.sort_by_key(|n| n.children().len());
+            for node in nodes {
+                let mut child_ids = Vec::with_capacity(node.children().len());
+                let mut ok = true;
+                for &c in node.children() {
+                    match go(eg, c, seen, out) {
+                        Some(cid) => child_ids.push(cid),
+                        None => {
+                            ok = false;
+                            break;
+                        }
+                    }
+                }
+                if ok {
+                    let new_node = node.map_children(|c| {
+                        let idx = node.children().iter().position(|&x| x == c).unwrap();
+                        child_ids[idx]
+                    });
+                    seen.pop();
+                    return Some(out.add(new_node));
+                }
+            }
+            seen.pop();
+            None
+        }
+        let mut out = RecExpr::new();
+        let mut seen = Vec::new();
+        go(self, id, &mut seen, &mut out).map(|_| out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::NoAnalysis;
+    use crate::language::testlang::TestLang;
+
+    type EG = EGraph<TestLang, NoAnalysis>;
+
+    #[test]
+    fn hash_consing_deduplicates() {
+        let mut eg = EG::default();
+        let x1 = eg.add(TestLang::Var("x"));
+        let x2 = eg.add(TestLang::Var("x"));
+        assert_eq!(x1, x2);
+        assert_eq!(eg.number_of_classes(), 1);
+        let y = eg.add(TestLang::Var("y"));
+        assert_ne!(x1, y);
+        assert_eq!(eg.number_of_nodes(), 2);
+    }
+
+    #[test]
+    fn union_merges_classes() {
+        let mut eg = EG::default();
+        let x = eg.add(TestLang::Var("x"));
+        let y = eg.add(TestLang::Var("y"));
+        assert!(!eg.is_dirty());
+        let (_, changed) = eg.union(x, y);
+        assert!(changed);
+        assert!(eg.is_dirty());
+        eg.rebuild();
+        assert_eq!(eg.find(x), eg.find(y));
+        assert_eq!(eg.number_of_classes(), 1);
+        assert_eq!(eg.class(x).len(), 2);
+        let (_, changed_again) = eg.union(x, y);
+        assert!(!changed_again);
+    }
+
+    #[test]
+    fn congruence_closure() {
+        // If x = y then f(x) = f(y) after rebuilding.
+        let mut eg = EG::default();
+        let x = eg.add(TestLang::Var("x"));
+        let y = eg.add(TestLang::Var("y"));
+        let fx = eg.add(TestLang::Neg([x]));
+        let fy = eg.add(TestLang::Neg([y]));
+        assert_ne!(eg.find(fx), eg.find(fy));
+        eg.union(x, y);
+        eg.rebuild();
+        assert_eq!(eg.find(fx), eg.find(fy));
+    }
+
+    #[test]
+    fn congruence_cascades() {
+        // x = y implies g(f(x)) = g(f(y)) through two levels.
+        let mut eg = EG::default();
+        let x = eg.add(TestLang::Var("x"));
+        let y = eg.add(TestLang::Var("y"));
+        let fx = eg.add(TestLang::Neg([x]));
+        let fy = eg.add(TestLang::Neg([y]));
+        let gfx = eg.add(TestLang::Mul([fx, fx]));
+        let gfy = eg.add(TestLang::Mul([fy, fy]));
+        eg.union(x, y);
+        eg.rebuild();
+        assert_eq!(eg.find(gfx), eg.find(gfy));
+    }
+
+    #[test]
+    fn add_expr_and_any_term() {
+        let mut eg = EG::default();
+        let mut expr = RecExpr::new();
+        let x = expr.add(TestLang::Var("x"));
+        let one = expr.add(TestLang::Num(1));
+        let _sum = expr.add(TestLang::Add([x, one]));
+        let root = eg.add_expr(&expr);
+        assert_eq!(eg.number_of_nodes(), 3);
+        let term = eg.any_term(root).expect("extractable term");
+        assert_eq!(term.tree_size(term.root()), 3);
+    }
+
+    #[test]
+    fn lookup_respects_canonicalization() {
+        let mut eg = EG::default();
+        let x = eg.add(TestLang::Var("x"));
+        let y = eg.add(TestLang::Var("y"));
+        let fx = eg.add(TestLang::Neg([x]));
+        eg.union(x, y);
+        eg.rebuild();
+        // Looking up Neg(y) should find the same class as Neg(x).
+        let found = eg.lookup(TestLang::Neg([y])).expect("congruent node");
+        assert_eq!(found, eg.find(fx));
+        assert_eq!(eg.lookup(TestLang::Var("zzz")), None);
+    }
+
+    #[test]
+    fn self_cycle_via_union_is_handled() {
+        // Create x + 0 and union it with x, producing a cyclic class; any_term
+        // must still terminate and produce a finite term.
+        let mut eg = EG::default();
+        let x = eg.add(TestLang::Var("x"));
+        let zero = eg.add(TestLang::Num(0));
+        let sum = eg.add(TestLang::Add([x, zero]));
+        eg.union(sum, x);
+        eg.rebuild();
+        assert_eq!(eg.find(sum), eg.find(x));
+        let term = eg.any_term(x).expect("finite term");
+        assert!(term.len() <= 3);
+    }
+}

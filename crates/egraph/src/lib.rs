@@ -1,0 +1,67 @@
+//! # egraph
+//!
+//! A from-scratch e-graph and equality-saturation engine, providing the subset of
+//! the `egg` library's functionality that the Chassis compiler needs:
+//!
+//! * hash-consed e-nodes grouped into e-classes over a union-find ([`EGraph`]),
+//! * congruence closure via [`EGraph::rebuild`],
+//! * e-class [`Analysis`] (used for constant folding and type tracking),
+//! * syntactic [`Pattern`]s with backtracking e-matching,
+//! * non-destructive [`Rewrite`] rules and a saturation [`Runner`] with node,
+//!   iteration and time limits,
+//! * greedy cost-based [`Extractor`]s over user-provided [`CostFunction`]s.
+//!
+//! The engine is deliberately simple: `rebuild` performs whole-graph congruence
+//! repair rather than `egg`'s worklist-based repair, which is more than fast
+//! enough at the e-graph sizes Chassis uses (the paper caps e-graphs at 8000
+//! nodes).
+//!
+//! # Example
+//!
+//! ```
+//! use egraph::{EGraph, Language, NoAnalysis, Id};
+//!
+//! // A tiny language: variables and binary `+`.
+//! #[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+//! enum Math { Var(&'static str), Add([Id; 2]) }
+//!
+//! impl Language for Math {
+//!     fn children(&self) -> &[Id] {
+//!         match self { Math::Var(_) => &[], Math::Add(c) => c }
+//!     }
+//!     fn children_mut(&mut self) -> &mut [Id] {
+//!         match self { Math::Var(_) => &mut [], Math::Add(c) => c }
+//!     }
+//!     fn matches_op(&self, other: &Self) -> bool {
+//!         matches!((self, other), (Math::Add(_), Math::Add(_)))
+//!             || self == other
+//!     }
+//! }
+//!
+//! let mut eg: EGraph<Math, NoAnalysis> = EGraph::default();
+//! let x = eg.add(Math::Var("x"));
+//! let y = eg.add(Math::Var("y"));
+//! let xy = eg.add(Math::Add([x, y]));
+//! let yx = eg.add(Math::Add([y, x]));
+//! eg.union(xy, yx);
+//! eg.rebuild();
+//! assert_eq!(eg.find(xy), eg.find(yx));
+//! ```
+
+pub mod analysis;
+pub mod egraph;
+pub mod extract;
+pub mod language;
+pub mod pattern;
+pub mod rewrite;
+pub mod runner;
+pub mod unionfind;
+
+pub use analysis::{Analysis, NoAnalysis};
+pub use egraph::{EClass, EGraph};
+pub use extract::{CostFunction, Extractor, TreeSize};
+pub use language::{Id, Language, RecExpr};
+pub use pattern::{PatVar, Pattern, PatternNode, Subst};
+pub use rewrite::Rewrite;
+pub use runner::{RunReport, Runner, RunnerLimits, StopReason};
+pub use unionfind::UnionFind;

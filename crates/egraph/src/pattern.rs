@@ -1,0 +1,311 @@
+//! Syntactic patterns over a [`Language`] and backtracking e-matching.
+
+use crate::analysis::Analysis;
+use crate::egraph::EGraph;
+use crate::language::{Id, Language};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A pattern variable (a metavariable such as `?a` in a rewrite rule).
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct PatVar(pub String);
+
+impl PatVar {
+    /// Creates a pattern variable from its name (without any leading `?`).
+    pub fn new(name: &str) -> PatVar {
+        PatVar(name.trim_start_matches('?').to_owned())
+    }
+}
+
+impl fmt::Display for PatVar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "?{}", self.0)
+    }
+}
+
+/// A substitution binding pattern variables to e-classes.
+pub type Subst = BTreeMap<PatVar, Id>;
+
+/// One node of a pattern: either a metavariable or a concrete e-node whose
+/// children refer to earlier pattern positions (like [`crate::RecExpr`]).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum PatternNode<L> {
+    /// A metavariable matching any e-class.
+    Var(PatVar),
+    /// A concrete operator whose children are pattern positions.
+    ENode(L),
+}
+
+/// A pattern: a flattened tree of [`PatternNode`]s, root last.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Pattern<L> {
+    nodes: Vec<PatternNode<L>>,
+}
+
+/// A single match of a pattern: the e-class it matched in and the substitution.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct PatternMatch {
+    /// The e-class the pattern's root matched.
+    pub class: Id,
+    /// Bindings for the pattern's metavariables.
+    pub subst: Subst,
+}
+
+impl<L: Language> Pattern<L> {
+    /// Builds a pattern from flattened nodes (children must reference earlier
+    /// positions; the root is the last node).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node list is empty or contains a forward reference.
+    pub fn from_nodes(nodes: Vec<PatternNode<L>>) -> Pattern<L> {
+        assert!(!nodes.is_empty(), "a pattern needs at least one node");
+        for (i, n) in nodes.iter().enumerate() {
+            if let PatternNode::ENode(e) = n {
+                for c in e.children() {
+                    assert!(
+                        c.index() < i,
+                        "pattern children must reference earlier nodes"
+                    );
+                }
+            }
+        }
+        Pattern { nodes }
+    }
+
+    /// A pattern consisting of a single metavariable.
+    pub fn variable(name: &str) -> Pattern<L> {
+        Pattern {
+            nodes: vec![PatternNode::Var(PatVar::new(name))],
+        }
+    }
+
+    /// The flattened pattern nodes.
+    pub fn nodes(&self) -> &[PatternNode<L>] {
+        &self.nodes
+    }
+
+    /// The root position.
+    pub fn root(&self) -> Id {
+        Id::from(self.nodes.len() - 1)
+    }
+
+    /// The set of metavariables used in the pattern.
+    pub fn variables(&self) -> Vec<PatVar> {
+        let mut vars: Vec<PatVar> = self
+            .nodes
+            .iter()
+            .filter_map(|n| match n {
+                PatternNode::Var(v) => Some(v.clone()),
+                PatternNode::ENode(_) => None,
+            })
+            .collect();
+        vars.sort();
+        vars.dedup();
+        vars
+    }
+
+    /// Searches the whole e-graph, returning every match in every e-class.
+    pub fn search<A: Analysis<L>>(&self, egraph: &EGraph<L, A>) -> Vec<PatternMatch> {
+        let mut out = Vec::new();
+        for class in egraph.classes() {
+            let matches = self.search_class(egraph, class.id);
+            out.extend(matches.into_iter().map(|subst| PatternMatch {
+                class: class.id,
+                subst,
+            }));
+        }
+        out
+    }
+
+    /// Searches a single e-class, returning the substitutions under which the
+    /// pattern's root matches it.
+    pub fn search_class<A: Analysis<L>>(&self, egraph: &EGraph<L, A>, class: Id) -> Vec<Subst> {
+        self.match_at(egraph, self.root(), egraph.find(class), Subst::new())
+    }
+
+    fn match_at<A: Analysis<L>>(
+        &self,
+        egraph: &EGraph<L, A>,
+        pat: Id,
+        class: Id,
+        subst: Subst,
+    ) -> Vec<Subst> {
+        let class = egraph.find(class);
+        match &self.nodes[pat.index()] {
+            PatternNode::Var(v) => match subst.get(v) {
+                Some(&bound) => {
+                    if egraph.find(bound) == class {
+                        vec![subst]
+                    } else {
+                        vec![]
+                    }
+                }
+                None => {
+                    let mut subst = subst;
+                    subst.insert(v.clone(), class);
+                    vec![subst]
+                }
+            },
+            PatternNode::ENode(pnode) => {
+                let mut out = Vec::new();
+                for enode in &egraph.class(class).nodes {
+                    if !enode.matches_op(pnode)
+                        || enode.children().len() != pnode.children().len()
+                    {
+                        continue;
+                    }
+                    let mut substs = vec![subst.clone()];
+                    for (pc, ec) in pnode.children().iter().zip(enode.children()) {
+                        let mut next = Vec::new();
+                        for s in substs {
+                            next.extend(self.match_at(egraph, *pc, *ec, s));
+                        }
+                        substs = next;
+                        if substs.is_empty() {
+                            break;
+                        }
+                    }
+                    out.extend(substs);
+                }
+                out
+            }
+        }
+    }
+
+    /// Instantiates the pattern under `subst`, adding the resulting term to the
+    /// e-graph and returning its e-class.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a metavariable in the pattern is unbound in `subst`.
+    pub fn instantiate<A: Analysis<L>>(&self, egraph: &mut EGraph<L, A>, subst: &Subst) -> Id {
+        let mut ids: Vec<Id> = Vec::with_capacity(self.nodes.len());
+        for node in &self.nodes {
+            let id = match node {
+                PatternNode::Var(v) => *subst
+                    .get(v)
+                    .unwrap_or_else(|| panic!("unbound pattern variable {v}")),
+                PatternNode::ENode(e) => {
+                    let concrete = e.map_children(|c| ids[c.index()]);
+                    egraph.add(concrete)
+                }
+            };
+            ids.push(id);
+        }
+        *ids.last().expect("patterns are nonempty")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::NoAnalysis;
+    use crate::language::testlang::TestLang;
+
+    type EG = EGraph<TestLang, NoAnalysis>;
+
+    /// Pattern for `(+ ?a ?b)`.
+    fn add_pattern() -> Pattern<TestLang> {
+        Pattern::from_nodes(vec![
+            PatternNode::Var(PatVar::new("a")),
+            PatternNode::Var(PatVar::new("b")),
+            PatternNode::ENode(TestLang::Add([Id::from(0usize), Id::from(1usize)])),
+        ])
+    }
+
+    /// Pattern for `(+ ?a ?a)`.
+    fn double_pattern() -> Pattern<TestLang> {
+        Pattern::from_nodes(vec![
+            PatternNode::Var(PatVar::new("a")),
+            PatternNode::ENode(TestLang::Add([Id::from(0usize), Id::from(0usize)])),
+        ])
+    }
+
+    #[test]
+    fn matches_simple_addition() {
+        let mut eg = EG::default();
+        let x = eg.add(TestLang::Var("x"));
+        let y = eg.add(TestLang::Var("y"));
+        let sum = eg.add(TestLang::Add([x, y]));
+        let matches = add_pattern().search(&eg);
+        assert_eq!(matches.len(), 1);
+        assert_eq!(matches[0].class, sum);
+        assert_eq!(matches[0].subst[&PatVar::new("a")], x);
+        assert_eq!(matches[0].subst[&PatVar::new("b")], y);
+    }
+
+    #[test]
+    fn nonlinear_pattern_requires_equal_classes() {
+        let mut eg = EG::default();
+        let x = eg.add(TestLang::Var("x"));
+        let y = eg.add(TestLang::Var("y"));
+        let _xy = eg.add(TestLang::Add([x, y]));
+        let xx = eg.add(TestLang::Add([x, x]));
+        let matches = double_pattern().search(&eg);
+        assert_eq!(matches.len(), 1);
+        assert_eq!(matches[0].class, xx);
+        // After x = y, both additions match the non-linear pattern.
+        eg.union(x, y);
+        eg.rebuild();
+        let matches = double_pattern().search(&eg);
+        assert_eq!(matches.len(), 1, "x+y and x+x are now the same e-class");
+    }
+
+    #[test]
+    fn instantiation_adds_term() {
+        let mut eg = EG::default();
+        let x = eg.add(TestLang::Var("x"));
+        let mut subst = Subst::new();
+        subst.insert(PatVar::new("a"), x);
+        subst.insert(PatVar::new("b"), x);
+        let id = add_pattern().instantiate(&mut eg, &subst);
+        assert_eq!(eg.lookup(TestLang::Add([x, x])), Some(eg.find(id)));
+    }
+
+    #[test]
+    fn pattern_variables_listed() {
+        assert_eq!(
+            add_pattern().variables(),
+            vec![PatVar::new("a"), PatVar::new("b")]
+        );
+        assert_eq!(double_pattern().variables(), vec![PatVar::new("a")]);
+    }
+
+    #[test]
+    fn nested_pattern_matching() {
+        // Pattern: (* ?a (+ ?b ?c))
+        let pat = Pattern::from_nodes(vec![
+            PatternNode::Var(PatVar::new("a")),
+            PatternNode::Var(PatVar::new("b")),
+            PatternNode::Var(PatVar::new("c")),
+            PatternNode::ENode(TestLang::Add([Id::from(1usize), Id::from(2usize)])),
+            PatternNode::ENode(TestLang::Mul([Id::from(0usize), Id::from(3usize)])),
+        ]);
+        let mut eg = EG::default();
+        let x = eg.add(TestLang::Var("x"));
+        let y = eg.add(TestLang::Var("y"));
+        let z = eg.add(TestLang::Var("z"));
+        let sum = eg.add(TestLang::Add([y, z]));
+        let prod = eg.add(TestLang::Mul([x, sum]));
+        let matches = pat.search(&eg);
+        assert_eq!(matches.len(), 1);
+        assert_eq!(matches[0].class, prod);
+        assert_eq!(matches[0].subst[&PatVar::new("a")], x);
+    }
+
+    #[test]
+    fn matches_multiply_represented_classes() {
+        // When an e-class has several e-nodes matching the pattern with different
+        // substitutions, all of them are reported.
+        let mut eg = EG::default();
+        let x = eg.add(TestLang::Var("x"));
+        let y = eg.add(TestLang::Var("y"));
+        let xy = eg.add(TestLang::Add([x, y]));
+        let yx = eg.add(TestLang::Add([y, x]));
+        eg.union(xy, yx);
+        eg.rebuild();
+        let matches = add_pattern().search(&eg);
+        assert_eq!(matches.len(), 2);
+    }
+}

@@ -1,0 +1,178 @@
+//! Rewrite rules: a searcher pattern, an applier pattern, and an optional
+//! side condition.
+
+use crate::analysis::Analysis;
+use crate::egraph::EGraph;
+use crate::language::{Id, Language};
+use crate::pattern::{Pattern, PatternMatch, Subst};
+use std::fmt;
+use std::sync::Arc;
+
+/// A side condition evaluated on each match before the rewrite is applied.
+pub type Condition<L, A> = Arc<dyn Fn(&EGraph<L, A>, Id, &Subst) -> bool + Send + Sync>;
+
+/// A rewrite rule `lhs { rhs`.
+///
+/// Rules are applied *non-destructively*: the right-hand side is added to the
+/// e-graph and unioned with the matched e-class, so the left-hand side remains
+/// available (Section 3.3 of the paper).
+#[derive(Clone)]
+pub struct Rewrite<L: Language, A: Analysis<L>> {
+    name: String,
+    lhs: Pattern<L>,
+    rhs: Pattern<L>,
+    condition: Option<Condition<L, A>>,
+}
+
+impl<L: Language, A: Analysis<L>> fmt::Debug for Rewrite<L, A> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Rewrite")
+            .field("name", &self.name)
+            .field("lhs", &self.lhs)
+            .field("rhs", &self.rhs)
+            .field("conditional", &self.condition.is_some())
+            .finish()
+    }
+}
+
+impl<L: Language, A: Analysis<L>> Rewrite<L, A> {
+    /// Creates an unconditional rewrite.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the right-hand side uses a metavariable that the left-hand side
+    /// does not bind.
+    pub fn new(name: impl Into<String>, lhs: Pattern<L>, rhs: Pattern<L>) -> Rewrite<L, A> {
+        let lhs_vars = lhs.variables();
+        for v in rhs.variables() {
+            assert!(
+                lhs_vars.contains(&v),
+                "rewrite rhs uses unbound metavariable {v}"
+            );
+        }
+        Rewrite {
+            name: name.into(),
+            lhs,
+            rhs,
+            condition: None,
+        }
+    }
+
+    /// Adds a side condition (builder style).
+    pub fn with_condition(mut self, condition: Condition<L, A>) -> Rewrite<L, A> {
+        self.condition = Some(condition);
+        self
+    }
+
+    /// The rule name (for reporting).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The left-hand-side pattern.
+    pub fn lhs(&self) -> &Pattern<L> {
+        &self.lhs
+    }
+
+    /// The right-hand-side pattern.
+    pub fn rhs(&self) -> &Pattern<L> {
+        &self.rhs
+    }
+
+    /// Finds every match of the left-hand side.
+    pub fn search(&self, egraph: &EGraph<L, A>) -> Vec<PatternMatch> {
+        self.lhs.search(egraph)
+    }
+
+    /// Applies the rule to previously found matches. Returns the number of
+    /// e-class unions that actually changed the e-graph.
+    pub fn apply(&self, egraph: &mut EGraph<L, A>, matches: &[PatternMatch]) -> usize {
+        let mut applied = 0;
+        for m in matches {
+            if let Some(cond) = &self.condition {
+                if !cond(egraph, m.class, &m.subst) {
+                    continue;
+                }
+            }
+            let new_id = self.rhs.instantiate(egraph, &m.subst);
+            let (_, changed) = egraph.union(m.class, new_id);
+            if changed {
+                applied += 1;
+            }
+        }
+        applied
+    }
+
+    /// Searches and applies in one step, returning the number of effective unions.
+    pub fn run(&self, egraph: &mut EGraph<L, A>) -> usize {
+        let matches = self.search(egraph);
+        self.apply(egraph, &matches)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::NoAnalysis;
+    use crate::language::testlang::TestLang;
+    use crate::pattern::{PatVar, PatternNode};
+
+    type EG = EGraph<TestLang, NoAnalysis>;
+    type RW = Rewrite<TestLang, NoAnalysis>;
+
+    fn commute_add() -> RW {
+        // (+ ?a ?b) => (+ ?b ?a)
+        let lhs = Pattern::from_nodes(vec![
+            PatternNode::Var(PatVar::new("a")),
+            PatternNode::Var(PatVar::new("b")),
+            PatternNode::ENode(TestLang::Add([Id::from(0usize), Id::from(1usize)])),
+        ]);
+        let rhs = Pattern::from_nodes(vec![
+            PatternNode::Var(PatVar::new("b")),
+            PatternNode::Var(PatVar::new("a")),
+            PatternNode::ENode(TestLang::Add([Id::from(0usize), Id::from(1usize)])),
+        ]);
+        Rewrite::new("commute-add", lhs, rhs)
+    }
+
+    #[test]
+    fn commutativity_is_applied_nondestructively() {
+        let mut eg = EG::default();
+        let x = eg.add(TestLang::Var("x"));
+        let y = eg.add(TestLang::Var("y"));
+        let xy = eg.add(TestLang::Add([x, y]));
+        let rule = commute_add();
+        let n = rule.run(&mut eg);
+        eg.rebuild();
+        assert!(n >= 1);
+        // Both orientations are now present in the same class.
+        let yx = eg.lookup(TestLang::Add([y, x])).expect("rewritten node");
+        assert_eq!(eg.find(yx), eg.find(xy));
+        // The original node is still there (non-destructive).
+        assert!(eg.lookup(TestLang::Add([x, y])).is_some());
+        // Re-running makes no further changes.
+        let n2 = rule.run(&mut eg);
+        eg.rebuild();
+        assert_eq!(n2, 0);
+    }
+
+    #[test]
+    fn conditions_gate_application() {
+        let mut eg = EG::default();
+        let x = eg.add(TestLang::Var("x"));
+        let y = eg.add(TestLang::Var("y"));
+        let _xy = eg.add(TestLang::Add([x, y]));
+        let never = commute_add().with_condition(Arc::new(|_, _, _| false));
+        assert_eq!(never.run(&mut eg), 0);
+        let always = commute_add().with_condition(Arc::new(|_, _, _| true));
+        assert!(always.run(&mut eg) > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unbound metavariable")]
+    fn rhs_variables_must_be_bound() {
+        let lhs: Pattern<TestLang> = Pattern::variable("a");
+        let rhs: Pattern<TestLang> = Pattern::variable("zzz");
+        let _rw: RW = Rewrite::new("bad", lhs, rhs);
+    }
+}

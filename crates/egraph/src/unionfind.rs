@@ -1,0 +1,119 @@
+//! A union-find (disjoint set) structure over e-class [`Id`]s.
+
+use crate::language::Id;
+
+/// Union-find with path compression.
+///
+/// Canonical representatives are chosen as the root reached by following parent
+/// pointers; `union` makes the second argument's root point at the first's.
+#[derive(Clone, Default, Debug)]
+pub struct UnionFind {
+    parents: Vec<u32>,
+}
+
+impl UnionFind {
+    /// Creates an empty structure.
+    pub fn new() -> UnionFind {
+        UnionFind::default()
+    }
+
+    /// Adds a fresh singleton set and returns its id.
+    pub fn make_set(&mut self) -> Id {
+        let id = self.parents.len() as u32;
+        self.parents.push(id);
+        Id(id)
+    }
+
+    /// Number of ids ever created (not the number of distinct sets).
+    pub fn len(&self) -> usize {
+        self.parents.len()
+    }
+
+    /// True if no ids have been created.
+    pub fn is_empty(&self) -> bool {
+        self.parents.is_empty()
+    }
+
+    /// Finds the canonical representative of `id` without path compression.
+    pub fn find(&self, mut id: Id) -> Id {
+        loop {
+            let parent = self.parents[id.0 as usize];
+            if parent == id.0 {
+                return id;
+            }
+            id = Id(parent);
+        }
+    }
+
+    /// Finds the canonical representative of `id`, compressing paths along the way.
+    pub fn find_mut(&mut self, id: Id) -> Id {
+        let root = self.find(id);
+        let mut cur = id.0;
+        while cur != root.0 {
+            let parent = self.parents[cur as usize];
+            self.parents[cur as usize] = root.0;
+            cur = parent;
+        }
+        root
+    }
+
+    /// Merges the sets containing `a` and `b`; the canonical id of `a` wins.
+    /// Returns the surviving representative.
+    pub fn union(&mut self, a: Id, b: Id) -> Id {
+        let ra = self.find_mut(a);
+        let rb = self.find_mut(b);
+        if ra != rb {
+            self.parents[rb.0 as usize] = ra.0;
+        }
+        ra
+    }
+
+    /// True if `a` and `b` are in the same set.
+    pub fn same(&self, a: Id, b: Id) -> bool {
+        self.find(a) == self.find(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singleton_sets() {
+        let mut uf = UnionFind::new();
+        let a = uf.make_set();
+        let b = uf.make_set();
+        assert_ne!(a, b);
+        assert_eq!(uf.find(a), a);
+        assert!(!uf.same(a, b));
+        assert_eq!(uf.len(), 2);
+    }
+
+    #[test]
+    fn union_and_find() {
+        let mut uf = UnionFind::new();
+        let ids: Vec<Id> = (0..10).map(|_| uf.make_set()).collect();
+        uf.union(ids[0], ids[1]);
+        uf.union(ids[2], ids[3]);
+        uf.union(ids[0], ids[3]);
+        for i in 0..4 {
+            assert!(uf.same(ids[i], ids[0]), "id {i} should join the merged set");
+        }
+        assert!(!uf.same(ids[0], ids[4]));
+        // The first argument's root survives.
+        assert_eq!(uf.find(ids[3]), uf.find(ids[0]));
+    }
+
+    #[test]
+    fn path_compression_preserves_roots() {
+        let mut uf = UnionFind::new();
+        let ids: Vec<Id> = (0..50).map(|_| uf.make_set()).collect();
+        for w in ids.windows(2) {
+            uf.union(w[0], w[1]);
+        }
+        let root = uf.find(ids[0]);
+        for &id in &ids {
+            assert_eq!(uf.find_mut(id), root);
+        }
+    }
+}

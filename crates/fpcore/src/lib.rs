@@ -1,0 +1,44 @@
+//! # fpcore
+//!
+//! An implementation of the [FPCore](https://fpbench.org) interchange format for
+//! real-number expressions, used as the input (and default output) language of the
+//! Chassis target-aware numerical compiler.
+//!
+//! The crate provides:
+//!
+//! * an interned [`Symbol`] type for variable and benchmark names,
+//! * a [`RealOp`] vocabulary of real-number operators (arithmetic, transcendental,
+//!   comparison and boolean operators),
+//! * an exact [`Constant`] literal type backed by rational numbers,
+//! * the [`Expr`] expression tree and the [`FPCore`] top-level form
+//!   (arguments, `:pre` precondition, `:name`, `:precision`, body),
+//! * an S-expression [`parser`] and [`printer`],
+//! * a plain `f64` [`eval`]uator used for quick checks and for the
+//!   traditional-compiler baseline.
+//!
+//! # Example
+//!
+//! ```
+//! use fpcore::parse_fpcore;
+//!
+//! let core = parse_fpcore("(FPCore (x) :name \"inverse\" (/ 1 x))").unwrap();
+//! assert_eq!(core.args.len(), 1);
+//! assert_eq!(core.name.as_deref(), Some("inverse"));
+//! ```
+
+pub mod ast;
+pub mod constant;
+pub mod eval;
+pub mod parser;
+pub mod printer;
+pub mod rational;
+pub mod symbol;
+pub mod types;
+
+pub use ast::{Expr, FPCore, RealOp};
+pub use constant::Constant;
+pub use parser::{parse_expr, parse_fpcore, parse_fpcores, ParseError};
+pub use printer::{to_infix, to_sexpr};
+pub use rational::Rational;
+pub use symbol::Symbol;
+pub use types::FpType;

@@ -1,0 +1,475 @@
+//! S-expression parser for FPCore benchmarks and bare expressions.
+//!
+//! The grammar is the subset of FPCore 1.2 used by the Herbie benchmark suite:
+//!
+//! ```text
+//! fpcore ::= ( FPCore symbol? ( arg* ) property* expr )
+//! arg    ::= symbol | ( ! :precision prec symbol )
+//! expr   ::= number | constant | symbol
+//!          | ( op expr+ ) | ( if expr expr expr ) | ( let ( (sym expr)* ) expr )
+//! property ::= :name string | :pre expr | :precision prec | :<other> datum
+//! ```
+//!
+//! `let` bindings are eliminated by substitution at parse time, since the rest of
+//! the compiler works on pure expression trees.
+
+use crate::ast::{Expr, FPCore, RealOp};
+use crate::constant::Constant;
+use crate::symbol::Symbol;
+use crate::types::FpType;
+use std::fmt;
+
+/// An error produced while parsing FPCore text.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ParseError {
+    message: String,
+}
+
+impl ParseError {
+    fn new(message: impl Into<String>) -> ParseError {
+        ParseError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error: {}", self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// A parsed S-expression datum.
+#[derive(Clone, PartialEq, Debug)]
+enum Sexpr {
+    Atom(String),
+    Str(String),
+    List(Vec<Sexpr>),
+}
+
+struct Lexer<'a> {
+    text: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(text: &'a str) -> Lexer<'a> {
+        Lexer {
+            text: text.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn skip_trivia(&mut self) {
+        while self.pos < self.text.len() {
+            let b = self.text[self.pos];
+            if b.is_ascii_whitespace() {
+                self.pos += 1;
+            } else if b == b';' {
+                while self.pos < self.text.len() && self.text[self.pos] != b'\n' {
+                    self.pos += 1;
+                }
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_trivia();
+        self.text.get(self.pos).copied()
+    }
+
+    fn parse_datum(&mut self) -> Result<Sexpr, ParseError> {
+        match self.peek() {
+            None => Err(ParseError::new("unexpected end of input")),
+            Some(b'(') | Some(b'[') => {
+                let close = if self.text[self.pos] == b'(' { b')' } else { b']' };
+                self.pos += 1;
+                let mut items = Vec::new();
+                loop {
+                    match self.peek() {
+                        None => return Err(ParseError::new("unterminated list")),
+                        Some(b) if b == close => {
+                            self.pos += 1;
+                            return Ok(Sexpr::List(items));
+                        }
+                        Some(b')') | Some(b']') => {
+                            return Err(ParseError::new("mismatched bracket"))
+                        }
+                        Some(_) => items.push(self.parse_datum()?),
+                    }
+                }
+            }
+            Some(b')') | Some(b']') => Err(ParseError::new("unexpected closing bracket")),
+            Some(b'"') => {
+                self.pos += 1;
+                let start = self.pos;
+                while self.pos < self.text.len() && self.text[self.pos] != b'"' {
+                    self.pos += 1;
+                }
+                if self.pos >= self.text.len() {
+                    return Err(ParseError::new("unterminated string"));
+                }
+                let s = String::from_utf8_lossy(&self.text[start..self.pos]).into_owned();
+                self.pos += 1;
+                Ok(Sexpr::Str(s))
+            }
+            Some(_) => {
+                let start = self.pos;
+                while self.pos < self.text.len() {
+                    let b = self.text[self.pos];
+                    if b.is_ascii_whitespace() || b == b'(' || b == b')' || b == b'[' || b == b']'
+                    {
+                        break;
+                    }
+                    self.pos += 1;
+                }
+                let s = String::from_utf8_lossy(&self.text[start..self.pos]).into_owned();
+                Ok(Sexpr::Atom(s))
+            }
+        }
+    }
+
+    fn at_end(&mut self) -> bool {
+        self.peek().is_none()
+    }
+}
+
+fn expr_from_sexpr(sexpr: &Sexpr) -> Result<Expr, ParseError> {
+    match sexpr {
+        Sexpr::Str(s) => Err(ParseError::new(format!("unexpected string {s:?}"))),
+        Sexpr::Atom(tok) => {
+            if let Some(c) = Constant::parse(tok) {
+                Ok(Expr::Num(c))
+            } else if tok.starts_with(|c: char| c.is_ascii_digit()) {
+                Err(ParseError::new(format!("malformed number {tok:?}")))
+            } else {
+                Ok(Expr::Var(Symbol::new(tok)))
+            }
+        }
+        Sexpr::List(items) => {
+            let (head, rest) = items
+                .split_first()
+                .ok_or_else(|| ParseError::new("empty application"))?;
+            let head = match head {
+                Sexpr::Atom(a) => a.as_str(),
+                _ => return Err(ParseError::new("application head must be a symbol")),
+            };
+            match head {
+                "if" => {
+                    if rest.len() != 3 {
+                        return Err(ParseError::new("if expects 3 arguments"));
+                    }
+                    Ok(Expr::If(
+                        Box::new(expr_from_sexpr(&rest[0])?),
+                        Box::new(expr_from_sexpr(&rest[1])?),
+                        Box::new(expr_from_sexpr(&rest[2])?),
+                    ))
+                }
+                "let" | "let*" => {
+                    if rest.len() != 2 {
+                        return Err(ParseError::new("let expects bindings and a body"));
+                    }
+                    let bindings = match &rest[0] {
+                        Sexpr::List(bs) => bs,
+                        _ => return Err(ParseError::new("let bindings must be a list")),
+                    };
+                    let mut body = expr_from_sexpr(&rest[1])?;
+                    // Substitute bindings in reverse so later bindings may refer to
+                    // earlier ones (let* semantics, a superset of let for the corpus).
+                    let mut parsed: Vec<(Symbol, Expr)> = Vec::new();
+                    for b in bindings {
+                        match b {
+                            Sexpr::List(pair) if pair.len() == 2 => {
+                                let name = match &pair[0] {
+                                    Sexpr::Atom(a) => Symbol::new(a),
+                                    _ => {
+                                        return Err(ParseError::new(
+                                            "let binding name must be a symbol",
+                                        ))
+                                    }
+                                };
+                                let mut value = expr_from_sexpr(&pair[1])?;
+                                for (prev_name, prev_value) in &parsed {
+                                    value = value.substitute(*prev_name, prev_value);
+                                }
+                                parsed.push((name, value));
+                            }
+                            _ => return Err(ParseError::new("malformed let binding")),
+                        }
+                    }
+                    for (name, value) in parsed.iter().rev() {
+                        body = body.substitute(*name, value);
+                    }
+                    Ok(body)
+                }
+                "-" if rest.len() == 1 => Ok(Expr::un(RealOp::Neg, expr_from_sexpr(&rest[0])?)),
+                "+" | "*" | "and" | "or" if rest.len() > 2 => {
+                    // Fold variadic forms left-associatively.
+                    let op = RealOp::from_name(head).expect("known variadic operator");
+                    let mut iter = rest.iter();
+                    let mut acc = expr_from_sexpr(iter.next().expect("nonempty"))?;
+                    for arg in iter {
+                        acc = Expr::bin(op, acc, expr_from_sexpr(arg)?);
+                    }
+                    Ok(acc)
+                }
+                _ => {
+                    let op = RealOp::from_name(head)
+                        .ok_or_else(|| ParseError::new(format!("unknown operator {head:?}")))?;
+                    if rest.len() != op.arity() {
+                        return Err(ParseError::new(format!(
+                            "operator {head} expects {} argument(s), got {}",
+                            op.arity(),
+                            rest.len()
+                        )));
+                    }
+                    let args = rest
+                        .iter()
+                        .map(expr_from_sexpr)
+                        .collect::<Result<Vec<_>, _>>()?;
+                    Ok(Expr::Op(op, args))
+                }
+            }
+        }
+    }
+}
+
+fn fpcore_from_sexpr(sexpr: &Sexpr) -> Result<FPCore, ParseError> {
+    let items = match sexpr {
+        Sexpr::List(items) => items,
+        _ => return Err(ParseError::new("FPCore must be a list")),
+    };
+    let mut iter = items.iter();
+    match iter.next() {
+        Some(Sexpr::Atom(a)) if a == "FPCore" => {}
+        _ => return Err(ParseError::new("expected (FPCore ...)")),
+    }
+    let mut rest: Vec<&Sexpr> = iter.collect();
+    if rest.is_empty() {
+        return Err(ParseError::new("FPCore missing argument list and body"));
+    }
+
+    // Optional identifier before the argument list.
+    let mut name: Option<String> = None;
+    if let Sexpr::Atom(a) = rest[0] {
+        name = Some(a.clone());
+        rest.remove(0);
+    }
+
+    let args_sexpr = rest
+        .first()
+        .ok_or_else(|| ParseError::new("FPCore missing argument list"))?;
+    let args_list = match args_sexpr {
+        Sexpr::List(items) => items,
+        _ => return Err(ParseError::new("FPCore arguments must be a list")),
+    };
+    let mut args = Vec::new();
+    for a in args_list {
+        match a {
+            Sexpr::Atom(sym) => args.push((Symbol::new(sym), FpType::Binary64)),
+            Sexpr::List(ann) => {
+                // (! :precision binary32 x)
+                let mut arg_ty = FpType::Binary64;
+                let mut arg_name = None;
+                let mut i = 0;
+                while i < ann.len() {
+                    match &ann[i] {
+                        Sexpr::Atom(t) if t == "!" => i += 1,
+                        Sexpr::Atom(t) if t == ":precision" => {
+                            if let Some(Sexpr::Atom(p)) = ann.get(i + 1) {
+                                arg_ty = FpType::from_name(p).ok_or_else(|| {
+                                    ParseError::new(format!("unknown precision {p:?}"))
+                                })?;
+                            }
+                            i += 2;
+                        }
+                        Sexpr::Atom(t) if t.starts_with(':') => i += 2,
+                        Sexpr::Atom(sym) => {
+                            arg_name = Some(Symbol::new(sym));
+                            i += 1;
+                        }
+                        _ => i += 1,
+                    }
+                }
+                let sym =
+                    arg_name.ok_or_else(|| ParseError::new("annotated argument missing name"))?;
+                args.push((sym, arg_ty));
+            }
+            Sexpr::Str(_) => return Err(ParseError::new("argument cannot be a string")),
+        }
+    }
+    rest.remove(0);
+
+    // Properties come in (:key datum) pairs; the final datum is the body.
+    let body_sexpr = rest
+        .pop()
+        .ok_or_else(|| ParseError::new("FPCore missing body"))?;
+    let mut pre = None;
+    let mut precision = FpType::Binary64;
+    let mut i = 0;
+    while i < rest.len() {
+        let key = match rest[i] {
+            Sexpr::Atom(a) if a.starts_with(':') => a.as_str(),
+            other => {
+                return Err(ParseError::new(format!(
+                    "expected property keyword, got {other:?}"
+                )))
+            }
+        };
+        let value = rest
+            .get(i + 1)
+            .ok_or_else(|| ParseError::new(format!("property {key} missing value")))?;
+        match key {
+            ":name" => {
+                if let Sexpr::Str(s) | Sexpr::Atom(s) = value {
+                    name = Some(s.clone());
+                }
+            }
+            ":pre" => pre = Some(expr_from_sexpr(value)?),
+            ":precision" => {
+                if let Sexpr::Atom(p) = value {
+                    precision = FpType::from_name(p)
+                        .ok_or_else(|| ParseError::new(format!("unknown precision {p:?}")))?;
+                }
+            }
+            // Other properties (:spec, :cite, :herbie-target, ...) are ignored.
+            _ => {}
+        }
+        i += 2;
+    }
+
+    Ok(FPCore {
+        name,
+        args,
+        pre,
+        precision,
+        body: expr_from_sexpr(body_sexpr)?,
+    })
+}
+
+/// Parses a bare expression, e.g. `(+ x 1)`.
+pub fn parse_expr(text: &str) -> Result<Expr, ParseError> {
+    let mut lexer = Lexer::new(text);
+    let datum = lexer.parse_datum()?;
+    if !lexer.at_end() {
+        return Err(ParseError::new("trailing input after expression"));
+    }
+    expr_from_sexpr(&datum)
+}
+
+/// Parses a single `(FPCore ...)` form.
+pub fn parse_fpcore(text: &str) -> Result<FPCore, ParseError> {
+    let mut lexer = Lexer::new(text);
+    let datum = lexer.parse_datum()?;
+    if !lexer.at_end() {
+        return Err(ParseError::new("trailing input after FPCore"));
+    }
+    fpcore_from_sexpr(&datum)
+}
+
+/// Parses a file containing any number of `(FPCore ...)` forms.
+pub fn parse_fpcores(text: &str) -> Result<Vec<FPCore>, ParseError> {
+    let mut lexer = Lexer::new(text);
+    let mut out = Vec::new();
+    while !lexer.at_end() {
+        let datum = lexer.parse_datum()?;
+        out.push(fpcore_from_sexpr(&datum)?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_simple_expression() {
+        let e = parse_expr("(+ (* x x) 1)").unwrap();
+        assert_eq!(e.size(), 5);
+        assert_eq!(e.variables().len(), 1);
+    }
+
+    #[test]
+    fn parses_unary_minus_and_variadic_plus() {
+        let e = parse_expr("(- x)").unwrap();
+        assert!(matches!(e, Expr::Op(RealOp::Neg, _)));
+        let e = parse_expr("(+ a b c d)").unwrap();
+        assert_eq!(e.variables().len(), 4);
+    }
+
+    #[test]
+    fn parses_constants() {
+        let e = parse_expr("(* PI 2)").unwrap();
+        assert_eq!(e.size(), 3);
+        let e = parse_expr("-1.5e3").unwrap();
+        assert!(matches!(e, Expr::Num(_)));
+    }
+
+    #[test]
+    fn parses_if_and_comparison() {
+        let e = parse_expr("(if (< x 0) (- x) x)").unwrap();
+        assert!(e.has_if());
+    }
+
+    #[test]
+    fn let_is_substituted() {
+        let e = parse_expr("(let ((t (+ x 1))) (* t t))").unwrap();
+        assert_eq!(e, parse_expr("(* (+ x 1) (+ x 1))").unwrap());
+        let e = parse_expr("(let* ((a (+ x 1)) (b (* a 2))) b)").unwrap();
+        assert_eq!(e, parse_expr("(* (+ x 1) 2)").unwrap());
+    }
+
+    #[test]
+    fn parses_full_fpcore() {
+        let src = r#"
+            (FPCore (a b c)
+              :name "quadratic formula"
+              :pre (and (> a 0) (> (* b b) (* 4 (* a c))))
+              (/ (+ (- b) (sqrt (- (* b b) (* 4 (* a c))))) (* 2 a)))
+        "#;
+        let core = parse_fpcore(src).unwrap();
+        assert_eq!(core.name.as_deref(), Some("quadratic formula"));
+        assert_eq!(core.args.len(), 3);
+        assert!(core.pre.is_some());
+        assert_eq!(core.precision, FpType::Binary64);
+    }
+
+    #[test]
+    fn parses_annotated_argument_precision() {
+        let core =
+            parse_fpcore("(FPCore ((! :precision binary32 x) y) :precision binary32 (+ x y))")
+                .unwrap();
+        assert_eq!(core.args[0].1, FpType::Binary32);
+        assert_eq!(core.args[1].1, FpType::Binary64);
+        assert_eq!(core.precision, FpType::Binary32);
+    }
+
+    #[test]
+    fn parses_multiple_cores_and_comments() {
+        let src = "; a comment\n(FPCore (x) x)\n(FPCore (y) (exp y))";
+        let cores = parse_fpcores(src).unwrap();
+        assert_eq!(cores.len(), 2);
+    }
+
+    #[test]
+    fn reports_errors() {
+        assert!(parse_expr("(+ x").is_err());
+        assert!(parse_expr("(unknown x)").is_err());
+        assert!(parse_expr("(sqrt x y)").is_err());
+        assert!(parse_fpcore("(NotFPCore (x) x)").is_err());
+        assert!(parse_expr("(+ x 1) junk").is_err());
+    }
+
+    #[test]
+    fn round_trip_through_printer() {
+        let src = "(/ (- (exp x) 1) x)";
+        let e = parse_expr(src).unwrap();
+        let printed = crate::printer::to_sexpr(&e);
+        let reparsed = parse_expr(&printed).unwrap();
+        assert_eq!(e, reparsed);
+    }
+}

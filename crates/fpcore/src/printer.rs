@@ -1,0 +1,207 @@
+//! Pretty-printers: S-expression (FPCore) output and C-like infix output.
+
+use crate::ast::{Expr, FPCore, RealOp};
+use std::fmt::Write;
+
+/// Renders an expression as an FPCore S-expression.
+pub fn to_sexpr(expr: &Expr) -> String {
+    let mut out = String::new();
+    write_sexpr(expr, &mut out);
+    out
+}
+
+fn write_sexpr(expr: &Expr, out: &mut String) {
+    match expr {
+        Expr::Num(c) => {
+            let _ = write!(out, "{c}");
+        }
+        Expr::Var(v) => {
+            let _ = write!(out, "{v}");
+        }
+        Expr::Op(RealOp::Neg, args) => {
+            out.push_str("(- ");
+            write_sexpr(&args[0], out);
+            out.push(')');
+        }
+        Expr::Op(op, args) => {
+            let _ = write!(out, "({}", op.name());
+            for a in args {
+                out.push(' ');
+                write_sexpr(a, out);
+            }
+            out.push(')');
+        }
+        Expr::If(c, t, e) => {
+            out.push_str("(if ");
+            write_sexpr(c, out);
+            out.push(' ');
+            write_sexpr(t, out);
+            out.push(' ');
+            write_sexpr(e, out);
+            out.push(')');
+        }
+    }
+}
+
+/// Renders an entire FPCore form as an S-expression.
+pub fn fpcore_to_sexpr(core: &FPCore) -> String {
+    let mut out = String::from("(FPCore (");
+    for (i, (name, ty)) in core.args.iter().enumerate() {
+        if i > 0 {
+            out.push(' ');
+        }
+        if *ty == crate::FpType::Binary64 {
+            let _ = write!(out, "{name}");
+        } else {
+            let _ = write!(out, "(! :precision {} {})", ty.name(), name);
+        }
+    }
+    out.push(')');
+    if let Some(name) = &core.name {
+        let _ = write!(out, " :name \"{name}\"");
+    }
+    if core.precision != crate::FpType::Binary64 {
+        let _ = write!(out, " :precision {}", core.precision.name());
+    }
+    if let Some(pre) = &core.pre {
+        let _ = write!(out, " :pre {}", to_sexpr(pre));
+    }
+    let _ = write!(out, " {})", to_sexpr(&core.body));
+    out
+}
+
+fn precedence(op: RealOp) -> u8 {
+    use RealOp::*;
+    match op {
+        Or => 1,
+        And => 2,
+        Eq | Ne | Lt | Gt | Le | Ge => 3,
+        Add | Sub => 4,
+        Mul | Div => 5,
+        Neg | Not => 6,
+        _ => 7,
+    }
+}
+
+fn infix_symbol(op: RealOp) -> Option<&'static str> {
+    use RealOp::*;
+    Some(match op {
+        Add => "+",
+        Sub => "-",
+        Mul => "*",
+        Div => "/",
+        Lt => "<",
+        Gt => ">",
+        Le => "<=",
+        Ge => ">=",
+        Eq => "==",
+        Ne => "!=",
+        And => "&&",
+        Or => "||",
+        _ => return None,
+    })
+}
+
+/// Renders an expression in C-like infix syntax, used for human-readable reports
+/// and the C output format of target descriptions.
+pub fn to_infix(expr: &Expr) -> String {
+    fn go(expr: &Expr, parent_prec: u8, out: &mut String) {
+        match expr {
+            Expr::Num(c) => {
+                let _ = write!(out, "{c}");
+            }
+            Expr::Var(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Expr::Op(op, args) => {
+                if let Some(sym) = infix_symbol(*op) {
+                    let prec = precedence(*op);
+                    let need_parens = prec < parent_prec;
+                    if need_parens {
+                        out.push('(');
+                    }
+                    go(&args[0], prec, out);
+                    let _ = write!(out, " {sym} ");
+                    go(&args[1], prec + 1, out);
+                    if need_parens {
+                        out.push(')');
+                    }
+                } else if *op == RealOp::Neg {
+                    out.push_str("-(");
+                    go(&args[0], 0, out);
+                    out.push(')');
+                } else if *op == RealOp::Not {
+                    out.push_str("!(");
+                    go(&args[0], 0, out);
+                    out.push(')');
+                } else {
+                    let _ = write!(out, "{}(", op.name());
+                    for (i, a) in args.iter().enumerate() {
+                        if i > 0 {
+                            out.push_str(", ");
+                        }
+                        go(a, 0, out);
+                    }
+                    out.push(')');
+                }
+            }
+            Expr::If(c, t, e) => {
+                out.push('(');
+                go(c, 0, out);
+                out.push_str(" ? ");
+                go(t, 0, out);
+                out.push_str(" : ");
+                go(e, 0, out);
+                out.push(')');
+            }
+        }
+    }
+    let mut out = String::new();
+    go(expr, 0, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_expr, parse_fpcore};
+
+    #[test]
+    fn sexpr_round_trip() {
+        for src in [
+            "(+ x 1)",
+            "(- x)",
+            "(if (< x 0) (- x) x)",
+            "(fma a b c)",
+            "(* PI (sqrt x))",
+        ] {
+            let e = parse_expr(src).unwrap();
+            assert_eq!(parse_expr(&to_sexpr(&e)).unwrap(), e, "src = {src}");
+        }
+    }
+
+    #[test]
+    fn fpcore_round_trip() {
+        let src = "(FPCore (x y) :name \"hyp\" :pre (> x 0) (hypot x y))";
+        let core = parse_fpcore(src).unwrap();
+        let printed = fpcore_to_sexpr(&core);
+        let reparsed = parse_fpcore(&printed).unwrap();
+        assert_eq!(core, reparsed);
+    }
+
+    #[test]
+    fn infix_output() {
+        let e = parse_expr("(/ (+ a b) (* c (- d)))").unwrap();
+        assert_eq!(to_infix(&e), "(a + b) / (c * -(d))");
+        let e = parse_expr("(if (< x 0) (exp x) (log x))").unwrap();
+        assert_eq!(to_infix(&e), "(x < 0 ? exp(x) : log(x))");
+    }
+
+    #[test]
+    fn infix_respects_precedence() {
+        let e = parse_expr("(* (+ a b) c)").unwrap();
+        assert_eq!(to_infix(&e), "(a + b) * c");
+        let e = parse_expr("(+ a (* b c))").unwrap();
+        assert_eq!(to_infix(&e), "a + b * c");
+    }
+}

@@ -1,0 +1,128 @@
+//! Interned strings for variable names and identifiers.
+//!
+//! A [`Symbol`] is a cheap, copyable handle (`u32` index) into a global string
+//! interner. Two symbols created from equal strings compare equal and hash
+//! identically, which makes them suitable as keys throughout the compiler.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{Mutex, OnceLock};
+
+/// An interned identifier.
+///
+/// # Example
+///
+/// ```
+/// use fpcore::Symbol;
+/// let a = Symbol::from("x");
+/// let b = Symbol::from("x");
+/// assert_eq!(a, b);
+/// assert_eq!(a.as_str(), "x");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Symbol(u32);
+
+struct Interner {
+    names: Vec<&'static str>,
+    ids: HashMap<&'static str, u32>,
+}
+
+fn interner() -> &'static Mutex<Interner> {
+    static INTERNER: OnceLock<Mutex<Interner>> = OnceLock::new();
+    INTERNER.get_or_init(|| {
+        Mutex::new(Interner {
+            names: Vec::new(),
+            ids: HashMap::new(),
+        })
+    })
+}
+
+impl Symbol {
+    /// Interns `name` and returns its symbol.
+    pub fn new(name: &str) -> Symbol {
+        let mut int = interner().lock().expect("symbol interner poisoned");
+        if let Some(&id) = int.ids.get(name) {
+            return Symbol(id);
+        }
+        // Interned strings are deliberately leaked: the set of distinct
+        // identifiers in a compilation session is small and bounded.
+        let leaked: &'static str = Box::leak(name.to_owned().into_boxed_str());
+        let id = int.names.len() as u32;
+        int.names.push(leaked);
+        int.ids.insert(leaked, id);
+        Symbol(id)
+    }
+
+    /// Returns the interned string.
+    pub fn as_str(&self) -> &'static str {
+        let int = interner().lock().expect("symbol interner poisoned");
+        int.names[self.0 as usize]
+    }
+
+    /// Returns the raw interner index. Stable within a process only.
+    pub fn index(&self) -> u32 {
+        self.0
+    }
+}
+
+impl From<&str> for Symbol {
+    fn from(s: &str) -> Symbol {
+        Symbol::new(s)
+    }
+}
+
+impl From<String> for Symbol {
+    fn from(s: String) -> Symbol {
+        Symbol::new(&s)
+    }
+}
+
+impl fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Symbol({:?})", self.as_str())
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let a = Symbol::new("alpha");
+        let b = Symbol::new("alpha");
+        let c = Symbol::new("beta");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.index(), b.index());
+    }
+
+    #[test]
+    fn round_trips_string() {
+        let s = Symbol::new("some_var_name");
+        assert_eq!(s.as_str(), "some_var_name");
+        assert_eq!(s.to_string(), "some_var_name");
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        let s = Symbol::new("x");
+        assert!(format!("{s:?}").contains('x'));
+    }
+
+    #[test]
+    fn many_symbols_distinct() {
+        let syms: Vec<Symbol> = (0..100).map(|i| Symbol::new(&format!("v{i}"))).collect();
+        for (i, a) in syms.iter().enumerate() {
+            for (j, b) in syms.iter().enumerate() {
+                assert_eq!(i == j, a == b);
+            }
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! Floating-point representation types used by Chassis.
+//!
+//! Real-number expressions are untyped; floating-point operators are typed by the
+//! representation they consume and produce. Chassis only distinguishes the IEEE
+//! binary formats it can lower to (plus booleans for comparison and conditional
+//! operators).
+
+use std::fmt;
+
+/// A floating-point (or boolean) representation.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub enum FpType {
+    /// IEEE 754 binary32 (single precision).
+    Binary32,
+    /// IEEE 754 binary64 (double precision).
+    Binary64,
+    /// Boolean values produced by comparisons and consumed by conditionals.
+    Bool,
+}
+
+impl FpType {
+    /// The number of significand bits (including the implicit bit), which is the
+    /// `p` used by the paper's accuracy metric `p - log2(ULPs)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called on [`FpType::Bool`], which has no significand.
+    pub fn precision_bits(self) -> u32 {
+        match self {
+            FpType::Binary32 => 24,
+            FpType::Binary64 => 53,
+            FpType::Bool => panic!("booleans have no significand"),
+        }
+    }
+
+    /// Exponent width in bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called on [`FpType::Bool`].
+    pub fn exponent_bits(self) -> u32 {
+        match self {
+            FpType::Binary32 => 8,
+            FpType::Binary64 => 11,
+            FpType::Bool => panic!("booleans have no exponent"),
+        }
+    }
+
+    /// Returns `true` for numeric formats (everything except `Bool`).
+    pub fn is_numeric(self) -> bool {
+        !matches!(self, FpType::Bool)
+    }
+
+    /// FPCore name of this type (`binary32`, `binary64`, `bool`).
+    pub fn name(self) -> &'static str {
+        match self {
+            FpType::Binary32 => "binary32",
+            FpType::Binary64 => "binary64",
+            FpType::Bool => "bool",
+        }
+    }
+
+    /// Parses an FPCore precision name.
+    pub fn from_name(name: &str) -> Option<FpType> {
+        match name {
+            "binary32" | "float32" | "single" => Some(FpType::Binary32),
+            "binary64" | "float64" | "double" => Some(FpType::Binary64),
+            "bool" => Some(FpType::Bool),
+            _ => None,
+        }
+    }
+
+    /// All numeric formats, widest first.
+    pub fn numeric() -> [FpType; 2] {
+        [FpType::Binary64, FpType::Binary32]
+    }
+}
+
+impl Default for FpType {
+    fn default() -> Self {
+        FpType::Binary64
+    }
+}
+
+impl fmt::Display for FpType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn precision_bits_match_ieee() {
+        assert_eq!(FpType::Binary32.precision_bits(), 24);
+        assert_eq!(FpType::Binary64.precision_bits(), 53);
+        assert_eq!(FpType::Binary32.exponent_bits(), 8);
+        assert_eq!(FpType::Binary64.exponent_bits(), 11);
+    }
+
+    #[test]
+    fn names_round_trip() {
+        for t in [FpType::Binary32, FpType::Binary64, FpType::Bool] {
+            assert_eq!(FpType::from_name(t.name()), Some(t));
+        }
+        assert_eq!(FpType::from_name("double"), Some(FpType::Binary64));
+        assert_eq!(FpType::from_name("quad"), None);
+    }
+
+    #[test]
+    fn default_is_double() {
+        assert_eq!(FpType::default(), FpType::Binary64);
+    }
+
+    #[test]
+    fn numeric_flag() {
+        assert!(FpType::Binary32.is_numeric());
+        assert!(FpType::Binary64.is_numeric());
+        assert!(!FpType::Bool.is_numeric());
+    }
+}

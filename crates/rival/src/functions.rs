@@ -1,0 +1,936 @@
+//! Elementary functions on [`BigFloat`]s.
+//!
+//! Every function takes a target precision `prec` (in bits) and internally works
+//! at `prec + GUARD` bits, so the returned value is within a couple of ulps at
+//! `prec` of the mathematically exact result. The interval layer widens results
+//! by a conservative slop, so these functions do **not** need to be correctly
+//! rounded — only accurate to a known, small number of ulps.
+//!
+//! Algorithms are the classical ones: argument reduction against cached
+//! constants (π via Machin's formula, ln 2 via `2·atanh(1/3)`) followed by
+//! Taylor / atanh series.
+
+use crate::bigfloat::{BigFloat, RoundMode};
+use std::collections::HashMap;
+use std::sync::Mutex;
+use std::sync::OnceLock;
+
+/// Extra working bits used inside every function.
+const GUARD: u32 = 32;
+
+fn wp(prec: u32) -> u32 {
+    prec + GUARD
+}
+
+type ConstCache = Mutex<HashMap<(&'static str, u32), BigFloat>>;
+
+fn cache() -> &'static ConstCache {
+    static CACHE: OnceLock<ConstCache> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+fn cached(name: &'static str, prec: u32, compute: impl FnOnce(u32) -> BigFloat) -> BigFloat {
+    if let Some(v) = cache().lock().expect("constant cache").get(&(name, prec)) {
+        return v.clone();
+    }
+    let value = compute(prec);
+    cache()
+        .lock()
+        .expect("constant cache")
+        .insert((name, prec), value.clone());
+    value
+}
+
+fn add(a: &BigFloat, b: &BigFloat, p: u32) -> BigFloat {
+    BigFloat::add(a, b, p, RoundMode::Nearest)
+}
+fn sub(a: &BigFloat, b: &BigFloat, p: u32) -> BigFloat {
+    BigFloat::sub(a, b, p, RoundMode::Nearest)
+}
+fn mul(a: &BigFloat, b: &BigFloat, p: u32) -> BigFloat {
+    BigFloat::mul(a, b, p, RoundMode::Nearest)
+}
+fn div(a: &BigFloat, b: &BigFloat, p: u32) -> BigFloat {
+    BigFloat::div(a, b, p, RoundMode::Nearest)
+}
+fn int(n: i64) -> BigFloat {
+    BigFloat::from_i64(n)
+}
+
+/// True when `|x| < 2^threshold_exp` (treats zero as below any threshold).
+fn below_magnitude(x: &BigFloat, threshold_exp: i64) -> bool {
+    match x.magnitude() {
+        None => x.is_zero(),
+        Some(m) => m < threshold_exp,
+    }
+}
+
+/// arctan(1/n) for a small positive integer n, via the Taylor series.
+fn atan_recip(n: i64, prec: u32) -> BigFloat {
+    let p = wp(prec);
+    let x = div(&int(1), &int(n), p);
+    let x2 = mul(&x, &x, p);
+    let mut term = x.clone();
+    let mut sum = x.clone();
+    let mut k: i64 = 1;
+    loop {
+        term = mul(&term, &x2, p);
+        let contrib = div(&term, &int(2 * k + 1), p);
+        if below_magnitude(&contrib, sum.magnitude().unwrap_or(0) - p as i64 - 2) {
+            break;
+        }
+        sum = if k % 2 == 1 {
+            sub(&sum, &contrib, p)
+        } else {
+            add(&sum, &contrib, p)
+        };
+        k += 1;
+    }
+    sum.round_to(prec, RoundMode::Nearest)
+}
+
+/// π to `prec` bits (Machin: π = 16·atan(1/5) − 4·atan(1/239)).
+pub fn pi(prec: u32) -> BigFloat {
+    cached("pi", prec, |prec| {
+        let p = wp(prec) + 8;
+        let a = atan_recip(5, p);
+        let b = atan_recip(239, p);
+        let sixteen_a = mul(&a, &int(16), p);
+        let four_b = mul(&b, &int(4), p);
+        sub(&sixteen_a, &four_b, p).round_to(prec, RoundMode::Nearest)
+    })
+}
+
+/// ln 2 to `prec` bits (`2·atanh(1/3)`).
+pub fn ln2(prec: u32) -> BigFloat {
+    cached("ln2", prec, |prec| {
+        let p = wp(prec) + 8;
+        let third = div(&int(1), &int(3), p);
+        mul(&atanh_series(&third, p), &int(2), p).round_to(prec, RoundMode::Nearest)
+    })
+}
+
+/// ln 10 to `prec` bits.
+pub fn ln10(prec: u32) -> BigFloat {
+    cached("ln10", prec, |prec| log(&int(10), wp(prec) + 8).round_to(prec, RoundMode::Nearest))
+}
+
+/// Euler's number e to `prec` bits.
+pub fn euler(prec: u32) -> BigFloat {
+    cached("e", prec, |prec| exp(&int(1), wp(prec) + 8).round_to(prec, RoundMode::Nearest))
+}
+
+/// atanh via its Taylor series; requires `|x| < 1/2` for fast convergence.
+fn atanh_series(x: &BigFloat, p: u32) -> BigFloat {
+    let x2 = mul(x, x, p);
+    let mut term = x.clone();
+    let mut sum = x.clone();
+    let mut k: i64 = 1;
+    loop {
+        term = mul(&term, &x2, p);
+        let contrib = div(&term, &int(2 * k + 1), p);
+        if contrib.is_zero()
+            || below_magnitude(&contrib, sum.magnitude().unwrap_or(0) - p as i64 - 2)
+        {
+            break;
+        }
+        sum = add(&sum, &contrib, p);
+        k += 1;
+    }
+    sum
+}
+
+/// e^x.
+pub fn exp(x: &BigFloat, prec: u32) -> BigFloat {
+    match x {
+        BigFloat::NaN => return BigFloat::NaN,
+        BigFloat::Inf { negative: true } => return BigFloat::zero(),
+        BigFloat::Inf { negative: false } => return BigFloat::infinity(false),
+        BigFloat::Zero { .. } => return int(1),
+        _ => {}
+    }
+    // Values with |x| >= 2^62 overflow/underflow every representation we target.
+    if let Some(m) = x.magnitude() {
+        if m >= 62 {
+            return if x.is_negative() {
+                BigFloat::zero()
+            } else {
+                BigFloat::infinity(false)
+            };
+        }
+    }
+    let p = wp(prec) + 16;
+    let l2 = ln2(p);
+    // n = round(x / ln2); |r| <= ln2/2.
+    let n_f = div(x, &l2, p).round_int();
+    let n = bigfloat_to_i64(&n_f);
+    let r = sub(x, &mul(&n_f, &l2, p), p);
+    // Taylor series for exp(r).
+    let mut term = int(1);
+    let mut sum = int(1);
+    let mut k: i64 = 1;
+    loop {
+        term = div(&mul(&term, &r, p), &int(k), p);
+        if term.is_zero() || below_magnitude(&term, -(p as i64) - 2) {
+            break;
+        }
+        sum = add(&sum, &term, p);
+        k += 1;
+        if k > 10_000 {
+            break;
+        }
+    }
+    mul_pow2(&sum, n).round_to(prec, RoundMode::Nearest)
+}
+
+/// exp(x) − 1, accurate near zero.
+pub fn expm1(x: &BigFloat, prec: u32) -> BigFloat {
+    match x {
+        BigFloat::NaN => return BigFloat::NaN,
+        BigFloat::Inf { negative: true } => return int(-1),
+        BigFloat::Inf { negative: false } => return BigFloat::infinity(false),
+        BigFloat::Zero { negative } => {
+            return BigFloat::Zero {
+                negative: *negative,
+            }
+        }
+        _ => {}
+    }
+    let p = wp(prec) + 8;
+    if below_magnitude(x, -1) {
+        // |x| < 1/2: Taylor series starting at the linear term (no cancellation).
+        let mut term = int(1);
+        let mut sum = BigFloat::zero();
+        let mut k: i64 = 1;
+        loop {
+            term = div(&mul(&term, x, p), &int(k), p);
+            if term.is_zero() || below_magnitude(&term, x.magnitude().unwrap_or(0) - p as i64 - 2)
+            {
+                break;
+            }
+            sum = add(&sum, &term, p);
+            k += 1;
+            if k > 10_000 {
+                break;
+            }
+        }
+        sum.round_to(prec, RoundMode::Nearest)
+    } else {
+        sub(&exp(x, p), &int(1), p).round_to(prec, RoundMode::Nearest)
+    }
+}
+
+/// Natural logarithm. `log(0) = -∞`, `log(x<0) = NaN`.
+pub fn log(x: &BigFloat, prec: u32) -> BigFloat {
+    match x {
+        BigFloat::NaN => return BigFloat::NaN,
+        BigFloat::Zero { .. } => return BigFloat::infinity(true),
+        BigFloat::Inf { negative: false } => return BigFloat::infinity(false),
+        BigFloat::Inf { negative: true } => return BigFloat::NaN,
+        BigFloat::Finite { negative: true, .. } => return BigFloat::NaN,
+        _ => {}
+    }
+    let p = wp(prec) + 8;
+    let k = x.magnitude().expect("finite nonzero");
+    // m = x / 2^k is in [1, 2).
+    let m = mul_pow2(x, -k);
+    // ln m = 2 atanh((m-1)/(m+1)), argument in [0, 1/3].
+    let t = div(&sub(&m, &int(1), p), &add(&m, &int(1), p), p);
+    let ln_m = mul(&atanh_series(&t, p), &int(2), p);
+    let k_ln2 = mul(&int(k), &ln2(p), p);
+    add(&k_ln2, &ln_m, p).round_to(prec, RoundMode::Nearest)
+}
+
+/// log(1 + x), accurate near zero. `log1p(-1) = -∞`, NaN below −1.
+pub fn log1p(x: &BigFloat, prec: u32) -> BigFloat {
+    match x {
+        BigFloat::NaN => return BigFloat::NaN,
+        BigFloat::Inf { negative: false } => return BigFloat::infinity(false),
+        BigFloat::Inf { negative: true } => return BigFloat::NaN,
+        BigFloat::Zero { negative } => {
+            return BigFloat::Zero {
+                negative: *negative,
+            }
+        }
+        _ => {}
+    }
+    let p = wp(prec) + 8;
+    let minus_one = int(-1);
+    match x.partial_cmp(&minus_one) {
+        Some(std::cmp::Ordering::Less) => return BigFloat::NaN,
+        Some(std::cmp::Ordering::Equal) => return BigFloat::infinity(true),
+        _ => {}
+    }
+    if below_magnitude(x, -1) {
+        // log1p(x) = 2 atanh(x / (x + 2)), argument magnitude < 1/3.
+        let t = div(x, &add(x, &int(2), p), p);
+        mul(&atanh_series(&t, p), &int(2), p).round_to(prec, RoundMode::Nearest)
+    } else {
+        log(&add(&int(1), x, p), p).round_to(prec, RoundMode::Nearest)
+    }
+}
+
+/// Base-2 logarithm.
+pub fn log2(x: &BigFloat, prec: u32) -> BigFloat {
+    let p = wp(prec) + 8;
+    div(&log(x, p), &ln2(p), p).round_to(prec, RoundMode::Nearest)
+}
+
+/// Base-10 logarithm.
+pub fn log10(x: &BigFloat, prec: u32) -> BigFloat {
+    let p = wp(prec) + 8;
+    div(&log(x, p), &ln10(p), p).round_to(prec, RoundMode::Nearest)
+}
+
+/// 2^x.
+pub fn exp2(x: &BigFloat, prec: u32) -> BigFloat {
+    let p = wp(prec) + 8;
+    exp(&mul(x, &ln2(p), p), p).round_to(prec, RoundMode::Nearest)
+}
+
+/// Multiplies a big-float by 2^k exactly.
+pub fn mul_pow2(x: &BigFloat, k: i64) -> BigFloat {
+    match x {
+        BigFloat::Finite {
+            negative,
+            exp,
+            mant,
+        } => BigFloat::Finite {
+            negative: *negative,
+            exp: exp + k,
+            mant: mant.clone(),
+        },
+        other => other.clone(),
+    }
+}
+
+fn bigfloat_to_i64(x: &BigFloat) -> i64 {
+    // Used only for exponents and quadrant counts, which fit comfortably.
+    let v = x.to_f64(RoundMode::Nearest);
+    if v.is_nan() {
+        0
+    } else {
+        v.clamp(i64::MIN as f64, i64::MAX as f64) as i64
+    }
+}
+
+/// Splits sin/cos evaluation: returns (sin x, cos x).
+pub fn sin_cos(x: &BigFloat, prec: u32) -> (BigFloat, BigFloat) {
+    match x {
+        BigFloat::NaN | BigFloat::Inf { .. } => return (BigFloat::NaN, BigFloat::NaN),
+        BigFloat::Zero { negative } => {
+            return (
+                BigFloat::Zero {
+                    negative: *negative,
+                },
+                int(1),
+            )
+        }
+        _ => {}
+    }
+    let mag = x.magnitude().unwrap_or(0).max(0);
+    // Argument reduction needs ~mag extra bits of π. Give up on astronomically
+    // large arguments (the interval layer maps this to an unsamplable point).
+    if mag > 4096 {
+        return (BigFloat::NaN, BigFloat::NaN);
+    }
+    let p = wp(prec) + 16 + mag as u32;
+    let pi_p = pi(p);
+    let half_pi = mul_pow2(&pi_p, -1);
+    // q = round(x / (π/2)); r = x − q·(π/2), |r| ≤ π/4 (+ rounding slop).
+    let q = div(x, &half_pi, p).round_int();
+    let r = sub(x, &mul(&q, &half_pi, p), p);
+    let quadrant = mod4(&q);
+    let (s, c) = sin_cos_taylor(&r, p);
+    let out = match quadrant {
+        0 => (s, c),
+        1 => (c, s.neg()),
+        2 => (s.neg(), c.neg()),
+        3 => (c.neg(), s),
+        _ => unreachable!(),
+    };
+    (
+        out.0.round_to(prec, RoundMode::Nearest),
+        out.1.round_to(prec, RoundMode::Nearest),
+    )
+}
+
+fn mod4(q: &BigFloat) -> u8 {
+    // q is an exact integer big-float; compute q mod 4 (non-negative result).
+    let v = match q {
+        BigFloat::Zero { .. } => 0i64,
+        BigFloat::Finite {
+            negative,
+            exp,
+            mant,
+        } => {
+            let low2 = if *exp >= 2 {
+                0u64
+            } else if *exp >= 0 {
+                (mant.to_u64_lossy() << exp) & 3
+            } else {
+                (mant.shr((-exp) as u64).to_u64_lossy()) & 3
+            };
+            if *negative {
+                -(low2 as i64)
+            } else {
+                low2 as i64
+            }
+        }
+        _ => 0,
+    };
+    (v.rem_euclid(4)) as u8
+}
+
+fn sin_cos_taylor(r: &BigFloat, p: u32) -> (BigFloat, BigFloat) {
+    // sin r = r - r³/3! + r⁵/5! - ...     cos r = 1 - r²/2! + r⁴/4! - ...
+    let r2 = mul(r, r, p);
+    let mut sin_sum = r.clone();
+    let mut term = r.clone();
+    let mut k: i64 = 1;
+    loop {
+        term = div(&mul(&term, &r2, p), &int((2 * k) * (2 * k + 1)), p);
+        if term.is_zero() || below_magnitude(&term, -(p as i64) - 2) {
+            break;
+        }
+        sin_sum = if k % 2 == 1 {
+            sub(&sin_sum, &term, p)
+        } else {
+            add(&sin_sum, &term, p)
+        };
+        k += 1;
+        if k > 10_000 {
+            break;
+        }
+    }
+    let mut cos_sum = int(1);
+    let mut term = int(1);
+    let mut k: i64 = 1;
+    loop {
+        term = div(&mul(&term, &r2, p), &int((2 * k - 1) * (2 * k)), p);
+        if term.is_zero() || below_magnitude(&term, -(p as i64) - 2) {
+            break;
+        }
+        cos_sum = if k % 2 == 1 {
+            sub(&cos_sum, &term, p)
+        } else {
+            add(&cos_sum, &term, p)
+        };
+        k += 1;
+        if k > 10_000 {
+            break;
+        }
+    }
+    (sin_sum, cos_sum)
+}
+
+/// sin x.
+pub fn sin(x: &BigFloat, prec: u32) -> BigFloat {
+    sin_cos(x, prec).0
+}
+
+/// cos x.
+pub fn cos(x: &BigFloat, prec: u32) -> BigFloat {
+    sin_cos(x, prec).1
+}
+
+/// tan x.
+pub fn tan(x: &BigFloat, prec: u32) -> BigFloat {
+    let p = wp(prec) + 8;
+    let (s, c) = sin_cos(x, p);
+    div(&s, &c, p).round_to(prec, RoundMode::Nearest)
+}
+
+/// arctan x.
+pub fn atan(x: &BigFloat, prec: u32) -> BigFloat {
+    match x {
+        BigFloat::NaN => return BigFloat::NaN,
+        BigFloat::Inf { negative } => {
+            let half_pi = mul_pow2(&pi(prec + 8), -1).round_to(prec, RoundMode::Nearest);
+            return if *negative { half_pi.neg() } else { half_pi };
+        }
+        BigFloat::Zero { negative } => {
+            return BigFloat::Zero {
+                negative: *negative,
+            }
+        }
+        _ => {}
+    }
+    let p = wp(prec) + 8;
+    let one = int(1);
+    let ax = x.abs();
+    // For |x| > 1 use atan(x) = π/2 − atan(1/x).
+    if ax.partial_cmp(&one) == Some(std::cmp::Ordering::Greater) {
+        let inner = atan(&div(&one, &ax, p), p);
+        let half_pi = mul_pow2(&pi(p), -1);
+        let result = sub(&half_pi, &inner, p);
+        let signed = if x.is_negative() { result.neg() } else { result };
+        return signed.round_to(prec, RoundMode::Nearest);
+    }
+    // Halve the argument until it is small: atan(x) = 2·atan(x / (1 + √(1+x²))).
+    let mut halvings = 0;
+    let mut y = ax.clone();
+    while !below_magnitude(&y, -3) && halvings < 6 {
+        let y2 = mul(&y, &y, p);
+        let denom = add(&one, &BigFloat::sqrt(&add(&one, &y2, p), p, RoundMode::Nearest), p);
+        y = div(&y, &denom, p);
+        halvings += 1;
+    }
+    // Taylor series.
+    let y2 = mul(&y, &y, p);
+    let mut term = y.clone();
+    let mut sum = y.clone();
+    let mut k: i64 = 1;
+    loop {
+        term = mul(&term, &y2, p);
+        let contrib = div(&term, &int(2 * k + 1), p);
+        if contrib.is_zero() || below_magnitude(&contrib, sum.magnitude().unwrap_or(0) - p as i64 - 2)
+        {
+            break;
+        }
+        sum = if k % 2 == 1 {
+            sub(&sum, &contrib, p)
+        } else {
+            add(&sum, &contrib, p)
+        };
+        k += 1;
+        if k > 10_000 {
+            break;
+        }
+    }
+    let mut result = sum;
+    for _ in 0..halvings {
+        result = mul_pow2(&result, 1);
+    }
+    let signed = if x.is_negative() { result.neg() } else { result };
+    signed.round_to(prec, RoundMode::Nearest)
+}
+
+/// arcsin x (NaN outside [−1, 1]).
+pub fn asin(x: &BigFloat, prec: u32) -> BigFloat {
+    if x.is_nan() {
+        return BigFloat::NaN;
+    }
+    let p = wp(prec) + 8;
+    let one = int(1);
+    let ax = x.abs();
+    match ax.partial_cmp(&one) {
+        Some(std::cmp::Ordering::Greater) | None => BigFloat::NaN,
+        Some(std::cmp::Ordering::Equal) => {
+            let half_pi = mul_pow2(&pi(p), -1).round_to(prec, RoundMode::Nearest);
+            if x.is_negative() {
+                half_pi.neg()
+            } else {
+                half_pi
+            }
+        }
+        Some(_) => {
+            // asin(x) = atan(x / sqrt(1 - x²)); 1 − x² via (1−x)(1+x) to limit
+            // cancellation near ±1.
+            let one_minus = sub(&one, x, p);
+            let one_plus = add(&one, x, p);
+            let denom = BigFloat::sqrt(&mul(&one_minus, &one_plus, p), p, RoundMode::Nearest);
+            atan(&div(x, &denom, p), p).round_to(prec, RoundMode::Nearest)
+        }
+    }
+}
+
+/// arccos x (NaN outside [−1, 1]).
+pub fn acos(x: &BigFloat, prec: u32) -> BigFloat {
+    if x.is_nan() {
+        return BigFloat::NaN;
+    }
+    let p = wp(prec) + 8;
+    let a = asin(x, p);
+    if a.is_nan() {
+        return BigFloat::NaN;
+    }
+    sub(&mul_pow2(&pi(p), -1), &a, p).round_to(prec, RoundMode::Nearest)
+}
+
+/// atan2(y, x): the angle of the point (x, y).
+pub fn atan2(y: &BigFloat, x: &BigFloat, prec: u32) -> BigFloat {
+    if y.is_nan() || x.is_nan() {
+        return BigFloat::NaN;
+    }
+    let p = wp(prec) + 8;
+    if x.is_zero() && y.is_zero() {
+        return BigFloat::zero();
+    }
+    if x.is_zero() {
+        let half_pi = mul_pow2(&pi(p), -1);
+        return if y.is_negative() {
+            half_pi.neg().round_to(prec, RoundMode::Nearest)
+        } else {
+            half_pi.round_to(prec, RoundMode::Nearest)
+        };
+    }
+    let base = atan(&div(y, x, p), p);
+    let result = if !x.is_negative() {
+        base
+    } else if !y.is_negative() {
+        add(&base, &pi(p), p)
+    } else {
+        sub(&base, &pi(p), p)
+    };
+    result.round_to(prec, RoundMode::Nearest)
+}
+
+/// sinh x.
+pub fn sinh(x: &BigFloat, prec: u32) -> BigFloat {
+    if x.is_nan() {
+        return BigFloat::NaN;
+    }
+    if x.is_infinite() {
+        return x.clone();
+    }
+    let p = wp(prec) + 8;
+    // (expm1(x) − expm1(−x)) / 2 avoids cancellation for small x.
+    let a = expm1(x, p);
+    let b = expm1(&x.neg(), p);
+    mul_pow2(&sub(&a, &b, p), -1).round_to(prec, RoundMode::Nearest)
+}
+
+/// cosh x.
+pub fn cosh(x: &BigFloat, prec: u32) -> BigFloat {
+    if x.is_nan() {
+        return BigFloat::NaN;
+    }
+    if x.is_infinite() {
+        return BigFloat::infinity(false);
+    }
+    let p = wp(prec) + 8;
+    let a = exp(x, p);
+    let b = exp(&x.neg(), p);
+    mul_pow2(&add(&a, &b, p), -1).round_to(prec, RoundMode::Nearest)
+}
+
+/// tanh x.
+pub fn tanh(x: &BigFloat, prec: u32) -> BigFloat {
+    if x.is_nan() {
+        return BigFloat::NaN;
+    }
+    if x.is_infinite() {
+        return if x.is_negative() { int(-1) } else { int(1) };
+    }
+    if x.is_zero() {
+        return x.clone();
+    }
+    let p = wp(prec) + 8;
+    // tanh(x) = expm1(2x) / (expm1(2x) + 2), accurate for small |x|.
+    let e = expm1(&mul_pow2(x, 1), p);
+    if e.is_infinite() {
+        return int(1).round_to(prec, RoundMode::Nearest);
+    }
+    div(&e, &add(&e, &int(2), p), p).round_to(prec, RoundMode::Nearest)
+}
+
+/// asinh x.
+pub fn asinh(x: &BigFloat, prec: u32) -> BigFloat {
+    if x.is_nan() || x.is_infinite() || x.is_zero() {
+        return x.clone();
+    }
+    let p = wp(prec) + 8;
+    let one = int(1);
+    let ax = x.abs();
+    let result = if ax.partial_cmp(&one) == Some(std::cmp::Ordering::Greater) {
+        // log(|x| + sqrt(x² + 1))
+        let inner = add(
+            &ax,
+            &BigFloat::sqrt(&add(&mul(&ax, &ax, p), &one, p), p, RoundMode::Nearest),
+            p,
+        );
+        log(&inner, p)
+    } else {
+        // log1p(|x| + x² / (1 + sqrt(1 + x²))) — stable near zero.
+        let x2 = mul(&ax, &ax, p);
+        let denom = add(&one, &BigFloat::sqrt(&add(&one, &x2, p), p, RoundMode::Nearest), p);
+        log1p(&add(&ax, &div(&x2, &denom, p), p), p)
+    };
+    let signed = if x.is_negative() { result.neg() } else { result };
+    signed.round_to(prec, RoundMode::Nearest)
+}
+
+/// acosh x (NaN below 1).
+pub fn acosh(x: &BigFloat, prec: u32) -> BigFloat {
+    if x.is_nan() {
+        return BigFloat::NaN;
+    }
+    let p = wp(prec) + 8;
+    let one = int(1);
+    match x.partial_cmp(&one) {
+        Some(std::cmp::Ordering::Less) | None => BigFloat::NaN,
+        Some(std::cmp::Ordering::Equal) => BigFloat::zero(),
+        Some(std::cmp::Ordering::Greater) => {
+            if x.is_infinite() {
+                return BigFloat::infinity(false);
+            }
+            // log(x + sqrt((x−1)(x+1)))
+            let xm1 = sub(x, &one, p);
+            let xp1 = add(x, &one, p);
+            let root = BigFloat::sqrt(&mul(&xm1, &xp1, p), p, RoundMode::Nearest);
+            log(&add(x, &root, p), p).round_to(prec, RoundMode::Nearest)
+        }
+    }
+}
+
+/// atanh x (±∞ at ±1, NaN outside [−1, 1]).
+pub fn atanh(x: &BigFloat, prec: u32) -> BigFloat {
+    if x.is_nan() {
+        return BigFloat::NaN;
+    }
+    let p = wp(prec) + 8;
+    let one = int(1);
+    let ax = x.abs();
+    match ax.partial_cmp(&one) {
+        Some(std::cmp::Ordering::Greater) | None => BigFloat::NaN,
+        Some(std::cmp::Ordering::Equal) => BigFloat::infinity(x.is_negative()),
+        Some(_) => {
+            // atanh(x) = (log1p(x) − log1p(−x)) / 2
+            let a = log1p(x, p);
+            let b = log1p(&x.neg(), p);
+            mul_pow2(&sub(&a, &b, p), -1).round_to(prec, RoundMode::Nearest)
+        }
+    }
+}
+
+/// x^y over the reals (NaN for negative base with non-integer exponent).
+pub fn pow(x: &BigFloat, y: &BigFloat, prec: u32) -> BigFloat {
+    if x.is_nan() || y.is_nan() {
+        return BigFloat::NaN;
+    }
+    let p = wp(prec) + 8;
+    if y.is_zero() {
+        return int(1);
+    }
+    if x.is_zero() {
+        return if y.is_negative() {
+            BigFloat::infinity(false)
+        } else {
+            BigFloat::zero()
+        };
+    }
+    if !x.is_negative() {
+        // exp(y · log x); add guard bits proportional to the magnitude of y·log x.
+        let lx = log(x, p + 32);
+        let extra = y
+            .magnitude()
+            .unwrap_or(0)
+            .saturating_add(lx.magnitude().unwrap_or(0))
+            .clamp(0, 256) as u32;
+        let pp = p + extra;
+        let lx = log(x, pp);
+        return exp(&mul(y, &lx, pp), pp).round_to(prec, RoundMode::Nearest);
+    }
+    // Negative base: only integer exponents are defined over the reals.
+    if y.is_integer() && !y.is_infinite() {
+        let odd = {
+            let half = mul_pow2(y, -1);
+            !half.is_integer()
+        };
+        let mag = pow(&x.abs(), y, p);
+        return if odd { mag.neg() } else { mag }.round_to(prec, RoundMode::Nearest);
+    }
+    BigFloat::NaN
+}
+
+/// Cube root (defined for negative inputs).
+pub fn cbrt(x: &BigFloat, prec: u32) -> BigFloat {
+    if x.is_nan() || x.is_zero() || x.is_infinite() {
+        return x.clone();
+    }
+    let p = wp(prec) + 8;
+    let third = div(&int(1), &int(3), p);
+    let mag = exp(&mul(&log(&x.abs(), p), &third, p), p);
+    let signed = if x.is_negative() { mag.neg() } else { mag };
+    signed.round_to(prec, RoundMode::Nearest)
+}
+
+/// sqrt(x² + y²) without intermediate overflow concerns (big-float exponents are
+/// effectively unbounded).
+pub fn hypot(x: &BigFloat, y: &BigFloat, prec: u32) -> BigFloat {
+    if x.is_nan() || y.is_nan() {
+        return BigFloat::NaN;
+    }
+    let p = wp(prec) + 8;
+    let sum = add(&mul(x, x, p), &mul(y, y, p), p);
+    BigFloat::sqrt(&sum, p, RoundMode::Nearest).round_to(prec, RoundMode::Nearest)
+}
+
+/// Floating-point remainder with the sign of the dividend (C `fmod`).
+pub fn fmod(x: &BigFloat, y: &BigFloat, prec: u32) -> BigFloat {
+    if x.is_nan() || y.is_nan() || x.is_infinite() || y.is_zero() {
+        return BigFloat::NaN;
+    }
+    if y.is_infinite() || x.is_zero() {
+        return x.clone();
+    }
+    let mag_gap = x
+        .magnitude()
+        .unwrap_or(0)
+        .saturating_sub(y.magnitude().unwrap_or(0));
+    if mag_gap > 1 << 16 {
+        // The quotient would need more bits than we are willing to compute.
+        return BigFloat::NaN;
+    }
+    let p = wp(prec) + 16 + mag_gap.max(0) as u32;
+    let q = div(x, y, p).trunc();
+    sub(x, &mul(&q, y, p), p).round_to(prec, RoundMode::Nearest)
+}
+
+/// Fused multiply-add computed exactly before the final rounding.
+pub fn fma(a: &BigFloat, b: &BigFloat, c: &BigFloat, prec: u32) -> BigFloat {
+    let p_exact = 1 << 20; // effectively exact for the product
+    let prod = BigFloat::mul(a, b, p_exact, RoundMode::Nearest);
+    BigFloat::add(&prod, c, wp(prec), RoundMode::Nearest).round_to(prec, RoundMode::Nearest)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const P: u32 = 96;
+
+    fn bf(x: f64) -> BigFloat {
+        BigFloat::from_f64(x)
+    }
+
+    fn close(actual: &BigFloat, expected: f64, label: &str) {
+        let got = actual.to_f64(RoundMode::Nearest);
+        if expected.is_nan() {
+            assert!(got.is_nan(), "{label}: expected NaN, got {got}");
+            return;
+        }
+        if expected.is_infinite() {
+            assert_eq!(got, expected, "{label}");
+            return;
+        }
+        let ulps = ((got.to_bits() as i64) - (expected.to_bits() as i64)).unsigned_abs();
+        // The reference here is the *host* libm, which itself may be several ulps
+        // off for some functions; our implementations are compared against it only
+        // as a sanity check, so allow a small shared budget.
+        assert!(
+            ulps <= 8,
+            "{label}: got {got:e}, expected {expected:e} ({ulps} ulps apart)"
+        );
+    }
+
+    #[test]
+    fn constants() {
+        close(&pi(P), std::f64::consts::PI, "pi");
+        close(&ln2(P), std::f64::consts::LN_2, "ln2");
+        close(&euler(P), std::f64::consts::E, "e");
+        close(&ln10(P), std::f64::consts::LN_10, "ln10");
+        // Higher precision must refine, not change, the value.
+        let lo = pi(64).to_f64(RoundMode::Nearest);
+        let hi = pi(512).to_f64(RoundMode::Nearest);
+        assert_eq!(lo, hi);
+    }
+
+    #[test]
+    fn exponential_family() {
+        for x in [-20.0, -1.0, -1e-8, 0.0, 1e-12, 0.5, 1.0, 10.0, 300.0] {
+            close(&exp(&bf(x), P), x.exp(), &format!("exp({x})"));
+            close(&expm1(&bf(x), P), x.exp_m1(), &format!("expm1({x})"));
+        }
+        close(&exp(&bf(f64::NEG_INFINITY), P), 0.0, "exp(-inf)");
+        close(&exp(&bf(800.0), P), f64::INFINITY, "exp(800) overflows f64");
+        close(&exp2(&bf(10.0), P), 1024.0, "exp2(10)");
+    }
+
+    #[test]
+    fn logarithm_family() {
+        for x in [1e-300, 0.1, 0.5, 1.0, 2.0, 3.5, 1e10, 1e300] {
+            close(&log(&bf(x), P), x.ln(), &format!("log({x})"));
+            close(&log2(&bf(x), P), x.log2(), &format!("log2({x})"));
+            close(&log10(&bf(x), P), x.log10(), &format!("log10({x})"));
+        }
+        for x in [-0.5, -1e-12, 1e-15, 0.5, 3.0] {
+            close(&log1p(&bf(x), P), x.ln_1p(), &format!("log1p({x})"));
+        }
+        assert!(log(&bf(-1.0), P).is_nan());
+        assert_eq!(log(&bf(0.0), P).to_f64(RoundMode::Nearest), f64::NEG_INFINITY);
+        assert!(log1p(&bf(-2.0), P).is_nan());
+    }
+
+    #[test]
+    fn trigonometric_family() {
+        for x in [-10.0, -1.0, -1e-9, 0.0, 0.3, 1.0, 2.5, 100.0, 1e6] {
+            close(&sin(&bf(x), P), x.sin(), &format!("sin({x})"));
+            close(&cos(&bf(x), P), x.cos(), &format!("cos({x})"));
+            close(&tan(&bf(x), P), x.tan(), &format!("tan({x})"));
+        }
+        assert!(sin(&bf(f64::INFINITY), P).is_nan());
+    }
+
+    #[test]
+    fn inverse_trigonometric_family() {
+        for x in [-0.99, -0.5, -1e-10, 0.0, 0.25, 0.7, 0.99] {
+            close(&asin(&bf(x), P), x.asin(), &format!("asin({x})"));
+            close(&acos(&bf(x), P), x.acos(), &format!("acos({x})"));
+        }
+        for x in [-1e6, -3.0, -1.0, -1e-10, 0.0, 0.5, 2.0, 1e10] {
+            close(&atan(&bf(x), P), x.atan(), &format!("atan({x})"));
+        }
+        assert!(asin(&bf(1.5), P).is_nan());
+        close(&asin(&bf(1.0), P), std::f64::consts::FRAC_PI_2, "asin(1)");
+        for (y, x) in [(1.0, 1.0), (1.0, -1.0), (-1.0, -1.0), (-2.0, 0.5), (0.0, 1.0), (3.0, 0.0)] {
+            close(&atan2(&bf(y), &bf(x), P), y.atan2(x), &format!("atan2({y},{x})"));
+        }
+    }
+
+    #[test]
+    fn hyperbolic_family() {
+        for x in [-5.0, -1.0, -1e-9, 0.0, 1e-12, 0.5, 3.0, 20.0] {
+            close(&sinh(&bf(x), P), x.sinh(), &format!("sinh({x})"));
+            close(&cosh(&bf(x), P), x.cosh(), &format!("cosh({x})"));
+            close(&tanh(&bf(x), P), x.tanh(), &format!("tanh({x})"));
+            close(&asinh(&bf(x), P), x.asinh(), &format!("asinh({x})"));
+        }
+        for x in [1.0, 1.5, 10.0, 1e8] {
+            close(&acosh(&bf(x), P), x.acosh(), &format!("acosh({x})"));
+        }
+        for x in [-0.99, -0.5, 0.0, 0.3, 0.99] {
+            close(&atanh(&bf(x), P), x.atanh(), &format!("atanh({x})"));
+        }
+        assert!(acosh(&bf(0.5), P).is_nan());
+        assert_eq!(atanh(&bf(1.0), P).to_f64(RoundMode::Nearest), f64::INFINITY);
+    }
+
+    #[test]
+    fn power_family() {
+        for (x, y) in [
+            (2.0, 10.0),
+            (2.0, -3.0),
+            (0.5, 0.5),
+            (10.0, 0.1),
+            (1.5, 300.0),
+            (-2.0, 3.0),
+            (-2.0, 4.0),
+        ] {
+            close(&pow(&bf(x), &bf(y), P), x.powf(y), &format!("pow({x},{y})"));
+        }
+        assert!(pow(&bf(-2.0), &bf(0.5), P).is_nan());
+        close(&pow(&bf(0.0), &bf(0.0), P), 1.0, "0^0");
+        for x in [-27.0, -0.001, 0.0, 8.0, 1e30] {
+            close(&cbrt(&bf(x), P), x.cbrt(), &format!("cbrt({x})"));
+        }
+    }
+
+    #[test]
+    fn misc_functions() {
+        for (x, y) in [(3.0, 4.0), (1e200, 1e200), (-5.0, 12.0), (0.0, 0.0)] {
+            close(&hypot(&bf(x), &bf(y), P), x.hypot(y), &format!("hypot({x},{y})"));
+        }
+        for (x, y) in [(7.5, 2.0), (-7.5, 2.0), (1e10, 3.0), (5.0, 0.7)] {
+            close(&fmod(&bf(x), &bf(y), P), x % y, &format!("fmod({x},{y})"));
+        }
+        for (a, b, c) in [(2.0, 3.0, 4.0), (1e8, 1e8, -1e16), (0.1, 0.2, 0.3)] {
+            close(
+                &fma(&bf(a), &bf(b), &bf(c), P),
+                a.mul_add(b, c),
+                &format!("fma({a},{b},{c})"),
+            );
+        }
+    }
+}

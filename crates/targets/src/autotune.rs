@@ -1,0 +1,97 @@
+//! Cost auto-tuning (paper Section 4.2): if a target author does not provide
+//! operator costs, Chassis estimates them by timing each operator in a hot loop
+//! and normalizing against the cheapest operator.
+
+use crate::target::Target;
+use std::time::Instant;
+
+/// Configuration for the auto-tuner.
+#[derive(Clone, Copy, Debug)]
+pub struct AutoTuneConfig {
+    /// Number of operator executions per measurement loop.
+    pub iterations: usize,
+    /// Number of measurement loops; the fastest is kept.
+    pub repeats: usize,
+}
+
+impl Default for AutoTuneConfig {
+    fn default() -> Self {
+        AutoTuneConfig {
+            iterations: 20_000,
+            repeats: 3,
+        }
+    }
+}
+
+/// Measures the per-call time of every operator in the target and rewrites the
+/// operator costs so that the cheapest operator has cost 1.0.
+///
+/// The measured costs are noisy (the paper notes the auto-tuned costs "are not
+/// very accurate, but seem to suffice in practice"); they are only used to *rank*
+/// candidate programs.
+pub fn auto_tune(target: &Target, config: AutoTuneConfig) -> Target {
+    let mut tuned = target.clone();
+    let mut per_op_nanos: Vec<f64> = Vec::with_capacity(target.operators.len());
+    for op in &target.operators {
+        // Benign inputs that stay inside every operator's domain.
+        let args: Vec<f64> = (0..op.arity()).map(|i| 0.5 + 0.25 * i as f64).collect();
+        let mut best = f64::INFINITY;
+        for _ in 0..config.repeats {
+            let start = Instant::now();
+            let mut sink = 0.0;
+            for _ in 0..config.iterations {
+                sink += op.execute(std::hint::black_box(&args));
+            }
+            std::hint::black_box(sink);
+            let nanos = start.elapsed().as_nanos() as f64 / config.iterations as f64;
+            if nanos < best {
+                best = nanos;
+            }
+        }
+        per_op_nanos.push(best.max(1e-3));
+    }
+    let floor = per_op_nanos.iter().copied().fold(f64::INFINITY, f64::min);
+    for (op, nanos) in tuned.operators.iter_mut().zip(&per_op_nanos) {
+        op.cost = (nanos / floor).max(1.0);
+    }
+    tuned.cost_source = "auto-tune (measured)".to_owned();
+    tuned
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operator::Operator;
+    use fpcore::FpType::*;
+
+    #[test]
+    fn tuning_preserves_operator_set_and_ranks_transcendentals_higher() {
+        let target = Target::new("t", "test").with_operators(vec![
+            Operator::emulated("+.f64", &[Binary64, Binary64], Binary64, "(+ a0 a1)", 1.0),
+            Operator::emulated(
+                "heavy.f64",
+                &[Binary64],
+                Binary64,
+                // A deliberately expensive emulated operator.
+                "(exp (sin (exp (cos (exp a0)))))",
+                1.0,
+            ),
+        ]);
+        let tuned = auto_tune(
+            &target,
+            AutoTuneConfig {
+                iterations: 2_000,
+                repeats: 2,
+            },
+        );
+        assert_eq!(tuned.operators.len(), 2);
+        let add_cost = tuned.operator(tuned.find_operator("+.f64").unwrap()).cost;
+        let heavy_cost = tuned.operator(tuned.find_operator("heavy.f64").unwrap()).cost;
+        assert!(add_cost >= 1.0);
+        assert!(
+            heavy_cost > add_cost,
+            "auto-tuned cost of a transcendental chain ({heavy_cost}) should exceed an add ({add_cost})"
+        );
+        assert!(tuned.cost_source.contains("measured"));
+    }
+}

@@ -1,0 +1,49 @@
+//! The `Arith` target: bare double-precision arithmetic (`+ - * / sqrt |x|`),
+//! no transcendental functions (Figure 6, row 1).
+
+use super::{basic_arith_ops, ArithCosts};
+use crate::target::{IfCostStyle, Target};
+use fpcore::FpType;
+
+/// Costs used by the Arith family (representative auto-tuned values).
+pub const COSTS: ArithCosts = ArithCosts {
+    simple: 1.0,
+    div: 4.0,
+    sqrt: 5.0,
+};
+
+/// Builds the Arith target description.
+pub fn target() -> Target {
+    Target::new(
+        "arith",
+        "Bare binary64 arithmetic: + - * / sqrt fabs (no transcendental functions)",
+    )
+    .with_if_style(IfCostStyle::Scalar, 1.0)
+    .with_leaf_costs(0.5, 0.5)
+    .with_cost_source("auto-tune")
+    .with_operators(basic_arith_ops(FpType::Binary64, COSTS, true))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn has_exactly_the_basic_operators() {
+        let t = target();
+        assert_eq!(t.operators.len(), 7);
+        for name in ["+.f64", "-.f64", "*.f64", "/.f64", "sqrt.f64", "fabs.f64", "neg.f64"] {
+            assert!(t.find_operator(name).is_some(), "missing {name}");
+        }
+        assert!(t.find_operator("fma.f64").is_none());
+        assert!(t.find_operator("exp.f64").is_none());
+    }
+
+    #[test]
+    fn division_costs_more_than_addition() {
+        let t = target();
+        let add = t.operator(t.find_operator("+.f64").unwrap()).cost;
+        let div = t.operator(t.find_operator("/.f64").unwrap()).cost;
+        assert!(div > add);
+    }
+}

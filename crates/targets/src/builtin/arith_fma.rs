@@ -1,0 +1,53 @@
+//! The `Arith+FMA` target: the Arith operators plus a fused multiply-add
+//! (Figure 6, row 2). FMA is both faster and more accurate than a separate
+//! multiply and add, which is exactly the kind of target-specific fact Chassis
+//! exploits.
+
+use super::arith;
+use crate::operator::Operator;
+use crate::target::Target;
+use fpcore::FpType::Binary64;
+
+/// Builds the Arith+FMA target description.
+pub fn target() -> Target {
+    let mut t = Target::new(
+        "arith-fma",
+        "Binary64 arithmetic plus fused multiply-add",
+    )
+    .with_if_style(crate::target::IfCostStyle::Scalar, 1.0)
+    .with_leaf_costs(0.5, 0.5)
+    .with_cost_source("auto-tune");
+    t.import(&arith::target());
+    t.add_operator(Operator::emulated(
+        "fma.f64",
+        &[Binary64, Binary64, Binary64],
+        Binary64,
+        "(fma a0 a1 a2)",
+        1.0,
+    ));
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extends_arith_with_fma() {
+        let t = target();
+        assert_eq!(t.operators.len(), arith::target().operators.len() + 1);
+        let fma = t.find_operator("fma.f64").unwrap();
+        assert_eq!(t.operator(fma).execute(&[2.0, 3.0, 4.0]), 10.0);
+    }
+
+    #[test]
+    fn fma_is_single_rounded() {
+        let t = target();
+        let fma = t.find_operator("fma.f64").unwrap();
+        // 1 + 2^-80 is not representable; fma keeps the low part when it cancels.
+        let a = 1.0 + 2.0_f64.powi(-30);
+        let fused = t.operator(fma).execute(&[a, a, -1.0]);
+        let unfused = a * a - 1.0;
+        assert_ne!(fused, unfused, "fma must not double-round");
+    }
+}

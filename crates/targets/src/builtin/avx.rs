@@ -1,0 +1,201 @@
+//! The `AVX` target (Figure 6, row 3): x86 AVX vector arithmetic in binary32
+//! and binary64 with the four fused multiply-add variants, the fast approximate
+//! reciprocal (`rcpps`) and reciprocal square root (`rsqrtps`) instructions, no
+//! negation instruction, no transcendental functions, and masked (vector-style)
+//! conditionals. Costs follow Fog's instruction tables.
+
+use crate::operator::{truncate_mantissa, Operator};
+use crate::target::{IfCostStyle, Target};
+use fpcore::FpType::{Binary32, Binary64};
+
+fn rcp(args: &[f64]) -> f64 {
+    // rcpps: relative error at most 1.5 * 2^-12; emulate by truncating the
+    // reciprocal's mantissa to 12 bits.
+    truncate_mantissa(1.0 / args[0], 12)
+}
+
+fn rsqrt(args: &[f64]) -> f64 {
+    // rsqrtps: same accuracy contract as rcpps.
+    truncate_mantissa(1.0 / args[0].sqrt(), 12)
+}
+
+fn fmadd(args: &[f64]) -> f64 {
+    args[0].mul_add(args[1], args[2])
+}
+
+fn fmsub(args: &[f64]) -> f64 {
+    args[0].mul_add(args[1], -args[2])
+}
+
+fn fnmadd(args: &[f64]) -> f64 {
+    (-args[0]).mul_add(args[1], args[2])
+}
+
+fn fnmsub(args: &[f64]) -> f64 {
+    (-args[0]).mul_add(args[1], -args[2])
+}
+
+fn fma_ops(suffix: &str, ty: fpcore::FpType, cost: f64) -> Vec<Operator> {
+    let t3 = [ty, ty, ty];
+    vec![
+        Operator::native(
+            &format!("fmadd.{suffix}"),
+            &t3,
+            ty,
+            "(fma a0 a1 a2)",
+            cost,
+            fmadd,
+        ),
+        Operator::native(
+            &format!("fmsub.{suffix}"),
+            &t3,
+            ty,
+            "(- (* a0 a1) a2)",
+            cost,
+            fmsub,
+        ),
+        Operator::native(
+            &format!("fnmadd.{suffix}"),
+            &t3,
+            ty,
+            "(- a2 (* a0 a1))",
+            cost,
+            fnmadd,
+        ),
+        Operator::native(
+            &format!("fnmsub.{suffix}"),
+            &t3,
+            ty,
+            "(- (- (* a0 a1)) a2)",
+            cost,
+            fnmsub,
+        ),
+    ]
+}
+
+fn vector_arith(suffix: &str, ty: fpcore::FpType, div_cost: f64, sqrt_cost: f64) -> Vec<Operator> {
+    let t1 = [ty];
+    let t2 = [ty, ty];
+    vec![
+        Operator::emulated(&format!("+.{suffix}"), &t2, ty, "(+ a0 a1)", 4.0),
+        Operator::emulated(&format!("-.{suffix}"), &t2, ty, "(- a0 a1)", 4.0),
+        Operator::emulated(&format!("*.{suffix}"), &t2, ty, "(* a0 a1)", 4.0),
+        Operator::emulated(&format!("/.{suffix}"), &t2, ty, "(/ a0 a1)", div_cost),
+        Operator::emulated(&format!("sqrt.{suffix}"), &t1, ty, "(sqrt a0)", sqrt_cost),
+        Operator::emulated(&format!("fabs.{suffix}"), &t1, ty, "(fabs a0)", 1.0),
+        Operator::emulated(&format!("min.{suffix}"), &t2, ty, "(fmin a0 a1)", 4.0),
+        Operator::emulated(&format!("max.{suffix}"), &t2, ty, "(fmax a0 a1)", 4.0),
+    ]
+}
+
+/// Builds the AVX target description.
+pub fn target() -> Target {
+    let mut ops = Vec::new();
+    // Latencies from Fog's tables: divps 11, divpd 13, sqrtps 12, sqrtpd 18,
+    // rcpps/rsqrtps 4, FMA 4.
+    ops.extend(vector_arith("f32", Binary32, 11.0, 12.0));
+    ops.extend(vector_arith("f64", Binary64, 13.0, 18.0));
+    ops.extend(fma_ops("f32", Binary32, 4.0));
+    ops.extend(fma_ops("f64", Binary64, 4.0));
+    ops.push(Operator::native(
+        "rcp.f32",
+        &[Binary32],
+        Binary32,
+        "(/ 1 a0)",
+        4.0,
+        rcp,
+    ));
+    ops.push(Operator::native(
+        "rsqrt.f32",
+        &[Binary32],
+        Binary32,
+        "(/ 1 (sqrt a0))",
+        4.0,
+        rsqrt,
+    ));
+    // Precision conversions (cvtps2pd / cvtpd2ps).
+    ops.push(Operator::emulated("cast64.f32", &[Binary32], Binary64, "a0", 2.0));
+    ops.push(Operator::emulated("cast32.f64", &[Binary64], Binary32, "a0", 2.0));
+
+    Target::new(
+        "avx",
+        "x86 AVX vector extensions: FMA variants, rcpps/rsqrtps, masked conditionals, no transcendentals",
+    )
+    .with_if_style(IfCostStyle::Vector, 5.0)
+    .with_leaf_costs(1.0, 1.0)
+    .with_cost_source("Fog [20]")
+    .with_operators(ops)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn offers_fma_variants_and_no_negation() {
+        let t = target();
+        for name in ["fmadd.f64", "fmsub.f64", "fnmadd.f64", "fnmsub.f64", "fmadd.f32"] {
+            assert!(t.find_operator(name).is_some(), "missing {name}");
+        }
+        assert!(t.find_operator("neg.f64").is_none(), "AVX has no negation instruction");
+        assert!(t.find_operator("neg.f32").is_none());
+        assert!(t.find_operator("exp.f64").is_none());
+    }
+
+    #[test]
+    fn fma_variant_signs_are_correct() {
+        let t = target();
+        let go = |name: &str, a: f64, b: f64, c: f64| {
+            t.operator(t.find_operator(name).unwrap()).execute(&[a, b, c])
+        };
+        assert_eq!(go("fmadd.f64", 2.0, 3.0, 4.0), 10.0);
+        assert_eq!(go("fmsub.f64", 2.0, 3.0, 4.0), 2.0);
+        assert_eq!(go("fnmadd.f64", 2.0, 3.0, 4.0), -2.0);
+        assert_eq!(go("fnmsub.f64", 2.0, 3.0, 4.0), -10.0);
+    }
+
+    #[test]
+    fn rcp_is_fast_but_inaccurate() {
+        let t = target();
+        let rcp_id = t.find_operator("rcp.f32").unwrap();
+        let div_id = t.find_operator("/.f32").unwrap();
+        let rcp_op = t.operator(rcp_id);
+        let div_op = t.operator(div_id);
+        assert!(rcp_op.cost < div_op.cost, "rcp must be cheaper than division");
+        let approx = rcp_op.execute(&[7.0]);
+        let exact = div_op.execute(&[1.0, 7.0]);
+        let rel = ((approx - exact) / exact).abs();
+        assert!(rel > 0.0, "rcp should not be exact");
+        assert!(rel < 2.0_f64.powi(-11), "rcp error must stay within ~2^-12");
+    }
+
+    #[test]
+    fn rsqrt_approximates_reciprocal_square_root() {
+        let t = target();
+        let op = t.operator(t.find_operator("rsqrt.f32").unwrap());
+        let approx = op.execute(&[4.0]);
+        assert!((approx - 0.5).abs() < 1e-3);
+    }
+
+    #[test]
+    fn casts_desugar_to_identity() {
+        let t = target();
+        let cast = t.operator(t.find_operator("cast32.f64").unwrap());
+        assert_eq!(
+            cast.instantiate_desugaring(&[fpcore::parse_expr("(+ x 1)").unwrap()]),
+            fpcore::parse_expr("(+ x 1)").unwrap()
+        );
+        assert_eq!(cast.execute(&[1.0 / 3.0]), (1.0f32 / 3.0f32) as f64);
+    }
+
+    #[test]
+    fn uses_vector_conditionals_and_fog_costs() {
+        let t = target();
+        assert_eq!(t.if_cost_style, IfCostStyle::Vector);
+        assert_eq!(t.cost_source, "Fog [20]");
+        // Double-precision division is slower than single (13 vs 11 cycles).
+        let d32 = t.operator(t.find_operator("/.f32").unwrap()).cost;
+        let d64 = t.operator(t.find_operator("/.f64").unwrap()).cost;
+        assert!(d64 > d32);
+    }
+}

@@ -1,0 +1,136 @@
+//! The `C99` target (Figure 6, row 4): scalar C with the full `math.h` library in
+//! both binary64 and binary32, linked against the host libm.
+
+use super::{basic_arith_ops, libm_ops, ArithCosts};
+use crate::operator::{Impl, Operator};
+use crate::target::{IfCostStyle, Target};
+use fpcore::FpType::{Binary32, Binary64};
+
+macro_rules! host1 {
+    ($name:ident, $method:ident) => {
+        fn $name(a: &[f64]) -> f64 {
+            a[0].$method()
+        }
+    };
+}
+
+host1!(host_exp, exp);
+host1!(host_log, ln);
+host1!(host_sin, sin);
+host1!(host_cos, cos);
+host1!(host_tan, tan);
+host1!(host_expm1, exp_m1);
+host1!(host_log1p, ln_1p);
+host1!(host_cbrt, cbrt);
+
+fn host_pow(a: &[f64]) -> f64 {
+    a[0].powf(a[1])
+}
+
+fn host_hypot(a: &[f64]) -> f64 {
+    a[0].hypot(a[1])
+}
+
+fn host_fma(a: &[f64]) -> f64 {
+    a[0].mul_add(a[1], a[2])
+}
+
+/// Replaces the implementation of selected emulated operators with direct host
+/// libm calls, modelling the "linked" column of Figure 6 for the C target.
+fn link_against_host(ops: &mut [Operator]) {
+    for op in ops.iter_mut() {
+        let base = op.name.split('.').next().unwrap_or("");
+        let linked: Option<fn(&[f64]) -> f64> = match base {
+            "exp" => Some(host_exp),
+            "log" => Some(host_log),
+            "sin" => Some(host_sin),
+            "cos" => Some(host_cos),
+            "tan" => Some(host_tan),
+            "expm1" => Some(host_expm1),
+            "log1p" => Some(host_log1p),
+            "cbrt" => Some(host_cbrt),
+            "pow" => Some(host_pow),
+            "hypot" => Some(host_hypot),
+            "fma" => Some(host_fma),
+            _ => None,
+        };
+        if let Some(f) = linked {
+            op.implementation = Impl::Native(f);
+        }
+    }
+}
+
+/// Builds the C99 target description.
+pub fn target() -> Target {
+    let mut ops = Vec::new();
+    ops.extend(basic_arith_ops(
+        Binary64,
+        ArithCosts {
+            simple: 1.0,
+            div: 4.0,
+            sqrt: 5.0,
+        },
+        true,
+    ));
+    ops.extend(basic_arith_ops(
+        Binary32,
+        ArithCosts {
+            simple: 1.0,
+            div: 3.0,
+            sqrt: 4.0,
+        },
+        true,
+    ));
+    let mut libm64 = libm_ops(Binary64, 0.0, 1.0, true);
+    let mut libm32 = libm_ops(Binary32, 0.0, 0.8, true);
+    link_against_host(&mut libm64);
+    link_against_host(&mut libm32);
+    ops.extend(libm64);
+    ops.extend(libm32);
+    // Precision conversions are free-ish in C (a register move).
+    ops.push(Operator::emulated("cast64.f32", &[Binary32], Binary64, "a0", 1.0));
+    ops.push(Operator::emulated("cast32.f64", &[Binary64], Binary32, "a0", 1.0));
+
+    Target::new(
+        "c99",
+        "Scalar C with the full math.h library at binary32 and binary64",
+    )
+    .with_if_style(IfCostStyle::Scalar, 1.0)
+    .with_leaf_costs(0.5, 0.5)
+    .with_cost_source("auto-tune")
+    .with_operators(ops)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn has_both_precisions_and_full_libm() {
+        let t = target();
+        for name in ["exp.f64", "exp.f32", "log1p.f64", "hypot.f64", "fma.f64", "pow.f32"] {
+            assert!(t.find_operator(name).is_some(), "missing {name}");
+        }
+        let (linked, emulated) = t.linked_emulated_counts();
+        assert!(linked >= 10, "math.h should be linked");
+        assert!(emulated >= 10, "basic arithmetic stays emulated");
+    }
+
+    #[test]
+    fn linked_operators_call_host_libm() {
+        let t = target();
+        let exp = t.operator(t.find_operator("exp.f64").unwrap());
+        assert!(exp.is_linked());
+        assert_eq!(exp.execute(&[1.0]), 1.0f64.exp());
+        let log1p32 = t.operator(t.find_operator("log1p.f32").unwrap());
+        assert_eq!(log1p32.execute(&[0.5]), (0.5f64.ln_1p() as f32) as f64);
+    }
+
+    #[test]
+    fn transcendentals_cost_much_more_than_arithmetic() {
+        let t = target();
+        let add = t.operator(t.find_operator("+.f64").unwrap()).cost;
+        let pow = t.operator(t.find_operator("pow.f64").unwrap()).cost;
+        assert!(pow > 20.0 * add);
+    }
+}

@@ -1,0 +1,108 @@
+//! The `fdlibm` target (Figure 6, row 9): Sun's freely distributable libm, which
+//! exposes internal subcomponents of its implementations as extra operators.
+//! The flagship example from the paper is `log1pmd(x) = log(1+x) − log(1−x)`,
+//! the kernel that `log` itself is built on after range reduction; calling it
+//! directly is both faster and more accurate than composing two logarithms.
+
+use super::c99;
+use crate::operator::Operator;
+use crate::target::{IfCostStyle, Target};
+use fpcore::FpType::Binary64;
+
+fn log1pmd(a: &[f64]) -> f64 {
+    // log(1+x) − log(1−x), evaluated the way fdlibm's kernel does: through the
+    // atanh identity 2·atanh(x), which avoids cancellation for small x.
+    2.0 * a[0].atanh()
+}
+
+fn log_kernel(a: &[f64]) -> f64 {
+    // The polynomial kernel log(1+s) - s + s^2/2 used inside fdlibm's log; we
+    // expose it with its mathematical meaning.
+    (1.0 + a[0]).ln() - a[0] + a[0] * a[0] / 2.0
+}
+
+/// Builds the fdlibm target description.
+pub fn target() -> Target {
+    let b = [Binary64];
+    let mut t = Target::new(
+        "fdlibm",
+        "Sun fdlibm: C math library whose internal kernels (log1pmd, ...) are exposed as operators",
+    )
+    .with_if_style(IfCostStyle::Scalar, 1.0)
+    .with_leaf_costs(0.5, 0.5)
+    .with_cost_source("auto-tune");
+    // fdlibm is a C library: import the scalar C target but keep only binary64
+    // operators (fdlibm is double-precision).
+    let c = c99::target();
+    for op in &c.operators {
+        if op
+            .arg_types
+            .iter()
+            .chain(std::iter::once(&op.ret_type))
+            .all(|ty| *ty == Binary64)
+        {
+            t.add_operator(op.clone());
+        }
+    }
+    // Library-internal subroutines exposed as first-class operators.
+    t.add_operator(Operator::native(
+        "log1pmd.f64",
+        &b,
+        Binary64,
+        "(- (log1p a0) (log1p (- a0)))",
+        40.0,
+        log1pmd,
+    ));
+    t.add_operator(Operator::native(
+        "log_kernel.f64",
+        &b,
+        Binary64,
+        "(+ (- (log1p a0) a0) (/ (* a0 a0) 2))",
+        25.0,
+        log_kernel,
+    ));
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exposes_internal_kernels() {
+        let t = target();
+        assert!(t.find_operator("log1pmd.f64").is_some());
+        assert!(t.find_operator("log_kernel.f64").is_some());
+        assert!(t.find_operator("log.f64").is_some());
+    }
+
+    #[test]
+    fn log1pmd_matches_its_desugaring() {
+        let t = target();
+        let op = t.operator(t.find_operator("log1pmd.f64").unwrap());
+        for x in [1e-8, 0.1, 0.5, 0.9, -0.3] {
+            let direct = op.execute(&[x]);
+            let composed = (x as f64).ln_1p() - (-x).ln_1p();
+            let scale = composed.abs().max(1e-300);
+            assert!(
+                ((direct - composed) / scale).abs() < 1e-9,
+                "log1pmd({x}): {direct} vs {composed}"
+            );
+        }
+    }
+
+    #[test]
+    fn log1pmd_is_cheaper_than_two_log1p_calls() {
+        let t = target();
+        let kernel = t.operator(t.find_operator("log1pmd.f64").unwrap()).cost;
+        let log1p = t.operator(t.find_operator("log1p.f64").unwrap()).cost;
+        assert!(kernel < 2.0 * log1p);
+    }
+
+    #[test]
+    fn binary64_only() {
+        let t = target();
+        assert_eq!(t.supported_types(), vec![Binary64]);
+        assert!(t.find_operator("exp.f32").is_none());
+    }
+}

@@ -1,0 +1,166 @@
+//! The `Julia` target (Figure 6, row 6): Julia 1.10 `Base` math. Binary64, a rich
+//! set of high-accuracy helper functions (`sind`, `cosd`, `deg2rad`, `abs2`,
+//! `log1p`, `hypot`, ...), moderate call overhead.
+
+use super::{basic_arith_ops, libm_ops, ArithCosts};
+use crate::operator::Operator;
+use crate::target::{IfCostStyle, Target};
+use fpcore::FpType::Binary64;
+
+/// Julia's per-call overhead (smaller than Python's, larger than C's).
+pub const CALL_OVERHEAD: f64 = 4.0;
+
+/// Builds the Julia target description.
+pub fn target() -> Target {
+    let b = [Binary64];
+    let bb = [Binary64, Binary64];
+    let bbb = [Binary64, Binary64, Binary64];
+    let mut ops = Vec::new();
+    ops.extend(basic_arith_ops(
+        Binary64,
+        ArithCosts {
+            simple: CALL_OVERHEAD + 1.0,
+            div: CALL_OVERHEAD + 3.0,
+            sqrt: CALL_OVERHEAD + 4.0,
+        },
+        true,
+    ));
+    ops.extend(libm_ops(Binary64, CALL_OVERHEAD, 0.4, false));
+    // Base.muladd / fma.
+    ops.push(Operator::emulated(
+        "fma.f64",
+        &bbb,
+        Binary64,
+        "(fma a0 a1 a2)",
+        CALL_OVERHEAD + 1.0,
+    ));
+    // Julia's extended helper functions. The degree-based trigonometric functions
+    // multiply by π/180 in higher internal precision, which is why they are more
+    // accurate than composing `sin` with an explicit conversion.
+    ops.extend(vec![
+        Operator::emulated(
+            "sind.f64",
+            &b,
+            Binary64,
+            "(sin (* a0 (/ PI 180)))",
+            CALL_OVERHEAD + 20.0,
+        ),
+        Operator::emulated(
+            "cosd.f64",
+            &b,
+            Binary64,
+            "(cos (* a0 (/ PI 180)))",
+            CALL_OVERHEAD + 20.0,
+        ),
+        Operator::emulated(
+            "tand.f64",
+            &b,
+            Binary64,
+            "(tan (* a0 (/ PI 180)))",
+            CALL_OVERHEAD + 24.0,
+        ),
+        Operator::emulated(
+            "deg2rad.f64",
+            &b,
+            Binary64,
+            "(* a0 (/ PI 180))",
+            CALL_OVERHEAD + 1.0,
+        ),
+        Operator::emulated(
+            "rad2deg.f64",
+            &b,
+            Binary64,
+            "(* a0 (/ 180 PI))",
+            CALL_OVERHEAD + 1.0,
+        ),
+        Operator::emulated("abs2.f64", &b, Binary64, "(* a0 a0)", CALL_OVERHEAD + 1.0),
+        Operator::emulated(
+            "exp10.f64",
+            &b,
+            Binary64,
+            "(pow 10 a0)",
+            CALL_OVERHEAD + 17.0,
+        ),
+        Operator::emulated(
+            "sinpi.f64",
+            &b,
+            Binary64,
+            "(sin (* PI a0))",
+            CALL_OVERHEAD + 20.0,
+        ),
+        Operator::emulated(
+            "cospi.f64",
+            &b,
+            Binary64,
+            "(cos (* PI a0))",
+            CALL_OVERHEAD + 20.0,
+        ),
+        Operator::emulated(
+            "hypot3.f64",
+            &bbb,
+            Binary64,
+            "(sqrt (+ (* a0 a0) (+ (* a1 a1) (* a2 a2))))",
+            CALL_OVERHEAD + 30.0,
+        ),
+        Operator::emulated(
+            "clamp.f64",
+            &bbb,
+            Binary64,
+            "(fmin (fmax a0 a1) a2)",
+            CALL_OVERHEAD + 2.0,
+        ),
+    ]);
+    let _ = bb;
+
+    Target::new(
+        "julia",
+        "Julia 1.10 Base math: binary64, extended high-accuracy helpers (sind, log1p, hypot, ...)",
+    )
+    .with_if_style(IfCostStyle::Scalar, 2.0)
+    .with_leaf_costs(1.0, 1.0)
+    .with_cost_source("auto-tune")
+    .with_operators(ops)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn offers_degree_trig_and_helpers() {
+        let t = target();
+        for name in [
+            "sind.f64",
+            "cosd.f64",
+            "deg2rad.f64",
+            "abs2.f64",
+            "log1p.f64",
+            "hypot.f64",
+            "fma.f64",
+            "sinpi.f64",
+        ] {
+            assert!(t.find_operator(name).is_some(), "missing {name}");
+        }
+    }
+
+    #[test]
+    fn sind_computes_sine_of_degrees() {
+        let t = target();
+        let sind = t.operator(t.find_operator("sind.f64").unwrap());
+        assert!((sind.execute(&[90.0]) - 1.0).abs() < 1e-12);
+        assert!(sind.execute(&[30.0]) - 0.5 < 1e-12);
+        let abs2 = t.operator(t.find_operator("abs2.f64").unwrap());
+        assert_eq!(abs2.execute(&[-3.0]), 9.0);
+        let d2r = t.operator(t.find_operator("deg2rad.f64").unwrap());
+        assert!((d2r.execute(&[180.0]) - std::f64::consts::PI).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cost_spread_is_between_python_and_c() {
+        let t = target();
+        let add = t.operator(t.find_operator("+.f64").unwrap()).cost;
+        let sin = t.operator(t.find_operator("sin.f64").unwrap()).cost;
+        let ratio = sin / add;
+        assert!(ratio > 2.0 && ratio < 20.0, "got ratio {ratio}");
+    }
+}

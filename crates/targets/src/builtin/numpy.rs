@@ -1,0 +1,94 @@
+//! The `NumPy` target (Figure 6, row 7): `numpy` elementwise math routines.
+//! Binary64 only, vector-style conditionals (`numpy.where` evaluates both
+//! branches), and a sizeable per-call overhead from allocating temporaries.
+
+use super::{basic_arith_ops, libm_ops, ArithCosts};
+use crate::operator::Operator;
+use crate::target::{IfCostStyle, Target};
+use fpcore::FpType::Binary64;
+
+/// Per-ufunc-call overhead.
+pub const UFUNC_OVERHEAD: f64 = 8.0;
+
+/// Builds the NumPy target description.
+pub fn target() -> Target {
+    let b = [Binary64];
+    let mut ops = Vec::new();
+    ops.extend(basic_arith_ops(
+        Binary64,
+        ArithCosts {
+            simple: UFUNC_OVERHEAD + 1.0,
+            div: UFUNC_OVERHEAD + 2.0,
+            sqrt: UFUNC_OVERHEAD + 3.0,
+        },
+        true,
+    ));
+    ops.extend(libm_ops(Binary64, UFUNC_OVERHEAD, 0.3, false));
+    // numpy-specific elementwise helpers from routines.math.
+    ops.extend(vec![
+        Operator::emulated("square.f64", &b, Binary64, "(* a0 a0)", UFUNC_OVERHEAD + 1.0),
+        Operator::emulated(
+            "reciprocal.f64",
+            &b,
+            Binary64,
+            "(/ 1 a0)",
+            UFUNC_OVERHEAD + 2.0,
+        ),
+        Operator::emulated(
+            "deg2rad.f64",
+            &b,
+            Binary64,
+            "(* a0 (/ PI 180))",
+            UFUNC_OVERHEAD + 1.0,
+        ),
+        Operator::emulated(
+            "rad2deg.f64",
+            &b,
+            Binary64,
+            "(* a0 (/ 180 PI))",
+            UFUNC_OVERHEAD + 1.0,
+        ),
+        Operator::emulated(
+            "logaddexp.f64",
+            &[Binary64, Binary64],
+            Binary64,
+            "(log (+ (exp a0) (exp a1)))",
+            UFUNC_OVERHEAD + 25.0,
+        ),
+    ]);
+
+    Target::new(
+        "numpy",
+        "NumPy elementwise math: binary64, numpy.where conditionals evaluate both branches",
+    )
+    .with_if_style(IfCostStyle::Vector, UFUNC_OVERHEAD)
+    .with_leaf_costs(UFUNC_OVERHEAD * 0.5, UFUNC_OVERHEAD * 0.5)
+    .with_cost_source("auto-tune")
+    .with_operators(ops)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vector_conditionals_and_helpers() {
+        let t = target();
+        assert_eq!(t.if_cost_style, IfCostStyle::Vector);
+        for name in ["square.f64", "reciprocal.f64", "deg2rad.f64", "logaddexp.f64"] {
+            assert!(t.find_operator(name).is_some(), "missing {name}");
+        }
+        assert!(t.find_operator("fma.f64").is_none());
+    }
+
+    #[test]
+    fn helper_semantics() {
+        let t = target();
+        let sq = t.operator(t.find_operator("square.f64").unwrap());
+        assert_eq!(sq.execute(&[5.0]), 25.0);
+        let recip = t.operator(t.find_operator("reciprocal.f64").unwrap());
+        assert_eq!(recip.execute(&[4.0]), 0.25);
+        let lae = t.operator(t.find_operator("logaddexp.f64").unwrap());
+        assert!((lae.execute(&[0.0, 0.0]) - 2.0f64.ln()).abs() < 1e-12);
+    }
+}

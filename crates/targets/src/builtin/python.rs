@@ -1,0 +1,58 @@
+//! The `Python` target (Figure 6, row 5): CPython 3.10 with the `math` module.
+//! Binary64 only, no `fma`, and a large interpretation overhead that flattens the
+//! cost distribution (the paper notes operator costs are "closely clustered").
+
+use super::{basic_arith_ops, libm_ops, ArithCosts};
+use crate::target::{IfCostStyle, Target};
+use fpcore::FpType::Binary64;
+
+/// The fixed interpretation overhead added to every operator.
+pub const INTERPRETER_OVERHEAD: f64 = 20.0;
+
+/// Builds the Python target description.
+pub fn target() -> Target {
+    let mut ops = Vec::new();
+    ops.extend(basic_arith_ops(
+        Binary64,
+        ArithCosts {
+            simple: INTERPRETER_OVERHEAD + 1.0,
+            div: INTERPRETER_OVERHEAD + 2.0,
+            sqrt: INTERPRETER_OVERHEAD + 3.0,
+        },
+        true,
+    ));
+    // math module functions: the per-call overhead dominates, so the relative
+    // spread between cheap and expensive functions is small (scale 0.15).
+    ops.extend(libm_ops(Binary64, INTERPRETER_OVERHEAD, 0.15, false));
+
+    Target::new(
+        "python",
+        "CPython 3.10 with the math module: binary64 only, no fma, flat cost profile",
+    )
+    .with_if_style(IfCostStyle::Scalar, INTERPRETER_OVERHEAD)
+    .with_leaf_costs(INTERPRETER_OVERHEAD * 0.5, INTERPRETER_OVERHEAD * 0.5)
+    .with_cost_source("auto-tune")
+    .with_operators(ops)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binary64_only_and_no_fma() {
+        let t = target();
+        assert_eq!(t.supported_types(), vec![Binary64]);
+        assert!(t.find_operator("fma.f64").is_none());
+        assert!(t.find_operator("hypot.f64").is_some());
+    }
+
+    #[test]
+    fn costs_are_closely_clustered() {
+        let t = target();
+        let add = t.operator(t.find_operator("+.f64").unwrap()).cost;
+        let sin = t.operator(t.find_operator("sin.f64").unwrap()).cost;
+        // In C the ratio is ~45x; in Python the interpreter overhead keeps it small.
+        assert!(sin / add < 2.0, "Python costs should be flat (got ratio {})", sin / add);
+    }
+}

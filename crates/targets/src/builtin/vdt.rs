@@ -1,0 +1,168 @@
+//! The `vdt` target (Figure 6, row 8): CERN's vdt library of fast, vectorizable
+//! approximate transcendental functions (`fast_exp`, `fast_sin`, ...), layered on
+//! top of the C99 scalar target. The `fast_*` routines target roughly 8 units in
+//! the last place of error; the reciprocal square root comes in two accuracy
+//! levels (`fast_isqrt`, `approx_isqrt`).
+
+use super::c99;
+use crate::operator::{truncate_mantissa, Operator};
+use crate::target::{IfCostStyle, Target};
+use fpcore::FpType::{Binary32, Binary64};
+
+/// Significant bits kept by the double-precision `fast_*` emulations
+/// (≈ a couple of hundred ulps of error, mirroring vdt's accuracy contract).
+const FAST_BITS_F64: u32 = 42;
+/// Significant bits kept by the single-precision `fast_*f` emulations.
+const FAST_BITS_F32: u32 = 18;
+
+macro_rules! fast64 {
+    ($name:ident, $expr:expr) => {
+        fn $name(a: &[f64]) -> f64 {
+            let x = a[0];
+            truncate_mantissa($expr(x), FAST_BITS_F64)
+        }
+    };
+}
+
+macro_rules! fast32 {
+    ($name:ident, $expr:expr) => {
+        fn $name(a: &[f64]) -> f64 {
+            let x = a[0] as f32 as f64;
+            truncate_mantissa($expr(x) as f32 as f64, FAST_BITS_F32)
+        }
+    };
+}
+
+fast64!(fast_exp, f64::exp);
+fast64!(fast_log, f64::ln);
+fast64!(fast_sin, f64::sin);
+fast64!(fast_cos, f64::cos);
+fast64!(fast_tan, f64::tan);
+fast64!(fast_asin, f64::asin);
+fast64!(fast_acos, f64::acos);
+fast64!(fast_atan, f64::atan);
+fast64!(fast_tanh, f64::tanh);
+
+fast32!(fast_expf, f64::exp);
+fast32!(fast_logf, f64::ln);
+fast32!(fast_sinf, f64::sin);
+fast32!(fast_cosf, f64::cos);
+fast32!(fast_tanf, f64::tan);
+fast32!(fast_atanf, f64::atan);
+
+fn fast_isqrt(a: &[f64]) -> f64 {
+    // Three Newton iterations from an 8-bit seed: ~40 accurate bits.
+    truncate_mantissa(1.0 / a[0].sqrt(), 40)
+}
+
+fn approx_isqrt(a: &[f64]) -> f64 {
+    // A cheaper variant with fewer iterations: ~30 accurate bits.
+    truncate_mantissa(1.0 / a[0].sqrt(), 30)
+}
+
+/// Builds the vdt target description.
+pub fn target() -> Target {
+    let b64 = [Binary64];
+    let b32 = [Binary32];
+    let mut t = Target::new(
+        "vdt",
+        "CERN vdt: fast approximate transcendental functions (~8 ulp) on top of scalar C",
+    )
+    .with_if_style(IfCostStyle::Scalar, 1.0)
+    .with_leaf_costs(0.5, 0.5)
+    .with_cost_source("auto-tune");
+    t.import(&c99::target());
+
+    // The accurate function costs come from the imported C target; the fast
+    // variants are roughly 2-3x cheaper.
+    let fast: Vec<Operator> = vec![
+        Operator::native("fast_exp.f64", &b64, Binary64, "(exp a0)", 16.0, fast_exp),
+        Operator::native("fast_log.f64", &b64, Binary64, "(log a0)", 14.0, fast_log),
+        Operator::native("fast_sin.f64", &b64, Binary64, "(sin a0)", 18.0, fast_sin),
+        Operator::native("fast_cos.f64", &b64, Binary64, "(cos a0)", 18.0, fast_cos),
+        Operator::native("fast_tan.f64", &b64, Binary64, "(tan a0)", 22.0, fast_tan),
+        Operator::native("fast_asin.f64", &b64, Binary64, "(asin a0)", 20.0, fast_asin),
+        Operator::native("fast_acos.f64", &b64, Binary64, "(acos a0)", 20.0, fast_acos),
+        Operator::native("fast_atan.f64", &b64, Binary64, "(atan a0)", 22.0, fast_atan),
+        Operator::native("fast_tanh.f64", &b64, Binary64, "(tanh a0)", 22.0, fast_tanh),
+        Operator::native("fast_expf.f32", &b32, Binary32, "(exp a0)", 10.0, fast_expf),
+        Operator::native("fast_logf.f32", &b32, Binary32, "(log a0)", 9.0, fast_logf),
+        Operator::native("fast_sinf.f32", &b32, Binary32, "(sin a0)", 11.0, fast_sinf),
+        Operator::native("fast_cosf.f32", &b32, Binary32, "(cos a0)", 11.0, fast_cosf),
+        Operator::native("fast_tanf.f32", &b32, Binary32, "(tan a0)", 13.0, fast_tanf),
+        Operator::native("fast_atanf.f32", &b32, Binary32, "(atan a0)", 13.0, fast_atanf),
+        Operator::native(
+            "fast_isqrt.f64",
+            &b64,
+            Binary64,
+            "(/ 1 (sqrt a0))",
+            6.0,
+            fast_isqrt,
+        ),
+        Operator::native(
+            "approx_isqrt.f64",
+            &b64,
+            Binary64,
+            "(/ 1 (sqrt a0))",
+            4.0,
+            approx_isqrt,
+        ),
+    ];
+    for op in fast {
+        t.add_operator(op);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fast_variants_are_cheaper_than_accurate_ones() {
+        let t = target();
+        for (fast, accurate) in [
+            ("fast_exp.f64", "exp.f64"),
+            ("fast_sin.f64", "sin.f64"),
+            ("fast_log.f64", "log.f64"),
+            ("fast_atan.f64", "atan.f64"),
+        ] {
+            let f = t.operator(t.find_operator(fast).unwrap()).cost;
+            let a = t.operator(t.find_operator(accurate).unwrap()).cost;
+            assert!(f < a, "{fast} ({f}) should be cheaper than {accurate} ({a})");
+        }
+    }
+
+    #[test]
+    fn fast_variants_are_less_accurate_but_close() {
+        let t = target();
+        let fast = t.operator(t.find_operator("fast_sin.f64").unwrap());
+        let accurate = t.operator(t.find_operator("sin.f64").unwrap());
+        let x = 1.2345678;
+        let f = fast.execute(&[x]);
+        let a = accurate.execute(&[x]);
+        assert_ne!(f, a, "fast_sin should differ from sin in low bits");
+        assert!((f - a).abs() / a.abs() < 1e-9, "but only in low bits");
+    }
+
+    #[test]
+    fn two_isqrt_accuracy_levels() {
+        let t = target();
+        let fast = t.operator(t.find_operator("fast_isqrt.f64").unwrap());
+        let approx = t.operator(t.find_operator("approx_isqrt.f64").unwrap());
+        assert!(approx.cost < fast.cost);
+        let x = 7.0f64;
+        let truth = 1.0 / x.sqrt();
+        let e_fast = (fast.execute(&[x]) - truth).abs();
+        let e_approx = (approx.execute(&[x]) - truth).abs();
+        assert!(e_approx >= e_fast, "the cheaper variant is no more accurate");
+    }
+
+    #[test]
+    fn inherits_the_c_target() {
+        let t = target();
+        assert!(t.find_operator("+.f64").is_some());
+        assert!(t.find_operator("hypot.f64").is_some());
+        assert!(t.find_operator("fast_expf.f32").is_some());
+    }
+}

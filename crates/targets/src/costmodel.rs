@@ -1,0 +1,112 @@
+//! The target cost model (paper Section 4.2).
+//!
+//! The estimated cost of a program is the sum of its operators' scalar costs,
+//! plus literal and variable costs, with conditionals charged according to the
+//! target's scalar or vector style. Speed is assumed to be inversely related to
+//! this sum.
+
+use crate::expr::FloatExpr;
+use crate::target::{IfCostStyle, Target};
+
+/// Estimated cost of a program under the target's cost model.
+pub fn program_cost(target: &Target, expr: &FloatExpr) -> f64 {
+    match expr {
+        FloatExpr::Num(_, _) => target.literal_cost,
+        FloatExpr::Var(_, _) => target.variable_cost,
+        FloatExpr::Op(id, args) => {
+            target.operator(*id).cost
+                + args.iter().map(|a| program_cost(target, a)).sum::<f64>()
+        }
+        FloatExpr::Cmp(_, a, b) => {
+            // Comparisons are charged like a cheap arithmetic operation.
+            1.0 + program_cost(target, a) + program_cost(target, b)
+        }
+        FloatExpr::If(c, t, e) => {
+            let cond = program_cost(target, c);
+            let then_cost = program_cost(target, t);
+            let else_cost = program_cost(target, e);
+            let branches = match target.if_cost_style {
+                IfCostStyle::Scalar => then_cost.max(else_cost),
+                IfCostStyle::Vector => then_cost + else_cost,
+            };
+            target.if_base_cost + cond + branches
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operator::Operator;
+    use crate::target::Target;
+    use fpcore::FpType::*;
+    use fpcore::{RealOp, Symbol};
+
+    fn target(style: IfCostStyle) -> Target {
+        Target::new("t", "test")
+            .with_if_style(style, 2.0)
+            .with_leaf_costs(1.0, 0.5)
+            .with_operators(vec![
+                Operator::emulated("+.f64", &[Binary64, Binary64], Binary64, "(+ a0 a1)", 1.0),
+                Operator::emulated("/.f64", &[Binary64, Binary64], Binary64, "(/ a0 a1)", 10.0),
+            ])
+    }
+
+    fn sample_if(t: &Target) -> FloatExpr {
+        let x = FloatExpr::Var(Symbol::new("x"), Binary64);
+        let add = t.find_operator("+.f64").unwrap();
+        let div = t.find_operator("/.f64").unwrap();
+        FloatExpr::If(
+            Box::new(FloatExpr::Cmp(
+                RealOp::Lt,
+                Box::new(x.clone()),
+                Box::new(FloatExpr::literal(0.0, Binary64)),
+            )),
+            Box::new(FloatExpr::Op(add, vec![x.clone(), FloatExpr::literal(1.0, Binary64)])),
+            Box::new(FloatExpr::Op(div, vec![FloatExpr::literal(1.0, Binary64), x])),
+        )
+    }
+
+    #[test]
+    fn operator_and_leaf_costs_add_up() {
+        let t = target(IfCostStyle::Scalar);
+        let add = t.find_operator("+.f64").unwrap();
+        let expr = FloatExpr::Op(
+            add,
+            vec![
+                FloatExpr::Var(Symbol::new("x"), Binary64),
+                FloatExpr::literal(1.0, Binary64),
+            ],
+        );
+        // 1 (op) + 0.5 (var) + 1 (literal)
+        assert_eq!(program_cost(&t, &expr), 2.5);
+    }
+
+    #[test]
+    fn scalar_if_charges_max_branch() {
+        let t = target(IfCostStyle::Scalar);
+        let expr = sample_if(&t);
+        // cond: 1 + 0.5 + 1 = 2.5; then: 1+0.5+1=2.5; else: 10+1+0.5=11.5
+        // scalar: 2 (base) + 2.5 + max(2.5, 11.5) = 16.0
+        assert_eq!(program_cost(&t, &expr), 16.0);
+    }
+
+    #[test]
+    fn vector_if_charges_both_branches() {
+        let t = target(IfCostStyle::Vector);
+        let expr = sample_if(&t);
+        // vector: 2 + 2.5 + (2.5 + 11.5) = 18.5
+        assert_eq!(program_cost(&t, &expr), 18.5);
+    }
+
+    #[test]
+    fn cheaper_operators_give_cheaper_programs() {
+        let t = target(IfCostStyle::Scalar);
+        let add = t.find_operator("+.f64").unwrap();
+        let div = t.find_operator("/.f64").unwrap();
+        let x = FloatExpr::Var(Symbol::new("x"), Binary64);
+        let with_add = FloatExpr::Op(add, vec![x.clone(), x.clone()]);
+        let with_div = FloatExpr::Op(div, vec![x.clone(), x]);
+        assert!(program_cost(&t, &with_add) < program_cost(&t, &with_div));
+    }
+}

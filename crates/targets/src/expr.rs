@@ -1,0 +1,206 @@
+//! Target-specific floating-point programs: the output language of Chassis.
+
+use crate::operator::{round_to_type, OpId};
+use crate::target::Target;
+use fpcore::{Expr, FpType, RealOp, Symbol};
+use std::collections::BTreeSet;
+
+/// A floating-point program over a specific target's operators.
+///
+/// Operator applications reference the target's operator table through [`OpId`],
+/// so a `FloatExpr` is only meaningful together with the [`Target`] it was built
+/// for.
+#[derive(Clone, PartialEq, Debug)]
+pub enum FloatExpr {
+    /// A literal, already rounded to the given representation.
+    Num(f64, FpType),
+    /// A variable reference with its representation.
+    Var(Symbol, FpType),
+    /// An operator application.
+    Op(OpId, Vec<FloatExpr>),
+    /// A comparison between two numeric operands (used in conditionals), using
+    /// host comparison semantics.
+    Cmp(RealOp, Box<FloatExpr>, Box<FloatExpr>),
+    /// A conditional.
+    If(Box<FloatExpr>, Box<FloatExpr>, Box<FloatExpr>),
+}
+
+impl FloatExpr {
+    /// A literal of the given type.
+    pub fn literal(value: f64, ty: FpType) -> FloatExpr {
+        FloatExpr::Num(round_to_type(value, ty), ty)
+    }
+
+    /// The result type of this expression on the given target.
+    pub fn result_type(&self, target: &Target) -> FpType {
+        match self {
+            FloatExpr::Num(_, ty) | FloatExpr::Var(_, ty) => *ty,
+            FloatExpr::Op(id, _) => target.operator(*id).ret_type,
+            FloatExpr::Cmp(_, _, _) => FpType::Bool,
+            FloatExpr::If(_, t, _) => t.result_type(target),
+        }
+    }
+
+    /// Number of nodes in the program.
+    pub fn size(&self) -> usize {
+        1 + match self {
+            FloatExpr::Num(_, _) | FloatExpr::Var(_, _) => 0,
+            FloatExpr::Op(_, args) => args.iter().map(FloatExpr::size).sum(),
+            FloatExpr::Cmp(_, a, b) => a.size() + b.size(),
+            FloatExpr::If(c, t, e) => c.size() + t.size() + e.size(),
+        }
+    }
+
+    /// Free variables in the program.
+    pub fn variables(&self) -> Vec<Symbol> {
+        fn walk(e: &FloatExpr, out: &mut BTreeSet<Symbol>) {
+            match e {
+                FloatExpr::Num(_, _) => {}
+                FloatExpr::Var(v, _) => {
+                    out.insert(*v);
+                }
+                FloatExpr::Op(_, args) => args.iter().for_each(|a| walk(a, out)),
+                FloatExpr::Cmp(_, a, b) => {
+                    walk(a, out);
+                    walk(b, out);
+                }
+                FloatExpr::If(c, t, el) => {
+                    walk(c, out);
+                    walk(t, out);
+                    walk(el, out);
+                }
+            }
+        }
+        let mut set = BTreeSet::new();
+        walk(self, &mut set);
+        set.into_iter().collect()
+    }
+
+    /// The real-number expression this program denotes (its *desugaring*,
+    /// paper Section 4.1): every operator application is replaced by the
+    /// operator's desugaring, and casts disappear.
+    pub fn desugar(&self, target: &Target) -> Expr {
+        match self {
+            FloatExpr::Num(v, _) => {
+                if let Some(r) = fpcore::Rational::from_f64(*v) {
+                    Expr::Num(fpcore::Constant::Rational(r))
+                } else if v.is_nan() {
+                    Expr::Num(fpcore::Constant::Nan)
+                } else if *v > 0.0 {
+                    Expr::Num(fpcore::Constant::Infinity)
+                } else {
+                    Expr::Num(fpcore::Constant::NegInfinity)
+                }
+            }
+            FloatExpr::Var(v, _) => Expr::Var(*v),
+            FloatExpr::Op(id, args) => {
+                let desugared: Vec<Expr> = args.iter().map(|a| a.desugar(target)).collect();
+                target.operator(*id).instantiate_desugaring(&desugared)
+            }
+            FloatExpr::Cmp(op, a, b) => Expr::bin(*op, a.desugar(target), b.desugar(target)),
+            FloatExpr::If(c, t, e) => Expr::If(
+                Box::new(c.desugar(target)),
+                Box::new(t.desugar(target)),
+                Box::new(e.desugar(target)),
+            ),
+        }
+    }
+
+    /// Renders the program using operator names (for reports and case studies).
+    pub fn render(&self, target: &Target) -> String {
+        match self {
+            FloatExpr::Num(v, _) => format!("{v}"),
+            FloatExpr::Var(v, _) => v.to_string(),
+            FloatExpr::Op(id, args) => {
+                let name = &target.operator(*id).name;
+                let rendered: Vec<String> = args.iter().map(|a| a.render(target)).collect();
+                format!("({} {})", name, rendered.join(" "))
+            }
+            FloatExpr::Cmp(op, a, b) => {
+                format!("({} {} {})", op.name(), a.render(target), b.render(target))
+            }
+            FloatExpr::If(c, t, e) => format!(
+                "(if {} {} {})",
+                c.render(target),
+                t.render(target),
+                e.render(target)
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operator::Operator;
+    use fpcore::FpType::*;
+
+    fn target() -> Target {
+        Target::new("t", "test").with_operators(vec![
+            Operator::emulated("+.f64", &[Binary64, Binary64], Binary64, "(+ a0 a1)", 1.0),
+            Operator::emulated("rcp.f32", &[Binary32], Binary32, "(/ 1 a0)", 4.0),
+            Operator::emulated("log1p.f64", &[Binary64], Binary64, "(log (+ 1 a0))", 20.0),
+        ])
+    }
+
+    #[test]
+    fn desugaring_composes() {
+        let t = target();
+        let log1p = t.find_operator("log1p.f64").unwrap();
+        let add = t.find_operator("+.f64").unwrap();
+        let x = FloatExpr::Var(Symbol::new("x"), Binary64);
+        let prog = FloatExpr::Op(
+            add,
+            vec![
+                FloatExpr::Op(log1p, vec![x.clone()]),
+                FloatExpr::literal(1.0, Binary64),
+            ],
+        );
+        assert_eq!(
+            prog.desugar(&t),
+            fpcore::parse_expr("(+ (log (+ 1 x)) 1)").unwrap()
+        );
+        assert_eq!(prog.result_type(&t), Binary64);
+        assert_eq!(prog.size(), 4);
+        assert_eq!(prog.variables(), vec![Symbol::new("x")]);
+    }
+
+    #[test]
+    fn rendering_uses_operator_names() {
+        let t = target();
+        let rcp = t.find_operator("rcp.f32").unwrap();
+        let prog = FloatExpr::Op(rcp, vec![FloatExpr::Var(Symbol::new("y"), Binary32)]);
+        assert_eq!(prog.render(&t), "(rcp.f32 y)");
+        assert_eq!(prog.result_type(&t), Binary32);
+    }
+
+    #[test]
+    fn conditional_expressions() {
+        let t = target();
+        let x = FloatExpr::Var(Symbol::new("x"), Binary64);
+        let prog = FloatExpr::If(
+            Box::new(FloatExpr::Cmp(
+                RealOp::Lt,
+                Box::new(x.clone()),
+                Box::new(FloatExpr::literal(0.0, Binary64)),
+            )),
+            Box::new(FloatExpr::literal(0.0, Binary64)),
+            Box::new(x),
+        );
+        assert_eq!(prog.result_type(&t), Binary64);
+        assert!(prog.render(&t).starts_with("(if (< x 0)"));
+        assert_eq!(
+            prog.desugar(&t),
+            fpcore::parse_expr("(if (< x 0) 0 x)").unwrap()
+        );
+    }
+
+    #[test]
+    fn literals_are_rounded_to_their_type() {
+        let lit = FloatExpr::literal(1.0 / 3.0, Binary32);
+        match lit {
+            FloatExpr::Num(v, Binary32) => assert_eq!(v, (1.0f32 / 3.0f32) as f64),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,34 @@
+//! # targets
+//!
+//! Chassis' target description language (paper Section 4) and the nine built-in
+//! targets used in the evaluation (Figure 6), together with everything needed to
+//! *execute* and *cost* target-specific floating-point programs:
+//!
+//! * [`Operator`] — a floating-point instruction with a type signature, a
+//!   real-number desugaring, a scalar cost and an implementation,
+//! * [`Target`] — a named set of operators plus cost-model details
+//!   (scalar/vector conditional style, literal costs); targets can import and
+//!   extend one another,
+//! * [`FloatExpr`] — target-specific floating-point programs (the compiler's
+//!   output language),
+//! * [`cost`](costmodel::program_cost) — the target cost model,
+//! * [`interp`] — an interpreter for float programs (used to estimate accuracy
+//!   and to measure wall-clock run time, standing in for the paper's dynamic
+//!   linking of real instruction implementations),
+//! * [`autotune`] — the cost auto-tuner that times each operator in a hot loop,
+//! * [`builtin`] — the nine target descriptions: Arith, Arith+FMA, AVX, C99,
+//!   Python, Julia, NumPy, vdt, fdlibm.
+
+pub mod autotune;
+pub mod builtin;
+pub mod costmodel;
+pub mod expr;
+pub mod interp;
+pub mod operator;
+pub mod target;
+
+pub use costmodel::program_cost;
+pub use expr::FloatExpr;
+pub use interp::{eval_float_expr, measure_runtime};
+pub use operator::{Impl, OpId, Operator};
+pub use target::{IfCostStyle, Target};

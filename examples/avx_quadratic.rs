@@ -1,0 +1,50 @@
+//! The paper's first case study (Section 6.4): the half-b quadratic formula
+//! compiled for the AVX target, which has fused multiply-add variants and the
+//! fast approximate reciprocal `rcpps`, but no transcendental functions and no
+//! negation instruction.
+//!
+//! ```text
+//! cargo run --release --example avx_quadratic
+//! ```
+
+use chassis::{Chassis, Config};
+use fpcore::parse_fpcore;
+use targets::builtin;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let core = parse_fpcore(
+        "(FPCore ((! :precision binary32 a) (! :precision binary32 b2) (! :precision binary32 c))
+            :precision binary32
+            :name \"half-b quadratic formula\"
+            :pre (and (> a 0.001) (< a 100) (> b2 0.01) (< b2 100)
+                      (> c 0.001) (< c 1) (> (- (* b2 b2) (* a c)) 0.0001))
+            (/ (+ (- b2) (sqrt (- (* b2 b2) (* a c)))) a))",
+    )?;
+    let target = builtin::by_name("avx").expect("AVX target");
+    let result = Chassis::new(target.clone())
+        .with_config(Config::fast())
+        .compile(&core)?;
+
+    println!("target: {target}");
+    println!("input : {core}\n");
+    for imp in &result.implementations {
+        println!(
+            "cost {:7.1}  accuracy {:5.1} bits\n    {}",
+            imp.cost, imp.accuracy_bits, imp.rendered
+        );
+    }
+
+    // The interesting question for AVX: did Chassis fold the negation and the
+    // multiply-adds into FMA variants, and did it use rcp when accuracy permits?
+    let mentions = |needle: &str| {
+        result
+            .implementations
+            .iter()
+            .any(|imp| imp.rendered.contains(needle))
+    };
+    println!();
+    println!("uses an FMA variant      : {}", mentions("fm"));
+    println!("uses approximate rcp     : {}", mentions("rcp.f32"));
+    println!("uses exact division      : {}", mentions("/.f32"));
+    Ok(())
+}

@@ -1,0 +1,80 @@
+//! Writing a custom target description (paper Section 4.2).
+//!
+//! This example builds a small DSP-style target from scratch: binary32 only,
+//! with a fused multiply-add, a fast approximate reciprocal, and no division.
+//! It then shows how Chassis exploits those operators, and how the cost
+//! auto-tuner can fill in costs when the author does not provide them.
+//!
+//! ```text
+//! cargo run --release --example custom_target
+//! ```
+
+use chassis::{Chassis, Config};
+use fpcore::parse_fpcore;
+use fpcore::FpType::Binary32;
+use targets::autotune::{auto_tune, AutoTuneConfig};
+use targets::operator::truncate_mantissa;
+use targets::{IfCostStyle, Operator, Target};
+
+fn approximate_reciprocal(args: &[f64]) -> f64 {
+    // ~14 good bits, like a one-Newton-step hardware reciprocal.
+    truncate_mantissa(1.0 / args[0], 14)
+}
+
+fn build_dsp_target() -> Target {
+    Target::new(
+        "dsp32",
+        "A custom binary32 DSP-like target: fma + approximate reciprocal, no division",
+    )
+    .with_if_style(IfCostStyle::Vector, 3.0)
+    .with_leaf_costs(0.5, 0.5)
+    .with_cost_source("hand-written example costs")
+    .with_operators(vec![
+        Operator::emulated("+.f32", &[Binary32, Binary32], Binary32, "(+ a0 a1)", 1.0),
+        Operator::emulated("-.f32", &[Binary32, Binary32], Binary32, "(- a0 a1)", 1.0),
+        Operator::emulated("*.f32", &[Binary32, Binary32], Binary32, "(* a0 a1)", 1.0),
+        Operator::emulated("fma.f32", &[Binary32, Binary32, Binary32], Binary32, "(fma a0 a1 a2)", 1.0),
+        Operator::emulated("sqrt.f32", &[Binary32], Binary32, "(sqrt a0)", 6.0),
+        Operator::native("rcp.f32", &[Binary32], Binary32, "(/ 1 a0)", 2.0, approximate_reciprocal),
+    ])
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let target = build_dsp_target();
+    println!("custom target: {target}");
+
+    // Chassis can implement division-containing expressions on this target even
+    // though it has no division instruction, by rewriting x/y as x * (1/y).
+    let core = parse_fpcore(
+        "(FPCore ((! :precision binary32 x) (! :precision binary32 y))
+            :precision binary32
+            :name \"normalized difference\"
+            :pre (and (> x 0.001) (< x 1000) (> y 0.001) (< y 1000))
+            (/ (- x y) (+ x y)))",
+    )?;
+    let result = Chassis::new(target.clone())
+        .with_config(Config::fast())
+        .compile(&core)?;
+    println!("\ninput: {core}");
+    for imp in &result.implementations {
+        println!(
+            "  cost {:6.1}  accuracy {:5.1} bits   {}",
+            imp.cost, imp.accuracy_bits, imp.rendered
+        );
+    }
+
+    // If the author had not provided costs, the auto-tuner estimates them by
+    // timing each operator in a hot loop (Section 4.2).
+    let tuned = auto_tune(
+        &target,
+        AutoTuneConfig {
+            iterations: 5_000,
+            repeats: 2,
+        },
+    );
+    println!("\nauto-tuned costs:");
+    for op in &tuned.operators {
+        println!("  {:10} {:6.1}", op.name, op.cost);
+    }
+    Ok(())
+}

@@ -1,0 +1,37 @@
+//! The paper's overview example: the inverse hyperbolic cotangent on the fdlibm
+//! target, whose library-internal kernel `log1pmd(x) = log(1+x) − log(1−x)` can
+//! replace two separate logarithm calls.
+//!
+//! ```text
+//! cargo run --release --example fdlibm_acoth
+//! ```
+
+use chassis::{Chassis, Config};
+use fpcore::parse_fpcore;
+use targets::builtin;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // coth^-1(x) = 1/2 * log((1+x) / (1-x))
+    let core = parse_fpcore(
+        "(FPCore (x) :name \"acoth\" :pre (and (> x -0.9) (< x 0.9) (!= x 0))
+            (* (/ 1 2) (log (/ (+ 1 x) (- 1 x)))))",
+    )?;
+
+    for target_name in ["c99", "fdlibm"] {
+        let target = builtin::by_name(target_name).expect("built-in target");
+        let result = Chassis::new(target).with_config(Config::fast()).compile(&core)?;
+        println!("=== target {target_name} ===");
+        for imp in &result.implementations {
+            println!(
+                "  cost {:7.1}  accuracy {:5.1} bits   {}",
+                imp.cost, imp.accuracy_bits, imp.rendered
+            );
+        }
+        let uses_kernel = result
+            .implementations
+            .iter()
+            .any(|imp| imp.rendered.contains("log1pmd"));
+        println!("  uses fdlibm's log1pmd kernel: {uses_kernel}\n");
+    }
+    Ok(())
+}

@@ -1,0 +1,41 @@
+//! The paper's second case study: the ellipse implicit-equation coefficient on
+//! the Julia target, whose extended math library (degree-based trigonometry,
+//! `abs2`, `deg2rad`) lets Chassis produce implementations that are both clearer
+//! and more accurate than composing radians-based operators by hand.
+//!
+//! ```text
+//! cargo run --release --example julia_ellipse
+//! ```
+
+use chassis::{Chassis, Config};
+use fpcore::parse_fpcore;
+use targets::builtin;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A = a^2 sin^2(pi/180 * theta) + b^2 cos^2(pi/180 * theta)
+    let core = parse_fpcore(
+        "(FPCore (a b theta) :name \"ellipse coefficient\"
+            :pre (and (> a 0.01) (< a 100) (> b 0.01) (< b 100) (> theta -360) (< theta 360))
+            (+ (* (* a a) (* (sin (* (/ PI 180) theta)) (sin (* (/ PI 180) theta))))
+               (* (* b b) (* (cos (* (/ PI 180) theta)) (cos (* (/ PI 180) theta))))))",
+    )?;
+    let target = builtin::by_name("julia").expect("Julia target");
+    let result = Chassis::new(target).with_config(Config::fast()).compile(&core)?;
+
+    println!("input: {core}\n");
+    println!(
+        "initial lowering: cost {:7.1}  accuracy {:5.1} bits",
+        result.initial.cost, result.initial.accuracy_bits
+    );
+    for imp in &result.implementations {
+        println!(
+            "output          : cost {:7.1}  accuracy {:5.1} bits\n    {}",
+            imp.cost, imp.accuracy_bits, imp.rendered
+        );
+    }
+    for helper in ["sind.f64", "cosd.f64", "deg2rad.f64", "abs2.f64"] {
+        let used = result.implementations.iter().any(|i| i.rendered.contains(helper));
+        println!("uses {helper:<12}: {used}");
+    }
+    Ok(())
+}

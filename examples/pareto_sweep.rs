@@ -1,0 +1,33 @@
+//! Sweeps one benchmark across every built-in target and prints the
+//! accuracy/cost frontier each target admits — a miniature version of the
+//! paper's Figure 8, useful for understanding how target characteristics shape
+//! the available trade-offs.
+//!
+//! ```text
+//! cargo run --release --example pareto_sweep
+//! ```
+
+use chassis::{Chassis, Config};
+use targets::builtin;
+
+fn main() {
+    let benchmark = benchsuite::by_name("fast-inverse-sqrt-use").expect("corpus benchmark");
+    let core = benchmark.fpcore();
+    println!("benchmark: {} — {}", benchmark.name, core);
+
+    for target in builtin::all_targets() {
+        print!("\n=== {} ===\n", target.name);
+        match Chassis::new(target.clone()).with_config(Config::fast()).compile(&core) {
+            Err(e) => println!("  not compilable: {e}"),
+            Ok(result) => {
+                for imp in &result.implementations {
+                    println!(
+                        "  cost {:8.1}  accuracy {:5.1} bits   {}",
+                        imp.cost, imp.accuracy_bits, imp.rendered
+                    );
+                }
+                println!("  best speedup over direct lowering: {:.2}x", result.best_speedup());
+            }
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! Quickstart: compile one expression for one target and print its Pareto
+//! frontier of implementations.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use chassis::{Chassis, Config};
+use fpcore::parse_fpcore;
+use targets::builtin;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The classic cancellation-prone expression sqrt(x+1) - sqrt(x).
+    let core = parse_fpcore(
+        "(FPCore (x) :name \"sqrt(x+1) - sqrt(x)\" :pre (and (> x 1) (< x 1e14))
+            (- (sqrt (+ x 1)) (sqrt x)))",
+    )?;
+
+    // Pick a target description: here, scalar C99 with the full math library.
+    let target = builtin::by_name("c99").expect("built-in target");
+
+    // Compile. `Config::fast()` keeps the search small enough for an example.
+    let compiler = Chassis::new(target).with_config(Config::fast());
+    let result = compiler.compile(&core)?;
+
+    println!("input        : {core}");
+    println!(
+        "initial      : cost {:7.1}   accuracy {:5.1} bits   {}",
+        result.initial.cost, result.initial.accuracy_bits, result.initial.rendered
+    );
+    println!("pareto frontier ({} implementations):", result.implementations.len());
+    for imp in &result.implementations {
+        println!(
+            "  cost {:7.1}   accuracy {:5.1} bits   {}",
+            imp.cost, imp.accuracy_bits, imp.rendered
+        );
+    }
+    println!(
+        "best speedup : {:.2}x (cheapest output vs the direct lowering)",
+        result.best_speedup()
+    );
+    println!(
+        "accuracy gain: {:.1} bits (most accurate output vs the direct lowering)",
+        result.initial.error_bits - result.most_accurate().error_bits
+    );
+    Ok(())
+}

@@ -1,0 +1,9 @@
+//! Workspace facade crate: re-exports every crate of the Chassis reproduction so
+//! examples and integration tests can use a single dependency.
+
+pub use benchsuite;
+pub use chassis;
+pub use egraph;
+pub use fpcore;
+pub use rival;
+pub use targets;

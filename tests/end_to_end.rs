@@ -1,0 +1,170 @@
+//! Integration tests spanning every crate: FPCore parsing, ground truth,
+//! target descriptions, the Chassis compiler, and the baselines.
+
+use chassis::baseline::clang::{compile_clang, ClangConfig};
+use chassis::baseline::herbie::{transcribe, HerbieCompiler};
+use chassis::{Chassis, Config};
+use fpcore::{parse_fpcore, Symbol};
+use std::collections::HashMap;
+use targets::{builtin, eval_float_expr, program_cost};
+
+fn fast() -> Config {
+    Config::fast()
+}
+
+#[test]
+fn corpus_benchmark_compiles_on_c99_and_preserves_semantics() {
+    let benchmark = benchsuite::by_name("sqrt-add-one-minus-sqrt").unwrap();
+    let core = benchmark.fpcore();
+    let target = builtin::by_name("c99").unwrap();
+    let result = Chassis::new(target.clone())
+        .with_config(fast())
+        .compile(&core)
+        .expect("compilation succeeds");
+    assert!(!result.implementations.is_empty());
+
+    // Every implementation, executed on a benign input, must agree with the
+    // mathematical value to within a loose tolerance (they are all lowerings of
+    // real-equivalent expressions).
+    let x = 37.5;
+    let truth = (x + 1.0f64).sqrt() - x.sqrt();
+    let env: HashMap<Symbol, f64> = [(Symbol::new("x"), x)].into_iter().collect();
+    for imp in &result.implementations {
+        let out = eval_float_expr(&target, &imp.expr, &env);
+        let rel = ((out - truth) / truth).abs();
+        assert!(
+            rel < 1e-3,
+            "{} diverges from the real value: {out} vs {truth}",
+            imp.rendered
+        );
+    }
+
+    // And the most accurate one must be much better than the naive lowering.
+    assert!(result.most_accurate().error_bits + 5.0 < result.initial.error_bits);
+}
+
+#[test]
+fn chassis_beats_herbie_transcription_on_the_vdt_target() {
+    // On the vdt target the fast_* operators give Chassis cheap options that a
+    // target-agnostic compiler cannot know about (the Figure 8 story).
+    let benchmark = benchsuite::by_name("sinc").unwrap();
+    let core = benchmark.fpcore();
+    let target = builtin::by_name("vdt").unwrap();
+
+    let chassis_result = Chassis::new(target.clone())
+        .with_config(fast())
+        .compile(&core)
+        .expect("chassis compiles");
+    let herbie = HerbieCompiler::new(fast());
+    let herbie_result = herbie.compile(&core).expect("herbie compiles");
+
+    // Port Herbie's outputs to vdt and find its cheapest program.
+    let herbie_costs: Vec<f64> = herbie_result
+        .implementations
+        .iter()
+        .filter_map(|imp| transcribe(&imp.expr, herbie.target(), &target, core.precision))
+        .map(|prog| program_cost(&target, &prog))
+        .collect();
+    assert!(!herbie_costs.is_empty(), "herbie output must be portable to vdt");
+    let herbie_cheapest = herbie_costs.iter().cloned().fold(f64::INFINITY, f64::min);
+    let chassis_cheapest = chassis_result.cheapest().cost;
+    assert!(
+        chassis_cheapest <= herbie_cheapest,
+        "chassis ({chassis_cheapest}) should find code at least as cheap as transcribed herbie ({herbie_cheapest})"
+    );
+}
+
+#[test]
+fn chassis_dominates_clang_fast_math_on_accuracy() {
+    // Clang's fast-math rewrites ignore accuracy; Chassis' most accurate output
+    // must be at least as accurate as any Clang configuration.
+    let benchmark = benchsuite::by_name("expm1-over-x").unwrap();
+    let core = benchmark.fpcore();
+    let target = builtin::by_name("c99").unwrap();
+    let result = Chassis::new(target.clone())
+        .with_config(fast())
+        .compile(&core)
+        .expect("chassis compiles");
+    let samples = &result.samples;
+    for config in ClangConfig::all() {
+        let program = compile_clang(&core, &target, config).expect("clang compiles");
+        let (clang_err, _) = chassis::accuracy::evaluate_on_test(&target, &program, samples);
+        assert!(
+            result.most_accurate().error_bits <= clang_err + 1.0,
+            "chassis ({:.1} bits) should not be less accurate than clang {} ({clang_err:.1} bits)",
+            result.most_accurate().error_bits,
+            config.name()
+        );
+    }
+}
+
+#[test]
+fn avx_target_lacks_transcendentals_but_compiles_rational_kernels() {
+    let target = builtin::by_name("avx").unwrap();
+    // A transcendental benchmark cannot be implemented...
+    let sin_core = parse_fpcore("(FPCore (x) (sin x))").unwrap();
+    assert!(Chassis::new(target.clone())
+        .with_config(fast())
+        .compile(&sin_core)
+        .is_err());
+    // ...but a rational kernel can, and produces multiple Pareto points.
+    let benchmark = benchsuite::by_name("reciprocal").unwrap();
+    let mut core = benchmark.fpcore();
+    // Compile the binary32 flavour so rcpps is usable.
+    core.precision = fpcore::FpType::Binary32;
+    for arg in &mut core.args {
+        arg.1 = fpcore::FpType::Binary32;
+    }
+    let result = Chassis::new(target.clone())
+        .with_config(fast())
+        .compile(&core)
+        .expect("compiles on AVX");
+    assert!(
+        result.implementations.len() >= 2,
+        "expected both the exact and the approximate reciprocal on the frontier"
+    );
+    assert!(result
+        .implementations
+        .iter()
+        .any(|imp| imp.rendered.contains("rcp.f32")));
+}
+
+#[test]
+fn every_target_compiles_a_simple_polynomial() {
+    let core = parse_fpcore(
+        "(FPCore (x) :pre (and (> x -100) (< x 100)) (+ (* x (* x x)) (* 3 x)))",
+    )
+    .unwrap();
+    for target in builtin::all_targets() {
+        let result = Chassis::new(target.clone())
+            .with_config(fast())
+            .compile(&core)
+            .unwrap_or_else(|e| panic!("target {} failed: {e}", target.name));
+        assert!(
+            !result.implementations.is_empty(),
+            "target {} produced no implementations",
+            target.name
+        );
+        // The output accuracy should be essentially perfect for a well-behaved
+        // polynomial on every target.
+        assert!(
+            result.most_accurate().accuracy_bits > 20.0,
+            "target {} lost too much accuracy",
+            target.name
+        );
+    }
+}
+
+#[test]
+fn figure6_shape_holds() {
+    // The table-level facts the paper's Figure 6 records.
+    let targets = builtin::all_targets();
+    assert_eq!(targets.len(), 9);
+    let vdt = builtin::by_name("vdt").unwrap();
+    assert!(vdt.find_operator("fast_sin.f64").is_some());
+    let fdlibm = builtin::by_name("fdlibm").unwrap();
+    assert!(fdlibm.find_operator("log1pmd.f64").is_some());
+    let avx = builtin::by_name("avx").unwrap();
+    assert!(avx.find_operator("rcp.f32").is_some());
+    assert!(avx.find_operator("rsqrt.f32").is_some());
+}
