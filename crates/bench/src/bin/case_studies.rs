@@ -35,7 +35,12 @@ fn study(title: &str, target_name: &str, source: &str, highlight: &[&str]) {
             let used: Vec<&str> = highlight
                 .iter()
                 .copied()
-                .filter(|h| result.implementations.iter().any(|i| i.rendered.contains(h)))
+                .filter(|h| {
+                    result
+                        .implementations
+                        .iter()
+                        .any(|i| i.rendered.contains(h))
+                })
                 .collect();
             println!("  target-specific operators used: {:?}", used);
         }

@@ -10,7 +10,7 @@
 //! cargo run --release -p chassis-bench --bin fig10_costmodel -- --limit 6
 //! ```
 
-use chassis_bench::{pearson_correlation, run_chassis_full, HarnessOptions};
+use chassis_bench::{pearson_correlation, run_chassis_full, run_corpus, HarnessOptions};
 use targets::{builtin, measure_runtime};
 
 fn main() {
@@ -33,11 +33,13 @@ fn main() {
     let mut times = Vec::new();
     for name in target_names {
         let target = builtin::by_name(name).expect("builtin target");
-        for benchmark in &benchmarks {
-            let core = benchmark.fpcore();
-            let Some(result) = run_chassis_full(&target, &core, &config) else {
-                continue;
-            };
+        // Compilation is parallel across benchmarks; the run-time measurements
+        // below stay serial so worker threads cannot distort the timings.
+        let compiled = run_corpus(&benchmarks, |benchmark| {
+            run_chassis_full(&target, &benchmark.fpcore(), &config)
+                .map(|result| (benchmark.name, result))
+        });
+        for (bench_name, result) in compiled.into_iter().flatten() {
             for implementation in &result.implementations {
                 let elapsed = measure_runtime(
                     &target,
@@ -51,7 +53,7 @@ fn main() {
                 times.push(nanos);
                 println!(
                     "{:<28} {:<8} {:>14.1} {:>16.1}",
-                    benchmark.name, name, implementation.cost, nanos
+                    bench_name, name, implementation.cost, nanos
                 );
             }
         }

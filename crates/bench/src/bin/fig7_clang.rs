@@ -13,7 +13,7 @@
 use chassis::accuracy;
 use chassis::baseline::clang::{compile_clang, ClangConfig};
 use chassis::sample::Sampler;
-use chassis_bench::{geometric_mean, joint_curve, run_chassis, HarnessOptions};
+use chassis_bench::{geometric_mean, joint_curve, run_chassis, run_corpus, HarnessOptions};
 use targets::{builtin, program_cost};
 
 fn main() {
@@ -38,35 +38,52 @@ fn main() {
         .map(|c| (c.name(), Vec::new()))
         .collect();
 
-    for benchmark in &benchmarks {
+    // Per-benchmark work (sampling, every Clang configuration, the Chassis
+    // frontier) is independent, so benchmarks run in parallel; the rows come
+    // back in corpus order and are aggregated sequentially below.
+    let per_benchmark = run_corpus(&benchmarks, |benchmark| {
         let core = benchmark.fpcore();
         // Sample once per benchmark so every configuration is scored on the same
         // points.
-        let Ok(samples) = Sampler::new(config.seed).sample(&core, config.train_points, config.test_points)
-        else {
-            continue;
-        };
-        let Ok(o0) = compile_clang(&core, &target, ClangConfig::all()[0]) else {
-            continue;
-        };
+        let samples = Sampler::new(config.seed)
+            .sample(&core, config.train_points, config.test_points)
+            .ok()?;
+        let o0 = compile_clang(&core, &target, ClangConfig::all()[0]).ok()?;
         let o0_cost = program_cost(&target, &o0);
-        reference_costs.push((benchmark.name.to_owned(), o0_cost));
-
-        for (config_idx, clang_config) in ClangConfig::all().into_iter().enumerate() {
-            if let Ok(program) = compile_clang(&core, &target, clang_config) {
+        let clang_points: Vec<Option<(f64, f64)>> = ClangConfig::all()
+            .into_iter()
+            .map(|clang_config| {
+                let program = compile_clang(&core, &target, clang_config).ok()?;
                 let cost = program_cost(&target, &program);
                 let (_, acc) = accuracy::evaluate_on_test(&target, &program, &samples);
-                clang_rows[config_idx].1.push((o0_cost / cost.max(1e-9), acc));
+                Some((o0_cost / cost.max(1e-9), acc))
+            })
+            .collect();
+        let outcome = run_chassis(&target, benchmark, &config);
+        Some((benchmark.name.to_owned(), o0_cost, clang_points, outcome))
+    });
+
+    for row in per_benchmark.into_iter().flatten() {
+        let (name, o0_cost, clang_points, outcome) = row;
+        reference_costs.push((name, o0_cost));
+        for (config_idx, point) in clang_points.into_iter().enumerate() {
+            if let Some(point) = point {
+                clang_rows[config_idx].1.push(point);
             }
         }
-
-        if let Some(outcome) = run_chassis(&target, benchmark, &config) {
+        if let Some(outcome) = outcome {
             chassis_outcomes.push(outcome);
         }
     }
 
-    println!("\nClang configurations (aggregate over {} benchmarks):", reference_costs.len());
-    println!("{:<22} {:>10} {:>16}", "configuration", "speedup", "total accuracy");
+    println!(
+        "\nClang configurations (aggregate over {} benchmarks):",
+        reference_costs.len()
+    );
+    println!(
+        "{:<22} {:>10} {:>16}",
+        "configuration", "speedup", "total accuracy"
+    );
     for (name, rows) in &clang_rows {
         if rows.is_empty() {
             continue;
@@ -92,18 +109,18 @@ fn main() {
     println!("\nChassis joint Pareto curve (cheapest -> most accurate):");
     println!("{:<8} {:>10} {:>16}", "point", "speedup", "total accuracy");
     for (i, point) in joint_curve(&chassis_outcomes, 8).iter().enumerate() {
-        println!("{:<8} {:>10.2} {:>16.1}", i, point.speedup, point.total_accuracy);
+        println!(
+            "{:<8} {:>10.2} {:>16.1}",
+            i, point.speedup, point.total_accuracy
+        );
     }
 
     // --- Headline comparison ---------------------------------------------------
-    if let Some(best_clang) = per_config
-        .iter()
-        .max_by(|a, b| {
-            geometric_mean(&a.1)
-                .partial_cmp(&geometric_mean(&b.1))
-                .unwrap_or(std::cmp::Ordering::Equal)
-        })
-    {
+    if let Some(best_clang) = per_config.iter().max_by(|a, b| {
+        geometric_mean(&a.1)
+            .partial_cmp(&geometric_mean(&b.1))
+            .unwrap_or(std::cmp::Ordering::Equal)
+    }) {
         let clang_speed = geometric_mean(&best_clang.1);
         let clang_acc = best_clang.2;
         // The Chassis point with at least Clang's aggregate accuracy.

@@ -10,7 +10,7 @@
 //! cargo run --release -p chassis-bench --bin fig8_herbie -- --limit 5
 //! ```
 
-use chassis_bench::{joint_curve, run_chassis, run_herbie_transcribed, HarnessOptions};
+use chassis_bench::{joint_curve, run_chassis, run_corpus, run_herbie_transcribed, HarnessOptions};
 use targets::builtin;
 
 fn main() {
@@ -25,9 +25,14 @@ fn main() {
     for target in builtin::all_targets() {
         let mut chassis_outcomes = Vec::new();
         let mut herbie_outcomes = Vec::new();
-        for benchmark in &benchmarks {
-            let chassis_outcome = run_chassis(&target, benchmark, &config);
-            let herbie_outcome = run_herbie_transcribed(&target, benchmark, &config);
+        // Both compilers run on every benchmark in parallel across benchmarks.
+        let pairs = run_corpus(&benchmarks, |benchmark| {
+            (
+                run_chassis(&target, benchmark, &config),
+                run_herbie_transcribed(&target, benchmark, &config),
+            )
+        });
+        for (chassis_outcome, herbie_outcome) in pairs {
             // As in the paper, a benchmark is dropped from the comparison (for
             // both systems) when Herbie's output cannot be expressed on the
             // target at all.

@@ -9,7 +9,9 @@
 //! cargo run --release -p chassis-bench --bin fig9_over_herbie -- --limit 5
 //! ```
 
-use chassis_bench::{geometric_mean, run_chassis, run_herbie_transcribed, HarnessOptions};
+use chassis_bench::{
+    geometric_mean, run_chassis, run_corpus, run_herbie_transcribed, HarnessOptions,
+};
 use targets::builtin;
 
 fn main() {
@@ -28,11 +30,16 @@ fn main() {
     for target in builtin::all_targets() {
         let mut per_level: Vec<Vec<f64>> = vec![Vec::new(), Vec::new(), Vec::new()];
         let mut counted = 0usize;
-        for benchmark in &benchmarks {
-            let (Some(chassis), Some(herbie)) = (
+        // Compile both systems on every benchmark in parallel, then aggregate
+        // the comparable pairs in corpus order.
+        let pairs = run_corpus(&benchmarks, |benchmark| {
+            (
                 run_chassis(&target, benchmark, &config),
                 run_herbie_transcribed(&target, benchmark, &config),
-            ) else {
+            )
+        });
+        for (chassis, herbie) in pairs {
+            let (Some(chassis), Some(herbie)) = (chassis, herbie) else {
                 continue;
             };
             counted += 1;
@@ -68,6 +75,8 @@ fn main() {
             counted
         );
     }
-    println!("\n(values > 1 mean Chassis' program is cheaper than Herbie's at that accuracy level;");
+    println!(
+        "\n(values > 1 mean Chassis' program is cheaper than Herbie's at that accuracy level;"
+    );
     println!(" 'high acc' is the regime the paper notes Herbie is especially tuned for)");
 }

@@ -10,8 +10,8 @@ use targets::IfCostStyle;
 fn main() {
     println!("Figure 6: target descriptions implemented for Chassis");
     println!(
-        "{:<10} {:>9} {:>8} {:>8} {:>5} {:>5}  {}",
-        "Target", "Operators", "Linked", "Emulated", "L/E", "S/V", "Costs"
+        "{:<10} {:>9} {:>8} {:>8} {:>5} {:>5}  Costs",
+        "Target", "Operators", "Linked", "Emulated", "L/E", "S/V"
     );
     for target in builtin::all_targets() {
         let (linked, emulated) = target.linked_emulated_counts();

@@ -67,7 +67,11 @@ impl BenchmarkOutcome {
         self.frontier
             .iter()
             .filter(|p| p.accuracy_bits >= bits)
-            .min_by(|a, b| a.cost.partial_cmp(&b.cost).unwrap_or(std::cmp::Ordering::Equal))
+            .min_by(|a, b| {
+                a.cost
+                    .partial_cmp(&b.cost)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
             .copied()
     }
 }
@@ -158,6 +162,23 @@ impl HarnessOptions {
     }
 }
 
+/// Runs `run` over every benchmark of a corpus subset, fanning benchmarks out
+/// across worker threads (see [`chassis::par`]) while preserving corpus order
+/// in the result. Compiling one benchmark is independent of every other, so
+/// this is the figure harness' outermost — and only — parallel axis: nested
+/// `par_map` calls (each benchmark's accuracy evaluation and sampling) run
+/// serially inside a corpus worker rather than oversubscribing the machine.
+///
+/// Serial when the `parallel` feature of `chassis` is disabled, or when
+/// `chassis::par::set_thread_count(1)` / `CHASSIS_THREADS=1` is in effect.
+pub fn run_corpus<R, F>(benchmarks: &[&'static Benchmark], run: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(&'static Benchmark) -> R + Sync,
+{
+    chassis::par::par_map(benchmarks, |benchmark| run(benchmark))
+}
+
 /// Runs Chassis on one benchmark for one target.
 pub fn run_chassis(
     target: &Target,
@@ -212,7 +233,11 @@ pub fn run_herbie_transcribed(
     if frontier.is_empty() {
         return None;
     }
-    frontier.sort_by(|a, b| a.cost.partial_cmp(&b.cost).unwrap_or(std::cmp::Ordering::Equal));
+    frontier.sort_by(|a, b| {
+        a.cost
+            .partial_cmp(&b.cost)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     // The initial program: the direct lowering of the original expression on the
     // concrete target (same reference as Chassis uses).
     let initial_expr = chassis::lower_fpcore(&core, target).ok();
@@ -264,7 +289,10 @@ pub fn joint_curve(outcomes: &[BenchmarkOutcome], steps: usize) -> Vec<JointPoin
                     o.initial.cost / p.cost.max(1e-9)
                 })
                 .collect();
-            let total_accuracy: f64 = outcomes.iter().map(|o| o.at_fraction(t).accuracy_bits).sum();
+            let total_accuracy: f64 = outcomes
+                .iter()
+                .map(|o| o.at_fraction(t).accuracy_bits)
+                .sum();
             JointPoint {
                 speedup: geometric_mean(&speedups),
                 total_accuracy,

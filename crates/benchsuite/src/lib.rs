@@ -23,7 +23,11 @@ mod tests {
     #[test]
     fn corpus_is_nonempty_and_diverse() {
         let benchmarks = all();
-        assert!(benchmarks.len() >= 50, "expected a substantial corpus, got {}", benchmarks.len());
+        assert!(
+            benchmarks.len() >= 50,
+            "expected a substantial corpus, got {}",
+            benchmarks.len()
+        );
         assert!(groups().len() >= 5);
         for group in groups() {
             assert!(
@@ -36,9 +40,8 @@ mod tests {
     #[test]
     fn every_benchmark_parses() {
         for b in all() {
-            let core = parse_fpcore(b.source).unwrap_or_else(|e| {
-                panic!("benchmark {} does not parse: {e}", b.name)
-            });
+            let core = parse_fpcore(b.source)
+                .unwrap_or_else(|e| panic!("benchmark {} does not parse: {e}", b.name));
             assert!(!core.args.is_empty() || core.body.variables().is_empty());
         }
     }

@@ -5,10 +5,10 @@
 //! aggregates `log2(1 + ulps)` — "bits of error" — over the sample points. The
 //! paper reports accuracy as `p − log2 ULP` where `p` is the output precision.
 
+use crate::par;
 use crate::sample::SampleSet;
 use fpcore::{FpType, Symbol};
-use std::collections::HashMap;
-use targets::{eval_float_expr, FloatExpr, Target};
+use targets::{eval_float_expr_indexed, FloatExpr, Target};
 
 /// Maps a float to an ordered integer such that adjacent floats map to adjacent
 /// integers (the standard "Bruce Dawson" trick), making ULP distance a simple
@@ -48,15 +48,25 @@ pub fn ulps_between(a: f64, b: f64, ty: FpType) -> u64 {
             if a == b {
                 return 0;
             }
-            (ordered_bits_f32(a) - ordered_bits_f32(b)).unsigned_abs()
+            // The ordered-f32 line spans ~2^32 values, so a finite/finite
+            // mismatch (e.g. -inf rounded vs +inf rounded) could otherwise
+            // report *more* ULPs than the supposedly maximal NaN-vs-number
+            // error; clamp so NaN stays the worst case.
+            (ordered_bits_f32(a) - ordered_bits_f32(b))
+                .unsigned_abs()
+                .min(max_ulps(ty))
         }
         _ => {
             if a == b {
                 return 0;
             }
-            ordered_bits_f64(a)
-                .wrapping_sub(ordered_bits_f64(b))
-                .unsigned_abs()
+            // Widen to i128 before subtracting: the ordered-f64 line spans
+            // ~2^64 values, so an i64 difference of opposite-sign extremes
+            // wraps (e.g. -inf vs +inf came out as 2^53) and would make a
+            // sign-flipped catastrophic answer score *better* than a merely
+            // wrong one. Clamp for the same reason as Binary32.
+            let diff = (ordered_bits_f64(a) as i128 - ordered_bits_f64(b) as i128).unsigned_abs();
+            diff.min(max_ulps(ty) as u128) as u64
         }
     }
 }
@@ -86,6 +96,11 @@ pub fn max_bits(ty: FpType) -> f64 {
 }
 
 /// The mean bits of error of a program over points with known ground truth.
+///
+/// Each point is scored independently (slice-indexed environments, no per-point
+/// allocation) and, with the `parallel` feature, points are fanned out over
+/// worker threads. The per-point errors are always summed in point order, so the
+/// result is bit-identical whatever the thread count.
 pub fn mean_bits_of_error(
     target: &Target,
     expr: &FloatExpr,
@@ -94,24 +109,19 @@ pub fn mean_bits_of_error(
     truths: &[f64],
     ty: FpType,
 ) -> f64 {
-    assert_eq!(points.len(), truths.len(), "each point needs a ground truth");
+    assert_eq!(
+        points.len(),
+        truths.len(),
+        "each point needs a ground truth"
+    );
     if points.is_empty() {
         return 0.0;
     }
-    let mut env: HashMap<Symbol, f64> = HashMap::with_capacity(vars.len());
-    let total: f64 = points
-        .iter()
-        .zip(truths)
-        .map(|(point, truth)| {
-            env.clear();
-            for (v, x) in vars.iter().zip(point) {
-                env.insert(*v, *x);
-            }
-            let out = eval_float_expr(target, expr, &env);
-            bits_of_error(out, *truth, ty)
-        })
-        .sum();
-    total / points.len() as f64
+    let bits = par::par_map_range(points.len(), |i| {
+        let out = eval_float_expr_indexed(target, expr, vars, &points[i]);
+        bits_of_error(out, truths[i], ty)
+    });
+    bits.iter().sum::<f64>() / points.len() as f64
 }
 
 /// Accuracy in the paper's reporting convention: `p − mean bits of error`,
@@ -188,7 +198,10 @@ mod tests {
         let one_ulp = f64::from_bits(1.0f64.to_bits() + 1);
         assert_eq!(bits_of_error(one_ulp, 1.0, FpType::Binary64), 1.0);
         let nan_err = bits_of_error(f64::NAN, 1.0, FpType::Binary64);
-        assert!((60.0..=64.0).contains(&nan_err), "NaN mismatch should be maximal, got {nan_err}");
+        assert!(
+            (60.0..=64.0).contains(&nan_err),
+            "NaN mismatch should be maximal, got {nan_err}"
+        );
     }
 
     #[test]
@@ -197,6 +210,37 @@ mod tests {
         assert_eq!(accuracy_bits(10.0, FpType::Binary64), 43.0);
         assert_eq!(accuracy_bits(60.0, FpType::Binary64), 0.0);
         assert_eq!(accuracy_bits(0.0, FpType::Binary32), 24.0);
+    }
+
+    #[test]
+    fn finite_mismatch_never_exceeds_nan_error() {
+        // -inf vs +inf (after rounding to f32) spans nearly the whole ordered
+        // line; without clamping this reported more ULPs than NaN-vs-number.
+        let worst = ulps_between(f64::NEG_INFINITY, f64::INFINITY, FpType::Binary32);
+        assert_eq!(worst, max_ulps(FpType::Binary32));
+        assert!(worst <= ulps_between(f64::NAN, 1.0, FpType::Binary32));
+        assert_eq!(
+            ulps_between(-f32::MAX as f64, f32::MAX as f64, FpType::Binary32),
+            max_ulps(FpType::Binary32)
+        );
+        // Binary64: the i64 ordered-bit difference of opposite-sign extremes
+        // used to wrap to 2^53, scoring a sign-flipped catastrophe as *less*
+        // wrong than a modest error; the widened difference must clamp at the
+        // maximum instead.
+        assert_eq!(
+            ulps_between(f64::NEG_INFINITY, f64::INFINITY, FpType::Binary64),
+            max_ulps(FpType::Binary64)
+        );
+        assert_eq!(
+            ulps_between(-f64::MAX, f64::MAX, FpType::Binary64),
+            max_ulps(FpType::Binary64)
+        );
+        // Monotonicity across the wrap-prone region: -inf is farther from a
+        // large positive truth than +1.0 is.
+        assert!(
+            ulps_between(1e308, f64::NEG_INFINITY, FpType::Binary64)
+                > ulps_between(1e308, 1.0, FpType::Binary64)
+        );
     }
 
     #[test]
@@ -213,7 +257,10 @@ mod tests {
             vec![
                 FloatExpr::Op(
                     sqrt,
-                    vec![FloatExpr::Op(add, vec![x.clone(), FloatExpr::literal(1.0, FpType::Binary64)])],
+                    vec![FloatExpr::Op(
+                        add,
+                        vec![x.clone(), FloatExpr::literal(1.0, FpType::Binary64)],
+                    )],
                 ),
                 FloatExpr::Op(sqrt, vec![x.clone()]),
             ],
@@ -228,6 +275,58 @@ mod tests {
             })
             .collect();
         let err = mean_bits_of_error(&t, &naive, &vars, &points, &truths, FpType::Binary64);
-        assert!(err > 10.0, "the naive form should lose many bits, got {err}");
+        assert!(
+            err > 10.0,
+            "the naive form should lose many bits, got {err}"
+        );
+    }
+
+    #[test]
+    fn parallel_mean_error_is_bit_identical_to_serial() {
+        use targets::builtin;
+        let _guard = crate::par::test_lock();
+        let t = builtin::by_name("c99").unwrap();
+        let sub = t.find_operator("-.f64").unwrap();
+        let sqrt = t.find_operator("sqrt.f64").unwrap();
+        let add = t.find_operator("+.f64").unwrap();
+        let x = FloatExpr::Var(Symbol::new("x"), FpType::Binary64);
+        let naive = FloatExpr::Op(
+            sub,
+            vec![
+                FloatExpr::Op(
+                    sqrt,
+                    vec![FloatExpr::Op(
+                        add,
+                        vec![x.clone(), FloatExpr::literal(1.0, FpType::Binary64)],
+                    )],
+                ),
+                FloatExpr::Op(sqrt, vec![x]),
+            ],
+        );
+        let vars = [Symbol::new("x")];
+        // A fixed, irregularly sized sample set spanning many magnitudes.
+        let points: Vec<Vec<f64>> = (0..257)
+            .map(|i| vec![10f64.powf((i % 31) as f64 / 2.0) * (1.0 + i as f64 * 1e-3)])
+            .collect();
+        let truths: Vec<f64> = points
+            .iter()
+            .map(|p| {
+                let x = p[0];
+                1.0 / ((x + 1.0).sqrt() + x.sqrt())
+            })
+            .collect();
+        crate::par::set_thread_count(1);
+        let serial = mean_bits_of_error(&t, &naive, &vars, &points, &truths, FpType::Binary64);
+        for threads in [2, 3, 8] {
+            crate::par::set_thread_count(threads);
+            let parallel =
+                mean_bits_of_error(&t, &naive, &vars, &points, &truths, FpType::Binary64);
+            assert_eq!(
+                serial.to_bits(),
+                parallel.to_bits(),
+                "mean error differs at {threads} threads: {serial} vs {parallel}"
+            );
+        }
+        crate::par::set_thread_count(0);
     }
 }

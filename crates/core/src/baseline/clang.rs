@@ -102,13 +102,11 @@ fn rebuild(expr: &FloatExpr, f: &impl Fn(&FloatExpr) -> FloatExpr) -> FloatExpr 
     match expr {
         FloatExpr::Num(_, _) | FloatExpr::Var(_, _) => expr.clone(),
         FloatExpr::Op(id, args) => {
-            let args = args.iter().map(|a| f(a)).collect();
+            let args = args.iter().map(f).collect();
             FloatExpr::Op(*id, args)
         }
         FloatExpr::Cmp(op, a, b) => FloatExpr::Cmp(*op, Box::new(f(a)), Box::new(f(b))),
-        FloatExpr::If(c, t, e) => {
-            FloatExpr::If(Box::new(f(c)), Box::new(f(t)), Box::new(f(e)))
-        }
+        FloatExpr::If(c, t, e) => FloatExpr::If(Box::new(f(c)), Box::new(f(t)), Box::new(f(e))),
     }
 }
 
@@ -185,7 +183,11 @@ fn fast_math(target: &Target, expr: &FloatExpr, ty: FpType) -> FloatExpr {
                             if let FloatExpr::Op(_, mul_args) = product {
                                 return FloatExpr::Op(
                                     fma,
-                                    vec![mul_args[0].clone(), mul_args[1].clone(), (*addend).clone()],
+                                    vec![
+                                        mul_args[0].clone(),
+                                        mul_args[1].clone(),
+                                        (*addend).clone(),
+                                    ],
                                 );
                             }
                         }
@@ -228,17 +230,33 @@ mod tests {
     #[test]
     fn twelve_configurations_exist() {
         assert_eq!(ClangConfig::all().len(), 8);
-        assert!(ClangConfig::all().iter().any(|c| c.name() == "-O2 -ffast-math"));
+        assert!(ClangConfig::all()
+            .iter()
+            .any(|c| c.name() == "-O2 -ffast-math"));
     }
 
     #[test]
     fn o0_is_a_plain_lowering() {
         let core = parse_fpcore("(FPCore (x) (* (+ 1 2) x))").unwrap();
         let t = c99();
-        let o0 = compile_clang(&core, &t, ClangConfig { level: OptLevel::O0, fast_math: false })
-            .unwrap();
-        let o1 = compile_clang(&core, &t, ClangConfig { level: OptLevel::O1, fast_math: false })
-            .unwrap();
+        let o0 = compile_clang(
+            &core,
+            &t,
+            ClangConfig {
+                level: OptLevel::O0,
+                fast_math: false,
+            },
+        )
+        .unwrap();
+        let o1 = compile_clang(
+            &core,
+            &t,
+            ClangConfig {
+                level: OptLevel::O1,
+                fast_math: false,
+            },
+        )
+        .unwrap();
         // O1 folds 1+2; O0 does not.
         assert!(program_cost(&t, &o1) < program_cost(&t, &o0));
         assert_eq!(o0.desugar(&t), core.body);
@@ -248,26 +266,60 @@ mod tests {
     fn o2_removes_multiplication_by_one() {
         let core = parse_fpcore("(FPCore (x) (* x 1))").unwrap();
         let t = c99();
-        let o2 = compile_clang(&core, &t, ClangConfig { level: OptLevel::O2, fast_math: false })
-            .unwrap();
-        assert_eq!(o2, FloatExpr::Var(fpcore::Symbol::new("x"), FpType::Binary64));
+        let o2 = compile_clang(
+            &core,
+            &t,
+            ClangConfig {
+                level: OptLevel::O2,
+                fast_math: false,
+            },
+        )
+        .unwrap();
+        assert_eq!(
+            o2,
+            FloatExpr::Var(fpcore::Symbol::new("x"), FpType::Binary64)
+        );
     }
 
     #[test]
     fn fast_math_contracts_fma_and_strength_reduces_division() {
         let t = c99();
         let core = parse_fpcore("(FPCore (a b c) (+ (* a b) c))").unwrap();
-        let fused = compile_clang(&core, &t, ClangConfig { level: OptLevel::O2, fast_math: true })
-            .unwrap();
+        let fused = compile_clang(
+            &core,
+            &t,
+            ClangConfig {
+                level: OptLevel::O2,
+                fast_math: true,
+            },
+        )
+        .unwrap();
         assert!(fused.render(&t).contains("fma.f64"));
-        let strict = compile_clang(&core, &t, ClangConfig { level: OptLevel::O2, fast_math: false })
-            .unwrap();
-        assert!(!strict.render(&t).contains("fma.f64"), "contraction requires fast-math");
+        let strict = compile_clang(
+            &core,
+            &t,
+            ClangConfig {
+                level: OptLevel::O2,
+                fast_math: false,
+            },
+        )
+        .unwrap();
+        assert!(
+            !strict.render(&t).contains("fma.f64"),
+            "contraction requires fast-math"
+        );
         assert!(program_cost(&t, &fused) < program_cost(&t, &strict));
 
         let core = parse_fpcore("(FPCore (x) (/ x 8))").unwrap();
-        let reduced = compile_clang(&core, &t, ClangConfig { level: OptLevel::O3, fast_math: true })
-            .unwrap();
+        let reduced = compile_clang(
+            &core,
+            &t,
+            ClangConfig {
+                level: OptLevel::O3,
+                fast_math: true,
+            },
+        )
+        .unwrap();
         assert!(reduced.render(&t).contains("*.f64"));
     }
 
@@ -276,10 +328,24 @@ mod tests {
         // x - x is NaN for x = inf; fast-math folds it to 0.
         let t = c99();
         let core = parse_fpcore("(FPCore (x) (- x x))").unwrap();
-        let strict = compile_clang(&core, &t, ClangConfig { level: OptLevel::O2, fast_math: false })
-            .unwrap();
-        let fast = compile_clang(&core, &t, ClangConfig { level: OptLevel::O2, fast_math: true })
-            .unwrap();
+        let strict = compile_clang(
+            &core,
+            &t,
+            ClangConfig {
+                level: OptLevel::O2,
+                fast_math: false,
+            },
+        )
+        .unwrap();
+        let fast = compile_clang(
+            &core,
+            &t,
+            ClangConfig {
+                level: OptLevel::O2,
+                fast_math: true,
+            },
+        )
+        .unwrap();
         assert_ne!(strict, fast);
         assert!(matches!(fast, FloatExpr::Num(v, _) if v == 0.0));
     }

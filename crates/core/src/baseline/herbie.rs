@@ -109,7 +109,10 @@ mod tests {
         let sin = t.operator(t.find_operator("sin.f64").unwrap()).cost;
         assert_eq!(add, 1.0);
         assert_eq!(sin, 100.0);
-        assert!(t.find_operator("<.f64").is_none(), "predicates are not operators");
+        assert!(
+            t.find_operator("<.f64").is_none(),
+            "predicates are not operators"
+        );
     }
 
     #[test]

@@ -136,7 +136,11 @@ impl CompilationResult {
     pub fn cheapest(&self) -> &Implementation {
         self.implementations
             .iter()
-            .min_by(|a, b| a.cost.partial_cmp(&b.cost).unwrap_or(std::cmp::Ordering::Equal))
+            .min_by(|a, b| {
+                a.cost
+                    .partial_cmp(&b.cost)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
             .expect("at least one implementation")
     }
 
@@ -269,10 +273,9 @@ mod tests {
 
     #[test]
     fn compiles_the_quickstart_example_end_to_end() {
-        let core = parse_fpcore(
-            "(FPCore (x) :pre (and (> x 1) (< x 1e14)) (- (sqrt (+ x 1)) (sqrt x)))",
-        )
-        .unwrap();
+        let core =
+            parse_fpcore("(FPCore (x) :pre (and (> x 1) (< x 1e14)) (- (sqrt (+ x 1)) (sqrt x)))")
+                .unwrap();
         let target = builtin::by_name("c99").unwrap();
         let result = Chassis::new(target)
             .with_config(Config::fast())
@@ -299,7 +302,9 @@ mod tests {
         // sin cannot be implemented on the bare Arith target.
         let core = parse_fpcore("(FPCore (x) (sin x))").unwrap();
         let target = builtin::by_name("arith").unwrap();
-        let result = Chassis::new(target).with_config(Config::fast()).compile(&core);
+        let result = Chassis::new(target)
+            .with_config(Config::fast())
+            .compile(&core);
         assert!(matches!(result, Err(CompileError::Unsupported(_))));
     }
 
@@ -307,7 +312,9 @@ mod tests {
     fn impossible_preconditions_fail_sampling() {
         let core = parse_fpcore("(FPCore (x) :pre (< x (- x 1)) (+ x 1))").unwrap();
         let target = builtin::by_name("c99").unwrap();
-        let result = Chassis::new(target).with_config(Config::fast()).compile(&core);
+        let result = Chassis::new(target)
+            .with_config(Config::fast())
+            .compile(&core);
         assert!(matches!(result, Err(CompileError::Sampling(_))));
     }
 }

@@ -93,7 +93,11 @@ pub fn cost_opportunities(
     rule_set.extend(crate::isel::desugaring_rules(target));
     // Strength-reduction shapes whose real-number form grows slightly but whose
     // lowered form does not (the paper's running example: x/y → x·rcp(y)).
-    rule_set.push(rules::rule("co-div-as-mul-recip", "(/ a b)", "(* a (/ 1 b))"));
+    rule_set.push(rules::rule(
+        "co-div-as-mul-recip",
+        "(/ a b)",
+        "(* a (/ 1 b))",
+    ));
     let limits = RunnerLimits {
         iter_limit: config.iter_limit,
         node_limit: config.node_limit,
@@ -116,10 +120,18 @@ pub fn cost_opportunities(
     let mut scored: Vec<ScoredSubexpr> = subexprs
         .iter()
         .map(|(sub, children)| {
-            let own = deltas.get(&(*sub as *const FloatExpr)).copied().unwrap_or(0.0);
+            let own = deltas
+                .get(&(*sub as *const FloatExpr))
+                .copied()
+                .unwrap_or(0.0);
             let child_sum: f64 = children
                 .iter()
-                .map(|c| deltas.get(&(*c as *const FloatExpr)).copied().unwrap_or(0.0))
+                .map(|c| {
+                    deltas
+                        .get(&(*c as *const FloatExpr))
+                        .copied()
+                        .unwrap_or(0.0)
+                })
                 .sum();
             ScoredSubexpr {
                 expr: (*sub).clone(),
@@ -127,7 +139,11 @@ pub fn cost_opportunities(
             }
         })
         .collect();
-    scored.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal));
+    scored.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     scored
 }
 

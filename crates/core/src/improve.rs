@@ -181,11 +181,8 @@ pub fn improve(
             let errors = local_errors(target, &candidate.expr, samples);
             let opportunities =
                 cost_opportunities(target, &candidate.expr, var_types, config.cost_opp);
-            let chosen = choose_subexpressions(
-                &errors,
-                &opportunities,
-                config.subexprs_per_candidate,
-            );
+            let chosen =
+                choose_subexpressions(&errors, &opportunities, config.subexprs_per_candidate);
             // Fall back to the whole program when no subexpression stands out.
             let chosen = if chosen.is_empty() {
                 vec![candidate.expr.clone()]
@@ -200,8 +197,7 @@ pub fn improve(
                     if variant == subexpr {
                         continue;
                     }
-                    if let Some(new_program) =
-                        replace_subexpr(&candidate.expr, &subexpr, &variant)
+                    if let Some(new_program) = replace_subexpr(&candidate.expr, &subexpr, &variant)
                     {
                         new_candidates.push(evaluate(&new_program));
                     }

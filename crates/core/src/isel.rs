@@ -15,7 +15,9 @@
 use crate::lang::{expr_to_rec, ChassisNode};
 use crate::rules;
 use crate::typed_extract::TypedExtractor;
-use egraph::{EGraph, Id, NoAnalysis, Pattern, PatternNode, Rewrite, RunReport, Runner, RunnerLimits};
+use egraph::{
+    EGraph, Id, NoAnalysis, Pattern, PatternNode, Rewrite, RunReport, Runner, RunnerLimits,
+};
 use fpcore::{Expr, FpType, Symbol};
 use std::collections::HashMap;
 use std::time::Duration;
@@ -208,7 +210,11 @@ mod tests {
             let env: std::collections::HashMap<Symbol, f64> =
                 [(Symbol::new("x"), 3.0)].into_iter().collect();
             let out = targets::eval_float_expr(&target, best, &env);
-            assert!((out - 10.0).abs() < 1e-9, "{name}: {} gave {out}", best.render(&target));
+            assert!(
+                (out - 10.0).abs() < 1e-9,
+                "{name}: {} gave {out}",
+                best.render(&target)
+            );
         }
     }
 
@@ -231,11 +237,7 @@ mod tests {
         let selector = InstructionSelector::new(&target, IselConfig::default());
         let vars: HashMap<Symbol, FpType> =
             [(Symbol::new("x"), FpType::Binary32)].into_iter().collect();
-        let result = selector.run(
-            &parse_expr("(/ 1 x)").unwrap(),
-            &vars,
-            FpType::Binary32,
-        );
+        let result = selector.run(&parse_expr("(/ 1 x)").unwrap(), &vars, FpType::Binary32);
         let best = result.best.get(&FpType::Binary32).unwrap();
         assert!(
             best.render(&target).contains("rcp.f32"),
@@ -246,7 +248,10 @@ mod tests {
             .candidates
             .iter()
             .find(|c| c.render(&target).contains("/.f32"));
-        assert!(div_version.is_some(), "the exact division must remain a candidate");
+        assert!(
+            div_version.is_some(),
+            "the exact division must remain a candidate"
+        );
         let rcp_cost = program_cost(&target, best);
         let div_cost = program_cost(&target, div_version.unwrap());
         assert!(rcp_cost < div_cost);

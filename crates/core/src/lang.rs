@@ -89,10 +89,9 @@ pub fn rec_to_expr(rec: &RecExpr<ChassisNode>, root: Id) -> Expr {
     match rec.node(root) {
         ChassisNode::Num(c) => Expr::Num(*c),
         ChassisNode::Var(v) => Expr::Var(*v),
-        ChassisNode::Real(op, children) => Expr::Op(
-            *op,
-            children.iter().map(|&c| rec_to_expr(rec, c)).collect(),
-        ),
+        ChassisNode::Real(op, children) => {
+            Expr::Op(*op, children.iter().map(|&c| rec_to_expr(rec, c)).collect())
+        }
         ChassisNode::If([c, t, e]) => Expr::If(
             Box::new(rec_to_expr(rec, *c)),
             Box::new(rec_to_expr(rec, *t)),
@@ -131,8 +130,8 @@ pub fn rec_to_float_expr(
 
 /// Converts a target program into a flattened mixed-language term (all nodes are
 /// `Float`, `Num`, or `Var`).
-pub fn float_expr_to_rec(expr: &FloatExpr, target: &Target) -> RecExpr<ChassisNode> {
-    fn go(expr: &FloatExpr, target: &Target, out: &mut RecExpr<ChassisNode>) -> Id {
+pub fn float_expr_to_rec(expr: &FloatExpr, _target: &Target) -> RecExpr<ChassisNode> {
+    fn go(expr: &FloatExpr, out: &mut RecExpr<ChassisNode>) -> Id {
         match expr {
             FloatExpr::Num(v, _) => {
                 let c = fpcore::Rational::from_f64(*v)
@@ -142,24 +141,24 @@ pub fn float_expr_to_rec(expr: &FloatExpr, target: &Target) -> RecExpr<ChassisNo
             }
             FloatExpr::Var(v, _) => out.add(ChassisNode::Var(*v)),
             FloatExpr::Op(id, args) => {
-                let children: Vec<Id> = args.iter().map(|a| go(a, target, out)).collect();
+                let children: Vec<Id> = args.iter().map(|a| go(a, out)).collect();
                 out.add(ChassisNode::Float(*id, children))
             }
             FloatExpr::Cmp(op, a, b) => {
-                let a = go(a, target, out);
-                let b = go(b, target, out);
+                let a = go(a, out);
+                let b = go(b, out);
                 out.add(ChassisNode::Real(*op, vec![a, b]))
             }
             FloatExpr::If(c, t, e) => {
-                let c = go(c, target, out);
-                let t = go(t, target, out);
-                let e = go(e, target, out);
+                let c = go(c, out);
+                let t = go(t, out);
+                let e = go(e, out);
                 out.add(ChassisNode::If([c, t, e]))
             }
         }
     }
     let mut out = RecExpr::new();
-    go(expr, target, &mut out);
+    go(expr, &mut out);
     out
 }
 
@@ -172,7 +171,12 @@ mod tests {
 
     #[test]
     fn expr_round_trip() {
-        for src in ["(+ x 1)", "(if (< x 0) (- x) x)", "(sqrt (* x x))", "(fma a b c)"] {
+        for src in [
+            "(+ x 1)",
+            "(if (< x 0) (- x) x)",
+            "(sqrt (* x x))",
+            "(fma a b c)",
+        ] {
             let e = parse_expr(src).unwrap();
             let rec = expr_to_rec(&e);
             assert_eq!(rec_to_expr(&rec, rec.root()), e, "round trip of {src}");

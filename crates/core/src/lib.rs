@@ -50,8 +50,10 @@ pub mod isel;
 pub mod lang;
 pub mod local_error;
 pub mod lower;
+pub mod par;
 pub mod pareto;
 pub mod regimes;
+pub mod rng;
 pub mod rules;
 pub mod sample;
 pub mod typed_extract;

@@ -177,7 +177,11 @@ fn fallback_expansion(op: RealOp, args: &[Expr]) -> Option<Expr> {
         Exp2 => Expr::bin(Pow, Expr::int(2), a()),
         Log2 => Expr::bin(Div, Expr::un(Log, a()), Expr::un(Log, Expr::int(2))),
         Log10 => Expr::bin(Div, Expr::un(Log, a()), Expr::un(Log, Expr::int(10))),
-        Cbrt => Expr::bin(Pow, a(), Expr::Num(fpcore::Constant::Rational(fpcore::Rational::new(1, 3)))),
+        Cbrt => Expr::bin(
+            Pow,
+            a(),
+            Expr::Num(fpcore::Constant::Rational(fpcore::Rational::new(1, 3))),
+        ),
         Fdim => Expr::If(
             Box::new(Expr::bin(Gt, a(), b())),
             Box::new(Expr::bin(Sub, a(), b())),
@@ -215,7 +219,11 @@ fn fallback_expansion(op: RealOp, args: &[Expr]) -> Option<Expr> {
             Div,
             Expr::un(
                 Log,
-                Expr::bin(Div, Expr::bin(Add, Expr::int(1), a()), Expr::bin(Sub, Expr::int(1), a())),
+                Expr::bin(
+                    Div,
+                    Expr::bin(Add, Expr::int(1), a()),
+                    Expr::bin(Sub, Expr::int(1), a()),
+                ),
             ),
             Expr::int(2),
         ),
@@ -228,10 +236,7 @@ fn fallback_expansion(op: RealOp, args: &[Expr]) -> Option<Expr> {
 
 /// Convenience: lowers an FPCore body directly, choosing the output type from the
 /// core's `:precision`.
-pub fn lower_fpcore(
-    core: &fpcore::FPCore,
-    target: &Target,
-) -> Result<FloatExpr, LowerError> {
+pub fn lower_fpcore(core: &fpcore::FPCore, target: &Target) -> Result<FloatExpr, LowerError> {
     let lowering = DirectLowering::new(target);
     let desugared = desugar_unsupported(&core.body, &lowering, core.precision);
     lowering.lower(&desugared, core.precision)
@@ -267,7 +272,10 @@ mod tests {
         let expr = parse_expr("(exp x)").unwrap();
         assert_eq!(
             lowering.lower(&expr, FpType::Binary64),
-            Err(LowerError::UnsupportedOperator(RealOp::Exp, FpType::Binary64))
+            Err(LowerError::UnsupportedOperator(
+                RealOp::Exp,
+                FpType::Binary64
+            ))
         );
     }
 
@@ -310,7 +318,9 @@ mod tests {
         // instruction selection, not through the one-to-one index.
         let t = builtin::by_name("julia").unwrap();
         let lowering = DirectLowering::new(&t);
-        assert!(lowering.operator_for(RealOp::Sin, FpType::Binary64).is_some());
+        assert!(lowering
+            .operator_for(RealOp::Sin, FpType::Binary64)
+            .is_some());
         let expr = parse_expr("(sin (* x (/ PI 180)))").unwrap();
         let prog = lowering.lower(&expr, FpType::Binary64).unwrap();
         assert!(!prog.render(&t).contains("sind"));

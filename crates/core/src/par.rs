@@ -1,0 +1,198 @@
+//! Order-preserving parallel iteration for the evaluation hot paths.
+//!
+//! Accuracy evaluation scores each sampled point independently, which makes the
+//! improve/Pareto loop embarrassingly parallel (cf. *Fast Mixed-Precision Real
+//! Evaluation*). With the `parallel` feature (default) the helpers here fan work
+//! out over `std::thread::scope` in contiguous chunks, one per worker, and
+//! reassemble results **in input order** — so every caller observes exactly the
+//! serial result, bit for bit, regardless of thread count. Without the feature
+//! they degrade to plain serial iteration and the crate stays single-threaded.
+//!
+//! The worker count defaults to the machine's available parallelism and can be
+//! overridden at runtime with [`set_thread_count`] or the `CHASSIS_THREADS`
+//! environment variable (useful for benchmarking the serial/parallel paths
+//! against each other in one process).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// 0 means "not overridden": fall back to `CHASSIS_THREADS`, then to the
+/// machine's available parallelism.
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+#[cfg(feature = "parallel")]
+std::thread_local! {
+    /// True inside a `par_map` worker. Nested calls (a parallel corpus loop
+    /// whose benchmarks each evaluate accuracy in parallel) run serially in
+    /// their worker instead of oversubscribing the machine ~cores² threads.
+    static IN_PAR_WORKER: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// Forces the worker count used by the `par_*` helpers; `0` restores the
+/// default (the `CHASSIS_THREADS` environment variable, or all cores).
+pub fn set_thread_count(threads: usize) {
+    THREAD_OVERRIDE.store(threads, Ordering::Relaxed);
+}
+
+/// The worker count the `par_*` helpers will use for `len` items.
+///
+/// `CHASSIS_THREADS` is read and parsed once per process (the helpers sit on
+/// the evaluation hot path, and the variable cannot meaningfully change
+/// mid-run); [`set_thread_count`] remains live at every call.
+pub fn effective_threads(len: usize) -> usize {
+    static ENV_DEFAULT: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    let configured = match THREAD_OVERRIDE.load(Ordering::Relaxed) {
+        0 => *ENV_DEFAULT.get_or_init(|| {
+            std::env::var("CHASSIS_THREADS")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .filter(|&n| n > 0)
+                .unwrap_or_else(|| {
+                    std::thread::available_parallelism()
+                        .map(|n| n.get())
+                        .unwrap_or(1)
+                })
+        }),
+        n => n,
+    };
+    configured.min(len).max(1)
+}
+
+/// Maps `f` over the index range `0..len`, returning results in index order.
+///
+/// This is the core primitive: with the `parallel` feature, the range is split
+/// into one contiguous sub-range per worker and results are concatenated in
+/// range order, so the output is identical to `(0..len).map(f).collect()` —
+/// no index buffer is materialized on either path.
+#[cfg(feature = "parallel")]
+pub fn par_map_range<R, F>(len: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    if len < 2 || IN_PAR_WORKER.with(|w| w.get()) {
+        return (0..len).map(f).collect();
+    }
+    let threads = effective_threads(len);
+    if threads <= 1 {
+        return (0..len).map(f).collect();
+    }
+    let chunk_size = len.div_ceil(threads);
+    let f = &f;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..len)
+            .step_by(chunk_size)
+            .map(|start| {
+                let end = (start + chunk_size).min(len);
+                scope.spawn(move || {
+                    IN_PAR_WORKER.with(|w| w.set(true));
+                    (start..end).map(f).collect::<Vec<R>>()
+                })
+            })
+            .collect();
+        let mut out = Vec::with_capacity(len);
+        for handle in handles {
+            out.extend(handle.join().expect("par_map worker panicked"));
+        }
+        out
+    })
+}
+
+/// Serial fallback when the `parallel` feature is disabled.
+#[cfg(not(feature = "parallel"))]
+pub fn par_map_range<R, F>(len: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    (0..len).map(f).collect()
+}
+
+/// Maps `f` over `items`, returning results in input order.
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    par_map_range(items.len(), |i| f(&items[i]))
+}
+
+/// Serializes tests that mutate the global thread-count override; shared with
+/// other in-crate test modules so they cannot race each other.
+#[cfg(test)]
+pub(crate) fn test_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order() {
+        let items: Vec<usize> = (0..1000).collect();
+        let doubled = par_map(&items, |&x| x * 2);
+        assert_eq!(doubled, items.iter().map(|&x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn thread_count_override_is_respected() {
+        let _guard = test_lock();
+        set_thread_count(3);
+        assert_eq!(effective_threads(100), 3);
+        assert_eq!(effective_threads(2), 2);
+        set_thread_count(0);
+        assert!(effective_threads(100) >= 1);
+    }
+
+    #[test]
+    fn identical_results_across_thread_counts() {
+        let _guard = test_lock();
+        let items: Vec<f64> = (0..997).map(|i| i as f64 * 0.1).collect();
+        set_thread_count(1);
+        let serial = par_map(&items, |&x| x.sin() + x.sqrt());
+        for threads in [2, 4, 7] {
+            set_thread_count(threads);
+            let parallel = par_map(&items, |&x| x.sin() + x.sqrt());
+            // Bit-identical, not approximately equal: chunking must not change
+            // any per-item computation.
+            let same = serial
+                .iter()
+                .zip(&parallel)
+                .all(|(a, b)| a.to_bits() == b.to_bits());
+            assert!(same, "results differ at {threads} threads");
+        }
+        set_thread_count(0);
+    }
+
+    #[cfg(feature = "parallel")]
+    #[test]
+    fn nested_par_map_runs_serially_in_workers() {
+        let _guard = test_lock();
+        set_thread_count(4);
+        let outer: Vec<usize> = (0..8).collect();
+        // Workers must carry the flag so nested calls don't fan out again.
+        let flags = par_map(&outer, |_| IN_PAR_WORKER.with(|w| w.get()));
+        assert!(flags.iter().all(|&in_worker| in_worker));
+        // And a genuinely nested map still returns correct, ordered results.
+        let nested = par_map(&outer, |&i| {
+            let inner: Vec<usize> = (0..50).collect();
+            par_map(&inner, move |&j| i * 100 + j).iter().sum::<usize>()
+        });
+        let expected: Vec<usize> = outer
+            .iter()
+            .map(|&i| (0..50).map(|j| i * 100 + j).sum())
+            .collect();
+        assert_eq!(nested, expected);
+        set_thread_count(0);
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(par_map(&empty, |&x| x).is_empty());
+        assert_eq!(par_map(&[5u32], |&x| x + 1), vec![6]);
+        assert_eq!(par_map_range(4, |i| i * i), vec![0, 1, 4, 9]);
+    }
+}

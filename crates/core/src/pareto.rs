@@ -35,17 +35,21 @@ impl<T> ParetoFrontier<T> {
 
     /// Inserts an item, dropping any existing items it dominates. Returns `true`
     /// if the item was kept.
+    ///
+    /// Non-finite scores are rejected: a NaN-scored candidate compares neither
+    /// dominated nor dominating, so it would accumulate on the frontier forever,
+    /// and an infinite cost or error never belongs on a frontier both axes of
+    /// which are minimized.
     pub fn insert(&mut self, cost: f64, error: f64, item: T) -> bool {
+        if !cost.is_finite() || !error.is_finite() {
+            return false;
+        }
         if self.is_dominated(cost, error) {
             return false;
         }
         // An identical score is kept only if no equal point already exists
         // (avoids unbounded growth from duplicates).
-        if self
-            .items
-            .iter()
-            .any(|(c, e, _)| *c == cost && *e == error)
-        {
+        if self.items.iter().any(|(c, e, _)| *c == cost && *e == error) {
             return false;
         }
         self.items
@@ -123,6 +127,24 @@ mod tests {
         let sorted = front.into_sorted();
         assert_eq!(sorted[0].2, "fast");
         assert_eq!(sorted[2].2, "accurate");
+    }
+
+    #[test]
+    fn non_finite_scores_are_rejected() {
+        let mut front = ParetoFrontier::new();
+        assert!(!front.insert(f64::NAN, 1.0, "nan-cost"));
+        assert!(!front.insert(1.0, f64::NAN, "nan-error"));
+        assert!(!front.insert(f64::NAN, f64::NAN, "nan-both"));
+        assert!(!front.insert(f64::INFINITY, 1.0, "inf-cost"));
+        assert!(!front.insert(1.0, f64::NEG_INFINITY, "inf-error"));
+        assert!(front.is_empty());
+        // Finite items are unaffected, and repeated NaN insertions cannot grow
+        // the frontier.
+        assert!(front.insert(1.0, 1.0, "finite"));
+        for _ in 0..10 {
+            assert!(!front.insert(f64::NAN, f64::NAN, "nan"));
+        }
+        assert_eq!(front.len(), 1);
     }
 
     #[test]

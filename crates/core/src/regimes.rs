@@ -19,11 +19,7 @@ use targets::{eval_float_expr, program_cost, FloatExpr, Target};
 /// Minimum improvement (mean bits of error) required to keep a branch.
 const MIN_IMPROVEMENT_BITS: f64 = 0.5;
 
-fn per_point_errors(
-    target: &Target,
-    expr: &FloatExpr,
-    samples: &SampleSet,
-) -> Vec<f64> {
+fn per_point_errors(target: &Target, expr: &FloatExpr, samples: &SampleSet) -> Vec<f64> {
     let mut env: HashMap<Symbol, f64> = HashMap::new();
     samples
         .train
@@ -98,7 +94,7 @@ pub fn infer_regimes(
                     }
                     let mean = total / samples.train.len() as f64;
                     if mean + MIN_IMPROVEMENT_BITS < baseline_error
-                        && best.as_ref().map_or(true, |(_, _, e)| mean < *e)
+                        && best.as_ref().is_none_or(|(_, _, e)| mean < *e)
                     {
                         let branched = FloatExpr::If(
                             Box::new(FloatExpr::Cmp(
@@ -155,10 +151,7 @@ mod tests {
         // zero but fine for large x... construct two artificial candidates that
         // are each good on one side of zero and check a split is found.
         let t = builtin::by_name("c99").unwrap();
-        let core = parse_fpcore(
-            "(FPCore (x) :pre (and (> x -1) (< x 1)) (expm1 x))",
-        )
-        .unwrap();
+        let core = parse_fpcore("(FPCore (x) :pre (and (> x -1) (< x 1)) (expm1 x))").unwrap();
         let samples = Sampler::new(17).sample(&core, 16, 4).unwrap();
         let lowering = DirectLowering::new(&t);
         // Candidate A: accurate everywhere (direct expm1).

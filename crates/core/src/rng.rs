@@ -1,0 +1,153 @@
+//! A small, deterministic pseudo-random number generator.
+//!
+//! The build environment has no registry access, so instead of the `rand` crate
+//! the sampler uses this self-contained xoshiro256++ implementation (Blackman &
+//! Vigna). Determinism requirements are stronger than `rand`'s: sampling derives
+//! one independent stream per attempt index (see [`Rng::for_stream`]), so the
+//! accepted point set is identical no matter how attempts are distributed across
+//! threads.
+
+/// SplitMix64 step, used for seeding and stream derivation.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A xoshiro256++ generator.
+#[derive(Clone, Debug)]
+pub struct Rng {
+    s: [u64; 4],
+}
+
+impl Rng {
+    /// A generator seeded from a single `u64` (SplitMix64 expansion, as the
+    /// xoshiro authors recommend).
+    pub fn new(seed: u64) -> Rng {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        Rng { s }
+    }
+
+    /// An independent generator for sub-stream `stream` of `seed`. Distinct
+    /// `(seed, stream)` pairs yield unrelated sequences, which lets parallel
+    /// workers draw from disjoint streams deterministically.
+    pub fn for_stream(seed: u64, stream: u64) -> Rng {
+        // Mix the stream id through SplitMix64 before combining so that
+        // consecutive stream ids do not produce correlated seeds.
+        let mut sm = stream.wrapping_add(0x6a09_e667_f3bc_c909);
+        let mixed = splitmix64(&mut sm);
+        Rng::new(seed ^ mixed)
+    }
+
+    /// The next 64 uniformly random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// A uniform `f64` in `[0, 1)` with 53 random bits.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A uniform `f64` in `[lo, hi)`.
+    pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * self.next_f64()
+    }
+
+    /// A uniform integer in `[0, n)` (Lemire's multiply-shift reduction; the
+    /// modulo bias is negligible for the small `n` used here).
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "below(0) is meaningless");
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a: Vec<u64> = (0..8)
+            .map({
+                let mut r = Rng::new(42);
+                move |_| r.next_u64()
+            })
+            .collect();
+        let b: Vec<u64> = (0..8)
+            .map({
+                let mut r = Rng::new(42);
+                move |_| r.next_u64()
+            })
+            .collect();
+        let c: Vec<u64> = (0..8)
+            .map({
+                let mut r = Rng::new(43);
+                move |_| r.next_u64()
+            })
+            .collect();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn streams_are_independent() {
+        let mut s0 = Rng::for_stream(7, 0);
+        let mut s1 = Rng::for_stream(7, 1);
+        let a: Vec<u64> = (0..8).map(|_| s0.next_u64()).collect();
+        let b: Vec<u64> = (0..8).map(|_| s1.next_u64()).collect();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn unit_floats_stay_in_range() {
+        let mut rng = Rng::new(1);
+        for _ in 0..10_000 {
+            let x = rng.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn range_floats_stay_in_range() {
+        let mut rng = Rng::new(2);
+        for _ in 0..10_000 {
+            let x = rng.range_f64(-3.0, 5.0);
+            assert!((-3.0..5.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn below_is_uniform_enough() {
+        let mut rng = Rng::new(3);
+        let mut counts = [0usize; 4];
+        for _ in 0..40_000 {
+            counts[rng.below(4) as usize] += 1;
+        }
+        for &count in &counts {
+            assert!(
+                (8_000..12_000).contains(&count),
+                "skewed bucket: {counts:?}"
+            );
+        }
+    }
+}

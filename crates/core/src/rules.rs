@@ -54,11 +54,7 @@ pub fn pattern(src: &str) -> Pattern<ChassisNode> {
 }
 
 /// Builds a rewrite rule from FPCore source for both sides.
-pub fn rule<A: Analysis<ChassisNode>>(
-    name: &str,
-    lhs: &str,
-    rhs: &str,
-) -> Rewrite<ChassisNode, A> {
+pub fn rule<A: Analysis<ChassisNode>>(name: &str, lhs: &str, rhs: &str) -> Rewrite<ChassisNode, A> {
     Rewrite::new(name, pattern(lhs), pattern(rhs))
 }
 
@@ -92,14 +88,34 @@ const RULE_TABLE: &[(&str, &str, &str, bool)] = &[
     ("sub-as-add-neg", "(- a b)", "(+ a (- b))", false),
     ("add-neg-as-sub", "(+ a (- b))", "(- a b)", true),
     ("neg-sub-flip", "(- (- a b))", "(- b a)", true),
-    ("neg-distribute-add", "(- (+ a b))", "(+ (- a) (- b))", false),
+    (
+        "neg-distribute-add",
+        "(- (+ a b))",
+        "(+ (- a) (- b))",
+        false,
+    ),
     // --- distributivity ------------------------------------------------------
-    ("distribute-l", "(* a (+ b c))", "(+ (* a b) (* a c))", false),
-    ("distribute-r", "(* (+ a b) c)", "(+ (* a c) (* b c))", false),
+    (
+        "distribute-l",
+        "(* a (+ b c))",
+        "(+ (* a b) (* a c))",
+        false,
+    ),
+    (
+        "distribute-r",
+        "(* (+ a b) c)",
+        "(+ (* a c) (* b c))",
+        false,
+    ),
     ("factor-l", "(+ (* a b) (* a c))", "(* a (+ b c))", true),
     ("factor-r", "(+ (* a c) (* b c))", "(* (+ a b) c)", true),
     ("distribute-neg", "(* (- a) b)", "(- (* a b))", true),
-    ("sub-distribute", "(* a (- b c))", "(- (* a b) (* a c))", false),
+    (
+        "sub-distribute",
+        "(* a (- b c))",
+        "(- (* a b) (* a c))",
+        false,
+    ),
     ("sub-factor", "(- (* a b) (* a c))", "(* a (- b c))", true),
     // --- fractions -----------------------------------------------------------
     ("div-as-mul-recip", "(/ a b)", "(* a (/ 1 b))", false),
@@ -109,7 +125,12 @@ const RULE_TABLE: &[(&str, &str, &str, bool)] = &[
     ("div-div-lift", "(/ a (/ b c))", "(/ (* a c) b)", true),
     ("frac-add", "(+ (/ a c) (/ b c))", "(/ (+ a b) c)", true),
     ("frac-sub", "(- (/ a c) (/ b c))", "(/ (- a b) c)", true),
-    ("frac-mul", "(* (/ a b) (/ c d))", "(/ (* a c) (* b d))", true),
+    (
+        "frac-mul",
+        "(* (/ a b) (/ c d))",
+        "(/ (* a c) (* b d))",
+        true,
+    ),
     ("div-mul-cancel", "(/ (* a b) b)", "a", true),
     ("mul-div-cancel", "(* (/ a b) b)", "a", true),
     ("neg-div", "(/ (- a) b)", "(- (/ a b))", true),
@@ -118,14 +139,29 @@ const RULE_TABLE: &[(&str, &str, &str, bool)] = &[
     ("pow2-as-mul", "(pow a 2)", "(* a a)", true),
     ("sqrt-sqr", "(sqrt (* a a))", "(fabs a)", true),
     ("sqr-sqrt", "(* (sqrt a) (sqrt a))", "a", true),
-    ("sqrt-prod", "(sqrt (* a b))", "(* (sqrt a) (sqrt b))", false),
+    (
+        "sqrt-prod",
+        "(sqrt (* a b))",
+        "(* (sqrt a) (sqrt b))",
+        false,
+    ),
     ("prod-sqrt", "(* (sqrt a) (sqrt b))", "(sqrt (* a b))", true),
     ("sqrt-div", "(sqrt (/ a b))", "(/ (sqrt a) (sqrt b))", false),
     ("sqrt-recip", "(/ 1 (sqrt a))", "(sqrt (/ 1 a))", true),
     ("recip-sqrt", "(sqrt (/ 1 a))", "(/ 1 (sqrt a))", false),
     ("cbrt-cube", "(cbrt (* a (* a a)))", "a", true),
-    ("hypot-def", "(sqrt (+ (* a a) (* b b)))", "(hypot a b)", true),
-    ("hypot-undef", "(hypot a b)", "(sqrt (+ (* a a) (* b b)))", false),
+    (
+        "hypot-def",
+        "(sqrt (+ (* a a) (* b b)))",
+        "(hypot a b)",
+        true,
+    ),
+    (
+        "hypot-undef",
+        "(hypot a b)",
+        "(sqrt (+ (* a a) (* b b)))",
+        false,
+    ),
     // --- difference of squares / cancellation-avoiding forms ----------------
     (
         "diff-of-squares",
@@ -191,7 +227,12 @@ const RULE_TABLE: &[(&str, &str, &str, bool)] = &[
     ("sqrt-as-pow", "(sqrt a)", "(pow a 1/2)", false),
     ("pow-neg-1", "(pow a -1)", "(/ 1 a)", true),
     ("recip-as-pow", "(/ 1 a)", "(pow a -1)", true),
-    ("pow-prod-base", "(* (pow a b) (pow a c))", "(pow a (+ b c))", true),
+    (
+        "pow-prod-base",
+        "(* (pow a b) (pow a c))",
+        "(pow a (+ b c))",
+        true,
+    ),
     ("pow-pow", "(pow (pow a b) c)", "(pow a (* b c))", true),
     ("pow-cbrt", "(pow a 1/3)", "(cbrt a)", true),
     ("cbrt-as-pow", "(cbrt a)", "(pow a 1/3)", false),
@@ -201,7 +242,12 @@ const RULE_TABLE: &[(&str, &str, &str, bool)] = &[
     ("sin-neg", "(sin (- a))", "(- (sin a))", true),
     ("cos-neg", "(cos (- a))", "(cos a)", true),
     ("tan-neg", "(tan (- a))", "(- (tan a))", true),
-    ("sin-cos-pythag", "(+ (* (sin a) (sin a)) (* (cos a) (cos a)))", "1", true),
+    (
+        "sin-cos-pythag",
+        "(+ (* (sin a) (sin a)) (* (cos a) (cos a)))",
+        "1",
+        true,
+    ),
     ("tan-def", "(tan a)", "(/ (sin a) (cos a))", false),
     ("sin-over-cos", "(/ (sin a) (cos a))", "(tan a)", true),
     (
@@ -216,7 +262,12 @@ const RULE_TABLE: &[(&str, &str, &str, bool)] = &[
         "(- (* (cos a) (cos b)) (* (sin a) (sin b)))",
         false,
     ),
-    ("sin-double", "(sin (* 2 a))", "(* 2 (* (sin a) (cos a)))", false),
+    (
+        "sin-double",
+        "(sin (* 2 a))",
+        "(* 2 (* (sin a) (cos a)))",
+        false,
+    ),
     (
         "cos-double",
         "(cos (* 2 a))",
@@ -228,8 +279,18 @@ const RULE_TABLE: &[(&str, &str, &str, bool)] = &[
     ("atan-tan", "(tan (atan a))", "a", true),
     ("atan2-def", "(atan2 a b)", "(atan (/ a b))", false),
     // --- hyperbolics ------------------------------------------------------------
-    ("sinh-def", "(sinh a)", "(/ (- (exp a) (exp (- a))) 2)", false),
-    ("cosh-def", "(cosh a)", "(/ (+ (exp a) (exp (- a))) 2)", false),
+    (
+        "sinh-def",
+        "(sinh a)",
+        "(/ (- (exp a) (exp (- a))) 2)",
+        false,
+    ),
+    (
+        "cosh-def",
+        "(cosh a)",
+        "(/ (+ (exp a) (exp (- a))) 2)",
+        false,
+    ),
     ("tanh-def", "(tanh a)", "(/ (sinh a) (cosh a))", false),
     ("sinh-over-cosh", "(/ (sinh a) (cosh a))", "(tanh a)", true),
     (
@@ -240,9 +301,24 @@ const RULE_TABLE: &[(&str, &str, &str, bool)] = &[
     ),
     ("sinh-neg", "(sinh (- a))", "(- (sinh a))", true),
     ("cosh-neg", "(cosh (- a))", "(cosh a)", true),
-    ("asinh-def", "(asinh a)", "(log (+ a (sqrt (+ (* a a) 1))))", false),
-    ("acosh-def", "(acosh a)", "(log (+ a (sqrt (- (* a a) 1))))", false),
-    ("atanh-def", "(atanh a)", "(/ (log (/ (+ 1 a) (- 1 a))) 2)", false),
+    (
+        "asinh-def",
+        "(asinh a)",
+        "(log (+ a (sqrt (+ (* a a) 1))))",
+        false,
+    ),
+    (
+        "acosh-def",
+        "(acosh a)",
+        "(log (+ a (sqrt (- (* a a) 1))))",
+        false,
+    ),
+    (
+        "atanh-def",
+        "(atanh a)",
+        "(/ (log (/ (+ 1 a) (- 1 a))) 2)",
+        false,
+    ),
     (
         "atanh-log1p",
         "(atanh a)",
@@ -255,8 +331,18 @@ const RULE_TABLE: &[(&str, &str, &str, bool)] = &[
         "(* 2 (atanh a))",
         true,
     ),
-    ("sinh-expm1", "(sinh a)", "(/ (- (expm1 a) (expm1 (- a))) 2)", false),
-    ("tanh-expm1", "(tanh a)", "(/ (expm1 (* 2 a)) (+ (expm1 (* 2 a)) 2))", false),
+    (
+        "sinh-expm1",
+        "(sinh a)",
+        "(/ (- (expm1 a) (expm1 (- a))) 2)",
+        false,
+    ),
+    (
+        "tanh-expm1",
+        "(tanh a)",
+        "(/ (expm1 (* 2 a)) (+ (expm1 (* 2 a)) 2))",
+        false,
+    ),
     // --- absolute value / min / max ----------------------------------------------
     ("fabs-neg", "(fabs (- a))", "(fabs a)", true),
     ("fabs-sqr", "(fabs (* a a))", "(* a a)", true),
@@ -297,7 +383,10 @@ mod tests {
     use egraph::{EGraph, NoAnalysis, Runner, RunnerLimits};
     use fpcore::parse_expr;
 
-    fn saturate(src: &str, rules: &[Rewrite<ChassisNode, NoAnalysis>]) -> (EGraph<ChassisNode, NoAnalysis>, egraph::Id) {
+    fn saturate(
+        src: &str,
+        rules: &[Rewrite<ChassisNode, NoAnalysis>],
+    ) -> (EGraph<ChassisNode, NoAnalysis>, egraph::Id) {
         let expr = parse_expr(src).unwrap();
         let rec = expr_to_rec(&expr);
         let mut eg: EGraph<ChassisNode, NoAnalysis> = EGraph::default();
@@ -367,10 +456,7 @@ mod tests {
     fn acoth_kernel_identity_joins() {
         // The overview example: log1p(x) - log1p(-x) = 2*atanh(x), which is what
         // lets Chassis select fdlibm's log1pmd operator.
-        assert!(equivalent(
-            "(- (log1p x) (log1p (- x)))",
-            "(* 2 (atanh x))"
-        ));
+        assert!(equivalent("(- (log1p x) (log1p (- x)))", "(* 2 (atanh x))"));
     }
 
     #[test]

@@ -6,9 +6,9 @@
 //! when the ground-truth evaluator can produce a finite correctly rounded result
 //! (points whose true value is NaN or undecidable are discarded, as in Herbie).
 
+use crate::par;
+use crate::rng::Rng;
 use fpcore::{FPCore, FpType, Symbol};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use rival::{Evaluator, GroundTruth};
 
 /// A set of sampled points with their ground-truth results.
@@ -67,9 +67,17 @@ impl std::fmt::Display for SampleError {
 impl std::error::Error for SampleError {}
 
 /// Samples valid input points for an FPCore benchmark.
+///
+/// Each candidate attempt draws from its own RNG stream derived from
+/// `(seed, attempt index)`, so the accepted point set depends only on the seed —
+/// not on how attempts are batched across worker threads.
 #[derive(Clone, Debug)]
 pub struct Sampler {
-    rng: StdRng,
+    seed: u64,
+    /// First unused attempt stream; advanced by every `sample` call so repeated
+    /// calls on one sampler draw fresh points (matching the pre-parallel
+    /// behavior where the RNG advanced between calls).
+    next_stream: u64,
     evaluator: Evaluator,
 }
 
@@ -77,7 +85,8 @@ impl Sampler {
     /// A sampler with the given RNG seed (results are deterministic per seed).
     pub fn new(seed: u64) -> Sampler {
         Sampler {
-            rng: StdRng::seed_from_u64(seed),
+            seed,
+            next_stream: 0,
             evaluator: Evaluator::with_precisions(vec![96, 192, 384, 768]),
         }
     }
@@ -88,22 +97,20 @@ impl Sampler {
     /// (benchmark domains are overwhelmingly positive and within a few orders of
     /// magnitude of 1, so biasing the proposal distribution there keeps rejection
     /// sampling cheap without changing which points are *accepted*).
-    fn draw(&mut self, ty: FpType) -> f64 {
-        let strategy: u8 = self.rng.gen_range(0..4);
-        let value = match strategy {
+    fn draw(rng: &mut Rng, ty: FpType) -> f64 {
+        let value = match rng.below(4) {
             0 => loop {
                 // Uniform over bit patterns, rejecting NaN and infinity.
-                let bits: u64 = self.rng.gen();
-                let v = f64::from_bits(bits);
+                let v = f64::from_bits(rng.next_u64());
                 if v.is_finite() {
                     break v;
                 }
             },
-            1 => self.rng.gen_range(-1e3..1e3),
+            1 => rng.range_f64(-1e3, 1e3),
             _ => {
                 // Log-uniform magnitude in [1e-6, 1e6), mostly positive.
-                let exp = self.rng.gen_range(-6.0..6.0);
-                let sign = if self.rng.gen_range(0.0..1.0) < 0.75 { 1.0 } else { -1.0 };
+                let exp = rng.range_f64(-6.0, 6.0);
+                let sign = if rng.next_f64() < 0.75 { 1.0 } else { -1.0 };
                 sign * 10f64.powf(exp)
             }
         };
@@ -113,7 +120,34 @@ impl Sampler {
         }
     }
 
+    /// Draws, filters, and ground-truths one attempt from its own RNG stream.
+    fn attempt(
+        &self,
+        core: &FPCore,
+        vars: &[Symbol],
+        types: &[FpType],
+        index: u64,
+    ) -> Option<(Vec<f64>, f64)> {
+        let mut rng = Rng::for_stream(self.seed, index);
+        let point: Vec<f64> = types.iter().map(|ty| Self::draw(&mut rng, *ty)).collect();
+        let env: Vec<(Symbol, f64)> = vars.iter().copied().zip(point.iter().copied()).collect();
+        if let Some(pre) = &core.pre {
+            match self.evaluator.eval_bool(pre, &env) {
+                Some(true) => {}
+                _ => return None,
+            }
+        }
+        match self.evaluator.eval(&core.body, &env, core.precision) {
+            GroundTruth::Value(v) if v.is_finite() => Some((point, v)),
+            _ => None,
+        }
+    }
+
     /// Samples `train + test` valid points for `core`.
+    ///
+    /// Attempts are evaluated in parallel batches (ground-truthing a candidate
+    /// point is the expensive step), then accepted in attempt order until the
+    /// request is filled, which keeps the result independent of thread count.
     ///
     /// # Errors
     ///
@@ -131,25 +165,38 @@ impl Sampler {
         let mut points: Vec<Vec<f64>> = Vec::with_capacity(requested);
         let mut truths: Vec<f64> = Vec::with_capacity(requested);
         let max_attempts = requested * 400 + 2_000;
-        let mut attempts = 0;
+        // Ground-truthing a candidate is the expensive step, so overshoot is
+        // waste: start a little above the request (acceptance is often high)
+        // and resize each batch from the observed acceptance rate. Because
+        // candidates are accepted in attempt order, batching cannot change
+        // *which* points are accepted — only how many attempts are evaluated.
+        let mut batch_size = (requested + requested / 2).clamp(8, 1024);
+        let base_stream = self.next_stream;
+        let mut attempts = 0usize;
         while points.len() < requested && attempts < max_attempts {
-            attempts += 1;
-            let point: Vec<f64> = types.iter().map(|ty| self.draw(*ty)).collect();
-            let env: Vec<(Symbol, f64)> = vars.iter().copied().zip(point.iter().copied()).collect();
-            if let Some(pre) = &core.pre {
-                match self.evaluator.eval_bool(pre, &env) {
-                    Some(true) => {}
-                    _ => continue,
+            let batch = batch_size.min(max_attempts - attempts);
+            let candidates = par::par_map_range(batch, |i| {
+                self.attempt(core, &vars, &types, base_stream + (attempts + i) as u64)
+            });
+            for (point, truth) in candidates.into_iter().flatten() {
+                if points.len() < requested {
+                    points.push(point);
+                    truths.push(truth);
                 }
             }
-            match self.evaluator.eval(&core.body, &env, core.precision) {
-                GroundTruth::Value(v) if v.is_finite() => {
-                    points.push(point);
-                    truths.push(v);
+            attempts += batch;
+            let remaining = requested - points.len();
+            if remaining > 0 {
+                let rate = points.len() as f64 / attempts as f64;
+                batch_size = if rate > 0.0 {
+                    ((remaining as f64 / rate) * 1.25).ceil() as usize
+                } else {
+                    batch_size.saturating_mul(2)
                 }
-                _ => continue,
+                .clamp(8, 1024);
             }
         }
+        self.next_stream = base_stream + attempts as u64;
         if points.len() < (requested / 4).max(2) {
             return Err(SampleError::NotEnoughPoints {
                 found: points.len(),
@@ -181,14 +228,10 @@ impl Sampler {
         points: &[Vec<f64>],
         ty: FpType,
     ) -> Vec<GroundTruth> {
-        points
-            .iter()
-            .map(|point| {
-                let env: Vec<(Symbol, f64)> =
-                    vars.iter().copied().zip(point.iter().copied()).collect();
-                self.evaluator.eval(expr, &env, ty)
-            })
-            .collect()
+        par::par_map(points, |point| {
+            let env: Vec<(Symbol, f64)> = vars.iter().copied().zip(point.iter().copied()).collect();
+            self.evaluator.eval(expr, &env, ty)
+        })
     }
 }
 
@@ -210,12 +253,49 @@ mod tests {
     }
 
     #[test]
+    fn repeated_sampling_draws_fresh_points() {
+        let core = parse_fpcore("(FPCore (x) (+ x 1))").unwrap();
+        let mut sampler = Sampler::new(7);
+        let a = sampler.sample(&core, 8, 4).unwrap();
+        let b = sampler.sample(&core, 8, 4).unwrap();
+        assert_ne!(
+            a.train, b.train,
+            "a reused sampler must not silently repeat its point set"
+        );
+        // A fresh sampler with the same seed reproduces the first set.
+        let c = Sampler::new(7).sample(&core, 8, 4).unwrap();
+        assert_eq!(a.train, c.train);
+    }
+
+    #[test]
+    fn sampling_is_identical_across_thread_counts() {
+        let _guard = crate::par::test_lock();
+        let core = parse_fpcore("(FPCore (x y) :pre (> x y) (- (sqrt x) (sqrt y)))").unwrap();
+        crate::par::set_thread_count(1);
+        let serial = Sampler::new(13).sample(&core, 16, 8).unwrap();
+        for threads in [2, 5] {
+            crate::par::set_thread_count(threads);
+            let parallel = Sampler::new(13).sample(&core, 16, 8).unwrap();
+            assert_eq!(serial.train, parallel.train, "{threads} threads");
+            assert_eq!(
+                serial.train_truth, parallel.train_truth,
+                "{threads} threads"
+            );
+            assert_eq!(serial.test, parallel.test, "{threads} threads");
+            assert_eq!(serial.test_truth, parallel.test_truth, "{threads} threads");
+        }
+        crate::par::set_thread_count(0);
+    }
+
+    #[test]
     fn preconditions_are_respected() {
-        let core =
-            parse_fpcore("(FPCore (x) :pre (and (> x 0) (< x 1)) (sqrt x))").unwrap();
+        let core = parse_fpcore("(FPCore (x) :pre (and (> x 0) (< x 1)) (sqrt x))").unwrap();
         let set = Sampler::new(1).sample(&core, 12, 4).unwrap();
         for point in set.train.iter().chain(&set.test) {
-            assert!(point[0] > 0.0 && point[0] < 1.0, "point {point:?} violates the precondition");
+            assert!(
+                point[0] > 0.0 && point[0] < 1.0,
+                "point {point:?} violates the precondition"
+            );
         }
     }
 

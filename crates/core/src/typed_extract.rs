@@ -110,9 +110,7 @@ impl<'a, A: Analysis<ChassisNode>> TypedExtractor<'a, A> {
 
     /// The lowest cost at which the class of `id` can be extracted at type `ty`.
     pub fn best_cost(&self, id: Id, ty: FpType) -> Option<f64> {
-        self.best
-            .get(&(self.egraph.find(id), ty))
-            .map(|b| b.cost)
+        self.best.get(&(self.egraph.find(id), ty)).map(|b| b.cost)
     }
 
     /// Extracts the lowest-cost program of type `ty` from the class of `id`.
@@ -215,7 +213,11 @@ mod tests {
         let cost = ex.best_cost(sum, FpType::Binary64).unwrap();
         let expr = ex.extract_best(sum, FpType::Binary64).unwrap();
         assert_eq!(cost, program_cost(&t, &expr));
-        assert_eq!(ex.best_cost(sum, FpType::Binary32), None, "no f32 lowering exists");
+        assert_eq!(
+            ex.best_cost(sum, FpType::Binary32),
+            None,
+            "no f32 lowering exists"
+        );
     }
 
     #[test]

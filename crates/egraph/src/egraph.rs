@@ -163,10 +163,7 @@ impl<L: Language, A: Analysis<L>> EGraph<L, A> {
         }
         let winner = self.unionfind.union(a, b);
         let loser = if winner == a { b } else { a };
-        let loser_class = self
-            .classes
-            .remove(&loser)
-            .expect("loser class must exist");
+        let loser_class = self.classes.remove(&loser).expect("loser class must exist");
         let winner_class = self
             .classes
             .get_mut(&winner)

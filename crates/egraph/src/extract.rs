@@ -26,7 +26,11 @@ impl<L: Language> CostFunction<L> for TreeSize {
     type Cost = usize;
 
     fn cost(&mut self, enode: &L, child_cost: &mut dyn FnMut(Id) -> usize) -> usize {
-        1 + enode.children().iter().map(|&c| child_cost(c)).sum::<usize>()
+        1 + enode
+            .children()
+            .iter()
+            .map(|&c| child_cost(c))
+            .sum::<usize>()
     }
 }
 
@@ -93,9 +97,7 @@ impl<'a, L: Language, A: Analysis<L>, CF: CostFunction<L>> Extractor<'a, L, A, C
     /// The best known cost of the class containing `id`, if any term is
     /// extractable from it.
     pub fn best_cost(&self, id: Id) -> Option<CF::Cost> {
-        self.best
-            .get(&self.egraph.find(id))
-            .map(|(c, _)| c.clone())
+        self.best.get(&self.egraph.find(id)).map(|(c, _)| c.clone())
     }
 
     /// Extracts the lowest-cost term rooted in the class of `id`.
@@ -188,11 +190,7 @@ mod tests {
                 TestLang::Mul(_) => f64::INFINITY,
                 _ => 1.0,
             };
-            base + enode
-                .children()
-                .iter()
-                .map(|&c| child_cost(c))
-                .sum::<f64>()
+            base + enode.children().iter().map(|&c| child_cost(c)).sum::<f64>()
         }
     }
 

@@ -150,8 +150,7 @@ impl<L: Language> Pattern<L> {
             PatternNode::ENode(pnode) => {
                 let mut out = Vec::new();
                 for enode in &egraph.class(class).nodes {
-                    if !enode.matches_op(pnode)
-                        || enode.children().len() != pnode.children().len()
+                    if !enode.matches_op(pnode) || enode.children().len() != pnode.children().len()
                     {
                         continue;
                     }

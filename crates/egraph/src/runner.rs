@@ -157,11 +157,7 @@ mod tests {
     type EG = EGraph<TestLang, NoAnalysis>;
     type RW = Rewrite<TestLang, NoAnalysis>;
 
-    fn binary_pattern(
-        make: fn([Id; 2]) -> TestLang,
-        a: &str,
-        b: &str,
-    ) -> Pattern<TestLang> {
+    fn binary_pattern(make: fn([Id; 2]) -> TestLang, a: &str, b: &str) -> Pattern<TestLang> {
         Pattern::from_nodes(vec![
             PatternNode::Var(PatVar::new(a)),
             PatternNode::Var(PatVar::new(b)),

@@ -129,11 +129,11 @@ impl RealOp {
     pub fn arity(self) -> usize {
         use RealOp::*;
         match self {
-            Neg | Fabs | Sqrt | Cbrt | Floor | Ceil | Round | Trunc | Exp | Exp2 | Expm1
-            | Log | Log2 | Log10 | Log1p | Sin | Cos | Tan | Asin | Acos | Atan | Sinh | Cosh
-            | Tanh | Asinh | Acosh | Atanh | Not => 1,
-            Add | Sub | Mul | Div | Hypot | Pow | Fmod | Fdim | Copysign | Fmin | Fmax
-            | Atan2 | Lt | Gt | Le | Ge | Eq | Ne | And | Or => 2,
+            Neg | Fabs | Sqrt | Cbrt | Floor | Ceil | Round | Trunc | Exp | Exp2 | Expm1 | Log
+            | Log2 | Log10 | Log1p | Sin | Cos | Tan | Asin | Acos | Atan | Sinh | Cosh | Tanh
+            | Asinh | Acosh | Atanh | Not => 1,
+            Add | Sub | Mul | Div | Hypot | Pow | Fmod | Fdim | Copysign | Fmin | Fmax | Atan2
+            | Lt | Gt | Le | Ge | Eq | Ne | And | Or => 2,
             Fma => 3,
         }
     }
@@ -367,10 +367,9 @@ impl Expr {
                     self.clone()
                 }
             }
-            Expr::Op(op, args) => Expr::Op(
-                *op,
-                args.iter().map(|a| a.substitute(var, value)).collect(),
-            ),
+            Expr::Op(op, args) => {
+                Expr::Op(*op, args.iter().map(|a| a.substitute(var, value)).collect())
+            }
             Expr::If(c, t, e) => Expr::If(
                 Box::new(c.substitute(var, value)),
                 Box::new(t.substitute(var, value)),
@@ -562,7 +561,9 @@ mod tests {
         let needle = Expr::un(RealOp::Sqrt, Expr::var("y"));
         let out = e.replace_subexpr(&needle, &Expr::int(0)).unwrap();
         assert!(out.size() < e.size());
-        assert!(e.replace_subexpr(&Expr::var("zzz"), &Expr::int(0)).is_none());
+        assert!(e
+            .replace_subexpr(&Expr::var("zzz"), &Expr::int(0))
+            .is_none());
     }
 
     #[test]

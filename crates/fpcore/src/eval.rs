@@ -12,6 +12,28 @@ use std::collections::HashMap;
 /// An assignment of `f64` values to variables.
 pub type Env = HashMap<Symbol, f64>;
 
+/// A source of variable values for evaluation.
+///
+/// Implemented for [`Env`] and for `[(Symbol, f64)]` slices; evaluation hot
+/// loops (the emulated-operator interpreter in `targets`) provide their own
+/// allocation-free implementations.
+pub trait Bindings {
+    /// The value bound to `var`, if any.
+    fn value_of(&self, var: Symbol) -> Option<f64>;
+}
+
+impl Bindings for Env {
+    fn value_of(&self, var: Symbol) -> Option<f64> {
+        self.get(&var).copied()
+    }
+}
+
+impl Bindings for [(Symbol, f64)] {
+    fn value_of(&self, var: Symbol) -> Option<f64> {
+        self.iter().find(|(v, _)| *v == var).map(|(_, x)| *x)
+    }
+}
+
 /// Applies a real operator to `f64` arguments using host arithmetic.
 ///
 /// Boolean results are encoded as `1.0` / `0.0`.
@@ -35,10 +57,7 @@ pub fn apply_op_f64(op: RealOp, args: &[f64]) -> f64 {
         RealOp::Fma => args[0].mul_add(args[1], args[2]),
         RealOp::Hypot => args[0].hypot(args[1]),
         RealOp::Pow => args[0].powf(args[1]),
-        RealOp::Fmod => {
-            let r = args[0] % args[1];
-            r
-        }
+        RealOp::Fmod => args[0] % args[1],
         RealOp::Fdim => {
             if args[0] > args[1] {
                 args[0] - args[1]
@@ -90,18 +109,23 @@ pub fn apply_op_f64(op: RealOp, args: &[f64]) -> f64 {
 /// Unbound variables evaluate to NaN rather than erroring, which is convenient
 /// during sampling (a NaN precondition is treated as unsatisfied).
 pub fn eval_f64(expr: &Expr, env: &Env) -> f64 {
+    eval_f64_in(expr, env)
+}
+
+/// Evaluates `expr` against any [`Bindings`] implementation.
+pub fn eval_f64_in<B: Bindings + ?Sized>(expr: &Expr, env: &B) -> f64 {
     match expr {
         Expr::Num(c) => c.to_f64(),
-        Expr::Var(v) => env.get(v).copied().unwrap_or(f64::NAN),
+        Expr::Var(v) => env.value_of(*v).unwrap_or(f64::NAN),
         Expr::Op(op, args) => {
-            let vals: Vec<f64> = args.iter().map(|a| eval_f64(a, env)).collect();
+            let vals: Vec<f64> = args.iter().map(|a| eval_f64_in(a, env)).collect();
             apply_op_f64(*op, &vals)
         }
         Expr::If(c, t, e) => {
-            if eval_f64(c, env) != 0.0 {
-                eval_f64(t, env)
+            if eval_f64_in(c, env) != 0.0 {
+                eval_f64_in(t, env)
             } else {
-                eval_f64(e, env)
+                eval_f64_in(e, env)
             }
         }
     }
@@ -136,10 +160,7 @@ mod tests {
 
     fn eval_src(src: &str, bindings: &[(&str, f64)]) -> f64 {
         let expr = parse_expr(src).unwrap();
-        let env: Env = bindings
-            .iter()
-            .map(|(n, v)| (Symbol::new(n), *v))
-            .collect();
+        let env: Env = bindings.iter().map(|(n, v)| (Symbol::new(n), *v)).collect();
         eval_f64(&expr, &env)
     }
 
@@ -147,7 +168,10 @@ mod tests {
     fn arithmetic() {
         assert_eq!(eval_src("(+ x 1)", &[("x", 2.0)]), 3.0);
         assert_eq!(eval_src("(/ x y)", &[("x", 1.0), ("y", 4.0)]), 0.25);
-        assert_eq!(eval_src("(fma a b c)", &[("a", 2.0), ("b", 3.0), ("c", 1.0)]), 7.0);
+        assert_eq!(
+            eval_src("(fma a b c)", &[("a", 2.0), ("b", 3.0), ("c", 1.0)]),
+            7.0
+        );
     }
 
     #[test]

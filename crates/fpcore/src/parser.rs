@@ -86,7 +86,11 @@ impl<'a> Lexer<'a> {
         match self.peek() {
             None => Err(ParseError::new("unexpected end of input")),
             Some(b'(') | Some(b'[') => {
-                let close = if self.text[self.pos] == b'(' { b')' } else { b']' };
+                let close = if self.text[self.pos] == b'(' {
+                    b')'
+                } else {
+                    b']'
+                };
                 self.pos += 1;
                 let mut items = Vec::new();
                 loop {
@@ -121,8 +125,7 @@ impl<'a> Lexer<'a> {
                 let start = self.pos;
                 while self.pos < self.text.len() {
                     let b = self.text[self.pos];
-                    if b.is_ascii_whitespace() || b == b'(' || b == b')' || b == b'[' || b == b']'
-                    {
+                    if b.is_ascii_whitespace() || b == b'(' || b == b')' || b == b'[' || b == b']' {
                         break;
                     }
                     self.pos += 1;

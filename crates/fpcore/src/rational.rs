@@ -303,7 +303,10 @@ mod tests {
     fn ordering() {
         assert!(Rational::new(1, 3) < Rational::new(1, 2));
         assert!(Rational::integer(-1) < Rational::zero());
-        assert_eq!(Rational::new(2, 6).cmp(&Rational::new(1, 3)), Ordering::Equal);
+        assert_eq!(
+            Rational::new(2, 6).cmp(&Rational::new(1, 3)),
+            Ordering::Equal
+        );
     }
 
     #[test]

@@ -8,11 +8,12 @@
 use std::fmt;
 
 /// A floating-point (or boolean) representation.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Default)]
 pub enum FpType {
     /// IEEE 754 binary32 (single precision).
     Binary32,
     /// IEEE 754 binary64 (double precision).
+    #[default]
     Binary64,
     /// Boolean values produced by comparisons and consumed by conditionals.
     Bool,
@@ -73,12 +74,6 @@ impl FpType {
     /// All numeric formats, widest first.
     pub fn numeric() -> [FpType; 2] {
         [FpType::Binary64, FpType::Binary32]
-    }
-}
-
-impl Default for FpType {
-    fn default() -> Self {
-        FpType::Binary64
     }
 }
 

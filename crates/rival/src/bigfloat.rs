@@ -323,7 +323,11 @@ impl BigFloat {
                 },
             ) => {
                 if na != nb {
-                    return Some(if *na { Ordering::Less } else { Ordering::Greater });
+                    return Some(if *na {
+                        Ordering::Less
+                    } else {
+                        Ordering::Greater
+                    });
                 }
                 let mag_a = ea + ma.bit_length() as i64;
                 let mag_b = eb + mb.bit_length() as i64;
@@ -434,22 +438,16 @@ impl BigFloat {
         use BigFloat::*;
         match (a, b) {
             (NaN, _) | (_, NaN) => NaN,
-            (Inf { negative: na }, Inf { negative: nb }) => Inf {
-                negative: na != nb,
-            },
+            (Inf { negative: na }, Inf { negative: nb }) => Inf { negative: na != nb },
             (Inf { negative: na }, Zero { .. }) | (Zero { .. }, Inf { negative: na }) => {
                 let _ = na;
                 NaN
             }
             (Inf { negative: na }, Finite { negative: nb, .. })
-            | (Finite { negative: na, .. }, Inf { negative: nb }) => Inf {
-                negative: na != nb,
-            },
+            | (Finite { negative: na, .. }, Inf { negative: nb }) => Inf { negative: na != nb },
             (Zero { negative: na }, Zero { negative: nb })
             | (Zero { negative: na }, Finite { negative: nb, .. })
-            | (Finite { negative: na, .. }, Zero { negative: nb }) => Zero {
-                negative: na != nb,
-            },
+            | (Finite { negative: na, .. }, Zero { negative: nb }) => Zero { negative: na != nb },
             (
                 Finite {
                     negative: na,
@@ -478,17 +476,11 @@ impl BigFloat {
             (Inf { .. }, Inf { .. }) => NaN,
             (Zero { .. }, Zero { .. }) => NaN,
             (Inf { negative: na }, Zero { negative: nb })
-            | (Inf { negative: na }, Finite { negative: nb, .. }) => Inf {
-                negative: na != nb,
-            },
+            | (Inf { negative: na }, Finite { negative: nb, .. }) => Inf { negative: na != nb },
             (Zero { negative: na }, Inf { negative: nb })
             | (Zero { negative: na }, Finite { negative: nb, .. })
-            | (Finite { negative: na, .. }, Inf { negative: nb }) => Zero {
-                negative: na != nb,
-            },
-            (Finite { negative: na, .. }, Zero { negative: nb }) => Inf {
-                negative: na != nb,
-            },
+            | (Finite { negative: na, .. }, Inf { negative: nb }) => Zero { negative: na != nb },
+            (Finite { negative: na, .. }, Zero { negative: nb }) => Inf { negative: na != nb },
             (
                 Finite {
                     negative: na,
@@ -821,7 +813,13 @@ mod tests {
 
     #[test]
     fn add_matches_f64_on_exact_cases() {
-        let cases = [(1.0, 2.0), (0.5, 0.25), (1e16, 1.0), (-3.5, 3.5), (1.0, -0.25)];
+        let cases = [
+            (1.0, 2.0),
+            (0.5, 0.25),
+            (1e16, 1.0),
+            (-3.5, 3.5),
+            (1.0, -0.25),
+        ];
         for (a, b) in cases {
             let sum = BigFloat::add(&bf(a), &bf(b), P, RoundMode::Nearest);
             assert_eq!(sum.to_f64(RoundMode::Nearest), a + b, "{a} + {b}");
@@ -859,7 +857,17 @@ mod tests {
 
     #[test]
     fn sqrt_matches_f64() {
-        for x in [0.0, 1.0, 2.0, 4.0, 0.25, 10.0, 1e300, 1e-300, 3.14159] {
+        for x in [
+            0.0,
+            1.0,
+            2.0,
+            4.0,
+            0.25,
+            10.0,
+            1e300,
+            1e-300,
+            std::f64::consts::PI,
+        ] {
             let s = BigFloat::sqrt(&bf(x), 53, RoundMode::Nearest).to_f64(RoundMode::Nearest);
             assert_eq!(s, x.sqrt(), "sqrt({x})");
         }

@@ -154,9 +154,9 @@ impl BigUint {
         };
         let mut limbs = Vec::with_capacity(long.len() + 1);
         let mut carry = 0u64;
-        for i in 0..long.len() {
+        for (i, &a) in long.iter().enumerate() {
             let b = short.get(i).copied().unwrap_or(0);
-            let (s1, c1) = long[i].overflowing_add(b);
+            let (s1, c1) = a.overflowing_add(b);
             let (s2, c2) = s1.overflowing_add(carry);
             limbs.push(s2);
             carry = (c1 as u64) + (c2 as u64);
@@ -384,7 +384,7 @@ mod tests {
         let a = big(0b101000);
         assert!(!a.any_bit_below(3));
         assert!(a.any_bit_below(4));
-        assert!(BigUint::zero().any_bit_below(64) == false);
+        assert!(!BigUint::zero().any_bit_below(64));
     }
 
     #[test]
@@ -440,6 +440,9 @@ mod tests {
     fn comparison() {
         assert_eq!(big(5).cmp_mag(&big(5)), Ordering::Equal);
         assert_eq!(big(4).cmp_mag(&big(5)), Ordering::Less);
-        assert_eq!(big(1u128 << 70).cmp_mag(&big(u64::MAX as u128)), Ordering::Greater);
+        assert_eq!(
+            big(1u128 << 70).cmp_mag(&big(u64::MAX as u128)),
+            Ordering::Greater
+        );
     }
 }

@@ -160,7 +160,8 @@ fn round_to_type(interval: &Interval, ty: FpType) -> (f64, f64) {
 fn constant_interval(c: &Constant, prec: u32) -> Result<Interval, EvalError> {
     match c {
         Constant::Rational(r) => {
-            let lo = BigFloat::from_rational(r.numerator(), r.denominator(), prec, RoundMode::Floor);
+            let lo =
+                BigFloat::from_rational(r.numerator(), r.denominator(), prec, RoundMode::Floor);
             let hi = BigFloat::from_rational(r.numerator(), r.denominator(), prec, RoundMode::Ceil);
             Ok(Interval::new(lo, hi))
         }
@@ -201,10 +202,7 @@ fn eval_interval(
 ) -> Result<Interval, EvalError> {
     match expr {
         Expr::Num(c) => constant_interval(c, prec),
-        Expr::Var(v) => env
-            .get(v)
-            .cloned()
-            .ok_or(EvalError::Domain),
+        Expr::Var(v) => env.get(v).cloned().ok_or(EvalError::Domain),
         Expr::If(cond, then_branch, else_branch) => {
             let c = eval_bool_interval(cond, env, prec)?;
             match c.definite() {
@@ -310,10 +308,14 @@ fn eval_bool_interval(
                 _ => unreachable!(),
             })
         }
-        Expr::Op(RealOp::And, args) => Ok(eval_bool_interval(&args[0], env, prec)?
-            .and(&eval_bool_interval(&args[1], env, prec)?)),
-        Expr::Op(RealOp::Or, args) => Ok(eval_bool_interval(&args[0], env, prec)?
-            .or(&eval_bool_interval(&args[1], env, prec)?)),
+        Expr::Op(RealOp::And, args) => {
+            Ok(eval_bool_interval(&args[0], env, prec)?
+                .and(&eval_bool_interval(&args[1], env, prec)?))
+        }
+        Expr::Op(RealOp::Or, args) => {
+            Ok(eval_bool_interval(&args[0], env, prec)?
+                .or(&eval_bool_interval(&args[1], env, prec)?))
+        }
         Expr::Op(RealOp::Not, args) => Ok(eval_bool_interval(&args[0], env, prec)?.not()),
         Expr::If(cond, t, e) => {
             let c = eval_bool_interval(cond, env, prec)?;

@@ -112,12 +112,16 @@ pub fn ln2(prec: u32) -> BigFloat {
 
 /// ln 10 to `prec` bits.
 pub fn ln10(prec: u32) -> BigFloat {
-    cached("ln10", prec, |prec| log(&int(10), wp(prec) + 8).round_to(prec, RoundMode::Nearest))
+    cached("ln10", prec, |prec| {
+        log(&int(10), wp(prec) + 8).round_to(prec, RoundMode::Nearest)
+    })
 }
 
 /// Euler's number e to `prec` bits.
 pub fn euler(prec: u32) -> BigFloat {
-    cached("e", prec, |prec| exp(&int(1), wp(prec) + 8).round_to(prec, RoundMode::Nearest))
+    cached("e", prec, |prec| {
+        exp(&int(1), wp(prec) + 8).round_to(prec, RoundMode::Nearest)
+    })
 }
 
 /// atanh via its Taylor series; requires `|x| < 1/2` for fast convergence.
@@ -204,8 +208,7 @@ pub fn expm1(x: &BigFloat, prec: u32) -> BigFloat {
         let mut k: i64 = 1;
         loop {
             term = div(&mul(&term, x, p), &int(k), p);
-            if term.is_zero() || below_magnitude(&term, x.magnitude().unwrap_or(0) - p as i64 - 2)
-            {
+            if term.is_zero() || below_magnitude(&term, x.magnitude().unwrap_or(0) - p as i64 - 2) {
                 break;
             }
             sum = add(&sum, &term, p);
@@ -464,7 +467,11 @@ pub fn atan(x: &BigFloat, prec: u32) -> BigFloat {
         let inner = atan(&div(&one, &ax, p), p);
         let half_pi = mul_pow2(&pi(p), -1);
         let result = sub(&half_pi, &inner, p);
-        let signed = if x.is_negative() { result.neg() } else { result };
+        let signed = if x.is_negative() {
+            result.neg()
+        } else {
+            result
+        };
         return signed.round_to(prec, RoundMode::Nearest);
     }
     // Halve the argument until it is small: atan(x) = 2·atan(x / (1 + √(1+x²))).
@@ -472,7 +479,11 @@ pub fn atan(x: &BigFloat, prec: u32) -> BigFloat {
     let mut y = ax.clone();
     while !below_magnitude(&y, -3) && halvings < 6 {
         let y2 = mul(&y, &y, p);
-        let denom = add(&one, &BigFloat::sqrt(&add(&one, &y2, p), p, RoundMode::Nearest), p);
+        let denom = add(
+            &one,
+            &BigFloat::sqrt(&add(&one, &y2, p), p, RoundMode::Nearest),
+            p,
+        );
         y = div(&y, &denom, p);
         halvings += 1;
     }
@@ -484,7 +495,8 @@ pub fn atan(x: &BigFloat, prec: u32) -> BigFloat {
     loop {
         term = mul(&term, &y2, p);
         let contrib = div(&term, &int(2 * k + 1), p);
-        if contrib.is_zero() || below_magnitude(&contrib, sum.magnitude().unwrap_or(0) - p as i64 - 2)
+        if contrib.is_zero()
+            || below_magnitude(&contrib, sum.magnitude().unwrap_or(0) - p as i64 - 2)
         {
             break;
         }
@@ -502,7 +514,11 @@ pub fn atan(x: &BigFloat, prec: u32) -> BigFloat {
     for _ in 0..halvings {
         result = mul_pow2(&result, 1);
     }
-    let signed = if x.is_negative() { result.neg() } else { result };
+    let signed = if x.is_negative() {
+        result.neg()
+    } else {
+        result
+    };
     signed.round_to(prec, RoundMode::Nearest)
 }
 
@@ -644,10 +660,18 @@ pub fn asinh(x: &BigFloat, prec: u32) -> BigFloat {
     } else {
         // log1p(|x| + x² / (1 + sqrt(1 + x²))) — stable near zero.
         let x2 = mul(&ax, &ax, p);
-        let denom = add(&one, &BigFloat::sqrt(&add(&one, &x2, p), p, RoundMode::Nearest), p);
+        let denom = add(
+            &one,
+            &BigFloat::sqrt(&add(&one, &x2, p), p, RoundMode::Nearest),
+            p,
+        );
         log1p(&add(&ax, &div(&x2, &denom, p), p), p)
     };
-    let signed = if x.is_negative() { result.neg() } else { result };
+    let signed = if x.is_negative() {
+        result.neg()
+    } else {
+        result
+    };
     signed.round_to(prec, RoundMode::Nearest)
 }
 
@@ -849,7 +873,10 @@ mod tests {
             close(&log1p(&bf(x), P), x.ln_1p(), &format!("log1p({x})"));
         }
         assert!(log(&bf(-1.0), P).is_nan());
-        assert_eq!(log(&bf(0.0), P).to_f64(RoundMode::Nearest), f64::NEG_INFINITY);
+        assert_eq!(
+            log(&bf(0.0), P).to_f64(RoundMode::Nearest),
+            f64::NEG_INFINITY
+        );
         assert!(log1p(&bf(-2.0), P).is_nan());
     }
 
@@ -874,8 +901,19 @@ mod tests {
         }
         assert!(asin(&bf(1.5), P).is_nan());
         close(&asin(&bf(1.0), P), std::f64::consts::FRAC_PI_2, "asin(1)");
-        for (y, x) in [(1.0, 1.0), (1.0, -1.0), (-1.0, -1.0), (-2.0, 0.5), (0.0, 1.0), (3.0, 0.0)] {
-            close(&atan2(&bf(y), &bf(x), P), y.atan2(x), &format!("atan2({y},{x})"));
+        for (y, x) in [
+            (1.0, 1.0),
+            (1.0, -1.0),
+            (-1.0, -1.0),
+            (-2.0, 0.5),
+            (0.0, 1.0),
+            (3.0, 0.0),
+        ] {
+            close(
+                &atan2(&bf(y), &bf(x), P),
+                y.atan2(x),
+                &format!("atan2({y},{x})"),
+            );
         }
     }
 
@@ -920,7 +958,11 @@ mod tests {
     #[test]
     fn misc_functions() {
         for (x, y) in [(3.0, 4.0), (1e200, 1e200), (-5.0, 12.0), (0.0, 0.0)] {
-            close(&hypot(&bf(x), &bf(y), P), x.hypot(y), &format!("hypot({x},{y})"));
+            close(
+                &hypot(&bf(x), &bf(y), P),
+                x.hypot(y),
+                &format!("hypot({x},{y})"),
+            );
         }
         for (x, y) in [(7.5, 2.0), (-7.5, 2.0), (1e10, 3.0), (5.0, 0.7)] {
             close(&fmod(&bf(x), &bf(y), P), x % y, &format!("fmod({x},{y})"));

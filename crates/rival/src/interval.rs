@@ -285,11 +285,7 @@ impl Interval {
     }
 
     /// Applies a monotonically increasing function to both endpoints and widens.
-    fn monotone_increasing(
-        &self,
-        f: impl Fn(&BigFloat, u32) -> BigFloat,
-        prec: u32,
-    ) -> IResult {
+    fn monotone_increasing(&self, f: impl Fn(&BigFloat, u32) -> BigFloat, prec: u32) -> IResult {
         if self.has_nan() {
             return Err(IntervalError::Unbounded);
         }
@@ -728,7 +724,9 @@ impl Interval {
         if definitely_disjoint {
             return BoolInterval::certain(false);
         }
-        if self.is_point() && other.is_point() && self.lo.partial_cmp(&other.lo) == Some(Ordering::Equal)
+        if self.is_point()
+            && other.is_point()
+            && self.lo.partial_cmp(&other.lo) == Some(Ordering::Equal)
         {
             return BoolInterval::certain(true);
         }
@@ -943,9 +941,6 @@ mod tests {
         assert_eq!(pt(-2.0).pow(&pt(0.5), P), Err(IntervalError::Domain));
         assert!(contains(&pt(3.0).hypot(&pt(4.0), P).unwrap(), 5.0));
         assert!(contains(&pt(7.5).fmod(&pt(2.0), P).unwrap(), 1.5));
-        assert!(contains(
-            &pt(2.0).fma(&pt(3.0), &pt(1.0), P).unwrap(),
-            7.0
-        ));
+        assert!(contains(&pt(2.0).fma(&pt(3.0), &pt(1.0), P).unwrap(), 7.0));
     }
 }

@@ -32,7 +32,9 @@ mod tests {
     fn has_exactly_the_basic_operators() {
         let t = target();
         assert_eq!(t.operators.len(), 7);
-        for name in ["+.f64", "-.f64", "*.f64", "/.f64", "sqrt.f64", "fabs.f64", "neg.f64"] {
+        for name in [
+            "+.f64", "-.f64", "*.f64", "/.f64", "sqrt.f64", "fabs.f64", "neg.f64",
+        ] {
             assert!(t.find_operator(name).is_some(), "missing {name}");
         }
         assert!(t.find_operator("fma.f64").is_none());

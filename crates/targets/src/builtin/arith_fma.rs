@@ -10,13 +10,10 @@ use fpcore::FpType::Binary64;
 
 /// Builds the Arith+FMA target description.
 pub fn target() -> Target {
-    let mut t = Target::new(
-        "arith-fma",
-        "Binary64 arithmetic plus fused multiply-add",
-    )
-    .with_if_style(crate::target::IfCostStyle::Scalar, 1.0)
-    .with_leaf_costs(0.5, 0.5)
-    .with_cost_source("auto-tune");
+    let mut t = Target::new("arith-fma", "Binary64 arithmetic plus fused multiply-add")
+        .with_if_style(crate::target::IfCostStyle::Scalar, 1.0)
+        .with_leaf_costs(0.5, 0.5)
+        .with_cost_source("auto-tune");
     t.import(&arith::target());
     t.add_operator(Operator::emulated(
         "fma.f64",

@@ -114,8 +114,20 @@ pub fn target() -> Target {
         rsqrt,
     ));
     // Precision conversions (cvtps2pd / cvtpd2ps).
-    ops.push(Operator::emulated("cast64.f32", &[Binary32], Binary64, "a0", 2.0));
-    ops.push(Operator::emulated("cast32.f64", &[Binary64], Binary32, "a0", 2.0));
+    ops.push(Operator::emulated(
+        "cast64.f32",
+        &[Binary32],
+        Binary64,
+        "a0",
+        2.0,
+    ));
+    ops.push(Operator::emulated(
+        "cast32.f64",
+        &[Binary64],
+        Binary32,
+        "a0",
+        2.0,
+    ));
 
     Target::new(
         "avx",
@@ -134,10 +146,19 @@ mod tests {
     #[test]
     fn offers_fma_variants_and_no_negation() {
         let t = target();
-        for name in ["fmadd.f64", "fmsub.f64", "fnmadd.f64", "fnmsub.f64", "fmadd.f32"] {
+        for name in [
+            "fmadd.f64",
+            "fmsub.f64",
+            "fnmadd.f64",
+            "fnmsub.f64",
+            "fmadd.f32",
+        ] {
             assert!(t.find_operator(name).is_some(), "missing {name}");
         }
-        assert!(t.find_operator("neg.f64").is_none(), "AVX has no negation instruction");
+        assert!(
+            t.find_operator("neg.f64").is_none(),
+            "AVX has no negation instruction"
+        );
         assert!(t.find_operator("neg.f32").is_none());
         assert!(t.find_operator("exp.f64").is_none());
     }
@@ -146,7 +167,8 @@ mod tests {
     fn fma_variant_signs_are_correct() {
         let t = target();
         let go = |name: &str, a: f64, b: f64, c: f64| {
-            t.operator(t.find_operator(name).unwrap()).execute(&[a, b, c])
+            t.operator(t.find_operator(name).unwrap())
+                .execute(&[a, b, c])
         };
         assert_eq!(go("fmadd.f64", 2.0, 3.0, 4.0), 10.0);
         assert_eq!(go("fmsub.f64", 2.0, 3.0, 4.0), 2.0);
@@ -161,7 +183,10 @@ mod tests {
         let div_id = t.find_operator("/.f32").unwrap();
         let rcp_op = t.operator(rcp_id);
         let div_op = t.operator(div_id);
-        assert!(rcp_op.cost < div_op.cost, "rcp must be cheaper than division");
+        assert!(
+            rcp_op.cost < div_op.cost,
+            "rcp must be cheaper than division"
+        );
         let approx = rcp_op.execute(&[7.0]);
         let exact = div_op.execute(&[1.0, 7.0]);
         let rel = ((approx - exact) / exact).abs();

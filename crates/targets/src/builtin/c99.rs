@@ -88,8 +88,20 @@ pub fn target() -> Target {
     ops.extend(libm64);
     ops.extend(libm32);
     // Precision conversions are free-ish in C (a register move).
-    ops.push(Operator::emulated("cast64.f32", &[Binary32], Binary64, "a0", 1.0));
-    ops.push(Operator::emulated("cast32.f64", &[Binary64], Binary32, "a0", 1.0));
+    ops.push(Operator::emulated(
+        "cast64.f32",
+        &[Binary32],
+        Binary64,
+        "a0",
+        1.0,
+    ));
+    ops.push(Operator::emulated(
+        "cast32.f64",
+        &[Binary64],
+        Binary32,
+        "a0",
+        1.0,
+    ));
 
     Target::new(
         "c99",
@@ -108,7 +120,14 @@ mod tests {
     #[test]
     fn has_both_precisions_and_full_libm() {
         let t = target();
-        for name in ["exp.f64", "exp.f32", "log1p.f64", "hypot.f64", "fma.f64", "pow.f32"] {
+        for name in [
+            "exp.f64",
+            "exp.f32",
+            "log1p.f64",
+            "hypot.f64",
+            "fma.f64",
+            "pow.f32",
+        ] {
             assert!(t.find_operator(name).is_some(), "missing {name}");
         }
         let (linked, emulated) = t.linked_emulated_counts();

@@ -118,7 +118,13 @@ pub(crate) fn libm_ops(ty: FpType, base: f64, scale: f64, include_fma: bool) -> 
         Operator::emulated(&format!("fmax.{s}"), &bb, ty, "(fmax a0 a1)", c(2.0)),
         Operator::emulated(&format!("fmod.{s}"), &bb, ty, "(fmod a0 a1)", c(20.0)),
         Operator::emulated(&format!("fdim.{s}"), &bb, ty, "(fdim a0 a1)", c(3.0)),
-        Operator::emulated(&format!("copysign.{s}"), &bb, ty, "(copysign a0 a1)", c(2.0)),
+        Operator::emulated(
+            &format!("copysign.{s}"),
+            &bb,
+            ty,
+            "(copysign a0 a1)",
+            c(2.0),
+        ),
         Operator::emulated(&format!("floor.{s}"), &b, ty, "(floor a0)", c(2.0)),
         Operator::emulated(&format!("ceil.{s}"), &b, ty, "(ceil a0)", c(2.0)),
         Operator::emulated(&format!("round.{s}"), &b, ty, "(round a0)", c(3.0)),
@@ -148,10 +154,24 @@ mod tests {
         let names: Vec<&str> = targets.iter().map(|t| t.name.as_str()).collect();
         assert_eq!(
             names,
-            vec!["arith", "arith-fma", "avx", "c99", "python", "julia", "numpy", "vdt", "fdlibm"]
+            vec![
+                "arith",
+                "arith-fma",
+                "avx",
+                "c99",
+                "python",
+                "julia",
+                "numpy",
+                "vdt",
+                "fdlibm"
+            ]
         );
         for t in &targets {
-            assert!(!t.operators.is_empty(), "target {} has no operators", t.name);
+            assert!(
+                !t.operators.is_empty(),
+                "target {} has no operators",
+                t.name
+            );
             assert!(!t.description.is_empty());
         }
     }
@@ -197,7 +217,9 @@ mod tests {
         for name in ["arith", "arith-fma", "avx"] {
             let t = by_name(name).unwrap();
             assert!(
-                t.operators.iter().all(|o| !o.name.starts_with("exp.") && !o.name.starts_with("sin.")),
+                t.operators
+                    .iter()
+                    .all(|o| !o.name.starts_with("exp.") && !o.name.starts_with("sin.")),
                 "{name} must not offer transcendental functions"
             );
         }
@@ -222,7 +244,10 @@ mod tests {
 
     #[test]
     fn python_lacks_fma_but_julia_has_it() {
-        assert!(by_name("python").unwrap().find_operator("fma.f64").is_none());
+        assert!(by_name("python")
+            .unwrap()
+            .find_operator("fma.f64")
+            .is_none());
         assert!(by_name("julia").unwrap().find_operator("fma.f64").is_some());
     }
 
@@ -246,7 +271,12 @@ mod tests {
     fn every_operator_cost_is_positive() {
         for t in all_targets() {
             for op in &t.operators {
-                assert!(op.cost > 0.0, "operator {} of {} has non-positive cost", op.name, t.name);
+                assert!(
+                    op.cost > 0.0,
+                    "operator {} of {} has non-positive cost",
+                    op.name,
+                    t.name
+                );
             }
         }
     }

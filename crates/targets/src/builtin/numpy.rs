@@ -26,7 +26,13 @@ pub fn target() -> Target {
     ops.extend(libm_ops(Binary64, UFUNC_OVERHEAD, 0.3, false));
     // numpy-specific elementwise helpers from routines.math.
     ops.extend(vec![
-        Operator::emulated("square.f64", &b, Binary64, "(* a0 a0)", UFUNC_OVERHEAD + 1.0),
+        Operator::emulated(
+            "square.f64",
+            &b,
+            Binary64,
+            "(* a0 a0)",
+            UFUNC_OVERHEAD + 1.0,
+        ),
         Operator::emulated(
             "reciprocal.f64",
             &b,
@@ -75,7 +81,12 @@ mod tests {
     fn vector_conditionals_and_helpers() {
         let t = target();
         assert_eq!(t.if_cost_style, IfCostStyle::Vector);
-        for name in ["square.f64", "reciprocal.f64", "deg2rad.f64", "logaddexp.f64"] {
+        for name in [
+            "square.f64",
+            "reciprocal.f64",
+            "deg2rad.f64",
+            "logaddexp.f64",
+        ] {
             assert!(t.find_operator(name).is_some(), "missing {name}");
         }
         assert!(t.find_operator("fma.f64").is_none());

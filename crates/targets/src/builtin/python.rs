@@ -53,6 +53,10 @@ mod tests {
         let add = t.operator(t.find_operator("+.f64").unwrap()).cost;
         let sin = t.operator(t.find_operator("sin.f64").unwrap()).cost;
         // In C the ratio is ~45x; in Python the interpreter overhead keeps it small.
-        assert!(sin / add < 2.0, "Python costs should be flat (got ratio {})", sin / add);
+        assert!(
+            sin / add < 2.0,
+            "Python costs should be flat (got ratio {})",
+            sin / add
+        );
     }
 }

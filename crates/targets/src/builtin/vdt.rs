@@ -81,16 +81,51 @@ pub fn target() -> Target {
         Operator::native("fast_sin.f64", &b64, Binary64, "(sin a0)", 18.0, fast_sin),
         Operator::native("fast_cos.f64", &b64, Binary64, "(cos a0)", 18.0, fast_cos),
         Operator::native("fast_tan.f64", &b64, Binary64, "(tan a0)", 22.0, fast_tan),
-        Operator::native("fast_asin.f64", &b64, Binary64, "(asin a0)", 20.0, fast_asin),
-        Operator::native("fast_acos.f64", &b64, Binary64, "(acos a0)", 20.0, fast_acos),
-        Operator::native("fast_atan.f64", &b64, Binary64, "(atan a0)", 22.0, fast_atan),
-        Operator::native("fast_tanh.f64", &b64, Binary64, "(tanh a0)", 22.0, fast_tanh),
+        Operator::native(
+            "fast_asin.f64",
+            &b64,
+            Binary64,
+            "(asin a0)",
+            20.0,
+            fast_asin,
+        ),
+        Operator::native(
+            "fast_acos.f64",
+            &b64,
+            Binary64,
+            "(acos a0)",
+            20.0,
+            fast_acos,
+        ),
+        Operator::native(
+            "fast_atan.f64",
+            &b64,
+            Binary64,
+            "(atan a0)",
+            22.0,
+            fast_atan,
+        ),
+        Operator::native(
+            "fast_tanh.f64",
+            &b64,
+            Binary64,
+            "(tanh a0)",
+            22.0,
+            fast_tanh,
+        ),
         Operator::native("fast_expf.f32", &b32, Binary32, "(exp a0)", 10.0, fast_expf),
         Operator::native("fast_logf.f32", &b32, Binary32, "(log a0)", 9.0, fast_logf),
         Operator::native("fast_sinf.f32", &b32, Binary32, "(sin a0)", 11.0, fast_sinf),
         Operator::native("fast_cosf.f32", &b32, Binary32, "(cos a0)", 11.0, fast_cosf),
         Operator::native("fast_tanf.f32", &b32, Binary32, "(tan a0)", 13.0, fast_tanf),
-        Operator::native("fast_atanf.f32", &b32, Binary32, "(atan a0)", 13.0, fast_atanf),
+        Operator::native(
+            "fast_atanf.f32",
+            &b32,
+            Binary32,
+            "(atan a0)",
+            13.0,
+            fast_atanf,
+        ),
         Operator::native(
             "fast_isqrt.f64",
             &b64,
@@ -129,7 +164,10 @@ mod tests {
         ] {
             let f = t.operator(t.find_operator(fast).unwrap()).cost;
             let a = t.operator(t.find_operator(accurate).unwrap()).cost;
-            assert!(f < a, "{fast} ({f}) should be cheaper than {accurate} ({a})");
+            assert!(
+                f < a,
+                "{fast} ({f}) should be cheaper than {accurate} ({a})"
+            );
         }
     }
 
@@ -155,7 +193,10 @@ mod tests {
         let truth = 1.0 / x.sqrt();
         let e_fast = (fast.execute(&[x]) - truth).abs();
         let e_approx = (approx.execute(&[x]) - truth).abs();
-        assert!(e_approx >= e_fast, "the cheaper variant is no more accurate");
+        assert!(
+            e_approx >= e_fast,
+            "the cheaper variant is no more accurate"
+        );
     }
 
     #[test]

@@ -14,8 +14,7 @@ pub fn program_cost(target: &Target, expr: &FloatExpr) -> f64 {
         FloatExpr::Num(_, _) => target.literal_cost,
         FloatExpr::Var(_, _) => target.variable_cost,
         FloatExpr::Op(id, args) => {
-            target.operator(*id).cost
-                + args.iter().map(|a| program_cost(target, a)).sum::<f64>()
+            target.operator(*id).cost + args.iter().map(|a| program_cost(target, a)).sum::<f64>()
         }
         FloatExpr::Cmp(_, a, b) => {
             // Comparisons are charged like a cheap arithmetic operation.
@@ -62,8 +61,14 @@ mod tests {
                 Box::new(x.clone()),
                 Box::new(FloatExpr::literal(0.0, Binary64)),
             )),
-            Box::new(FloatExpr::Op(add, vec![x.clone(), FloatExpr::literal(1.0, Binary64)])),
-            Box::new(FloatExpr::Op(div, vec![FloatExpr::literal(1.0, Binary64), x])),
+            Box::new(FloatExpr::Op(
+                add,
+                vec![x.clone(), FloatExpr::literal(1.0, Binary64)],
+            )),
+            Box::new(FloatExpr::Op(
+                div,
+                vec![FloatExpr::literal(1.0, Binary64), x],
+            )),
         )
     }
 

@@ -10,31 +10,77 @@
 use crate::expr::FloatExpr;
 use crate::operator::round_to_type;
 use crate::target::Target;
+use fpcore::eval::Bindings;
 use fpcore::{RealOp, Symbol};
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
+/// A borrowed environment of parallel slices: `vars[i]` is bound to `vals[i]`.
+///
+/// Implements [`Bindings`], the shared environment abstraction also used by the
+/// `fpcore` evaluator. The accuracy hot loop uses this instead of a per-point
+/// `HashMap`: lookup is a linear scan, which beats hashing for the handful of
+/// variables real expressions have, allocates nothing, and is trivially `Sync`.
+#[derive(Clone, Copy, Debug)]
+pub struct SliceEnv<'a> {
+    vars: &'a [Symbol],
+    vals: &'a [f64],
+}
+
+impl<'a> SliceEnv<'a> {
+    /// Pairs `vars` with `vals` positionally (extra entries on either side are
+    /// ignored, matching `zip` semantics).
+    pub fn new(vars: &'a [Symbol], vals: &'a [f64]) -> SliceEnv<'a> {
+        SliceEnv { vars, vals }
+    }
+}
+
+impl Bindings for SliceEnv<'_> {
+    fn value_of(&self, var: Symbol) -> Option<f64> {
+        self.vars
+            .iter()
+            .position(|v| *v == var)
+            .and_then(|i| self.vals.get(i).copied())
+    }
+}
+
 /// Evaluates a program at a point. Variables are looked up in `env`; missing
 /// variables evaluate to NaN.
 pub fn eval_float_expr(target: &Target, expr: &FloatExpr, env: &HashMap<Symbol, f64>) -> f64 {
+    eval_float_expr_in(target, expr, env)
+}
+
+/// Evaluates a program against a point given as a value slice parallel to
+/// `vars` — the `Sync`-friendly entry point used by the accuracy hot loop.
+pub fn eval_float_expr_indexed(
+    target: &Target,
+    expr: &FloatExpr,
+    vars: &[Symbol],
+    vals: &[f64],
+) -> f64 {
+    eval_float_expr_in(target, expr, &SliceEnv::new(vars, vals))
+}
+
+/// Evaluates a program against any [`Bindings`] implementation.
+pub fn eval_float_expr_in<E: Bindings + ?Sized>(target: &Target, expr: &FloatExpr, env: &E) -> f64 {
     match expr {
         FloatExpr::Num(v, _) => *v,
-        FloatExpr::Var(v, ty) => round_to_type(env.get(v).copied().unwrap_or(f64::NAN), *ty),
+        FloatExpr::Var(v, ty) => round_to_type(env.value_of(*v).unwrap_or(f64::NAN), *ty),
         FloatExpr::Op(id, args) => {
             let op = target.operator(*id);
             let vals: Vec<f64> = args
                 .iter()
                 .enumerate()
                 .map(|(i, a)| {
-                    let raw = eval_float_expr(target, a, env);
+                    let raw = eval_float_expr_in(target, a, env);
                     round_to_type(raw, op.arg_types[i])
                 })
                 .collect();
             op.execute(&vals)
         }
         FloatExpr::Cmp(op, a, b) => {
-            let lhs = eval_float_expr(target, a, env);
-            let rhs = eval_float_expr(target, b, env);
+            let lhs = eval_float_expr_in(target, a, env);
+            let rhs = eval_float_expr_in(target, b, env);
             let result = match op {
                 RealOp::Lt => lhs < rhs,
                 RealOp::Gt => lhs > rhs,
@@ -51,32 +97,25 @@ pub fn eval_float_expr(target: &Target, expr: &FloatExpr, env: &HashMap<Symbol, 
             }
         }
         FloatExpr::If(c, t, e) => {
-            if eval_float_expr(target, c, env) != 0.0 {
-                eval_float_expr(target, t, env)
+            if eval_float_expr_in(target, c, env) != 0.0 {
+                eval_float_expr_in(target, t, env)
             } else {
-                eval_float_expr(target, e, env)
+                eval_float_expr_in(target, e, env)
             }
         }
     }
 }
 
-/// Evaluates a program over many points, reusing a single environment allocation.
+/// Evaluates a program over many points without building per-point environments.
 pub fn eval_batch(
     target: &Target,
     expr: &FloatExpr,
     vars: &[Symbol],
     points: &[Vec<f64>],
 ) -> Vec<f64> {
-    let mut env: HashMap<Symbol, f64> = HashMap::with_capacity(vars.len());
     points
         .iter()
-        .map(|point| {
-            env.clear();
-            for (v, x) in vars.iter().zip(point) {
-                env.insert(*v, *x);
-            }
-            eval_float_expr(target, expr, &env)
-        })
+        .map(|point| eval_float_expr_indexed(target, expr, vars, point))
         .collect()
 }
 

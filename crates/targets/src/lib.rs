@@ -29,6 +29,10 @@ pub mod target;
 
 pub use costmodel::program_cost;
 pub use expr::FloatExpr;
-pub use interp::{eval_float_expr, measure_runtime};
+pub use fpcore::eval::Bindings;
+pub use interp::{
+    eval_batch, eval_float_expr, eval_float_expr_in, eval_float_expr_indexed, measure_runtime,
+    SliceEnv,
+};
 pub use operator::{Impl, OpId, Operator};
 pub use target::{IfCostStyle, Target};

@@ -20,8 +20,32 @@ impl OpId {
 }
 
 /// The positional argument symbol used in desugarings: `a0`, `a1`, `a2`, ...
+///
+/// The first few symbols are interned once and cached: this function runs for
+/// every argument of every emulated operator the interpreter executes, and
+/// formatting plus an interner-mutex round trip per call dominated operator
+/// execution itself.
 pub fn arg_symbol(i: usize) -> Symbol {
-    Symbol::new(&format!("a{i}"))
+    const CACHED: usize = 8;
+    static FIRST: std::sync::OnceLock<[Symbol; CACHED]> = std::sync::OnceLock::new();
+    let first = FIRST.get_or_init(|| std::array::from_fn(|k| Symbol::new(&format!("a{k}"))));
+    if i < CACHED {
+        first[i]
+    } else {
+        Symbol::new(&format!("a{i}"))
+    }
+}
+
+/// Zero-allocation [`Bindings`](fpcore::eval::Bindings) view binding `a0..aN`
+/// positionally to an argument slice.
+struct ArgBindings<'a>(&'a [f64]);
+
+impl fpcore::eval::Bindings for ArgBindings<'_> {
+    fn value_of(&self, var: Symbol) -> Option<f64> {
+        (0..self.0.len())
+            .find(|&i| arg_symbol(i) == var)
+            .map(|i| self.0[i])
+    }
 }
 
 /// How an operator is executed on concrete inputs.
@@ -127,15 +151,15 @@ impl Operator {
     ///
     /// Panics if the argument count does not match the operator's arity.
     pub fn execute(&self, args: &[f64]) -> f64 {
-        assert_eq!(args.len(), self.arity(), "arity mismatch calling {}", self.name);
+        assert_eq!(
+            args.len(),
+            self.arity(),
+            "arity mismatch calling {}",
+            self.name
+        );
         let raw = match self.implementation {
             Impl::Native(f) => f(args),
-            Impl::Emulated => {
-                let env: fpcore::eval::Env = (0..args.len())
-                    .map(|i| (arg_symbol(i), args[i]))
-                    .collect();
-                fpcore::eval::eval_f64(&self.desugaring, &env)
-            }
+            Impl::Emulated => fpcore::eval::eval_f64_in(&self.desugaring, &ArgBindings(args)),
         };
         round_to_type(raw, self.ret_type)
     }
@@ -208,7 +232,11 @@ mod tests {
         assert!(op.is_linked());
         let approx = op.execute(&[3.0]);
         assert!((approx - 1.0 / 3.0).abs() < 1e-3);
-        assert_ne!(approx, (1.0f32 / 3.0f32) as f64, "rcp is deliberately inexact");
+        assert_ne!(
+            approx,
+            (1.0f32 / 3.0f32) as f64,
+            "rcp is deliberately inexact"
+        );
     }
 
     #[test]
@@ -251,7 +279,13 @@ mod tests {
     #[test]
     #[should_panic(expected = "arity mismatch")]
     fn execute_checks_arity() {
-        let op = Operator::emulated("neg.f64", &[FpType::Binary64], FpType::Binary64, "(- a0)", 1.0);
+        let op = Operator::emulated(
+            "neg.f64",
+            &[FpType::Binary64],
+            FpType::Binary64,
+            "(- a0)",
+            1.0,
+        );
         op.execute(&[1.0, 2.0]);
     }
 }

@@ -200,7 +200,8 @@ mod tests {
         fancy.import(&tiny_target());
         assert_eq!(fancy.operators.len(), 3);
         // Override division with a cheaper one and add a new operator.
-        let cheaper = Operator::emulated("/.f64", &[Binary64, Binary64], Binary64, "(/ a0 a1)", 2.0);
+        let cheaper =
+            Operator::emulated("/.f64", &[Binary64, Binary64], Binary64, "(/ a0 a1)", 2.0);
         let mut patch = Target::new("patch", "");
         patch.add_operator(cheaper);
         patch.add_operator(Operator::emulated(
@@ -212,7 +213,10 @@ mod tests {
         ));
         fancy.import(&patch);
         assert_eq!(fancy.operators.len(), 4);
-        assert_eq!(fancy.operator(fancy.find_operator("/.f64").unwrap()).cost, 2.0);
+        assert_eq!(
+            fancy.operator(fancy.find_operator("/.f64").unwrap()).cost,
+            2.0
+        );
     }
 
     #[test]

@@ -33,9 +33,22 @@ fn build_dsp_target() -> Target {
         Operator::emulated("+.f32", &[Binary32, Binary32], Binary32, "(+ a0 a1)", 1.0),
         Operator::emulated("-.f32", &[Binary32, Binary32], Binary32, "(- a0 a1)", 1.0),
         Operator::emulated("*.f32", &[Binary32, Binary32], Binary32, "(* a0 a1)", 1.0),
-        Operator::emulated("fma.f32", &[Binary32, Binary32, Binary32], Binary32, "(fma a0 a1 a2)", 1.0),
+        Operator::emulated(
+            "fma.f32",
+            &[Binary32, Binary32, Binary32],
+            Binary32,
+            "(fma a0 a1 a2)",
+            1.0,
+        ),
         Operator::emulated("sqrt.f32", &[Binary32], Binary32, "(sqrt a0)", 6.0),
-        Operator::native("rcp.f32", &[Binary32], Binary32, "(/ 1 a0)", 2.0, approximate_reciprocal),
+        Operator::native(
+            "rcp.f32",
+            &[Binary32],
+            Binary32,
+            "(/ 1 a0)",
+            2.0,
+            approximate_reciprocal,
+        ),
     ])
 }
 

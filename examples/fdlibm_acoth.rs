@@ -19,7 +19,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     for target_name in ["c99", "fdlibm"] {
         let target = builtin::by_name(target_name).expect("built-in target");
-        let result = Chassis::new(target).with_config(Config::fast()).compile(&core)?;
+        let result = Chassis::new(target)
+            .with_config(Config::fast())
+            .compile(&core)?;
         println!("=== target {target_name} ===");
         for imp in &result.implementations {
             println!(

@@ -20,7 +20,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                (* (* b b) (* (cos (* (/ PI 180) theta)) (cos (* (/ PI 180) theta))))))",
     )?;
     let target = builtin::by_name("julia").expect("Julia target");
-    let result = Chassis::new(target).with_config(Config::fast()).compile(&core)?;
+    let result = Chassis::new(target)
+        .with_config(Config::fast())
+        .compile(&core)?;
 
     println!("input: {core}\n");
     println!(
@@ -34,7 +36,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
     for helper in ["sind.f64", "cosd.f64", "deg2rad.f64", "abs2.f64"] {
-        let used = result.implementations.iter().any(|i| i.rendered.contains(helper));
+        let used = result
+            .implementations
+            .iter()
+            .any(|i| i.rendered.contains(helper));
         println!("uses {helper:<12}: {used}");
     }
     Ok(())

@@ -17,7 +17,10 @@ fn main() {
 
     for target in builtin::all_targets() {
         print!("\n=== {} ===\n", target.name);
-        match Chassis::new(target.clone()).with_config(Config::fast()).compile(&core) {
+        match Chassis::new(target.clone())
+            .with_config(Config::fast())
+            .compile(&core)
+        {
             Err(e) => println!("  not compilable: {e}"),
             Ok(result) => {
                 for imp in &result.implementations {
@@ -26,7 +29,10 @@ fn main() {
                         imp.cost, imp.accuracy_bits, imp.rendered
                     );
                 }
-                println!("  best speedup over direct lowering: {:.2}x", result.best_speedup());
+                println!(
+                    "  best speedup over direct lowering: {:.2}x",
+                    result.best_speedup()
+                );
             }
         }
     }

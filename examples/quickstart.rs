@@ -28,7 +28,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "initial      : cost {:7.1}   accuracy {:5.1} bits   {}",
         result.initial.cost, result.initial.accuracy_bits, result.initial.rendered
     );
-    println!("pareto frontier ({} implementations):", result.implementations.len());
+    println!(
+        "pareto frontier ({} implementations):",
+        result.implementations.len()
+    );
     for imp in &result.implementations {
         println!(
             "  cost {:7.1}   accuracy {:5.1} bits   {}",

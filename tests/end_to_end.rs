@@ -65,7 +65,10 @@ fn chassis_beats_herbie_transcription_on_the_vdt_target() {
         .filter_map(|imp| transcribe(&imp.expr, herbie.target(), &target, core.precision))
         .map(|prog| program_cost(&target, &prog))
         .collect();
-    assert!(!herbie_costs.is_empty(), "herbie output must be portable to vdt");
+    assert!(
+        !herbie_costs.is_empty(),
+        "herbie output must be portable to vdt"
+    );
     let herbie_cheapest = herbie_costs.iter().cloned().fold(f64::INFINITY, f64::min);
     let chassis_cheapest = chassis_result.cheapest().cost;
     assert!(
@@ -131,10 +134,9 @@ fn avx_target_lacks_transcendentals_but_compiles_rational_kernels() {
 
 #[test]
 fn every_target_compiles_a_simple_polynomial() {
-    let core = parse_fpcore(
-        "(FPCore (x) :pre (and (> x -100) (< x 100)) (+ (* x (* x x)) (* 3 x)))",
-    )
-    .unwrap();
+    let core =
+        parse_fpcore("(FPCore (x) :pre (and (> x -100) (< x 100)) (+ (* x (* x x)) (* 3 x)))")
+            .unwrap();
     for target in builtin::all_targets() {
         let result = Chassis::new(target.clone())
             .with_config(fast())

@@ -6,77 +6,122 @@
 //!   which is Chassis' central correctness property,
 //! * ULP distance behaves like a metric on floats,
 //! * the Pareto frontier never keeps a dominated point.
+//!
+//! Cases are generated from the workspace's own deterministic RNG
+//! ([`chassis::rng::Rng`]) rather than proptest (unavailable offline), so every
+//! run exercises the same cases and failures reproduce exactly.
 
 use chassis::pareto::ParetoFrontier;
+use chassis::rng::Rng;
 use chassis::{Chassis, Config};
 use fpcore::eval::{env_from, eval_f64};
 use fpcore::{Expr, FpType, RealOp, Symbol};
-use proptest::prelude::*;
 use rival::{ground_truth, GroundTruth};
 use std::collections::HashMap;
 use targets::{builtin, eval_float_expr};
 
-/// A generator of small, well-conditioned arithmetic expressions over `x` and `y`.
-fn arb_expr() -> impl Strategy<Value = Expr> {
-    let leaf = prop_oneof![
-        Just(Expr::var("x")),
-        Just(Expr::var("y")),
-        (1i64..20).prop_map(|n| Expr::int(n as i128)),
-    ];
-    leaf.prop_recursive(3, 24, 2, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::bin(RealOp::Add, a, b)),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::bin(RealOp::Sub, a, b)),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::bin(RealOp::Mul, a, b)),
-            inner.clone().prop_map(|a| Expr::un(RealOp::Fabs, a)),
-            inner.clone().prop_map(|a| Expr::un(RealOp::Neg, a)),
-            inner
-                .clone()
-                .prop_map(|a| Expr::un(RealOp::Sqrt, Expr::un(RealOp::Fabs, a))),
-        ]
-    })
+/// A small, well-conditioned arithmetic expression over `x` and `y`.
+fn arb_expr(rng: &mut Rng, depth: usize) -> Expr {
+    if depth == 0 || rng.below(3) == 0 {
+        match rng.below(3) {
+            0 => Expr::var("x"),
+            1 => Expr::var("y"),
+            _ => Expr::int(1 + rng.below(19) as i128),
+        }
+    } else {
+        match rng.below(6) {
+            0 => Expr::bin(
+                RealOp::Add,
+                arb_expr(rng, depth - 1),
+                arb_expr(rng, depth - 1),
+            ),
+            1 => Expr::bin(
+                RealOp::Sub,
+                arb_expr(rng, depth - 1),
+                arb_expr(rng, depth - 1),
+            ),
+            2 => Expr::bin(
+                RealOp::Mul,
+                arb_expr(rng, depth - 1),
+                arb_expr(rng, depth - 1),
+            ),
+            3 => Expr::un(RealOp::Fabs, arb_expr(rng, depth - 1)),
+            4 => Expr::un(RealOp::Neg, arb_expr(rng, depth - 1)),
+            _ => Expr::un(
+                RealOp::Sqrt,
+                Expr::un(RealOp::Fabs, arb_expr(rng, depth - 1)),
+            ),
+        }
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 24, .. ProptestConfig::default() })]
+/// A finite, normal (non-subnormal) f64 of either sign.
+fn arb_normal(rng: &mut Rng) -> f64 {
+    loop {
+        let v = f64::from_bits(rng.next_u64());
+        if v.is_normal() {
+            return v;
+        }
+    }
+}
 
-    /// Ground truth and plain f64 evaluation agree to high relative accuracy on
-    /// small integer-valued inputs (where f64 rounding error stays tiny).
-    #[test]
-    fn ground_truth_matches_f64_on_benign_inputs(expr in arb_expr(), x in 1.0f64..8.0, y in 1.0f64..8.0) {
+/// Ground truth and plain f64 evaluation agree to high relative accuracy on
+/// small integer-valued inputs (where f64 rounding error stays tiny).
+#[test]
+fn ground_truth_matches_f64_on_benign_inputs() {
+    let mut rng = Rng::new(0xC0FFEE);
+    for _ in 0..24 {
+        let expr = arb_expr(&mut rng, 3);
         let vars = [Symbol::new("x"), Symbol::new("y")];
-        let values = [x.round(), y.round()];
+        let values = [
+            rng.range_f64(1.0, 8.0).round(),
+            rng.range_f64(1.0, 8.0).round(),
+        ];
         let env = env_from(&vars, &values);
         let direct = eval_f64(&expr, &env);
         let pairs: Vec<(Symbol, f64)> = vars.iter().copied().zip(values).collect();
         match ground_truth(&expr, &pairs, FpType::Binary64) {
             GroundTruth::Value(truth) => {
                 let tol = 1e-9 * truth.abs().max(1.0);
-                prop_assert!((truth - direct).abs() <= tol,
-                    "truth {truth} vs f64 {direct} for {expr}");
+                assert!(
+                    (truth - direct).abs() <= tol,
+                    "truth {truth} vs f64 {direct} for {expr}"
+                );
             }
-            GroundTruth::Nan => prop_assert!(direct.is_nan() || direct.is_infinite()),
+            GroundTruth::Nan => assert!(direct.is_nan() || direct.is_infinite()),
             GroundTruth::Unsamplable => {}
         }
     }
+}
 
-    /// ULP distance is symmetric, zero only on equality, and monotone in the
-    /// ordered-float sense.
-    #[test]
-    fn ulp_distance_is_a_metric(a in proptest::num::f64::NORMAL, b in proptest::num::f64::NORMAL) {
-        use chassis::accuracy::ulps_between;
+/// ULP distance is symmetric, zero only on equality, and positive on
+/// inequality.
+#[test]
+fn ulp_distance_is_a_metric() {
+    use chassis::accuracy::ulps_between;
+    let mut rng = Rng::new(0xDECAF);
+    for _ in 0..256 {
+        let a = arb_normal(&mut rng);
+        let b = arb_normal(&mut rng);
         let d_ab = ulps_between(a, b, FpType::Binary64);
         let d_ba = ulps_between(b, a, FpType::Binary64);
-        prop_assert_eq!(d_ab, d_ba);
-        prop_assert_eq!(ulps_between(a, a, FpType::Binary64), 0);
+        assert_eq!(d_ab, d_ba, "asymmetric for {a} and {b}");
+        assert_eq!(ulps_between(a, a, FpType::Binary64), 0);
         if a != b {
-            prop_assert!(d_ab > 0);
+            assert!(d_ab > 0, "distinct values {a} and {b} at distance zero");
         }
     }
+}
 
-    /// The Pareto frontier never retains a dominated point.
-    #[test]
-    fn pareto_frontier_has_no_dominated_points(points in proptest::collection::vec((0.0f64..100.0, 0.0f64..100.0), 1..40)) {
+/// The Pareto frontier never retains a dominated point.
+#[test]
+fn pareto_frontier_has_no_dominated_points() {
+    let mut rng = Rng::new(0xFACADE);
+    for _ in 0..24 {
+        let count = 1 + rng.below(39) as usize;
+        let points: Vec<(f64, f64)> = (0..count)
+            .map(|_| (rng.range_f64(0.0, 100.0), rng.range_f64(0.0, 100.0)))
+            .collect();
         let mut frontier = ParetoFrontier::new();
         for (i, (cost, error)) in points.iter().enumerate() {
             frontier.insert(*cost, *error, i);
@@ -86,37 +131,40 @@ proptest! {
             for (j, b) in kept.iter().enumerate() {
                 if i != j {
                     let dominated = b.0 <= a.0 && b.1 <= a.1 && (b.0 < a.0 || b.1 < a.1);
-                    prop_assert!(!dominated, "{a:?} is dominated by {b:?}");
+                    assert!(!dominated, "{a:?} is dominated by {b:?}");
                 }
             }
         }
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 6, .. ProptestConfig::default() })]
-
-    /// Desugaring preservation, the compiler's core guarantee: every program on
-    /// the output Pareto frontier evaluates (in floating point) close to the
-    /// ground-truth value of the *original* real expression, for expressions
-    /// where high accuracy is achievable.
-    #[test]
-    fn compiled_programs_preserve_the_desugaring(x in 2.0f64..50.0) {
-        let core = fpcore::parse_fpcore(
-            "(FPCore (x) :pre (and (> x 1) (< x 100)) (/ (- (* x x) 1) (+ x 1)))",
-        ).unwrap();
-        let target = builtin::by_name("arith-fma").unwrap();
-        let result = Chassis::new(target.clone()).with_config(Config::fast()).compile(&core).unwrap();
+/// Desugaring preservation, the compiler's core guarantee: every program on
+/// the output Pareto frontier evaluates (in floating point) close to the
+/// ground-truth value of the *original* real expression, for expressions
+/// where high accuracy is achievable.
+#[test]
+fn compiled_programs_preserve_the_desugaring() {
+    let core =
+        fpcore::parse_fpcore("(FPCore (x) :pre (and (> x 1) (< x 100)) (/ (- (* x x) 1) (+ x 1)))")
+            .unwrap();
+    let target = builtin::by_name("arith-fma").unwrap();
+    let result = Chassis::new(target.clone())
+        .with_config(Config::fast())
+        .compile(&core)
+        .unwrap();
+    let mut rng = Rng::new(0xBEEF);
+    for _ in 0..6 {
+        let x = rng.range_f64(2.0, 50.0);
         let env_pairs = vec![(Symbol::new("x"), x)];
         let truth = match ground_truth(&core.body, &env_pairs, FpType::Binary64) {
             GroundTruth::Value(v) => v,
-            _ => return Ok(()),
+            _ => continue,
         };
         let env: HashMap<Symbol, f64> = env_pairs.into_iter().collect();
         for imp in &result.implementations {
             let out = eval_float_expr(&target, &imp.expr, &env);
             let rel = ((out - truth) / truth.abs().max(1e-300)).abs();
-            prop_assert!(rel < 1e-6, "{} gives {out}, truth {truth}", imp.rendered);
+            assert!(rel < 1e-6, "{} gives {out}, truth {truth}", imp.rendered);
         }
     }
 }
