@@ -46,7 +46,17 @@ fn bench_interpreter(c: &mut Criterion) {
     let program = lower_fpcore(&core, &target).unwrap();
     let env: HashMap<Symbol, f64> = [(Symbol::new("x"), 0.7)].into_iter().collect();
     c.bench_function("interpret_float_program_vdt", |b| {
-        b.iter(|| std::hint::black_box(targets::eval_float_expr(&target, &program, &env)))
+        b.iter(|| std::hint::black_box(targets::eval_float_expr_in(&target, &program, &env)))
+    });
+    // The compiled counterpart: compile once outside the loop, evaluate per
+    // iteration against a reusable register file.
+    let compiled = targets::compile(&target, &program);
+    let vars = [Symbol::new("x")];
+    let columns = compiled.bind_columns(&vars);
+    let mut regs = compiled.new_regs();
+    let point = [0.7f64];
+    c.bench_function("bytecode_float_program_vdt", |b| {
+        b.iter(|| std::hint::black_box(compiled.eval_point(&columns, &point, &mut regs)))
     });
 }
 

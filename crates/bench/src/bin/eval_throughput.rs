@@ -1,0 +1,325 @@
+//! Throughput comparison of the tree-walk interpreter vs. the bytecode
+//! evaluator, with a bit-identity check — the CI perf gate for the evaluation
+//! hot path.
+//!
+//! For every corpus benchmark × a spread of builtin targets, this binary
+//! lowers the benchmark directly onto the target, generates a deterministic
+//! set of sample points, and
+//!
+//! 1. **asserts bit-identity**: the compiled program must reproduce the
+//!    tree-walk interpreter's output exactly, on every point (exit code 1
+//!    otherwise);
+//! 2. **measures throughput**: best-of-N sweeps over all points for each
+//!    evaluator, reported as points/second;
+//! 3. **records the trajectory**: writes `BENCH_eval.json` so CI can archive
+//!    the numbers run over run;
+//! 4. **gates**: with `--min-speedup X`, exits non-zero when the corpus-wide
+//!    bytecode/tree-walk speedup falls below `X`.
+//!
+//! ```text
+//! cargo run --release -p chassis-bench --bin eval_throughput -- \
+//!     --points 2048 --repeats 5 --min-speedup 1.0 --out BENCH_eval.json
+//! ```
+
+use chassis::lower_fpcore;
+use chassis::rng::Rng;
+use std::time::{Duration, Instant};
+use targets::{builtin, eval_float_expr_indexed, FloatExpr, Target};
+
+/// Targets the sweep covers: an all-emulated target (c99), two with native
+/// approximate operators (vdt, avx), and a minimal arithmetic one (arith-fma).
+const TARGETS: &[&str] = &["c99", "vdt", "avx", "arith-fma"];
+
+/// Fixed RNG seed: the point sets — and therefore the bit-identity check —
+/// are reproducible across runs and machines.
+const SEED: u64 = 0x5EED_E7A1;
+
+struct Options {
+    points: usize,
+    repeats: usize,
+    min_speedup: f64,
+    out: String,
+}
+
+impl Options {
+    /// Strict parsing: this binary *is* a CI gate, so an unknown flag or an
+    /// unparsable value aborts (exit 2) instead of silently falling back to a
+    /// default that could leave the gate disabled.
+    fn from_args() -> Options {
+        let mut options = Options {
+            points: 2048,
+            repeats: 5,
+            min_speedup: 0.0,
+            out: "BENCH_eval.json".to_owned(),
+        };
+        let usage = "usage: eval_throughput [--points N] [--repeats N] \
+                     [--min-speedup X] [--out PATH]";
+        fn value<T: std::str::FromStr>(args: &[String], i: usize, usage: &str) -> T {
+            args.get(i + 1)
+                .and_then(|s| s.parse().ok())
+                .unwrap_or_else(|| {
+                    eprintln!("bad or missing value for {}\n{usage}", args[i]);
+                    std::process::exit(2);
+                })
+        }
+        let args: Vec<String> = std::env::args().collect();
+        let mut i = 1;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--points" => options.points = value(&args, i, usage),
+                "--repeats" => options.repeats = value(&args, i, usage),
+                "--min-speedup" => options.min_speedup = value(&args, i, usage),
+                "--out" => options.out = value(&args, i, usage),
+                other => {
+                    eprintln!("unknown argument {other}\n{usage}");
+                    std::process::exit(2);
+                }
+            }
+            i += 2;
+        }
+        options
+    }
+}
+
+/// One (benchmark, target) measurement.
+struct Case {
+    benchmark: &'static str,
+    target: &'static str,
+    /// Operator-tree nodes in the lowered program.
+    tree_size: usize,
+    /// Instructions in the compiled program (smaller when CSE shared work).
+    instrs: usize,
+    interp_pps: f64,
+    bytecode_pps: f64,
+    interp_best: Duration,
+    bytecode_best: Duration,
+}
+
+impl Case {
+    fn speedup(&self) -> f64 {
+        self.bytecode_pps / self.interp_pps
+    }
+}
+
+/// Deterministic sample points: per variable, a log-uniform magnitude in
+/// `[1e-6, 1e6]` with random sign. Preconditions are irrelevant here — the
+/// two evaluators must agree on *every* input, including ones that produce
+/// NaN — so no filtering is done.
+fn generate_points(rng: &mut Rng, n_vars: usize, n_points: usize) -> Vec<Vec<f64>> {
+    (0..n_points)
+        .map(|_| {
+            (0..n_vars)
+                .map(|_| {
+                    let magnitude = 10f64.powf(rng.range_f64(-6.0, 6.0));
+                    if rng.below(2) == 0 {
+                        magnitude
+                    } else {
+                        -magnitude
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Best-of-N sweep time for one evaluation closure over all points.
+fn best_sweep(repeats: usize, mut sweep: impl FnMut() -> f64) -> Duration {
+    let mut best = Duration::MAX;
+    for _ in 0..repeats.max(1) {
+        let start = Instant::now();
+        std::hint::black_box(sweep());
+        let elapsed = start.elapsed();
+        if elapsed < best {
+            best = elapsed;
+        }
+    }
+    best.max(Duration::from_nanos(1))
+}
+
+fn measure(
+    target: &Target,
+    target_name: &'static str,
+    benchmark: &'static str,
+    expr: &FloatExpr,
+    options: &Options,
+    stream: u64,
+    mismatches: &mut usize,
+) -> Case {
+    let vars = expr.variables();
+    let mut rng = Rng::for_stream(SEED, stream);
+    let points = generate_points(&mut rng, vars.len(), options.points);
+
+    let program = targets::compile(target, expr);
+    let columns = program.bind_columns(&vars);
+    let mut regs = program.new_regs();
+
+    // Bit-identity first: every point, tree walk vs. bytecode.
+    for point in &points {
+        let tree = eval_float_expr_indexed(target, expr, &vars, point);
+        let byte = program.eval_point(&columns, point, &mut regs);
+        if tree.to_bits() != byte.to_bits() {
+            *mismatches += 1;
+            eprintln!(
+                "BIT MISMATCH: {benchmark} on {target_name} at {point:?}: \
+                 tree walk {tree:?} ({:#018x}), bytecode {byte:?} ({:#018x})",
+                tree.to_bits(),
+                byte.to_bits()
+            );
+        }
+    }
+
+    let interp_best = best_sweep(options.repeats, || {
+        let mut sink = 0.0;
+        for point in &points {
+            let v = eval_float_expr_indexed(target, expr, &vars, point);
+            sink += if v.is_finite() { v } else { 0.0 };
+        }
+        sink
+    });
+    let bytecode_best = best_sweep(options.repeats, || {
+        let mut sink = 0.0;
+        for point in &points {
+            let v = program.eval_point(&columns, point, &mut regs);
+            sink += if v.is_finite() { v } else { 0.0 };
+        }
+        sink
+    });
+
+    let pps = |d: Duration| options.points as f64 / d.as_secs_f64();
+    Case {
+        benchmark,
+        target: target_name,
+        tree_size: expr.size(),
+        instrs: program.num_instrs(),
+        interp_pps: pps(interp_best),
+        bytecode_pps: pps(bytecode_best),
+        interp_best,
+        bytecode_best,
+    }
+}
+
+/// Renders the results as JSON (hand-rolled: the workspace has no registry
+/// access, hence no serde).
+fn to_json(options: &Options, cases: &[Case], totals: (f64, f64, f64)) -> String {
+    let (interp_pps, bytecode_pps, speedup) = totals;
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"bench\": \"eval_throughput\",\n");
+    out.push_str("  \"schema_version\": 1,\n");
+    out.push_str(&format!("  \"points_per_case\": {},\n", options.points));
+    out.push_str(&format!("  \"repeats\": {},\n", options.repeats));
+    out.push_str(&format!("  \"seed\": {SEED},\n"));
+    out.push_str("  \"total\": {\n");
+    out.push_str(&format!(
+        "    \"interp_points_per_sec\": {interp_pps:.1},\n"
+    ));
+    out.push_str(&format!(
+        "    \"bytecode_points_per_sec\": {bytecode_pps:.1},\n"
+    ));
+    out.push_str(&format!("    \"speedup\": {speedup:.3}\n"));
+    out.push_str("  },\n");
+    out.push_str("  \"cases\": [\n");
+    for (i, case) in cases.iter().enumerate() {
+        let comma = if i + 1 < cases.len() { "," } else { "" };
+        out.push_str(&format!(
+            "    {{\"benchmark\": \"{}\", \"target\": \"{}\", \"tree_size\": {}, \
+             \"instrs\": {}, \"interp_points_per_sec\": {:.1}, \
+             \"bytecode_points_per_sec\": {:.1}, \"speedup\": {:.3}}}{comma}\n",
+            case.benchmark,
+            case.target,
+            case.tree_size,
+            case.instrs,
+            case.interp_pps,
+            case.bytecode_pps,
+            case.speedup()
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() {
+    let options = Options::from_args();
+    let mut cases: Vec<Case> = Vec::new();
+    let mut mismatches = 0usize;
+    let mut stream = 0u64;
+
+    for target_name in TARGETS {
+        let target = builtin::by_name(target_name).expect("builtin target");
+        for benchmark in benchsuite::all() {
+            stream += 1;
+            let core = benchmark.fpcore();
+            // Benchmarks using operators the target lacks are skipped, like
+            // everywhere else in the harness.
+            let Ok(program) = lower_fpcore(&core, &target) else {
+                continue;
+            };
+            cases.push(measure(
+                &target,
+                target_name,
+                benchmark.name,
+                &program,
+                &options,
+                stream,
+                &mut mismatches,
+            ));
+        }
+    }
+
+    assert!(!cases.is_empty(), "no benchmark lowered onto any target");
+    let interp_secs: f64 = cases.iter().map(|c| c.interp_best.as_secs_f64()).sum();
+    let bytecode_secs: f64 = cases.iter().map(|c| c.bytecode_best.as_secs_f64()).sum();
+    let total_points = (cases.len() * options.points) as f64;
+    let totals = (
+        total_points / interp_secs,
+        total_points / bytecode_secs,
+        interp_secs / bytecode_secs,
+    );
+
+    println!(
+        "eval_throughput: {} cases ({} benchmarks x {} targets reachable), {} points each",
+        cases.len(),
+        benchsuite::all().len(),
+        TARGETS.len(),
+        options.points
+    );
+    for target_name in TARGETS {
+        let subset: Vec<&Case> = cases.iter().filter(|c| c.target == *target_name).collect();
+        if subset.is_empty() {
+            continue;
+        }
+        let interp: f64 = subset.iter().map(|c| c.interp_best.as_secs_f64()).sum();
+        let byte: f64 = subset.iter().map(|c| c.bytecode_best.as_secs_f64()).sum();
+        let pts = (subset.len() * options.points) as f64;
+        println!(
+            "  {target_name:>10}: tree-walk {:>12.0} pts/s | bytecode {:>12.0} pts/s | {:>5.2}x ({} cases)",
+            pts / interp,
+            pts / byte,
+            interp / byte,
+            subset.len()
+        );
+    }
+    println!(
+        "  {:>10}: tree-walk {:>12.0} pts/s | bytecode {:>12.0} pts/s | {:>5.2}x",
+        "TOTAL", totals.0, totals.1, totals.2
+    );
+
+    let json = to_json(&options, &cases, totals);
+    std::fs::write(&options.out, &json)
+        .unwrap_or_else(|e| panic!("cannot write {}: {e}", options.out));
+    println!("wrote {}", options.out);
+
+    if mismatches > 0 {
+        eprintln!("FAIL: {mismatches} point(s) diverged between tree walk and bytecode");
+        std::process::exit(1);
+    }
+    println!("bit-identity: OK (every point, every case)");
+
+    if options.min_speedup > 0.0 && totals.2 < options.min_speedup {
+        eprintln!(
+            "FAIL: corpus-wide speedup {:.2}x is below the gate ({:.2}x)",
+            totals.2, options.min_speedup
+        );
+        std::process::exit(1);
+    }
+}

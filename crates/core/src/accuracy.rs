@@ -8,7 +8,7 @@
 use crate::par;
 use crate::sample::SampleSet;
 use fpcore::{FpType, Symbol};
-use targets::{eval_float_expr_indexed, FloatExpr, Target};
+use targets::{FloatExpr, Target};
 
 /// Maps a float to an ordered integer such that adjacent floats map to adjacent
 /// integers (the standard "Bruce Dawson" trick), making ULP distance a simple
@@ -97,10 +97,13 @@ pub fn max_bits(ty: FpType) -> f64 {
 
 /// The mean bits of error of a program over points with known ground truth.
 ///
-/// Each point is scored independently (slice-indexed environments, no per-point
-/// allocation) and, with the `parallel` feature, points are fanned out over
-/// worker threads. The per-point errors are always summed in point order, so the
-/// result is bit-identical whatever the thread count.
+/// The program is compiled to bytecode once ([`targets::compile()`]) and the
+/// immutable compiled form is shared by every worker; each point is then scored
+/// with zero allocation against a per-worker register file. With the `parallel`
+/// feature, points are fanned out over worker threads. The compiled evaluator
+/// is bit-identical to the tree-walk interpreter, and the per-point errors are
+/// always summed in point order, so the result is bit-identical whatever the
+/// thread count or evaluation strategy.
 pub fn mean_bits_of_error(
     target: &Target,
     expr: &FloatExpr,
@@ -117,10 +120,16 @@ pub fn mean_bits_of_error(
     if points.is_empty() {
         return 0.0;
     }
-    let bits = par::par_map_range(points.len(), |i| {
-        let out = eval_float_expr_indexed(target, expr, vars, &points[i]);
-        bits_of_error(out, truths[i], ty)
-    });
+    let program = targets::compile(target, expr);
+    let columns = program.bind_columns(vars);
+    let bits = par::par_map_range_with(
+        points.len(),
+        || program.new_regs(),
+        |regs, i| {
+            let out = program.eval_point(&columns, &points[i], regs);
+            bits_of_error(out, truths[i], ty)
+        },
+    );
     bits.iter().sum::<f64>() / points.len() as f64
 }
 

@@ -209,7 +209,7 @@ mod tests {
             // Whatever operators were chosen, the program must still compute x²+1.
             let env: std::collections::HashMap<Symbol, f64> =
                 [(Symbol::new("x"), 3.0)].into_iter().collect();
-            let out = targets::eval_float_expr(&target, best, &env);
+            let out = targets::eval_float_expr_in(&target, best, &env);
             assert!(
                 (out - 10.0).abs() < 1e-9,
                 "{name}: {} gave {out}",

@@ -10,7 +10,7 @@
 use crate::sample::SampleSet;
 use fpcore::Symbol;
 use rival::{Evaluator, GroundTruth};
-use targets::operator::round_to_type;
+use targets::operator::{arg_symbol, round_to_type};
 use targets::{FloatExpr, Target};
 
 /// A subexpression of a candidate paired with its heuristic score.
@@ -70,6 +70,25 @@ pub fn local_errors(
         let op = target.operator(op_id);
         let node_real = sub.desugar(target);
         let arg_reals: Vec<fpcore::Expr> = args.iter().map(|a| a.desugar(target)).collect();
+        // The operator applied to opaque arguments, compiled to bytecode once
+        // per subexpression: per point we feed it the exactly computed (and
+        // already rounded) argument values instead of re-walking the
+        // operator's desugaring tree. Re-rounding the pre-rounded arguments is
+        // the identity, so this matches `op.execute` bit for bit.
+        let arg_syms: Vec<Symbol> = (0..op.arity()).map(arg_symbol).collect();
+        let node_prog = targets::compile(
+            target,
+            &FloatExpr::Op(
+                op_id,
+                arg_syms
+                    .iter()
+                    .zip(&op.arg_types)
+                    .map(|(sym, ty)| FloatExpr::Var(*sym, *ty))
+                    .collect(),
+            ),
+        );
+        let node_columns = node_prog.bind_columns(&arg_syms);
+        let mut node_regs = node_prog.new_regs();
         let mut total = 0.0;
         let mut counted = 0usize;
         for point in &samples.train {
@@ -101,7 +120,7 @@ pub fn local_errors(
             if !ok {
                 continue;
             }
-            let local_out = op.execute(&exact_args);
+            let local_out = node_prog.eval_point(&node_columns, &exact_args, &mut node_regs);
             total += crate::accuracy::bits_of_error(local_out, exact_node, op.ret_type);
             counted += 1;
         }

@@ -63,21 +63,43 @@ pub fn effective_threads(len: usize) -> usize {
 /// into one contiguous sub-range per worker and results are concatenated in
 /// range order, so the output is identical to `(0..len).map(f).collect()` —
 /// no index buffer is materialized on either path.
-#[cfg(feature = "parallel")]
 pub fn par_map_range<R, F>(len: usize, f: F) -> Vec<R>
 where
     R: Send,
     F: Fn(usize) -> R + Sync,
 {
+    par_map_range_with(len, || (), |(), i| f(i))
+}
+
+/// Like [`par_map_range`], but each worker first builds private scratch state
+/// with `init` and threads it through every index of its chunk.
+///
+/// This is how the evaluation hot loop shares a compiled
+/// [`Program`](targets::compile::Program) across workers: the program (and the
+/// resolved point columns) are borrowed immutably by every worker, while each
+/// worker's register file is built once per chunk — not once per point — by
+/// `init`. The state cannot influence results (it is scratch space), so the
+/// output remains bit-identical to the serial path at any thread count.
+#[cfg(feature = "parallel")]
+pub fn par_map_range_with<S, R, I, F>(len: usize, init: I, f: F) -> Vec<R>
+where
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> R + Sync,
+{
+    let serial = |range: std::ops::Range<usize>| {
+        let mut state = init();
+        range.map(|i| f(&mut state, i)).collect::<Vec<R>>()
+    };
     if len < 2 || IN_PAR_WORKER.with(|w| w.get()) {
-        return (0..len).map(f).collect();
+        return serial(0..len);
     }
     let threads = effective_threads(len);
     if threads <= 1 {
-        return (0..len).map(f).collect();
+        return serial(0..len);
     }
     let chunk_size = len.div_ceil(threads);
-    let f = &f;
+    let (init, f) = (&init, &f);
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..len)
             .step_by(chunk_size)
@@ -85,7 +107,8 @@ where
                 let end = (start + chunk_size).min(len);
                 scope.spawn(move || {
                     IN_PAR_WORKER.with(|w| w.set(true));
-                    (start..end).map(f).collect::<Vec<R>>()
+                    let mut state = init();
+                    (start..end).map(|i| f(&mut state, i)).collect::<Vec<R>>()
                 })
             })
             .collect();
@@ -99,12 +122,14 @@ where
 
 /// Serial fallback when the `parallel` feature is disabled.
 #[cfg(not(feature = "parallel"))]
-pub fn par_map_range<R, F>(len: usize, f: F) -> Vec<R>
+pub fn par_map_range_with<S, R, I, F>(len: usize, init: I, f: F) -> Vec<R>
 where
     R: Send,
-    F: Fn(usize) -> R + Sync,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> R + Sync,
 {
-    (0..len).map(f).collect()
+    let mut state = init();
+    (0..len).map(|i| f(&mut state, i)).collect()
 }
 
 /// Maps `f` over `items`, returning results in input order.
@@ -185,6 +210,31 @@ mod tests {
             .map(|&i| (0..50).map(|j| i * 100 + j).sum())
             .collect();
         assert_eq!(nested, expected);
+        set_thread_count(0);
+    }
+
+    #[test]
+    fn stateful_map_is_identical_across_thread_counts() {
+        let _guard = test_lock();
+        // Worker-private scratch (as used for register files) must not change
+        // results, whatever the chunking.
+        let run = || {
+            par_map_range_with(503, Vec::<f64>::new, |scratch, i| {
+                scratch.push(i as f64);
+                (i as f64).sqrt() + scratch.len() as f64 * 0.0
+            })
+        };
+        set_thread_count(1);
+        let serial = run();
+        for threads in [2, 5] {
+            set_thread_count(threads);
+            let parallel = run();
+            let same = serial
+                .iter()
+                .zip(&parallel)
+                .all(|(a, b)| a.to_bits() == b.to_bits());
+            assert!(same, "stateful results differ at {threads} threads");
+        }
         set_thread_count(0);
     }
 

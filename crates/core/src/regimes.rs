@@ -12,25 +12,25 @@ use crate::accuracy::bits_of_error;
 use crate::improve::Candidate;
 use crate::pareto::ParetoFrontier;
 use crate::sample::SampleSet;
-use fpcore::{RealOp, Symbol};
-use std::collections::HashMap;
-use targets::{eval_float_expr, program_cost, FloatExpr, Target};
+use fpcore::RealOp;
+use targets::{program_cost, FloatExpr, Target};
 
 /// Minimum improvement (mean bits of error) required to keep a branch.
 const MIN_IMPROVEMENT_BITS: f64 = 0.5;
 
 fn per_point_errors(target: &Target, expr: &FloatExpr, samples: &SampleSet) -> Vec<f64> {
-    let mut env: HashMap<Symbol, f64> = HashMap::new();
+    // One bytecode compilation per candidate, reused for the whole training
+    // sweep (the old path rebuilt a `HashMap` environment per point and
+    // re-walked the tree).
+    let program = targets::compile(target, expr);
+    let columns = program.bind_columns(&samples.vars);
+    let mut regs = program.new_regs();
     samples
         .train
         .iter()
         .zip(&samples.train_truth)
         .map(|(point, truth)| {
-            env.clear();
-            for (v, x) in samples.vars.iter().zip(point) {
-                env.insert(*v, *x);
-            }
-            let out = eval_float_expr(target, expr, &env);
+            let out = program.eval_point(&columns, point, &mut regs);
             bits_of_error(out, *truth, samples.output_type)
         })
         .collect()

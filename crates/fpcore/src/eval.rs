@@ -43,64 +43,103 @@ impl Bindings for [(Symbol, f64)] {
 /// Panics if the argument count does not match the operator's arity.
 pub fn apply_op_f64(op: RealOp, args: &[f64]) -> f64 {
     assert_eq!(args.len(), op.arity(), "arity mismatch applying {op}");
-    let b = |x: f64| x != 0.0;
+    match op.arity() {
+        1 => apply_op1(op, args[0]),
+        2 => apply_op2(op, args[0], args[1]),
+        _ => apply_op3(op, args[0], args[1], args[2]),
+    }
+}
+
+/// Applies a unary real operator. Shared by the tree-walk evaluator and the
+/// bytecode register machine (`targets::compile`), so both paths execute the
+/// exact same host operation and stay bit-identical.
+///
+/// # Panics
+///
+/// Panics if `op` is not unary.
+pub fn apply_op1(op: RealOp, a: f64) -> f64 {
     let from_bool = |x: bool| if x { 1.0 } else { 0.0 };
     match op {
-        RealOp::Add => args[0] + args[1],
-        RealOp::Sub => args[0] - args[1],
-        RealOp::Mul => args[0] * args[1],
-        RealOp::Div => args[0] / args[1],
-        RealOp::Neg => -args[0],
-        RealOp::Fabs => args[0].abs(),
-        RealOp::Sqrt => args[0].sqrt(),
-        RealOp::Cbrt => args[0].cbrt(),
-        RealOp::Fma => args[0].mul_add(args[1], args[2]),
-        RealOp::Hypot => args[0].hypot(args[1]),
-        RealOp::Pow => args[0].powf(args[1]),
-        RealOp::Fmod => args[0] % args[1],
+        RealOp::Neg => -a,
+        RealOp::Fabs => a.abs(),
+        RealOp::Sqrt => a.sqrt(),
+        RealOp::Cbrt => a.cbrt(),
+        RealOp::Floor => a.floor(),
+        RealOp::Ceil => a.ceil(),
+        RealOp::Round => a.round(),
+        RealOp::Trunc => a.trunc(),
+        RealOp::Exp => a.exp(),
+        RealOp::Exp2 => a.exp2(),
+        RealOp::Expm1 => a.exp_m1(),
+        RealOp::Log => a.ln(),
+        RealOp::Log2 => a.log2(),
+        RealOp::Log10 => a.log10(),
+        RealOp::Log1p => a.ln_1p(),
+        RealOp::Sin => a.sin(),
+        RealOp::Cos => a.cos(),
+        RealOp::Tan => a.tan(),
+        RealOp::Asin => a.asin(),
+        RealOp::Acos => a.acos(),
+        RealOp::Atan => a.atan(),
+        RealOp::Sinh => a.sinh(),
+        RealOp::Cosh => a.cosh(),
+        RealOp::Tanh => a.tanh(),
+        RealOp::Asinh => a.asinh(),
+        RealOp::Acosh => a.acosh(),
+        RealOp::Atanh => a.atanh(),
+        RealOp::Not => from_bool(a == 0.0),
+        _ => panic!("{op} is not unary"),
+    }
+}
+
+/// Applies a binary real operator (see [`apply_op1`]).
+///
+/// # Panics
+///
+/// Panics if `op` is not binary.
+pub fn apply_op2(op: RealOp, a: f64, b: f64) -> f64 {
+    let t = |x: f64| x != 0.0;
+    let from_bool = |x: bool| if x { 1.0 } else { 0.0 };
+    match op {
+        RealOp::Add => a + b,
+        RealOp::Sub => a - b,
+        RealOp::Mul => a * b,
+        RealOp::Div => a / b,
+        RealOp::Hypot => a.hypot(b),
+        RealOp::Pow => a.powf(b),
+        RealOp::Fmod => a % b,
         RealOp::Fdim => {
-            if args[0] > args[1] {
-                args[0] - args[1]
+            if a > b {
+                a - b
             } else {
                 0.0
             }
         }
-        RealOp::Copysign => args[0].copysign(args[1]),
-        RealOp::Fmin => args[0].min(args[1]),
-        RealOp::Fmax => args[0].max(args[1]),
-        RealOp::Floor => args[0].floor(),
-        RealOp::Ceil => args[0].ceil(),
-        RealOp::Round => args[0].round(),
-        RealOp::Trunc => args[0].trunc(),
-        RealOp::Exp => args[0].exp(),
-        RealOp::Exp2 => args[0].exp2(),
-        RealOp::Expm1 => args[0].exp_m1(),
-        RealOp::Log => args[0].ln(),
-        RealOp::Log2 => args[0].log2(),
-        RealOp::Log10 => args[0].log10(),
-        RealOp::Log1p => args[0].ln_1p(),
-        RealOp::Sin => args[0].sin(),
-        RealOp::Cos => args[0].cos(),
-        RealOp::Tan => args[0].tan(),
-        RealOp::Asin => args[0].asin(),
-        RealOp::Acos => args[0].acos(),
-        RealOp::Atan => args[0].atan(),
-        RealOp::Atan2 => args[0].atan2(args[1]),
-        RealOp::Sinh => args[0].sinh(),
-        RealOp::Cosh => args[0].cosh(),
-        RealOp::Tanh => args[0].tanh(),
-        RealOp::Asinh => args[0].asinh(),
-        RealOp::Acosh => args[0].acosh(),
-        RealOp::Atanh => args[0].atanh(),
-        RealOp::Lt => from_bool(args[0] < args[1]),
-        RealOp::Gt => from_bool(args[0] > args[1]),
-        RealOp::Le => from_bool(args[0] <= args[1]),
-        RealOp::Ge => from_bool(args[0] >= args[1]),
-        RealOp::Eq => from_bool(args[0] == args[1]),
-        RealOp::Ne => from_bool(args[0] != args[1]),
-        RealOp::And => from_bool(b(args[0]) && b(args[1])),
-        RealOp::Or => from_bool(b(args[0]) || b(args[1])),
-        RealOp::Not => from_bool(!b(args[0])),
+        RealOp::Copysign => a.copysign(b),
+        RealOp::Fmin => a.min(b),
+        RealOp::Fmax => a.max(b),
+        RealOp::Atan2 => a.atan2(b),
+        RealOp::Lt => from_bool(a < b),
+        RealOp::Gt => from_bool(a > b),
+        RealOp::Le => from_bool(a <= b),
+        RealOp::Ge => from_bool(a >= b),
+        RealOp::Eq => from_bool(a == b),
+        RealOp::Ne => from_bool(a != b),
+        RealOp::And => from_bool(t(a) && t(b)),
+        RealOp::Or => from_bool(t(a) || t(b)),
+        _ => panic!("{op} is not binary"),
+    }
+}
+
+/// Applies a ternary real operator (see [`apply_op1`]).
+///
+/// # Panics
+///
+/// Panics if `op` is not ternary.
+pub fn apply_op3(op: RealOp, a: f64, b: f64, c: f64) -> f64 {
+    match op {
+        RealOp::Fma => a.mul_add(b, c),
+        _ => panic!("{op} is not ternary"),
     }
 }
 

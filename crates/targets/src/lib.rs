@@ -15,24 +15,31 @@
 //! * [`interp`] — an interpreter for float programs (used to estimate accuracy
 //!   and to measure wall-clock run time, standing in for the paper's dynamic
 //!   linking of real instruction implementations),
+//! * [`mod@compile`] — a bytecode compiler for float programs: one flat
+//!   register-machine [`Program`] per candidate, bit-identical to the
+//!   interpreter and reused across every sample point (the evaluation hot
+//!   path),
 //! * [`autotune`] — the cost auto-tuner that times each operator in a hot loop,
 //! * [`builtin`] — the nine target descriptions: Arith, Arith+FMA, AVX, C99,
 //!   Python, Julia, NumPy, vdt, fdlibm.
 
 pub mod autotune;
 pub mod builtin;
+pub mod compile;
 pub mod costmodel;
 pub mod expr;
 pub mod interp;
 pub mod operator;
 pub mod target;
 
+pub use compile::{compile, Program};
 pub use costmodel::program_cost;
 pub use expr::FloatExpr;
 pub use fpcore::eval::Bindings;
+#[allow(deprecated)]
+pub use interp::eval_float_expr;
 pub use interp::{
-    eval_batch, eval_float_expr, eval_float_expr_in, eval_float_expr_indexed, measure_runtime,
-    SliceEnv,
+    eval_batch, eval_float_expr_in, eval_float_expr_indexed, measure_runtime, SliceEnv,
 };
 pub use operator::{Impl, OpId, Operator};
 pub use target::{IfCostStyle, Target};

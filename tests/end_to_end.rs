@@ -6,7 +6,7 @@ use chassis::baseline::herbie::{transcribe, HerbieCompiler};
 use chassis::{Chassis, Config};
 use fpcore::{parse_fpcore, Symbol};
 use std::collections::HashMap;
-use targets::{builtin, eval_float_expr, program_cost};
+use targets::{builtin, eval_float_expr_in, program_cost};
 
 fn fast() -> Config {
     Config::fast()
@@ -30,7 +30,7 @@ fn corpus_benchmark_compiles_on_c99_and_preserves_semantics() {
     let truth = (x + 1.0f64).sqrt() - x.sqrt();
     let env: HashMap<Symbol, f64> = [(Symbol::new("x"), x)].into_iter().collect();
     for imp in &result.implementations {
-        let out = eval_float_expr(&target, &imp.expr, &env);
+        let out = eval_float_expr_in(&target, &imp.expr, &env);
         let rel = ((out - truth) / truth).abs();
         assert!(
             rel < 1e-3,

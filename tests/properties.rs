@@ -18,7 +18,7 @@ use fpcore::eval::{env_from, eval_f64};
 use fpcore::{Expr, FpType, RealOp, Symbol};
 use rival::{ground_truth, GroundTruth};
 use std::collections::HashMap;
-use targets::{builtin, eval_float_expr};
+use targets::{builtin, eval_float_expr_in};
 
 /// A small, well-conditioned arithmetic expression over `x` and `y`.
 fn arb_expr(rng: &mut Rng, depth: usize) -> Expr {
@@ -162,7 +162,7 @@ fn compiled_programs_preserve_the_desugaring() {
         };
         let env: HashMap<Symbol, f64> = env_pairs.into_iter().collect();
         for imp in &result.implementations {
-            let out = eval_float_expr(&target, &imp.expr, &env);
+            let out = eval_float_expr_in(&target, &imp.expr, &env);
             let rel = ((out - truth) / truth.abs().max(1e-300)).abs();
             assert!(rel < 1e-6, "{} gives {out}, truth {truth}", imp.rendered);
         }
