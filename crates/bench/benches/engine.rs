@@ -58,6 +58,20 @@ fn bench_interpreter(c: &mut Criterion) {
     c.bench_function("bytecode_float_program_vdt", |b| {
         b.iter(|| std::hint::black_box(compiled.eval_point(&columns, &point, &mut regs)))
     });
+    // Block mode: the same program swept over a 256-point columnar batch —
+    // one DEFAULT_BLOCK-wide block, so one instruction dispatch per sweep
+    // (compare per-point cost against 256 × the scalar bytecode number
+    // above).
+    let rows: Vec<Vec<f64>> = (0..256).map(|i| vec![0.7 + i as f64 * 1e-3]).collect();
+    let points = targets::Columns::from_rows(1, &rows);
+    let mut block_regs = compiled.new_block_regs(targets::DEFAULT_BLOCK);
+    let mut out = vec![0.0f64; points.len()];
+    c.bench_function("block_float_program_vdt_256pts", |b| {
+        b.iter(|| {
+            compiled.eval_range(&columns, &points, 0, &mut block_regs, &mut out);
+            std::hint::black_box(out[0])
+        })
+    });
 }
 
 fn configured() -> Criterion {

@@ -1,30 +1,37 @@
-//! Throughput comparison of the tree-walk interpreter vs. the bytecode
-//! evaluator, with a bit-identity check — the CI perf gate for the evaluation
-//! hot path.
+//! Throughput comparison of the three evaluation engines — tree-walk
+//! interpreter, scalar bytecode, and structure-of-arrays block execution —
+//! with a corpus-wide bit-identity check. This is the CI perf gate for the
+//! evaluation hot path.
 //!
 //! For every corpus benchmark × a spread of builtin targets, this binary
 //! lowers the benchmark directly onto the target, generates a deterministic
 //! set of sample points, and
 //!
-//! 1. **asserts bit-identity**: the compiled program must reproduce the
-//!    tree-walk interpreter's output exactly, on every point (exit code 1
-//!    otherwise);
+//! 1. **asserts bit-identity**: the scalar bytecode engine and the block
+//!    engine (at *every* swept block size) must reproduce the tree-walk
+//!    interpreter's output exactly, on every point (exit code 1 otherwise);
 //! 2. **measures throughput**: best-of-N sweeps over all points for each
-//!    evaluator, reported as points/second;
-//! 3. **records the trajectory**: writes `BENCH_eval.json` so CI can archive
-//!    the numbers run over run;
-//! 4. **gates**: with `--min-speedup X`, exits non-zero when the corpus-wide
-//!    bytecode/tree-walk speedup falls below `X`.
+//!    engine — block mode once per `--block-sizes` entry — reported as
+//!    points/second;
+//! 3. **records the trajectory**: writes `BENCH_eval.json` (schema 2: per-mode
+//!    and per-block-size throughput, plus the chosen block size) so CI can
+//!    archive the numbers run over run;
+//! 4. **gates**: `--min-speedup X` requires corpus-wide scalar-bytecode ≥ X ×
+//!    tree-walk; `--min-block-speedup Y` requires corpus-wide block mode (at
+//!    its best swept size) ≥ Y × scalar bytecode.
 //!
 //! ```text
 //! cargo run --release -p chassis-bench --bin eval_throughput -- \
-//!     --points 2048 --repeats 5 --min-speedup 1.0 --out BENCH_eval.json
+//!     --points 2048 --repeats 5 --block-sizes 8,64,256,0 \
+//!     --min-speedup 3 --min-block-speedup 1 --out BENCH_eval.json
 //! ```
+//!
+//! A block size of `0` means "one block spanning the whole batch".
 
 use chassis::lower_fpcore;
 use chassis::rng::Rng;
 use std::time::{Duration, Instant};
-use targets::{builtin, eval_float_expr_indexed, FloatExpr, Target};
+use targets::{builtin, eval_float_expr_indexed, Columns, FloatExpr, Target};
 
 /// Targets the sweep covers: an all-emulated target (c99), two with native
 /// approximate operators (vdt, avx), and a minimal arithmetic one (arith-fma).
@@ -37,7 +44,12 @@ const SEED: u64 = 0x5EED_E7A1;
 struct Options {
     points: usize,
     repeats: usize,
+    /// Block sizes to sweep; `0` means one block spanning the whole batch.
+    block_sizes: Vec<usize>,
+    /// Floor on scalar-bytecode / tree-walk aggregate throughput.
     min_speedup: f64,
+    /// Floor on block / scalar-bytecode aggregate throughput.
+    min_block_speedup: f64,
     out: String,
 }
 
@@ -49,11 +61,14 @@ impl Options {
         let mut options = Options {
             points: 2048,
             repeats: 5,
+            block_sizes: vec![8, 64, 256, 0],
             min_speedup: 0.0,
+            min_block_speedup: 0.0,
             out: "BENCH_eval.json".to_owned(),
         };
         let usage = "usage: eval_throughput [--points N] [--repeats N] \
-                     [--min-speedup X] [--out PATH]";
+                     [--block-sizes N,M,...] [--min-speedup X] \
+                     [--min-block-speedup X] [--out PATH]";
         fn value<T: std::str::FromStr>(args: &[String], i: usize, usage: &str) -> T {
             args.get(i + 1)
                 .and_then(|s| s.parse().ok())
@@ -68,7 +83,24 @@ impl Options {
             match args[i].as_str() {
                 "--points" => options.points = value(&args, i, usage),
                 "--repeats" => options.repeats = value(&args, i, usage),
+                "--block-sizes" => {
+                    let list: String = value(&args, i, usage);
+                    options.block_sizes = list
+                        .split(',')
+                        .map(|tok| {
+                            tok.trim().parse().unwrap_or_else(|_| {
+                                eprintln!("bad block size {tok:?} in {list:?}\n{usage}");
+                                std::process::exit(2);
+                            })
+                        })
+                        .collect();
+                    if options.block_sizes.is_empty() {
+                        eprintln!("--block-sizes needs at least one size\n{usage}");
+                        std::process::exit(2);
+                    }
+                }
                 "--min-speedup" => options.min_speedup = value(&args, i, usage),
+                "--min-block-speedup" => options.min_block_speedup = value(&args, i, usage),
                 "--out" => options.out = value(&args, i, usage),
                 other => {
                     eprintln!("unknown argument {other}\n{usage}");
@@ -78,6 +110,15 @@ impl Options {
             i += 2;
         }
         options
+    }
+
+    /// The width a swept size denotes for a batch of `points` (0 = whole batch).
+    fn width_of(&self, size: usize) -> usize {
+        if size == 0 {
+            self.points
+        } else {
+            size
+        }
     }
 }
 
@@ -89,22 +130,16 @@ struct Case {
     tree_size: usize,
     /// Instructions in the compiled program (smaller when CSE shared work).
     instrs: usize,
-    interp_pps: f64,
-    bytecode_pps: f64,
     interp_best: Duration,
     bytecode_best: Duration,
-}
-
-impl Case {
-    fn speedup(&self) -> f64 {
-        self.bytecode_pps / self.interp_pps
-    }
+    /// Best sweep per swept block size, parallel to `Options::block_sizes`.
+    block_best: Vec<Duration>,
 }
 
 /// Deterministic sample points: per variable, a log-uniform magnitude in
 /// `[1e-6, 1e6]` with random sign. Preconditions are irrelevant here — the
-/// two evaluators must agree on *every* input, including ones that produce
-/// NaN — so no filtering is done.
+/// engines must agree on *every* input, including ones that produce NaN — so
+/// no filtering is done.
 fn generate_points(rng: &mut Rng, n_vars: usize, n_points: usize) -> Vec<Vec<f64>> {
     (0..n_points)
         .map(|_| {
@@ -147,30 +182,53 @@ fn measure(
 ) -> Case {
     let vars = expr.variables();
     let mut rng = Rng::for_stream(SEED, stream);
-    let points = generate_points(&mut rng, vars.len(), options.points);
+    let rows = generate_points(&mut rng, vars.len(), options.points);
+    let points = Columns::from_rows(vars.len(), &rows);
 
     let program = targets::compile(target, expr);
     let columns = program.bind_columns(&vars);
     let mut regs = program.new_regs();
 
-    // Bit-identity first: every point, tree walk vs. bytecode.
-    for point in &points {
-        let tree = eval_float_expr_indexed(target, expr, &vars, point);
+    // Bit-identity first. The tree walk is the reference; the scalar bytecode
+    // engine and the block engine at every swept size must match it exactly.
+    let reference: Vec<u64> = rows
+        .iter()
+        .map(|point| eval_float_expr_indexed(target, expr, &vars, point).to_bits())
+        .collect();
+    for (point, &want) in rows.iter().zip(&reference) {
         let byte = program.eval_point(&columns, point, &mut regs);
-        if tree.to_bits() != byte.to_bits() {
+        if byte.to_bits() != want {
             *mismatches += 1;
             eprintln!(
-                "BIT MISMATCH: {benchmark} on {target_name} at {point:?}: \
-                 tree walk {tree:?} ({:#018x}), bytecode {byte:?} ({:#018x})",
-                tree.to_bits(),
+                "BIT MISMATCH (scalar bytecode): {benchmark} on {target_name} at {point:?}: \
+                 tree walk {:#018x}, bytecode {:#018x}",
+                want,
                 byte.to_bits()
             );
+        }
+    }
+    let mut block_out = vec![0.0f64; options.points];
+    for &size in &options.block_sizes {
+        let width = options.width_of(size);
+        let mut block_regs = program.new_block_regs(width);
+        program.eval_range(&columns, &points, 0, &mut block_regs, &mut block_out);
+        for (i, (got, &want)) in block_out.iter().zip(&reference).enumerate() {
+            if got.to_bits() != want {
+                *mismatches += 1;
+                eprintln!(
+                    "BIT MISMATCH (block {width}): {benchmark} on {target_name} at {:?}: \
+                     tree walk {:#018x}, block {:#018x}",
+                    rows[i],
+                    want,
+                    got.to_bits()
+                );
+            }
         }
     }
 
     let interp_best = best_sweep(options.repeats, || {
         let mut sink = 0.0;
-        for point in &points {
+        for point in &rows {
             let v = eval_float_expr_indexed(target, expr, &vars, point);
             sink += if v.is_finite() { v } else { 0.0 };
         }
@@ -178,60 +236,155 @@ fn measure(
     });
     let bytecode_best = best_sweep(options.repeats, || {
         let mut sink = 0.0;
-        for point in &points {
+        for point in &rows {
             let v = program.eval_point(&columns, point, &mut regs);
             sink += if v.is_finite() { v } else { 0.0 };
         }
         sink
     });
+    let block_best: Vec<Duration> = options
+        .block_sizes
+        .iter()
+        .map(|&size| {
+            let width = options.width_of(size);
+            let mut block_regs = program.new_block_regs(width);
+            best_sweep(options.repeats, || {
+                program.eval_range(&columns, &points, 0, &mut block_regs, &mut block_out);
+                let mut sink = 0.0;
+                for &v in &block_out {
+                    sink += if v.is_finite() { v } else { 0.0 };
+                }
+                sink
+            })
+        })
+        .collect();
 
-    let pps = |d: Duration| options.points as f64 / d.as_secs_f64();
     Case {
         benchmark,
         target: target_name,
         tree_size: expr.size(),
         instrs: program.num_instrs(),
-        interp_pps: pps(interp_best),
-        bytecode_pps: pps(bytecode_best),
         interp_best,
         bytecode_best,
+        block_best,
+    }
+}
+
+/// Corpus-wide aggregates: points/sec per mode plus the chosen block size.
+struct Totals {
+    interp_pps: f64,
+    bytecode_pps: f64,
+    /// Aggregate points/sec per swept block size, parallel to the sweep list.
+    block_pps: Vec<f64>,
+    /// Index (into the sweep list) of the block size with the best aggregate.
+    chosen: usize,
+}
+
+impl Totals {
+    fn compute(options: &Options, cases: &[Case]) -> Totals {
+        let total_points = (cases.len() * options.points) as f64;
+        let interp: f64 = cases.iter().map(|c| c.interp_best.as_secs_f64()).sum();
+        let bytecode: f64 = cases.iter().map(|c| c.bytecode_best.as_secs_f64()).sum();
+        let block_pps: Vec<f64> = (0..options.block_sizes.len())
+            .map(|s| {
+                let secs: f64 = cases.iter().map(|c| c.block_best[s].as_secs_f64()).sum();
+                total_points / secs
+            })
+            .collect();
+        let chosen = block_pps
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        Totals {
+            interp_pps: total_points / interp,
+            bytecode_pps: total_points / bytecode,
+            block_pps,
+            chosen,
+        }
+    }
+
+    /// Scalar bytecode vs. tree walk.
+    fn bytecode_speedup(&self) -> f64 {
+        self.bytecode_pps / self.interp_pps
+    }
+
+    /// Block mode (at the chosen size) vs. scalar bytecode.
+    fn block_speedup(&self) -> f64 {
+        self.block_pps[self.chosen] / self.bytecode_pps
     }
 }
 
 /// Renders the results as JSON (hand-rolled: the workspace has no registry
 /// access, hence no serde).
-fn to_json(options: &Options, cases: &[Case], totals: (f64, f64, f64)) -> String {
-    let (interp_pps, bytecode_pps, speedup) = totals;
+fn to_json(options: &Options, cases: &[Case], totals: &Totals) -> String {
+    let pps = |d: Duration| options.points as f64 / d.as_secs_f64();
+    let sizes_json = |values: &[f64]| {
+        let entries: Vec<String> = options
+            .block_sizes
+            .iter()
+            .zip(values)
+            .map(|(size, v)| format!("\"{size}\": {v:.1}"))
+            .collect();
+        format!("{{{}}}", entries.join(", "))
+    };
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str("  \"bench\": \"eval_throughput\",\n");
-    out.push_str("  \"schema_version\": 1,\n");
+    out.push_str("  \"schema_version\": 2,\n");
     out.push_str(&format!("  \"points_per_case\": {},\n", options.points));
     out.push_str(&format!("  \"repeats\": {},\n", options.repeats));
     out.push_str(&format!("  \"seed\": {SEED},\n"));
+    let sizes: Vec<String> = options.block_sizes.iter().map(usize::to_string).collect();
+    out.push_str(&format!("  \"block_sizes\": [{}],\n", sizes.join(", ")));
     out.push_str("  \"total\": {\n");
     out.push_str(&format!(
-        "    \"interp_points_per_sec\": {interp_pps:.1},\n"
+        "    \"interp_points_per_sec\": {:.1},\n",
+        totals.interp_pps
     ));
     out.push_str(&format!(
-        "    \"bytecode_points_per_sec\": {bytecode_pps:.1},\n"
+        "    \"bytecode_points_per_sec\": {:.1},\n",
+        totals.bytecode_pps
     ));
-    out.push_str(&format!("    \"speedup\": {speedup:.3}\n"));
+    out.push_str(&format!(
+        "    \"block_points_per_sec\": {},\n",
+        sizes_json(&totals.block_pps)
+    ));
+    out.push_str(&format!(
+        "    \"chosen_block_size\": {},\n",
+        options.block_sizes[totals.chosen]
+    ));
+    out.push_str(&format!(
+        "    \"bytecode_speedup\": {:.3},\n",
+        totals.bytecode_speedup()
+    ));
+    out.push_str(&format!(
+        "    \"block_speedup_vs_bytecode\": {:.3},\n",
+        totals.block_speedup()
+    ));
+    out.push_str(&format!(
+        "    \"block_speedup_vs_interp\": {:.3}\n",
+        totals.block_pps[totals.chosen] / totals.interp_pps
+    ));
     out.push_str("  },\n");
     out.push_str("  \"cases\": [\n");
     for (i, case) in cases.iter().enumerate() {
         let comma = if i + 1 < cases.len() { "," } else { "" };
+        let block: Vec<f64> = case.block_best.iter().map(|&d| pps(d)).collect();
         out.push_str(&format!(
             "    {{\"benchmark\": \"{}\", \"target\": \"{}\", \"tree_size\": {}, \
              \"instrs\": {}, \"interp_points_per_sec\": {:.1}, \
-             \"bytecode_points_per_sec\": {:.1}, \"speedup\": {:.3}}}{comma}\n",
+             \"bytecode_points_per_sec\": {:.1}, \"block_points_per_sec\": {}, \
+             \"speedup\": {:.3}}}{comma}\n",
             case.benchmark,
             case.target,
             case.tree_size,
             case.instrs,
-            case.interp_pps,
-            case.bytecode_pps,
-            case.speedup()
+            pps(case.interp_best),
+            pps(case.bytecode_best),
+            sizes_json(&block),
+            pps(case.bytecode_best) / pps(case.interp_best),
         ));
     }
     out.push_str("  ]\n}\n");
@@ -267,14 +420,7 @@ fn main() {
     }
 
     assert!(!cases.is_empty(), "no benchmark lowered onto any target");
-    let interp_secs: f64 = cases.iter().map(|c| c.interp_best.as_secs_f64()).sum();
-    let bytecode_secs: f64 = cases.iter().map(|c| c.bytecode_best.as_secs_f64()).sum();
-    let total_points = (cases.len() * options.points) as f64;
-    let totals = (
-        total_points / interp_secs,
-        total_points / bytecode_secs,
-        interp_secs / bytecode_secs,
-    );
+    let totals = Totals::compute(&options, &cases);
 
     println!(
         "eval_throughput: {} cases ({} benchmarks x {} targets reachable), {} points each",
@@ -288,37 +434,73 @@ fn main() {
         if subset.is_empty() {
             continue;
         }
+        let pts = (subset.len() * options.points) as f64;
         let interp: f64 = subset.iter().map(|c| c.interp_best.as_secs_f64()).sum();
         let byte: f64 = subset.iter().map(|c| c.bytecode_best.as_secs_f64()).sum();
-        let pts = (subset.len() * options.points) as f64;
+        let block: f64 = subset
+            .iter()
+            .map(|c| c.block_best[totals.chosen].as_secs_f64())
+            .sum();
         println!(
-            "  {target_name:>10}: tree-walk {:>12.0} pts/s | bytecode {:>12.0} pts/s | {:>5.2}x ({} cases)",
+            "  {target_name:>10}: tree-walk {:>12.0} pts/s | bytecode {:>12.0} pts/s | \
+             block {:>12.0} pts/s | {:>5.2}x / {:>5.2}x ({} cases)",
             pts / interp,
             pts / byte,
+            pts / block,
             interp / byte,
+            pts / block / (pts / interp),
             subset.len()
         );
     }
+    println!("  block-size sweep (corpus aggregate):");
+    for (size, pps) in options.block_sizes.iter().zip(&totals.block_pps) {
+        let label = if *size == 0 {
+            "whole-batch".to_owned()
+        } else {
+            size.to_string()
+        };
+        let chosen = if options.block_sizes[totals.chosen] == *size {
+            "  <- chosen"
+        } else {
+            ""
+        };
+        println!("  {label:>12}: {pps:>12.0} pts/s{chosen}");
+    }
     println!(
-        "  {:>10}: tree-walk {:>12.0} pts/s | bytecode {:>12.0} pts/s | {:>5.2}x",
-        "TOTAL", totals.0, totals.1, totals.2
+        "  {:>10}: tree-walk {:>12.0} pts/s | bytecode {:>12.0} pts/s | block {:>12.0} pts/s",
+        "TOTAL", totals.interp_pps, totals.bytecode_pps, totals.block_pps[totals.chosen]
+    );
+    println!(
+        "  speedups: bytecode/tree-walk {:.2}x | block/bytecode {:.2}x | block/tree-walk {:.2}x",
+        totals.bytecode_speedup(),
+        totals.block_speedup(),
+        totals.block_pps[totals.chosen] / totals.interp_pps
     );
 
-    let json = to_json(&options, &cases, totals);
+    let json = to_json(&options, &cases, &totals);
     std::fs::write(&options.out, &json)
         .unwrap_or_else(|e| panic!("cannot write {}: {e}", options.out));
     println!("wrote {}", options.out);
 
     if mismatches > 0 {
-        eprintln!("FAIL: {mismatches} point(s) diverged between tree walk and bytecode");
+        eprintln!("FAIL: {mismatches} point(s) diverged across the engines");
         std::process::exit(1);
     }
-    println!("bit-identity: OK (every point, every case)");
+    println!("bit-identity: OK (every point, every case, every engine and block size)");
 
-    if options.min_speedup > 0.0 && totals.2 < options.min_speedup {
+    if options.min_speedup > 0.0 && totals.bytecode_speedup() < options.min_speedup {
         eprintln!(
-            "FAIL: corpus-wide speedup {:.2}x is below the gate ({:.2}x)",
-            totals.2, options.min_speedup
+            "FAIL: corpus-wide bytecode speedup {:.2}x is below the gate ({:.2}x)",
+            totals.bytecode_speedup(),
+            options.min_speedup
+        );
+        std::process::exit(1);
+    }
+    if options.min_block_speedup > 0.0 && totals.block_speedup() < options.min_block_speedup {
+        eprintln!(
+            "FAIL: corpus-wide block/bytecode speedup {:.2}x is below the gate ({:.2}x)",
+            totals.block_speedup(),
+            options.min_block_speedup
         );
         std::process::exit(1);
     }

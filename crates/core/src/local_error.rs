@@ -11,7 +11,7 @@ use crate::sample::SampleSet;
 use fpcore::Symbol;
 use rival::{Evaluator, GroundTruth};
 use targets::operator::{arg_symbol, round_to_type};
-use targets::{FloatExpr, Target};
+use targets::{Columns, FloatExpr, Target};
 
 /// A subexpression of a candidate paired with its heuristic score.
 #[derive(Clone, Debug)]
@@ -71,10 +71,10 @@ pub fn local_errors(
         let node_real = sub.desugar(target);
         let arg_reals: Vec<fpcore::Expr> = args.iter().map(|a| a.desugar(target)).collect();
         // The operator applied to opaque arguments, compiled to bytecode once
-        // per subexpression: per point we feed it the exactly computed (and
-        // already rounded) argument values instead of re-walking the
-        // operator's desugaring tree. Re-rounding the pre-rounded arguments is
-        // the identity, so this matches `op.execute` bit for bit.
+        // per subexpression: we feed it the exactly computed (and already
+        // rounded) argument values instead of re-walking the operator's
+        // desugaring tree. Re-rounding the pre-rounded arguments is the
+        // identity, so this matches `op.execute` bit for bit.
         let arg_syms: Vec<Symbol> = (0..op.arity()).map(arg_symbol).collect();
         let node_prog = targets::compile(
             target,
@@ -87,16 +87,17 @@ pub fn local_errors(
                     .collect(),
             ),
         );
-        let node_columns = node_prog.bind_columns(&arg_syms);
-        let mut node_regs = node_prog.new_regs();
-        let mut total = 0.0;
-        let mut counted = 0usize;
-        for point in &samples.train {
+        // Pass 1 (the expensive part, inherently per point): ground-truth the
+        // node and its arguments with rival at every training point, keeping
+        // the points where everything was decidable.
+        let mut arg_rows: Vec<Vec<f64>> = Vec::with_capacity(samples.train.len());
+        let mut exact_nodes: Vec<f64> = Vec::with_capacity(samples.train.len());
+        'points: for point in 0..samples.train.len() {
             let env: Vec<(Symbol, f64)> = samples
                 .vars
                 .iter()
-                .copied()
-                .zip(point.iter().copied())
+                .enumerate()
+                .map(|(v, sym)| (*sym, samples.train.value(point, v)))
                 .collect();
             // Exact value of the node itself.
             let exact_node = match evaluator.eval(&node_real, &env, op.ret_type) {
@@ -106,28 +107,30 @@ pub fn local_errors(
             };
             // Exact values of the arguments, rounded to the argument types.
             let mut exact_args = Vec::with_capacity(arg_reals.len());
-            let mut ok = true;
             for (real, ty) in arg_reals.iter().zip(&op.arg_types) {
                 match evaluator.eval(real, &env, *ty) {
                     GroundTruth::Value(v) => exact_args.push(round_to_type(v, *ty)),
                     GroundTruth::Nan => exact_args.push(f64::NAN),
-                    GroundTruth::Unsamplable => {
-                        ok = false;
-                        break;
-                    }
+                    GroundTruth::Unsamplable => continue 'points,
                 }
             }
-            if !ok {
-                continue;
-            }
-            let local_out = node_prog.eval_point(&node_columns, &exact_args, &mut node_regs);
-            total += crate::accuracy::bits_of_error(local_out, exact_node, op.ret_type);
-            counted += 1;
+            arg_rows.push(exact_args);
+            exact_nodes.push(exact_node);
         }
-        let score = if counted == 0 {
+        // Pass 2: apply the target operator to the exact arguments on the
+        // block engine — the kept points become a columnar batch (one column
+        // per argument) swept in blocks.
+        let exact_arg_columns = Columns::from_rows(op.arity(), &arg_rows);
+        let local_outs = node_prog.eval_columns(&arg_syms, &exact_arg_columns);
+        let total: f64 = local_outs
+            .iter()
+            .zip(&exact_nodes)
+            .map(|(out, exact)| crate::accuracy::bits_of_error(*out, *exact, op.ret_type))
+            .sum();
+        let score = if exact_nodes.is_empty() {
             0.0
         } else {
-            total / counted as f64
+            total / exact_nodes.len() as f64
         };
         scored.push(ScoredSubexpr { expr: sub, score });
     }

@@ -132,6 +132,83 @@ where
     (0..len).map(|i| f(&mut state, i)).collect()
 }
 
+/// Like [`par_map_range_with`], but the unit of work is a *block* of
+/// consecutive indices instead of one index: `fill(state, start, out)` must
+/// fill `out[l]` with the result for index `start + l`.
+///
+/// This is the block evaluator's fan-out primitive: each worker builds its
+/// scratch state (a columnar register file) once with `init`, then sweeps its
+/// contiguous share of the range block by block, writing results straight
+/// into its disjoint slice of the output — no per-point and no per-block
+/// allocation in the steady state. Worker boundaries are always multiples of
+/// `block`, so the sequence of blocks evaluated is identical at every thread
+/// count; combined with a `fill` whose per-index results are
+/// position-independent (the block engine is bit-identical at any width),
+/// the output equals the serial sweep bit for bit.
+#[cfg(feature = "parallel")]
+pub fn par_map_blocks_with<S, R, I, F>(len: usize, block: usize, init: I, fill: F) -> Vec<R>
+where
+    R: Send + Clone + Default,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize, &mut [R]) + Sync,
+{
+    let block = block.max(1);
+    let mut out = vec![R::default(); len];
+    let serial = |state: &mut S, base: usize, chunk: &mut [R]| {
+        for (i, piece) in chunk.chunks_mut(block).enumerate() {
+            fill(state, base + i * block, piece);
+        }
+    };
+    if len == 0 {
+        return out;
+    }
+    let n_blocks = len.div_ceil(block);
+    if n_blocks < 2 || IN_PAR_WORKER.with(|w| w.get()) {
+        serial(&mut init(), 0, &mut out);
+        return out;
+    }
+    let threads = effective_threads(n_blocks);
+    if threads <= 1 {
+        serial(&mut init(), 0, &mut out);
+        return out;
+    }
+    // One contiguous, block-aligned span per worker.
+    let span = n_blocks.div_ceil(threads) * block;
+    let (init, serial) = (&init, &serial);
+    std::thread::scope(|scope| {
+        let mut rest: &mut [R] = &mut out;
+        let mut base = 0usize;
+        while !rest.is_empty() {
+            let take = span.min(rest.len());
+            let (chunk, tail) = rest.split_at_mut(take);
+            rest = tail;
+            scope.spawn(move || {
+                IN_PAR_WORKER.with(|w| w.set(true));
+                serial(&mut init(), base, chunk);
+            });
+            base += take;
+        }
+    });
+    out
+}
+
+/// Serial fallback when the `parallel` feature is disabled.
+#[cfg(not(feature = "parallel"))]
+pub fn par_map_blocks_with<S, R, I, F>(len: usize, block: usize, init: I, fill: F) -> Vec<R>
+where
+    R: Send + Clone + Default,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize, &mut [R]) + Sync,
+{
+    let block = block.max(1);
+    let mut out = vec![R::default(); len];
+    let mut state = init();
+    for (i, piece) in out.chunks_mut(block).enumerate() {
+        fill(&mut state, i * block, piece);
+    }
+    out
+}
+
 /// Maps `f` over `items`, returning results in input order.
 pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
 where
@@ -236,6 +313,86 @@ mod tests {
             assert!(same, "stateful results differ at {threads} threads");
         }
         set_thread_count(0);
+    }
+
+    #[test]
+    fn block_map_matches_index_map_at_every_thread_count() {
+        let _guard = test_lock();
+        // A length that is not a multiple of the block size, so the ragged
+        // tail block is exercised at every worker split.
+        let len = 509;
+        let block = 16;
+        let run = || {
+            par_map_blocks_with(
+                len,
+                block,
+                || (),
+                |(), start, out| {
+                    for (l, slot) in out.iter_mut().enumerate() {
+                        *slot = ((start + l) as f64).sqrt() + start as f64 * 0.0;
+                    }
+                },
+            )
+        };
+        let expected: Vec<f64> = (0..len).map(|i| (i as f64).sqrt()).collect();
+        set_thread_count(1);
+        let serial = run();
+        assert_eq!(serial.len(), len);
+        let same = serial
+            .iter()
+            .zip(&expected)
+            .all(|(a, b)| a.to_bits() == b.to_bits());
+        assert!(same, "serial block map diverges from the plain map");
+        for threads in [2, 3, 8] {
+            set_thread_count(threads);
+            let parallel = run();
+            let same = serial
+                .iter()
+                .zip(&parallel)
+                .all(|(a, b)| a.to_bits() == b.to_bits());
+            assert!(same, "block results differ at {threads} threads");
+        }
+        set_thread_count(0);
+    }
+
+    #[test]
+    fn block_map_sees_identical_block_starts_at_every_thread_count() {
+        let _guard = test_lock();
+        // Record each index's block start: worker splits must never move a
+        // block boundary (that is what keeps block-sensitive state private).
+        let run = || {
+            par_map_blocks_with(
+                100,
+                8,
+                || (),
+                |(), start, out| {
+                    out.fill(start);
+                },
+            )
+        };
+        set_thread_count(1);
+        let serial = run();
+        for threads in [2, 4, 7] {
+            set_thread_count(threads);
+            assert_eq!(serial, run(), "block starts moved at {threads} threads");
+        }
+        set_thread_count(0);
+        // Blocks are exactly the serial chunking: 0,0,...,8,8,...,96,...
+        assert!(serial.iter().enumerate().all(|(i, &s)| s == i / 8 * 8));
+    }
+
+    #[test]
+    fn block_map_empty_and_tiny_inputs() {
+        assert!(
+            par_map_blocks_with(0, 64, || (), |(), _, out: &mut [f64]| out.fill(1.0)).is_empty()
+        );
+        let one = par_map_blocks_with(
+            1,
+            64,
+            || (),
+            |(), start, out: &mut [f64]| out.fill(start as f64 + 7.0),
+        );
+        assert_eq!(one, vec![7.0]);
     }
 
     #[test]

@@ -8,7 +8,6 @@
 //! candidates and keeps a split only when it reduces the training error of the
 //! most accurate known program by a meaningful margin.
 
-use crate::accuracy::bits_of_error;
 use crate::improve::Candidate;
 use crate::pareto::ParetoFrontier;
 use crate::sample::SampleSet;
@@ -18,22 +17,18 @@ use targets::{program_cost, FloatExpr, Target};
 /// Minimum improvement (mean bits of error) required to keep a branch.
 const MIN_IMPROVEMENT_BITS: f64 = 0.5;
 
+/// Per-point training errors of one candidate, computed on the block engine
+/// (one bytecode compilation per candidate, one instruction dispatch per
+/// block of points).
 fn per_point_errors(target: &Target, expr: &FloatExpr, samples: &SampleSet) -> Vec<f64> {
-    // One bytecode compilation per candidate, reused for the whole training
-    // sweep (the old path rebuilt a `HashMap` environment per point and
-    // re-walked the tree).
-    let program = targets::compile(target, expr);
-    let columns = program.bind_columns(&samples.vars);
-    let mut regs = program.new_regs();
-    samples
-        .train
-        .iter()
-        .zip(&samples.train_truth)
-        .map(|(point, truth)| {
-            let out = program.eval_point(&columns, point, &mut regs);
-            bits_of_error(out, *truth, samples.output_type)
-        })
-        .collect()
+    crate::accuracy::per_point_errors(
+        target,
+        expr,
+        &samples.vars,
+        &samples.train,
+        &samples.train_truth,
+        samples.output_type,
+    )
 }
 
 /// Candidate split thresholds for a variable: quantiles of its training values
@@ -75,7 +70,11 @@ pub fn infer_regimes(
 
     let mut best: Option<(FloatExpr, f64, f64)> = None;
     for (var_idx, var) in samples.vars.iter().enumerate() {
-        let mut values: Vec<f64> = samples.train.iter().map(|p| p[var_idx]).collect();
+        // The columnar layout hands us the variable's training values as one
+        // contiguous slice — both for the threshold quantiles and the split
+        // scan below.
+        let column = samples.train.col(var_idx);
+        let mut values: Vec<f64> = column.to_vec();
         for threshold in candidate_thresholds(&mut values) {
             for (i, low_candidate) in candidates.iter().enumerate() {
                 for (j, high_candidate) in candidates.iter().enumerate() {
@@ -84,8 +83,8 @@ pub fn infer_regimes(
                     }
                     // Mean error when using candidate i below the threshold and j above.
                     let mut total = 0.0;
-                    for (k, point) in samples.train.iter().enumerate() {
-                        let err = if point[var_idx] < threshold {
+                    for (k, &value) in column.iter().enumerate() {
+                        let err = if value < threshold {
                             errors[i][k]
                         } else {
                             errors[j][k]

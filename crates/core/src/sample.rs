@@ -10,20 +10,26 @@ use crate::par;
 use crate::rng::Rng;
 use fpcore::{FPCore, FpType, Symbol};
 use rival::{Evaluator, GroundTruth};
+use targets::Columns;
 
 /// A set of sampled points with their ground-truth results.
+///
+/// Points are stored columnar ([`Columns`]): one contiguous `f64` column per
+/// variable, the layout the block evaluator consumes directly — the sampled
+/// batch is transposed once here and never re-shaped (or re-allocated
+/// per point) by any downstream consumer.
 #[derive(Clone, Debug)]
 pub struct SampleSet {
-    /// Variable order used by every point vector.
+    /// Variable order used by the point columns.
     pub vars: Vec<Symbol>,
     /// Output representation used for ground truth.
     pub output_type: FpType,
-    /// Training points (used to guide the search).
-    pub train: Vec<Vec<f64>>,
+    /// Training points (used to guide the search), one column per variable.
+    pub train: Columns,
     /// Correctly rounded value of the input expression at each training point.
     pub train_truth: Vec<f64>,
-    /// Held-out test points (used for reporting).
-    pub test: Vec<Vec<f64>>,
+    /// Held-out test points (used for reporting), one column per variable.
+    pub test: Columns,
     /// Correctly rounded value at each test point.
     pub test_truth: Vec<f64>,
 }
@@ -203,14 +209,17 @@ impl Sampler {
                 requested,
             });
         }
-        // Split into train / test, keeping the requested proportions when short.
+        // Split into train / test, keeping the requested proportions when
+        // short, and transpose the accepted rows into the columnar layout the
+        // evaluation pipeline consumes.
         let train_len = ((points.len() * train) / requested).max(1);
-        let test_points = points.split_off(train_len.min(points.len()));
         let test_truths = truths.split_off(train_len.min(truths.len()));
+        let (train_points, test_points) =
+            Columns::from_rows(vars.len(), &points).split_at(train_len);
         Ok(SampleSet {
             vars,
             output_type: core.precision,
-            train: points,
+            train: train_points,
             train_truth: truths,
             test: test_points,
             test_truth: test_truths,
@@ -225,11 +234,15 @@ impl Sampler {
         &self,
         expr: &fpcore::Expr,
         vars: &[Symbol],
-        points: &[Vec<f64>],
+        points: &Columns,
         ty: FpType,
     ) -> Vec<GroundTruth> {
-        par::par_map(points, |point| {
-            let env: Vec<(Symbol, f64)> = vars.iter().copied().zip(point.iter().copied()).collect();
+        par::par_map_range(points.len(), |i| {
+            let env: Vec<(Symbol, f64)> = vars
+                .iter()
+                .enumerate()
+                .map(|(v, sym)| (*sym, points.value(i, v)))
+                .collect();
             self.evaluator.eval(expr, &env, ty)
         })
     }
@@ -291,7 +304,7 @@ mod tests {
     fn preconditions_are_respected() {
         let core = parse_fpcore("(FPCore (x) :pre (and (> x 0) (< x 1)) (sqrt x))").unwrap();
         let set = Sampler::new(1).sample(&core, 12, 4).unwrap();
-        for point in set.train.iter().chain(&set.test) {
+        for point in set.train.rows().chain(set.test.rows()) {
             assert!(
                 point[0] > 0.0 && point[0] < 1.0,
                 "point {point:?} violates the precondition"
@@ -303,7 +316,7 @@ mod tests {
     fn truths_match_ground_truth() {
         let core = parse_fpcore("(FPCore (x) (* x x))").unwrap();
         let set = Sampler::new(3).sample(&core, 6, 2).unwrap();
-        for (point, truth) in set.train.iter().zip(&set.train_truth) {
+        for (point, truth) in set.train.rows().zip(&set.train_truth) {
             // x*x rounded once: ground truth equals the double product here.
             assert_eq!(*truth, point[0] * point[0]);
         }
@@ -314,7 +327,7 @@ mod tests {
         // sqrt of a negative number is NaN; all sampled points must be >= 0.
         let core = parse_fpcore("(FPCore (x) (sqrt x))").unwrap();
         let set = Sampler::new(11).sample(&core, 10, 2).unwrap();
-        for point in set.train.iter().chain(&set.test) {
+        for point in set.train.rows().chain(set.test.rows()) {
             assert!(point[0] >= 0.0);
         }
     }
@@ -334,7 +347,7 @@ mod tests {
         let core = parse_fpcore("(FPCore ((! :precision binary32 x)) :precision binary32 (+ x 1))")
             .unwrap();
         let set = Sampler::new(2).sample(&core, 6, 2).unwrap();
-        for point in &set.train {
+        for point in set.train.rows() {
             assert_eq!(point[0], point[0] as f32 as f64, "values must be binary32");
         }
         assert_eq!(set.output_type, FpType::Binary32);

@@ -78,7 +78,7 @@ pub enum Instr {
 }
 
 impl Instr {
-    fn dst(&self) -> u32 {
+    pub(crate) fn dst(&self) -> u32 {
         match *self {
             Instr::Un { dst, .. }
             | Instr::Bin { dst, .. }
@@ -86,6 +86,21 @@ impl Instr {
             | Instr::Round32 { dst, .. }
             | Instr::Select { dst, .. }
             | Instr::Call { dst, .. } => dst,
+        }
+    }
+
+    /// True when every register the instruction reads is below `limit` — the
+    /// SSA property (operands allocated before the destination) that lets the
+    /// block evaluator split its flat slab at the destination row.
+    pub(crate) fn reads_below(&self, limit: u32, arg_pool: &[u32]) -> bool {
+        match *self {
+            Instr::Un { a, .. } | Instr::Round32 { a, .. } => a < limit,
+            Instr::Bin { a, b, .. } => a < limit && b < limit,
+            Instr::Tern { a, b, c, .. } => a < limit && b < limit && c < limit,
+            Instr::Select { c, t, e, .. } => c < limit && t < limit && e < limit,
+            Instr::Call { first, arity, .. } => arg_pool[first as usize..(first + arity) as usize]
+                .iter()
+                .all(|&reg| reg < limit),
         }
     }
 }
@@ -99,20 +114,23 @@ impl Instr {
 #[derive(Clone, Debug)]
 pub struct Program {
     /// Total register count (constants + variables + instruction outputs).
-    n_regs: usize,
+    pub(crate) n_regs: usize,
     /// Constant pool: `(register, value)`, preloaded by [`Program::new_regs`].
-    consts: Vec<(u32, f64)>,
+    pub(crate) consts: Vec<(u32, f64)>,
     /// Variables read by the program: `(register, symbol)`. The register holds
     /// the *raw* point value (per-occurrence rounding is a separate
     /// [`Instr::Round32`]); unbound variables load NaN, like the tree walk.
-    vars: Vec<(u32, Symbol)>,
-    /// The instruction stream, in dataflow order.
-    instrs: Vec<Instr>,
+    pub(crate) vars: Vec<(u32, Symbol)>,
+    /// The instruction stream, in dataflow order. SSA guarantees every
+    /// instruction's operand registers are smaller than its destination (the
+    /// block engine's slab split depends on this; [`Compiler::emit`] asserts
+    /// it).
+    pub(crate) instrs: Vec<Instr>,
     /// Argument registers for [`Instr::Call`], stored out of line so `Instr`
     /// stays `Copy` and small.
-    arg_pool: Vec<u32>,
+    pub(crate) arg_pool: Vec<u32>,
     /// The register holding the program result.
-    result: u32,
+    pub(crate) result: u32,
 }
 
 impl Program {
@@ -293,6 +311,10 @@ impl<'t> Compiler<'t> {
         let dst = self.fresh_reg();
         let instr = build(dst);
         debug_assert_eq!(instr.dst(), dst);
+        debug_assert!(
+            instr.reads_below(dst, &self.arg_pool),
+            "instruction reads a register at or above its destination"
+        );
         self.instrs.push(instr);
         self.cse.insert(key, dst);
         dst

@@ -7,12 +7,12 @@
 //! program over a set of pre-sampled points (used for the cost-model validation
 //! experiment, Figure 10).
 
+use crate::block::Columns;
 use crate::expr::FloatExpr;
 use crate::operator::round_to_type;
 use crate::target::Target;
 use fpcore::eval::Bindings;
 use fpcore::{RealOp, Symbol};
-use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
 /// A borrowed environment of parallel slices: `vars[i]` is bound to `vals[i]`.
@@ -42,17 +42,6 @@ impl Bindings for SliceEnv<'_> {
             .position(|v| *v == var)
             .and_then(|i| self.vals.get(i).copied())
     }
-}
-
-/// Evaluates a program at a point. Variables are looked up in `env`; missing
-/// variables evaluate to NaN.
-#[deprecated(
-    since = "0.1.0",
-    note = "build the environment once and use `eval_float_expr_in` (any `Bindings` works, \
-            including `HashMap`), or `compile` the program for repeated evaluation"
-)]
-pub fn eval_float_expr(target: &Target, expr: &FloatExpr, env: &HashMap<Symbol, f64>) -> f64 {
-    eval_float_expr_in(target, expr, env)
 }
 
 /// Evaluates a program against a point given as a value slice parallel to
@@ -111,44 +100,48 @@ pub fn eval_float_expr_in<E: Bindings + ?Sized>(target: &Target, expr: &FloatExp
     }
 }
 
-/// Evaluates a program over many points without building per-point environments.
+/// Evaluates a program over a columnar batch of points without building
+/// per-point environments.
 ///
 /// Compiles the program to bytecode once ([`crate::compile::compile`]) and
-/// reuses the compiled form — and one register file — for the whole batch. The
-/// results are bit-identical to calling [`eval_float_expr_indexed`] per point.
+/// sweeps the batch in blocks ([`crate::block`]), reusing one columnar
+/// register file throughout. The results are bit-identical to calling
+/// [`eval_float_expr_indexed`] per point.
 pub fn eval_batch(
     target: &Target,
     expr: &FloatExpr,
     vars: &[Symbol],
-    points: &[Vec<f64>],
+    points: &Columns,
 ) -> Vec<f64> {
-    crate::compile::compile(target, expr).eval_batch(vars, points)
+    crate::compile::compile(target, expr).eval_columns(vars, points)
 }
 
 /// Measures the wall-clock time of evaluating `expr` over all `points`,
 /// repeating the sweep `repeats` times and returning the fastest sweep (the
 /// standard way to reduce scheduling noise).
 ///
-/// The program is compiled to bytecode once, outside the timed region: this
-/// measures the steady-state per-point cost, which is what the cost-model
-/// validation (Figure 10) compares against.
+/// The program is compiled to bytecode — and the columnar register file and
+/// output buffer are allocated — once, outside the timed region: this
+/// measures the steady-state per-point cost of the block engine, which is
+/// what the cost-model validation (Figure 10) compares against.
 pub fn measure_runtime(
     target: &Target,
     expr: &FloatExpr,
     vars: &[Symbol],
-    points: &[Vec<f64>],
+    points: &Columns,
     repeats: usize,
 ) -> Duration {
     let program = crate::compile::compile(target, expr);
     let columns = program.bind_columns(vars);
-    let mut regs = program.new_regs();
+    let mut regs = program.new_block_regs(crate::block::block_width_for(points.len()));
+    let mut out = vec![0.0; points.len()];
     let mut best = Duration::MAX;
     let mut sink = 0.0f64;
     for _ in 0..repeats.max(1) {
         let start = Instant::now();
-        for point in points {
-            let value = program.eval_point(&columns, point, &mut regs);
-            // Accumulate into a sink so the work cannot be optimized away.
+        program.eval_range(&columns, points, 0, &mut regs, &mut out);
+        // Accumulate into a sink so the work cannot be optimized away.
+        for &value in &out {
             sink += if value.is_finite() { value } else { 0.0 };
         }
         let elapsed = start.elapsed();
@@ -165,6 +158,7 @@ mod tests {
     use super::*;
     use crate::operator::Operator;
     use fpcore::FpType::*;
+    use std::collections::HashMap;
 
     fn target() -> Target {
         Target::new("t", "test").with_operators(vec![
@@ -235,7 +229,8 @@ mod tests {
         let exp = t.find_operator("exp.f64").unwrap();
         let prog = FloatExpr::Op(exp, vec![FloatExpr::Var(Symbol::new("x"), Binary64)]);
         let vars = [Symbol::new("x")];
-        let points: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64 * 0.1]).collect();
+        let rows: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64 * 0.1]).collect();
+        let points = Columns::from_rows(1, &rows);
         let batch = eval_batch(&t, &prog, &vars, &points);
         assert_eq!(batch.len(), 10);
         for (i, v) in batch.iter().enumerate() {
@@ -256,7 +251,8 @@ mod tests {
             costly = FloatExpr::Op(exp, vec![costly]);
         }
         let vars = [Symbol::new("x")];
-        let points: Vec<Vec<f64>> = (0..200).map(|i| vec![(i as f64) * 1e-3]).collect();
+        let rows: Vec<Vec<f64>> = (0..200).map(|i| vec![(i as f64) * 1e-3]).collect();
+        let points = Columns::from_rows(1, &rows);
         let cheap_time = measure_runtime(&t, &cheap, &vars, &points, 3);
         let costly_time = measure_runtime(&t, &costly, &vars, &points, 3);
         assert!(cheap_time > Duration::ZERO);

@@ -19,11 +19,16 @@
 //!   register-machine [`Program`] per candidate, bit-identical to the
 //!   interpreter and reused across every sample point (the evaluation hot
 //!   path),
+//! * [`mod@block`] — structure-of-arrays block execution of compiled
+//!   programs: columnar point batches ([`Columns`]) swept one instruction per
+//!   *block* of points against a columnar register file, bit-identical to the
+//!   scalar engine at every block width,
 //! * [`autotune`] — the cost auto-tuner that times each operator in a hot loop,
 //! * [`builtin`] — the nine target descriptions: Arith, Arith+FMA, AVX, C99,
 //!   Python, Julia, NumPy, vdt, fdlibm.
 
 pub mod autotune;
+pub mod block;
 pub mod builtin;
 pub mod compile;
 pub mod costmodel;
@@ -32,12 +37,11 @@ pub mod interp;
 pub mod operator;
 pub mod target;
 
+pub use block::{BlockRegs, Columns, DEFAULT_BLOCK};
 pub use compile::{compile, Program};
 pub use costmodel::program_cost;
 pub use expr::FloatExpr;
 pub use fpcore::eval::Bindings;
-#[allow(deprecated)]
-pub use interp::eval_float_expr;
 pub use interp::{
     eval_batch, eval_float_expr_in, eval_float_expr_indexed, measure_runtime, SliceEnv,
 };

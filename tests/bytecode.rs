@@ -15,7 +15,7 @@
 
 use chassis::rng::Rng;
 use fpcore::{FpType, RealOp, Symbol};
-use targets::{builtin, eval_float_expr_in, FloatExpr, SliceEnv, Target};
+use targets::{builtin, eval_float_expr_in, Columns, FloatExpr, SliceEnv, Target};
 
 /// Input values that exercise every float class the evaluators can disagree
 /// on, plus a couple of benign magnitudes.
@@ -134,13 +134,77 @@ fn batch_and_single_point_entry_points_agree() {
     let vars = [Symbol::new("x"), Symbol::new("y")];
     for _ in 0..20 {
         let expr = arb_float_expr(&mut rng, &target, FpType::Binary64, 3);
-        let points: Vec<Vec<f64>> = (0..16)
+        let rows: Vec<Vec<f64>> = (0..16)
             .map(|_| vec![arb_value(&mut rng), arb_value(&mut rng)])
             .collect();
-        let batch = targets::eval_batch(&target, &expr, &vars, &points);
-        for (point, batched) in points.iter().zip(batch) {
+        let batch = targets::eval_batch(&target, &expr, &vars, &Columns::from_rows(2, &rows));
+        for (point, batched) in rows.iter().zip(batch) {
             let single = eval_float_expr_in(&target, &expr, &SliceEnv::new(&vars, point));
             assert_eq!(single.to_bits(), batched.to_bits());
+        }
+    }
+}
+
+/// The block engine claims bit identity with the scalar bytecode engine and
+/// the tree walk at *every* block width. Exercise random programs over every
+/// builtin target on a batch whose length (67) is a multiple of none of the
+/// tested widths — so each width runs its ragged tail — with inputs that
+/// include NaN, infinities, signed zeros, and subnormals.
+#[test]
+fn block_engine_is_bit_identical_at_every_block_size() {
+    const BATCH: usize = 67;
+    let vars = [Symbol::new("x"), Symbol::new("y")];
+    for target in builtin::all_targets() {
+        let mut rng = Rng::new(0x0B10_C0DE_u64 ^ target.name.len() as u64);
+        for case in 0..20 {
+            let ty = if rng.below(3) == 0 {
+                FpType::Binary32
+            } else {
+                FpType::Binary64
+            };
+            let expr = arb_float_expr(&mut rng, &target, ty, 4);
+            let rows: Vec<Vec<f64>> = (0..BATCH)
+                .map(|_| vec![arb_value(&mut rng), arb_value(&mut rng)])
+                .collect();
+            let points = Columns::from_rows(2, &rows);
+            let program = targets::compile(&target, &expr);
+            let columns = program.bind_columns(&vars);
+            // Reference: the tree walk and the scalar bytecode engine.
+            let mut regs = program.new_regs();
+            for (i, point) in rows.iter().enumerate() {
+                let tree = eval_float_expr_in(&target, &expr, &SliceEnv::new(&vars, point));
+                let scalar = program.eval_point(&columns, point, &mut regs);
+                assert_eq!(
+                    tree.to_bits(),
+                    scalar.to_bits(),
+                    "scalar bytecode diverges from tree walk on {} case {case} point {i}",
+                    target.name
+                );
+            }
+            let reference: Vec<u64> = rows
+                .iter()
+                .map(|point| {
+                    eval_float_expr_in(&target, &expr, &SliceEnv::new(&vars, point)).to_bits()
+                })
+                .collect();
+            // Block mode at degenerate (1), odd (3), default (64), and
+            // whole-batch widths.
+            for width in [1usize, 3, 64, BATCH] {
+                let mut block_regs = program.new_block_regs(width);
+                let mut out = vec![0.0; BATCH];
+                program.eval_range(&columns, &points, 0, &mut block_regs, &mut out);
+                for (i, (got, want)) in out.iter().zip(&reference).enumerate() {
+                    assert_eq!(
+                        got.to_bits(),
+                        *want,
+                        "block width {width} diverges on {} case {case} point {i} \
+                         ({:?}) for {}",
+                        target.name,
+                        rows[i],
+                        expr.render(&target)
+                    );
+                }
+            }
         }
     }
 }
@@ -156,15 +220,18 @@ fn mean_error_on_compiled_path_matches_tree_walk_recomputation() {
         let mut rng = Rng::new(0xACC);
         for _ in 0..10 {
             let expr = arb_float_expr(&mut rng, &target, FpType::Binary64, 4);
-            let points: Vec<Vec<f64>> = (0..64)
+            // A batch length that is not a multiple of the default block
+            // width, so the mean runs through the ragged tail path too.
+            let rows: Vec<Vec<f64>> = (0..97)
                 .map(|_| vec![arb_value(&mut rng), arb_value(&mut rng)])
                 .collect();
             // Ground truths do not need to be true values for this test — any
             // reference works, including specials.
-            let truths: Vec<f64> = (0..64).map(|_| arb_value(&mut rng)).collect();
+            let truths: Vec<f64> = (0..97).map(|_| arb_value(&mut rng)).collect();
+            let points = Columns::from_rows(2, &rows);
             let compiled =
                 mean_bits_of_error(&target, &expr, &vars, &points, &truths, FpType::Binary64);
-            let tree: f64 = points
+            let tree: f64 = rows
                 .iter()
                 .zip(&truths)
                 .map(|(point, truth)| {
