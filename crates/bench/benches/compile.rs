@@ -3,7 +3,7 @@
 
 use chassis::baseline::clang::{compile_clang, ClangConfig, OptLevel};
 use chassis::baseline::herbie::HerbieCompiler;
-use chassis::{Chassis, Config};
+use chassis::{Config, Session};
 use criterion::{criterion_group, criterion_main, Criterion};
 use fpcore::parse_fpcore;
 use std::time::Duration;
@@ -17,19 +17,30 @@ fn benchmark_core() -> fpcore::FPCore {
 
 fn bench_chassis_compile(c: &mut Criterion) {
     let core = benchmark_core();
+    // Full pipeline per iteration: a fresh session prepares (samples + ground
+    // truth) and compiles.
     c.bench_function("chassis_compile_c99_fast", |b| {
         b.iter(|| {
             let target = builtin::by_name("c99").unwrap();
-            let compiler = Chassis::new(target).with_config(Config::fast());
-            std::hint::black_box(compiler.compile(&core).unwrap())
+            let session = Session::new(Config::fast());
+            std::hint::black_box(session.compile(&core, &target).unwrap())
         })
     });
     c.bench_function("chassis_compile_avx_fast", |b| {
         b.iter(|| {
             let target = builtin::by_name("avx").unwrap();
-            let compiler = Chassis::new(target).with_config(Config::fast());
-            std::hint::black_box(compiler.compile(&core))
+            let session = Session::new(Config::fast());
+            std::hint::black_box(session.compile(&core, &target))
         })
+    });
+    // Search only: preparation is done once outside the loop, the way a
+    // multi-target sweep amortizes it.
+    let prepared = Session::new(Config::fast())
+        .prepare(&core)
+        .expect("benchmark prepares");
+    c.bench_function("chassis_compile_c99_fast_prepared", |b| {
+        let target = builtin::by_name("c99").unwrap();
+        b.iter(|| std::hint::black_box(prepared.compile(&target).unwrap()))
     });
 }
 

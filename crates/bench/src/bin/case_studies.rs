@@ -5,21 +5,20 @@
 //! 3. the inverse hyperbolic cotangent on fdlibm (`log1pmd`).
 //!
 //! ```text
-//! cargo run --release -p chassis-bench --bin case_studies
+//! cargo run --release -p chassis-bench --bin case_studies [-- --seed N]
 //! ```
 
+use chassis::Session;
 use chassis_bench::{run_chassis_full, HarnessOptions};
 use fpcore::parse_fpcore;
 use targets::builtin;
 
-fn study(title: &str, target_name: &str, source: &str, highlight: &[&str]) {
-    let options = HarnessOptions::from_args();
-    let config = options.config();
+fn study(session: &Session, title: &str, target_name: &str, source: &str, highlight: &[&str]) {
     let target = builtin::by_name(target_name).expect("builtin target");
     let core = parse_fpcore(source).expect("case study parses");
     println!("\n=== {title} (target: {target_name}) ===");
     println!("input: {}", core);
-    match run_chassis_full(&target, &core, &config) {
+    match run_chassis_full(session, &target, &core) {
         None => println!("  compilation failed (sampling or unsupported)"),
         Some(result) => {
             println!(
@@ -48,19 +47,23 @@ fn study(title: &str, target_name: &str, source: &str, highlight: &[&str]) {
 }
 
 fn main() {
+    let session = HarnessOptions::from_args().session();
     study(
+        &session,
         "Quadratic formula (half-b form)",
         "avx",
         "(FPCore ((! :precision binary32 a) (! :precision binary32 b2) (! :precision binary32 c)) :precision binary32 :name \"quadratic (paper 6.4)\" :pre (and (> a 0.001) (< a 100) (> b2 0.01) (< b2 100) (> c 0.001) (< c 1) (> (- (* b2 b2) (* a c)) 0.0001)) (/ (+ (- b2) (sqrt (- (* b2 b2) (* a c)))) a))",
         &["fmadd", "fmsub", "fnmadd", "fnmsub", "rcp.f32", "rsqrt.f32"],
     );
     study(
+        &session,
         "Ellipse implicit-equation coefficient",
         "julia",
         "(FPCore (a b theta) :name \"ellipse coefficient (paper 6.4)\" :pre (and (> a 0.01) (< a 100) (> b 0.01) (< b 100) (> theta -360) (< theta 360)) (+ (* (* a a) (* (sin (* (/ PI 180) theta)) (sin (* (/ PI 180) theta)))) (* (* b b) (* (cos (* (/ PI 180) theta)) (cos (* (/ PI 180) theta))))))",
         &["sind.f64", "cosd.f64", "deg2rad.f64", "abs2.f64", "sinpi.f64"],
     );
     study(
+        &session,
         "Inverse hyperbolic cotangent",
         "fdlibm",
         "(FPCore (x) :name \"acoth (paper 6.4)\" :pre (and (> x -0.9) (< x 0.9) (!= x 0)) (* (/ 1 2) (log (/ (+ 1 x) (- 1 x)))))",

@@ -7,7 +7,7 @@
 //! correlation.
 //!
 //! ```text
-//! cargo run --release -p chassis-bench --bin fig10_costmodel -- --limit 6
+//! cargo run --release -p chassis-bench --bin fig10_costmodel -- --limit 6 [--seed N]
 //! ```
 
 use chassis_bench::{pearson_correlation, run_chassis_full, run_corpus, HarnessOptions};
@@ -15,14 +15,17 @@ use targets::{builtin, measure_runtime};
 
 fn main() {
     let options = HarnessOptions::from_args();
-    let config = options.config();
     let benchmarks = options.benchmarks();
+    // One session across all four targets: each benchmark is sampled and
+    // ground-truthed once, on its first target.
+    let session = options.session();
     // A spread of targets with different cost profiles.
     let target_names = ["c99", "avx", "julia", "vdt"];
     println!(
-        "Figure 10: estimated cost vs measured run time ({} benchmarks x {} targets)",
+        "Figure 10: estimated cost vs measured run time ({} benchmarks x {} targets, seed {})",
         benchmarks.len(),
-        target_names.len()
+        target_names.len(),
+        session.seed()
     );
     println!(
         "{:<28} {:<8} {:>14} {:>16}",
@@ -36,7 +39,7 @@ fn main() {
         // Compilation is parallel across benchmarks; the run-time measurements
         // below stay serial so worker threads cannot distort the timings.
         let compiled = run_corpus(&benchmarks, |benchmark| {
-            run_chassis_full(&target, &benchmark.fpcore(), &config)
+            run_chassis_full(&session, &target, &benchmark.fpcore())
                 .map(|result| (benchmark.name, result))
         });
         for (bench_name, result) in compiled.into_iter().flatten() {
@@ -69,5 +72,10 @@ fn main() {
         costs.len(),
         r,
         r_log
+    );
+    println!(
+        "(prepared {} benchmarks once for {} target sweeps)",
+        session.prepare_count(),
+        target_names.len()
     );
 }

@@ -12,18 +12,18 @@
 
 use chassis::accuracy;
 use chassis::baseline::clang::{compile_clang, ClangConfig};
-use chassis::sample::Sampler;
-use chassis_bench::{geometric_mean, joint_curve, run_chassis, run_corpus, HarnessOptions};
+use chassis_bench::{geometric_mean, joint_curve, run_corpus, BenchmarkOutcome, HarnessOptions};
 use targets::{builtin, program_cost};
 
 fn main() {
     let options = HarnessOptions::from_args();
-    let config = options.config();
     let target = builtin::by_name("c99").expect("c99 target");
     let benchmarks = options.benchmarks();
+    let session = options.session();
     println!(
-        "Figure 7: Chassis vs Clang on the C99 target ({} benchmarks)",
-        benchmarks.len()
+        "Figure 7: Chassis vs Clang on the C99 target ({} benchmarks, seed {})",
+        benchmarks.len(),
+        session.seed()
     );
 
     // --- Clang configurations -------------------------------------------------
@@ -43,11 +43,11 @@ fn main() {
     // back in corpus order and are aggregated sequentially below.
     let per_benchmark = run_corpus(&benchmarks, |benchmark| {
         let core = benchmark.fpcore();
-        // Sample once per benchmark so every configuration is scored on the same
-        // points.
-        let samples = Sampler::new(config.seed)
-            .sample(&core, config.train_points, config.test_points)
-            .ok()?;
+        // Prepare once per benchmark: the session's sample set scores every
+        // Clang configuration *and* feeds the Chassis search — one sampling
+        // pass where the pre-session harness ran two.
+        let prepared = session.prepare(&core).ok()?;
+        let samples = prepared.samples();
         let o0 = compile_clang(&core, &target, ClangConfig::all()[0]).ok()?;
         let o0_cost = program_cost(&target, &o0);
         let clang_points: Vec<Option<(f64, f64)>> = ClangConfig::all()
@@ -55,11 +55,14 @@ fn main() {
             .map(|clang_config| {
                 let program = compile_clang(&core, &target, clang_config).ok()?;
                 let cost = program_cost(&target, &program);
-                let (_, acc) = accuracy::evaluate_on_test(&target, &program, &samples);
+                let (_, acc) = accuracy::evaluate_on_test(&target, &program, samples);
                 Some((o0_cost / cost.max(1e-9), acc))
             })
             .collect();
-        let outcome = run_chassis(&target, benchmark, &config);
+        let outcome = prepared
+            .compile(&target)
+            .ok()
+            .map(|r| BenchmarkOutcome::from_result(benchmark.name, &r));
         Some((benchmark.name.to_owned(), o0_cost, clang_points, outcome))
     });
 

@@ -5,37 +5,47 @@
 //! the initial input programs, each accuracy level is normalized by the cost of
 //! Herbie's cheapest program reaching that accuracy.
 //!
+//! Like fig8, the corpus is prepared once through a session — sampling, ground
+//! truth, and the target-agnostic Herbie run happen per benchmark, not per
+//! (benchmark, target).
+//!
 //! ```text
-//! cargo run --release -p chassis-bench --bin fig9_over_herbie -- --limit 5
+//! cargo run --release -p chassis-bench --bin fig9_over_herbie -- --limit 5 [--seed N]
 //! ```
 
 use chassis_bench::{
-    geometric_mean, run_chassis, run_corpus, run_herbie_transcribed, HarnessOptions,
+    geometric_mean, herbie_transcribed_outcome, prepare_corpus, run_prepared_corpus,
+    BenchmarkOutcome, HarnessOptions,
 };
 use targets::builtin;
 
 fn main() {
     let options = HarnessOptions::from_args();
-    let config = options.config();
     let benchmarks = options.benchmarks();
+    let session = options.session();
     println!(
-        "Figure 9: Chassis speedup over Herbie at matched accuracy ({} benchmarks)",
-        benchmarks.len()
+        "Figure 9: Chassis speedup over Herbie at matched accuracy ({} benchmarks, seed {})",
+        benchmarks.len(),
+        session.seed()
     );
     println!(
         "{:<12} {:>12} {:>12} {:>12}  {:>10}",
         "target", "low acc", "mid acc", "high acc", "benchmarks"
     );
 
+    let prepared = prepare_corpus(&session, &benchmarks, true);
     for target in builtin::all_targets() {
         let mut per_level: Vec<Vec<f64>> = vec![Vec::new(), Vec::new(), Vec::new()];
         let mut counted = 0usize;
-        // Compile both systems on every benchmark in parallel, then aggregate
-        // the comparable pairs in corpus order.
-        let pairs = run_corpus(&benchmarks, |benchmark| {
+        // Search both systems per benchmark in parallel against the shared
+        // prepared state, then aggregate the comparable pairs in corpus order.
+        let pairs = run_prepared_corpus(&prepared, |pb| {
             (
-                run_chassis(&target, benchmark, &config),
-                run_herbie_transcribed(&target, benchmark, &config),
+                pb.prepared
+                    .compile(&target)
+                    .ok()
+                    .map(|r| BenchmarkOutcome::from_result(pb.benchmark.name, &r)),
+                herbie_transcribed_outcome(&target, pb),
             )
         });
         for (chassis, herbie) in pairs {
@@ -79,4 +89,9 @@ fn main() {
         "\n(values > 1 mean Chassis' program is cheaper than Herbie's at that accuracy level;"
     );
     println!(" 'high acc' is the regime the paper notes Herbie is especially tuned for)");
+    println!(
+        "(prepared {} benchmarks once for {} target sweeps)",
+        session.prepare_count(),
+        builtin::all_targets().len()
+    );
 }

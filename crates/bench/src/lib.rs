@@ -7,8 +7,8 @@
 //! shared here.
 
 use benchsuite::Benchmark;
-use chassis::baseline::herbie::{transcribe, HerbieCompiler};
-use chassis::{Chassis, CompilationResult, Config};
+use chassis::baseline::herbie::transcribe;
+use chassis::{CompilationResult, Config, Prepared, Session};
 use fpcore::FPCore;
 use targets::{program_cost, Target};
 
@@ -33,7 +33,8 @@ pub struct BenchmarkOutcome {
 }
 
 impl BenchmarkOutcome {
-    fn from_result(name: &str, result: &CompilationResult) -> BenchmarkOutcome {
+    /// Extracts the aggregate-relevant statistics from a compilation result.
+    pub fn from_result(name: &str, result: &CompilationResult) -> BenchmarkOutcome {
         BenchmarkOutcome {
             name: name.to_owned(),
             initial: PointStats {
@@ -83,6 +84,9 @@ pub struct HarnessOptions {
     pub limit: usize,
     /// Use the fast search configuration.
     pub fast: bool,
+    /// RNG seed override (`--seed N`); `None` keeps the configuration default,
+    /// so corpus runs are reproducible from the CLI without recompiling.
+    pub seed: Option<u64>,
 }
 
 impl Default for HarnessOptions {
@@ -90,12 +94,14 @@ impl Default for HarnessOptions {
         HarnessOptions {
             limit: 8,
             fast: true,
+            seed: None,
         }
     }
 }
 
 impl HarnessOptions {
-    /// Parses `--limit N`, `--full` and `--thorough` from `std::env::args`.
+    /// Parses `--limit N`, `--full`, `--thorough` and `--seed N` from
+    /// `std::env::args`.
     pub fn from_args() -> HarnessOptions {
         let mut options = HarnessOptions::default();
         let args: Vec<String> = std::env::args().collect();
@@ -105,6 +111,12 @@ impl HarnessOptions {
                 "--limit" => {
                     if let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) {
                         options.limit = v;
+                    }
+                    i += 2;
+                }
+                "--seed" => {
+                    if let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) {
+                        options.seed = Some(v);
                     }
                     i += 2;
                 }
@@ -124,11 +136,20 @@ impl HarnessOptions {
 
     /// The search configuration implied by the options.
     pub fn config(&self) -> Config {
-        if self.fast {
+        let config = if self.fast {
             Config::fast()
         } else {
             Config::default()
+        };
+        match self.seed {
+            Some(seed) => config.with_seed(seed),
+            None => config,
         }
+    }
+
+    /// A session over the implied configuration.
+    pub fn session(&self) -> Session {
+        Session::new(self.config())
     }
 
     /// The benchmark subset implied by the options (spread across groups).
@@ -179,52 +200,102 @@ where
     chassis::par::par_map(benchmarks, |benchmark| run(benchmark))
 }
 
-/// Runs Chassis on one benchmark for one target.
+/// [`run_corpus`] over prepared benchmarks: the per-target half of a
+/// multi-target sweep, parallel across benchmarks with the target-independent
+/// state already in hand.
+pub fn run_prepared_corpus<R, F>(prepared: &[PreparedBenchmark], run: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(&PreparedBenchmark) -> R + Sync,
+{
+    chassis::par::par_map(prepared, run)
+}
+
+/// Runs Chassis on one benchmark for one target, preparing through `session`
+/// (so a second target on the same session reuses the benchmark's samples and
+/// ground truth).
 pub fn run_chassis(
+    session: &Session,
     target: &Target,
     benchmark: &Benchmark,
-    config: &Config,
 ) -> Option<BenchmarkOutcome> {
-    let core = benchmark.fpcore();
-    let result = Chassis::new(target.clone())
-        .with_config(config.clone())
-        .compile(&core)
-        .ok()?;
+    let result = session.compile(&benchmark.fpcore(), target).ok()?;
     Some(BenchmarkOutcome::from_result(benchmark.name, &result))
 }
 
 /// Runs the full Chassis pipeline and returns the raw result (used by the case
 /// studies, which need the rendered programs).
 pub fn run_chassis_full(
+    session: &Session,
     target: &Target,
     core: &FPCore,
-    config: &Config,
 ) -> Option<CompilationResult> {
-    Chassis::new(target.clone())
-        .with_config(config.clone())
-        .compile(core)
-        .ok()
+    session.compile(core, target).ok()
 }
 
-/// Runs the Herbie-style baseline on one benchmark and transcribes each output to
-/// the given target (Section 6.3). Programs using unavailable operators are
-/// discarded, as in the paper.
-pub fn run_herbie_transcribed(
+/// One benchmark's target-independent state, computed once and shared by every
+/// target: the Chassis preparation (samples + ground truth) and, optionally,
+/// the Herbie baseline's target-agnostic result.
+pub struct PreparedBenchmark {
+    /// The corpus benchmark.
+    pub benchmark: &'static Benchmark,
+    /// Chassis' prepared state (compile it per target).
+    pub prepared: Prepared,
+    /// The Herbie-style baseline's output (transcribe it per target), when
+    /// requested and successful.
+    pub herbie: Option<CompilationResult>,
+}
+
+/// Prepares a corpus subset once for a multi-target sweep: per benchmark, one
+/// sampling + ground-truth pass (through the session cache) and — when
+/// `with_herbie` — one run of the target-agnostic Herbie baseline. The Herbie
+/// baseline compiles *from the shared preparation* (its search is just the
+/// Chassis loop on the abstract Herbie target, and preparation is
+/// target-independent), so requesting it adds zero sampling passes.
+/// Benchmarks whose preparation fails are dropped. Parallel across benchmarks.
+pub fn prepare_corpus(
+    session: &Session,
+    benchmarks: &[&'static Benchmark],
+    with_herbie: bool,
+) -> Vec<PreparedBenchmark> {
+    let herbie_target = chassis::baseline::herbie::herbie_target();
+    run_corpus(benchmarks, |benchmark| {
+        let core = benchmark.fpcore();
+        let prepared = session.prepare(&core).ok()?;
+        let herbie_result = if with_herbie {
+            prepared.compile(&herbie_target).ok()
+        } else {
+            None
+        };
+        Some(PreparedBenchmark {
+            benchmark,
+            prepared,
+            herbie: herbie_result,
+        })
+    })
+    .into_iter()
+    .flatten()
+    .collect()
+}
+
+/// Transcribes a prepared benchmark's Herbie-baseline output onto a concrete
+/// target (Section 6.3). Programs using unavailable operators are discarded,
+/// as in the paper; returns `None` when nothing survives (the benchmark is
+/// then dropped from the comparison for both systems).
+pub fn herbie_transcribed_outcome(
     target: &Target,
-    benchmark: &Benchmark,
-    config: &Config,
+    prepared: &PreparedBenchmark,
 ) -> Option<BenchmarkOutcome> {
-    let core = benchmark.fpcore();
-    let herbie = HerbieCompiler::new(config.clone());
-    let result = herbie.compile(&core).ok()?;
+    let result = prepared.herbie.as_ref()?;
+    let core = prepared.prepared.core();
+    let herbie_target = chassis::baseline::herbie::herbie_target();
     let samples = &result.samples;
     let mut frontier: Vec<PointStats> = Vec::new();
     for imp in &result.implementations {
-        let Some(ported) = transcribe(&imp.expr, herbie.target(), target, core.precision) else {
+        let Some(ported) = transcribe(&imp.expr, &herbie_target, target, core.precision) else {
             continue;
         };
-        let (err, acc) = chassis::accuracy::evaluate_on_test(target, &ported, samples);
-        let _ = err;
+        let (_, acc) = chassis::accuracy::evaluate_on_test(target, &ported, samples);
         frontier.push(PointStats {
             cost: program_cost(target, &ported),
             accuracy_bits: acc,
@@ -240,7 +311,7 @@ pub fn run_herbie_transcribed(
     });
     // The initial program: the direct lowering of the original expression on the
     // concrete target (same reference as Chassis uses).
-    let initial_expr = chassis::lower_fpcore(&core, target).ok();
+    let initial_expr = chassis::lower_fpcore(core, target).ok();
     let initial = match initial_expr {
         Some(expr) => {
             let (_, acc) = chassis::accuracy::evaluate_on_test(target, &expr, samples);
@@ -252,7 +323,7 @@ pub fn run_herbie_transcribed(
         None => frontier[0],
     };
     Some(BenchmarkOutcome {
-        name: benchmark.name.to_owned(),
+        name: prepared.benchmark.name.to_owned(),
         initial,
         frontier,
     })
@@ -369,6 +440,7 @@ mod tests {
         let options = HarnessOptions {
             limit: 6,
             fast: true,
+            seed: None,
         };
         let picked = options.benchmarks();
         assert_eq!(picked.len(), 6);

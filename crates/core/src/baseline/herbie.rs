@@ -8,8 +8,9 @@
 //! operators are desugared into simpler ones where possible, and programs that
 //! still use unavailable operators are discarded (Section 6.3).
 
-use crate::compiler::{Chassis, CompilationResult, CompileError, Config};
+use crate::compiler::{CompilationResult, CompileError, Config};
 use crate::lower::{desugar_unsupported, DirectLowering};
+use crate::session::Session;
 use fpcore::{FPCore, FpType, RealOp};
 use targets::{FloatExpr, Operator, Target};
 
@@ -49,9 +50,14 @@ pub fn herbie_target() -> Target {
 }
 
 /// The Herbie-style compiler: Chassis' loop over the abstract target.
-#[derive(Clone, Debug)]
+///
+/// Runs on a private [`Session`], so repeated `compile` calls for the same
+/// benchmark (the figure harness asks once per concrete target) sample and
+/// ground-truth it only once.
+#[derive(Debug)]
 pub struct HerbieCompiler {
-    inner: Chassis,
+    target: Target,
+    session: Session,
 }
 
 impl Default for HerbieCompiler {
@@ -64,18 +70,23 @@ impl HerbieCompiler {
     /// Creates the baseline compiler with the given search configuration.
     pub fn new(config: Config) -> HerbieCompiler {
         HerbieCompiler {
-            inner: Chassis::new(herbie_target()).with_config(config),
+            target: herbie_target(),
+            session: Session::new(config),
         }
     }
 
     /// The abstract target Herbie compiles to.
     pub fn target(&self) -> &Target {
-        self.inner.target()
+        &self.target
     }
 
     /// Compiles a benchmark target-agnostically.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CompileError`] from sampling or the search.
     pub fn compile(&self, core: &FPCore) -> Result<CompilationResult, CompileError> {
-        self.inner.compile(core)
+        self.session.prepare(core)?.compile(&self.target)
     }
 }
 

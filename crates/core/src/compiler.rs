@@ -1,18 +1,19 @@
-//! The public Chassis compiler API.
+//! The compiler configuration, result types, and the deprecated one-shot
+//! [`Chassis`] entry point.
 //!
-//! [`Chassis::compile`] ties the whole pipeline together, mirroring Figure 1 of
-//! the paper: sample inputs, lower the input expression, iterate instruction
-//! selection guided by the heuristics, optionally infer regimes, and report the
-//! Pareto-optimal implementations evaluated on held-out test points.
+//! The pipeline itself — sampling, lowering, the improvement loop, regime
+//! inference, final evaluation — lives in [`crate::session`]: a
+//! [`Session`] prepares each benchmark once
+//! (target-independent sampling + Rival ground truth) and compiles the
+//! prepared state for any number of targets. `Chassis` remains as a thin
+//! deprecated shim over that API for one release.
 
-use crate::accuracy;
-use crate::improve::{improve, Candidate, ImproveConfig};
-use crate::isel::{InstructionSelector, IselConfig};
-use crate::lower::{lower_fpcore, variable_types, LowerError};
-use crate::regimes::infer_regimes;
-use crate::sample::{SampleError, SampleSet, Sampler};
+use crate::improve::ImproveConfig;
+use crate::isel::IselConfig;
+use crate::sample::{SampleError, SampleSet};
+use crate::session::Session;
 use fpcore::FPCore;
-use targets::{program_cost, FloatExpr, Target};
+use targets::{FloatExpr, Target};
 
 /// Chassis configuration.
 #[derive(Clone, Debug)]
@@ -62,6 +63,13 @@ impl Config {
             },
             ..Config::default()
         }
+    }
+
+    /// Overrides the RNG seed (builder style) — what the bench binaries'
+    /// `--seed` flag feeds.
+    pub fn with_seed(mut self, seed: u64) -> Config {
+        self.seed = seed;
+        self
     }
 }
 
@@ -121,6 +129,12 @@ pub struct CompilationResult {
 
 impl CompilationResult {
     /// The most accurate implementation.
+    ///
+    /// The frontier is non-empty in practice — the initial program is inserted
+    /// before the search begins — but a frontier can end up empty when every
+    /// candidate (including the initial program) scored non-finite, since the
+    /// Pareto frontier rejects non-finite points. In that case the initial
+    /// implementation is returned rather than panicking.
     pub fn most_accurate(&self) -> &Implementation {
         self.implementations
             .iter()
@@ -129,10 +143,11 @@ impl CompilationResult {
                     .partial_cmp(&b.error_bits)
                     .unwrap_or(std::cmp::Ordering::Equal)
             })
-            .expect("at least one implementation")
+            .unwrap_or(&self.initial)
     }
 
-    /// The cheapest implementation.
+    /// The cheapest implementation. Falls back to the initial implementation
+    /// on an empty frontier (see [`CompilationResult::most_accurate`]).
     pub fn cheapest(&self) -> &Implementation {
         self.implementations
             .iter()
@@ -141,7 +156,7 @@ impl CompilationResult {
                     .partial_cmp(&b.cost)
                     .unwrap_or(std::cmp::Ordering::Equal)
             })
-            .expect("at least one implementation")
+            .unwrap_or(&self.initial)
     }
 
     /// Estimated speedup of the cheapest implementation over the initial program
@@ -151,13 +166,31 @@ impl CompilationResult {
     }
 }
 
-/// The Chassis compiler for one target.
+/// The one-shot Chassis compiler for one target.
+///
+/// Deprecated: every call re-runs the target-independent phases (sampling and
+/// Rival ground truth). Use a [`Session`] — prepare a
+/// benchmark once and compile it for any number of targets:
+///
+/// ```ignore
+/// let session = Session::new(config);
+/// let prepared = session.prepare(&core)?;
+/// let result = prepared.compile(&target)?;
+/// ```
+///
+/// At the same seed, `Chassis::compile` and the session path produce
+/// bit-identical results (this shim simply delegates).
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Session::prepare` + `Prepared::compile`; one preparation serves many targets"
+)]
 #[derive(Clone, Debug)]
 pub struct Chassis {
     target: Target,
     config: Config,
 }
 
+#[allow(deprecated)]
 impl Chassis {
     /// A compiler for `target` with the default configuration.
     pub fn new(target: Target) -> Chassis {
@@ -183,26 +216,6 @@ impl Chassis {
         &self.config
     }
 
-    /// Produces the initial program: the direct lowering when possible, otherwise
-    /// the cheapest program found by instruction selection on the whole body
-    /// (this is what makes expressions with, say, transcendental functions
-    /// compilable to targets that lack them only if an equivalent form exists).
-    fn initial_program(&self, core: &FPCore) -> Result<FloatExpr, CompileError> {
-        match lower_fpcore(core, &self.target) {
-            Ok(prog) => Ok(prog),
-            Err(LowerError::UnsupportedOperator(op, ty)) => {
-                let selector = InstructionSelector::new(&self.target, self.config.improve.isel);
-                let vars = variable_types(core);
-                let result = selector.run(&core.body, &vars, core.precision);
-                result
-                    .best
-                    .get(&core.precision)
-                    .cloned()
-                    .ok_or_else(|| CompileError::Unsupported(format!("{op} at {ty}")))
-            }
-        }
-    }
-
     /// Compiles an FPCore benchmark to a Pareto frontier of implementations.
     ///
     /// # Errors
@@ -211,61 +224,14 @@ impl Chassis {
     /// [`CompileError::Unsupported`] when the expression cannot be expressed with
     /// the target's operators at all.
     pub fn compile(&self, core: &FPCore) -> Result<CompilationResult, CompileError> {
-        let mut sampler = Sampler::new(self.config.seed);
-        let samples = sampler.sample(core, self.config.train_points, self.config.test_points)?;
-        let var_types = variable_types(core);
-
-        let initial = self.initial_program(core)?;
-        let mut frontier = improve(
-            &self.target,
-            initial.clone(),
-            &samples,
-            &var_types,
-            &self.config.improve,
-        );
-
-        if self.config.regimes {
-            if let Some((branched, cost, err)) = infer_regimes(&self.target, &frontier, &samples) {
-                frontier.insert(
-                    cost,
-                    err,
-                    Candidate {
-                        expr: branched,
-                        cost,
-                        error_bits: err,
-                    },
-                );
-            }
-        }
-
-        // Final evaluation on the held-out test points.
-        let implementations: Vec<Implementation> = frontier
-            .into_sorted()
-            .into_iter()
-            .map(|(cost, _, candidate)| self.describe(candidate.expr, cost, &samples))
-            .collect();
-        let initial_cost = program_cost(&self.target, &initial);
-        let initial_impl = self.describe(initial, initial_cost, &samples);
-        Ok(CompilationResult {
-            implementations,
-            initial: initial_impl,
-            samples,
-        })
-    }
-
-    fn describe(&self, expr: FloatExpr, cost: f64, samples: &SampleSet) -> Implementation {
-        let (error_bits, accuracy_bits) = accuracy::evaluate_on_test(&self.target, &expr, samples);
-        Implementation {
-            rendered: expr.render(&self.target),
-            expr,
-            cost,
-            error_bits,
-            accuracy_bits,
-        }
+        Session::new(self.config.clone())
+            .prepare(core)?
+            .compile(&self.target)
     }
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use fpcore::parse_fpcore;
@@ -316,5 +282,31 @@ mod tests {
             .with_config(Config::fast())
             .compile(&core);
         assert!(matches!(result, Err(CompileError::Sampling(_))));
+    }
+
+    #[test]
+    fn frontier_accessors_fall_back_to_the_initial_on_an_empty_frontier() {
+        // Manufacture the empty-frontier corner (every candidate scored
+        // non-finite): the accessors must return the initial implementation
+        // instead of panicking.
+        let core = parse_fpcore("(FPCore (x) (+ x 1))").unwrap();
+        let samples = crate::sample::Sampler::new(1).sample(&core, 4, 2).unwrap();
+        let target = builtin::by_name("c99").unwrap();
+        let expr = crate::lower::lower_fpcore(&core, &target).unwrap();
+        let initial = Implementation {
+            rendered: expr.render(&target),
+            expr,
+            cost: 3.0,
+            error_bits: 0.5,
+            accuracy_bits: 52.5,
+        };
+        let result = CompilationResult {
+            implementations: Vec::new(),
+            initial,
+            samples,
+        };
+        assert_eq!(result.most_accurate().rendered, result.initial.rendered);
+        assert_eq!(result.cheapest().cost, result.initial.cost);
+        assert!((result.best_speedup() - 1.0).abs() < 1e-12);
     }
 }

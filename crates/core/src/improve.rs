@@ -9,9 +9,10 @@
 use crate::accuracy;
 use crate::cost_opportunity::{cost_opportunities, CostOppConfig};
 use crate::isel::{InstructionSelector, IselConfig};
-use crate::local_error::{local_errors, ScoredSubexpr};
+use crate::local_error::{local_errors_cached, ScoredSubexpr};
 use crate::pareto::ParetoFrontier;
-use crate::sample::SampleSet;
+use crate::sample::{GroundTruthCache, SampleSet};
+use crate::session::{Phase, Progress, SearchCtx};
 use fpcore::{FpType, Symbol};
 use std::collections::{HashMap, HashSet};
 use targets::{program_cost, FloatExpr, Target};
@@ -131,6 +132,9 @@ fn choose_subexpressions(
 
 /// Runs the iterative improvement loop starting from `initial`, returning the
 /// final Pareto frontier of candidates (scored on the training points).
+///
+/// Silent and unbounded; see [`improve_with`] for the session entry point
+/// with progress reporting and a budget.
 pub fn improve(
     target: &Target,
     initial: FloatExpr,
@@ -138,9 +142,42 @@ pub fn improve(
     var_types: &HashMap<Symbol, FpType>,
     config: &ImproveConfig,
 ) -> ParetoFrontier<Candidate> {
+    improve_with(
+        target,
+        initial,
+        samples,
+        var_types,
+        config,
+        &SearchCtx::detached(),
+    )
+}
+
+/// The improvement loop under a [`SearchCtx`]: every frontier admission and
+/// iteration start is reported through the context's [`Progress`] observer,
+/// the context's [`Budget`](crate::session::Budget) is checked before each
+/// iteration and before each instruction-selection run (the expensive step),
+/// and the session's shared ground-truth cache feeds the local-error
+/// heuristic.
+///
+/// When the budget runs out the loop stops and returns the frontier found so
+/// far — the initial program is inserted before the first iteration, so the
+/// result is never empty. With an unlimited budget the result is bit-identical
+/// to [`improve`].
+pub fn improve_with(
+    target: &Target,
+    initial: FloatExpr,
+    samples: &SampleSet,
+    var_types: &HashMap<Symbol, FpType>,
+    config: &ImproveConfig,
+    ctx: &SearchCtx,
+) -> ParetoFrontier<Candidate> {
     let selector = InstructionSelector::new(target, config.isel);
     let mut frontier: ParetoFrontier<Candidate> = ParetoFrontier::new();
     let mut explored: HashSet<String> = HashSet::new();
+    let truths = ctx
+        .truths()
+        .cloned()
+        .unwrap_or_else(|| GroundTruthCache::for_training(samples));
 
     let evaluate = |expr: &FloatExpr| -> Candidate {
         let cost = program_cost(target, expr);
@@ -152,14 +189,27 @@ pub fn improve(
         }
     };
 
-    let initial_candidate = evaluate(&initial);
-    frontier.insert(
-        initial_candidate.cost,
-        initial_candidate.error_bits,
-        initial_candidate,
-    );
+    let admit = |frontier: &mut ParetoFrontier<Candidate>, candidate: Candidate| {
+        let (cost, error_bits) = (candidate.cost, candidate.error_bits);
+        if frontier.insert(cost, error_bits, candidate) {
+            ctx.emit(Progress::FrontierPointAdmitted { cost, error_bits });
+        }
+    };
 
-    for _iteration in 0..config.iterations {
+    admit(&mut frontier, evaluate(&initial));
+
+    for iteration in 0..config.iterations {
+        if ctx.iteration_barred(iteration) || ctx.out_of_time() {
+            ctx.emit(Progress::BudgetExhausted {
+                phase: Phase::Improve,
+                iterations_completed: iteration,
+            });
+            break;
+        }
+        ctx.emit(Progress::ImproveIteration {
+            iteration,
+            frontier_size: frontier.len(),
+        });
         // Pick unexplored candidates, preferring the most accurate and cheapest.
         let mut to_expand: Vec<Candidate> = Vec::new();
         for (_, _, candidate) in frontier.iter() {
@@ -175,10 +225,11 @@ pub fn improve(
             break;
         }
 
+        let mut ran_out = false;
         let mut new_candidates: Vec<Candidate> = Vec::new();
-        for candidate in &to_expand {
+        'expand: for candidate in &to_expand {
             explored.insert(candidate.expr.render(target));
-            let errors = local_errors(target, &candidate.expr, samples);
+            let errors = local_errors_cached(target, &candidate.expr, samples, &truths);
             let opportunities =
                 cost_opportunities(target, &candidate.expr, var_types, config.cost_opp);
             let chosen =
@@ -190,6 +241,13 @@ pub fn improve(
                 chosen
             };
             for subexpr in chosen {
+                // The budget's mid-iteration cut point: each saturation run is
+                // the expensive step, so a long search degrades gracefully by
+                // keeping what this iteration already produced.
+                if ctx.out_of_time() {
+                    ran_out = true;
+                    break 'expand;
+                }
                 let ty = subexpr.result_type(target);
                 let real = subexpr.desugar(target);
                 let result = selector.run(&real, var_types, ty);
@@ -205,7 +263,14 @@ pub fn improve(
             }
         }
         for candidate in new_candidates {
-            frontier.insert(candidate.cost, candidate.error_bits, candidate);
+            admit(&mut frontier, candidate);
+        }
+        if ran_out {
+            ctx.emit(Progress::BudgetExhausted {
+                phase: Phase::Improve,
+                iterations_completed: iteration,
+            });
+            break;
         }
     }
     frontier

@@ -22,24 +22,43 @@
 //! * [`pareto`] — Pareto frontier maintenance,
 //! * [`improve`] — the iterative improvement loop,
 //! * [`regimes`] — regime inference (branch splitting),
-//! * [`compiler`] — the public [`Chassis`] API,
+//! * [`session`] — the public [`Session`]/[`Prepared`] API: prepare a
+//!   benchmark once (sampling + ground truth), compile it for many targets,
+//!   observe the search ([`Progress`]) and bound it ([`Budget`]),
+//! * [`compiler`] — configuration and result types, plus the deprecated
+//!   one-shot `Chassis` shim,
 //! * [`baseline`] — the Herbie-style and Clang-style baselines used in the
 //!   evaluation.
 //!
 //! # Example
 //!
+//! The target-independent phases (input sampling, Rival ground truth) run once
+//! per benchmark in [`Session::prepare`]; each [`Prepared::compile`] then runs
+//! only the target-specific search:
+//!
 //! ```no_run
-//! use chassis::{Chassis, Config};
+//! use chassis::{Config, Session};
 //! use fpcore::parse_fpcore;
 //! use targets::builtin;
 //!
 //! let core = parse_fpcore("(FPCore (x) (- (sqrt (+ x 1)) (sqrt x)))").unwrap();
-//! let target = builtin::by_name("c99").unwrap();
-//! let result = Chassis::new(target).compile(&core).unwrap();
-//! for imp in &result.implementations {
-//!     println!("cost {:8.1}  accuracy {:5.2} bits  {}", imp.cost, imp.accuracy_bits, imp.rendered);
+//! let session = Session::new(Config::default());
+//! let prepared = session.prepare(&core).unwrap();
+//! for name in ["c99", "avx", "fdlibm"] {
+//!     let target = builtin::by_name(name).unwrap();
+//!     let result = prepared.compile(&target).unwrap();
+//!     for imp in &result.implementations {
+//!         println!(
+//!             "{name}: cost {:8.1}  accuracy {:5.2} bits  {}",
+//!             imp.cost, imp.accuracy_bits, imp.rendered
+//!         );
+//!     }
 //! }
 //! ```
+//!
+//! Whole-corpus runs go through [`Session::compile_many`], which prepares each
+//! benchmark exactly once and fans the `(benchmark × target)` compile jobs out
+//! over [`par`].
 
 pub mod accuracy;
 pub mod baseline;
@@ -56,10 +75,16 @@ pub mod regimes;
 pub mod rng;
 pub mod rules;
 pub mod sample;
+pub mod session;
 pub mod typed_extract;
 
-pub use compiler::{Chassis, CompilationResult, CompileError, Config, Implementation};
+#[allow(deprecated)]
+pub use compiler::Chassis;
+pub use compiler::{CompilationResult, CompileError, Config, Implementation};
 pub use isel::{InstructionSelector, IselConfig, IselResult};
 pub use lower::{lower_fpcore, DirectLowering, LowerError};
 pub use pareto::ParetoFrontier;
-pub use sample::{SampleSet, Sampler};
+pub use sample::{GroundTruthCache, SampleSet, Sampler};
+pub use session::{
+    Budget, Phase, Prepared, Progress, ProgressFn, SearchControl, SearchCtx, Session,
+};

@@ -7,9 +7,9 @@
 //! rounded value of the node's own desugaring. Operators are therefore not blamed
 //! for error introduced by their arguments.
 
-use crate::sample::SampleSet;
+use crate::sample::{GroundTruthCache, SampleSet};
 use fpcore::Symbol;
-use rival::{Evaluator, GroundTruth};
+use rival::GroundTruth;
 use targets::operator::{arg_symbol, round_to_type};
 use targets::{Columns, FloatExpr, Target};
 
@@ -52,14 +52,39 @@ pub fn operator_subexpressions(expr: &FloatExpr) -> Vec<FloatExpr> {
 }
 
 /// Computes the local error of every operator subexpression of `candidate`,
-/// averaged over the training points. Returns one entry per distinct operator
-/// node, sorted by decreasing score.
+/// averaged over the training points, with a throwaway ground-truth cache.
+/// Returns one entry per distinct operator node, sorted by decreasing score.
 pub fn local_errors(
     target: &Target,
     candidate: &FloatExpr,
     samples: &SampleSet,
 ) -> Vec<ScoredSubexpr> {
-    let evaluator = Evaluator::with_precisions(vec![96, 192, 384]);
+    local_errors_cached(
+        target,
+        candidate,
+        samples,
+        &GroundTruthCache::for_training(samples),
+    )
+}
+
+/// [`local_errors`] against a shared [`GroundTruthCache`].
+///
+/// The expensive step is Rival ground truth of each subexpression's real
+/// desugaring over the training points; under a session the same real
+/// subexpressions recur across candidates, iterations, and *targets*, so the
+/// cache (which must cover `samples.train`) turns all but the first request
+/// into a lookup. Results are bit-identical to the uncached path.
+pub fn local_errors_cached(
+    target: &Target,
+    candidate: &FloatExpr,
+    samples: &SampleSet,
+    truths: &GroundTruthCache,
+) -> Vec<ScoredSubexpr> {
+    debug_assert_eq!(
+        truths.points().len(),
+        samples.train.len(),
+        "the ground-truth cache must cover the training points"
+    );
     let subexprs = operator_subexpressions(candidate);
     let mut scored = Vec::with_capacity(subexprs.len());
     for sub in subexprs {
@@ -87,28 +112,29 @@ pub fn local_errors(
                     .collect(),
             ),
         );
-        // Pass 1 (the expensive part, inherently per point): ground-truth the
-        // node and its arguments with rival at every training point, keeping
-        // the points where everything was decidable.
+        // Pass 1 (the expensive part): ground-truth the node and its arguments
+        // over all training points — one Rival sweep per distinct real
+        // expression, memoized in `truths` — then keep the points where
+        // everything was decidable.
+        let node_truths = truths.ground_truths(&node_real, op.ret_type);
+        let arg_truths: Vec<_> = arg_reals
+            .iter()
+            .zip(&op.arg_types)
+            .map(|(real, ty)| truths.ground_truths(real, *ty))
+            .collect();
         let mut arg_rows: Vec<Vec<f64>> = Vec::with_capacity(samples.train.len());
         let mut exact_nodes: Vec<f64> = Vec::with_capacity(samples.train.len());
         'points: for point in 0..samples.train.len() {
-            let env: Vec<(Symbol, f64)> = samples
-                .vars
-                .iter()
-                .enumerate()
-                .map(|(v, sym)| (*sym, samples.train.value(point, v)))
-                .collect();
             // Exact value of the node itself.
-            let exact_node = match evaluator.eval(&node_real, &env, op.ret_type) {
+            let exact_node = match node_truths[point] {
                 GroundTruth::Value(v) => v,
                 GroundTruth::Nan => f64::NAN,
                 GroundTruth::Unsamplable => continue,
             };
             // Exact values of the arguments, rounded to the argument types.
             let mut exact_args = Vec::with_capacity(arg_reals.len());
-            for (real, ty) in arg_reals.iter().zip(&op.arg_types) {
-                match evaluator.eval(real, &env, *ty) {
+            for (arg_truth, ty) in arg_truths.iter().zip(&op.arg_types) {
+                match arg_truth[point] {
                     GroundTruth::Value(v) => exact_args.push(round_to_type(v, *ty)),
                     GroundTruth::Nan => exact_args.push(f64::NAN),
                     GroundTruth::Unsamplable => continue 'points,

@@ -11,6 +11,7 @@
 use crate::improve::Candidate;
 use crate::pareto::ParetoFrontier;
 use crate::sample::SampleSet;
+use crate::session::{Phase, Progress, SearchCtx};
 use fpcore::RealOp;
 use targets::{program_cost, FloatExpr, Target};
 
@@ -56,10 +57,32 @@ pub fn infer_regimes(
     frontier: &ParetoFrontier<Candidate>,
     samples: &SampleSet,
 ) -> Option<(FloatExpr, f64, f64)> {
+    infer_regimes_with(target, frontier, samples, &SearchCtx::detached())
+}
+
+/// [`infer_regimes`] under a [`SearchCtx`]: the wall-clock budget is checked
+/// once before the per-candidate error sweeps (which then run to completion —
+/// each is one parallel pass over the training points) and again before each
+/// variable's threshold scan, so an exhausted budget returns the best split
+/// found so far (or `None`) instead of finishing the scan. With an unlimited
+/// budget this is [`infer_regimes`] exactly.
+pub fn infer_regimes_with(
+    target: &Target,
+    frontier: &ParetoFrontier<Candidate>,
+    samples: &SampleSet,
+    ctx: &SearchCtx,
+) -> Option<(FloatExpr, f64, f64)> {
     if frontier.len() < 2 || samples.train.is_empty() || samples.vars.is_empty() {
         return None;
     }
     let candidates: Vec<&Candidate> = frontier.iter().map(|(_, _, c)| c).collect();
+    if ctx.out_of_time() {
+        ctx.emit(Progress::BudgetExhausted {
+            phase: Phase::Regimes,
+            iterations_completed: 0,
+        });
+        return None;
+    }
     // Cache per-point errors for every candidate (the expensive part).
     let errors: Vec<Vec<f64>> = candidates
         .iter()
@@ -70,6 +93,13 @@ pub fn infer_regimes(
 
     let mut best: Option<(FloatExpr, f64, f64)> = None;
     for (var_idx, var) in samples.vars.iter().enumerate() {
+        if ctx.out_of_time() {
+            ctx.emit(Progress::BudgetExhausted {
+                phase: Phase::Regimes,
+                iterations_completed: var_idx,
+            });
+            return best;
+        }
         // The columnar layout hands us the variable's training values as one
         // contiguous slice — both for the threshold quantiles and the split
         // scan below.

@@ -10,6 +10,9 @@ use crate::par;
 use crate::rng::Rng;
 use fpcore::{FPCore, FpType, Symbol};
 use rival::{Evaluator, GroundTruth};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 use targets::Columns;
 
 /// A set of sampled points with their ground-truth results.
@@ -248,10 +251,161 @@ impl Sampler {
     }
 }
 
+/// A memo of Rival ground truths over **one fixed point set**, keyed by
+/// `(real expression, output type)`.
+///
+/// The local-error heuristic ground-truths the same real subexpressions for
+/// every candidate of every improve iteration — and, under a
+/// [`Session`](crate::session::Session), for every *target* compiled from one
+/// preparation (the desugared subexpressions of different targets largely
+/// coincide as real expressions). Ground truth is target-independent, so one
+/// cache per prepared benchmark serves them all; entries are computed in
+/// parallel on first request and shared (`Arc`) afterwards.
+///
+/// The cache owns its point columns: it can only ever be asked about the
+/// point set it was built for, so a memoized answer is always the answer the
+/// uncached evaluation would have produced — bit for bit.
+#[derive(Clone)]
+pub struct GroundTruthCache {
+    inner: Arc<GroundTruthCacheInner>,
+}
+
+/// One memo slot: the first requester initializes it; concurrent requesters
+/// for the same key block on the `OnceLock` instead of duplicating the sweep.
+type TruthCell = Arc<std::sync::OnceLock<Arc<Vec<GroundTruth>>>>;
+
+/// Memo table, keyed by expression first so the (overwhelmingly common) hit
+/// path looks up with a borrowed `&Expr` — no AST clone per request.
+type TruthMemo = HashMap<fpcore::Expr, HashMap<FpType, TruthCell>>;
+
+struct GroundTruthCacheInner {
+    /// Same precision ladder the uncached local-error path used, so cached
+    /// results (including which points are `Unsamplable`) are bit-identical.
+    evaluator: Evaluator,
+    vars: Vec<Symbol>,
+    points: Columns,
+    memo: Mutex<TruthMemo>,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+}
+
+impl GroundTruthCache {
+    /// A cache over an explicit point set.
+    pub fn new(vars: Vec<Symbol>, points: Columns) -> GroundTruthCache {
+        GroundTruthCache {
+            inner: Arc::new(GroundTruthCacheInner {
+                evaluator: Evaluator::with_precisions(vec![96, 192, 384]),
+                vars,
+                points,
+                memo: Mutex::new(HashMap::new()),
+                hits: AtomicUsize::new(0),
+                misses: AtomicUsize::new(0),
+            }),
+        }
+    }
+
+    /// A cache over the training points of a sample set (what the improve
+    /// loop's heuristics evaluate on).
+    pub fn for_training(samples: &SampleSet) -> GroundTruthCache {
+        GroundTruthCache::new(samples.vars.clone(), samples.train.clone())
+    }
+
+    /// The point columns this cache answers for.
+    pub fn points(&self) -> &Columns {
+        &self.inner.points
+    }
+
+    /// Ground truth of `expr` in representation `ty` at every cached point, in
+    /// point order. Computed (in parallel) on the first request for this
+    /// `(expr, ty)`; shared on every later one. A request that races the first
+    /// computation blocks until it is ready rather than repeating the sweep.
+    pub fn ground_truths(&self, expr: &fpcore::Expr, ty: FpType) -> Arc<Vec<GroundTruth>> {
+        // Reserve (or find) the slot under the lock — cloning the expression
+        // only when inserting a brand-new key — then compute outside it so
+        // distinct expressions evaluate concurrently.
+        let cell: TruthCell = {
+            let mut memo = self.inner.memo.lock().expect("ground-truth cache poisoned");
+            match memo.get(expr).and_then(|per_ty| per_ty.get(&ty)) {
+                Some(cell) => Arc::clone(cell),
+                None => {
+                    let cell = TruthCell::default();
+                    memo.entry(expr.clone())
+                        .or_default()
+                        .insert(ty, Arc::clone(&cell));
+                    cell
+                }
+            }
+        };
+        let mut computed = false;
+        let inner = &*self.inner;
+        let truths = cell.get_or_init(|| {
+            computed = true;
+            Arc::new(par::par_map_range(inner.points.len(), |i| {
+                let env: Vec<(Symbol, f64)> = inner
+                    .vars
+                    .iter()
+                    .enumerate()
+                    .map(|(v, sym)| (*sym, inner.points.value(i, v)))
+                    .collect();
+                inner.evaluator.eval(expr, &env, ty)
+            }))
+        });
+        if computed {
+            self.inner.misses.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.inner.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        Arc::clone(truths)
+    }
+
+    /// `(hits, misses)` so far — misses are actual Rival evaluations.
+    pub fn stats(&self) -> (usize, usize) {
+        (
+            self.inner.hits.load(Ordering::Relaxed),
+            self.inner.misses.load(Ordering::Relaxed),
+        )
+    }
+}
+
+impl std::fmt::Debug for GroundTruthCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let (hits, misses) = self.stats();
+        f.debug_struct("GroundTruthCache")
+            .field("points", &self.inner.points.len())
+            .field("hits", &hits)
+            .field("misses", &misses)
+            .finish_non_exhaustive()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use fpcore::parse_fpcore;
+
+    #[test]
+    fn ground_truth_cache_memoizes_and_matches_direct_evaluation() {
+        let core =
+            parse_fpcore("(FPCore (x) :pre (and (> x 0.5) (< x 50)) (sqrt (+ x 1)))").unwrap();
+        let samples = Sampler::new(21).sample(&core, 8, 2).unwrap();
+        let cache = GroundTruthCache::for_training(&samples);
+        let expr = fpcore::parse_expr("(sqrt (+ x 1))").unwrap();
+        let first = cache.ground_truths(&expr, FpType::Binary64);
+        let again = cache.ground_truths(&expr, FpType::Binary64);
+        assert!(Arc::ptr_eq(&first, &again), "second request must be a hit");
+        assert_eq!(cache.stats(), (1, 1));
+        // The cached values match an independent evaluator with the same
+        // precision ladder.
+        let evaluator = Evaluator::with_precisions(vec![96, 192, 384]);
+        for (i, truth) in first.iter().enumerate() {
+            let env = vec![(Symbol::new("x"), samples.train.value(i, 0))];
+            assert_eq!(*truth, evaluator.eval(&expr, &env, FpType::Binary64));
+        }
+        // A different output type is a distinct entry.
+        let narrow = cache.ground_truths(&expr, FpType::Binary32);
+        assert_eq!(narrow.len(), samples.train.len());
+        assert_eq!(cache.stats(), (1, 2));
+    }
 
     #[test]
     fn sampling_is_deterministic_per_seed() {

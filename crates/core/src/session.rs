@@ -1,0 +1,649 @@
+//! The session-based compilation API: prepare once, compile for many targets.
+//!
+//! The paper's whole point is that one real expression should be implemented
+//! for *many* targets (its evaluation runs nine targets over one corpus), yet a
+//! one-shot `compile(target, core)` entry point re-samples inputs and re-runs
+//! the Rival ground-truth evaluator on every call — both target-independent,
+//! and by far the most expensive non-search phases. This module separates the
+//! two halves:
+//!
+//! * [`Session::new`] owns the configuration (and with it the RNG seed) plus a
+//!   per-benchmark cache of prepared state;
+//! * [`Session::prepare`] runs the target-independent phases — argument-type
+//!   analysis, input sampling, Rival ground truth — exactly once per
+//!   `(benchmark, seed)` and returns a cheaply cloneable [`Prepared`] handle;
+//! * [`Prepared::compile`] runs the target-specific search (lowering, the
+//!   improvement loop, regime inference) against the cached sample set;
+//! * [`Session::compile_many`] fans `(benchmark × target)` jobs out over
+//!   [`chassis::par`](crate::par), sharing prepared state per benchmark.
+//!
+//! Observability and control are threaded through the search with
+//! [`SearchControl`]: a [`Progress`] callback receives structured events (phase
+//! transitions, improve iterations, frontier admissions, regime inference) and
+//! a [`Budget`] bounds the search by iterations and/or wall-clock time, in
+//! which case the search degrades gracefully to the frontier found so far —
+//! the frontier always contains at least the initial program.
+//!
+//! With the default (unlimited) budget every result is bit-identical to the
+//! pre-session one-shot path at the same seed: preparation performs exactly
+//! the sampling the old path performed inline, and the search itself is
+//! deterministic given the samples.
+
+use crate::compiler::{CompilationResult, CompileError, Config, Implementation};
+use crate::improve::{improve_with, Candidate};
+use crate::isel::InstructionSelector;
+use crate::lower::{lower_fpcore, variable_types, LowerError};
+use crate::par;
+use crate::regimes::infer_regimes_with;
+use crate::sample::{GroundTruthCache, SampleSet, Sampler};
+use fpcore::{FPCore, FpType, Symbol};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+use targets::{program_cost, FloatExpr, Target};
+
+/// The phases of one compilation, reported through [`Progress`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Phase {
+    /// Target-independent preparation: sampling and ground truth.
+    Prepare,
+    /// Producing the initial program for a target.
+    Lowering,
+    /// The iterative improvement loop.
+    Improve,
+    /// Regime inference over the finished frontier.
+    Regimes,
+    /// Scoring the frontier on the held-out test points.
+    FinalEvaluation,
+}
+
+impl std::fmt::Display for Phase {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            Phase::Prepare => "prepare",
+            Phase::Lowering => "lowering",
+            Phase::Improve => "improve",
+            Phase::Regimes => "regimes",
+            Phase::FinalEvaluation => "final evaluation",
+        };
+        f.write_str(name)
+    }
+}
+
+/// A structured observability event emitted during compilation.
+///
+/// Events are delivered synchronously, on the thread doing the work, to the
+/// callback installed with [`SearchControl::with_progress`]; under
+/// [`Session::compile_many`] events from concurrent jobs interleave, so a
+/// callback that aggregates (counters, channels) works better than one that
+/// prints.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum Progress {
+    /// A compilation phase began.
+    PhaseStarted {
+        /// Which phase.
+        phase: Phase,
+    },
+    /// The improvement loop started an iteration.
+    ImproveIteration {
+        /// Zero-based iteration index.
+        iteration: usize,
+        /// Frontier size entering the iteration.
+        frontier_size: usize,
+    },
+    /// A candidate was admitted to the Pareto frontier.
+    FrontierPointAdmitted {
+        /// Estimated cost of the admitted candidate.
+        cost: f64,
+        /// Mean bits of error of the admitted candidate (training points).
+        error_bits: f64,
+    },
+    /// Regime inference found a worthwhile branched program.
+    RegimesInferred {
+        /// Estimated cost of the branched program.
+        cost: f64,
+        /// Mean bits of error of the branched program (training points).
+        error_bits: f64,
+    },
+    /// The [`Budget`] ran out; the search stopped early with the frontier
+    /// found so far (which always contains the initial program).
+    BudgetExhausted {
+        /// The phase that was cut short.
+        phase: Phase,
+        /// Completed improve iterations at the time of the cut.
+        iterations_completed: usize,
+    },
+}
+
+/// A resource bound on one `compile` call.
+///
+/// The default budget is unlimited. A bounded search never fails: the
+/// improvement loop and regime inference check the budget at their natural
+/// cut points and return the best frontier found so far, which always
+/// contains the initial program.
+#[derive(Clone, Copy, Default, Debug)]
+pub struct Budget {
+    /// Cap on improve-loop iterations (`None` = the configured iteration
+    /// count). `Some(0)` skips the loop entirely, keeping only the initial
+    /// program.
+    pub max_iterations: Option<usize>,
+    /// Wall-clock cap for the whole `compile` call, measured from its start.
+    pub max_duration: Option<Duration>,
+}
+
+impl Budget {
+    /// No bound beyond the configured iteration count.
+    pub const UNLIMITED: Budget = Budget {
+        max_iterations: None,
+        max_duration: None,
+    };
+
+    /// Caps the improvement loop at `n` iterations.
+    pub fn iterations(n: usize) -> Budget {
+        Budget {
+            max_iterations: Some(n),
+            ..Budget::UNLIMITED
+        }
+    }
+
+    /// Caps the whole compilation at `d` of wall-clock time.
+    ///
+    /// Note that a wall-clock bound trades determinism for latency: whether
+    /// the cut fires depends on machine speed, so two runs may return
+    /// different (both valid) frontiers.
+    pub fn wall_clock(d: Duration) -> Budget {
+        Budget {
+            max_duration: Some(d),
+            ..Budget::UNLIMITED
+        }
+    }
+
+    /// Adds an iteration cap to this budget.
+    pub fn with_iterations(mut self, n: usize) -> Budget {
+        self.max_iterations = Some(n);
+        self
+    }
+
+    /// Adds a wall-clock cap to this budget.
+    pub fn with_wall_clock(mut self, d: Duration) -> Budget {
+        self.max_duration = Some(d);
+        self
+    }
+
+    /// True when no cap is set.
+    pub fn is_unlimited(&self) -> bool {
+        self.max_iterations.is_none() && self.max_duration.is_none()
+    }
+}
+
+/// The type of a [`Progress`] observer callback.
+pub type ProgressFn<'a> = dyn Fn(&Progress) + Sync + 'a;
+
+/// Per-call observability and control: an optional [`Progress`] observer plus
+/// a [`Budget`]. The default is silent and unlimited — exactly the classic
+/// search.
+#[derive(Clone, Copy, Default)]
+pub struct SearchControl<'a> {
+    progress: Option<&'a ProgressFn<'a>>,
+    budget: Budget,
+}
+
+impl<'a> SearchControl<'a> {
+    /// Silent, unlimited control (same as `Default`).
+    pub fn new() -> SearchControl<'a> {
+        SearchControl::default()
+    }
+
+    /// Installs a progress observer.
+    pub fn with_progress(mut self, observer: &'a ProgressFn<'a>) -> SearchControl<'a> {
+        self.progress = Some(observer);
+        self
+    }
+
+    /// Installs a budget.
+    pub fn with_budget(mut self, budget: Budget) -> SearchControl<'a> {
+        self.budget = budget;
+        self
+    }
+
+    /// The configured budget.
+    pub fn budget(&self) -> Budget {
+        self.budget
+    }
+}
+
+impl std::fmt::Debug for SearchControl<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SearchControl")
+            .field("progress", &self.progress.map(|_| "<observer>"))
+            .field("budget", &self.budget)
+            .finish()
+    }
+}
+
+/// The live context of one `compile` call: the observer, the budget clock
+/// (started when the call began), and the session's shared ground-truth cache.
+///
+/// [`improve_with`](crate::improve::improve_with()) and
+/// [`infer_regimes_with`](crate::regimes::infer_regimes_with()) take this to
+/// emit events and honour the budget; [`SearchCtx::detached`] provides the
+/// silent unlimited context the classic entry points use.
+pub struct SearchCtx<'a> {
+    progress: Option<&'a ProgressFn<'a>>,
+    deadline: Option<Instant>,
+    max_iterations: Option<usize>,
+    truths: Option<GroundTruthCache>,
+}
+
+impl<'a> SearchCtx<'a> {
+    /// Starts the budget clock for one compile call.
+    pub fn start(ctl: &SearchControl<'a>, truths: Option<GroundTruthCache>) -> SearchCtx<'a> {
+        SearchCtx {
+            progress: ctl.progress,
+            // A cap too large for the clock (e.g. Duration::MAX as
+            // "effectively unlimited") is no deadline, not a panic.
+            deadline: ctl
+                .budget
+                .max_duration
+                .and_then(|d| Instant::now().checked_add(d)),
+            max_iterations: ctl.budget.max_iterations,
+            truths,
+        }
+    }
+
+    /// A silent, unlimited context with no shared ground-truth cache.
+    pub fn detached() -> SearchCtx<'static> {
+        SearchCtx {
+            progress: None,
+            deadline: None,
+            max_iterations: None,
+            truths: None,
+        }
+    }
+
+    /// Delivers one event to the observer, if any.
+    pub fn emit(&self, event: Progress) {
+        if let Some(observer) = self.progress {
+            observer(&event);
+        }
+    }
+
+    /// True once the wall-clock budget has run out.
+    pub fn out_of_time(&self) -> bool {
+        self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+
+    /// True when the budget forbids starting improve iteration `iteration`
+    /// (zero-based).
+    pub fn iteration_barred(&self, iteration: usize) -> bool {
+        self.max_iterations.is_some_and(|m| iteration >= m)
+    }
+
+    /// The session-shared Rival ground-truth cache, if compiling under one.
+    pub fn truths(&self) -> Option<&GroundTruthCache> {
+        self.truths.as_ref()
+    }
+}
+
+struct PreparedInner {
+    core: FPCore,
+    config: Config,
+    var_types: HashMap<Symbol, FpType>,
+    samples: SampleSet,
+    /// Rival ground truths of candidate subexpressions over the training
+    /// points, shared by every target compiled from this preparation (the
+    /// local-error heuristic re-requests the same real subexpressions for
+    /// every target and every improve iteration).
+    truths: GroundTruthCache,
+}
+
+/// The target-independent state of one benchmark under one session: the parsed
+/// analysis, the sampled points, and their Rival ground truths.
+///
+/// `Prepared` is a cheap (`Arc`) handle: clone it freely, share it across
+/// threads, and call [`Prepared::compile`] once per target. Every compile
+/// call reuses the same samples and ground truths — nothing target-independent
+/// is recomputed.
+#[derive(Clone)]
+pub struct Prepared {
+    inner: Arc<PreparedInner>,
+}
+
+impl Prepared {
+    /// The benchmark this preparation belongs to.
+    pub fn core(&self) -> &FPCore {
+        &self.inner.core
+    }
+
+    /// The session configuration the preparation was made under.
+    pub fn config(&self) -> &Config {
+        &self.inner.config
+    }
+
+    /// The sampled train/test points with their ground truths.
+    pub fn samples(&self) -> &SampleSet {
+        &self.inner.samples
+    }
+
+    /// Compiles this prepared benchmark for one target with default controls.
+    ///
+    /// Bit-identical to the one-shot path at the same seed: given the same
+    /// samples the search is deterministic.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompileError::Unsupported`] when the expression cannot be
+    /// expressed with the target's operators at all.
+    pub fn compile(&self, target: &Target) -> Result<CompilationResult, CompileError> {
+        self.compile_with(target, &SearchControl::default())
+    }
+
+    /// Compiles this prepared benchmark for one target, reporting [`Progress`]
+    /// and honouring the [`Budget`] in `ctl`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompileError::Unsupported`] when the expression cannot be
+    /// expressed with the target's operators at all. An exhausted budget is
+    /// not an error: the result holds the frontier found so far (at minimum
+    /// the initial program).
+    pub fn compile_with(
+        &self,
+        target: &Target,
+        ctl: &SearchControl,
+    ) -> Result<CompilationResult, CompileError> {
+        let inner = &*self.inner;
+        let ctx = SearchCtx::start(ctl, Some(inner.truths.clone()));
+
+        ctx.emit(Progress::PhaseStarted {
+            phase: Phase::Lowering,
+        });
+        let initial = initial_program(target, &inner.core, &inner.config)?;
+
+        ctx.emit(Progress::PhaseStarted {
+            phase: Phase::Improve,
+        });
+        let mut frontier = improve_with(
+            target,
+            initial.clone(),
+            &inner.samples,
+            &inner.var_types,
+            &inner.config.improve,
+            &ctx,
+        );
+
+        if inner.config.regimes {
+            ctx.emit(Progress::PhaseStarted {
+                phase: Phase::Regimes,
+            });
+            if let Some((branched, cost, err)) =
+                infer_regimes_with(target, &frontier, &inner.samples, &ctx)
+            {
+                ctx.emit(Progress::RegimesInferred {
+                    cost,
+                    error_bits: err,
+                });
+                frontier.insert(
+                    cost,
+                    err,
+                    Candidate {
+                        expr: branched,
+                        cost,
+                        error_bits: err,
+                    },
+                );
+            }
+        }
+
+        // Final evaluation on the held-out test points.
+        ctx.emit(Progress::PhaseStarted {
+            phase: Phase::FinalEvaluation,
+        });
+        let implementations: Vec<Implementation> = frontier
+            .into_sorted()
+            .into_iter()
+            .map(|(cost, _, candidate)| describe(target, candidate.expr, cost, &inner.samples))
+            .collect();
+        let initial_cost = program_cost(target, &initial);
+        let initial_impl = describe(target, initial, initial_cost, &inner.samples);
+        Ok(CompilationResult {
+            implementations,
+            initial: initial_impl,
+            samples: inner.samples.clone(),
+        })
+    }
+}
+
+impl std::fmt::Debug for Prepared {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Prepared")
+            .field("core", &self.inner.core.name)
+            .field("train", &self.inner.samples.train_len())
+            .field("test", &self.inner.samples.test_len())
+            .finish_non_exhaustive()
+    }
+}
+
+/// Produces the initial program: the direct lowering when possible, otherwise
+/// the cheapest program found by instruction selection on the whole body (this
+/// is what makes expressions with, say, transcendental functions compilable to
+/// targets that lack them only if an equivalent form exists).
+fn initial_program(
+    target: &Target,
+    core: &FPCore,
+    config: &Config,
+) -> Result<FloatExpr, CompileError> {
+    match lower_fpcore(core, target) {
+        Ok(prog) => Ok(prog),
+        Err(LowerError::UnsupportedOperator(op, ty)) => {
+            let selector = InstructionSelector::new(target, config.improve.isel);
+            let vars = variable_types(core);
+            let result = selector.run(&core.body, &vars, core.precision);
+            result
+                .best
+                .get(&core.precision)
+                .cloned()
+                .ok_or_else(|| CompileError::Unsupported(format!("{op} at {ty}")))
+        }
+    }
+}
+
+/// Scores one output program on the held-out test points.
+fn describe(target: &Target, expr: FloatExpr, cost: f64, samples: &SampleSet) -> Implementation {
+    let (error_bits, accuracy_bits) = crate::accuracy::evaluate_on_test(target, &expr, samples);
+    Implementation {
+        rendered: expr.render(target),
+        expr,
+        cost,
+        error_bits,
+        accuracy_bits,
+    }
+}
+
+/// A compilation session: one configuration (and RNG seed) plus a cache of
+/// prepared benchmarks.
+///
+/// ```no_run
+/// use chassis::{Config, Session};
+/// use fpcore::parse_fpcore;
+/// use targets::builtin;
+///
+/// let core = parse_fpcore("(FPCore (x) (- (sqrt (+ x 1)) (sqrt x)))").unwrap();
+/// let session = Session::new(Config::default());
+/// let prepared = session.prepare(&core).unwrap(); // samples + ground truth, once
+/// for name in ["c99", "avx", "fdlibm"] {
+///     let target = builtin::by_name(name).unwrap();
+///     let result = prepared.compile(&target).unwrap(); // search only
+///     println!("{name}: {} implementations", result.implementations.len());
+/// }
+/// ```
+pub struct Session {
+    config: Config,
+    /// Prepared state per benchmark, keyed by the rendered FPCore (two
+    /// textually identical benchmarks share one preparation).
+    cache: Mutex<HashMap<String, Prepared>>,
+    /// How many preparations actually ran (cache misses). Cache hits do not
+    /// count — this is the number the "prepare once per benchmark" guarantee
+    /// is stated (and tested) in terms of.
+    prepares: AtomicUsize,
+}
+
+impl Session {
+    /// A session with the given configuration.
+    pub fn new(config: Config) -> Session {
+        Session {
+            config,
+            cache: Mutex::new(HashMap::new()),
+            prepares: AtomicUsize::new(0),
+        }
+    }
+
+    /// A session with the default configuration.
+    pub fn with_defaults() -> Session {
+        Session::new(Config::default())
+    }
+
+    /// The session configuration.
+    pub fn config(&self) -> &Config {
+        &self.config
+    }
+
+    /// The RNG seed all sampling in this session derives from.
+    pub fn seed(&self) -> u64 {
+        self.config.seed
+    }
+
+    /// Runs the target-independent phases for one benchmark — argument-type
+    /// analysis, input sampling, Rival ground truth — or returns the cached
+    /// preparation if this session has seen the benchmark before.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompileError::Sampling`] when no valid inputs exist. Failed
+    /// preparations are not cached; a retry samples again.
+    pub fn prepare(&self, core: &FPCore) -> Result<Prepared, CompileError> {
+        let key = core.to_string();
+        if let Some(hit) = self.cache.lock().expect("session cache poisoned").get(&key) {
+            return Ok(hit.clone());
+        }
+        // The lock is not held while sampling: preparing different benchmarks
+        // in parallel is the point of `compile_many`. Two racing prepares of
+        // the *same* benchmark both run, but produce identical state (same
+        // seed), so either may win the final insert.
+        self.prepares.fetch_add(1, Ordering::Relaxed);
+        let samples = Sampler::new(self.config.seed).sample(
+            core,
+            self.config.train_points,
+            self.config.test_points,
+        )?;
+        let truths = GroundTruthCache::for_training(&samples);
+        let prepared = Prepared {
+            inner: Arc::new(PreparedInner {
+                core: core.clone(),
+                config: self.config.clone(),
+                var_types: variable_types(core),
+                samples,
+                truths,
+            }),
+        };
+        self.cache
+            .lock()
+            .expect("session cache poisoned")
+            .insert(key, prepared.clone());
+        Ok(prepared)
+    }
+
+    /// How many preparations this session has actually run (cache misses).
+    ///
+    /// After `compile_many` over N distinct benchmarks this is exactly N, no
+    /// matter how many targets were compiled.
+    pub fn prepare_count(&self) -> usize {
+        self.prepares.load(Ordering::Relaxed)
+    }
+
+    /// Convenience: prepare (or fetch the cached preparation) and compile for
+    /// one target.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CompileError`] from either phase.
+    pub fn compile(
+        &self,
+        core: &FPCore,
+        target: &Target,
+    ) -> Result<CompilationResult, CompileError> {
+        self.prepare(core)?.compile(target)
+    }
+
+    /// Compiles every benchmark for every target, preparing each benchmark
+    /// exactly once, with default controls. See [`Session::compile_many_with`].
+    pub fn compile_many(
+        &self,
+        cores: &[FPCore],
+        targets: &[Target],
+    ) -> Vec<Vec<Result<CompilationResult, CompileError>>> {
+        self.compile_many_with(cores, targets, &SearchControl::default())
+    }
+
+    /// Compiles every benchmark for every target: the corpus entry point.
+    ///
+    /// Benchmarks are first prepared in parallel (once each — sampling and
+    /// ground truth never run per target), then the `(benchmark × target)`
+    /// compile jobs fan out over [`chassis::par`](crate::par) with the
+    /// prepared state shared per benchmark. `ctl` applies to every job:
+    /// the budget bounds each compile individually, and progress events from
+    /// concurrent jobs interleave on the observer.
+    ///
+    /// Returns one row per benchmark (in input order), each with one result
+    /// per target (in input order). A benchmark whose preparation failed
+    /// yields its sampling error in every column.
+    pub fn compile_many_with(
+        &self,
+        cores: &[FPCore],
+        targets: &[Target],
+        ctl: &SearchControl,
+    ) -> Vec<Vec<Result<CompilationResult, CompileError>>> {
+        // Phase 1: target-independent preparation, parallel across benchmarks.
+        let prepared: Vec<Result<Prepared, CompileError>> =
+            par::par_map(cores, |core| self.prepare(core));
+
+        // Phase 2: fan (benchmark, target) jobs out over the worker pool; the
+        // Arc-shared prepared state costs nothing to hand to each job.
+        let mut jobs: Vec<(usize, usize)> = Vec::new();
+        for (b, prep) in prepared.iter().enumerate() {
+            if prep.is_ok() {
+                for t in 0..targets.len() {
+                    jobs.push((b, t));
+                }
+            }
+        }
+        let outcomes = par::par_map(&jobs, |&(b, t)| {
+            prepared[b]
+                .as_ref()
+                .expect("only prepared benchmarks are scheduled")
+                .compile_with(&targets[t], ctl)
+        });
+
+        // Reassemble rows in (benchmark, target) order.
+        let mut outcomes = outcomes.into_iter();
+        prepared
+            .into_iter()
+            .map(|prep| match prep {
+                Ok(_) => (0..targets.len())
+                    .map(|_| outcomes.next().expect("one outcome per job"))
+                    .collect(),
+                Err(e) => targets.iter().map(|_| Err(e.clone())).collect(),
+            })
+            .collect()
+    }
+}
+
+impl std::fmt::Debug for Session {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Session")
+            .field("config", &self.config)
+            .field("prepared", &self.prepare_count())
+            .finish_non_exhaustive()
+    }
+}

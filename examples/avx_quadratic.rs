@@ -7,7 +7,7 @@
 //! cargo run --release --example avx_quadratic
 //! ```
 
-use chassis::{Chassis, Config};
+use chassis::{Config, Session};
 use fpcore::parse_fpcore;
 use targets::builtin;
 
@@ -21,9 +21,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             (/ (+ (- b2) (sqrt (- (* b2 b2) (* a c)))) a))",
     )?;
     let target = builtin::by_name("avx").expect("AVX target");
-    let result = Chassis::new(target.clone())
-        .with_config(Config::fast())
-        .compile(&core)?;
+    let session = Session::new(Config::fast());
+    let result = session.compile(&core, &target)?;
 
     println!("target: {target}");
     println!("input : {core}\n");

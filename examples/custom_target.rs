@@ -9,7 +9,7 @@
 //! cargo run --release --example custom_target
 //! ```
 
-use chassis::{Chassis, Config};
+use chassis::{Config, Session};
 use fpcore::parse_fpcore;
 use fpcore::FpType::Binary32;
 use targets::autotune::{auto_tune, AutoTuneConfig};
@@ -65,9 +65,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             :pre (and (> x 0.001) (< x 1000) (> y 0.001) (< y 1000))
             (/ (- x y) (+ x y)))",
     )?;
-    let result = Chassis::new(target.clone())
-        .with_config(Config::fast())
-        .compile(&core)?;
+    let result = Session::new(Config::fast()).compile(&core, &target)?;
     println!("\ninput: {core}");
     for imp in &result.implementations {
         println!(

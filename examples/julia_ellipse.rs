@@ -7,7 +7,7 @@
 //! cargo run --release --example julia_ellipse
 //! ```
 
-use chassis::{Chassis, Config};
+use chassis::{Config, Session};
 use fpcore::parse_fpcore;
 use targets::builtin;
 
@@ -20,9 +20,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                (* (* b b) (* (cos (* (/ PI 180) theta)) (cos (* (/ PI 180) theta))))))",
     )?;
     let target = builtin::by_name("julia").expect("Julia target");
-    let result = Chassis::new(target)
-        .with_config(Config::fast())
-        .compile(&core)?;
+    let result = Session::new(Config::fast()).compile(&core, &target)?;
 
     println!("input: {core}\n");
     println!(

@@ -3,11 +3,18 @@
 //! paper's Figure 8, useful for understanding how target characteristics shape
 //! the available trade-offs.
 //!
+//! This is [`Session::compile_many`] in its smallest form: the benchmark is
+//! prepared once, the nine `(benchmark × target)` jobs fan out over the worker
+//! pool, and a [`Progress`] observer counts search events while a [`Budget`]
+//! caps each job's wall-clock time.
+//!
 //! ```text
 //! cargo run --release --example pareto_sweep
 //! ```
 
-use chassis::{Chassis, Config};
+use chassis::{Budget, Config, Progress, SearchControl, Session};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Duration;
 use targets::builtin;
 
 fn main() {
@@ -15,12 +22,28 @@ fn main() {
     let core = benchmark.fpcore();
     println!("benchmark: {} — {}", benchmark.name, core);
 
-    for target in builtin::all_targets() {
+    let session = Session::new(Config::fast());
+    let all_targets = builtin::all_targets();
+
+    // Structured observability: count frontier admissions across all jobs
+    // (events from parallel jobs interleave, so aggregate instead of printing).
+    let admitted = AtomicUsize::new(0);
+    let observer = |event: &Progress| {
+        if matches!(event, Progress::FrontierPointAdmitted { .. }) {
+            admitted.fetch_add(1, Ordering::Relaxed);
+        }
+    };
+    // Bound each per-target search: even a pathological search returns the
+    // frontier found within ten seconds (at minimum the initial program).
+    let ctl = SearchControl::new()
+        .with_progress(&observer)
+        .with_budget(Budget::wall_clock(Duration::from_secs(10)));
+
+    let rows = session.compile_many_with(std::slice::from_ref(&core), &all_targets, &ctl);
+
+    for (target, outcome) in all_targets.iter().zip(&rows[0]) {
         print!("\n=== {} ===\n", target.name);
-        match Chassis::new(target.clone())
-            .with_config(Config::fast())
-            .compile(&core)
-        {
+        match outcome {
             Err(e) => println!("  not compilable: {e}"),
             Ok(result) => {
                 for imp in &result.implementations {
@@ -36,4 +59,10 @@ fn main() {
             }
         }
     }
+    println!(
+        "\nprepared {} time(s) for {} targets; {} frontier admissions observed",
+        session.prepare_count(),
+        all_targets.len(),
+        admitted.load(Ordering::Relaxed)
+    );
 }

@@ -5,7 +5,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use chassis::{Chassis, Config};
+use chassis::{Config, Session};
 use fpcore::parse_fpcore;
 use targets::builtin;
 
@@ -19,9 +19,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Pick a target description: here, scalar C99 with the full math library.
     let target = builtin::by_name("c99").expect("built-in target");
 
-    // Compile. `Config::fast()` keeps the search small enough for an example.
-    let compiler = Chassis::new(target).with_config(Config::fast());
-    let result = compiler.compile(&core)?;
+    // A session owns the configuration (including the RNG seed) and caches
+    // target-independent work. `Config::fast()` keeps the search small enough
+    // for an example.
+    let session = Session::new(Config::fast());
+
+    // Prepare once (sampling + ground truth), then compile for the target.
+    // The same `prepared` could compile for any number of other targets
+    // without re-sampling — see the fdlibm_acoth and pareto_sweep examples.
+    let prepared = session.prepare(&core)?;
+    let result = prepared.compile(&target)?;
 
     println!("input        : {core}");
     println!(

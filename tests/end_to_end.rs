@@ -3,7 +3,7 @@
 
 use chassis::baseline::clang::{compile_clang, ClangConfig};
 use chassis::baseline::herbie::{transcribe, HerbieCompiler};
-use chassis::{Chassis, Config};
+use chassis::{Config, Session};
 use fpcore::{parse_fpcore, Symbol};
 use std::collections::HashMap;
 use targets::{builtin, eval_float_expr_in, program_cost};
@@ -17,9 +17,8 @@ fn corpus_benchmark_compiles_on_c99_and_preserves_semantics() {
     let benchmark = benchsuite::by_name("sqrt-add-one-minus-sqrt").unwrap();
     let core = benchmark.fpcore();
     let target = builtin::by_name("c99").unwrap();
-    let result = Chassis::new(target.clone())
-        .with_config(fast())
-        .compile(&core)
+    let result = Session::new(fast())
+        .compile(&core, &target)
         .expect("compilation succeeds");
     assert!(!result.implementations.is_empty());
 
@@ -51,9 +50,8 @@ fn chassis_beats_herbie_transcription_on_the_vdt_target() {
     let core = benchmark.fpcore();
     let target = builtin::by_name("vdt").unwrap();
 
-    let chassis_result = Chassis::new(target.clone())
-        .with_config(fast())
-        .compile(&core)
+    let chassis_result = Session::new(fast())
+        .compile(&core, &target)
         .expect("chassis compiles");
     let herbie = HerbieCompiler::new(fast());
     let herbie_result = herbie.compile(&core).expect("herbie compiles");
@@ -84,9 +82,8 @@ fn chassis_dominates_clang_fast_math_on_accuracy() {
     let benchmark = benchsuite::by_name("expm1-over-x").unwrap();
     let core = benchmark.fpcore();
     let target = builtin::by_name("c99").unwrap();
-    let result = Chassis::new(target.clone())
-        .with_config(fast())
-        .compile(&core)
+    let result = Session::new(fast())
+        .compile(&core, &target)
         .expect("chassis compiles");
     let samples = &result.samples;
     for config in ClangConfig::all() {
@@ -104,12 +101,10 @@ fn chassis_dominates_clang_fast_math_on_accuracy() {
 #[test]
 fn avx_target_lacks_transcendentals_but_compiles_rational_kernels() {
     let target = builtin::by_name("avx").unwrap();
+    let session = Session::new(fast());
     // A transcendental benchmark cannot be implemented...
     let sin_core = parse_fpcore("(FPCore (x) (sin x))").unwrap();
-    assert!(Chassis::new(target.clone())
-        .with_config(fast())
-        .compile(&sin_core)
-        .is_err());
+    assert!(session.compile(&sin_core, &target).is_err());
     // ...but a rational kernel can, and produces multiple Pareto points.
     let benchmark = benchsuite::by_name("reciprocal").unwrap();
     let mut core = benchmark.fpcore();
@@ -118,10 +113,7 @@ fn avx_target_lacks_transcendentals_but_compiles_rational_kernels() {
     for arg in &mut core.args {
         arg.1 = fpcore::FpType::Binary32;
     }
-    let result = Chassis::new(target.clone())
-        .with_config(fast())
-        .compile(&core)
-        .expect("compiles on AVX");
+    let result = session.compile(&core, &target).expect("compiles on AVX");
     assert!(
         result.implementations.len() >= 2,
         "expected both the exact and the approximate reciprocal on the frontier"
@@ -137,10 +129,12 @@ fn every_target_compiles_a_simple_polynomial() {
     let core =
         parse_fpcore("(FPCore (x) :pre (and (> x -100) (< x 100)) (+ (* x (* x x)) (* 3 x)))")
             .unwrap();
+    // One session: the polynomial is sampled and ground-truthed once, then
+    // compiled for all nine targets from the shared preparation.
+    let session = Session::new(fast());
     for target in builtin::all_targets() {
-        let result = Chassis::new(target.clone())
-            .with_config(fast())
-            .compile(&core)
+        let result = session
+            .compile(&core, &target)
             .unwrap_or_else(|e| panic!("target {} failed: {e}", target.name));
         assert!(
             !result.implementations.is_empty(),
@@ -155,6 +149,11 @@ fn every_target_compiles_a_simple_polynomial() {
             target.name
         );
     }
+    assert_eq!(
+        session.prepare_count(),
+        1,
+        "nine targets must share one preparation"
+    );
 }
 
 #[test]

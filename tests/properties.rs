@@ -13,7 +13,7 @@
 
 use chassis::pareto::ParetoFrontier;
 use chassis::rng::Rng;
-use chassis::{Chassis, Config};
+use chassis::{Config, Session};
 use fpcore::eval::{env_from, eval_f64};
 use fpcore::{Expr, FpType, RealOp, Symbol};
 use rival::{ground_truth, GroundTruth};
@@ -148,9 +148,8 @@ fn compiled_programs_preserve_the_desugaring() {
         fpcore::parse_fpcore("(FPCore (x) :pre (and (> x 1) (< x 100)) (/ (- (* x x) 1) (+ x 1)))")
             .unwrap();
     let target = builtin::by_name("arith-fma").unwrap();
-    let result = Chassis::new(target.clone())
-        .with_config(Config::fast())
-        .compile(&core)
+    let result = Session::new(Config::fast())
+        .compile(&core, &target)
         .unwrap();
     let mut rng = Rng::new(0xBEEF);
     for _ in 0..6 {
