@@ -13,17 +13,25 @@
 //! 2. **measures throughput**: best-of-N sweeps over all points for each
 //!    engine — block mode once per `--block-sizes` entry — reported as
 //!    points/second;
-//! 3. **records the trajectory**: writes `BENCH_eval.json` (schema 2: per-mode
-//!    and per-block-size throughput, plus the chosen block size) so CI can
-//!    archive the numbers run over run;
-//! 4. **gates**: `--min-speedup X` requires corpus-wide scalar-bytecode ≥ X ×
+//! 3. **measures the math kernels**: a per-operator table of lane-sweep
+//!    throughput, vecmath kernels vs. per-lane host-libm loops, over the
+//!    corpus input distribution;
+//! 4. **records the trajectory**: writes `BENCH_eval.json` (schema 3:
+//!    per-mode, per-block-size and per-target throughput, the per-operator
+//!    kernel table, and a `history` array carrying every previous run's
+//!    totals forward so successive runs stay comparable);
+//! 5. **gates**: `--min-speedup X` requires corpus-wide scalar-bytecode ≥ X ×
 //!    tree-walk; `--min-block-speedup Y` requires corpus-wide block mode (at
-//!    its best swept size) ≥ Y × scalar bytecode.
+//!    its best swept size) ≥ Y × scalar bytecode; `--min-target-pps
+//!    name=PPS,...` puts an absolute points/sec floor under named targets'
+//!    block aggregate (used to hold the c99/vdt rows at ≥ 1.8× their
+//!    pre-vecmath baseline).
 //!
 //! ```text
 //! cargo run --release -p chassis-bench --bin eval_throughput -- \
 //!     --points 2048 --repeats 5 --block-sizes 8,64,256,0 \
-//!     --min-speedup 3 --min-block-speedup 1 --out BENCH_eval.json
+//!     --min-speedup 3 --min-block-speedup 1 \
+//!     --min-target-pps c99=185600000,vdt=186000000 --out BENCH_eval.json
 //! ```
 //!
 //! A block size of `0` means "one block spanning the whole batch".
@@ -52,6 +60,8 @@ struct Options {
     min_speedup: f64,
     /// Floor on block / scalar-bytecode aggregate throughput.
     min_block_speedup: f64,
+    /// Absolute block-aggregate floors per target: `(name, points/sec)`.
+    min_target_pps: Vec<(String, f64)>,
     out: String,
 }
 
@@ -67,11 +77,13 @@ impl Options {
             block_sizes: vec![8, 64, 256, 0],
             min_speedup: 0.0,
             min_block_speedup: 0.0,
+            min_target_pps: Vec::new(),
             out: "BENCH_eval.json".to_owned(),
         };
         let usage = "usage: eval_throughput [--points N] [--repeats N] \
                      [--seed N] [--block-sizes N,M,...] [--min-speedup X] \
-                     [--min-block-speedup X] [--out PATH]";
+                     [--min-block-speedup X] [--min-target-pps name=PPS,...] \
+                     [--out PATH]";
         fn value<T: std::str::FromStr>(args: &[String], i: usize, usage: &str) -> T {
             args.get(i + 1)
                 .and_then(|s| s.parse().ok())
@@ -105,6 +117,20 @@ impl Options {
                 }
                 "--min-speedup" => options.min_speedup = value(&args, i, usage),
                 "--min-block-speedup" => options.min_block_speedup = value(&args, i, usage),
+                "--min-target-pps" => {
+                    let list: String = value(&args, i, usage);
+                    for entry in list.split(',') {
+                        let Some((name, pps)) = entry.split_once('=') else {
+                            eprintln!("bad --min-target-pps entry {entry:?}\n{usage}");
+                            std::process::exit(2);
+                        };
+                        let pps: f64 = pps.trim().parse().unwrap_or_else(|_| {
+                            eprintln!("bad points/sec in {entry:?}\n{usage}");
+                            std::process::exit(2);
+                        });
+                        options.min_target_pps.push((name.trim().to_owned(), pps));
+                    }
+                }
                 "--out" => options.out = value(&args, i, usage),
                 other => {
                     eprintln!("unknown argument {other}\n{usage}");
@@ -320,9 +346,200 @@ impl Totals {
     }
 }
 
+/// Per-target aggregate block throughput (points/sec at the corpus-chosen
+/// block size), in `TARGETS` order.
+fn per_target_block_pps(options: &Options, cases: &[Case], totals: &Totals) -> Vec<(String, f64)> {
+    TARGETS
+        .iter()
+        .filter_map(|target_name| {
+            let subset: Vec<&Case> = cases.iter().filter(|c| c.target == *target_name).collect();
+            if subset.is_empty() {
+                return None;
+            }
+            let pts = (subset.len() * options.points) as f64;
+            let secs: f64 = subset
+                .iter()
+                .map(|c| c.block_best[totals.chosen].as_secs_f64())
+                .sum();
+            Some((target_name.to_string(), pts / secs))
+        })
+        .collect()
+}
+
+/// One row of the per-operator kernel throughput table (schema 3).
+struct OpKernel {
+    name: &'static str,
+    arity: u32,
+    vecmath_pps: f64,
+    libm_pps: f64,
+}
+
+/// Measures each registered vecmath kernel's lane-sweep throughput against a
+/// per-lane host-libm loop, over the same log-uniform input distribution as
+/// the corpus sweep (log-magnitude in [1e-6, 1e6], both signs; the log
+/// family takes magnitudes so most lanes stay in-domain).
+fn bench_op_kernels(options: &Options) -> Vec<OpKernel> {
+    const LANES: usize = 4096;
+    const SWEEPS: usize = 16;
+    let mut rng = Rng::for_stream(options.seed, 0x0FED);
+    let signed: Vec<f64> = (0..LANES)
+        .map(|_| {
+            let magnitude = 10f64.powf(rng.range_f64(-6.0, 6.0));
+            if rng.below(2) == 0 {
+                magnitude
+            } else {
+                -magnitude
+            }
+        })
+        .collect();
+    let magnitudes: Vec<f64> = signed.iter().map(|x| x.abs()).collect();
+    let mut out = vec![0.0; LANES];
+    let mut time = |f: &mut dyn FnMut(&mut [f64])| -> f64 {
+        f(&mut out); // warmup
+        let mut best = Duration::MAX;
+        for _ in 0..options.repeats.max(1) {
+            let start = Instant::now();
+            for _ in 0..SWEEPS {
+                f(&mut out);
+            }
+            best = best.min(start.elapsed());
+        }
+        std::hint::black_box(&out);
+        (LANES * SWEEPS) as f64 / best.max(Duration::from_nanos(1)).as_secs_f64()
+    };
+    let mut table = Vec::new();
+    for kernel in vecmath::KERNELS1 {
+        let input = if matches!(kernel.name, "log" | "log2" | "log10" | "log1p") {
+            &magnitudes
+        } else {
+            &signed
+        };
+        let vecmath_pps = time(&mut |out| (kernel.sweep)(out, input));
+        let libm_pps = time(&mut |out| {
+            for (o, &x) in out.iter_mut().zip(input) {
+                *o = (kernel.reference)(x);
+            }
+        });
+        table.push(OpKernel {
+            name: kernel.name,
+            arity: 1,
+            vecmath_pps,
+            libm_pps,
+        });
+    }
+    for kernel in vecmath::KERNELS2 {
+        let a = if kernel.name == "pow" {
+            &magnitudes
+        } else {
+            &signed
+        };
+        let vecmath_pps = time(&mut |out| (kernel.sweep)(out, a, &signed));
+        let libm_pps = time(&mut |out| {
+            for ((o, &x), &y) in out.iter_mut().zip(a).zip(&signed) {
+                *o = (kernel.reference)(x, y);
+            }
+        });
+        table.push(OpKernel {
+            name: kernel.name,
+            arity: 2,
+            vecmath_pps,
+            libm_pps,
+        });
+    }
+    table
+}
+
+/// This run's headline numbers as a one-line JSON history entry.
+fn history_entry(
+    options: &Options,
+    n_cases: usize,
+    totals: &Totals,
+    per_target: &[(String, f64)],
+) -> String {
+    let targets: Vec<String> = per_target
+        .iter()
+        .map(|(name, pps)| format!("\"{name}\": {pps:.1}"))
+        .collect();
+    format!(
+        "{{\"schema_version\": 3, \"seed\": {}, \"points_per_case\": {}, \"cases\": {}, \
+         \"interp_points_per_sec\": {:.1}, \"bytecode_points_per_sec\": {:.1}, \
+         \"block_points_per_sec\": {:.1}, \"per_target_block_points_per_sec\": {{{}}}}}",
+        options.seed,
+        options.points,
+        n_cases,
+        totals.interp_pps,
+        totals.bytecode_pps,
+        totals.block_pps[totals.chosen],
+        targets.join(", ")
+    )
+}
+
+/// Prior history entries to carry forward from the existing out file. A
+/// schema-3 file contributes its `history` array verbatim; a legacy schema-2
+/// file (the pre-vecmath baseline) is summarized into a synthesized entry so
+/// the bench trajectory starts at the old numbers.
+fn prior_history(path: &str) -> Vec<String> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    if let Some(start) = text.find("\"history\": [") {
+        let rest = &text[start + "\"history\": [".len()..];
+        let Some(end) = rest.find(']') else {
+            return Vec::new();
+        };
+        return rest[..end]
+            .lines()
+            .map(|line| line.trim().trim_end_matches(',').to_owned())
+            .filter(|line| line.starts_with('{'))
+            .collect();
+    }
+    // Legacy schema 2: pull the headline numbers out of the hand-rolled
+    // format (first occurrence of each field is the top-level/totals one).
+    let field = |name: &str| -> Option<f64> {
+        let at = text.find(&format!("\"{name}\": "))?;
+        let rest = &text[at + name.len() + 4..];
+        let end = rest.find([',', '}', '\n'])?;
+        rest[..end].trim().parse().ok()
+    };
+    let block = (|| {
+        let chosen = field("chosen_block_size")?;
+        let at = text.find("\"block_points_per_sec\": {")?;
+        let rest = &text[at..];
+        let key = format!("\"{}\": ", chosen as u64);
+        let k = rest.find(&key)?;
+        let rest = &rest[k + key.len()..];
+        let end = rest.find([',', '}'])?;
+        rest[..end].trim().parse::<f64>().ok()
+    })();
+    match (
+        field("schema_version"),
+        field("seed"),
+        field("points_per_case"),
+        field("interp_points_per_sec"),
+        field("bytecode_points_per_sec"),
+        block,
+    ) {
+        (Some(schema), Some(seed), Some(points), Some(interp), Some(byte), Some(block)) => {
+            vec![format!(
+                "{{\"schema_version\": {schema}, \"seed\": {seed}, \"points_per_case\": {points}, \
+                 \"interp_points_per_sec\": {interp}, \"bytecode_points_per_sec\": {byte}, \
+                 \"block_points_per_sec\": {block}}}"
+            )]
+        }
+        _ => Vec::new(),
+    }
+}
+
 /// Renders the results as JSON (hand-rolled: the workspace has no registry
 /// access, hence no serde).
-fn to_json(options: &Options, cases: &[Case], totals: &Totals) -> String {
+fn to_json(
+    options: &Options,
+    cases: &[Case],
+    totals: &Totals,
+    per_target: &[(String, f64)],
+    op_kernels: &[OpKernel],
+    history: &[String],
+) -> String {
     let pps = |d: Duration| options.points as f64 / d.as_secs_f64();
     let sizes_json = |values: &[f64]| {
         let entries: Vec<String> = options
@@ -336,7 +553,7 @@ fn to_json(options: &Options, cases: &[Case], totals: &Totals) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str("  \"bench\": \"eval_throughput\",\n");
-    out.push_str("  \"schema_version\": 2,\n");
+    out.push_str("  \"schema_version\": 3,\n");
     out.push_str(&format!("  \"points_per_case\": {},\n", options.points));
     out.push_str(&format!("  \"repeats\": {},\n", options.repeats));
     out.push_str(&format!("  \"seed\": {},\n", options.seed));
@@ -359,6 +576,14 @@ fn to_json(options: &Options, cases: &[Case], totals: &Totals) -> String {
         "    \"chosen_block_size\": {},\n",
         options.block_sizes[totals.chosen]
     ));
+    let targets: Vec<String> = per_target
+        .iter()
+        .map(|(name, pps)| format!("\"{name}\": {pps:.1}"))
+        .collect();
+    out.push_str(&format!(
+        "    \"per_target_block_points_per_sec\": {{{}}},\n",
+        targets.join(", ")
+    ));
     out.push_str(&format!(
         "    \"bytecode_speedup\": {:.3},\n",
         totals.bytecode_speedup()
@@ -372,6 +597,27 @@ fn to_json(options: &Options, cases: &[Case], totals: &Totals) -> String {
         totals.block_pps[totals.chosen] / totals.interp_pps
     ));
     out.push_str("  },\n");
+    out.push_str("  \"op_kernels\": [\n");
+    for (i, k) in op_kernels.iter().enumerate() {
+        let comma = if i + 1 < op_kernels.len() { "," } else { "" };
+        out.push_str(&format!(
+            "    {{\"op\": \"{}\", \"arity\": {}, \"vecmath_points_per_sec\": {:.1}, \
+             \"libm_points_per_sec\": {:.1}, \"speedup\": {:.3}}}{comma}\n",
+            k.name,
+            k.arity,
+            k.vecmath_pps,
+            k.libm_pps,
+            k.vecmath_pps / k.libm_pps
+        ));
+    }
+    out.push_str("  ],\n");
+    // One entry per recorded run, oldest first: the bench trajectory.
+    out.push_str("  \"history\": [\n");
+    for (i, entry) in history.iter().enumerate() {
+        let comma = if i + 1 < history.len() { "," } else { "" };
+        out.push_str(&format!("    {entry}{comma}\n"));
+    }
+    out.push_str("  ],\n");
     out.push_str("  \"cases\": [\n");
     for (i, case) in cases.iter().enumerate() {
         let comma = if i + 1 < cases.len() { "," } else { "" };
@@ -425,6 +671,10 @@ fn main() {
 
     assert!(!cases.is_empty(), "no benchmark lowered onto any target");
     let totals = Totals::compute(&options, &cases);
+    let per_target = per_target_block_pps(&options, &cases, &totals);
+    let op_kernels = bench_op_kernels(&options);
+    let mut history = prior_history(&options.out);
+    history.push(history_entry(&options, cases.len(), &totals, &per_target));
 
     println!(
         "eval_throughput: {} cases ({} benchmarks x {} targets reachable), {} points each",
@@ -480,8 +730,25 @@ fn main() {
         totals.block_speedup(),
         totals.block_pps[totals.chosen] / totals.interp_pps
     );
+    println!("  math-kernel sweeps (corpus input distribution, per operator):");
+    for k in &op_kernels {
+        println!(
+            "  {:>10}: vecmath {:>12.0} pts/s | libm {:>12.0} pts/s | {:>5.2}x",
+            k.name,
+            k.vecmath_pps,
+            k.libm_pps,
+            k.vecmath_pps / k.libm_pps
+        );
+    }
 
-    let json = to_json(&options, &cases, &totals);
+    let json = to_json(
+        &options,
+        &cases,
+        &totals,
+        &per_target,
+        &op_kernels,
+        &history,
+    );
     std::fs::write(&options.out, &json)
         .unwrap_or_else(|e| panic!("cannot write {}: {e}", options.out));
     println!("wrote {}", options.out);
@@ -507,5 +774,17 @@ fn main() {
             options.min_block_speedup
         );
         std::process::exit(1);
+    }
+    for (name, floor) in &options.min_target_pps {
+        let Some((_, pps)) = per_target.iter().find(|(n, _)| n == name) else {
+            eprintln!("FAIL: --min-target-pps names unknown target {name:?}");
+            std::process::exit(2);
+        };
+        if pps < floor {
+            eprintln!(
+                "FAIL: {name} block aggregate {pps:.0} pts/s is below the floor ({floor:.0})"
+            );
+            std::process::exit(1);
+        }
     }
 }

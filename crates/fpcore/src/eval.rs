@@ -4,10 +4,84 @@
 //! is *not* the ground truth (that is the `rival` crate's job); it is used for
 //! precondition filtering during sampling, for quick sanity checks, and as the
 //! "naive direct lowering" the traditional-compiler baseline starts from.
+//!
+//! # Math-kernel routing
+//!
+//! The hot transcendentals (`exp`/`expm1`/`log`/`log1p`/`log2`/`log10`/
+//! `sin`/`cos`/`tan`/`sinh`/`cosh`/`tanh`/`atan`, plus `pow`/`hypot`) are
+//! routed through the `vecmath` kernels rather than the host libm. Every
+//! evaluation engine — the tree walk, the scalar bytecode machine, and the
+//! block engine (via [`sweep_op1`]/[`sweep_op2`], whose lane-sweep forms run
+//! the identical per-lane operation sequence) — therefore computes the exact
+//! same bits. Building with the `libm-calls` feature flips the routing back
+//! to the host libm *everywhere at once*, which keeps the engines mutually
+//! bit-identical in that configuration too; it exists for differential
+//! debugging and for measuring the libm baseline.
 
 use crate::ast::{Expr, RealOp};
 use crate::symbol::Symbol;
 use std::collections::HashMap;
+
+/// The transcendental routing layer: `vecmath` kernels by default, host libm
+/// under the `libm-calls` feature. Only referenced from [`apply_op1`] /
+/// [`apply_op2`] and the sweep forms, so the switch stays in one place.
+mod route {
+    #[cfg(not(feature = "libm-calls"))]
+    pub use vecmath::{
+        atan, cos, cosh, exp, expm1, hypot, log, log10, log1p, log2, pow, sin, sinh, tan, tanh,
+    };
+
+    #[cfg(feature = "libm-calls")]
+    mod libm {
+        pub fn exp(x: f64) -> f64 {
+            x.exp()
+        }
+        pub fn expm1(x: f64) -> f64 {
+            x.exp_m1()
+        }
+        pub fn log(x: f64) -> f64 {
+            x.ln()
+        }
+        pub fn log1p(x: f64) -> f64 {
+            x.ln_1p()
+        }
+        pub fn log2(x: f64) -> f64 {
+            x.log2()
+        }
+        pub fn log10(x: f64) -> f64 {
+            x.log10()
+        }
+        pub fn sin(x: f64) -> f64 {
+            x.sin()
+        }
+        pub fn cos(x: f64) -> f64 {
+            x.cos()
+        }
+        pub fn tan(x: f64) -> f64 {
+            x.tan()
+        }
+        pub fn sinh(x: f64) -> f64 {
+            x.sinh()
+        }
+        pub fn cosh(x: f64) -> f64 {
+            x.cosh()
+        }
+        pub fn tanh(x: f64) -> f64 {
+            x.tanh()
+        }
+        pub fn atan(x: f64) -> f64 {
+            x.atan()
+        }
+        pub fn pow(x: f64, y: f64) -> f64 {
+            x.powf(y)
+        }
+        pub fn hypot(x: f64, y: f64) -> f64 {
+            x.hypot(y)
+        }
+    }
+    #[cfg(feature = "libm-calls")]
+    pub use libm::*;
+}
 
 /// An assignment of `f64` values to variables.
 pub type Env = HashMap<Symbol, f64>;
@@ -68,22 +142,22 @@ pub fn apply_op1(op: RealOp, a: f64) -> f64 {
         RealOp::Ceil => a.ceil(),
         RealOp::Round => a.round(),
         RealOp::Trunc => a.trunc(),
-        RealOp::Exp => a.exp(),
+        RealOp::Exp => route::exp(a),
         RealOp::Exp2 => a.exp2(),
-        RealOp::Expm1 => a.exp_m1(),
-        RealOp::Log => a.ln(),
-        RealOp::Log2 => a.log2(),
-        RealOp::Log10 => a.log10(),
-        RealOp::Log1p => a.ln_1p(),
-        RealOp::Sin => a.sin(),
-        RealOp::Cos => a.cos(),
-        RealOp::Tan => a.tan(),
+        RealOp::Expm1 => route::expm1(a),
+        RealOp::Log => route::log(a),
+        RealOp::Log2 => route::log2(a),
+        RealOp::Log10 => route::log10(a),
+        RealOp::Log1p => route::log1p(a),
+        RealOp::Sin => route::sin(a),
+        RealOp::Cos => route::cos(a),
+        RealOp::Tan => route::tan(a),
         RealOp::Asin => a.asin(),
         RealOp::Acos => a.acos(),
-        RealOp::Atan => a.atan(),
-        RealOp::Sinh => a.sinh(),
-        RealOp::Cosh => a.cosh(),
-        RealOp::Tanh => a.tanh(),
+        RealOp::Atan => route::atan(a),
+        RealOp::Sinh => route::sinh(a),
+        RealOp::Cosh => route::cosh(a),
+        RealOp::Tanh => route::tanh(a),
         RealOp::Asinh => a.asinh(),
         RealOp::Acosh => a.acosh(),
         RealOp::Atanh => a.atanh(),
@@ -105,8 +179,8 @@ pub fn apply_op2(op: RealOp, a: f64, b: f64) -> f64 {
         RealOp::Sub => a - b,
         RealOp::Mul => a * b,
         RealOp::Div => a / b,
-        RealOp::Hypot => a.hypot(b),
-        RealOp::Pow => a.powf(b),
+        RealOp::Hypot => route::hypot(a, b),
+        RealOp::Pow => route::pow(a, b),
         RealOp::Fmod => a % b,
         RealOp::Fdim => {
             if a > b {
@@ -140,6 +214,58 @@ pub fn apply_op3(op: RealOp, a: f64, b: f64, c: f64) -> f64 {
     match op {
         RealOp::Fma => a.mul_add(b, c),
         _ => panic!("{op} is not ternary"),
+    }
+}
+
+/// Block-wide form of [`apply_op1`]: writes `apply_op1(op, a[i])` to
+/// `out[i]` for every lane.
+///
+/// For operators with a `vecmath` kernel this dispatches to the kernel's
+/// lane-sweep form, which executes the identical per-lane operation sequence
+/// as the scalar kernel — so the result is bit-identical to the per-lane
+/// loop while auto-vectorizing. Other operators (and every operator under
+/// the `libm-calls` feature) run the plain per-lane loop.
+///
+/// # Panics
+///
+/// Panics if `op` is not unary.
+pub fn sweep_op1(op: RealOp, out: &mut [f64], a: &[f64]) {
+    #[cfg(not(feature = "libm-calls"))]
+    match op {
+        RealOp::Exp => return vecmath::exp_sweep(out, a),
+        RealOp::Expm1 => return vecmath::expm1_sweep(out, a),
+        RealOp::Log => return vecmath::log_sweep(out, a),
+        RealOp::Log1p => return vecmath::log1p_sweep(out, a),
+        RealOp::Log2 => return vecmath::log2_sweep(out, a),
+        RealOp::Log10 => return vecmath::log10_sweep(out, a),
+        RealOp::Sin => return vecmath::sin_sweep(out, a),
+        RealOp::Cos => return vecmath::cos_sweep(out, a),
+        RealOp::Tan => return vecmath::tan_sweep(out, a),
+        RealOp::Sinh => return vecmath::sinh_sweep(out, a),
+        RealOp::Cosh => return vecmath::cosh_sweep(out, a),
+        RealOp::Tanh => return vecmath::tanh_sweep(out, a),
+        RealOp::Atan => return vecmath::atan_sweep(out, a),
+        _ => {}
+    }
+    for (o, &x) in out.iter_mut().zip(a) {
+        *o = apply_op1(op, x);
+    }
+}
+
+/// Block-wide form of [`apply_op2`] (see [`sweep_op1`]).
+///
+/// # Panics
+///
+/// Panics if `op` is not binary.
+pub fn sweep_op2(op: RealOp, out: &mut [f64], a: &[f64], b: &[f64]) {
+    #[cfg(not(feature = "libm-calls"))]
+    match op {
+        RealOp::Pow => return vecmath::pow_sweep(out, a, b),
+        RealOp::Hypot => return vecmath::hypot_sweep(out, a, b),
+        _ => {}
+    }
+    for ((o, &x), &y) in out.iter_mut().zip(a).zip(b) {
+        *o = apply_op2(op, x, y);
     }
 }
 
@@ -245,6 +371,68 @@ mod tests {
         assert_eq!(eval_closed(&e), Some(42.0));
         let e = parse_expr("(* x 7)").unwrap();
         assert_eq!(eval_closed(&e), None);
+    }
+
+    #[test]
+    fn sweep_forms_are_bit_identical_to_scalar_application() {
+        // The engine bit-identity contract at its root: for every unary and
+        // binary operator, the block-wide sweep must reproduce the scalar
+        // application exactly, lane for lane — in both routing
+        // configurations (vecmath default and --features libm-calls).
+        let inputs: Vec<f64> = vec![
+            0.0,
+            -0.0,
+            1.0,
+            -1.0,
+            0.5,
+            -0.5,
+            2.75,
+            -3.25,
+            1e-300,
+            -1e-300,
+            5e-324,
+            1e300,
+            -1e300,
+            709.5,
+            -745.0,
+            1e7,
+            -1e7,
+            f64::NAN,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            std::f64::consts::PI,
+        ];
+        let b: Vec<f64> = inputs.iter().rev().copied().collect();
+        let mut out = vec![0.0; inputs.len()];
+        for &op in RealOp::ALL {
+            match op.arity() {
+                1 => {
+                    sweep_op1(op, &mut out, &inputs);
+                    for (&x, &got) in inputs.iter().zip(&out) {
+                        let want = apply_op1(op, x);
+                        assert_eq!(
+                            want.to_bits(),
+                            got.to_bits(),
+                            "{op}: sweep diverges from scalar at {x:e}"
+                        );
+                    }
+                }
+                2 => {
+                    sweep_op2(op, &mut out, &inputs, &b);
+                    for i in 0..inputs.len() {
+                        let want = apply_op2(op, inputs[i], b[i]);
+                        assert_eq!(
+                            want.to_bits(),
+                            out[i].to_bits(),
+                            "{op}: sweep diverges from scalar at ({:e}, {:e})",
+                            inputs[i],
+                            b[i]
+                        );
+                    }
+                }
+                _ => {}
+            }
+        }
     }
 
     #[test]

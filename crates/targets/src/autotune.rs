@@ -77,25 +77,38 @@ mod tests {
                 1.0,
             ),
         ]);
-        // Best-of-N timing only needs one repeat free of scheduler interference
-        // per operator; two repeats proved flaky on busy single-core runners.
-        let tuned = auto_tune(
-            &target,
-            AutoTuneConfig {
-                iterations: 2_000,
-                repeats: 8,
-            },
-        );
-        assert_eq!(tuned.operators.len(), 2);
-        let add_cost = tuned.operator(tuned.find_operator("+.f64").unwrap()).cost;
-        let heavy_cost = tuned
-            .operator(tuned.find_operator("heavy.f64").unwrap())
-            .cost;
-        assert!(add_cost >= 1.0);
+        // Rank-order check over a median of independent tuning runs: a single
+        // best-of-N measurement can still be inverted by scheduler noise on a
+        // busy single-core runner, but the *median* of several runs' cost
+        // ratios only flips if the majority of runs were disturbed — which is
+        // no longer noise. Each run stays cheap (best-of-3, 1k iterations);
+        // the assertion is on the median ratio, not any individual run.
+        const RUNS: usize = 7;
+        let mut ratios: Vec<f64> = (0..RUNS)
+            .map(|_| {
+                let tuned = auto_tune(
+                    &target,
+                    AutoTuneConfig {
+                        iterations: 1_000,
+                        repeats: 3,
+                    },
+                );
+                assert_eq!(tuned.operators.len(), 2);
+                assert!(tuned.cost_source.contains("measured"));
+                let add = tuned.operator(tuned.find_operator("+.f64").unwrap()).cost;
+                let heavy = tuned
+                    .operator(tuned.find_operator("heavy.f64").unwrap())
+                    .cost;
+                assert!(add >= 1.0);
+                heavy / add
+            })
+            .collect();
+        ratios.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = ratios[RUNS / 2];
         assert!(
-            heavy_cost > add_cost,
-            "auto-tuned cost of a transcendental chain ({heavy_cost}) should exceed an add ({add_cost})"
+            median > 1.0,
+            "median auto-tuned cost ratio heavy/add across {RUNS} runs should exceed 1 \
+             (got {median:.3}; ratios {ratios:?})"
         );
-        assert!(tuned.cost_source.contains("measured"));
     }
 }

@@ -2,60 +2,84 @@
 //! both binary64 and binary32, linked against the host libm.
 
 use super::{basic_arith_ops, libm_ops, ArithCosts};
-use crate::operator::{Impl, Operator};
+use crate::operator::{Impl, Operator, SweepImpl};
 use crate::target::{IfCostStyle, Target};
+use fpcore::eval::{apply_op1, apply_op2, apply_op3, sweep_op1, sweep_op2};
 use fpcore::FpType::{Binary32, Binary64};
+use fpcore::RealOp;
 
+// The linked math functions route through `fpcore::eval`'s operator
+// application, so they follow the vecmath/libm routing switch in lockstep
+// with the emulated path: the scalar wrapper and the block-wide sweep execute
+// the identical per-lane operation in every build configuration, which is
+// what keeps the three evaluation engines bit-identical.
 macro_rules! host1 {
-    ($name:ident, $method:ident) => {
+    ($name:ident, $sweep:ident, $op:ident) => {
         fn $name(a: &[f64]) -> f64 {
-            a[0].$method()
+            apply_op1(RealOp::$op, a[0])
+        }
+        fn $sweep(out: &mut [f64], a: &[f64]) {
+            sweep_op1(RealOp::$op, out, a)
         }
     };
 }
 
-host1!(host_exp, exp);
-host1!(host_log, ln);
-host1!(host_sin, sin);
-host1!(host_cos, cos);
-host1!(host_tan, tan);
-host1!(host_expm1, exp_m1);
-host1!(host_log1p, ln_1p);
-host1!(host_cbrt, cbrt);
+host1!(host_exp, sweep_exp, Exp);
+host1!(host_log, sweep_log, Log);
+host1!(host_sin, sweep_sin, Sin);
+host1!(host_cos, sweep_cos, Cos);
+host1!(host_tan, sweep_tan, Tan);
+host1!(host_expm1, sweep_expm1, Expm1);
+host1!(host_log1p, sweep_log1p, Log1p);
+host1!(host_cbrt, sweep_cbrt, Cbrt);
 
 fn host_pow(a: &[f64]) -> f64 {
-    a[0].powf(a[1])
+    apply_op2(RealOp::Pow, a[0], a[1])
+}
+
+fn sweep_pow(out: &mut [f64], a: &[f64], b: &[f64]) {
+    sweep_op2(RealOp::Pow, out, a, b)
 }
 
 fn host_hypot(a: &[f64]) -> f64 {
-    a[0].hypot(a[1])
+    apply_op2(RealOp::Hypot, a[0], a[1])
+}
+
+fn sweep_hypot(out: &mut [f64], a: &[f64], b: &[f64]) {
+    sweep_op2(RealOp::Hypot, out, a, b)
 }
 
 fn host_fma(a: &[f64]) -> f64 {
-    a[0].mul_add(a[1], a[2])
+    apply_op3(RealOp::Fma, a[0], a[1], a[2])
 }
 
+/// A linked operator's scalar function plus its optional block-wide form.
+type Linked = (fn(&[f64]) -> f64, Option<SweepImpl>);
+
 /// Replaces the implementation of selected emulated operators with direct host
-/// libm calls, modelling the "linked" column of Figure 6 for the C target.
+/// math-library calls, modelling the "linked" column of Figure 6 for the C
+/// target, and attaches the block-wide sweep forms the block evaluator
+/// dispatches whole lane slices through.
 fn link_against_host(ops: &mut [Operator]) {
     for op in ops.iter_mut() {
         let base = op.name.split('.').next().unwrap_or("");
-        let linked: Option<fn(&[f64]) -> f64> = match base {
-            "exp" => Some(host_exp),
-            "log" => Some(host_log),
-            "sin" => Some(host_sin),
-            "cos" => Some(host_cos),
-            "tan" => Some(host_tan),
-            "expm1" => Some(host_expm1),
-            "log1p" => Some(host_log1p),
-            "cbrt" => Some(host_cbrt),
-            "pow" => Some(host_pow),
-            "hypot" => Some(host_hypot),
-            "fma" => Some(host_fma),
+        let linked: Option<Linked> = match base {
+            "exp" => Some((host_exp, Some(SweepImpl::Un(sweep_exp)))),
+            "log" => Some((host_log, Some(SweepImpl::Un(sweep_log)))),
+            "sin" => Some((host_sin, Some(SweepImpl::Un(sweep_sin)))),
+            "cos" => Some((host_cos, Some(SweepImpl::Un(sweep_cos)))),
+            "tan" => Some((host_tan, Some(SweepImpl::Un(sweep_tan)))),
+            "expm1" => Some((host_expm1, Some(SweepImpl::Un(sweep_expm1)))),
+            "log1p" => Some((host_log1p, Some(SweepImpl::Un(sweep_log1p)))),
+            "cbrt" => Some((host_cbrt, Some(SweepImpl::Un(sweep_cbrt)))),
+            "pow" => Some((host_pow, Some(SweepImpl::Bin(sweep_pow)))),
+            "hypot" => Some((host_hypot, Some(SweepImpl::Bin(sweep_hypot)))),
+            "fma" => Some((host_fma, None)),
             _ => None,
         };
-        if let Some(f) = linked {
+        if let Some((f, sweep)) = linked {
             op.implementation = Impl::Native(f);
+            op.sweep = sweep;
         }
     }
 }
@@ -136,13 +160,20 @@ mod tests {
     }
 
     #[test]
-    fn linked_operators_call_host_libm() {
+    fn linked_operators_route_through_operator_application() {
+        // The linked functions must agree exactly with apply_op1 (vecmath by
+        // default, host libm under --features libm-calls), so the tree walk,
+        // scalar bytecode and block engines all see the same bits.
         let t = target();
         let exp = t.operator(t.find_operator("exp.f64").unwrap());
         assert!(exp.is_linked());
-        assert_eq!(exp.execute(&[1.0]), 1.0f64.exp());
+        assert!(exp.sweep.is_some(), "exp.f64 should have a block-wide form");
+        assert_eq!(exp.execute(&[1.0]), apply_op1(RealOp::Exp, 1.0));
         let log1p32 = t.operator(t.find_operator("log1p.f32").unwrap());
-        assert_eq!(log1p32.execute(&[0.5]), (0.5f64.ln_1p() as f32) as f64);
+        assert_eq!(
+            log1p32.execute(&[0.5]),
+            (apply_op1(RealOp::Log1p, 0.5) as f32) as f64
+        );
     }
 
     #[test]

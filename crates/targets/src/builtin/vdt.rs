@@ -5,9 +5,11 @@
 //! levels (`fast_isqrt`, `approx_isqrt`).
 
 use super::c99;
-use crate::operator::{truncate_mantissa, Operator};
+use crate::operator::{truncate_mantissa, Operator, SweepImpl};
 use crate::target::{IfCostStyle, Target};
+use fpcore::eval::{apply_op1, sweep_op1};
 use fpcore::FpType::{Binary32, Binary64};
+use fpcore::RealOp;
 
 /// Significant bits kept by the double-precision `fast_*` emulations
 /// (≈ a couple of hundred ulps of error, mirroring vdt's accuracy contract).
@@ -15,49 +17,75 @@ const FAST_BITS_F64: u32 = 42;
 /// Significant bits kept by the single-precision `fast_*f` emulations.
 const FAST_BITS_F32: u32 = 18;
 
+// The `fast_*` emulations route the underlying function through
+// `fpcore::eval`'s operator application (vecmath kernels by default, host
+// libm under `--features libm-calls`) and then truncate the mantissa. The
+// sweep form runs the identical per-lane operations as the scalar form —
+// kernel sweep, then the truncation pass — so block execution stays
+// bit-identical to the scalar engines.
 macro_rules! fast64 {
-    ($name:ident, $expr:expr) => {
+    ($name:ident, $sweep:ident, $op:ident) => {
         fn $name(a: &[f64]) -> f64 {
-            let x = a[0];
-            truncate_mantissa($expr(x), FAST_BITS_F64)
+            truncate_mantissa(apply_op1(RealOp::$op, a[0]), FAST_BITS_F64)
+        }
+        fn $sweep(out: &mut [f64], a: &[f64]) {
+            sweep_op1(RealOp::$op, out, a);
+            for o in out.iter_mut() {
+                *o = truncate_mantissa(*o, FAST_BITS_F64);
+            }
         }
     };
 }
 
+// The f32 variants pre-round the argument per lane, which would alias the
+// output slice in a sweep; they keep the per-lane call path (still routed
+// through apply_op1, so engine bit-identity is unaffected).
 macro_rules! fast32 {
-    ($name:ident, $expr:expr) => {
+    ($name:ident, $op:ident) => {
         fn $name(a: &[f64]) -> f64 {
             let x = a[0] as f32 as f64;
-            truncate_mantissa($expr(x) as f32 as f64, FAST_BITS_F32)
+            truncate_mantissa(apply_op1(RealOp::$op, x) as f32 as f64, FAST_BITS_F32)
         }
     };
 }
 
-fast64!(fast_exp, f64::exp);
-fast64!(fast_log, f64::ln);
-fast64!(fast_sin, f64::sin);
-fast64!(fast_cos, f64::cos);
-fast64!(fast_tan, f64::tan);
-fast64!(fast_asin, f64::asin);
-fast64!(fast_acos, f64::acos);
-fast64!(fast_atan, f64::atan);
-fast64!(fast_tanh, f64::tanh);
+fast64!(fast_exp, fast_exp_sweep, Exp);
+fast64!(fast_log, fast_log_sweep, Log);
+fast64!(fast_sin, fast_sin_sweep, Sin);
+fast64!(fast_cos, fast_cos_sweep, Cos);
+fast64!(fast_tan, fast_tan_sweep, Tan);
+fast64!(fast_asin, fast_asin_sweep, Asin);
+fast64!(fast_acos, fast_acos_sweep, Acos);
+fast64!(fast_atan, fast_atan_sweep, Atan);
+fast64!(fast_tanh, fast_tanh_sweep, Tanh);
 
-fast32!(fast_expf, f64::exp);
-fast32!(fast_logf, f64::ln);
-fast32!(fast_sinf, f64::sin);
-fast32!(fast_cosf, f64::cos);
-fast32!(fast_tanf, f64::tan);
-fast32!(fast_atanf, f64::atan);
+fast32!(fast_expf, Exp);
+fast32!(fast_logf, Log);
+fast32!(fast_sinf, Sin);
+fast32!(fast_cosf, Cos);
+fast32!(fast_tanf, Tan);
+fast32!(fast_atanf, Atan);
 
 fn fast_isqrt(a: &[f64]) -> f64 {
     // Three Newton iterations from an 8-bit seed: ~40 accurate bits.
     truncate_mantissa(1.0 / a[0].sqrt(), 40)
 }
 
+fn fast_isqrt_sweep(out: &mut [f64], a: &[f64]) {
+    for (o, &x) in out.iter_mut().zip(a) {
+        *o = truncate_mantissa(1.0 / x.sqrt(), 40);
+    }
+}
+
 fn approx_isqrt(a: &[f64]) -> f64 {
     // A cheaper variant with fewer iterations: ~30 accurate bits.
     truncate_mantissa(1.0 / a[0].sqrt(), 30)
+}
+
+fn approx_isqrt_sweep(out: &mut [f64], a: &[f64]) {
+    for (o, &x) in out.iter_mut().zip(a) {
+        *o = truncate_mantissa(1.0 / x.sqrt(), 30);
+    }
 }
 
 /// Builds the vdt target description.
@@ -76,11 +104,16 @@ pub fn target() -> Target {
     // The accurate function costs come from the imported C target; the fast
     // variants are roughly 2-3x cheaper.
     let fast: Vec<Operator> = vec![
-        Operator::native("fast_exp.f64", &b64, Binary64, "(exp a0)", 16.0, fast_exp),
-        Operator::native("fast_log.f64", &b64, Binary64, "(log a0)", 14.0, fast_log),
-        Operator::native("fast_sin.f64", &b64, Binary64, "(sin a0)", 18.0, fast_sin),
-        Operator::native("fast_cos.f64", &b64, Binary64, "(cos a0)", 18.0, fast_cos),
-        Operator::native("fast_tan.f64", &b64, Binary64, "(tan a0)", 22.0, fast_tan),
+        Operator::native("fast_exp.f64", &b64, Binary64, "(exp a0)", 16.0, fast_exp)
+            .with_sweep(SweepImpl::Un(fast_exp_sweep)),
+        Operator::native("fast_log.f64", &b64, Binary64, "(log a0)", 14.0, fast_log)
+            .with_sweep(SweepImpl::Un(fast_log_sweep)),
+        Operator::native("fast_sin.f64", &b64, Binary64, "(sin a0)", 18.0, fast_sin)
+            .with_sweep(SweepImpl::Un(fast_sin_sweep)),
+        Operator::native("fast_cos.f64", &b64, Binary64, "(cos a0)", 18.0, fast_cos)
+            .with_sweep(SweepImpl::Un(fast_cos_sweep)),
+        Operator::native("fast_tan.f64", &b64, Binary64, "(tan a0)", 22.0, fast_tan)
+            .with_sweep(SweepImpl::Un(fast_tan_sweep)),
         Operator::native(
             "fast_asin.f64",
             &b64,
@@ -88,7 +121,8 @@ pub fn target() -> Target {
             "(asin a0)",
             20.0,
             fast_asin,
-        ),
+        )
+        .with_sweep(SweepImpl::Un(fast_asin_sweep)),
         Operator::native(
             "fast_acos.f64",
             &b64,
@@ -96,7 +130,8 @@ pub fn target() -> Target {
             "(acos a0)",
             20.0,
             fast_acos,
-        ),
+        )
+        .with_sweep(SweepImpl::Un(fast_acos_sweep)),
         Operator::native(
             "fast_atan.f64",
             &b64,
@@ -104,7 +139,8 @@ pub fn target() -> Target {
             "(atan a0)",
             22.0,
             fast_atan,
-        ),
+        )
+        .with_sweep(SweepImpl::Un(fast_atan_sweep)),
         Operator::native(
             "fast_tanh.f64",
             &b64,
@@ -112,7 +148,8 @@ pub fn target() -> Target {
             "(tanh a0)",
             22.0,
             fast_tanh,
-        ),
+        )
+        .with_sweep(SweepImpl::Un(fast_tanh_sweep)),
         Operator::native("fast_expf.f32", &b32, Binary32, "(exp a0)", 10.0, fast_expf),
         Operator::native("fast_logf.f32", &b32, Binary32, "(log a0)", 9.0, fast_logf),
         Operator::native("fast_sinf.f32", &b32, Binary32, "(sin a0)", 11.0, fast_sinf),
@@ -133,7 +170,8 @@ pub fn target() -> Target {
             "(/ 1 (sqrt a0))",
             6.0,
             fast_isqrt,
-        ),
+        )
+        .with_sweep(SweepImpl::Un(fast_isqrt_sweep)),
         Operator::native(
             "approx_isqrt.f64",
             &b64,
@@ -141,7 +179,8 @@ pub fn target() -> Target {
             "(/ 1 (sqrt a0))",
             4.0,
             approx_isqrt,
-        ),
+        )
+        .with_sweep(SweepImpl::Un(approx_isqrt_sweep)),
     ];
     for op in fast {
         t.add_operator(op);

@@ -61,6 +61,34 @@ pub enum Impl {
     Native(fn(&[f64]) -> f64),
 }
 
+/// A block-wide (lane-sweep) form of a native operator, used by the block
+/// evaluator to process a whole lane slice per instruction dispatch instead
+/// of calling the scalar function once per lane.
+///
+/// **Contract:** the sweep must execute the *identical* per-lane operation
+/// sequence as the operator's scalar [`Impl::Native`] function, so block
+/// results stay bit-identical to the scalar engines at every block width
+/// (the differential tests assert this corpus-wide). The easiest way to
+/// honor the contract is to build both forms from the same
+/// `fpcore::eval::apply_op*`/`sweep_op*` routing, which also keeps them in
+/// lockstep across the `libm-calls` feature.
+#[derive(Clone, Copy)]
+pub enum SweepImpl {
+    /// `out[i] = f(a[i])` for a unary operator.
+    Un(fn(&mut [f64], &[f64])),
+    /// `out[i] = f(a[i], b[i])` for a binary operator.
+    Bin(fn(&mut [f64], &[f64], &[f64])),
+}
+
+impl fmt::Debug for SweepImpl {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SweepImpl::Un(_) => write!(f, "SweepImpl::Un(..)"),
+            SweepImpl::Bin(_) => write!(f, "SweepImpl::Bin(..)"),
+        }
+    }
+}
+
 impl fmt::Debug for Impl {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -86,6 +114,10 @@ pub struct Operator {
     pub cost: f64,
     /// How to execute the operator on concrete values.
     pub implementation: Impl,
+    /// Optional block-wide form of a native implementation (see
+    /// [`SweepImpl`]'s bit-identity contract). `None` means the block
+    /// evaluator calls the scalar function once per lane.
+    pub sweep: Option<SweepImpl>,
 }
 
 impl Operator {
@@ -111,7 +143,21 @@ impl Operator {
                 .unwrap_or_else(|e| panic!("bad desugaring for {name}: {e}")),
             cost,
             implementation: Impl::Emulated,
+            sweep: None,
         }
+    }
+
+    /// Attaches a block-wide sweep form to a native operator. The sweep must
+    /// honor the [`SweepImpl`] bit-identity contract with the operator's
+    /// scalar implementation.
+    pub fn with_sweep(mut self, sweep: SweepImpl) -> Operator {
+        debug_assert!(
+            matches!(self.implementation, Impl::Native(_)),
+            "sweep forms only apply to native operators ({})",
+            self.name
+        );
+        self.sweep = Some(sweep);
+        self
     }
 
     /// Creates a linked (native) operator with an explicit implementation.

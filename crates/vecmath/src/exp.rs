@@ -1,0 +1,122 @@
+//! `exp` and `expm1`: Cody–Waite reduction to |r| ≤ ½ln2 plus a Padé-style
+//! rational core (Cephes coefficients), rescaled through exponent bits.
+
+use crate::{poly, rint_i32, scale2, sel, sweep1};
+
+/// log2(e), the reduction constant.
+const LOG2E: f64 = std::f64::consts::LOG2_E;
+/// Cody–Waite split of ln2: `C1 + C2 = ln2` with `C1` exactly representable
+/// in few bits, so `x - n*C1` is exact for every reduction multiple `n`.
+const C1: f64 = 6.93145751953125E-1;
+const C2: f64 = 1.42860682030941723212E-6;
+
+/// Rational core: `exp(r) = 1 + 2·p/(Q(r²) − p)` with `p = r·P(r²)`.
+pub(crate) const EXP_P: [f64; 3] = [
+    1.26177193074810590878E-4,
+    3.02994407707441961300E-2,
+    9.99999999999999999910E-1,
+];
+pub(crate) const EXP_Q: [f64; 4] = [
+    3.00198505138664455042E-6,
+    2.52448340349684104192E-3,
+    2.27265548208155028766E-1,
+    2.00000000000000000005E0,
+];
+
+/// Above this, `exp` overflows to +∞; below the negation of
+/// [`EXP_UNDERFLOW`], it underflows to +0.
+const EXP_OVERFLOW: f64 = 709.782712893384;
+const EXP_UNDERFLOW: f64 = -745.13321910194122;
+
+/// The rational core on an already-reduced argument |r| ≤ ½ln2 + slop.
+#[inline(always)]
+pub(crate) fn exp_rational(r: f64) -> f64 {
+    let rr = r * r;
+    let p = r * poly(rr, &EXP_P);
+    1.0 + 2.0 * p / (poly(rr, &EXP_Q) - p)
+}
+
+/// Branch-free `eˣ`. Documented bound: ≤ 2 ULP over the full domain
+/// (including subnormal results, which absorb one extra rounding from the
+/// two-step rescale).
+// Written as two explicit comparisons, not a range-contains: `dead` must be
+// false for NaN so the NaN flows through the float side untouched.
+#[allow(clippy::manual_range_contains)]
+#[inline]
+pub fn exp(x: f64) -> f64 {
+    // The clamp keeps the integer reduction finite for huge/infinite inputs
+    // (their results are blended below); NaN passes through untouched.
+    let xc = x.clamp(-746.0, 710.0);
+    let (n, k) = rint_i32(xc * LOG2E);
+    let r = (xc - n * C1) - n * C2;
+    // Lanes whose result the blends below replace with ∞/0 must not run the
+    // rescale at their real exponent: a deeply underflowing multiply takes a
+    // ~100-cycle subnormal assist per lane, for a value that is thrown away.
+    let dead = (x > EXP_OVERFLOW) | (x < EXP_UNDERFLOW);
+    let k = if dead { 0 } else { k };
+    let v = scale2(exp_rational(r), k);
+    let v = sel(x > EXP_OVERFLOW, f64::INFINITY, v);
+    sel(x < EXP_UNDERFLOW, 0.0, v)
+}
+
+/// Half of ln2: below this magnitude `expm1` uses the unreduced rational core
+/// minus its leading 1 (no cancellation), above it `exp(x) − 1`.
+const EXPM1_SWITCH: f64 = 0.34657359027997264;
+
+/// Branch-free `eˣ − 1`. Documented bound: ≤ 4 ULP (the worst case sits just
+/// above the switch point, where the subtraction amplifies `exp`'s error by
+/// ~3×; the small-argument core itself is ~1 ULP).
+#[inline]
+pub fn expm1(x: f64) -> f64 {
+    let rr = x * x;
+    let p = x * poly(rr, &EXP_P);
+    let small = 2.0 * p / (poly(rr, &EXP_Q) - p);
+    let big = exp(x) - 1.0;
+    sel(x.abs() <= EXPM1_SWITCH, small, big)
+}
+
+sweep1!(
+    /// Lane-sweep form of [`exp`] (identical per-lane operations).
+    exp_sweep,
+    exp
+);
+sweep1!(
+    /// Lane-sweep form of [`expm1`] (identical per-lane operations).
+    expm1_sweep,
+    expm1
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exp_specials() {
+        assert_eq!(exp(0.0), 1.0);
+        assert_eq!(exp(-0.0), 1.0);
+        assert_eq!(exp(f64::INFINITY), f64::INFINITY);
+        assert_eq!(exp(f64::NEG_INFINITY), 0.0);
+        assert!(exp(f64::NAN).is_nan());
+        assert_eq!(exp(1000.0), f64::INFINITY);
+        assert_eq!(exp(-1000.0), 0.0);
+        // Subnormal results.
+        let tiny = exp(-745.0);
+        assert!(
+            tiny > 0.0 && tiny < f64::MIN_POSITIVE,
+            "exp(-745) = {tiny:e}"
+        );
+    }
+
+    #[test]
+    fn expm1_specials() {
+        assert_eq!(expm1(0.0), 0.0);
+        assert_eq!(expm1(-0.0), -0.0);
+        assert_eq!(expm1(f64::NEG_INFINITY), -1.0);
+        assert_eq!(expm1(f64::INFINITY), f64::INFINITY);
+        assert!(expm1(f64::NAN).is_nan());
+        // Tiny arguments: expm1(x) == x to the last bit.
+        for &x in &[1e-20, -1e-20, 5e-324, -5e-324, 1e-300] {
+            assert_eq!(expm1(x).to_bits(), x.to_bits(), "expm1({x:e})");
+        }
+    }
+}

@@ -1,0 +1,132 @@
+//! Hyperbolic kernels, built on the [`exp`](crate::exp) core: rational
+//! small-argument paths (Cephes) where cancellation would bite, exponential
+//! identities elsewhere, and a squared-half-exponent path where `exp(|x|)`
+//! itself would overflow before the hyperbolic does.
+
+use crate::{exp, poly, sel, sweep1};
+
+/// Taylor coefficients of `(sinh x − x)/x³` in `z = x²` (highest power
+/// first): `1/(2k+3)!` down to `1/3!`. For |x| ≤ 1 the truncation error is
+/// below 2⁻⁶⁵ of the series value.
+const SINH_C: [f64; 9] = [
+    8.22063524662432972e-18, // 1/19!
+    2.81145725434552076e-15, // 1/17!
+    7.64716373181981648e-13, // 1/15!
+    1.60590438368216146e-10, // 1/13!
+    2.50521083854417188e-8,  // 1/11!
+    2.75573192239858907e-6,  // 1/9!
+    1.98412698412698413e-4,  // 1/7!
+    8.33333333333333333e-3,  // 1/5!
+    1.66666666666666667e-1,  // 1/3!
+];
+
+const TANH_P: [f64; 3] = [
+    -9.64399179425052238628E-1,
+    -9.92877231001918586564E1,
+    -1.61468768441708447952E3,
+];
+const TANH_Q: [f64; 4] = [
+    1.0,
+    1.12811678491632931402E2,
+    2.23548839060100448583E3,
+    4.84406305325125486048E3,
+];
+
+/// Above this, `exp(|x|)` overflows but cosh/sinh may still be finite:
+/// switch to `(½·e^{|x|/2})·e^{|x|/2}`.
+const EXP_SAFE: f64 = 709.0;
+
+/// Branch-free hyperbolic sine. Documented bound: ≤ 4 ULP (≤ 1 ULP for
+/// |x| ≤ 1 via the odd rational).
+#[inline]
+pub fn sinh(x: f64) -> f64 {
+    let ax = x.abs();
+    let z = x * x;
+    let small = x + x * z * poly(z, &SINH_C);
+    let t = exp(ax);
+    let mid = 0.5 * t - 0.5 / t;
+    let w = exp(0.5 * ax);
+    let big = (0.5 * w) * w;
+    let large = sel(ax < EXP_SAFE, mid, big).copysign(x);
+    sel(ax <= 1.0, small, large)
+}
+
+/// Branch-free hyperbolic cosine. Documented bound: ≤ 4 ULP.
+#[inline]
+pub fn cosh(x: f64) -> f64 {
+    let ax = x.abs();
+    let t = exp(ax);
+    let mid = 0.5 * t + 0.5 / t;
+    let w = exp(0.5 * ax);
+    let big = (0.5 * w) * w;
+    sel(ax < EXP_SAFE, mid, big)
+}
+
+/// Branch-free hyperbolic tangent. Documented bound: ≤ 3 ULP.
+#[inline]
+pub fn tanh(x: f64) -> f64 {
+    let ax = x.abs();
+    let z = x * x;
+    let small = x + x * z * poly(z, &TANH_P) / poly(z, &TANH_Q);
+    let e2 = exp(2.0 * ax);
+    let large = 1.0 - 2.0 / (e2 + 1.0);
+    let large = sel(ax > 19.0, 1.0, large);
+    let r = sel(ax <= 0.625, small, large.copysign(x));
+    // The rational tail turns −0 into +0 (signed-zero addition); restore it.
+    sel(x == 0.0, x, r)
+}
+
+sweep1!(
+    /// Lane-sweep form of [`sinh`] (identical per-lane operations).
+    sinh_sweep,
+    sinh
+);
+sweep1!(
+    /// Lane-sweep form of [`cosh`] (identical per-lane operations).
+    cosh_sweep,
+    cosh
+);
+sweep1!(
+    /// Lane-sweep form of [`tanh`] (identical per-lane operations).
+    tanh_sweep,
+    tanh
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tests::ulps;
+
+    #[test]
+    fn hyperbolic_specials() {
+        assert_eq!(sinh(0.0).to_bits(), 0.0f64.to_bits());
+        assert_eq!(sinh(-0.0).to_bits(), (-0.0f64).to_bits());
+        assert_eq!(cosh(0.0), 1.0);
+        assert_eq!(tanh(-0.0).to_bits(), (-0.0f64).to_bits());
+        assert_eq!(sinh(f64::INFINITY), f64::INFINITY);
+        assert_eq!(sinh(f64::NEG_INFINITY), f64::NEG_INFINITY);
+        assert_eq!(cosh(f64::NEG_INFINITY), f64::INFINITY);
+        assert_eq!(tanh(f64::INFINITY), 1.0);
+        assert_eq!(tanh(f64::NEG_INFINITY), -1.0);
+        for f in [sinh, cosh, tanh] {
+            assert!(f(f64::NAN).is_nan());
+        }
+        // Subnormals pass straight through the odd rationals.
+        assert_eq!(sinh(5e-324).to_bits(), 5e-324f64.to_bits());
+        assert_eq!(tanh(-5e-324).to_bits(), (-5e-324f64).to_bits());
+    }
+
+    #[test]
+    fn overflow_margin_stays_finite() {
+        // exp(x) overflows at ~709.78 but sinh/cosh only at ~710.47: the
+        // squared-half-exponent path must keep the margin finite.
+        for &x in &[709.9, 710.2, 710.4] {
+            assert!(sinh(x).is_finite(), "sinh({x}) overflowed early");
+            assert!(cosh(x).is_finite(), "cosh({x}) overflowed early");
+            assert!(ulps(sinh(x), x.sinh()) <= 6, "sinh({x})");
+            assert!(ulps(cosh(x), x.cosh()) <= 6, "cosh({x})");
+        }
+        assert_eq!(sinh(711.0), f64::INFINITY);
+        assert_eq!(cosh(-711.0), f64::INFINITY);
+    }
+}

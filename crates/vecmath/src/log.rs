@@ -1,0 +1,181 @@
+//! The logarithm family: a shared branch-free core (exponent extraction via
+//! bits, mantissa normalized to [√½, √2), Cephes rational body) combined with
+//! base-specific split constants, plus `log1p` with an exact-difference
+//! correction term.
+
+use crate::{poly, sel, sweep1};
+
+const SQRT_HALF: f64 = std::f64::consts::FRAC_1_SQRT_2;
+/// 2^54, the subnormal pre-scale.
+const TWO54: f64 = 18014398509481984.0;
+
+/// Cephes `log` rational: `log(1+f) = f + f·f²·P(f)/Q(f) − f²/2`.
+const LOG_P: [f64; 6] = [
+    1.01875663804580931796E-4,
+    4.97494994976747001425E-1,
+    4.70579119878881725854E0,
+    1.44989225341610930846E1,
+    1.79368678507819816313E1,
+    7.70838733755885391666E0,
+];
+const LOG_Q: [f64; 6] = [
+    1.0,
+    1.12873587189167450590E1,
+    4.52279145837532221105E1,
+    8.29875266912776603211E1,
+    7.11544750618563894466E1,
+    2.31251620126765340583E1,
+];
+
+/// Split of ln2 (`LN2_HI + LN2_LO = ln2`); the high part is exact in a few
+/// bits so `e·LN2_HI` is exact for every integer exponent `e`.
+const LN2_HI: f64 = 0.693359375;
+const LN2_LO: f64 = -2.121944400546905827679e-4;
+
+/// log2(e) − 1, used to assemble `log2` from the natural-log core without a
+/// lossy full multiplication.
+const LOG2EA: f64 = 4.4269504088896340735992e-1;
+
+/// Splits of log10(2) and log10(e) for `log10`.
+const L102A: f64 = 3.0078125E-1;
+const L102B: f64 = 2.48745663981195213739E-4;
+const L10EA: f64 = 4.3359375E-1;
+const L10EB: f64 = 7.00731903251827651129E-4;
+
+/// The shared core: for a positive normal/subnormal `x = m·2^e` with
+/// `m ∈ [√½, √2)`, returns `(f, y, e)` such that `log(x) = f + y + e·ln2`,
+/// with `f = m − 1` and `y` the rational tail. Non-positive and non-finite
+/// inputs produce defined garbage that [`log_specials`] blends away.
+#[inline(always)]
+fn log_core(x: f64) -> (f64, f64, f64) {
+    let tiny = x < f64::MIN_POSITIVE;
+    let xs = sel(tiny, x * TWO54, x);
+    let bits = xs.to_bits();
+    let e_raw = ((bits >> 52) & 0x7ff) as i64 as f64 - 1022.0 - sel(tiny, 54.0, 0.0);
+    // Mantissa in [0.5, 1).
+    let m = f64::from_bits((bits & 0x000F_FFFF_FFFF_FFFF) | 0x3FE0_0000_0000_0000);
+    let lt = m < SQRT_HALF;
+    let e = e_raw - sel(lt, 1.0, 0.0);
+    let f = sel(lt, m + m, m) - 1.0;
+    let z = f * f;
+    let y = f * (z * poly(f, &LOG_P) / poly(f, &LOG_Q)) - 0.5 * z;
+    (f, y, e)
+}
+
+/// The IEEE edge blends shared by the whole family: `log(±0) = −∞`,
+/// `log(x<0) = NaN`, `log(+∞) = +∞`, NaN propagates.
+#[inline(always)]
+fn log_specials(x: f64, r: f64) -> f64 {
+    let r = sel(x == 0.0, f64::NEG_INFINITY, r);
+    let r = sel(x < 0.0, f64::NAN, r);
+    let r = sel(x == f64::INFINITY, f64::INFINITY, r);
+    sel(x.is_nan(), x, r)
+}
+
+/// Branch-free natural logarithm. Documented bound: ≤ 2 ULP over the full
+/// domain (subnormals included).
+#[inline]
+pub fn log(x: f64) -> f64 {
+    let (f, y, e) = log_core(x);
+    let r = (f + (y + e * LN2_LO)) + e * LN2_HI;
+    log_specials(x, r)
+}
+
+/// Branch-free base-2 logarithm. Documented bound: ≤ 2 ULP.
+#[inline]
+pub fn log2(x: f64) -> f64 {
+    let (f, y, e) = log_core(x);
+    let r = ((((y * LOG2EA) + f * LOG2EA) + y) + f) + e;
+    log_specials(x, r)
+}
+
+/// Branch-free base-10 logarithm. Documented bound: ≤ 2 ULP.
+#[inline]
+pub fn log10(x: f64) -> f64 {
+    let (f, y, e) = log_core(x);
+    let r = y * L10EB + f * L10EB + e * L102B + y * L10EA + f * L10EA + e * L102A;
+    log_specials(x, r)
+}
+
+/// Branch-free `log(1 + x)`: evaluates `log(u)` at `u = 1 + x` and repairs
+/// the rounding of the addition with the exact-difference correction
+/// `(u−1 − x)/u` (Goldberg/HP-35 trick), which also makes tiny arguments
+/// return `x` itself to the last bit. Documented bound: ≤ 3 ULP, including
+/// near the branch cut at −1.
+#[inline]
+pub fn log1p(x: f64) -> f64 {
+    let u = 1.0 + x;
+    let d = u - 1.0;
+    let lg = log(u);
+    let r = lg - (d - x) / u;
+    let r = sel(x == -1.0, f64::NEG_INFINITY, r);
+    sel(x == f64::INFINITY, f64::INFINITY, r)
+}
+
+sweep1!(
+    /// Lane-sweep form of [`log`] (identical per-lane operations).
+    log_sweep,
+    log
+);
+sweep1!(
+    /// Lane-sweep form of [`log2`] (identical per-lane operations).
+    log2_sweep,
+    log2
+);
+sweep1!(
+    /// Lane-sweep form of [`log10`] (identical per-lane operations).
+    log10_sweep,
+    log10
+);
+sweep1!(
+    /// Lane-sweep form of [`log1p`] (identical per-lane operations).
+    log1p_sweep,
+    log1p
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log_specials_match_ieee() {
+        for f in [log, log2, log10] {
+            assert_eq!(f(1.0), 0.0);
+            assert_eq!(f(0.0), f64::NEG_INFINITY);
+            assert_eq!(f(-0.0), f64::NEG_INFINITY);
+            assert!(f(-1.0).is_nan());
+            assert!(f(f64::NEG_INFINITY).is_nan());
+            assert_eq!(f(f64::INFINITY), f64::INFINITY);
+            assert!(f(f64::NAN).is_nan());
+        }
+        assert_eq!(log2(1024.0), 10.0);
+        assert_eq!(log10(1e6), 6.0);
+        // Exact powers stay exact through the subnormal pre-scale (5e-324 is
+        // 2^-1074; spelled as a literal because powi(-1074) underflows via
+        // 1/2^1074 in debug builds).
+        assert_eq!(log2(5e-324), -1074.0);
+    }
+
+    #[test]
+    fn log1p_specials_and_tiny() {
+        assert_eq!(log1p(0.0), 0.0);
+        assert_eq!(log1p(-0.0), -0.0);
+        assert_eq!(log1p(-1.0), f64::NEG_INFINITY);
+        assert!(log1p(-1.5).is_nan());
+        assert_eq!(log1p(f64::INFINITY), f64::INFINITY);
+        assert!(log1p(f64::NAN).is_nan());
+        for &x in &[1e-20, -1e-20, 5e-324, 1e-300, -1e-300] {
+            assert_eq!(log1p(x).to_bits(), x.to_bits(), "log1p({x:e})");
+        }
+        // Near the branch cut: compare against libm.
+        for i in 1..1000 {
+            let x = -1.0 + i as f64 * 1e-9;
+            let got = log1p(x);
+            let want = x.ln_1p();
+            assert!(
+                crate::tests::ulps(got, want) <= 4,
+                "log1p({x}): {got} vs {want}"
+            );
+        }
+    }
+}

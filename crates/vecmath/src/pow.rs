@@ -1,0 +1,251 @@
+//! `pow` and `hypot`, built on the exp/log machinery.
+//!
+//! `pow(x, y) = 2^(y·log2|x|)` needs the exponent product to ~2⁻⁶⁰ — a plain
+//! double loses up to `|y·log2 x| · 2⁻⁵³` relative accuracy in the result —
+//! so `log2|x|` is computed in double-double (Dekker two-sum/two-product, no
+//! hardware FMA required) and the product is carried as a hi/lo pair into a
+//! double-double `exp2`. The IEEE special-case zoo is resolved with mask
+//! blends after the core.
+
+use crate::exp::exp_rational;
+use crate::{poly, rint_i32, scale2, sel, sweep2};
+
+const TWO54: f64 = 18014398509481984.0;
+const SQRT_HALF: f64 = std::f64::consts::FRAC_1_SQRT_2;
+
+/// `2·log2(e)` split into hi/lo doubles (hi + lo accurate to ~107 bits).
+const L2E_H: f64 = 2.8853900817779268;
+const L2E_L: f64 = 4.0710547481862066e-17;
+
+/// atanh series coefficients `1/23 … 1/3` (in `z²`, highest power first).
+const ATANH_C: [f64; 11] = [
+    1.0 / 23.0,
+    1.0 / 21.0,
+    1.0 / 19.0,
+    1.0 / 17.0,
+    1.0 / 15.0,
+    1.0 / 13.0,
+    1.0 / 11.0,
+    1.0 / 9.0,
+    1.0 / 7.0,
+    1.0 / 5.0,
+    1.0 / 3.0,
+];
+
+/// Exact sum: `a + b = s + e` with `s = fl(a + b)`.
+#[inline(always)]
+fn two_sum(a: f64, b: f64) -> (f64, f64) {
+    let s = a + b;
+    let bb = s - a;
+    (s, (a - (s - bb)) + (b - bb))
+}
+
+/// Dekker split of a double into two 26-bit halves.
+#[inline(always)]
+fn split(a: f64) -> (f64, f64) {
+    const C: f64 = 134217729.0; // 2^27 + 1
+    let t = C * a;
+    let hi = t - (t - a);
+    (hi, a - hi)
+}
+
+/// Exact product: `a·b = p + e` with `p = fl(a·b)` (Dekker, no FMA).
+#[inline(always)]
+fn two_prod(a: f64, b: f64) -> (f64, f64) {
+    let p = a * b;
+    let (ah, al) = split(a);
+    let (bh, bl) = split(b);
+    (p, ((ah * bh - p) + ah * bl + al * bh) + al * bl)
+}
+
+/// `log2(x)` as a hi/lo pair, accurate to ~2⁻⁶⁰ relative, for positive
+/// finite `x` (other inputs produce defined garbage the caller blends away).
+/// The exponent is exact; the mantissa log uses the atanh series on
+/// `z = (m−1)/(m+1)` with `z` itself carried in double-double.
+#[inline(always)]
+fn log2_dd(x: f64) -> (f64, f64) {
+    let tiny = x < f64::MIN_POSITIVE;
+    let xs = sel(tiny, x * TWO54, x);
+    let bits = xs.to_bits();
+    let e = ((bits >> 52) & 0x7ff) as i64 as f64 - 1022.0 - sel(tiny, 54.0, 0.0);
+    let m = f64::from_bits((bits & 0x000F_FFFF_FFFF_FFFF) | 0x3FE0_0000_0000_0000);
+    let lt = m < SQRT_HALF;
+    let e = e - sel(lt, 1.0, 0.0);
+    let m = sel(lt, m + m, m);
+    let a = m - 1.0; // exact: m ∈ [√½, √2)
+    let (bh, bl) = two_sum(m, 1.0);
+    let zh = a / bh;
+    let (p, pe) = two_prod(zh, bh);
+    let zl = (((a - p) - pe) - zh * bl) / bh;
+    let zz = zh * zh;
+    let tail = zz * zh * poly(zz, &ATANH_C) + zl;
+    let (sh, sl) = two_sum(zh, tail);
+    let (mh, me) = two_prod(sh, L2E_H);
+    let ml = me + sh * L2E_L + sl * L2E_H;
+    let (rh, re) = two_sum(e, mh);
+    (rh, re + ml)
+}
+
+/// `2^(h + l)` for a double-double exponent, subnormal-safe.
+#[inline(always)]
+fn exp2_dd(h: f64, l: f64) -> f64 {
+    let hc = h.clamp(-1100.0, 1100.0);
+    let (n, k) = rint_i32(hc);
+    let r = (hc - n) + l; // hc − n is exact (|hc − n| ≤ ½)
+                          // Blended-away lanes skip the real rescale (subnormal-assist avoidance,
+                          // see `exp`).
+    let dead = (h >= 1100.0) | (h <= -1100.0);
+    let k = if dead { 0 } else { k };
+    let v = scale2(exp_rational(r * std::f64::consts::LN_2), k);
+    let v = sel(h >= 1100.0, f64::INFINITY, v);
+    sel(h <= -1100.0, 0.0, v)
+}
+
+/// `xʸ` with full IEEE 754 special-case semantics. Documented bound: ≤ 4 ULP
+/// for finite results (the double-double exponent keeps the error flat in
+/// `|y·log2 x|`, unlike a naive `exp(y·ln x)`).
+// inline(always): the body is big enough that the normal inliner leaves it
+// out of the sweep loop, which would keep the loop scalar.
+#[inline(always)]
+pub fn pow(x: f64, y: f64) -> f64 {
+    let ax = x.abs();
+    let (lh, ll) = log2_dd(ax);
+    // Clamping y is safe: whenever |y| > 2⁶³ and x ≠ 1, |y·log2 x| is far
+    // beyond the overflow/underflow cutoffs either way, and it keeps the
+    // Dekker split finite.
+    let yc = y.clamp(-9.223372036854776e18, 9.223372036854776e18);
+    let (th, tl) = two_prod(yc, lh);
+    let r = exp2_dd(th, yc * ll + tl);
+    // IEEE special cases, in increasing override priority. Integer-ness of y
+    // via trunc comparisons (branch-free, vectorizable): every |y| ≥ 2⁵³ is
+    // an even integer, and trunc(y/2) == y/2 exactly detects evenness below
+    // that; ±∞ classify as integers here, which the dedicated ∞ blends
+    // below override.
+    let y_int = y.trunc() == y;
+    let y_odd = y_int & ((0.5 * y).trunc() != 0.5 * y);
+    let r = sel(x < 0.0 && y_odd, -r, r);
+    let r = sel(x < 0.0 && !y_int, f64::NAN, r);
+    let r = sel(ax == 0.0 && y > 0.0, sel(y_odd, x, 0.0), r);
+    let r = sel(
+        ax == 0.0 && y < 0.0,
+        sel(y_odd, f64::INFINITY.copysign(x), f64::INFINITY),
+        r,
+    );
+    let r = sel(x == f64::INFINITY, sel(y < 0.0, 0.0, f64::INFINITY), r);
+    let r = sel(
+        x == f64::NEG_INFINITY,
+        sel(
+            y > 0.0,
+            sel(y_odd, f64::NEG_INFINITY, f64::INFINITY),
+            sel(y_odd, -0.0, 0.0),
+        ),
+        r,
+    );
+    let r = sel(y == f64::INFINITY, sel(ax < 1.0, 0.0, f64::INFINITY), r);
+    let r = sel(y == f64::NEG_INFINITY, sel(ax < 1.0, f64::INFINITY, 0.0), r);
+    let r = sel(ax == 1.0 && y.is_infinite(), 1.0, r);
+    let r = sel(x.is_nan() || y.is_nan(), f64::NAN, r);
+    let r = sel(x == 1.0, 1.0, r);
+    sel(y == 0.0, 1.0, r)
+}
+
+/// Branch-free `√(x² + y²)` without intermediate overflow/underflow (the
+/// smaller magnitude is divided by the larger). Documented bound: ≤ 3 ULP.
+#[inline]
+pub fn hypot(x: f64, y: f64) -> f64 {
+    let ax = x.abs();
+    let ay = y.abs();
+    let m = ax.max(ay);
+    let n = ax.min(ay);
+    let t = n / m;
+    let r = m * (1.0 + t * t).sqrt();
+    let r = sel(n == 0.0, m, r);
+    let r = sel(x.is_nan() || y.is_nan(), f64::NAN, r);
+    sel(ax == f64::INFINITY || ay == f64::INFINITY, f64::INFINITY, r)
+}
+
+sweep2!(
+    /// Lane-sweep form of [`pow`] (identical per-lane operations).
+    pow_sweep,
+    pow
+);
+sweep2!(
+    /// Lane-sweep form of [`hypot`] (identical per-lane operations).
+    hypot_sweep,
+    hypot
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tests::ulps;
+
+    #[test]
+    fn dekker_primitives_are_exact() {
+        let (s, e) = two_sum(1e16, 1.0);
+        assert_eq!(s, 1e16);
+        assert_eq!(e, 1.0);
+        let (p, err) = two_prod(1.0 + 2f64.powi(-30), 1.0 + 2f64.powi(-30));
+        // (1+2⁻³⁰)² = 1 + 2⁻²⁹ + 2⁻⁶⁰: the 2⁻⁶⁰ term lands in the error word.
+        assert_eq!(p, 1.0 + 2f64.powi(-29));
+        assert_eq!(err, 2f64.powi(-60));
+    }
+
+    #[test]
+    fn pow_exactness_on_easy_cases() {
+        assert_eq!(pow(2.0, 10.0), 1024.0);
+        assert_eq!(pow(2.0, -1.0), 0.5);
+        assert_eq!(pow(10.0, 2.0), 100.0);
+        assert_eq!(pow(4.0, 0.5), 2.0);
+        assert_eq!(pow(-2.0, 3.0), -8.0);
+        assert_eq!(pow(-2.0, 2.0), 4.0);
+        assert!(pow(-2.0, 0.5).is_nan());
+    }
+
+    #[test]
+    fn pow_handles_large_exponent_products() {
+        // |y·log2 x| near the overflow cutoff: the double-double exponent
+        // must keep the error flat where exp(y·ln x) would drift hundreds of
+        // ULP.
+        for &(x, y) in &[
+            (1.0000000001f64, 1e10f64),
+            (0.999999999f64, 1e9),
+            (3.1459f64, 600.0),
+            (1e300f64, 1.02),
+            (2.5e-200f64, -1.5),
+        ] {
+            let (got, want) = (pow(x, y), x.powf(y));
+            assert!(
+                ulps(got, want) <= 6,
+                "pow({x:e}, {y:e}): {got:e} vs {want:e} ({} ulps)",
+                ulps(got, want)
+            );
+        }
+    }
+
+    #[test]
+    fn integer_exponent_detection() {
+        assert_eq!(pow(-2.0, 3.0), -8.0); // odd integer
+        assert_eq!(pow(-2.0, 2.0), 4.0); // even integer
+        assert!(pow(-2.0, 2.5).is_nan()); // non-integer
+        assert_eq!(pow(-1.0, 1e300), 1.0); // huge doubles are even integers
+                                           // ulp = 0.5 region: half-integers are not integers, odd integers are
+                                           // still odd.
+        assert_eq!(pow(-1.0, 2f64.powi(51) + 1.0), -1.0);
+        assert!(pow(-1.5, 2f64.powi(51) + 0.5).is_nan());
+    }
+
+    #[test]
+    fn hypot_basics() {
+        assert_eq!(hypot(3.0, 4.0), 5.0);
+        assert_eq!(hypot(-3.0, 4.0), 5.0);
+        assert_eq!(hypot(0.0, -0.0), 0.0);
+        assert_eq!(hypot(5.0, 0.0), 5.0);
+        assert_eq!(hypot(f64::INFINITY, f64::NAN), f64::INFINITY);
+        assert_eq!(hypot(f64::NAN, f64::NEG_INFINITY), f64::INFINITY);
+        assert!(hypot(f64::NAN, 1.0).is_nan());
+        // No intermediate overflow / underflow.
+        assert!(ulps(hypot(1e300, 1e300), 1e300f64.hypot(1e300)) <= 3);
+        assert!(ulps(hypot(1e-300, 1e-300), 1e-300f64.hypot(1e-300)) <= 3);
+    }
+}

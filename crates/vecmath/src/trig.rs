@@ -1,0 +1,335 @@
+//! Trigonometric kernels: `sin`, `cos`, `tan` with a three-part Cody–Waite
+//! π/2 reduction (exact for quotients up to ~2²⁰, covering |x| ≤ 10⁶) and the
+//! Cephes polynomial cores, plus a fully branch-free `atan`.
+//!
+//! Beyond the Cody–Waite range the reduction would need Payne–Hanek-style
+//! extended precision; those rare lanes fall back to the host libm in a
+//! separate fixup pass so the hot loop stays branch-free (the scalar form
+//! branches on exactly the same predicate, keeping the pairing rule intact).
+
+use crate::{poly, rint_i32, sel};
+
+/// Three-part split of π/2 (each part exactly representable in ~33 bits, so
+/// `q·PI2_A` and `q·PI2_B` are exact for |q| < 2²⁰).
+const PI2_A: f64 = 1.57079625129699707031e0;
+const PI2_B: f64 = 7.54978941586159635336e-8;
+const PI2_C: f64 = 5.39030285815811905290e-15;
+
+/// Largest |x| the in-line reduction handles; beyond it, libm takes over.
+const SINCOS_MAX: f64 = 1.0e6;
+
+/// True when `x` needs the libm slow path: out of the Cody–Waite range, or
+/// so close to a nonzero multiple of π/2 that the reduced argument cancels
+/// below the ~103 bits the three-part split carries (the threshold keeps the
+/// reduction's relative error under ~0.1 ULP; floats adjacent to k·π/2 — the
+/// worst case — fall back). Both the scalar forms and the sweep fixup pass
+/// branch on exactly this predicate, so the pairing rule holds.
+// The negated comparison is load-bearing: `!(|x| <= MAX)` is true for NaN,
+// which must take the slow path.
+#[allow(clippy::neg_cmp_op_on_partial_ord)]
+#[inline(always)]
+fn needs_slow_path(x: f64) -> bool {
+    // Branch-free (non-short-circuit `|`) so the fixup pre-scan vectorizes;
+    // the reduction below is garbage-but-defined for huge/non-finite x.
+    let (q, _) = rint_i32(x * std::f64::consts::FRAC_2_PI);
+    let z = ((x - q * PI2_A) - q * PI2_B) - q * PI2_C;
+    !(x.abs() <= SINCOS_MAX) | (z.abs() < q.abs() * 4e-15)
+}
+
+/// Overwrites `out[i]` with `f(a[i])` wherever [`needs_slow_path`] holds.
+/// A branch-free vector pre-scan decides whether *any* lane needs fixing;
+/// only then does the per-lane pass run, so the common all-fast block costs
+/// one cheap sweep over the inputs.
+#[inline(always)]
+fn trig_fixup(out: &mut [f64], a: &[f64], f: impl Fn(f64) -> f64) {
+    let mut any = false;
+    for &x in a {
+        any |= needs_slow_path(x);
+    }
+    if any {
+        for (o, &x) in out.iter_mut().zip(a) {
+            if needs_slow_path(x) {
+                *o = f(x);
+            }
+        }
+    }
+}
+
+const SIN_C: [f64; 6] = [
+    1.58962301576546568060E-10,
+    -2.50507477628578072866E-8,
+    2.75573136213857245213E-6,
+    -1.98412698295895385996E-4,
+    8.33333333332211858878E-3,
+    -1.66666666666666307295E-1,
+];
+const COS_C: [f64; 6] = [
+    -1.13585365213876817300E-11,
+    2.08757008419747316778E-9,
+    -2.75573141792967388112E-7,
+    2.48015872888517179954E-5,
+    -1.38888888888730564116E-3,
+    4.16666666666665929218E-2,
+];
+
+const TAN_P: [f64; 3] = [
+    -1.30936939181383777646E4,
+    1.15351664838587416140E6,
+    -1.79565251976484877988E7,
+];
+const TAN_Q: [f64; 5] = [
+    1.0,
+    1.36812963470692954678E4,
+    -1.32089234440210967447E6,
+    2.50083801823357915839E7,
+    -5.38695755929454629881E7,
+];
+
+/// Reduces `x` to `z ∈ [−π/4, π/4]` with quadrant index `k`
+/// (`x = k·π/2 + z`). Valid for |x| ≤ [`SINCOS_MAX`].
+#[inline(always)]
+fn reduce_pi2(x: f64) -> (f64, i32) {
+    let (q, k) = rint_i32(x * std::f64::consts::FRAC_2_PI);
+    let z = ((x - q * PI2_A) - q * PI2_B) - q * PI2_C;
+    (z, k)
+}
+
+#[inline(always)]
+fn sin_poly(z: f64, zz: f64) -> f64 {
+    z + z * (zz * poly(zz, &SIN_C))
+}
+
+#[inline(always)]
+fn cos_poly(zz: f64) -> f64 {
+    1.0 - 0.5 * zz + zz * (zz * poly(zz, &COS_C))
+}
+
+/// Picks `t` where `mask` is all-ones, `e` where it is zero — an explicit
+/// bitwise blend. The compiler turns a bool select between two *expensive*
+/// expressions into a branch, which defeats vectorization and mispredicts on
+/// random quadrants; the bit form stays straight-line.
+#[inline(always)]
+fn blend_bits(mask: u64, t: f64, e: f64) -> f64 {
+    f64::from_bits((t.to_bits() & mask) | (e.to_bits() & !mask))
+}
+
+#[inline(always)]
+fn sin_core(x: f64) -> f64 {
+    let (z, k) = reduce_pi2(x);
+    let zz = z * z;
+    let use_cos = ((k & 1) as u64).wrapping_neg();
+    let v = blend_bits(use_cos, cos_poly(zz), sin_poly(z, zz));
+    // Quadrants 2 and 3 negate: flip the sign bit directly.
+    let v = f64::from_bits(v.to_bits() ^ (((k as u64) & 2) << 62));
+    // The polynomial tail turns −0 into +0 (−0 + +0 = +0); restore it.
+    sel(x == 0.0, x, v)
+}
+
+#[inline(always)]
+fn cos_core(x: f64) -> f64 {
+    let (z, k) = reduce_pi2(x);
+    let zz = z * z;
+    let use_sin = ((k & 1) as u64).wrapping_neg();
+    let v = blend_bits(use_sin, sin_poly(z, zz), cos_poly(zz));
+    // Quadrants 1 and 2 negate.
+    f64::from_bits(v.to_bits() ^ (((k.wrapping_add(1) as u64) & 2) << 62))
+}
+
+#[inline(always)]
+fn tan_core(x: f64) -> f64 {
+    let (z, k) = reduce_pi2(x);
+    let zz = z * z;
+    let t = z + z * (zz * poly(zz, &TAN_P) / poly(zz, &TAN_Q));
+    let t = sel((k & 1) != 0, -1.0 / t, t);
+    sel(x == 0.0, x, t)
+}
+
+/// Sine. Documented bound: ≤ 2.5 ULP (libm handles |x| > 10⁶ and
+/// deep-cancellation points next to multiples of π/2).
+#[inline]
+pub fn sin(x: f64) -> f64 {
+    if needs_slow_path(x) {
+        x.sin()
+    } else {
+        sin_core(x)
+    }
+}
+
+/// Cosine. Documented bound: ≤ 2.5 ULP (see [`sin`] for the slow-path rule).
+#[inline]
+pub fn cos(x: f64) -> f64 {
+    if needs_slow_path(x) {
+        x.cos()
+    } else {
+        cos_core(x)
+    }
+}
+
+/// Tangent. Documented bound: ≤ 4 ULP (see [`sin`] for the slow-path rule).
+#[inline]
+pub fn tan(x: f64) -> f64 {
+    if needs_slow_path(x) {
+        x.tan()
+    } else {
+        tan_core(x)
+    }
+}
+
+#[inline(always)]
+fn sin_sweep_body(out: &mut [f64], a: &[f64]) {
+    for (o, &x) in out.iter_mut().zip(a) {
+        *o = sin_core(x);
+    }
+    trig_fixup(out, a, f64::sin);
+}
+
+#[inline(always)]
+fn cos_sweep_body(out: &mut [f64], a: &[f64]) {
+    for (o, &x) in out.iter_mut().zip(a) {
+        *o = cos_core(x);
+    }
+    trig_fixup(out, a, f64::cos);
+}
+
+#[inline(always)]
+fn tan_sweep_body(out: &mut [f64], a: &[f64]) {
+    for (o, &x) in out.iter_mut().zip(a) {
+        *o = tan_core(x);
+    }
+    trig_fixup(out, a, f64::tan);
+}
+
+crate::dispatch_sweep1!(
+    /// Lane-sweep form of [`sin`]: a branch-free main pass over every lane,
+    /// then a fixup pass for the rare slow-path lanes (same per-lane
+    /// operations as the scalar form on both sides of the predicate).
+    sin_sweep,
+    sin_sweep_body
+);
+crate::dispatch_sweep1!(
+    /// Lane-sweep form of [`cos`] (see [`sin_sweep`]).
+    cos_sweep,
+    cos_sweep_body
+);
+crate::dispatch_sweep1!(
+    /// Lane-sweep form of [`tan`] (see [`sin_sweep`]).
+    tan_sweep,
+    tan_sweep_body
+);
+
+const ATAN_P: [f64; 5] = [
+    -8.750608600031904122785E-1,
+    -1.615753718733365076637E1,
+    -7.500855792314704667340E1,
+    -1.228866684490136173410E2,
+    -6.485021904942025371773E1,
+];
+const ATAN_Q: [f64; 6] = [
+    1.0,
+    2.485846490142306297962E1,
+    1.650270098316988542046E2,
+    4.328810604912902668951E2,
+    4.853903996359136964868E2,
+    1.945506571482613964425E2,
+];
+/// tan(3π/8), the upper range-reduction threshold.
+const T3P8: f64 = 2.41421356237309504880;
+/// The low word of π/2 (π/2 = FRAC_PI_2 + MOREBITS).
+const MOREBITS: f64 = 6.123233995736765886130E-17;
+
+/// Branch-free arctangent (valid over the full domain, no fallback).
+/// Documented bound: ≤ 2 ULP.
+#[inline]
+pub fn atan(x: f64) -> f64 {
+    let ax = x.abs();
+    let big = ax > T3P8;
+    let mid = ax > 0.66;
+    let xr = sel(big, -1.0 / ax, sel(mid, (ax - 1.0) / (ax + 1.0), ax));
+    let base = sel(
+        big,
+        std::f64::consts::FRAC_PI_2,
+        sel(mid, std::f64::consts::FRAC_PI_4, 0.0),
+    );
+    let low = sel(big, MOREBITS, sel(mid, 0.5 * MOREBITS, 0.0));
+    let z = xr * xr;
+    let p = z * poly(z, &ATAN_P) / poly(z, &ATAN_Q);
+    let r = ((xr * p + xr) + low) + base;
+    sel(x.is_sign_negative(), -r, r)
+}
+
+crate::sweep1!(
+    /// Lane-sweep form of [`atan`] (identical per-lane operations).
+    atan_sweep,
+    atan
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tests::ulps;
+
+    #[test]
+    fn trig_specials() {
+        assert_eq!(sin(0.0).to_bits(), 0.0f64.to_bits());
+        assert_eq!(sin(-0.0).to_bits(), (-0.0f64).to_bits());
+        assert_eq!(cos(0.0), 1.0);
+        assert_eq!(tan(-0.0).to_bits(), (-0.0f64).to_bits());
+        for f in [sin, cos, tan] {
+            assert!(f(f64::NAN).is_nan());
+            assert!(f(f64::INFINITY).is_nan());
+            assert!(f(f64::NEG_INFINITY).is_nan());
+        }
+        // Subnormals: sin(x) == x, tan(x) == x, cos(x) == 1.
+        assert_eq!(sin(5e-324).to_bits(), 5e-324f64.to_bits());
+        assert_eq!(tan(5e-324).to_bits(), 5e-324f64.to_bits());
+        assert_eq!(cos(5e-324), 1.0);
+    }
+
+    #[test]
+    fn huge_arguments_fall_back_to_libm() {
+        for &x in &[1e7, -3.7e9, 1e200, 4.56e15] {
+            assert_eq!(sin(x).to_bits(), x.sin().to_bits(), "sin({x:e})");
+            assert_eq!(cos(x).to_bits(), x.cos().to_bits(), "cos({x:e})");
+            assert_eq!(tan(x).to_bits(), x.tan().to_bits(), "tan({x:e})");
+        }
+    }
+
+    #[test]
+    fn deep_cancellation_points_fall_back_to_libm() {
+        // The doubles nearest k·π/2 reduce to ~1e-16·k, far below what the
+        // three-part reduction can resolve accurately; they must take the
+        // libm path in both the scalar and sweep forms.
+        let points: Vec<f64> = (1..40)
+            .map(|k| k as f64 * std::f64::consts::FRAC_PI_2)
+            .collect();
+        let mut out = vec![0.0; points.len()];
+        sin_sweep(&mut out, &points);
+        for (&x, &got) in points.iter().zip(&out) {
+            assert_eq!(got.to_bits(), x.sin().to_bits(), "sin({x})");
+            assert_eq!(sin(x).to_bits(), x.sin().to_bits(), "scalar sin({x})");
+            assert_eq!(cos(x).to_bits(), x.cos().to_bits(), "cos({x})");
+            assert_eq!(tan(x).to_bits(), x.tan().to_bits(), "tan({x})");
+        }
+    }
+
+    #[test]
+    fn atan_specials() {
+        assert_eq!(atan(0.0).to_bits(), 0.0f64.to_bits());
+        assert_eq!(atan(-0.0).to_bits(), (-0.0f64).to_bits());
+        assert_eq!(atan(f64::INFINITY), std::f64::consts::FRAC_PI_2);
+        assert_eq!(atan(f64::NEG_INFINITY), -std::f64::consts::FRAC_PI_2);
+        assert!(atan(f64::NAN).is_nan());
+        assert!(ulps(atan(1.0), std::f64::consts::FRAC_PI_4) <= 1);
+    }
+
+    #[test]
+    fn quadrant_logic_is_right() {
+        // Walk a couple of full periods comparing against libm.
+        for i in -1000..1000 {
+            let x = i as f64 * 0.0157;
+            assert!(ulps(sin(x), x.sin()) <= 3, "sin({x})");
+            assert!(ulps(cos(x), x.cos()) <= 3, "cos({x})");
+            assert!(ulps(tan(x), x.tan()) <= 5, "tan({x})");
+        }
+    }
+}

@@ -7,3 +7,4 @@ pub use egraph;
 pub use fpcore;
 pub use rival;
 pub use targets;
+pub use vecmath;

@@ -1,0 +1,333 @@
+//! Accuracy property suite for the `vecmath` kernels, measured against the
+//! Rival ground truth (the same correctly rounded oracle the accuracy
+//! pipeline scores candidates with).
+//!
+//! Two things are asserted:
+//!
+//! 1. **Per-kernel ULP bounds.** Every kernel's measured error over a seeded
+//!    sweep of its full domain — plus NaN, ±inf, ±0, subnormals, huge trig
+//!    arguments, `log1p` near −1, and near-branch-cut points — stays within
+//!    the bound documented in its [`vecmath::KERNELS1`]/[`KERNELS2`] entry.
+//! 2. **Corpus accuracy drift.** Replacing libm with the kernels must not
+//!    move `mean_bits_of_error` measurably: for real corpus expressions, the
+//!    per-benchmark mean error of the kernel-routed evaluator vs. a
+//!    libm-direct evaluator differs by at most noise.
+//!
+//! The sweeps are seeded (`chassis::rng`), so failures reproduce exactly.
+
+use chassis::accuracy::{bits_of_error, ulps_between};
+use chassis::rng::Rng;
+use fpcore::eval::{apply_op_f64, eval_f64_in};
+use fpcore::{parse_expr, Expr, FpType, RealOp, Symbol};
+use rival::{ground_truth, GroundTruth};
+use vecmath::{KERNELS1, KERNELS2};
+
+const SEED: u64 = 0x0BAD_5EED_CAFE;
+
+/// Special values every kernel must survive.
+const SPECIALS: &[f64] = &[
+    0.0,
+    -0.0,
+    1.0,
+    -1.0,
+    0.5,
+    -0.5,
+    f64::NAN,
+    f64::INFINITY,
+    f64::NEG_INFINITY,
+    5e-324,
+    -5e-324,
+    1e-310,
+    -1e-310,
+    f64::MIN_POSITIVE,
+    f64::MAX,
+    f64::MIN,
+];
+
+/// A signed log-uniform magnitude in `10^[lo, hi]`.
+fn log_uniform(rng: &mut Rng, lo: f64, hi: f64) -> f64 {
+    let magnitude = 10f64.powf(rng.range_f64(lo, hi));
+    if rng.below(2) == 0 {
+        magnitude
+    } else {
+        -magnitude
+    }
+}
+
+/// Seeded domain sweep for a unary kernel, covering the regions where its
+/// range reduction, polynomial core, and special-value blends each dominate.
+fn domain1(name: &str, rng: &mut Rng, n: usize) -> Vec<f64> {
+    let mut points = Vec::with_capacity(n + 64);
+    for _ in 0..n {
+        let x = match name {
+            "exp" | "expm1" => rng.range_f64(-750.0, 750.0),
+            "log" | "log2" | "log10" => log_uniform(rng, -320.0, 308.0).abs(),
+            "log1p" => match rng.below(3) {
+                0 => rng.range_f64(-1.0, 4.0),
+                1 => log_uniform(rng, -18.0, 18.0),
+                // The branch cut: approach −1 from above.
+                _ => -1.0 + 10f64.powf(rng.range_f64(-12.0, 0.0)),
+            },
+            "sin" | "cos" | "tan" => match rng.below(3) {
+                // The Cody–Waite fast path...
+                0 => rng.range_f64(-1e6, 1e6),
+                // ...moderate magnitudes...
+                1 => log_uniform(rng, -8.0, 6.0),
+                // ...and huge arguments (the libm fallback lanes).
+                _ => log_uniform(rng, 6.0, 14.0),
+            },
+            "sinh" | "cosh" => rng.range_f64(-710.5, 710.5),
+            "tanh" => rng.range_f64(-40.0, 40.0),
+            "atan" => log_uniform(rng, -300.0, 300.0),
+            other => panic!("no domain for kernel {other}"),
+        };
+        points.push(x);
+    }
+    points.extend_from_slice(SPECIALS);
+    if matches!(name, "sin" | "cos" | "tan") {
+        // Near-branch-cut stress: floats adjacent to small multiples of π/2,
+        // where the reduced argument nearly cancels.
+        for k in 1..24 {
+            points.push(k as f64 * std::f64::consts::FRAC_PI_2);
+            points.push(-(k as f64) * std::f64::consts::FRAC_PI_2);
+        }
+    }
+    if name == "expm1" {
+        // Around the rational/exp−1 switch point.
+        for i in -16..16 {
+            points.push(0.3465735902799726 + i as f64 * 1e-3);
+        }
+    }
+    points
+}
+
+#[test]
+fn unary_kernels_meet_documented_ulp_bounds_vs_rival() {
+    let mut worst_report = String::new();
+    for (i, kernel) in KERNELS1.iter().enumerate() {
+        let expr = parse_expr(&format!("({} x)", kernel.name)).unwrap();
+        let mut rng = Rng::for_stream(SEED, i as u64);
+        let x_sym = Symbol::new("x");
+        let mut worst = 0u64;
+        let mut worst_at = 0.0f64;
+        let mut compared = 0usize;
+        for x in domain1(kernel.name, &mut rng, 700) {
+            let truth = match ground_truth(&expr, &[(x_sym, x)], FpType::Binary64) {
+                GroundTruth::Value(v) => v,
+                GroundTruth::Nan => f64::NAN,
+                GroundTruth::Unsamplable => continue,
+            };
+            let got = (kernel.scalar)(x);
+            compared += 1;
+            if truth.is_nan() {
+                // Rival reports singularities (log 0, tan π/2, ...) as
+                // domain-error NaN; IEEE defines many of them (−inf, ...).
+                // At these points the kernel must match the host libm
+                // exactly instead.
+                let want = (kernel.reference)(x);
+                assert!(
+                    got.to_bits() == want.to_bits() || (got.is_nan() && want.is_nan()),
+                    "{}({x:e}) = {got:e} at a Rival singularity, libm says {want:e}",
+                    kernel.name
+                );
+                continue;
+            }
+            let ulps = ulps_between(got, truth, FpType::Binary64);
+            if ulps > worst {
+                worst = ulps;
+                worst_at = x;
+            }
+            assert!(
+                (ulps as f64) <= kernel.max_ulp,
+                "{}({x:e}) = {got:e} is {ulps} ULP from the Rival truth {truth:e} \
+                 (documented bound {} ULP)",
+                kernel.name,
+                kernel.max_ulp
+            );
+        }
+        assert!(compared > 500, "{}: too few comparable points", kernel.name);
+        worst_report.push_str(&format!(
+            "{:>6}: max {} ULP (at {worst_at:e}, bound {})\n",
+            kernel.name, worst, kernel.max_ulp
+        ));
+    }
+    println!("measured kernel accuracy vs Rival:\n{worst_report}");
+}
+
+#[test]
+fn binary_kernels_meet_documented_ulp_bounds_vs_rival() {
+    for (i, kernel) in KERNELS2.iter().enumerate() {
+        let expr = parse_expr(&format!("({} x y)", kernel.name)).unwrap();
+        let mut rng = Rng::for_stream(SEED ^ 0xB1, i as u64);
+        let (x_sym, y_sym) = (Symbol::new("x"), Symbol::new("y"));
+        let mut compared = 0usize;
+        let mut pairs: Vec<(f64, f64)> = Vec::new();
+        for _ in 0..700 {
+            let pair = if kernel.name == "pow" {
+                match rng.below(4) {
+                    // Positive bases over many magnitudes.
+                    0 => {
+                        let x = log_uniform(&mut rng, -20.0, 20.0).abs();
+                        (x, rng.range_f64(-30.0, 30.0))
+                    }
+                    // Negative bases with integer exponents.
+                    1 => (-10f64.powf(rng.range_f64(-3.0, 3.0)), {
+                        (rng.below(41) as f64) - 20.0
+                    }),
+                    // Bases near 1 with huge exponents: the double-double
+                    // stress region where exp(y·ln x) loses hundreds of ULP.
+                    2 => (1.0 + rng.range_f64(-1e-8, 1e-8), rng.range_f64(-1e8, 1e8)),
+                    _ => (rng.range_f64(0.0, 50.0), rng.range_f64(-8.0, 8.0)),
+                }
+            } else {
+                (log_uniform(&mut rng, -320.0, 308.0), {
+                    log_uniform(&mut rng, -320.0, 308.0)
+                })
+            };
+            pairs.push(pair);
+        }
+        for &s in SPECIALS {
+            pairs.push((s, 2.5));
+            pairs.push((0.7, s));
+            pairs.push((s, s));
+        }
+        for (x, y) in pairs {
+            let truth = match ground_truth(&expr, &[(x_sym, x), (y_sym, y)], FpType::Binary64) {
+                GroundTruth::Value(v) => v,
+                GroundTruth::Nan => f64::NAN,
+                GroundTruth::Unsamplable => continue,
+            };
+            let got = (kernel.scalar)(x, y);
+            compared += 1;
+            if truth.is_nan() {
+                let want = (kernel.reference)(x, y);
+                assert!(
+                    got.to_bits() == want.to_bits() || (got.is_nan() && want.is_nan()),
+                    "{}({x:e}, {y:e}) = {got:e} at a Rival singularity, libm says {want:e}",
+                    kernel.name
+                );
+                continue;
+            }
+            let ulps = ulps_between(got, truth, FpType::Binary64);
+            assert!(
+                (ulps as f64) <= kernel.max_ulp,
+                "{}({x:e}, {y:e}) = {got:e} is {ulps} ULP from the Rival truth {truth:e} \
+                 (documented bound {} ULP)",
+                kernel.name,
+                kernel.max_ulp
+            );
+        }
+        assert!(compared > 400, "{}: too few comparable points", kernel.name);
+    }
+}
+
+/// A tree-walk evaluator that applies every operator with the host libm
+/// directly — the pre-vecmath baseline the drift check compares against.
+fn eval_libm(expr: &Expr, env: &[(Symbol, f64)]) -> f64 {
+    match expr {
+        Expr::Num(c) => c.to_f64(),
+        Expr::Var(v) => env
+            .iter()
+            .find(|(s, _)| s == v)
+            .map(|(_, x)| *x)
+            .unwrap_or(f64::NAN),
+        Expr::Op(op, args) => {
+            let vals: Vec<f64> = args.iter().map(|a| eval_libm(a, env)).collect();
+            let libm1 = |a: f64| match op {
+                RealOp::Exp => Some(a.exp()),
+                RealOp::Expm1 => Some(a.exp_m1()),
+                RealOp::Log => Some(a.ln()),
+                RealOp::Log1p => Some(a.ln_1p()),
+                RealOp::Log2 => Some(a.log2()),
+                RealOp::Log10 => Some(a.log10()),
+                RealOp::Sin => Some(a.sin()),
+                RealOp::Cos => Some(a.cos()),
+                RealOp::Tan => Some(a.tan()),
+                RealOp::Sinh => Some(a.sinh()),
+                RealOp::Cosh => Some(a.cosh()),
+                RealOp::Tanh => Some(a.tanh()),
+                RealOp::Atan => Some(a.atan()),
+                _ => None,
+            };
+            match (vals.as_slice(), op) {
+                ([a], _) if libm1(*a).is_some() => libm1(vals[0]).unwrap(),
+                ([a, b], RealOp::Pow) => a.powf(*b),
+                ([a, b], RealOp::Hypot) => a.hypot(*b),
+                _ => apply_op_f64(*op, &vals),
+            }
+        }
+        Expr::If(c, t, e) => {
+            if eval_libm(c, env) != 0.0 {
+                eval_libm(t, env)
+            } else {
+                eval_libm(e, env)
+            }
+        }
+    }
+}
+
+#[test]
+fn corpus_mean_bits_of_error_drift_vs_libm_is_noise() {
+    // For every corpus benchmark: evaluate the real expression over a seeded
+    // point cloud with (a) the kernel-routed evaluator the system actually
+    // uses and (b) a libm-direct evaluator, score both against Rival, and
+    // bound the drift. The kernels are a couple of ULP where libm is ~1, so
+    // per-benchmark drift must stay well under a tenth of a bit and the
+    // corpus-wide mean even tighter — accuracy measurements keep meaning
+    // what they meant before the kernels landed.
+    let mut corpus_drift = 0.0f64;
+    let mut benchmarks = 0usize;
+    let mut report = String::new();
+    for (i, benchmark) in benchsuite::all().iter().enumerate() {
+        let core = benchmark.fpcore();
+        let vars: Vec<Symbol> = core.args.iter().map(|(s, _)| *s).collect();
+        let mut rng = Rng::for_stream(SEED ^ 0xD81F7, i as u64);
+        let mut kernel_bits = 0.0f64;
+        let mut libm_bits = 0.0f64;
+        let mut scored = 0usize;
+        for _ in 0..48 {
+            let env: Vec<(Symbol, f64)> = vars
+                .iter()
+                .map(|&v| (v, log_uniform(&mut rng, -4.0, 4.0)))
+                .collect();
+            let truth = match ground_truth(&core.body, &env, FpType::Binary64) {
+                GroundTruth::Value(v) => v,
+                _ => continue,
+            };
+            // Identity benchmarks (e.g. cot-difference: 1/tan − cos/sin)
+            // have a true value of exactly zero: any nonzero rounding crumb
+            // scores near-maximal bits_of_error, so the metric measures
+            // which library happens to cancel exactly — coincidence, not
+            // accuracy. Drift is only meaningful where the truth is nonzero.
+            if truth == 0.0 {
+                continue;
+            }
+            let with_kernels = eval_f64_in(&core.body, env.as_slice());
+            let with_libm = eval_libm(&core.body, &env);
+            kernel_bits += bits_of_error(with_kernels, truth, FpType::Binary64);
+            libm_bits += bits_of_error(with_libm, truth, FpType::Binary64);
+            scored += 1;
+        }
+        if scored < 8 {
+            continue;
+        }
+        let drift = (kernel_bits - libm_bits) / scored as f64;
+        assert!(
+            drift.abs() < 0.75,
+            "{}: mean_bits_of_error drifted {drift:+.3} bits vs the libm baseline",
+            benchmark.name
+        );
+        if drift.abs() > 0.05 {
+            report.push_str(&format!("  {}: {drift:+.3} bits\n", benchmark.name));
+        }
+        corpus_drift += drift;
+        benchmarks += 1;
+    }
+    assert!(benchmarks > 40, "too few benchmarks scored ({benchmarks})");
+    let mean = corpus_drift / benchmarks as f64;
+    println!("corpus-wide mean drift: {mean:+.4} bits over {benchmarks} benchmarks\n{report}");
+    assert!(
+        mean.abs() < 0.05,
+        "corpus-wide mean_bits_of_error drifted {mean:+.4} bits vs the libm baseline"
+    );
+}
