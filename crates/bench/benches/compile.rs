@@ -24,14 +24,14 @@ fn bench_chassis_compile(c: &mut Criterion) {
             let target = builtin::by_name("c99").unwrap();
             let session = Session::new(Config::fast());
             std::hint::black_box(session.compile(&core, &target).unwrap())
-        })
+        });
     });
     c.bench_function("chassis_compile_avx_fast", |b| {
         b.iter(|| {
             let target = builtin::by_name("avx").unwrap();
             let session = Session::new(Config::fast());
             std::hint::black_box(session.compile(&core, &target))
-        })
+        });
     });
     // Search only: preparation is done once outside the loop, the way a
     // multi-target sweep amortizes it.
@@ -40,7 +40,7 @@ fn bench_chassis_compile(c: &mut Criterion) {
         .expect("benchmark prepares");
     c.bench_function("chassis_compile_c99_fast_prepared", |b| {
         let target = builtin::by_name("c99").unwrap();
-        b.iter(|| std::hint::black_box(prepared.compile(&target).unwrap()))
+        b.iter(|| std::hint::black_box(prepared.compile(&target).unwrap()));
     });
 }
 
@@ -50,7 +50,7 @@ fn bench_baselines(c: &mut Criterion) {
         b.iter(|| {
             let herbie = HerbieCompiler::new(Config::fast());
             std::hint::black_box(herbie.compile(&core).unwrap())
-        })
+        });
     });
     let target = builtin::by_name("c99").unwrap();
     c.bench_function("clang_baseline_o2_fastmath", |b| {
@@ -66,7 +66,7 @@ fn bench_baselines(c: &mut Criterion) {
                 )
                 .unwrap(),
             )
-        })
+        });
     });
     let core32 = parse_fpcore("(FPCore (x) (sqrt (+ (* x x) 1)))").unwrap();
     c.bench_function("clang_baseline_simple_lowering", |b| {
@@ -82,7 +82,7 @@ fn bench_baselines(c: &mut Criterion) {
                 )
                 .unwrap(),
             )
-        })
+        });
     });
 }
 

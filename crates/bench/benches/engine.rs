@@ -24,7 +24,7 @@ fn bench_equality_saturation(c: &mut Criterion) {
         b.iter(|| {
             let selector = InstructionSelector::new(&target, config);
             std::hint::black_box(selector.run(&expr, &vars, FpType::Binary64))
-        })
+        });
     });
 }
 
@@ -32,11 +32,11 @@ fn bench_ground_truth(c: &mut Criterion) {
     let expr = parse_expr("(/ (- (exp x) 1) x)").unwrap();
     let env = vec![(Symbol::new("x"), 1e-9)];
     c.bench_function("rival_ground_truth_expm1_over_x", |b| {
-        b.iter(|| std::hint::black_box(ground_truth(&expr, &env, FpType::Binary64)))
+        b.iter(|| std::hint::black_box(ground_truth(&expr, &env, FpType::Binary64)));
     });
     let evaluator = Evaluator::with_precisions(vec![96, 192]);
     c.bench_function("rival_ground_truth_low_precision", |b| {
-        b.iter(|| std::hint::black_box(evaluator.eval(&expr, &env, FpType::Binary64)))
+        b.iter(|| std::hint::black_box(evaluator.eval(&expr, &env, FpType::Binary64)));
     });
 }
 
@@ -46,7 +46,7 @@ fn bench_interpreter(c: &mut Criterion) {
     let program = lower_fpcore(&core, &target).unwrap();
     let env: HashMap<Symbol, f64> = [(Symbol::new("x"), 0.7)].into_iter().collect();
     c.bench_function("interpret_float_program_vdt", |b| {
-        b.iter(|| std::hint::black_box(targets::eval_float_expr_in(&target, &program, &env)))
+        b.iter(|| std::hint::black_box(targets::eval_float_expr_in(&target, &program, &env)));
     });
     // The compiled counterpart: compile once outside the loop, evaluate per
     // iteration against a reusable register file.
@@ -56,7 +56,7 @@ fn bench_interpreter(c: &mut Criterion) {
     let mut regs = compiled.new_regs();
     let point = [0.7f64];
     c.bench_function("bytecode_float_program_vdt", |b| {
-        b.iter(|| std::hint::black_box(compiled.eval_point(&columns, &point, &mut regs)))
+        b.iter(|| std::hint::black_box(compiled.eval_point(&columns, &point, &mut regs)));
     });
     // Block mode: the same program swept over a 256-point columnar batch —
     // one DEFAULT_BLOCK-wide block, so one instruction dispatch per sweep
@@ -70,7 +70,7 @@ fn bench_interpreter(c: &mut Criterion) {
         b.iter(|| {
             compiled.eval_range(&columns, &points, 0, &mut block_regs, &mut out);
             std::hint::black_box(out[0])
-        })
+        });
     });
 }
 

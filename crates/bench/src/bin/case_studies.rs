@@ -17,7 +17,7 @@ fn study(session: &Session, title: &str, target_name: &str, source: &str, highli
     let target = builtin::by_name(target_name).expect("builtin target");
     let core = parse_fpcore(source).expect("case study parses");
     println!("\n=== {title} (target: {target_name}) ===");
-    println!("input: {}", core);
+    println!("input: {core}");
     match run_chassis_full(session, &target, &core) {
         None => println!("  compilation failed (sampling or unsupported)"),
         Some(result) => {
@@ -41,7 +41,7 @@ fn study(session: &Session, title: &str, target_name: &str, source: &str, highli
                         .any(|i| i.rendered.contains(h))
                 })
                 .collect();
-            println!("  target-specific operators used: {:?}", used);
+            println!("  target-specific operators used: {used:?}");
         }
     }
 }

@@ -7,38 +7,49 @@
 //! lowers the benchmark directly onto the target, generates a deterministic
 //! set of sample points, and
 //!
-//! 1. **asserts bit-identity**: the scalar bytecode engine and the block
-//!    engine (at *every* swept block size) must reproduce the tree-walk
-//!    interpreter's output exactly, on every point (exit code 1 otherwise);
-//! 2. **measures throughput**: best-of-N sweeps over all points for each
+//! 1. **verifies and optimizes**: every compiled program must pass the IR
+//!    verifier ([`targets::analysis`]) in SSA mode, and its optimized form
+//!    (dead-code elimination + liveness-driven register compaction — the
+//!    program the timed engines actually run) must pass in executable mode;
+//! 2. **asserts bit-identity**: the scalar bytecode engine (fresh *and*
+//!    optimized program) and the block engine (optimized program, at *every*
+//!    swept block size) must reproduce the tree-walk interpreter's output
+//!    exactly, on every point (exit code 1 otherwise) — this is the
+//!    corpus-wide proof that the optimizer preserves semantics;
+//! 3. **measures throughput**: best-of-N sweeps over all points for each
 //!    engine — block mode once per `--block-sizes` entry — reported as
 //!    points/second;
-//! 3. **measures the math kernels**: a per-operator table of lane-sweep
+//! 4. **measures the math kernels**: a per-operator table of lane-sweep
 //!    throughput, vecmath kernels vs. per-lane host-libm loops, over the
 //!    corpus input distribution;
-//! 4. **records the trajectory**: writes `BENCH_eval.json` (schema 3:
+//! 5. **records the trajectory**: writes `BENCH_eval.json` (schema 4:
 //!    per-mode, per-block-size and per-target throughput, the per-operator
-//!    kernel table, and a `history` array carrying every previous run's
-//!    totals forward so successive runs stay comparable);
-//! 5. **gates**: `--min-speedup X` requires corpus-wide scalar-bytecode ≥ X ×
+//!    kernel table, an `ir` object with aggregate optimizer and
+//!    interval-analysis statistics, and a `history` array carrying every
+//!    previous run's totals forward so successive runs stay comparable);
+//! 6. **gates**: `--min-speedup X` requires corpus-wide scalar-bytecode ≥ X ×
 //!    tree-walk; `--min-block-speedup Y` requires corpus-wide block mode (at
-//!    its best swept size) ≥ Y × scalar bytecode; `--min-target-pps
-//!    name=PPS,...` puts an absolute points/sec floor under named targets'
-//!    block aggregate (used to hold the c99/vdt rows at ≥ 1.8× their
-//!    pre-vecmath baseline).
+//!    its best swept size) ≥ Y × scalar bytecode; `--min-target-rel name=R,...`
+//!    requires named targets' block aggregate ≥ R × the geometric mean of the
+//!    *same run's* per-operator host-libm kernel throughput — a
+//!    machine-relative floor that holds across hardware, unlike the absolute
+//!    `--min-target-pps name=PPS,...` floor (still supported for pinned-rig
+//!    use).
 //!
 //! ```text
 //! cargo run --release -p chassis-bench --bin eval_throughput -- \
 //!     --points 2048 --repeats 5 --block-sizes 8,64,256,0 \
 //!     --min-speedup 3 --min-block-speedup 1 \
-//!     --min-target-pps c99=185600000,vdt=186000000 --out BENCH_eval.json
+//!     --min-target-rel c99=1.4,vdt=1.4 --out BENCH_eval.json
 //! ```
 //!
 //! A block size of `0` means "one block spanning the whole batch".
 
 use chassis::lower_fpcore;
 use chassis::rng::Rng;
+use fpcore::Symbol;
 use std::time::{Duration, Instant};
+use targets::analysis::{self, Mode};
 use targets::{builtin, eval_float_expr_indexed, Columns, FloatExpr, Target};
 
 /// Targets the sweep covers: an all-emulated target (c99), two with native
@@ -62,6 +73,9 @@ struct Options {
     min_block_speedup: f64,
     /// Absolute block-aggregate floors per target: `(name, points/sec)`.
     min_target_pps: Vec<(String, f64)>,
+    /// Relative floors per target: `(name, ratio)` — block aggregate must be
+    /// at least `ratio` × the same run's libm kernel-sweep geometric mean.
+    min_target_rel: Vec<(String, f64)>,
     out: String,
 }
 
@@ -78,12 +92,28 @@ impl Options {
             min_speedup: 0.0,
             min_block_speedup: 0.0,
             min_target_pps: Vec::new(),
+            min_target_rel: Vec::new(),
             out: "BENCH_eval.json".to_owned(),
         };
         let usage = "usage: eval_throughput [--points N] [--repeats N] \
                      [--seed N] [--block-sizes N,M,...] [--min-speedup X] \
                      [--min-block-speedup X] [--min-target-pps name=PPS,...] \
-                     [--out PATH]";
+                     [--min-target-rel name=RATIO,...] [--out PATH]";
+        fn floors(list: &str, flag: &str, usage: &str) -> Vec<(String, f64)> {
+            list.split(',')
+                .map(|entry| {
+                    let Some((name, value)) = entry.split_once('=') else {
+                        eprintln!("bad {flag} entry {entry:?}\n{usage}");
+                        std::process::exit(2);
+                    };
+                    let value: f64 = value.trim().parse().unwrap_or_else(|_| {
+                        eprintln!("bad number in {entry:?}\n{usage}");
+                        std::process::exit(2);
+                    });
+                    (name.trim().to_owned(), value)
+                })
+                .collect()
+        }
         fn value<T: std::str::FromStr>(args: &[String], i: usize, usage: &str) -> T {
             args.get(i + 1)
                 .and_then(|s| s.parse().ok())
@@ -119,17 +149,15 @@ impl Options {
                 "--min-block-speedup" => options.min_block_speedup = value(&args, i, usage),
                 "--min-target-pps" => {
                     let list: String = value(&args, i, usage);
-                    for entry in list.split(',') {
-                        let Some((name, pps)) = entry.split_once('=') else {
-                            eprintln!("bad --min-target-pps entry {entry:?}\n{usage}");
-                            std::process::exit(2);
-                        };
-                        let pps: f64 = pps.trim().parse().unwrap_or_else(|_| {
-                            eprintln!("bad points/sec in {entry:?}\n{usage}");
-                            std::process::exit(2);
-                        });
-                        options.min_target_pps.push((name.trim().to_owned(), pps));
-                    }
+                    options
+                        .min_target_pps
+                        .extend(floors(&list, "--min-target-pps", usage));
+                }
+                "--min-target-rel" => {
+                    let list: String = value(&args, i, usage);
+                    options
+                        .min_target_rel
+                        .extend(floors(&list, "--min-target-rel", usage));
                 }
                 "--out" => options.out = value(&args, i, usage),
                 other => {
@@ -160,6 +188,16 @@ struct Case {
     tree_size: usize,
     /// Instructions in the compiled program (smaller when CSE shared work).
     instrs: usize,
+    /// Instructions after dead-code elimination.
+    instrs_opt: usize,
+    /// Register-slab height of the fresh program.
+    regs: usize,
+    /// Register-slab height after liveness-driven compaction.
+    regs_opt: usize,
+    /// Selects the interval analysis proved uniform over the sampled domain.
+    uniform_selects: usize,
+    /// Transcendental calls proved to stay on the kernel's safe range.
+    safe_calls: usize,
     interp_best: Duration,
     bytecode_best: Duration,
     /// Best sweep per swept block size, parallel to `Options::block_sizes`.
@@ -201,26 +239,49 @@ fn best_sweep(repeats: usize, mut sweep: impl FnMut() -> f64) -> Duration {
     best.max(Duration::from_nanos(1))
 }
 
+/// Returns the case's measurements plus its bit-identity mismatch count.
 fn measure(
     target: &Target,
     target_name: &'static str,
     benchmark: &'static str,
     expr: &FloatExpr,
+    domains: &[(Symbol, (f64, f64))],
     options: &Options,
     stream: u64,
-    mismatches: &mut usize,
-) -> Case {
+) -> (Case, usize) {
+    let mut mismatches = 0usize;
+    let mismatches = &mut mismatches;
     let vars = expr.variables();
     let mut rng = Rng::for_stream(options.seed, stream);
     let rows = generate_points(&mut rng, vars.len(), options.points);
     let points = Columns::from_rows(vars.len(), &rows);
 
+    // Compile, verify, optimize, verify again. A diagnostic here is a
+    // compiler or optimizer bug, so it is fatal rather than a gate failure.
     let program = targets::compile(target, expr);
+    let violations = analysis::verify_with_target(&program, target, Mode::Ssa);
+    assert!(
+        violations.is_empty(),
+        "{benchmark} on {target_name}: fresh program failed IR verification:\n{}",
+        analysis::verify::render(&violations)
+    );
+    let (optimized, stats) = analysis::optimize(&program);
+    let violations = analysis::verify_with_target(&optimized, target, Mode::Executable);
+    assert!(
+        violations.is_empty(),
+        "{benchmark} on {target_name}: optimized program failed IR verification:\n{}",
+        analysis::verify::render(&violations)
+    );
+    let ia = analysis::interval_analysis(&program, Some(target), domains);
+
     let columns = program.bind_columns(&vars);
     let mut regs = program.new_regs();
+    let opt_columns = optimized.bind_columns(&vars);
+    let mut opt_regs = optimized.new_regs();
 
     // Bit-identity first. The tree walk is the reference; the scalar bytecode
-    // engine and the block engine at every swept size must match it exactly.
+    // engine — on both the fresh and the optimized program — and the block
+    // engine at every swept size must match it exactly.
     let reference: Vec<u64> = rows
         .iter()
         .map(|point| eval_float_expr_indexed(target, expr, &vars, point).to_bits())
@@ -236,12 +297,22 @@ fn measure(
                 byte.to_bits()
             );
         }
+        let opt = optimized.eval_point(&opt_columns, point, &mut opt_regs);
+        if opt.to_bits() != want {
+            *mismatches += 1;
+            eprintln!(
+                "BIT MISMATCH (optimized bytecode): {benchmark} on {target_name} at {point:?}: \
+                 tree walk {:#018x}, optimized {:#018x}",
+                want,
+                opt.to_bits()
+            );
+        }
     }
     let mut block_out = vec![0.0f64; options.points];
     for &size in &options.block_sizes {
         let width = options.width_of(size);
-        let mut block_regs = program.new_block_regs(width);
-        program.eval_range(&columns, &points, 0, &mut block_regs, &mut block_out);
+        let mut block_regs = optimized.new_block_regs(width);
+        optimized.eval_range(&opt_columns, &points, 0, &mut block_regs, &mut block_out);
         for (i, (got, &want)) in block_out.iter().zip(&reference).enumerate() {
             if got.to_bits() != want {
                 *mismatches += 1;
@@ -264,10 +335,12 @@ fn measure(
         }
         sink
     });
+    // The timed bytecode and block runs use the optimized program — the one
+    // production evaluation paths execute (`targets::compile_optimized`).
     let bytecode_best = best_sweep(options.repeats, || {
         let mut sink = 0.0;
         for point in &rows {
-            let v = program.eval_point(&columns, point, &mut regs);
+            let v = optimized.eval_point(&opt_columns, point, &mut opt_regs);
             sink += if v.is_finite() { v } else { 0.0 };
         }
         sink
@@ -277,9 +350,9 @@ fn measure(
         .iter()
         .map(|&size| {
             let width = options.width_of(size);
-            let mut block_regs = program.new_block_regs(width);
+            let mut block_regs = optimized.new_block_regs(width);
             best_sweep(options.repeats, || {
-                program.eval_range(&columns, &points, 0, &mut block_regs, &mut block_out);
+                optimized.eval_range(&opt_columns, &points, 0, &mut block_regs, &mut block_out);
                 let mut sink = 0.0;
                 for &v in &block_out {
                     sink += if v.is_finite() { v } else { 0.0 };
@@ -289,15 +362,21 @@ fn measure(
         })
         .collect();
 
-    Case {
+    let case = Case {
         benchmark,
         target: target_name,
         tree_size: expr.size(),
-        instrs: program.num_instrs(),
+        instrs: stats.instrs_before,
+        instrs_opt: stats.instrs_after,
+        regs: stats.regs_before,
+        regs_opt: stats.regs_after,
+        uniform_selects: ia.uniform_selects.len(),
+        safe_calls: ia.safe_calls.len(),
         interp_best,
         bytecode_best,
         block_best,
-    }
+    };
+    (case, *mismatches)
 }
 
 /// Corpus-wide aggregates: points/sec per mode plus the chosen block size.
@@ -325,8 +404,7 @@ impl Totals {
             .iter()
             .enumerate()
             .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
-            .map(|(i, _)| i)
-            .unwrap_or(0);
+            .map_or(0, |(i, _)| i);
         Totals {
             interp_pps: total_points / interp,
             bytecode_pps: total_points / bytecode,
@@ -449,6 +527,15 @@ fn bench_op_kernels(options: &Options) -> Vec<OpKernel> {
     table
 }
 
+/// Geometric mean of the per-operator host-libm sweep throughput — the
+/// machine-speed yardstick the `--min-target-rel` gate divides by. Measured
+/// in the same run, so the ratio is stable across hardware generations in a
+/// way an absolute points/sec floor is not.
+fn libm_geomean_pps(op_kernels: &[OpKernel]) -> f64 {
+    let logs: f64 = op_kernels.iter().map(|k| k.libm_pps.ln()).sum();
+    (logs / op_kernels.len().max(1) as f64).exp()
+}
+
 /// This run's headline numbers as a one-line JSON history entry.
 fn history_entry(
     options: &Options,
@@ -461,7 +548,7 @@ fn history_entry(
         .map(|(name, pps)| format!("\"{name}\": {pps:.1}"))
         .collect();
     format!(
-        "{{\"schema_version\": 3, \"seed\": {}, \"points_per_case\": {}, \"cases\": {}, \
+        "{{\"schema_version\": 4, \"seed\": {}, \"points_per_case\": {}, \"cases\": {}, \
          \"interp_points_per_sec\": {:.1}, \"bytecode_points_per_sec\": {:.1}, \
          \"block_points_per_sec\": {:.1}, \"per_target_block_points_per_sec\": {{{}}}}}",
         options.seed,
@@ -475,7 +562,7 @@ fn history_entry(
 }
 
 /// Prior history entries to carry forward from the existing out file. A
-/// schema-3 file contributes its `history` array verbatim; a legacy schema-2
+/// schema-3 or -4 file contributes its `history` array verbatim; a legacy schema-2
 /// file (the pre-vecmath baseline) is summarized into a synthesized entry so
 /// the bench trajectory starts at the old numbers.
 fn prior_history(path: &str) -> Vec<String> {
@@ -553,7 +640,7 @@ fn to_json(
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str("  \"bench\": \"eval_throughput\",\n");
-    out.push_str("  \"schema_version\": 3,\n");
+    out.push_str("  \"schema_version\": 4,\n");
     out.push_str(&format!("  \"points_per_case\": {},\n", options.points));
     out.push_str(&format!("  \"repeats\": {},\n", options.repeats));
     out.push_str(&format!("  \"seed\": {},\n", options.seed));
@@ -597,6 +684,31 @@ fn to_json(
         totals.block_pps[totals.chosen] / totals.interp_pps
     ));
     out.push_str("  },\n");
+    // Aggregate optimizer and interval-analysis statistics (schema 4): the
+    // register-slab rows are what liveness-driven compaction saves the block
+    // engine per worker.
+    let sum = |f: fn(&Case) -> usize| -> usize { cases.iter().map(f).sum() };
+    out.push_str("  \"ir\": {\n");
+    out.push_str(&format!(
+        "    \"instrs_before_dce\": {},\n    \"instrs_after_dce\": {},\n",
+        sum(|c| c.instrs),
+        sum(|c| c.instrs_opt)
+    ));
+    out.push_str(&format!(
+        "    \"register_slab_rows_before\": {},\n    \"register_slab_rows_after\": {},\n",
+        sum(|c| c.regs),
+        sum(|c| c.regs_opt)
+    ));
+    out.push_str(&format!(
+        "    \"uniform_selects\": {},\n    \"safe_transcendental_calls\": {},\n",
+        sum(|c| c.uniform_selects),
+        sum(|c| c.safe_calls)
+    ));
+    out.push_str(&format!(
+        "    \"libm_kernel_geomean_points_per_sec\": {:.1}\n",
+        libm_geomean_pps(op_kernels)
+    ));
+    out.push_str("  },\n");
     out.push_str("  \"op_kernels\": [\n");
     for (i, k) in op_kernels.iter().enumerate() {
         let comma = if i + 1 < op_kernels.len() { "," } else { "" };
@@ -624,13 +736,17 @@ fn to_json(
         let block: Vec<f64> = case.block_best.iter().map(|&d| pps(d)).collect();
         out.push_str(&format!(
             "    {{\"benchmark\": \"{}\", \"target\": \"{}\", \"tree_size\": {}, \
-             \"instrs\": {}, \"interp_points_per_sec\": {:.1}, \
+             \"instrs\": {}, \"instrs_opt\": {}, \"regs\": {}, \"regs_opt\": {}, \
+             \"interp_points_per_sec\": {:.1}, \
              \"bytecode_points_per_sec\": {:.1}, \"block_points_per_sec\": {}, \
              \"speedup\": {:.3}}}{comma}\n",
             case.benchmark,
             case.target,
             case.tree_size,
             case.instrs,
+            case.instrs_opt,
+            case.regs,
+            case.regs_opt,
             pps(case.interp_best),
             pps(case.bytecode_best),
             sizes_json(&block),
@@ -657,15 +773,18 @@ fn main() {
             let Ok(program) = lower_fpcore(&core, &target) else {
                 continue;
             };
-            cases.push(measure(
+            let domains = analysis::domains_from_pre(core.pre.as_ref());
+            let (case, diverged) = measure(
                 &target,
                 target_name,
                 benchmark.name,
                 &program,
+                &domains,
                 &options,
                 stream,
-                &mut mismatches,
-            ));
+            );
+            mismatches += diverged;
+            cases.push(case);
         }
     }
 
@@ -730,6 +849,17 @@ fn main() {
         totals.block_speedup(),
         totals.block_pps[totals.chosen] / totals.interp_pps
     );
+    let sum = |f: fn(&Case) -> usize| -> usize { cases.iter().map(f).sum() };
+    println!(
+        "  ir: {} -> {} instrs (DCE), {} -> {} register-slab rows (compaction), \
+         {} uniform selects, {} safe transcendental calls",
+        sum(|c| c.instrs),
+        sum(|c| c.instrs_opt),
+        sum(|c| c.regs),
+        sum(|c| c.regs_opt),
+        sum(|c| c.uniform_selects),
+        sum(|c| c.safe_calls)
+    );
     println!("  math-kernel sweeps (corpus input distribution, per operator):");
     for k in &op_kernels {
         println!(
@@ -785,6 +915,27 @@ fn main() {
                 "FAIL: {name} block aggregate {pps:.0} pts/s is below the floor ({floor:.0})"
             );
             std::process::exit(1);
+        }
+    }
+    if !options.min_target_rel.is_empty() {
+        let yardstick = libm_geomean_pps(&op_kernels);
+        println!(
+            "  relative gate yardstick: libm kernel-sweep geomean {yardstick:.0} pts/s (same run)"
+        );
+        for (name, ratio) in &options.min_target_rel {
+            let Some((_, pps)) = per_target.iter().find(|(n, _)| n == name) else {
+                eprintln!("FAIL: --min-target-rel names unknown target {name:?}");
+                std::process::exit(2);
+            };
+            let achieved = pps / yardstick;
+            if achieved < *ratio {
+                eprintln!(
+                    "FAIL: {name} block aggregate {pps:.0} pts/s is {achieved:.2}x the libm \
+                     kernel geomean, below the relative floor ({ratio:.2}x)"
+                );
+                std::process::exit(1);
+            }
+            println!("  {name}: {achieved:.2}x the libm kernel geomean (floor {ratio:.2}x) OK");
         }
     }
 }

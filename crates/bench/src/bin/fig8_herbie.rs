@@ -87,8 +87,8 @@ fn main() {
         }
         // Headline per target: Chassis speedup over Herbie at Herbie's own most
         // accurate point.
-        let herbie_best_acc = herbie_curve.last().map(|p| p.total_accuracy).unwrap_or(0.0);
-        let herbie_best_speed = herbie_curve.last().map(|p| p.speedup).unwrap_or(1.0);
+        let herbie_best_acc = herbie_curve.last().map_or(0.0, |p| p.total_accuracy);
+        let herbie_best_speed = herbie_curve.last().map_or(1.0, |p| p.speedup);
         let chassis_at = chassis_curve
             .iter()
             .filter(|p| p.total_accuracy >= herbie_best_acc * 0.98)
@@ -99,8 +99,7 @@ fn main() {
             .map(|p| p.speedup)
             .fold(f64::NAN, f64::max);
         println!(
-            "  summary: herbie best ({:.2}x, {:.1} bits); chassis at matched accuracy {:.2}x; chassis fastest {:.2}x",
-            herbie_best_speed, herbie_best_acc, chassis_at, chassis_fastest
+            "  summary: herbie best ({herbie_best_speed:.2}x, {herbie_best_acc:.1} bits); chassis at matched accuracy {chassis_at:.2}x; chassis fastest {chassis_fastest:.2}x"
         );
     }
     let search_elapsed = search_started.elapsed();

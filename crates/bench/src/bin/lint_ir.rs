@@ -1,0 +1,250 @@
+//! `lint_ir` — the corpus-wide IR lint gate.
+//!
+//! Exercises the `targets::analysis` verifier over every (benchmark ×
+//! builtin target) pair that lowers, plus a per-target sweep of every native
+//! operator, and exits nonzero on **any** diagnostic:
+//!
+//! 1. every builtin target description must verify
+//!    ([`analysis::verify_target`]);
+//! 2. every compiled program must verify in SSA mode (with the
+//!    target-pairing rules), and its optimized form (dead-code elimination +
+//!    register compaction) must verify in executable mode;
+//! 3. every seeded invariant-breaking mutant of every compiled program must
+//!    be *rejected* by the verifier — one surviving mutant is a verifier
+//!    hole — and every [`MutationKind`] must fire somewhere in the suite;
+//! 4. as a by-product, prints aggregate optimization and interval-analysis
+//!    statistics (instructions removed, slab height saved, provably-uniform
+//!    selects, provably special-case-free transcendental calls with domains
+//!    taken from each benchmark's precondition).
+//!
+//! The suite is the benchmark corpus, a few branch-heavy synthetic cases
+//! (the corpus is straight-line, so selects and skip ranges would otherwise
+//! go unexercised), and one single-call program per native operator of every
+//! target (which exercises the sweep/scalar pairing rules and the plain-call
+//! instruction form that direct lowering never emits).
+//!
+//! Usage: `lint_ir [--seed N]` (the seed only scatters mutation sites; any
+//! seed must produce only rejected mutants, so CI failures reproduce locally
+//! with the seed printed in the report).
+//!
+//! Run in release: the per-compile debug verify hook would turn corpus
+//! violations into panics instead of collected diagnostics.
+
+use chassis::lower_fpcore;
+use fpcore::Symbol;
+use std::collections::HashSet;
+use targets::analysis::{self, domains_from_pre, Mode, MutationKind};
+use targets::{builtin, FloatExpr, OpId, Program, Target};
+
+/// Branch-heavy synthetic cases that complement the corpus: the corpus
+/// benchmarks are straight-line (their preconditions carry the branching),
+/// so selects and skip ranges — and the mutation kinds that target them —
+/// would otherwise go unexercised by the lint.
+const SYNTHETIC: &[(&str, &str)] = &[
+    (
+        "branchy-exp",
+        "(FPCore (x) :pre (and (> x -10) (< x 10)) (if (< x 0) (exp x) (* x x)))",
+    ),
+    (
+        "nested-branches",
+        "(FPCore (x y) (if (< x y) (if (< x 0) (- y x) (+ x y)) (sqrt (- x y))))",
+    ),
+    (
+        "guarded-log",
+        "(FPCore (x) :pre (> x 1e-6) (if (< x 1) (log1p x) (log x)))",
+    ),
+    (
+        "pow-or-hypot",
+        "(FPCore (x y) (if (> x 0) (pow x y) (hypot x y)))",
+    ),
+];
+
+#[derive(Default)]
+struct Lint {
+    seed: u64,
+    diagnostics: usize,
+    cases: usize,
+    instrs_before: usize,
+    instrs_after: usize,
+    regs_before: usize,
+    regs_after: usize,
+    uniform_selects: usize,
+    safe_calls: usize,
+    total_selects: usize,
+    mutants_total: usize,
+    mutants_killed: usize,
+    kinds_killed: HashSet<MutationKind>,
+}
+
+impl Lint {
+    fn report(&mut self, context: &str, violations: &[analysis::Violation]) {
+        if !violations.is_empty() {
+            self.diagnostics += violations.len();
+            eprintln!("FAIL {context}:");
+            for v in violations {
+                eprintln!("  {v}");
+            }
+        }
+    }
+
+    /// Verifies one compiled program in both modes, accumulates optimization
+    /// and interval statistics, and runs the mutation kill-check on it.
+    fn check_program(
+        &mut self,
+        case: &str,
+        target: &Target,
+        program: &Program,
+        domains: &[(Symbol, (f64, f64))],
+    ) {
+        self.cases += 1;
+        self.report(
+            &format!("{case} (fresh compile, SSA mode)"),
+            &analysis::verify_with_target(program, target, Mode::Ssa),
+        );
+        let (optimized, stats) = analysis::optimize(program);
+        self.report(
+            &format!("{case} (optimized, executable mode)"),
+            &analysis::verify_with_target(&optimized, target, Mode::Executable),
+        );
+        self.instrs_before += stats.instrs_before;
+        self.instrs_after += stats.instrs_after;
+        self.regs_before += stats.regs_before;
+        self.regs_after += stats.regs_after;
+
+        let ia = analysis::interval_analysis(program, Some(target), domains);
+        self.uniform_selects += ia.uniform_selects.len();
+        self.safe_calls += ia.safe_calls.len();
+        self.total_selects += program.num_skippable_arms();
+
+        // The mutation kill-check: every invariant-breaking mutant must be
+        // rejected. The per-case seed is derived so failures name it.
+        let case_seed = self
+            .seed
+            .wrapping_add((self.cases as u64).wrapping_mul(0x9e3779b97f4a7c15));
+        for mutant in analysis::seeded_mutants(program, case_seed) {
+            self.mutants_total += 1;
+            if analysis::verify(&mutant.program, Mode::Ssa).is_empty() {
+                self.diagnostics += 1;
+                eprintln!(
+                    "FAIL {case}: mutant {:?} survived verification (seed {case_seed}: {})",
+                    mutant.kind, mutant.description
+                );
+            } else {
+                self.mutants_killed += 1;
+                self.kinds_killed.insert(mutant.kind);
+            }
+        }
+    }
+}
+
+fn main() {
+    let mut lint = Lint {
+        seed: 0x1a2b3c4d5e6f7788,
+        ..Lint::default()
+    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--seed" => {
+                let value = it.next().unwrap_or_else(|| {
+                    eprintln!("lint_ir: --seed needs a value");
+                    std::process::exit(2);
+                });
+                lint.seed = value.parse().unwrap_or_else(|_| {
+                    eprintln!("lint_ir: bad seed {value:?}");
+                    std::process::exit(2);
+                });
+            }
+            other => {
+                eprintln!("lint_ir: unknown argument {other:?} (usage: lint_ir [--seed N])");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let targets = builtin::all_targets();
+    for target in &targets {
+        let violations = analysis::verify_target(target);
+        lint.report(&format!("target description {}", target.name), &violations);
+    }
+
+    let mut suite: Vec<(String, fpcore::FPCore)> = benchsuite::all()
+        .iter()
+        .map(|b| (b.name.to_string(), b.fpcore()))
+        .collect();
+    for (name, source) in SYNTHETIC {
+        let core = fpcore::parse_fpcore(source)
+            .unwrap_or_else(|e| panic!("synthetic case {name} does not parse: {e}"));
+        suite.push((format!("synthetic:{name}"), core));
+    }
+
+    for target in &targets {
+        for (name, core) in &suite {
+            // Benchmarks using operators the target lacks are skipped, like
+            // everywhere else in the harness.
+            let Ok(expr) = lower_fpcore(core, target) else {
+                continue;
+            };
+            let case = format!("{name} on {}", target.name);
+            let program = targets::compile(target, &expr);
+            let domains = domains_from_pre(core.pre.as_ref());
+            lint.check_program(&case, target, &program, &domains);
+        }
+
+        // One single-call program per native operator: exercises the
+        // sweep/scalar pairing rules and the plain-call instruction form,
+        // which direct lowering of the corpus never emits (those operators
+        // are only reachable through instruction selection).
+        for (index, op) in target.operators.iter().enumerate() {
+            if !op.is_linked() {
+                continue;
+            }
+            let args: Vec<FloatExpr> = op
+                .arg_types
+                .iter()
+                .enumerate()
+                .map(|(i, &ty)| FloatExpr::Var(Symbol::new(&format!("v{i}")), ty))
+                .collect();
+            let expr = FloatExpr::Op(OpId(index as u32), args);
+            let case = format!("operator {} on {}", op.name, target.name);
+            let program = targets::compile(target, &expr);
+            lint.check_program(&case, target, &program, &[]);
+        }
+    }
+
+    for kind in MutationKind::ALL {
+        if !lint.kinds_killed.contains(kind) {
+            eprintln!("FAIL mutation kind {kind:?} never applied to any suite program");
+            lint.diagnostics += 1;
+        }
+    }
+
+    println!(
+        "lint_ir: {} programs verified over {} targets, seed {:#x}",
+        lint.cases,
+        targets.len(),
+        lint.seed
+    );
+    println!(
+        "  optimize: {} -> {} instrs (DCE), {} -> {} register-slab rows (compaction)",
+        lint.instrs_before, lint.instrs_after, lint.regs_before, lint.regs_after
+    );
+    println!(
+        "  interval: {} provably-uniform selects, {} special-case-free transcendental calls \
+         ({} skippable arms total)",
+        lint.uniform_selects, lint.safe_calls, lint.total_selects
+    );
+    println!(
+        "  mutation: {}/{} mutants rejected, {}/{} kinds exercised",
+        lint.mutants_killed,
+        lint.mutants_total,
+        lint.kinds_killed.len(),
+        MutationKind::ALL.len()
+    );
+    if lint.diagnostics > 0 {
+        eprintln!("lint_ir: {} diagnostics", lint.diagnostics);
+        std::process::exit(1);
+    }
+    println!("lint_ir: clean");
+}

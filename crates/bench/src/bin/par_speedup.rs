@@ -98,9 +98,7 @@ fn best_of(target: &Target, workloads: &[Workload]) -> (Duration, Vec<f64>) {
 fn main() {
     let options = HarnessOptions::from_args();
     let target = builtin::by_name("c99").expect("c99 target");
-    let cores = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
 
     println!("Preparing workloads ({POINTS} points per benchmark)...");
     let workloads = prepare(&target, &options);

@@ -34,7 +34,7 @@ fn main() {
     println!();
     println!("Details:");
     for target in builtin::all_targets() {
-        println!("  {}", target);
+        println!("  {target}");
         println!("    {}", target.description);
     }
 }

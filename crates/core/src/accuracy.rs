@@ -98,8 +98,10 @@ pub fn max_bits(ty: FpType) -> f64 {
 /// The bits of error of a program at every point of a columnar batch, in
 /// point order.
 ///
-/// The program is compiled to bytecode once ([`targets::compile()`]) and the
-/// immutable compiled form is shared by every worker; points are then scored
+/// The program is compiled to bytecode once ([`targets::compile_optimized()`]
+/// — dead-code elimination plus register compaction, both bit-identity
+/// preserving) and the immutable compiled form is shared by every worker;
+/// points are then scored
 /// in blocks ([`targets::block`]): each worker sweeps its contiguous share of
 /// the batch against a per-worker columnar register file, one instruction
 /// dispatch per block rather than per point, with zero allocation in the
@@ -119,7 +121,7 @@ pub fn per_point_errors(
         truths.len(),
         "each point needs a ground truth"
     );
-    let program = targets::compile(target, expr);
+    let (program, _) = targets::compile_optimized(target, expr);
     let columns = program.bind_columns(vars);
     let block = targets::block::block_width_for(points.len());
     par::par_map_blocks_with(

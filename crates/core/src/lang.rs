@@ -134,9 +134,7 @@ pub fn float_expr_to_rec(expr: &FloatExpr, _target: &Target) -> RecExpr<ChassisN
     fn go(expr: &FloatExpr, out: &mut RecExpr<ChassisNode>) -> Id {
         match expr {
             FloatExpr::Num(v, _) => {
-                let c = fpcore::Rational::from_f64(*v)
-                    .map(Constant::Rational)
-                    .unwrap_or(Constant::Nan);
+                let c = fpcore::Rational::from_f64(*v).map_or(Constant::Nan, Constant::Rational);
                 out.add(ChassisNode::Num(c))
             }
             FloatExpr::Var(v, _) => out.add(ChassisNode::Var(*v)),

@@ -213,8 +213,7 @@ mod tests {
         let add_score = scored
             .iter()
             .find(|s| s.expr.render(&t).starts_with("(+.f64"))
-            .map(|s| s.score)
-            .unwrap_or(0.0);
+            .map_or(0.0, |s| s.score);
         assert!(add_score < 1.0, "x+1 is locally accurate, got {add_score}");
     }
 }

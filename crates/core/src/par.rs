@@ -47,9 +47,7 @@ pub fn effective_threads(len: usize) -> usize {
                 .and_then(|v| v.parse().ok())
                 .filter(|&n| n > 0)
                 .unwrap_or_else(|| {
-                    std::thread::available_parallelism()
-                        .map(|n| n.get())
-                        .unwrap_or(1)
+                    std::thread::available_parallelism().map_or(1, std::num::NonZero::get)
                 })
         }),
         n => n,
@@ -91,7 +89,7 @@ where
         let mut state = init();
         range.map(|i| f(&mut state, i)).collect::<Vec<R>>()
     };
-    if len < 2 || IN_PAR_WORKER.with(|w| w.get()) {
+    if len < 2 || IN_PAR_WORKER.with(std::cell::Cell::get) {
         return serial(0..len);
     }
     let threads = effective_threads(len);
@@ -163,7 +161,7 @@ where
         return out;
     }
     let n_blocks = len.div_ceil(block);
-    if n_blocks < 2 || IN_PAR_WORKER.with(|w| w.get()) {
+    if n_blocks < 2 || IN_PAR_WORKER.with(std::cell::Cell::get) {
         serial(&mut init(), 0, &mut out);
         return out;
     }
@@ -224,7 +222,8 @@ where
 #[cfg(test)]
 pub(crate) fn test_lock() -> std::sync::MutexGuard<'static, ()> {
     static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
-    LOCK.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+    LOCK.lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
 #[cfg(test)]
@@ -275,7 +274,7 @@ mod tests {
         set_thread_count(4);
         let outer: Vec<usize> = (0..8).collect();
         // Workers must carry the flag so nested calls don't fan out again.
-        let flags = par_map(&outer, |_| IN_PAR_WORKER.with(|w| w.get()));
+        let flags = par_map(&outer, |_| IN_PAR_WORKER.with(std::cell::Cell::get));
         assert!(flags.iter().all(|&in_worker| in_worker));
         // And a genuinely nested map still returns correct, ordered results.
         let nested = par_map(&outer, |&i| {

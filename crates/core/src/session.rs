@@ -114,6 +114,18 @@ pub enum Progress {
         /// Completed improve iterations at the time of the cut.
         iterations_completed: usize,
     },
+    /// Every final implementation's compiled program passed IR verification
+    /// (`targets::analysis`), including in release builds where the
+    /// per-compile debug hook is off. The register totals report what
+    /// liveness-driven compaction saves on this result's programs.
+    ProgramsVerified {
+        /// Programs verified (the frontier plus the initial program).
+        programs: usize,
+        /// Aggregate register-slab height of the fresh compiles.
+        regs: usize,
+        /// Aggregate slab height after dead-code elimination + compaction.
+        regs_compacted: usize,
+    },
 }
 
 /// A resource bound on one `compile` call.
@@ -407,6 +419,34 @@ impl Prepared {
             .collect();
         let initial_cost = program_cost(target, &initial);
         let initial_impl = describe(target, initial, initial_cost, &inner.samples);
+
+        // Verify every program this result hands out (the debug hook inside
+        // `targets::compile` covers debug builds; this covers release too,
+        // once per final implementation rather than per search candidate).
+        let (mut regs, mut regs_compacted, mut programs) = (0usize, 0usize, 0usize);
+        for imp in implementations.iter().chain(std::iter::once(&initial_impl)) {
+            let program = targets::compile(target, &imp.expr);
+            let violations = targets::analysis::verify_with_target(
+                &program,
+                target,
+                targets::analysis::Mode::Ssa,
+            );
+            assert!(
+                violations.is_empty(),
+                "compiled implementation failed IR verification on target {}:\n{}",
+                target.name,
+                targets::analysis::verify::render(&violations)
+            );
+            let (_, stats) = targets::optimize(&program);
+            programs += 1;
+            regs += stats.regs_before;
+            regs_compacted += stats.regs_after;
+        }
+        ctx.emit(Progress::ProgramsVerified {
+            programs,
+            regs,
+            regs_compacted,
+        });
         Ok(CompilationResult {
             implementations,
             initial: initial_impl,

@@ -179,7 +179,7 @@ mod tests {
             b.iter(|| {
                 runs += 1;
                 black_box(runs)
-            })
+            });
         });
         assert!(runs > 0);
     }

@@ -176,9 +176,8 @@ fn expr_from_sexpr(sexpr: &Sexpr) -> Result<Expr, ParseError> {
                     if rest.len() != 2 {
                         return Err(ParseError::new("let expects bindings and a body"));
                     }
-                    let bindings = match &rest[0] {
-                        Sexpr::List(bs) => bs,
-                        _ => return Err(ParseError::new("let bindings must be a list")),
+                    let Sexpr::List(bindings) = &rest[0] else {
+                        return Err(ParseError::new("let bindings must be a list"));
                     };
                     let mut body = expr_from_sexpr(&rest[1])?;
                     // Substitute bindings in reverse so later bindings may refer to
@@ -242,9 +241,8 @@ fn expr_from_sexpr(sexpr: &Sexpr) -> Result<Expr, ParseError> {
 }
 
 fn fpcore_from_sexpr(sexpr: &Sexpr) -> Result<FPCore, ParseError> {
-    let items = match sexpr {
-        Sexpr::List(items) => items,
-        _ => return Err(ParseError::new("FPCore must be a list")),
+    let Sexpr::List(items) = sexpr else {
+        return Err(ParseError::new("FPCore must be a list"));
     };
     let mut iter = items.iter();
     match iter.next() {
@@ -266,9 +264,8 @@ fn fpcore_from_sexpr(sexpr: &Sexpr) -> Result<FPCore, ParseError> {
     let args_sexpr = rest
         .first()
         .ok_or_else(|| ParseError::new("FPCore missing argument list"))?;
-    let args_list = match args_sexpr {
-        Sexpr::List(items) => items,
-        _ => return Err(ParseError::new("FPCore arguments must be a list")),
+    let Sexpr::List(args_list) = args_sexpr else {
+        return Err(ParseError::new("FPCore arguments must be a list"));
     };
     let mut args = Vec::new();
     for a in args_list {

@@ -1,0 +1,216 @@
+//! Dead-code elimination: drops instructions whose results can never reach
+//! the program result.
+//!
+//! The compiler's CSE can strand dead instructions (a shared subexpression
+//! whose every consumer was itself deduplicated away), and hand-built or
+//! transformed programs may contain more. Removal is bit-identity-preserving
+//! by construction: an eliminated instruction's value is read by nothing, so
+//! no surviving instruction's inputs change.
+//!
+//! Register numbers are *not* renumbered — the output is still a valid SSA
+//! program (with holes in the register numbering, which the verifier's SSA
+//! mode permits); [compaction](crate::analysis::compact) squeezes the holes
+//! out afterwards. Skip ranges are remapped through the old→new instruction
+//! index map; a range left empty is dropped (its select was dead, and with
+//! it — by the privacy invariant — every instruction the range contained).
+
+use crate::analysis::dataflow::RegSet;
+use crate::compile::{Program, SkipRange};
+
+/// Size accounting for [`eliminate_dead_code`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct DceStats {
+    /// Instructions removed.
+    pub removed: usize,
+}
+
+/// Removes every instruction whose result is never used, returning the new
+/// program and what was removed.
+pub fn eliminate_dead_code(program: &Program) -> (Program, DceStats) {
+    let n = program.instrs.len();
+    // A reverse sweep suffices in SSA: an instruction is needed exactly when
+    // its destination feeds the result, a needed instruction, or a surviving
+    // skip condition — and all of those appear at higher indices.
+    let mut needed = RegSet::new(program.num_regs());
+    needed.insert(program.result);
+    let mut keep = vec![false; n];
+    for (i, instr) in program.instrs.iter().enumerate().rev() {
+        if needed.contains(instr.dst()) {
+            keep[i] = true;
+            instr.for_each_read(&program.arg_pool, |reg| needed.insert(reg));
+        }
+    }
+
+    // Monotone old→new instruction index map: new_index[i] = number of kept
+    // instructions before i (valid as a range endpoint remap for any i).
+    let mut new_index = vec![0u32; n + 1];
+    let mut count = 0u32;
+    for i in 0..n {
+        new_index[i] = count;
+        count += keep[i] as u32;
+    }
+    new_index[n] = count;
+
+    let instrs: Vec<_> = program
+        .instrs
+        .iter()
+        .zip(&keep)
+        .filter(|(_, &k)| k)
+        .map(|(instr, _)| *instr)
+        .collect();
+    let skips: Vec<SkipRange> = program
+        .skips
+        .iter()
+        .filter_map(|sk| {
+            let (start, end) = (new_index[sk.start as usize], new_index[sk.end as usize]);
+            // An empty range means the owning select died; the condition may
+            // be gone too, so the range cannot be kept. A surviving range's
+            // select is alive (privacy: only it reads the arm), hence so is
+            // the condition it reads — but check defensively.
+            (start < end && needed.contains(sk.cond)).then_some(SkipRange {
+                start,
+                end,
+                cond: sk.cond,
+                dead_when: sk.dead_when,
+            })
+        })
+        .collect();
+    let removed = n - instrs.len();
+    (
+        Program {
+            n_regs: program.n_regs,
+            consts: program
+                .consts
+                .iter()
+                .filter(|(reg, _)| needed.contains(*reg))
+                .copied()
+                .collect(),
+            vars: program
+                .vars
+                .iter()
+                .filter(|(reg, _)| needed.contains(*reg))
+                .copied()
+                .collect(),
+            instrs,
+            arg_pool: program.arg_pool.clone(),
+            skips,
+            result: program.result,
+        },
+        DceStats { removed },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::verify::{verify, Mode};
+    use crate::compile::Instr;
+    use fpcore::{RealOp, Symbol};
+
+    /// `r1 = -x; r2 = x*x (dead); r3 = -r1; result = r3`.
+    fn with_dead_instr() -> Program {
+        Program {
+            n_regs: 4,
+            consts: vec![],
+            vars: vec![(0, Symbol::new("x"))],
+            instrs: vec![
+                Instr::Un {
+                    op: RealOp::Neg,
+                    a: 0,
+                    dst: 1,
+                },
+                Instr::Bin {
+                    op: RealOp::Mul,
+                    a: 0,
+                    b: 0,
+                    dst: 2,
+                },
+                Instr::Un {
+                    op: RealOp::Neg,
+                    a: 1,
+                    dst: 3,
+                },
+            ],
+            arg_pool: vec![],
+            skips: vec![],
+            result: 3,
+        }
+    }
+
+    #[test]
+    fn removes_unused_instructions_and_stays_valid() {
+        let p = with_dead_instr();
+        let (q, stats) = eliminate_dead_code(&p);
+        assert_eq!(stats.removed, 1);
+        assert_eq!(q.num_instrs(), 2);
+        assert!(
+            verify(&q, Mode::Ssa).is_empty(),
+            "{:?}",
+            verify(&q, Mode::Ssa)
+        );
+        // Same value, register numbering untouched.
+        let (syms, vals) = ([Symbol::new("x")], [2.5]);
+        let env = crate::interp::SliceEnv::new(&syms, &vals);
+        assert_eq!(p.eval_in(&env).to_bits(), q.eval_in(&env).to_bits());
+    }
+
+    #[test]
+    fn drops_unused_constants_and_variables() {
+        let mut p = with_dead_instr();
+        p.consts.push((4, 7.0));
+        p.vars.push((5, Symbol::new("unused")));
+        p.n_regs = 6;
+        let (q, _) = eliminate_dead_code(&p);
+        assert!(q.consts.is_empty());
+        assert_eq!(q.variables(), vec![Symbol::new("x")]);
+    }
+
+    #[test]
+    fn dead_select_drops_its_skip_range() {
+        // r1 = -x (arm); r2 = select(x, r1, x) — dead; r3 = x + x = result.
+        let p = Program {
+            n_regs: 4,
+            consts: vec![],
+            vars: vec![(0, Symbol::new("x"))],
+            instrs: vec![
+                Instr::Un {
+                    op: RealOp::Neg,
+                    a: 0,
+                    dst: 1,
+                },
+                Instr::Select {
+                    c: 0,
+                    t: 1,
+                    e: 0,
+                    dst: 2,
+                },
+                Instr::Bin {
+                    op: RealOp::Add,
+                    a: 0,
+                    b: 0,
+                    dst: 3,
+                },
+            ],
+            arg_pool: vec![],
+            skips: vec![SkipRange {
+                start: 0,
+                end: 1,
+                cond: 0,
+                dead_when: false,
+            }],
+            result: 3,
+        };
+        let (q, stats) = eliminate_dead_code(&p);
+        assert_eq!(stats.removed, 2, "arm and select are both dead");
+        assert!(q.skips.is_empty(), "the empty range is dropped");
+        assert!(verify(&q, Mode::Ssa).is_empty());
+    }
+
+    #[test]
+    fn idempotent_on_clean_programs() {
+        let (q, _) = eliminate_dead_code(&with_dead_instr());
+        let (r, stats) = eliminate_dead_code(&q);
+        assert_eq!(stats.removed, 0);
+        assert_eq!(r.num_instrs(), q.num_instrs());
+    }
+}

@@ -1,0 +1,110 @@
+//! Static analysis over compiled [`Program`]s: verification, dataflow, and
+//! bit-identity-preserving rewrites.
+//!
+//! The whole evaluation pipeline rests on one artifact — the flat
+//! register-machine [`Program`] — executed by three engines that must agree
+//! bit for bit (tree walk, scalar bytecode, SoA block engine). This module is
+//! the corresponding correctness backbone:
+//!
+//! * [`verify`](mod@verify) — a total check of every IR invariant (register
+//!   discipline, bounds, select-arm privacy, sweep/scalar pairing), run
+//!   automatically after every [`crate::compile()`] in debug builds and over the full
+//!   benchmark corpus in CI (`lint_ir`);
+//! * [`dataflow`] — a forward/backward worklist framework over the linear
+//!   SSA program, hosting the analyses below;
+//! * [`liveness`](mod@liveness) — backward live-register analysis and the
+//!   last-use table;
+//! * [`dce`] — dead-code elimination for instructions whose results are
+//!   never used (CSE can strand these), with skip-range remapping;
+//! * [`compact`] — liveness-driven register renumbering that shrinks the
+//!   register slab (the block engine's working set) while preserving the
+//!   `dst > operands` discipline the slab split depends on;
+//! * [`interval`] — forward interval/NaN analysis from sampler domains,
+//!   flagging provably-uniform select conditions and transcendental calls
+//!   that stay on their `vecmath` kernel's special-case-free range
+//!   (advisory: dispatch never changes, so bit identity is untouched);
+//! * [`mutate`] — a seeded invariant-breaking mutation harness that tests
+//!   the *verifier's* power: every mutant must be rejected.
+//!
+//! Every rewrite here is bit-identical by construction: [`dce`] only removes
+//! instructions whose values cannot reach the result, and [`compact`] is a
+//! pure renaming that preserves value flow (see each module's proof sketch).
+//! The `tests/analysis.rs` suite asserts this corpus-wide across all three
+//! engines at several block widths.
+//!
+//! The documented IR grammar and the full invariant list live in
+//! `docs/PROGRAM_IR.md`.
+
+pub mod compact;
+pub mod dataflow;
+pub mod dce;
+pub mod interval;
+pub mod liveness;
+pub mod mutate;
+pub mod verify;
+
+pub use compact::{compact_registers, CompactStats};
+pub use dce::{eliminate_dead_code, DceStats};
+pub use interval::{
+    domains_from_pre, interval_analysis, IntervalAnalysis, SafeCall, UniformSelect, ValueFact,
+};
+pub use liveness::{last_use_table, liveness, Liveness};
+pub use mutate::{seeded_mutants, Mutant, MutationKind};
+pub use verify::{verify, verify_target, verify_with_target, Mode, Violation};
+
+use crate::compile::Program;
+use crate::expr::FloatExpr;
+use crate::target::Target;
+
+/// Size accounting for [`optimize`]: how much dead code and slab height the
+/// dataflow passes removed.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct OptimizeStats {
+    /// Instruction count before dead-code elimination.
+    pub instrs_before: usize,
+    /// Instruction count after dead-code elimination.
+    pub instrs_after: usize,
+    /// Register-slab height (total registers) before compaction.
+    pub regs_before: usize,
+    /// Register-slab height after liveness-driven compaction.
+    pub regs_after: usize,
+}
+
+/// The standard optimization pipeline: dead-code elimination followed by
+/// liveness-driven register compaction, with the verifier re-run after each
+/// pass in debug builds.
+///
+/// The result is bit-identical to the input program on every input
+/// (including NaN) — the rewrites only drop unreachable values and rename
+/// registers — but occupies a smaller register slab, which is the block
+/// engine's per-worker working set.
+pub fn optimize(program: &Program) -> (Program, OptimizeStats) {
+    let (dced, _) = eliminate_dead_code(program);
+    debug_assert!(
+        verify(&dced, Mode::Ssa).is_empty(),
+        "dead-code elimination broke an IR invariant:\n{}",
+        verify::render(&verify(&dced, Mode::Ssa)),
+    );
+    let (compacted, stats) = compact_registers(&dced);
+    debug_assert!(
+        verify(&compacted, Mode::Executable).is_empty(),
+        "register compaction broke an IR invariant:\n{}",
+        verify::render(&verify(&compacted, Mode::Executable)),
+    );
+    (
+        compacted,
+        OptimizeStats {
+            instrs_before: program.num_instrs(),
+            instrs_after: dced.num_instrs(),
+            regs_before: program.num_regs(),
+            regs_after: stats.regs_after,
+        },
+    )
+}
+
+/// Compiles `expr` for `target` and runs the standard optimization pipeline
+/// — the one-stop entry point for evaluation paths that reuse a program
+/// across many points.
+pub fn compile_optimized(target: &Target, expr: &FloatExpr) -> (Program, OptimizeStats) {
+    optimize(&crate::compile::compile(target, expr))
+}

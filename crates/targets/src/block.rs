@@ -28,11 +28,15 @@
 //! [`Program::eval_point`] and to the tree walk at *any* block width, which
 //! the differential tests and the `eval_throughput` CI gate both assert.
 //!
-//! The slab layout leans on the program being in SSA form: an instruction's
-//! destination register is always allocated *after* its operands, so
-//! `dst > a, b, c` and `split_at_mut(dst * width)` separates the write row
-//! from every row the instruction reads, with no per-instruction bounds
-//! gymnastics.
+//! The slab layout leans on the program's register discipline: an
+//! instruction's destination register is always strictly above its operands
+//! (the verifier's `operand-order` rule — see `docs/PROGRAM_IR.md`), so
+//! `split_at_mut(dst * width)` separates the write row from every row the
+//! instruction reads, with no per-instruction bounds gymnastics. The slab is
+//! `Program::num_regs` rows of `width` lanes — the per-worker working set
+//! that liveness-driven register compaction
+//! ([`crate::analysis::compact`]) shrinks, which is why production paths run
+//! [`crate::analysis::compile_optimized`] programs here.
 
 use crate::compile::{Instr, Program};
 use crate::operator::round_to_type;

@@ -38,7 +38,7 @@ fn host_pow(a: &[f64]) -> f64 {
 }
 
 fn sweep_pow(out: &mut [f64], a: &[f64], b: &[f64]) {
-    sweep_op2(RealOp::Pow, out, a, b)
+    sweep_op2(RealOp::Pow, out, a, b);
 }
 
 fn host_hypot(a: &[f64]) -> f64 {
@@ -46,7 +46,7 @@ fn host_hypot(a: &[f64]) -> f64 {
 }
 
 fn sweep_hypot(out: &mut [f64], a: &[f64], b: &[f64]) {
-    sweep_op2(RealOp::Hypot, out, a, b)
+    sweep_op2(RealOp::Hypot, out, a, b);
 }
 
 fn host_fma(a: &[f64]) -> f64 {

@@ -205,7 +205,7 @@ mod tests {
             let (linked, _) = t.linked_emulated_counts();
             match t.name.as_str() {
                 "avx" | "vdt" | "fdlibm" | "c99" => {
-                    assert!(linked > 0, "target {} should have linked operators", t.name)
+                    assert!(linked > 0, "target {} should have linked operators", t.name);
                 }
                 _ => assert_eq!(linked, 0, "target {} should be fully emulated", t.name),
             }

@@ -35,7 +35,7 @@ use fpcore::{Expr, FpType, RealOp, Symbol};
 use std::collections::HashMap;
 
 /// Largest native-operator arity the evaluator's stack buffer supports.
-const MAX_CALL_ARITY: usize = 8;
+pub(crate) const MAX_CALL_ARITY: usize = 8;
 
 /// One register-machine instruction. Input and output registers are indices
 /// into the program's register file; every instruction writes exactly one
@@ -138,7 +138,10 @@ impl Instr {
 
     /// True when every register the instruction reads is below `limit` — the
     /// SSA property (operands allocated before the destination) that lets the
-    /// block evaluator split its flat slab at the destination row.
+    /// block evaluator split its flat slab at the destination row. Checked in
+    /// production by the verifier's `operand-order` rule; this helper remains
+    /// for direct assertions in tests.
+    #[cfg(test)]
     pub(crate) fn reads_below(&self, limit: u32, arg_pool: &[u32]) -> bool {
         let mut ok = true;
         self.for_each_read(arg_pool, |reg| ok &= reg < limit);
@@ -200,6 +203,12 @@ impl Program {
     /// smaller than the tree's operation count whenever CSE shared subtrees).
     pub fn num_instrs(&self) -> usize {
         self.instrs.len()
+    }
+
+    /// Height of the register slab the program needs (the block evaluator
+    /// allocates `num_regs × block_width` doubles per worker).
+    pub fn num_regs(&self) -> usize {
+        self.n_regs
     }
 
     /// Number of select arms the block evaluator can skip when a block's
@@ -397,13 +406,11 @@ impl<'t> Compiler<'t> {
         if let Some(&reg) = self.cse.get(&key) {
             return reg;
         }
+        // Register discipline (dst fresh and strictly above every operand) is
+        // checked by the IR verifier after compilation rather than asserted
+        // per-emit; see `crate::analysis::verify`.
         let dst = self.fresh_reg();
         let instr = build(dst);
-        debug_assert_eq!(instr.dst(), dst);
-        debug_assert!(
-            instr.reads_below(dst, &self.arg_pool),
-            "instruction reads a register at or above its destination"
-        );
         self.instrs.push(instr);
         self.cse.insert(key, dst);
         dst
@@ -595,8 +602,7 @@ impl<'t> Compiler<'t> {
             Expr::Num(c) => self.const_reg(c.to_f64()),
             Expr::Var(v) => (0..arg_regs.len())
                 .find(|&i| arg_symbol(i) == *v)
-                .map(|i| arg_regs[i])
-                .unwrap_or_else(|| self.const_reg(f64::NAN)),
+                .map_or_else(|| self.const_reg(f64::NAN), |i| arg_regs[i]),
             Expr::Op(op, args) => {
                 let regs: Vec<u32> = args.iter().map(|a| self.inline_real(a, arg_regs)).collect();
                 self.real_op(*op, &regs)
@@ -695,7 +701,14 @@ impl<'t> Compiler<'t> {
 pub fn compile(target: &Target, expr: &FloatExpr) -> Program {
     let mut compiler = Compiler::new(target);
     let result = compiler.compile_float(expr);
-    compiler.finish(result)
+    let program = compiler.finish(result);
+    #[cfg(debug_assertions)]
+    crate::analysis::verify::assert_valid(
+        &program,
+        Some(target),
+        crate::analysis::verify::Mode::Ssa,
+    );
+    program
 }
 
 #[cfg(test)]

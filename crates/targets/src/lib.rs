@@ -25,8 +25,14 @@
 //!   scalar engine at every block width,
 //! * [`autotune`] — the cost auto-tuner that times each operator in a hot loop,
 //! * [`builtin`] — the nine target descriptions: Arith, Arith+FMA, AVX, C99,
-//!   Python, Julia, NumPy, vdt, fdlibm.
+//!   Python, Julia, NumPy, vdt, fdlibm,
+//! * [`analysis`] — the static-analysis layer over compiled programs: the IR
+//!   verifier (run after every compile in debug builds and corpus-wide in
+//!   CI), a dataflow framework hosting liveness / dead-code elimination /
+//!   register compaction / interval analysis, and the seeded mutation
+//!   harness that tests the verifier itself.
 
+pub mod analysis;
 pub mod autotune;
 pub mod block;
 pub mod builtin;
@@ -37,6 +43,7 @@ pub mod interp;
 pub mod operator;
 pub mod target;
 
+pub use analysis::{compile_optimized, optimize, OptimizeStats};
 pub use block::{BlockRegs, Columns, DEFAULT_BLOCK};
 pub use compile::{compile, Program};
 pub use costmodel::program_cost;

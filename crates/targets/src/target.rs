@@ -71,14 +71,11 @@ impl Target {
         self
     }
 
-    /// Adds an operator, returning its id.
+    /// Adds an operator, returning its id. Name uniqueness (and the other
+    /// target description rules) are checked by
+    /// [`crate::analysis::verify_target`] rather than asserted here, so
+    /// builders can be checked once when finished.
     pub fn add_operator(&mut self, op: Operator) -> OpId {
-        debug_assert!(
-            self.find_operator(&op.name).is_none(),
-            "duplicate operator {} in target {}",
-            op.name,
-            self.name
-        );
         self.operators.push(op);
         OpId(self.operators.len() as u32 - 1)
     }

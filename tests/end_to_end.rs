@@ -67,7 +67,7 @@ fn chassis_beats_herbie_transcription_on_the_vdt_target() {
         !herbie_costs.is_empty(),
         "herbie output must be portable to vdt"
     );
-    let herbie_cheapest = herbie_costs.iter().cloned().fold(f64::INFINITY, f64::min);
+    let herbie_cheapest = herbie_costs.iter().copied().fold(f64::INFINITY, f64::min);
     let chassis_cheapest = chassis_result.cheapest().cost;
     assert!(
         chassis_cheapest <= herbie_cheapest,

@@ -155,9 +155,9 @@ fn compiled_programs_preserve_the_desugaring() {
     for _ in 0..6 {
         let x = rng.range_f64(2.0, 50.0);
         let env_pairs = vec![(Symbol::new("x"), x)];
-        let truth = match ground_truth(&core.body, &env_pairs, FpType::Binary64) {
-            GroundTruth::Value(v) => v,
-            _ => continue,
+        let GroundTruth::Value(truth) = ground_truth(&core.body, &env_pairs, FpType::Binary64)
+        else {
+            continue;
         };
         let env: HashMap<Symbol, f64> = env_pairs.into_iter().collect();
         for imp in &result.implementations {

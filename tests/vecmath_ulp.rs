@@ -229,8 +229,7 @@ fn eval_libm(expr: &Expr, env: &[(Symbol, f64)]) -> f64 {
         Expr::Var(v) => env
             .iter()
             .find(|(s, _)| s == v)
-            .map(|(_, x)| *x)
-            .unwrap_or(f64::NAN),
+            .map_or(f64::NAN, |(_, x)| *x),
         Expr::Op(op, args) => {
             let vals: Vec<f64> = args.iter().map(|a| eval_libm(a, env)).collect();
             let libm1 = |a: f64| match op {
@@ -290,9 +289,8 @@ fn corpus_mean_bits_of_error_drift_vs_libm_is_noise() {
                 .iter()
                 .map(|&v| (v, log_uniform(&mut rng, -4.0, 4.0)))
                 .collect();
-            let truth = match ground_truth(&core.body, &env, FpType::Binary64) {
-                GroundTruth::Value(v) => v,
-                _ => continue,
+            let GroundTruth::Value(truth) = ground_truth(&core.body, &env, FpType::Binary64) else {
+                continue;
             };
             // Identity benchmarks (e.g. cot-difference: 1/tan − cos/sin)
             // have a true value of exactly zero: any nonzero rounding crumb
