@@ -336,7 +336,7 @@ fn measure(
         sink
     });
     // The timed bytecode and block runs use the optimized program — the one
-    // production evaluation paths execute (`targets::compile_optimized`).
+    // production evaluation paths execute (`targets::compile_with_options`).
     let bytecode_best = best_sweep(options.repeats, || {
         let mut sink = 0.0;
         for point in &rows {

@@ -8,11 +8,17 @@
 //! **bit-identical**, and reports the speedup.
 //!
 //! ```text
-//! cargo run --release -p chassis-bench --bin par_speedup -- --limit 12
+//! cargo run --release -p chassis-bench --bin par_speedup -- --limit 12 --min-speedup 2
 //! ```
 //!
 //! On a multi-core machine the parallel sweep is expected to be >= 2x faster;
 //! on a single core it reports ~1x (the parallel path degrades to one worker).
+//!
+//! `--min-speedup X` turns the report into a CI gate: exit 1 when the measured
+//! speedup lands below the floor. The floor is machine-relative — it is capped
+//! at 0.75 × the available cores, so requesting `--min-speedup 2` still gates
+//! meaningfully on a dual-core runner (effective floor 1.5) and is skipped
+//! entirely on one core, where no speedup is possible.
 
 use chassis::accuracy::mean_bits_of_error;
 use chassis::lower_fpcore;
@@ -95,8 +101,25 @@ fn best_of(target: &Target, workloads: &[Workload]) -> (Duration, Vec<f64>) {
     (best, errors)
 }
 
+/// Parses `--min-speedup X` (0 = no gate). [`HarnessOptions::from_args`]
+/// ignores flags it does not know, so the two parsers compose.
+fn min_speedup_from_args() -> f64 {
+    let args: Vec<String> = std::env::args().collect();
+    match args.iter().position(|a| a == "--min-speedup") {
+        Some(i) => args
+            .get(i + 1)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or_else(|| {
+                eprintln!("bad or missing value for --min-speedup");
+                std::process::exit(2);
+            }),
+        None => 0.0,
+    }
+}
+
 fn main() {
     let options = HarnessOptions::from_args();
+    let min_speedup = min_speedup_from_args();
     let target = builtin::by_name("c99").expect("c99 target");
     let cores = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
 
@@ -135,9 +158,9 @@ fn main() {
         "parallel ({workers} workers): {:>10.1} ms per corpus sweep",
         parallel_time.as_secs_f64() * 1e3
     );
+    let speedup = serial_time.as_secs_f64() / parallel_time.as_secs_f64().max(1e-12);
     println!(
-        "speedup: {:.2}x   accuracy numbers bit-identical: {}",
-        serial_time.as_secs_f64() / parallel_time.as_secs_f64().max(1e-12),
+        "speedup: {speedup:.2}x   accuracy numbers bit-identical: {}",
         if identical { "yes" } else { "NO" }
     );
     if !identical {
@@ -146,5 +169,18 @@ fn main() {
     }
     if cores == 1 {
         println!("(single-core machine: no speedup is expected here)");
+        if min_speedup > 0.0 {
+            println!("(--min-speedup gate skipped)");
+        }
+    } else if min_speedup > 0.0 {
+        let floor = min_speedup.min(0.75 * cores as f64);
+        if speedup < floor {
+            eprintln!(
+                "error: parallel speedup {speedup:.2}x below the floor {floor:.2}x \
+                 (requested {min_speedup:.2}x, {cores} cores)"
+            );
+            std::process::exit(1);
+        }
+        println!("gate passed: {speedup:.2}x >= {floor:.2}x");
     }
 }

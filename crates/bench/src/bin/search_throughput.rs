@@ -1,0 +1,461 @@
+//! End-to-end search throughput: corpus compiles under the serial/uniform
+//! baseline vs. the mixed-precision ground-truth engine vs. the fully
+//! parallel search — with a corpus-wide frontier bit-identity check. This is
+//! the CI perf gate for the search loop itself (the improve/regimes phases),
+//! complementing `eval_throughput` (the per-point evaluation hot path) and
+//! `par_speedup` (the accuracy-sweep primitive).
+//!
+//! Three configurations compile the same corpus at the same seed:
+//!
+//! 1. `serial_uniform` — one thread, `TruthEngine::Uniform`: the pre-parallel,
+//!    pre-adaptive baseline;
+//! 2. `serial_adaptive` — one thread, `TruthEngine::Adaptive`: isolates the
+//!    mixed-precision ground-truth win (selective re-evaluation of
+//!    non-converged nodes, cross-expression reuse, DAG balancing);
+//! 3. `parallel_adaptive` — all cores, `TruthEngine::Adaptive`: adds
+//!    intra-compilation parallelism (candidate batches, scoring, regime
+//!    sweeps) and the `compile_many` job fan-out.
+//!
+//! Every configuration must produce **bit-identical frontiers** (same
+//! programs, same costs, same error bits) on every `(benchmark, target)`
+//! cell — exit 1 otherwise. Each configuration runs the corpus twice through
+//! one session: the *cold* sweep pays sampling, ground truth, and search; the
+//! *warm* sweep replays it against the session's prepared state and populated
+//! ground-truth caches.
+//!
+//! Per-phase wall-clock (lowering/improve/regimes/final), saturation time,
+//! candidates scored, and the ground-truth cache counters are aggregated from
+//! each result's `SearchStats` and archived in `BENCH_search.json` (schema 1)
+//! with a `history` array carrying prior runs forward.
+//!
+//! Gates (machine-relative by construction — both sides of each ratio are
+//! measured in the same run on the same machine):
+//!
+//! * `--min-par-speedup X` requires cold corpus wall-clock of
+//!   `serial_adaptive` ≥ X × `parallel_adaptive` (skipped on one core);
+//! * `--min-gt-speedup X` requires ground-truth eval time of
+//!   `serial_uniform` ≥ X × `serial_adaptive`.
+//!
+//! ```text
+//! cargo run --release -p chassis-bench --bin search_throughput -- \
+//!     --limit 8 --min-par-speedup 2 --min-gt-speedup 1.5 --out BENCH_search.json
+//! ```
+
+use chassis::{par, CompilationResult, CompileError, Config, Session, TruthEngine};
+use chassis_bench::HarnessOptions;
+use fpcore::FPCore;
+use std::time::{Duration, Instant};
+use targets::{builtin, Target};
+
+/// Targets every sweep compiles for: one all-emulated (c99) and one
+/// native-arithmetic (arith-fma) target.
+const TARGETS: &[&str] = &["c99", "arith-fma"];
+
+struct Options {
+    limit: usize,
+    seed: Option<u64>,
+    thorough: bool,
+    min_par_speedup: f64,
+    min_gt_speedup: f64,
+    out: String,
+}
+
+impl Options {
+    /// Strict parsing: this binary is a CI gate, so an unknown flag or an
+    /// unparsable value aborts (exit 2) instead of silently falling back to a
+    /// default that could leave the gate disabled.
+    fn from_args() -> Options {
+        let mut options = Options {
+            limit: 8,
+            seed: None,
+            thorough: false,
+            min_par_speedup: 0.0,
+            min_gt_speedup: 0.0,
+            out: "BENCH_search.json".to_owned(),
+        };
+        let usage = "usage: search_throughput [--limit N] [--full] [--seed N] \
+                     [--thorough] [--min-par-speedup X] [--min-gt-speedup X] \
+                     [--out PATH]";
+        fn value<T: std::str::FromStr>(args: &[String], i: usize, usage: &str) -> T {
+            args.get(i + 1)
+                .and_then(|s| s.parse().ok())
+                .unwrap_or_else(|| {
+                    eprintln!("bad or missing value for {}\n{usage}", args[i]);
+                    std::process::exit(2);
+                })
+        }
+        let args: Vec<String> = std::env::args().collect();
+        let mut i = 1;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--limit" => {
+                    options.limit = value(&args, i, usage);
+                    i += 2;
+                }
+                "--full" => {
+                    options.limit = usize::MAX;
+                    i += 1;
+                }
+                "--seed" => {
+                    options.seed = Some(value(&args, i, usage));
+                    i += 2;
+                }
+                "--thorough" => {
+                    options.thorough = true;
+                    i += 1;
+                }
+                "--min-par-speedup" => {
+                    options.min_par_speedup = value(&args, i, usage);
+                    i += 2;
+                }
+                "--min-gt-speedup" => {
+                    options.min_gt_speedup = value(&args, i, usage);
+                    i += 2;
+                }
+                "--out" => {
+                    options.out = args.get(i + 1).cloned().unwrap_or_else(|| {
+                        eprintln!("missing value for --out\n{usage}");
+                        std::process::exit(2);
+                    });
+                    i += 2;
+                }
+                other => {
+                    eprintln!("unknown option {other:?}\n{usage}");
+                    std::process::exit(2);
+                }
+            }
+        }
+        options
+    }
+
+    fn config(&self) -> Config {
+        let harness = HarnessOptions {
+            limit: self.limit,
+            fast: !self.thorough,
+            seed: self.seed,
+        };
+        harness.config()
+    }
+
+    fn corpus(&self) -> Vec<FPCore> {
+        let harness = HarnessOptions {
+            limit: self.limit,
+            fast: !self.thorough,
+            seed: self.seed,
+        };
+        harness.benchmarks().iter().map(|b| b.fpcore()).collect()
+    }
+}
+
+/// Aggregated outcome of one corpus sweep configuration.
+struct Sweep {
+    label: &'static str,
+    cold: Duration,
+    warm: Duration,
+    lowering: Duration,
+    improve: Duration,
+    regimes: Duration,
+    final_evaluation: Duration,
+    saturation: Duration,
+    candidates_scored: usize,
+    gt_eval: Duration,
+    gt_node_evals: u64,
+    gt_evals_saved: u64,
+    gt_hits: usize,
+    gt_misses: usize,
+    balanced: usize,
+    rows: Vec<Vec<Result<CompilationResult, CompileError>>>,
+}
+
+fn run_sweep(
+    label: &'static str,
+    cores: &[FPCore],
+    target_list: &[Target],
+    config: Config,
+) -> Sweep {
+    let session = Session::new(config);
+    let started = Instant::now();
+    let rows = session.compile_many(cores, target_list);
+    let cold = started.elapsed();
+    let started = Instant::now();
+    let _warm_rows = session.compile_many(cores, target_list);
+    let warm = started.elapsed();
+
+    let mut sweep = Sweep {
+        label,
+        cold,
+        warm,
+        lowering: Duration::ZERO,
+        improve: Duration::ZERO,
+        regimes: Duration::ZERO,
+        final_evaluation: Duration::ZERO,
+        saturation: Duration::ZERO,
+        candidates_scored: 0,
+        gt_eval: Duration::ZERO,
+        gt_node_evals: 0,
+        gt_evals_saved: 0,
+        gt_hits: 0,
+        gt_misses: 0,
+        balanced: 0,
+        rows: Vec::new(),
+    };
+    for result in rows.iter().flatten().flatten() {
+        let s = &result.stats;
+        sweep.lowering += s.lowering;
+        sweep.improve += s.improve;
+        sweep.regimes += s.regimes;
+        sweep.final_evaluation += s.final_evaluation;
+        sweep.saturation += s.saturation;
+        sweep.candidates_scored += s.candidates_scored;
+        sweep.gt_eval += s.truths.eval_time;
+        sweep.gt_node_evals += s.truths.node_evals;
+        sweep.gt_evals_saved += s.truths.evals_saved();
+        sweep.gt_hits += s.truths.hits;
+        sweep.gt_misses += s.truths.misses;
+        sweep.balanced += s.truths.balanced;
+    }
+    sweep.rows = rows;
+    sweep
+}
+
+/// Asserts two corpus sweeps produced bit-identical frontiers everywhere.
+fn assert_identical(reference: &Sweep, other: &Sweep) -> bool {
+    let mut ok = true;
+    for (b, (row_a, row_b)) in reference.rows.iter().zip(&other.rows).enumerate() {
+        for (t, (a, b_result)) in row_a.iter().zip(row_b).enumerate() {
+            let cell = format!(
+                "benchmark {b}, target {t} ({} vs {})",
+                reference.label, other.label
+            );
+            match (a, b_result) {
+                (Ok(x), Ok(y)) => {
+                    if x.implementations.len() != y.implementations.len() {
+                        eprintln!("error: {cell}: frontier sizes differ");
+                        ok = false;
+                        continue;
+                    }
+                    for (i, j) in x.implementations.iter().zip(&y.implementations) {
+                        if i.rendered != j.rendered
+                            || i.cost.to_bits() != j.cost.to_bits()
+                            || i.error_bits.to_bits() != j.error_bits.to_bits()
+                        {
+                            eprintln!("error: {cell}: frontier point differs");
+                            ok = false;
+                        }
+                    }
+                    if x.initial.rendered != y.initial.rendered
+                        || x.initial.error_bits.to_bits() != y.initial.error_bits.to_bits()
+                    {
+                        eprintln!("error: {cell}: initial program differs");
+                        ok = false;
+                    }
+                }
+                (Err(_), Err(_)) => {}
+                _ => {
+                    eprintln!("error: {cell}: one run failed where the other succeeded");
+                    ok = false;
+                }
+            }
+        }
+    }
+    ok
+}
+
+fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+fn sweep_json(s: &Sweep) -> String {
+    format!(
+        "{{\"cold_ms\": {:.1}, \"warm_ms\": {:.1}, \"lowering_ms\": {:.1}, \
+         \"improve_ms\": {:.1}, \"regimes_ms\": {:.1}, \"final_ms\": {:.1}, \
+         \"saturation_ms\": {:.1}, \"candidates_scored\": {}, \
+         \"gt_eval_ms\": {:.1}, \"gt_node_evals\": {}, \"gt_evals_saved\": {}, \
+         \"gt_hits\": {}, \"gt_misses\": {}, \"balanced\": {}}}",
+        ms(s.cold),
+        ms(s.warm),
+        ms(s.lowering),
+        ms(s.improve),
+        ms(s.regimes),
+        ms(s.final_evaluation),
+        ms(s.saturation),
+        s.candidates_scored,
+        ms(s.gt_eval),
+        s.gt_node_evals,
+        s.gt_evals_saved,
+        s.gt_hits,
+        s.gt_misses,
+        s.balanced,
+    )
+}
+
+/// Prior history entries carried forward from an existing out file.
+fn prior_history(path: &str) -> Vec<String> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    let Some(start) = text.find("\"history\": [") else {
+        return Vec::new();
+    };
+    let rest = &text[start + "\"history\": [".len()..];
+    let Some(end) = rest.find(']') else {
+        return Vec::new();
+    };
+    rest[..end]
+        .lines()
+        .map(|line| line.trim().trim_end_matches(',').to_owned())
+        .filter(|line| line.starts_with('{'))
+        .collect()
+}
+
+fn to_json(
+    seed: u64,
+    n_benchmarks: usize,
+    cores_available: usize,
+    sweeps: &[&Sweep],
+    par_speedup: f64,
+    gt_speedup: f64,
+    history: &[String],
+) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema_version\": 1,\n");
+    out.push_str(&format!("  \"seed\": {seed},\n"));
+    out.push_str(&format!("  \"benchmarks\": {n_benchmarks},\n"));
+    let names: Vec<String> = TARGETS.iter().map(|t| format!("\"{t}\"")).collect();
+    out.push_str(&format!("  \"targets\": [{}],\n", names.join(", ")));
+    out.push_str(&format!("  \"cores\": {cores_available},\n"));
+    out.push_str("  \"runs\": {\n");
+    for (i, sweep) in sweeps.iter().enumerate() {
+        let comma = if i + 1 < sweeps.len() { "," } else { "" };
+        out.push_str(&format!(
+            "    \"{}\": {}{comma}\n",
+            sweep.label,
+            sweep_json(sweep)
+        ));
+    }
+    out.push_str("  },\n");
+    out.push_str(&format!(
+        "  \"par_speedup\": {par_speedup:.2},\n  \"gt_speedup\": {gt_speedup:.2},\n"
+    ));
+    out.push_str("  \"history\": [\n");
+    for (i, entry) in history.iter().enumerate() {
+        let comma = if i + 1 < history.len() { "," } else { "" };
+        out.push_str(&format!("    {entry}{comma}\n"));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() {
+    let options = Options::from_args();
+    let cores_list = options.corpus();
+    let target_list: Vec<Target> = TARGETS
+        .iter()
+        .map(|n| builtin::by_name(n).expect("builtin target"))
+        .collect();
+    let seed = options.config().seed;
+    let cores_available = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+    println!(
+        "{} benchmarks x {} targets, seed {seed}, {cores_available} core(s) available\n",
+        cores_list.len(),
+        target_list.len()
+    );
+
+    par::set_thread_count(1);
+    let mut config = options.config();
+    config.truth_engine = TruthEngine::Uniform;
+    let serial_uniform = run_sweep("serial_uniform", &cores_list, &target_list, config);
+
+    let mut config = options.config();
+    config.truth_engine = TruthEngine::Adaptive;
+    let serial_adaptive = run_sweep("serial_adaptive", &cores_list, &target_list, config.clone());
+
+    par::set_thread_count(0);
+    let workers = par::effective_threads(usize::MAX);
+    let parallel_adaptive = run_sweep("parallel_adaptive", &cores_list, &target_list, config);
+
+    let identical = assert_identical(&serial_uniform, &serial_adaptive)
+        & assert_identical(&serial_uniform, &parallel_adaptive);
+
+    let sweeps = [&serial_uniform, &serial_adaptive, &parallel_adaptive];
+    println!(
+        "{:<18} {:>9} {:>9} {:>9} {:>9} {:>9} {:>10} {:>12}",
+        "run", "cold ms", "warm ms", "improve", "regimes", "gt ms", "gt evals", "gt saved"
+    );
+    for s in sweeps {
+        println!(
+            "{:<18} {:>9.1} {:>9.1} {:>9.1} {:>9.1} {:>9.1} {:>10} {:>12}",
+            s.label,
+            ms(s.cold),
+            ms(s.warm),
+            ms(s.improve),
+            ms(s.regimes),
+            ms(s.gt_eval),
+            s.gt_node_evals,
+            s.gt_evals_saved,
+        );
+    }
+
+    let par_speedup =
+        serial_adaptive.cold.as_secs_f64() / parallel_adaptive.cold.as_secs_f64().max(1e-12);
+    let gt_speedup =
+        serial_uniform.gt_eval.as_secs_f64() / serial_adaptive.gt_eval.as_secs_f64().max(1e-12);
+    let end_to_end =
+        serial_uniform.cold.as_secs_f64() / parallel_adaptive.cold.as_secs_f64().max(1e-12);
+    println!(
+        "\nparallel speedup ({workers} workers): {par_speedup:.2}x   \
+         ground-truth speedup (uniform/adaptive): {gt_speedup:.2}x   \
+         end-to-end (baseline/full): {end_to_end:.2}x"
+    );
+    println!(
+        "frontiers bit-identical across engines and thread counts: {}",
+        if identical { "yes" } else { "NO" }
+    );
+
+    let mut history = prior_history(&options.out);
+    history.push(format!(
+        "{{\"schema_version\": 1, \"seed\": {seed}, \"benchmarks\": {}, \"cores\": {cores_available}, \
+         \"serial_uniform_cold_ms\": {:.1}, \"serial_adaptive_cold_ms\": {:.1}, \
+         \"parallel_adaptive_cold_ms\": {:.1}, \"par_speedup\": {par_speedup:.2}, \
+         \"gt_speedup\": {gt_speedup:.2}, \"end_to_end_speedup\": {end_to_end:.2}}}",
+        cores_list.len(),
+        ms(serial_uniform.cold),
+        ms(serial_adaptive.cold),
+        ms(parallel_adaptive.cold),
+    ));
+    let json = to_json(
+        seed,
+        cores_list.len(),
+        cores_available,
+        &sweeps,
+        par_speedup,
+        gt_speedup,
+        &history,
+    );
+    std::fs::write(&options.out, &json).expect("write BENCH_search.json");
+    println!("wrote {}", options.out);
+
+    if !identical {
+        eprintln!("error: search results changed across engines/thread counts");
+        std::process::exit(1);
+    }
+    if options.min_par_speedup > 0.0 {
+        if cores_available == 1 {
+            println!("(single core: --min-par-speedup gate skipped)");
+        } else if par_speedup < options.min_par_speedup {
+            eprintln!(
+                "error: parallel speedup {par_speedup:.2}x below the floor {:.2}x",
+                options.min_par_speedup
+            );
+            std::process::exit(1);
+        }
+    }
+    if options.min_gt_speedup > 0.0 && gt_speedup < options.min_gt_speedup {
+        eprintln!(
+            "error: ground-truth speedup {gt_speedup:.2}x below the floor {:.2}x",
+            options.min_gt_speedup
+        );
+        std::process::exit(1);
+    }
+}

@@ -1,19 +1,18 @@
-//! The compiler configuration, result types, and the deprecated one-shot
-//! [`Chassis`] entry point.
+//! The compiler configuration and result types.
 //!
 //! The pipeline itself — sampling, lowering, the improvement loop, regime
 //! inference, final evaluation — lives in [`crate::session`]: a
-//! [`Session`] prepares each benchmark once
+//! [`Session`](crate::session::Session) prepares each benchmark once
 //! (target-independent sampling + Rival ground truth) and compiles the
-//! prepared state for any number of targets. `Chassis` remains as a thin
-//! deprecated shim over that API for one release.
+//! prepared state for any number of targets. The pre-session one-shot
+//! `Chassis` entry point went through a deprecation release as a shim over
+//! that API and has been removed; see the README's migration note.
 
 use crate::improve::ImproveConfig;
 use crate::isel::IselConfig;
-use crate::sample::{SampleError, SampleSet};
-use crate::session::Session;
-use fpcore::FPCore;
-use targets::{FloatExpr, Target};
+use crate::sample::{SampleError, SampleSet, TruthEngine};
+use crate::session::SearchStats;
+use targets::FloatExpr;
 
 /// Chassis configuration.
 #[derive(Clone, Debug)]
@@ -28,6 +27,11 @@ pub struct Config {
     pub improve: ImproveConfig,
     /// Whether to run regime inference at the end.
     pub regimes: bool,
+    /// Which ground-truth engine the session's shared cache uses. Both
+    /// engines produce bit-identical truths; [`TruthEngine::Adaptive`] (the
+    /// default) re-evaluates only non-converged nodes across precision rungs
+    /// and reuses converged subexpression truths across candidates.
+    pub truth_engine: TruthEngine,
 }
 
 impl Default for Config {
@@ -38,6 +42,7 @@ impl Default for Config {
             seed: 20250413,
             improve: ImproveConfig::default(),
             regimes: true,
+            truth_engine: TruthEngine::default(),
         }
     }
 }
@@ -125,6 +130,9 @@ pub struct CompilationResult {
     pub initial: Implementation,
     /// The sampled points used during compilation.
     pub samples: SampleSet,
+    /// Per-phase wall-clock durations and search work counters for this
+    /// compile call.
+    pub stats: SearchStats,
 }
 
 impl CompilationResult {
@@ -166,74 +174,10 @@ impl CompilationResult {
     }
 }
 
-/// The one-shot Chassis compiler for one target.
-///
-/// Deprecated: every call re-runs the target-independent phases (sampling and
-/// Rival ground truth). Use a [`Session`] — prepare a
-/// benchmark once and compile it for any number of targets:
-///
-/// ```ignore
-/// let session = Session::new(config);
-/// let prepared = session.prepare(&core)?;
-/// let result = prepared.compile(&target)?;
-/// ```
-///
-/// At the same seed, `Chassis::compile` and the session path produce
-/// bit-identical results (this shim simply delegates).
-#[deprecated(
-    since = "0.2.0",
-    note = "use `Session::prepare` + `Prepared::compile`; one preparation serves many targets"
-)]
-#[derive(Clone, Debug)]
-pub struct Chassis {
-    target: Target,
-    config: Config,
-}
-
-#[allow(deprecated)]
-impl Chassis {
-    /// A compiler for `target` with the default configuration.
-    pub fn new(target: Target) -> Chassis {
-        Chassis {
-            target,
-            config: Config::default(),
-        }
-    }
-
-    /// Overrides the configuration (builder style).
-    pub fn with_config(mut self, config: Config) -> Chassis {
-        self.config = config;
-        self
-    }
-
-    /// The target this compiler produces code for.
-    pub fn target(&self) -> &Target {
-        &self.target
-    }
-
-    /// The active configuration.
-    pub fn config(&self) -> &Config {
-        &self.config
-    }
-
-    /// Compiles an FPCore benchmark to a Pareto frontier of implementations.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`CompileError::Sampling`] when no valid inputs exist and
-    /// [`CompileError::Unsupported`] when the expression cannot be expressed with
-    /// the target's operators at all.
-    pub fn compile(&self, core: &FPCore) -> Result<CompilationResult, CompileError> {
-        Session::new(self.config.clone())
-            .prepare(core)?
-            .compile(&self.target)
-    }
-}
-
 #[cfg(test)]
-#[allow(deprecated)]
 mod tests {
     use super::*;
+    use crate::session::Session;
     use fpcore::parse_fpcore;
     use targets::builtin;
 
@@ -243,9 +187,8 @@ mod tests {
             parse_fpcore("(FPCore (x) :pre (and (> x 1) (< x 1e14)) (- (sqrt (+ x 1)) (sqrt x)))")
                 .unwrap();
         let target = builtin::by_name("c99").unwrap();
-        let result = Chassis::new(target)
-            .with_config(Config::fast())
-            .compile(&core)
+        let result = Session::new(Config::fast())
+            .compile(&core, &target)
             .unwrap();
         assert!(!result.implementations.is_empty());
         // The most accurate implementation should beat the naive lowering by a
@@ -261,6 +204,11 @@ mod tests {
         let mut sorted = costs.clone();
         sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
         assert_eq!(costs, sorted);
+        // The result carries its search statistics: the improve phase did
+        // run, and its scored-candidate count includes at least the initial
+        // program.
+        assert!(result.stats.candidates_scored >= 1);
+        assert!(result.stats.improve > std::time::Duration::ZERO);
     }
 
     #[test]
@@ -268,9 +216,7 @@ mod tests {
         // sin cannot be implemented on the bare Arith target.
         let core = parse_fpcore("(FPCore (x) (sin x))").unwrap();
         let target = builtin::by_name("arith").unwrap();
-        let result = Chassis::new(target)
-            .with_config(Config::fast())
-            .compile(&core);
+        let result = Session::new(Config::fast()).compile(&core, &target);
         assert!(matches!(result, Err(CompileError::Unsupported(_))));
     }
 
@@ -278,9 +224,7 @@ mod tests {
     fn impossible_preconditions_fail_sampling() {
         let core = parse_fpcore("(FPCore (x) :pre (< x (- x 1)) (+ x 1))").unwrap();
         let target = builtin::by_name("c99").unwrap();
-        let result = Chassis::new(target)
-            .with_config(Config::fast())
-            .compile(&core);
+        let result = Session::new(Config::fast()).compile(&core, &target);
         assert!(matches!(result, Err(CompileError::Sampling(_))));
     }
 
@@ -304,6 +248,7 @@ mod tests {
             implementations: Vec::new(),
             initial,
             samples,
+            stats: SearchStats::default(),
         };
         assert_eq!(result.most_accurate().rendered, result.initial.rendered);
         assert_eq!(result.cheapest().cost, result.initial.cost);

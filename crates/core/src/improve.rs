@@ -10,11 +10,13 @@ use crate::accuracy;
 use crate::cost_opportunity::{cost_opportunities, CostOppConfig};
 use crate::isel::{InstructionSelector, IselConfig};
 use crate::local_error::{local_errors_cached, ScoredSubexpr};
+use crate::par;
 use crate::pareto::ParetoFrontier;
 use crate::sample::{GroundTruthCache, SampleSet};
 use crate::session::{Phase, Progress, SearchCtx};
 use fpcore::{FpType, Symbol};
 use std::collections::{HashMap, HashSet};
+use std::time::Instant;
 use targets::{program_cost, FloatExpr, Target};
 
 /// Configuration of the improvement loop.
@@ -159,10 +161,27 @@ pub fn improve(
 /// and the session's shared ground-truth cache feeds the local-error
 /// heuristic.
 ///
+/// Within one iteration the two expensive stages fan out over
+/// [`chassis::par`](crate::par):
+///
+/// 1. each expansion candidate's analysis (local error + cost opportunities)
+///    and instruction-selection saturation runs on its own worker, producing
+///    an ordered batch of rewritten programs;
+/// 2. the batches are flattened **in candidate order** and every new program
+///    is scored on the training points in parallel, again in order.
+///
+/// Admission to the frontier is then serial, in exactly the order the serial
+/// loop would have produced — and scoring itself is bit-identical at every
+/// thread count (the block engine guarantees this per program) — so with an
+/// unlimited budget the resulting frontier is bit-identical to [`improve`]
+/// whatever the thread count. A wall-clock budget is the one exception:
+/// whether the mid-iteration cut fires depends on machine speed (as in the
+/// serial loop), and under parallelism each candidate's worker observes the
+/// deadline independently.
+///
 /// When the budget runs out the loop stops and returns the frontier found so
 /// far — the initial program is inserted before the first iteration, so the
-/// result is never empty. With an unlimited budget the result is bit-identical
-/// to [`improve`].
+/// result is never empty.
 pub fn improve_with(
     target: &Target,
     initial: FloatExpr,
@@ -181,7 +200,9 @@ pub fn improve_with(
 
     let evaluate = |expr: &FloatExpr| -> Candidate {
         let cost = program_cost(target, expr);
-        let (error_bits, _) = accuracy::evaluate_on_train(target, expr, samples);
+        let (error_bits, _) =
+            accuracy::evaluate_on_train_with(target, expr, samples, ctx.options());
+        ctx.note_scored(1);
         Candidate {
             expr: expr.clone(),
             cost,
@@ -224,11 +245,15 @@ pub fn improve_with(
         if to_expand.is_empty() {
             break;
         }
-
-        let mut ran_out = false;
-        let mut new_candidates: Vec<Candidate> = Vec::new();
-        'expand: for candidate in &to_expand {
+        for candidate in &to_expand {
             explored.insert(candidate.expr.render(target));
+        }
+
+        // Stage 1: analyse and saturate each expansion candidate on its own
+        // worker. Each worker produces its rewritten programs in the order the
+        // serial loop would have (subexpression rank, then extraction order),
+        // and `par_map` reassembles the batches in candidate order.
+        let batches: Vec<(Vec<FloatExpr>, bool)> = par::par_map(&to_expand, |candidate| {
             let errors = local_errors_cached(target, &candidate.expr, samples, &truths);
             let opportunities =
                 cost_opportunities(target, &candidate.expr, var_types, config.cost_opp);
@@ -240,28 +265,43 @@ pub fn improve_with(
             } else {
                 chosen
             };
+            let mut programs: Vec<FloatExpr> = Vec::new();
+            let mut ran_out = false;
             for subexpr in chosen {
                 // The budget's mid-iteration cut point: each saturation run is
                 // the expensive step, so a long search degrades gracefully by
                 // keeping what this iteration already produced.
                 if ctx.out_of_time() {
                     ran_out = true;
-                    break 'expand;
+                    break;
                 }
                 let ty = subexpr.result_type(target);
                 let real = subexpr.desugar(target);
+                let started = Instant::now();
                 let result = selector.run(&real, var_types, ty);
+                ctx.note_saturation(started.elapsed());
                 for variant in result.candidates {
                     if variant == subexpr {
                         continue;
                     }
                     if let Some(new_program) = replace_subexpr(&candidate.expr, &subexpr, &variant)
                     {
-                        new_candidates.push(evaluate(&new_program));
+                        programs.push(new_program);
                     }
                 }
             }
-        }
+            (programs, ran_out)
+        });
+        let ran_out = batches.iter().any(|(_, cut)| *cut);
+        let new_programs: Vec<FloatExpr> = batches
+            .into_iter()
+            .flat_map(|(programs, _)| programs)
+            .collect();
+
+        // Stage 2: score every rewritten program in parallel (cost model +
+        // training error on the block engine), then admit serially in the
+        // deterministic flattened order.
+        let new_candidates: Vec<Candidate> = par::par_map(&new_programs, |p| evaluate(p));
         for candidate in new_candidates {
             admit(&mut frontier, candidate);
         }

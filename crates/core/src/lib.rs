@@ -25,8 +25,7 @@
 //! * [`session`] — the public [`Session`]/[`Prepared`] API: prepare a
 //!   benchmark once (sampling + ground truth), compile it for many targets,
 //!   observe the search ([`Progress`]) and bound it ([`Budget`]),
-//! * [`compiler`] — configuration and result types, plus the deprecated
-//!   one-shot `Chassis` shim,
+//! * [`compiler`] — configuration and result types,
 //! * [`baseline`] — the Herbie-style and Clang-style baselines used in the
 //!   evaluation.
 //!
@@ -78,13 +77,11 @@ pub mod sample;
 pub mod session;
 pub mod typed_extract;
 
-#[allow(deprecated)]
-pub use compiler::Chassis;
 pub use compiler::{CompilationResult, CompileError, Config, Implementation};
 pub use isel::{InstructionSelector, IselConfig, IselResult};
 pub use lower::{lower_fpcore, DirectLowering, LowerError};
 pub use pareto::ParetoFrontier;
-pub use sample::{GroundTruthCache, SampleSet, Sampler};
+pub use sample::{GroundTruthCache, SampleSet, Sampler, TruthEngine, TruthStats};
 pub use session::{
-    Budget, Phase, Prepared, Progress, ProgressFn, SearchControl, SearchCtx, Session,
+    Budget, Phase, Prepared, Progress, ProgressFn, SearchControl, SearchCtx, SearchStats, Session,
 };

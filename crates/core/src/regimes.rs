@@ -9,11 +9,12 @@
 //! most accurate known program by a meaningful margin.
 
 use crate::improve::Candidate;
+use crate::par;
 use crate::pareto::ParetoFrontier;
 use crate::sample::SampleSet;
 use crate::session::{Phase, Progress, SearchCtx};
 use fpcore::RealOp;
-use targets::{program_cost, FloatExpr, Target};
+use targets::{program_cost, CompileOptions, FloatExpr, Target};
 
 /// Minimum improvement (mean bits of error) required to keep a branch.
 const MIN_IMPROVEMENT_BITS: f64 = 0.5;
@@ -21,14 +22,20 @@ const MIN_IMPROVEMENT_BITS: f64 = 0.5;
 /// Per-point training errors of one candidate, computed on the block engine
 /// (one bytecode compilation per candidate, one instruction dispatch per
 /// block of points).
-fn per_point_errors(target: &Target, expr: &FloatExpr, samples: &SampleSet) -> Vec<f64> {
-    crate::accuracy::per_point_errors(
+fn per_point_errors(
+    target: &Target,
+    expr: &FloatExpr,
+    samples: &SampleSet,
+    options: &CompileOptions,
+) -> Vec<f64> {
+    crate::accuracy::per_point_errors_with(
         target,
         expr,
         &samples.vars,
         &samples.train,
         &samples.train_truth,
         samples.output_type,
+        options,
     )
 }
 
@@ -61,11 +68,20 @@ pub fn infer_regimes(
 }
 
 /// [`infer_regimes`] under a [`SearchCtx`]: the wall-clock budget is checked
-/// once before the per-candidate error sweeps (which then run to completion —
-/// each is one parallel pass over the training points) and again before each
+/// once before the per-candidate error sweeps and again at the start of each
 /// variable's threshold scan, so an exhausted budget returns the best split
 /// found so far (or `None`) instead of finishing the scan. With an unlimited
 /// budget this is [`infer_regimes`] exactly.
+///
+/// Both expensive stages fan out over [`chassis::par`](crate::par):
+///
+/// 1. each candidate's per-point error sweep (one bytecode compilation plus a
+///    pass over the training points) runs on its own worker, results in
+///    candidate order;
+/// 2. each variable's threshold scan runs on its own worker, and the
+///    per-variable winners are folded **in variable order** with the same
+///    strict `<` the serial scan uses, so the selected split (and its
+///    tie-breaking) is bit-identical to the serial scan at any thread count.
 pub fn infer_regimes_with(
     target: &Target,
     frontier: &ParetoFrontier<Candidate>,
@@ -83,28 +99,30 @@ pub fn infer_regimes_with(
         });
         return None;
     }
-    // Cache per-point errors for every candidate (the expensive part).
-    let errors: Vec<Vec<f64>> = candidates
-        .iter()
-        .map(|c| per_point_errors(target, &c.expr, samples))
-        .collect();
+    // Cache per-point errors for every candidate (the expensive part), one
+    // candidate per worker.
+    let errors: Vec<Vec<f64>> = par::par_map(&candidates, |c| {
+        per_point_errors(target, &c.expr, samples, ctx.options())
+    });
     let baseline = frontier.most_accurate()?;
     let baseline_error = baseline.1;
 
-    let mut best: Option<(FloatExpr, f64, f64)> = None;
-    for (var_idx, var) in samples.vars.iter().enumerate() {
+    // One independent threshold scan per variable. Each scan returns the
+    // variable's best split under the serial scan's order (first strictly
+    // better in (threshold, low, high) order wins), plus whether it was
+    // skipped entirely because the budget expired before it started.
+    type VarScan = (Option<(FloatExpr, f64, f64)>, bool);
+    let scans: Vec<VarScan> = par::par_map_range(samples.vars.len(), |var_idx| {
         if ctx.out_of_time() {
-            ctx.emit(Progress::BudgetExhausted {
-                phase: Phase::Regimes,
-                iterations_completed: var_idx,
-            });
-            return best;
+            return (None, true);
         }
-        // The columnar layout hands us the variable's training values as one
-        // contiguous slice — both for the threshold quantiles and the split
-        // scan below.
+        let var = &samples.vars[var_idx];
+        // The columnar layout hands us the variable's training values as
+        // one contiguous slice — both for the threshold quantiles and the
+        // split scan below.
         let column = samples.train.col(var_idx);
         let mut values: Vec<f64> = column.to_vec();
+        let mut best: Option<(FloatExpr, f64, f64)> = None;
         for threshold in candidate_thresholds(&mut values) {
             for (i, low_candidate) in candidates.iter().enumerate() {
                 for (j, high_candidate) in candidates.iter().enumerate() {
@@ -140,6 +158,31 @@ pub fn infer_regimes_with(
                 }
             }
         }
+        (best, false)
+    });
+
+    // Fold the per-variable winners in variable order with the same strict
+    // comparison, reproducing the serial scan's tie-breaking exactly.
+    let mut best: Option<(FloatExpr, f64, f64)> = None;
+    let mut completed = 0usize;
+    let mut cut_short = false;
+    for (scan, skipped) in scans {
+        if skipped {
+            cut_short = true;
+            continue;
+        }
+        completed += 1;
+        if let Some((branched, cost, mean)) = scan {
+            if best.as_ref().is_none_or(|(_, _, e)| mean < *e) {
+                best = Some((branched, cost, mean));
+            }
+        }
+    }
+    if cut_short {
+        ctx.emit(Progress::BudgetExhausted {
+            phase: Phase::Regimes,
+            iterations_completed: completed,
+        });
     }
     best
 }

@@ -9,10 +9,12 @@
 use crate::par;
 use crate::rng::Rng;
 use fpcore::{FPCore, FpType, Symbol};
-use rival::{Evaluator, GroundTruth};
+use rival::adaptive::{ExactRow, NodeIndex};
+use rival::{balance_if_deep, Evaluator, GroundTruth};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::Duration;
 use targets::Columns;
 
 /// A set of sampled points with their ground-truth results.
@@ -251,6 +253,72 @@ impl Sampler {
     }
 }
 
+/// Which ground-truth evaluation engine a [`GroundTruthCache`] uses on a
+/// cache miss. Both produce bit-identical [`GroundTruth`]s; they differ only
+/// in how much work they do to get there.
+#[derive(Clone, Copy, Default, PartialEq, Eq, Debug)]
+pub enum TruthEngine {
+    /// Re-evaluate the whole expression at every rung of the precision
+    /// ladder (the classic Rival loop). Kept as the reference engine.
+    Uniform,
+    /// Reval-style mixed precision: per-node convergence tracking, so only
+    /// nodes that have not converged are re-evaluated at higher rungs;
+    /// converged subexpression values are reused across candidates,
+    /// iterations, and targets; deep associative chains are rebalanced
+    /// before evaluation (with fallback to the original tree whenever the
+    /// balanced evaluation does not produce a definite value).
+    #[default]
+    Adaptive,
+}
+
+/// Work counters for a [`GroundTruthCache`] — the observable effect of the
+/// memo, the adaptive engine, and DAG balancing.
+#[derive(Clone, Copy, Default, PartialEq, Eq, Debug)]
+pub struct TruthStats {
+    /// Requests answered from the memo.
+    pub hits: usize,
+    /// Requests that ran a Rival sweep.
+    pub misses: usize,
+    /// Interval node evaluations performed by the adaptive engine.
+    pub node_evals: u64,
+    /// Node evaluations skipped because the node had converged at a lower
+    /// rung of the same point evaluation.
+    pub node_reuses: u64,
+    /// Node evaluations skipped because a value converged during an earlier
+    /// candidate/iteration/target applied (the cross-expression store).
+    pub node_seeds: u64,
+    /// Expressions evaluated through a depth-balanced tree.
+    pub balanced: usize,
+    /// Balanced point evaluations that fell back to the original tree.
+    pub fallbacks: usize,
+    /// Wall-clock spent inside Rival sweeps (summed across concurrent
+    /// sweeps, so this can exceed elapsed time on multi-core).
+    pub eval_time: Duration,
+}
+
+impl TruthStats {
+    /// Node evaluations avoided by convergence tracking and the
+    /// cross-expression store.
+    pub fn evals_saved(&self) -> u64 {
+        self.node_reuses + self.node_seeds
+    }
+
+    /// The counters accumulated since an earlier snapshot of the same cache.
+    #[must_use]
+    pub fn since(&self, earlier: &TruthStats) -> TruthStats {
+        TruthStats {
+            hits: self.hits - earlier.hits,
+            misses: self.misses - earlier.misses,
+            node_evals: self.node_evals - earlier.node_evals,
+            node_reuses: self.node_reuses - earlier.node_reuses,
+            node_seeds: self.node_seeds - earlier.node_seeds,
+            balanced: self.balanced - earlier.balanced,
+            fallbacks: self.fallbacks - earlier.fallbacks,
+            eval_time: self.eval_time.saturating_sub(earlier.eval_time),
+        }
+    }
+}
+
 /// A memo of Rival ground truths over **one fixed point set**, keyed by
 /// `(real expression, output type)`.
 ///
@@ -265,6 +333,13 @@ impl Sampler {
 /// The cache owns its point columns: it can only ever be asked about the
 /// point set it was built for, so a memoized answer is always the answer the
 /// uncached evaluation would have produced — bit for bit.
+///
+/// With the default [`TruthEngine::Adaptive`] engine, a miss additionally
+/// consults (and feeds) a store of *converged subexpression values*: a node
+/// whose enclosure collapsed to an exact point during any earlier sweep is
+/// never re-derived, even inside a different candidate expression. The reuse
+/// rule is restricted to cases where the substitution is provably
+/// bit-identical to uniform evaluation (see [`rival::adaptive`]).
 #[derive(Clone)]
 pub struct GroundTruthCache {
     inner: Arc<GroundTruthCacheInner>,
@@ -278,28 +353,64 @@ type TruthCell = Arc<std::sync::OnceLock<Arc<Vec<GroundTruth>>>>;
 /// path looks up with a borrowed `&Expr` — no AST clone per request.
 type TruthMemo = HashMap<fpcore::Expr, HashMap<FpType, TruthCell>>;
 
+/// Minimum tree depth before a cache miss evaluates a balanced clone of the
+/// expression instead of the original (shallow trees gain nothing, and the
+/// threshold keeps the rewrite off the typical corpus expression).
+const BALANCE_MIN_DEPTH: usize = 9;
+
 struct GroundTruthCacheInner {
     /// Same precision ladder the uncached local-error path used, so cached
     /// results (including which points are `Unsamplable`) are bit-identical.
     evaluator: Evaluator,
+    engine: TruthEngine,
     vars: Vec<Symbol>,
     points: Columns,
     memo: Mutex<TruthMemo>,
+    /// Converged subexpression values, keyed by subtree: for each cached
+    /// point, the first ladder precision at which the node collapsed to an
+    /// exact value, and that value. Shared across candidate expressions.
+    exact: Mutex<HashMap<fpcore::Expr, ExactRow>>,
     hits: AtomicUsize,
     misses: AtomicUsize,
+    node_evals: AtomicU64,
+    node_reuses: AtomicU64,
+    node_seeds: AtomicU64,
+    balanced: AtomicUsize,
+    fallbacks: AtomicUsize,
+    eval_nanos: AtomicU64,
 }
 
 impl GroundTruthCache {
-    /// A cache over an explicit point set.
+    /// A cache over an explicit point set, using the default
+    /// ([`TruthEngine::Adaptive`]) engine.
     pub fn new(vars: Vec<Symbol>, points: Columns) -> GroundTruthCache {
+        GroundTruthCache::with_engine(vars, points, TruthEngine::default())
+    }
+
+    /// A cache over an explicit point set with an explicit evaluation engine
+    /// (the uniform engine is kept for reference measurements and
+    /// differential testing).
+    pub fn with_engine(
+        vars: Vec<Symbol>,
+        points: Columns,
+        engine: TruthEngine,
+    ) -> GroundTruthCache {
         GroundTruthCache {
             inner: Arc::new(GroundTruthCacheInner {
                 evaluator: Evaluator::with_precisions(vec![96, 192, 384]),
+                engine,
                 vars,
                 points,
                 memo: Mutex::new(HashMap::new()),
+                exact: Mutex::new(HashMap::new()),
                 hits: AtomicUsize::new(0),
                 misses: AtomicUsize::new(0),
+                node_evals: AtomicU64::new(0),
+                node_reuses: AtomicU64::new(0),
+                node_seeds: AtomicU64::new(0),
+                balanced: AtomicUsize::new(0),
+                fallbacks: AtomicUsize::new(0),
+                eval_nanos: AtomicU64::new(0),
             }),
         }
     }
@@ -307,12 +418,22 @@ impl GroundTruthCache {
     /// A cache over the training points of a sample set (what the improve
     /// loop's heuristics evaluate on).
     pub fn for_training(samples: &SampleSet) -> GroundTruthCache {
-        GroundTruthCache::new(samples.vars.clone(), samples.train.clone())
+        GroundTruthCache::for_training_with(samples, TruthEngine::default())
+    }
+
+    /// Like [`GroundTruthCache::for_training`] with an explicit engine.
+    pub fn for_training_with(samples: &SampleSet, engine: TruthEngine) -> GroundTruthCache {
+        GroundTruthCache::with_engine(samples.vars.clone(), samples.train.clone(), engine)
     }
 
     /// The point columns this cache answers for.
     pub fn points(&self) -> &Columns {
         &self.inner.points
+    }
+
+    /// The engine used on cache misses.
+    pub fn engine(&self) -> TruthEngine {
+        self.inner.engine
     }
 
     /// Ground truth of `expr` in representation `ty` at every cached point, in
@@ -340,15 +461,16 @@ impl GroundTruthCache {
         let inner = &*self.inner;
         let truths = cell.get_or_init(|| {
             computed = true;
-            Arc::new(par::par_map_range(inner.points.len(), |i| {
-                let env: Vec<(Symbol, f64)> = inner
-                    .vars
-                    .iter()
-                    .enumerate()
-                    .map(|(v, sym)| (*sym, inner.points.value(i, v)))
-                    .collect();
-                inner.evaluator.eval(expr, &env, ty)
-            }))
+            let start = std::time::Instant::now();
+            let result = match inner.engine {
+                TruthEngine::Uniform => self.sweep_uniform(expr, ty),
+                TruthEngine::Adaptive => self.sweep_adaptive(expr, ty),
+            };
+            #[allow(clippy::cast_possible_truncation)]
+            inner
+                .eval_nanos
+                .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            Arc::new(result)
         });
         if computed {
             self.inner.misses.fetch_add(1, Ordering::Relaxed);
@@ -358,12 +480,118 @@ impl GroundTruthCache {
         Arc::clone(truths)
     }
 
+    /// The classic whole-expression precision-escalation sweep.
+    fn sweep_uniform(&self, expr: &fpcore::Expr, ty: FpType) -> Vec<GroundTruth> {
+        let inner = &*self.inner;
+        par::par_map_range(inner.points.len(), |i| {
+            inner.evaluator.eval(expr, &self.env_at(i), ty)
+        })
+    }
+
+    /// The mixed-precision sweep: per-node convergence tracking, seeded from
+    /// (and harvesting into) the cross-expression store of converged
+    /// subexpression values, over a depth-balanced tree when the expression
+    /// is deep enough to profit.
+    ///
+    /// Bit identity with [`GroundTruthCache::sweep_uniform`]: node reuse and
+    /// seeding are restricted to provably precision-independent values (see
+    /// [`rival::adaptive`]), and a balanced evaluation is only trusted when
+    /// it produces a definite [`GroundTruth::Value`] — `Nan`/`Unsamplable`
+    /// classifications always come from the original tree.
+    fn sweep_adaptive(&self, expr: &fpcore::Expr, ty: FpType) -> Vec<GroundTruth> {
+        let inner = &*self.inner;
+        let balanced = balance_if_deep(expr, BALANCE_MIN_DEPTH);
+        if balanced.is_some() {
+            inner.balanced.fetch_add(1, Ordering::Relaxed);
+        }
+        let eval_expr = balanced.as_ref().unwrap_or(expr);
+        let index = NodeIndex::build(eval_expr);
+        // Snapshot the store rows for every non-trivial node up front; the
+        // sweep must not hold the lock. Rows are indexed by node id.
+        let seeds: Vec<Option<ExactRow>> = {
+            let store = self.inner.exact.lock().expect("exact store poisoned");
+            (0..index.len())
+                .map(|id| match index.node(id) {
+                    fpcore::Expr::Num(_) | fpcore::Expr::Var(_) => None,
+                    node => store.get(node).cloned(),
+                })
+                .collect()
+        };
+        let outcomes = par::par_map_range(inner.points.len(), |i| {
+            let env = self.env_at(i);
+            let outcome = inner.evaluator.eval_adaptive(&index, &env, ty, &seeds, i);
+            // A balanced tree converging to a value is the same correctly
+            // rounded value the original converges to (the rewrite is
+            // real-equivalent); anything else is decided by the original.
+            let fell_back = balanced.is_some() && !matches!(outcome.truth, GroundTruth::Value(_));
+            let truth = if fell_back {
+                inner.evaluator.eval(expr, &env, ty)
+            } else {
+                outcome.truth
+            };
+            (truth, outcome.exact, outcome.stats, fell_back)
+        });
+        let mut truths = Vec::with_capacity(outcomes.len());
+        let mut store = self.inner.exact.lock().expect("exact store poisoned");
+        for (i, (truth, exact, stats, fell_back)) in outcomes.into_iter().enumerate() {
+            truths.push(truth);
+            inner
+                .node_evals
+                .fetch_add(stats.node_evals, Ordering::Relaxed);
+            inner
+                .node_reuses
+                .fetch_add(stats.node_reuses, Ordering::Relaxed);
+            inner
+                .node_seeds
+                .fetch_add(stats.node_seeds, Ordering::Relaxed);
+            if fell_back {
+                inner.fallbacks.fetch_add(1, Ordering::Relaxed);
+            }
+            for (id, prec, value) in exact {
+                let row = store
+                    .entry(index.node(id).clone())
+                    .or_insert_with(|| vec![None; inner.points.len()]);
+                // Keep the earliest-converging entry (usable at more rungs);
+                // the values are necessarily equal.
+                if row[i].as_ref().is_none_or(|(p, _)| *p > prec) {
+                    row[i] = Some((prec, value));
+                }
+            }
+        }
+        truths
+    }
+
+    fn env_at(&self, i: usize) -> Vec<(Symbol, f64)> {
+        self.inner
+            .vars
+            .iter()
+            .enumerate()
+            .map(|(v, sym)| (*sym, self.inner.points.value(i, v)))
+            .collect()
+    }
+
     /// `(hits, misses)` so far — misses are actual Rival evaluations.
     pub fn stats(&self) -> (usize, usize) {
         (
             self.inner.hits.load(Ordering::Relaxed),
             self.inner.misses.load(Ordering::Relaxed),
         )
+    }
+
+    /// Full work counters, including the adaptive engine's node-level
+    /// savings and total in-sweep wall-clock.
+    pub fn truth_stats(&self) -> TruthStats {
+        let inner = &*self.inner;
+        TruthStats {
+            hits: inner.hits.load(Ordering::Relaxed),
+            misses: inner.misses.load(Ordering::Relaxed),
+            node_evals: inner.node_evals.load(Ordering::Relaxed),
+            node_reuses: inner.node_reuses.load(Ordering::Relaxed),
+            node_seeds: inner.node_seeds.load(Ordering::Relaxed),
+            balanced: inner.balanced.load(Ordering::Relaxed),
+            fallbacks: inner.fallbacks.load(Ordering::Relaxed),
+            eval_time: Duration::from_nanos(inner.eval_nanos.load(Ordering::Relaxed)),
+        }
     }
 }
 
@@ -405,6 +633,115 @@ mod tests {
         let narrow = cache.ground_truths(&expr, FpType::Binary32);
         assert_eq!(narrow.len(), samples.train.len());
         assert_eq!(cache.stats(), (1, 2));
+    }
+
+    #[test]
+    fn adaptive_engine_matches_uniform_engine_bit_for_bit() {
+        let core = parse_fpcore(
+            "(FPCore (x y) :pre (and (> x 1) (< x 1e6) (> y 0) (< y 1)) \
+             (- (sqrt (+ x 1)) (sqrt x)))",
+        )
+        .unwrap();
+        let samples = Sampler::new(33).sample(&core, 24, 4).unwrap();
+        let uniform = GroundTruthCache::for_training_with(&samples, TruthEngine::Uniform);
+        let adaptive = GroundTruthCache::for_training_with(&samples, TruthEngine::Adaptive);
+        for src in [
+            "(- (sqrt (+ x 1)) (sqrt x))",
+            "(/ 1 (+ (sqrt (+ x 1)) (sqrt x)))",
+            "(* y (- (sqrt (+ x 1)) (sqrt x)))",
+            "(+ (+ (+ (+ x y) (* x y)) (/ x y)) (- x y))",
+            "(exp (- (log x) (log (+ x 1))))",
+            "(if (< x y) (/ x y) (/ y x))",
+        ] {
+            let expr = fpcore::parse_expr(src).unwrap();
+            assert_eq!(
+                *uniform.ground_truths(&expr, FpType::Binary64),
+                *adaptive.ground_truths(&expr, FpType::Binary64),
+                "engines disagree on {src}"
+            );
+        }
+        let stats = adaptive.truth_stats();
+        assert!(
+            stats.evals_saved() > 0,
+            "the adaptive engine should have reused work: {stats:?}"
+        );
+        assert!(
+            stats.node_seeds > 0,
+            "shared subtrees across candidates should have seeded: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn deep_chains_balance_and_still_match_uniform() {
+        let core = parse_fpcore("(FPCore (x) :pre (and (> x 0.1) (< x 10)) (+ x 1))").unwrap();
+        let samples = Sampler::new(5).sample(&core, 12, 2).unwrap();
+        let uniform = GroundTruthCache::for_training_with(&samples, TruthEngine::Uniform);
+        let adaptive = GroundTruthCache::for_training_with(&samples, TruthEngine::Adaptive);
+        // A 12-term alternating chain: depth 13 triggers the balancer.
+        let mut src = "x".to_string();
+        for i in 0..12 {
+            src = if i % 2 == 0 {
+                format!("(+ {src} (* x x))")
+            } else {
+                format!("(- {src} (/ x 3))")
+            };
+        }
+        let expr = fpcore::parse_expr(&src).unwrap();
+        assert_eq!(
+            *uniform.ground_truths(&expr, FpType::Binary64),
+            *adaptive.ground_truths(&expr, FpType::Binary64)
+        );
+        let stats = adaptive.truth_stats();
+        assert_eq!(stats.balanced, 1, "the deep chain must have balanced");
+    }
+
+    #[test]
+    fn concurrent_cache_requests_return_identical_results() {
+        let core = parse_fpcore("(FPCore (x) :pre (and (> x 0) (< x 100)) (sqrt x))").unwrap();
+        let samples = Sampler::new(9).sample(&core, 16, 2).unwrap();
+        let cache = GroundTruthCache::for_training(&samples);
+        let exprs: Vec<fpcore::Expr> = [
+            "(sqrt x)",
+            "(/ x (sqrt x))",
+            "(exp (* 0.5 (log x)))",
+            "(* (sqrt x) 1)",
+        ]
+        .iter()
+        .map(|s| fpcore::parse_expr(s).unwrap())
+        .collect();
+        // Hammer the same cache from many threads, every thread asking for
+        // every expression; all answers for one expression must be the same
+        // Arc (computed once) and equal to a fresh reference cache's.
+        let results: Vec<Vec<Arc<Vec<GroundTruth>>>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..8)
+                .map(|t| {
+                    let cache = cache.clone();
+                    let exprs = &exprs;
+                    scope.spawn(move || {
+                        let mut out = Vec::new();
+                        // Stagger request order per thread.
+                        for i in 0..exprs.len() {
+                            let e = &exprs[(i + t) % exprs.len()];
+                            out.push(cache.ground_truths(e, FpType::Binary64));
+                        }
+                        out
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let reference = GroundTruthCache::for_training(&samples);
+        for per_thread in &results {
+            for truths in per_thread {
+                let matching = exprs
+                    .iter()
+                    .find(|e| *reference.ground_truths(e, FpType::Binary64) == **truths);
+                assert!(matching.is_some(), "a concurrent result matched no expr");
+            }
+        }
+        let (hits, misses) = cache.stats();
+        assert_eq!(misses, exprs.len(), "each expression swept exactly once");
+        assert_eq!(hits + misses, 8 * exprs.len());
     }
 
     #[test]

@@ -38,10 +38,10 @@ use crate::regimes::infer_regimes_with;
 use crate::sample::{GroundTruthCache, SampleSet, Sampler};
 use fpcore::{FPCore, FpType, Symbol};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
-use targets::{program_cost, FloatExpr, Target};
+use targets::{program_cost, CompileOptions, FloatExpr, Target};
 
 /// The phases of one compilation, reported through [`Progress`].
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -85,6 +85,13 @@ pub enum Progress {
         /// Which phase.
         phase: Phase,
     },
+    /// A compilation phase finished.
+    PhaseFinished {
+        /// Which phase.
+        phase: Phase,
+        /// Wall-clock time the phase took.
+        duration: Duration,
+    },
     /// The improvement loop started an iteration.
     ImproveIteration {
         /// Zero-based iteration index.
@@ -126,6 +133,36 @@ pub enum Progress {
         /// Aggregate slab height after dead-code elimination + compaction.
         regs_compacted: usize,
     },
+}
+
+/// Work and timing summary of one `compile` call, carried on
+/// [`CompilationResult::stats`](crate::CompilationResult).
+///
+/// The per-phase durations are wall-clock times of the phases reported
+/// through [`Progress::PhaseFinished`]; `saturation` and `candidates_scored`
+/// aggregate the improve loop's inner work across all worker threads (so
+/// under parallelism `saturation` can exceed `improve`); `truths` is the
+/// ground-truth cache's work delta attributable to this call —
+/// [`TruthStats::evals_saved`](crate::TruthStats::evals_saved) on it reports
+/// how many node evaluations the mixed-precision engine avoided.
+#[derive(Clone, Copy, Default, PartialEq, Debug)]
+pub struct SearchStats {
+    /// Wall-clock time of the lowering phase.
+    pub lowering: Duration,
+    /// Wall-clock time of the improvement loop.
+    pub improve: Duration,
+    /// Wall-clock time of regime inference (zero when disabled).
+    pub regimes: Duration,
+    /// Wall-clock time of final evaluation plus verification.
+    pub final_evaluation: Duration,
+    /// Total time inside instruction-selection saturation runs, summed
+    /// across workers.
+    pub saturation: Duration,
+    /// Candidate programs scored on the training points.
+    pub candidates_scored: usize,
+    /// Ground-truth cache work attributable to this call (shared caches
+    /// subtract a snapshot taken when the call began).
+    pub truths: crate::sample::TruthStats,
 }
 
 /// A resource bound on one `compile` call.
@@ -199,6 +236,7 @@ pub type ProgressFn<'a> = dyn Fn(&Progress) + Sync + 'a;
 pub struct SearchControl<'a> {
     progress: Option<&'a ProgressFn<'a>>,
     budget: Budget,
+    options: CompileOptions,
 }
 
 impl<'a> SearchControl<'a> {
@@ -219,9 +257,24 @@ impl<'a> SearchControl<'a> {
         self
     }
 
+    /// Installs the [`CompileOptions`] used everywhere the search compiles an
+    /// expression to an executable program (candidate scoring, regime error
+    /// sweeps, final evaluation). All options preserve bit identity of
+    /// evaluation results; [`VerifyMode::Never`](targets::VerifyMode) also
+    /// skips the final-implementation verification pass.
+    pub fn with_compile_options(mut self, options: CompileOptions) -> SearchControl<'a> {
+        self.options = options;
+        self
+    }
+
     /// The configured budget.
     pub fn budget(&self) -> Budget {
         self.budget
+    }
+
+    /// The configured compile options.
+    pub fn compile_options(&self) -> CompileOptions {
+        self.options
     }
 }
 
@@ -230,6 +283,7 @@ impl std::fmt::Debug for SearchControl<'_> {
         f.debug_struct("SearchControl")
             .field("progress", &self.progress.map(|_| "<observer>"))
             .field("budget", &self.budget)
+            .field("options", &self.options)
             .finish()
     }
 }
@@ -246,6 +300,13 @@ pub struct SearchCtx<'a> {
     deadline: Option<Instant>,
     max_iterations: Option<usize>,
     truths: Option<GroundTruthCache>,
+    options: CompileOptions,
+    /// Wall-clock nanoseconds spent inside instruction-selection saturation
+    /// runs, summed across workers (hence atomic: the improve loop saturates
+    /// candidate batches in parallel).
+    saturation_nanos: AtomicU64,
+    /// Candidate programs scored on the training points.
+    candidates_scored: AtomicUsize,
 }
 
 impl<'a> SearchCtx<'a> {
@@ -261,6 +322,9 @@ impl<'a> SearchCtx<'a> {
                 .and_then(|d| Instant::now().checked_add(d)),
             max_iterations: ctl.budget.max_iterations,
             truths,
+            options: ctl.options,
+            saturation_nanos: AtomicU64::new(0),
+            candidates_scored: AtomicUsize::new(0),
         }
     }
 
@@ -271,6 +335,9 @@ impl<'a> SearchCtx<'a> {
             deadline: None,
             max_iterations: None,
             truths: None,
+            options: CompileOptions::default(),
+            saturation_nanos: AtomicU64::new(0),
+            candidates_scored: AtomicUsize::new(0),
         }
     }
 
@@ -295,6 +362,34 @@ impl<'a> SearchCtx<'a> {
     /// The session-shared Rival ground-truth cache, if compiling under one.
     pub fn truths(&self) -> Option<&GroundTruthCache> {
         self.truths.as_ref()
+    }
+
+    /// The [`CompileOptions`] every search-internal compilation should use.
+    pub fn options(&self) -> &CompileOptions {
+        &self.options
+    }
+
+    /// Records wall-clock time spent in one instruction-selection saturation
+    /// run (callable from any worker thread).
+    pub fn note_saturation(&self, elapsed: Duration) {
+        self.saturation_nanos
+            .fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Records `n` candidate programs scored on the training points.
+    pub fn note_scored(&self, n: usize) {
+        self.candidates_scored.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Total wall-clock time spent in saturation runs so far (summed across
+    /// workers, so under parallelism this can exceed elapsed time).
+    pub fn saturation_time(&self) -> Duration {
+        Duration::from_nanos(self.saturation_nanos.load(Ordering::Relaxed))
+    }
+
+    /// Candidate programs scored on the training points so far.
+    pub fn candidates_scored(&self) -> usize {
+        self.candidates_scored.load(Ordering::Relaxed)
     }
 }
 
@@ -367,15 +462,26 @@ impl Prepared {
     ) -> Result<CompilationResult, CompileError> {
         let inner = &*self.inner;
         let ctx = SearchCtx::start(ctl, Some(inner.truths.clone()));
+        // The cache is shared by every compile of this preparation, so the
+        // delta is this call's attribution; under `compile_many` concurrent
+        // jobs overlap and the split between them is approximate.
+        let truths_before = inner.truths.truth_stats();
 
         ctx.emit(Progress::PhaseStarted {
             phase: Phase::Lowering,
         });
+        let phase_started = Instant::now();
         let initial = initial_program(target, &inner.core, &inner.config)?;
+        let lowering_time = phase_started.elapsed();
+        ctx.emit(Progress::PhaseFinished {
+            phase: Phase::Lowering,
+            duration: lowering_time,
+        });
 
         ctx.emit(Progress::PhaseStarted {
             phase: Phase::Improve,
         });
+        let phase_started = Instant::now();
         let mut frontier = improve_with(
             target,
             initial.clone(),
@@ -384,11 +490,18 @@ impl Prepared {
             &inner.config.improve,
             &ctx,
         );
+        let improve_time = phase_started.elapsed();
+        ctx.emit(Progress::PhaseFinished {
+            phase: Phase::Improve,
+            duration: improve_time,
+        });
 
+        let mut regimes_time = Duration::ZERO;
         if inner.config.regimes {
             ctx.emit(Progress::PhaseStarted {
                 phase: Phase::Regimes,
             });
+            let phase_started = Instant::now();
             if let Some((branched, cost, err)) =
                 infer_regimes_with(target, &frontier, &inner.samples, &ctx)
             {
@@ -406,51 +519,84 @@ impl Prepared {
                     },
                 );
             }
+            regimes_time = phase_started.elapsed();
+            ctx.emit(Progress::PhaseFinished {
+                phase: Phase::Regimes,
+                duration: regimes_time,
+            });
         }
 
-        // Final evaluation on the held-out test points.
+        // Final evaluation on the held-out test points, one frontier program
+        // per worker (scoring compiles and sweeps the test batch; results are
+        // bit-identical at any thread count).
         ctx.emit(Progress::PhaseStarted {
             phase: Phase::FinalEvaluation,
         });
-        let implementations: Vec<Implementation> = frontier
+        let phase_started = Instant::now();
+        let options = *ctx.options();
+        let finals: Vec<(f64, FloatExpr)> = frontier
             .into_sorted()
             .into_iter()
-            .map(|(cost, _, candidate)| describe(target, candidate.expr, cost, &inner.samples))
+            .map(|(cost, _, candidate)| (cost, candidate.expr))
             .collect();
+        let implementations: Vec<Implementation> = par::par_map(&finals, |(cost, expr)| {
+            describe(target, expr.clone(), *cost, &inner.samples, &options)
+        });
         let initial_cost = program_cost(target, &initial);
-        let initial_impl = describe(target, initial, initial_cost, &inner.samples);
+        let initial_impl = describe(target, initial, initial_cost, &inner.samples, &options);
 
         // Verify every program this result hands out (the debug hook inside
         // `targets::compile` covers debug builds; this covers release too,
         // once per final implementation rather than per search candidate).
-        let (mut regs, mut regs_compacted, mut programs) = (0usize, 0usize, 0usize);
-        for imp in implementations.iter().chain(std::iter::once(&initial_impl)) {
-            let program = targets::compile(target, &imp.expr);
-            let violations = targets::analysis::verify_with_target(
-                &program,
-                target,
-                targets::analysis::Mode::Ssa,
-            );
-            assert!(
-                violations.is_empty(),
-                "compiled implementation failed IR verification on target {}:\n{}",
-                target.name,
-                targets::analysis::verify::render(&violations)
-            );
-            let (_, stats) = targets::optimize(&program);
-            programs += 1;
-            regs += stats.regs_before;
-            regs_compacted += stats.regs_after;
+        // `VerifyMode::Never` opts out; the default and `Always` both verify
+        // here because these are the programs callers ship.
+        if options.verify != targets::VerifyMode::Never {
+            let all: Vec<&Implementation> = implementations
+                .iter()
+                .chain(std::iter::once(&initial_impl))
+                .collect();
+            let slabs: Vec<(usize, usize)> = par::par_map(&all, |imp| {
+                let program = targets::compile(target, &imp.expr);
+                let violations = targets::analysis::verify_with_target(
+                    &program,
+                    target,
+                    targets::analysis::Mode::Ssa,
+                );
+                assert!(
+                    violations.is_empty(),
+                    "compiled implementation failed IR verification on target {}:\n{}",
+                    target.name,
+                    targets::analysis::verify::render(&violations)
+                );
+                let (_, stats) = targets::optimize(&program);
+                (stats.regs_before, stats.regs_after)
+            });
+            ctx.emit(Progress::ProgramsVerified {
+                programs: slabs.len(),
+                regs: slabs.iter().map(|(before, _)| before).sum(),
+                regs_compacted: slabs.iter().map(|(_, after)| after).sum(),
+            });
         }
-        ctx.emit(Progress::ProgramsVerified {
-            programs,
-            regs,
-            regs_compacted,
+        let final_time = phase_started.elapsed();
+        ctx.emit(Progress::PhaseFinished {
+            phase: Phase::FinalEvaluation,
+            duration: final_time,
         });
+
+        let stats = SearchStats {
+            lowering: lowering_time,
+            improve: improve_time,
+            regimes: regimes_time,
+            final_evaluation: final_time,
+            saturation: ctx.saturation_time(),
+            candidates_scored: ctx.candidates_scored(),
+            truths: inner.truths.truth_stats().since(&truths_before),
+        };
         Ok(CompilationResult {
             implementations,
             initial: initial_impl,
             samples: inner.samples.clone(),
+            stats,
         })
     }
 }
@@ -490,8 +636,15 @@ fn initial_program(
 }
 
 /// Scores one output program on the held-out test points.
-fn describe(target: &Target, expr: FloatExpr, cost: f64, samples: &SampleSet) -> Implementation {
-    let (error_bits, accuracy_bits) = crate::accuracy::evaluate_on_test(target, &expr, samples);
+fn describe(
+    target: &Target,
+    expr: FloatExpr,
+    cost: f64,
+    samples: &SampleSet,
+    options: &CompileOptions,
+) -> Implementation {
+    let (error_bits, accuracy_bits) =
+        crate::accuracy::evaluate_on_test_with(target, &expr, samples, options);
     Implementation {
         rendered: expr.render(target),
         expr,
@@ -577,7 +730,7 @@ impl Session {
             self.config.train_points,
             self.config.test_points,
         )?;
-        let truths = GroundTruthCache::for_training(&samples);
+        let truths = GroundTruthCache::for_training_with(&samples, self.config.truth_engine);
         let prepared = Prepared {
             inner: Arc::new(PreparedInner {
                 core: core.clone(),

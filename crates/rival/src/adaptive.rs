@@ -1,0 +1,507 @@
+//! Reval-style mixed-precision ground-truth evaluation.
+//!
+//! The uniform evaluator in [`crate::eval`] re-evaluates the *whole*
+//! expression at each rung of the precision ladder until the enclosure rounds
+//! to a single value of the target format. Most of that work is redundant:
+//! subexpressions whose enclosure already collapsed to an exact point at a low
+//! precision will produce the *same* point at every higher precision, so
+//! re-deriving them is pure waste. This module tracks per-node convergence and
+//! re-evaluates only the nodes that have not yet converged — the approach of
+//! *Fast Mixed-Precision Real Evaluation* (Reval), restricted here to the
+//! reuse rules under which the result is **provably bit-identical** to the
+//! uniform evaluator:
+//!
+//! * A node's interval may be carried to higher rungs only when it is a
+//!   **singleton** (`lo == hi`), because with outward rounding a singleton
+//!   enclosure certifies the true real value is *exactly* that number.
+//! * All of the node's children must themselves have been exact, so the
+//!   operator was applied to precision-independent point inputs.
+//! * The operator must be **exactly rounded** — implemented with directed
+//!   [`crate::bigfloat::BigFloat`] rounding (`+ − × ÷ √ fma …`), not one of
+//!   the slop-widened transcendental enclosures. For an exactly rounded
+//!   operator, a point result at precision *p* is exactly representable at
+//!   *p*, hence Floor- and Ceil-rounding at any precision ≥ *p* reproduce it
+//!   bit for bit.
+//!
+//! Under these rules the memoized evaluation computes, at every rung, an
+//! interval *identical* to the uniform evaluator's (induction over the tree),
+//! so the final [`GroundTruth`] classification cannot drift. The same
+//! argument justifies reusing a converged subexpression value **across
+//! expressions** (different candidates sharing a subtree at the same point):
+//! callers may seed an evaluation with `(first exact precision, value)` pairs
+//! harvested from earlier evaluations and collect newly converged nodes for
+//! future seeding.
+
+use crate::eval::{
+    apply_real_op, constant_interval, round_to_type, EvalError, Evaluator, GroundTruth,
+};
+use crate::interval::{BoolInterval, Interval};
+use fpcore::{Constant, Expr, FpType, RealOp, Symbol};
+use std::collections::HashMap;
+
+/// Pre-order index of every node in an expression tree, identified by the
+/// node's address (stable while the expression is borrowed).
+///
+/// Node ids are pre-order positions, so they are reproducible for equal trees
+/// and independent of evaluation order (an `if` only walks the taken branch,
+/// but ids come from this static walk).
+pub struct NodeIndex<'e> {
+    nodes: Vec<&'e Expr>,
+    ids: HashMap<usize, usize>,
+}
+
+impl<'e> NodeIndex<'e> {
+    /// Builds the index by a full pre-order walk of `root`.
+    pub fn build(root: &'e Expr) -> NodeIndex<'e> {
+        let mut index = NodeIndex {
+            nodes: Vec::new(),
+            ids: HashMap::new(),
+        };
+        index.walk(root);
+        index
+    }
+
+    fn walk(&mut self, e: &'e Expr) {
+        self.ids
+            .insert(std::ptr::from_ref(e) as usize, self.nodes.len());
+        self.nodes.push(e);
+        match e {
+            Expr::Num(_) | Expr::Var(_) => {}
+            Expr::If(c, t, f) => {
+                self.walk(c);
+                self.walk(t);
+                self.walk(f);
+            }
+            Expr::Op(_, args) => {
+                for a in args {
+                    self.walk(a);
+                }
+            }
+        }
+    }
+
+    /// Number of nodes in the tree.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True for an empty index (never produced by [`NodeIndex::build`]).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The node with pre-order id `id`.
+    pub fn node(&self, id: usize) -> &'e Expr {
+        self.nodes[id]
+    }
+
+    /// The root expression the index was built from.
+    pub fn root(&self) -> &'e Expr {
+        self.nodes[0]
+    }
+
+    fn id(&self, e: &Expr) -> usize {
+        self.ids[&(std::ptr::from_ref(e) as usize)]
+    }
+}
+
+/// Exact values of one node across the points of a sweep: for each point,
+/// the first ladder precision at which the node's enclosure collapsed to a
+/// point, and that point value.
+pub type ExactRow = Vec<Option<(u32, Interval)>>;
+
+/// Work counters for adaptive evaluation, comparable against the uniform
+/// evaluator (which performs one `node_evals` per node per rung).
+#[derive(Clone, Copy, Default, PartialEq, Eq, Debug)]
+pub struct AdaptiveStats {
+    /// Operator/constant nodes evaluated with interval arithmetic.
+    pub node_evals: u64,
+    /// Node evaluations skipped because the node converged at a lower rung of
+    /// this same evaluation.
+    pub node_reuses: u64,
+    /// Node evaluations skipped because a caller-provided seed (a converged
+    /// value from an earlier expression) applied.
+    pub node_seeds: u64,
+    /// Precision rungs attempted.
+    pub rungs: u64,
+}
+
+impl AdaptiveStats {
+    /// Accumulates another counter set into this one.
+    pub fn merge(&mut self, other: &AdaptiveStats) {
+        self.node_evals += other.node_evals;
+        self.node_reuses += other.node_reuses;
+        self.node_seeds += other.node_seeds;
+        self.rungs += other.rungs;
+    }
+}
+
+/// The result of adaptively evaluating one expression at one point.
+pub struct PointOutcome {
+    /// The ground truth, bit-identical to [`Evaluator::eval`].
+    pub truth: GroundTruth,
+    /// Newly converged non-trivial nodes: `(node id, first exact precision,
+    /// exact value)`, suitable for seeding later evaluations of expressions
+    /// sharing the subtree. Seeded nodes are not re-reported.
+    pub exact: Vec<(usize, u32, Interval)>,
+    /// Work counters for this point.
+    pub stats: AdaptiveStats,
+}
+
+/// Ops whose interval implementation rounds endpoints with directed
+/// [`crate::bigfloat::BigFloat`] operations only (no approximation slop), so a
+/// singleton result at precision `p` is reproduced exactly at any precision
+/// ≥ `p`. Transcendentals (and `pow`/`fmod`/`hypot`/`cbrt`, which widen by a
+/// slop) are excluded; their results are practically never singletons anyway.
+fn exactly_rounded(op: RealOp) -> bool {
+    use RealOp::*;
+    matches!(
+        op,
+        Add | Sub
+            | Mul
+            | Div
+            | Neg
+            | Fabs
+            | Sqrt
+            | Fma
+            | Fdim
+            | Fmin
+            | Fmax
+            | Copysign
+            | Floor
+            | Ceil
+            | Round
+            | Trunc
+    )
+}
+
+struct Ctx<'a, 'e> {
+    env: &'a HashMap<Symbol, Interval>,
+    index: &'a NodeIndex<'e>,
+    prec: u32,
+    /// Converged singleton per node, valid for this and every higher rung.
+    memo: &'a mut [Option<Interval>],
+    /// First rung precision at which each node converged (for harvesting).
+    exact_at: &'a mut [Option<u32>],
+    /// Nodes satisfied from caller seeds (excluded from harvesting).
+    seeded: &'a mut [bool],
+    seeds: &'a [Option<ExactRow>],
+    point: usize,
+    stats: &'a mut AdaptiveStats,
+}
+
+impl Ctx<'_, '_> {
+    fn seed_for(&self, id: usize) -> Option<&(u32, Interval)> {
+        self.seeds
+            .get(id)?
+            .as_ref()?
+            .get(self.point)?
+            .as_ref()
+            .filter(|(p, _)| *p <= self.prec)
+    }
+}
+
+/// Evaluates one node, returning its enclosure and whether the value is
+/// *exact* (a singleton derived from exact inputs through exactly rounded
+/// operators — i.e. precision-independent from here on up).
+fn eval_node(ctx: &mut Ctx, expr: &Expr) -> Result<(Interval, bool), EvalError> {
+    let id = ctx.index.id(expr);
+    if let Some(v) = &ctx.memo[id] {
+        ctx.stats.node_reuses += 1;
+        return Ok((v.clone(), true));
+    }
+    if let Some((_, v)) = ctx.seed_for(id) {
+        let v = v.clone();
+        ctx.stats.node_seeds += 1;
+        ctx.memo[id] = Some(v.clone());
+        ctx.seeded[id] = true;
+        return Ok((v, true));
+    }
+    ctx.stats.node_evals += 1;
+    let (interval, exact, memoizable) = match expr {
+        Expr::Num(c) => {
+            let iv = constant_interval(c, ctx.prec)?;
+            let exact = iv.is_point() && !iv.has_nan();
+            (iv, exact, false)
+        }
+        Expr::Var(v) => {
+            let iv = ctx.env.get(v).cloned().ok_or(EvalError::Domain)?;
+            (iv, true, false)
+        }
+        Expr::If(cond, then_branch, else_branch) => {
+            let (c, cond_exact) = eval_bool_node(ctx, cond)?;
+            match c.definite() {
+                Some(taken) => {
+                    let branch = if taken { then_branch } else { else_branch };
+                    let (iv, branch_exact) = eval_node(ctx, branch)?;
+                    // The `if` adds no rounding of its own: with an exact
+                    // (hence rung-independent) condition and an exact branch
+                    // value, the whole node is exact.
+                    let exact = cond_exact && branch_exact;
+                    (iv, exact, true)
+                }
+                None => return Err(EvalError::Unbounded),
+            }
+        }
+        Expr::Op(op, _) if op.is_predicate() => {
+            // A bare predicate in numeric position: true is 1, false is 0.
+            let (b, bool_exact) = eval_bool_node(ctx, expr)?;
+            match b.definite() {
+                Some(v) => {
+                    let iv = Interval::point(crate::bigfloat::BigFloat::from_i64(i64::from(v)));
+                    (iv, bool_exact, true)
+                }
+                None => return Err(EvalError::Unbounded),
+            }
+        }
+        Expr::Op(op, args) => {
+            let mut vals = Vec::with_capacity(args.len());
+            let mut args_exact = true;
+            for a in args {
+                let (iv, e) = eval_node(ctx, a)?;
+                args_exact &= e;
+                vals.push(iv);
+            }
+            let iv = apply_real_op(*op, &vals, ctx.prec)?;
+            let exact = args_exact && exactly_rounded(*op) && iv.is_point() && !iv.has_nan();
+            (iv, exact, true)
+        }
+    };
+    if exact && memoizable {
+        ctx.memo[id] = Some(interval.clone());
+        ctx.exact_at[id].get_or_insert(ctx.prec);
+    }
+    Ok((interval, exact))
+}
+
+fn eval_bool_node(ctx: &mut Ctx, expr: &Expr) -> Result<(BoolInterval, bool), EvalError> {
+    match expr {
+        Expr::Num(Constant::Bool(b)) => Ok((BoolInterval::certain(*b), true)),
+        Expr::Op(op, args) if op.is_comparison() => {
+            let (lhs, e1) = eval_node(ctx, &args[0])?;
+            let (rhs, e2) = eval_node(ctx, &args[1])?;
+            let b = match op {
+                RealOp::Lt => lhs.lt(&rhs),
+                RealOp::Gt => lhs.gt(&rhs),
+                RealOp::Le => lhs.le(&rhs),
+                RealOp::Ge => lhs.ge(&rhs),
+                RealOp::Eq => lhs.eq_interval(&rhs),
+                RealOp::Ne => lhs.eq_interval(&rhs).not(),
+                _ => unreachable!(),
+            };
+            // Comparing two exact singletons is always definite and its
+            // outcome cannot change at higher precision.
+            Ok((b, e1 && e2))
+        }
+        Expr::Op(RealOp::And, args) => {
+            let (a, e1) = eval_bool_node(ctx, &args[0])?;
+            let (b, e2) = eval_bool_node(ctx, &args[1])?;
+            Ok((a.and(&b), e1 && e2))
+        }
+        Expr::Op(RealOp::Or, args) => {
+            let (a, e1) = eval_bool_node(ctx, &args[0])?;
+            let (b, e2) = eval_bool_node(ctx, &args[1])?;
+            Ok((a.or(&b), e1 && e2))
+        }
+        Expr::Op(RealOp::Not, args) => {
+            let (a, e) = eval_bool_node(ctx, &args[0])?;
+            Ok((a.not(), e))
+        }
+        Expr::If(cond, t, f) => {
+            let (c, cond_exact) = eval_bool_node(ctx, cond)?;
+            match c.definite() {
+                Some(taken) => {
+                    let (b, branch_exact) = eval_bool_node(ctx, if taken { t } else { f })?;
+                    Ok((b, cond_exact && branch_exact))
+                }
+                None => Ok((BoolInterval::unknown(), false)),
+            }
+        }
+        // Any numeric expression in boolean position: nonzero means true.
+        _ => {
+            let (v, e) = eval_node(ctx, expr)?;
+            Ok((v.eq_interval(&Interval::point_f64(0.0)).not(), e))
+        }
+    }
+}
+
+impl Evaluator {
+    /// Computes the correctly rounded value of the indexed expression at one
+    /// point, re-evaluating at each precision rung only the nodes that have
+    /// not yet converged, and optionally seeding node values converged during
+    /// earlier evaluations of expressions sharing subtrees.
+    ///
+    /// The returned truth is **bit-identical** to [`Evaluator::eval`] on the
+    /// same expression, environment and type (see the module docs for the
+    /// argument); the outcome additionally carries the newly converged node
+    /// values for cross-expression reuse, and work counters.
+    ///
+    /// `seeds` is indexed by node id and point (pass `&[]` for none); entries
+    /// must have been harvested from an evaluation of an identical subtree at
+    /// the same point with the same evaluator configuration.
+    pub fn eval_adaptive(
+        &self,
+        index: &NodeIndex,
+        env: &[(Symbol, f64)],
+        ty: FpType,
+        seeds: &[Option<ExactRow>],
+        point: usize,
+    ) -> PointOutcome {
+        let env: HashMap<Symbol, Interval> = env
+            .iter()
+            .map(|(s, v)| (*s, Interval::point_f64(*v)))
+            .collect();
+        let mut memo: Vec<Option<Interval>> = vec![None; index.len()];
+        let mut exact_at: Vec<Option<u32>> = vec![None; index.len()];
+        let mut seeded: Vec<bool> = vec![false; index.len()];
+        let mut stats = AdaptiveStats::default();
+        let mut truth = GroundTruth::Unsamplable;
+        for &prec in self.precisions() {
+            stats.rungs += 1;
+            let mut ctx = Ctx {
+                env: &env,
+                index,
+                prec,
+                memo: &mut memo,
+                exact_at: &mut exact_at,
+                seeded: &mut seeded,
+                seeds,
+                point,
+                stats: &mut stats,
+            };
+            match eval_node(&mut ctx, index.root()) {
+                Err(EvalError::Domain) => {
+                    truth = GroundTruth::Nan;
+                    break;
+                }
+                Err(EvalError::Unbounded) => {}
+                Ok((interval, _)) => {
+                    if interval.has_nan() {
+                        continue;
+                    }
+                    let (lo, hi) = round_to_type(&interval, ty);
+                    // Numeric equality (rather than bit equality) so that an
+                    // enclosure collapsing to [−0.0, +0.0] counts as decided —
+                    // the same rule as the uniform evaluator.
+                    if lo == hi {
+                        truth = GroundTruth::Value(lo);
+                        break;
+                    }
+                }
+            }
+        }
+        let exact = exact_at
+            .iter()
+            .enumerate()
+            .filter(|(id, at)| at.is_some() && !seeded[*id])
+            .filter_map(|(id, at)| memo[id].take().map(|iv| (id, at.unwrap(), iv)))
+            .collect();
+        PointOutcome {
+            truth,
+            exact,
+            stats,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fpcore::parse_expr;
+
+    fn env_of(bindings: &[(&str, f64)]) -> Vec<(Symbol, f64)> {
+        bindings.iter().map(|(n, v)| (Symbol::new(n), *v)).collect()
+    }
+
+    fn check_matches_uniform(src: &str, bindings: &[(&str, f64)]) -> PointOutcome {
+        let expr = parse_expr(src).unwrap();
+        let env = env_of(bindings);
+        let ev = Evaluator::new();
+        let index = NodeIndex::build(&expr);
+        let outcome = ev.eval_adaptive(&index, &env, FpType::Binary64, &[], 0);
+        let uniform = ev.eval(&expr, &env, FpType::Binary64);
+        assert_eq!(outcome.truth, uniform, "adaptive vs uniform for {src}");
+        outcome
+    }
+
+    #[test]
+    fn matches_uniform_on_basic_expressions() {
+        check_matches_uniform("(+ 1 2)", &[]);
+        check_matches_uniform("(/ 1 3)", &[]);
+        check_matches_uniform("(- (sqrt (+ x 1)) (sqrt x))", &[("x", 1e15)]);
+        check_matches_uniform("(sin (* x x))", &[("x", 3.5)]);
+        check_matches_uniform("(sqrt -1)", &[]);
+        check_matches_uniform("(/ 1 0)", &[]);
+        check_matches_uniform("(if (< x 0) (- x) (sqrt x))", &[("x", -4.0)]);
+        check_matches_uniform("(if (< x 0) (- x) (sqrt x))", &[("x", 4.0)]);
+        check_matches_uniform("(exp x)", &[("x", 1e9)]);
+        check_matches_uniform("(log x)", &[("x", -1.0)]);
+        check_matches_uniform("(atan INFINITY)", &[]);
+        check_matches_uniform("(* PI x)", &[("x", 2.0)]);
+    }
+
+    #[test]
+    fn exact_subtrees_are_harvested() {
+        // (x + 1) at x = 2 converges to the exact singleton 3 at the first
+        // rung; the sin wrapper never becomes exact.
+        let outcome = check_matches_uniform("(sin (+ x 1))", &[("x", 2.0)]);
+        assert_eq!(outcome.exact.len(), 1, "only the + node is exact");
+        let (_, prec, iv) = &outcome.exact[0];
+        assert_eq!(*prec, 96);
+        assert!(iv.is_point());
+    }
+
+    #[test]
+    fn transcendental_results_are_not_harvested() {
+        let outcome = check_matches_uniform("(exp x)", &[("x", 2.0)]);
+        assert!(
+            outcome.exact.is_empty(),
+            "slop-widened ops must not be treated as exact"
+        );
+    }
+
+    #[test]
+    fn seeds_shortcut_evaluation_without_changing_the_result() {
+        let ev = Evaluator::new();
+        let env = env_of(&[("x", 1e15)]);
+        // Harvest from one expression...
+        let a = parse_expr("(- (sqrt (+ x 1)) (sqrt x))").unwrap();
+        let ia = NodeIndex::build(&a);
+        let oa = ev.eval_adaptive(&ia, &env, FpType::Binary64, &[], 0);
+        // ...and seed an expression sharing the (+ x 1) subtree.
+        let b = parse_expr("(/ 1 (+ (sqrt (+ x 1)) (sqrt x)))").unwrap();
+        let ib = NodeIndex::build(&b);
+        let mut seeds: Vec<Option<ExactRow>> = vec![None; ib.len()];
+        for (id_a, prec, iv) in &oa.exact {
+            for (id_b, slot) in seeds.iter_mut().enumerate() {
+                if ib.node(id_b) == ia.node(*id_a) {
+                    *slot = Some(vec![Some((*prec, iv.clone()))]);
+                }
+            }
+        }
+        let seeded = ev.eval_adaptive(&ib, &env, FpType::Binary64, &seeds, 0);
+        assert!(seeded.stats.node_seeds > 0, "a seed must have applied");
+        let unseeded = ev.eval_adaptive(&ib, &env, FpType::Binary64, &[], 0);
+        assert_eq!(seeded.truth, unseeded.truth);
+        assert_eq!(seeded.truth, ev.eval(&b, &env, FpType::Binary64));
+        assert!(seeded.stats.node_evals < unseeded.stats.node_evals);
+    }
+
+    #[test]
+    fn adaptive_does_less_work_than_uniform_on_escalating_expressions() {
+        // Catastrophic cancellation forces escalation past the first rung;
+        // the exact sqrt/add subtrees must not be re-derived at the higher
+        // rungs. x+1 and x are exact; sqrt of them is inexact, so rung 2
+        // re-evaluates only the sqrt and - nodes.
+        let expr = parse_expr("(- (sqrt (+ x 1)) (sqrt x))").unwrap();
+        let env = env_of(&[("x", 1e15)]);
+        let ev = Evaluator::new();
+        let index = NodeIndex::build(&expr);
+        let outcome = ev.eval_adaptive(&index, &env, FpType::Binary64, &[], 0);
+        assert!(outcome.stats.rungs >= 2, "must have escalated");
+        // Uniform work would be nodes × rungs; adaptive must do less.
+        let uniform_work = index.len() as u64 * outcome.stats.rungs;
+        assert!(outcome.stats.node_evals < uniform_work);
+        assert!(outcome.stats.node_reuses > 0);
+    }
+}

@@ -1,0 +1,299 @@
+//! Expression-tree balancing for cheaper adaptive evaluation.
+//!
+//! Interval evaluation error grows with the *depth* of the expression tree:
+//! each level compounds the outward rounding of its children, so a long
+//! left-leaning chain `((((a+b)+c)+d)+e)` needs more working precision to
+//! converge than the balanced `((a+b)+(c+d))+e` — the observation behind
+//! *Balancing expression dags for more efficient lazy adaptive evaluation*
+//! (Wilhelm). This module flattens maximal associative `+`/`−` and `*`/`/`
+//! chains and rebuilds them as balanced binary trees, roughly halving the
+//! depth of chain-heavy candidates before ground-truth evaluation.
+//!
+//! Balancing is a *real-equivalent* rewrite: over the reals (the semantics
+//! ground truth is defined against) addition and multiplication are
+//! associative and commutative, so a correctly rounded result of the balanced
+//! tree equals that of the original. The rewrite preserves the left-to-right
+//! order of operands (pairing only adjacent ones), and callers fall back to
+//! the original tree whenever the balanced evaluation does not produce a
+//! definite value, so `Nan`/`Unsamplable` classifications are decided by the
+//! original tree alone.
+
+use fpcore::{Expr, RealOp};
+
+/// The depth of an expression tree (a leaf has depth 1).
+pub fn depth(expr: &Expr) -> usize {
+    match expr {
+        Expr::Num(_) | Expr::Var(_) => 1,
+        Expr::If(c, t, f) => 1 + depth(c).max(depth(t)).max(depth(f)),
+        Expr::Op(_, args) => 1 + args.iter().map(depth).max().unwrap_or(0),
+    }
+}
+
+/// A term of a flattened chain: the (recursively balanced) operand and
+/// whether it appears inverted (subtracted / divided by).
+struct Term {
+    expr: Expr,
+    inverted: bool,
+}
+
+/// Rebalances `expr` if it is at least `min_depth` deep, returning `None`
+/// when the expression is shallow enough (or contains no chain) that
+/// balancing would change nothing.
+pub fn balance_if_deep(expr: &Expr, min_depth: usize) -> Option<Expr> {
+    if depth(expr) < min_depth {
+        return None;
+    }
+    let balanced = balance(expr);
+    if &balanced == expr {
+        None
+    } else {
+        Some(balanced)
+    }
+}
+
+/// Recursively flattens and rebalances every maximal `+`/`−` and `*`/`/`
+/// chain in `expr`.
+pub fn balance(expr: &Expr) -> Expr {
+    match expr {
+        Expr::Num(_) | Expr::Var(_) => expr.clone(),
+        Expr::If(c, t, f) => Expr::If(
+            Box::new(balance(c)),
+            Box::new(balance(t)),
+            Box::new(balance(f)),
+        ),
+        Expr::Op(op, args) => match op {
+            RealOp::Add | RealOp::Sub | RealOp::Neg => {
+                let mut terms = Vec::new();
+                flatten_additive(expr, false, &mut terms);
+                if terms.len() >= 3 {
+                    rebuild_additive(terms)
+                } else {
+                    rebuild_node(*op, args)
+                }
+            }
+            RealOp::Mul | RealOp::Div => {
+                let mut terms = Vec::new();
+                flatten_multiplicative(expr, false, &mut terms);
+                if terms.len() >= 3 {
+                    rebuild_multiplicative(terms)
+                } else {
+                    rebuild_node(*op, args)
+                }
+            }
+            _ => rebuild_node(*op, args),
+        },
+    }
+}
+
+fn rebuild_node(op: RealOp, args: &[Expr]) -> Expr {
+    Expr::Op(op, args.iter().map(balance).collect())
+}
+
+fn flatten_additive(expr: &Expr, inverted: bool, out: &mut Vec<Term>) {
+    match expr {
+        Expr::Op(RealOp::Add, args) if args.len() == 2 => {
+            flatten_additive(&args[0], inverted, out);
+            flatten_additive(&args[1], inverted, out);
+        }
+        Expr::Op(RealOp::Sub, args) if args.len() == 2 => {
+            flatten_additive(&args[0], inverted, out);
+            flatten_additive(&args[1], !inverted, out);
+        }
+        Expr::Op(RealOp::Neg, args) if args.len() == 1 => {
+            flatten_additive(&args[0], !inverted, out);
+        }
+        _ => out.push(Term {
+            expr: balance(expr),
+            inverted,
+        }),
+    }
+}
+
+fn flatten_multiplicative(expr: &Expr, inverted: bool, out: &mut Vec<Term>) {
+    match expr {
+        Expr::Op(RealOp::Mul, args) if args.len() == 2 => {
+            flatten_multiplicative(&args[0], inverted, out);
+            flatten_multiplicative(&args[1], inverted, out);
+        }
+        Expr::Op(RealOp::Div, args) if args.len() == 2 => {
+            flatten_multiplicative(&args[0], inverted, out);
+            flatten_multiplicative(&args[1], !inverted, out);
+        }
+        _ => out.push(Term {
+            expr: balance(expr),
+            inverted,
+        }),
+    }
+}
+
+/// Combines adjacent terms pairwise until one remains, producing a balanced
+/// tree while preserving left-to-right operand order.
+fn reduce_pairwise(mut terms: Vec<Term>, combine: impl Fn(Term, Term) -> Term) -> Term {
+    while terms.len() > 1 {
+        let mut next = Vec::with_capacity(terms.len().div_ceil(2));
+        let mut iter = terms.into_iter();
+        while let Some(a) = iter.next() {
+            match iter.next() {
+                Some(b) => next.push(combine(a, b)),
+                None => next.push(a),
+            }
+        }
+        terms = next;
+    }
+    terms.into_iter().next().expect("at least one term")
+}
+
+fn rebuild_additive(terms: Vec<Term>) -> Expr {
+    let combined = reduce_pairwise(terms, |a, b| match (a.inverted, b.inverted) {
+        (false, false) => Term {
+            expr: Expr::Op(RealOp::Add, vec![a.expr, b.expr]),
+            inverted: false,
+        },
+        (false, true) => Term {
+            expr: Expr::Op(RealOp::Sub, vec![a.expr, b.expr]),
+            inverted: false,
+        },
+        (true, false) => Term {
+            expr: Expr::Op(RealOp::Sub, vec![b.expr, a.expr]),
+            inverted: false,
+        },
+        (true, true) => Term {
+            expr: Expr::Op(RealOp::Add, vec![a.expr, b.expr]),
+            inverted: true,
+        },
+    });
+    if combined.inverted {
+        Expr::Op(RealOp::Neg, vec![combined.expr])
+    } else {
+        combined.expr
+    }
+}
+
+fn rebuild_multiplicative(terms: Vec<Term>) -> Expr {
+    let combined = reduce_pairwise(terms, |a, b| match (a.inverted, b.inverted) {
+        (false, false) => Term {
+            expr: Expr::Op(RealOp::Mul, vec![a.expr, b.expr]),
+            inverted: false,
+        },
+        (false, true) => Term {
+            expr: Expr::Op(RealOp::Div, vec![a.expr, b.expr]),
+            inverted: false,
+        },
+        (true, false) => Term {
+            expr: Expr::Op(RealOp::Div, vec![b.expr, a.expr]),
+            inverted: false,
+        },
+        (true, true) => Term {
+            expr: Expr::Op(RealOp::Mul, vec![a.expr, b.expr]),
+            inverted: true,
+        },
+    });
+    if combined.inverted {
+        Expr::Op(
+            RealOp::Div,
+            vec![Expr::Num(fpcore::Constant::integer(1)), combined.expr],
+        )
+    } else {
+        combined.expr
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::{Evaluator, GroundTruth};
+    use fpcore::{parse_expr, FpType, Symbol};
+
+    fn chain(op: &str, n: usize) -> Expr {
+        // ((((x0 op x1) op x2) ...) op xn)
+        let mut src = "x0".to_string();
+        for i in 1..=n {
+            src = format!("({op} {src} x{i})");
+        }
+        parse_expr(&src).unwrap()
+    }
+
+    fn env(n: usize) -> Vec<(Symbol, f64)> {
+        #[allow(clippy::cast_precision_loss)]
+        (0..=n)
+            .map(|i| (Symbol::new(&format!("x{i}")), 1.0 + i as f64 / 7.0))
+            .collect()
+    }
+
+    #[test]
+    fn balancing_halves_chain_depth() {
+        for op in ["+", "-", "*", "/"] {
+            let e = chain(op, 15);
+            assert_eq!(depth(&e), 16);
+            let b = balance(&e);
+            assert!(
+                depth(&b) <= 5,
+                "{op}-chain depth {} not balanced",
+                depth(&b)
+            );
+        }
+    }
+
+    #[test]
+    fn balanced_ground_truth_matches_original() {
+        let ev = Evaluator::new();
+        for op in ["+", "-", "*", "/"] {
+            for n in [3, 7, 12] {
+                let e = chain(op, n);
+                let b = balance(&e);
+                let env = env(n);
+                let truth = ev.eval(&e, &env, FpType::Binary64);
+                let balanced = ev.eval(&b, &env, FpType::Binary64);
+                assert_eq!(truth, balanced, "({op} chain, {n} terms)");
+                assert!(matches!(truth, GroundTruth::Value(_)));
+            }
+        }
+    }
+
+    #[test]
+    fn mixed_chains_and_nested_structure() {
+        let e = parse_expr("(- (+ a (* b (+ c (+ d (+ e f))))) (+ g (+ h (+ i j))))").unwrap();
+        let b = balance(&e);
+        // The deep multiplicative factor dominates both trees; balancing must
+        // not make anything deeper.
+        assert!(depth(&b) <= depth(&e));
+        let ev = Evaluator::new();
+        let vars: Vec<(Symbol, f64)> = "abcdefghij"
+            .chars()
+            .enumerate()
+            .map(|(i, c)| {
+                #[allow(clippy::cast_precision_loss)]
+                (Symbol::new(&c.to_string()), 0.3 + i as f64)
+            })
+            .collect();
+        assert_eq!(
+            ev.eval(&e, &vars, FpType::Binary64),
+            ev.eval(&b, &vars, FpType::Binary64)
+        );
+    }
+
+    #[test]
+    fn shallow_expressions_are_untouched() {
+        let e = parse_expr("(+ (* x y) 1)").unwrap();
+        assert_eq!(balance_if_deep(&e, 8), None);
+        let deep_but_chainless =
+            parse_expr("(sin (cos (tan (exp (log (sqrt (fabs x)))))))").unwrap();
+        assert_eq!(balance_if_deep(&deep_but_chainless, 8), None);
+    }
+
+    #[test]
+    fn leading_negation_chains() {
+        // -a - b - c - d flattens to all-inverted terms.
+        let e = parse_expr("(- (- (- (- a) b) c) d)").unwrap();
+        let b = balance(&e);
+        let ev = Evaluator::new();
+        let vars: Vec<(Symbol, f64)> = [("a", 1.5), ("b", 2.25), ("c", -0.5), ("d", 10.0)]
+            .iter()
+            .map(|(n, v)| (Symbol::new(n), *v))
+            .collect();
+        assert_eq!(
+            ev.eval(&e, &vars, FpType::Binary64),
+            ev.eval(&b, &vars, FpType::Binary64)
+        );
+    }
+}

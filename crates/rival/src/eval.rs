@@ -40,7 +40,7 @@ impl GroundTruth {
 
 /// Intermediate evaluation failures at a fixed precision.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
-enum EvalError {
+pub(crate) enum EvalError {
     /// Definitely a NaN regardless of precision.
     Domain,
     /// Needs more precision (or is genuinely unbounded).
@@ -140,7 +140,7 @@ impl Evaluator {
     }
 }
 
-fn round_to_type(interval: &Interval, ty: FpType) -> (f64, f64) {
+pub(crate) fn round_to_type(interval: &Interval, ty: FpType) -> (f64, f64) {
     match ty {
         FpType::Binary64 => (
             interval.lo.to_f64(RoundMode::Nearest),
@@ -157,7 +157,7 @@ fn round_to_type(interval: &Interval, ty: FpType) -> (f64, f64) {
     }
 }
 
-fn constant_interval(c: &Constant, prec: u32) -> Result<Interval, EvalError> {
+pub(crate) fn constant_interval(c: &Constant, prec: u32) -> Result<Interval, EvalError> {
     match c {
         Constant::Rational(r) => {
             let lo =
@@ -229,7 +229,11 @@ fn eval_interval(
     }
 }
 
-fn apply_real_op(op: RealOp, args: &[Interval], prec: u32) -> Result<Interval, EvalError> {
+pub(crate) fn apply_real_op(
+    op: RealOp,
+    args: &[Interval],
+    prec: u32,
+) -> Result<Interval, EvalError> {
     use RealOp::*;
     let a = &args[0];
     let out = match op {

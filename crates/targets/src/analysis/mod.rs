@@ -102,9 +102,132 @@ pub fn optimize(program: &Program) -> (Program, OptimizeStats) {
     )
 }
 
-/// Compiles `expr` for `target` and runs the standard optimization pipeline
-/// — the one-stop entry point for evaluation paths that reuse a program
-/// across many points.
-pub fn compile_optimized(target: &Target, expr: &FloatExpr) -> (Program, OptimizeStats) {
-    optimize(&crate::compile::compile(target, expr))
+/// How much of the optimization pipeline [`compile_with_options`] runs after
+/// lowering to IR.
+#[derive(Clone, Copy, Default, PartialEq, Eq, Debug)]
+pub enum OptLevel {
+    /// Lowering only: the raw hash-consed program, no DCE or compaction.
+    None,
+    /// The standard pipeline ([`optimize`]): dead-code elimination plus
+    /// liveness-driven register compaction. Bit-identical to `None` on every
+    /// input; smaller register slab.
+    #[default]
+    Full,
+}
+
+/// When [`compile_with_options`] (and the session layer's final
+/// implementation check) runs the IR verifier.
+#[derive(Clone, Copy, Default, PartialEq, Eq, Debug)]
+pub enum VerifyMode {
+    /// Debug builds only — the `debug_assert!`s built into [`crate::compile()`]
+    /// and [`optimize`]. Zero release-build overhead; the mode for the hot
+    /// candidate-scoring loop.
+    #[default]
+    Debug,
+    /// Verify in every build: SSA-mode after lowering, executable-mode after
+    /// optimization, panicking on any violation. The mode for final
+    /// (shipped) implementations.
+    Always,
+    /// Skip the explicit checks even where they would otherwise run (the
+    /// `debug_assert!`s inside lowering and optimization are unaffected).
+    Never,
+}
+
+/// Compilation pipeline options, threaded from the public search API
+/// ([`SearchControl`](../chassis/session) in the core crate) down to every
+/// point where an expression becomes an executable [`Program`]. Replaces the
+/// old `compile`/`compile_optimized` pair of near-identical entry points.
+#[derive(Clone, Copy, Default, PartialEq, Eq, Debug)]
+pub struct CompileOptions {
+    /// Optimization pipeline to run after lowering.
+    pub opt_level: OptLevel,
+    /// When to run the IR verifier.
+    pub verify: VerifyMode,
+    /// Block width override for batch evaluation (`None` uses
+    /// [`crate::block::block_width_for`]'s policy).
+    pub block_size: Option<usize>,
+}
+
+impl CompileOptions {
+    /// The default options: full optimization, debug-build verification,
+    /// policy block width.
+    pub fn new() -> CompileOptions {
+        CompileOptions::default()
+    }
+
+    /// Sets the optimization level.
+    #[must_use]
+    pub fn opt_level(mut self, level: OptLevel) -> CompileOptions {
+        self.opt_level = level;
+        self
+    }
+
+    /// Sets the verifier mode.
+    #[must_use]
+    pub fn verify(mut self, mode: VerifyMode) -> CompileOptions {
+        self.verify = mode;
+        self
+    }
+
+    /// Overrides the block width used by batch evaluation paths.
+    #[must_use]
+    pub fn block_size(mut self, lanes: usize) -> CompileOptions {
+        self.block_size = Some(lanes.max(1));
+        self
+    }
+
+    /// The block width a sweep over `len` points should use under these
+    /// options.
+    pub fn block_width_for(&self, len: usize) -> usize {
+        match self.block_size {
+            Some(lanes) => lanes.min(len.max(1)),
+            None => crate::block::block_width_for(len),
+        }
+    }
+}
+
+/// Compiles `expr` for `target` under `options` — the one entry point for
+/// every evaluation path that reuses a program across many points.
+///
+/// # Panics
+///
+/// With [`VerifyMode::Always`], panics if the compiled (or optimized)
+/// program violates an IR invariant.
+pub fn compile_with_options(
+    target: &Target,
+    expr: &FloatExpr,
+    options: &CompileOptions,
+) -> (Program, OptimizeStats) {
+    let program = crate::compile::compile(target, expr);
+    if options.verify == VerifyMode::Always {
+        let violations = verify_with_target(&program, target, Mode::Ssa);
+        assert!(
+            violations.is_empty(),
+            "compiled program violates the IR contract:\n{}",
+            verify::render(&violations),
+        );
+    }
+    match options.opt_level {
+        OptLevel::None => {
+            let stats = OptimizeStats {
+                instrs_before: program.num_instrs(),
+                instrs_after: program.num_instrs(),
+                regs_before: program.num_regs(),
+                regs_after: program.num_regs(),
+            };
+            (program, stats)
+        }
+        OptLevel::Full => {
+            let (optimized, stats) = optimize(&program);
+            if options.verify == VerifyMode::Always {
+                let violations = verify_with_target(&optimized, target, Mode::Executable);
+                assert!(
+                    violations.is_empty(),
+                    "optimized program violates the IR contract:\n{}",
+                    verify::render(&violations),
+                );
+            }
+            (optimized, stats)
+        }
+    }
 }

@@ -7,6 +7,7 @@
 //! program over a set of pre-sampled points (used for the cost-model validation
 //! experiment, Figure 10).
 
+use crate::analysis::CompileOptions;
 use crate::block::Columns;
 use crate::expr::FloatExpr;
 use crate::operator::round_to_type;
@@ -113,8 +114,24 @@ pub fn eval_batch(
     vars: &[Symbol],
     points: &Columns,
 ) -> Vec<f64> {
-    let (program, _) = crate::analysis::compile_optimized(target, expr);
-    program.eval_columns(vars, points)
+    eval_batch_with(target, expr, vars, points, &CompileOptions::default())
+}
+
+/// [`eval_batch`] with explicit [`CompileOptions`] (opt level, verifier
+/// mode, block width override).
+pub fn eval_batch_with(
+    target: &Target,
+    expr: &FloatExpr,
+    vars: &[Symbol],
+    points: &Columns,
+    options: &CompileOptions,
+) -> Vec<f64> {
+    let (program, _) = crate::analysis::compile_with_options(target, expr, options);
+    let columns = program.bind_columns(vars);
+    let mut regs = program.new_block_regs(options.block_width_for(points.len()));
+    let mut out = vec![0.0; points.len()];
+    program.eval_range(&columns, points, 0, &mut regs, &mut out);
+    out
 }
 
 /// Measures the wall-clock time of evaluating `expr` over all `points`,
@@ -134,9 +151,10 @@ pub fn measure_runtime(
 ) -> Duration {
     // The optimized program is bit-identical by construction and occupies a
     // smaller register slab, so this is what production timing should see.
-    let (program, _) = crate::analysis::compile_optimized(target, expr);
+    let options = CompileOptions::default();
+    let (program, _) = crate::analysis::compile_with_options(target, expr, &options);
     let columns = program.bind_columns(vars);
-    let mut regs = program.new_block_regs(crate::block::block_width_for(points.len()));
+    let mut regs = program.new_block_regs(options.block_width_for(points.len()));
     let mut out = vec![0.0; points.len()];
     let mut best = Duration::MAX;
     let mut sink = 0.0f64;

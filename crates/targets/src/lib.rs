@@ -43,14 +43,17 @@ pub mod interp;
 pub mod operator;
 pub mod target;
 
-pub use analysis::{compile_optimized, optimize, OptimizeStats};
+pub use analysis::{
+    compile_with_options, optimize, CompileOptions, OptLevel, OptimizeStats, VerifyMode,
+};
 pub use block::{BlockRegs, Columns, DEFAULT_BLOCK};
 pub use compile::{compile, Program};
 pub use costmodel::program_cost;
 pub use expr::FloatExpr;
 pub use fpcore::eval::Bindings;
 pub use interp::{
-    eval_batch, eval_float_expr_in, eval_float_expr_indexed, measure_runtime, SliceEnv,
+    eval_batch, eval_batch_with, eval_float_expr_in, eval_float_expr_indexed, measure_runtime,
+    SliceEnv,
 };
 pub use operator::{Impl, OpId, Operator};
 pub use target::{IfCostStyle, Target};

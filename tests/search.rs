@@ -1,0 +1,166 @@
+//! Integration tests of the parallel search internals as seen through the
+//! public API: wall-clock budget cuts that land *during* the improve loop's
+//! saturation fan-out, equivalence of the uniform and mixed-precision
+//! ground-truth engines, and the `SearchStats`/`PhaseFinished` observability
+//! contract.
+
+use chassis::{Budget, Config, Phase, Progress, SearchControl, Session, TruthEngine};
+use fpcore::parse_fpcore;
+use std::sync::Mutex;
+use std::time::Duration;
+use targets::builtin;
+
+/// A cancellation-prone benchmark whose search escalates ground-truth
+/// precision and meaningfully improves accuracy.
+fn cancellation() -> fpcore::FPCore {
+    parse_fpcore("(FPCore (x) :pre (and (> x 1) (< x 1e14)) (- (sqrt (+ x 1)) (sqrt x)))").unwrap()
+}
+
+#[test]
+fn wall_clock_budget_exhausts_mid_saturation() {
+    // Arrange for the budget deadline to pass while the improve loop is
+    // between picking candidates and running their saturation fan-out: the
+    // observer stalls on the first `ImproveIteration` event until the
+    // wall-clock budget is spent. The saturation workers then see an expired
+    // deadline, cut early, and the loop must report `BudgetExhausted` for the
+    // improve phase while still returning a frontier containing the initial
+    // program.
+    let core = cancellation();
+    let target = builtin::by_name("c99").unwrap();
+    let session = Session::new(Config::fast());
+    let prepared = session.prepare(&core).unwrap();
+
+    let budget = Duration::from_millis(60);
+    let exhausted: Mutex<Vec<Phase>> = Mutex::new(Vec::new());
+    let observer = |event: &Progress| match event {
+        Progress::ImproveIteration { iteration: 0, .. } => {
+            // Sleep past the deadline so the cut happens inside the loop, not
+            // before it starts (iteration 0 was already underway).
+            std::thread::sleep(budget + Duration::from_millis(60));
+        }
+        Progress::BudgetExhausted { phase, .. } => {
+            exhausted.lock().unwrap().push(*phase);
+        }
+        _ => {}
+    };
+    let ctl = SearchControl::new()
+        .with_progress(&observer)
+        .with_budget(Budget::wall_clock(budget));
+    let result = prepared.compile_with(&target, &ctl).unwrap();
+
+    let exhausted = exhausted.into_inner().unwrap();
+    assert!(
+        exhausted.contains(&Phase::Improve),
+        "the improve loop must report the mid-iteration cut, got {exhausted:?}"
+    );
+    assert!(
+        !result.implementations.is_empty(),
+        "a cut search must keep a valid frontier"
+    );
+    assert!(
+        result
+            .implementations
+            .iter()
+            .any(|imp| imp.rendered == result.initial.rendered),
+        "the initial program survives a mid-saturation cut"
+    );
+}
+
+#[test]
+fn truth_engines_produce_bit_identical_results() {
+    // The mixed-precision engine's reuse rules are restricted to provably
+    // precision-independent values, so switching engines must change only
+    // cache counters — never a frontier bit. This is the property that makes
+    // concurrent cache access safe: seed availability (which depends on
+    // evaluation order) affects performance only.
+    let core = cancellation();
+    for target_name in ["c99", "arith-fma"] {
+        let target = builtin::by_name(target_name).unwrap();
+        let mut uniform_config = Config::fast();
+        uniform_config.truth_engine = TruthEngine::Uniform;
+        let mut adaptive_config = Config::fast();
+        adaptive_config.truth_engine = TruthEngine::Adaptive;
+
+        let uniform = Session::new(uniform_config)
+            .compile(&core, &target)
+            .unwrap();
+        let adaptive = Session::new(adaptive_config)
+            .compile(&core, &target)
+            .unwrap();
+
+        assert_eq!(
+            uniform.implementations.len(),
+            adaptive.implementations.len(),
+            "{target_name}: frontier sizes differ across truth engines"
+        );
+        for (u, a) in uniform
+            .implementations
+            .iter()
+            .zip(&adaptive.implementations)
+        {
+            assert_eq!(u.rendered, a.rendered, "{target_name}: programs differ");
+            assert_eq!(
+                u.error_bits.to_bits(),
+                a.error_bits.to_bits(),
+                "{target_name}: errors differ across truth engines"
+            );
+        }
+        // The engines differ only in their work counters: the adaptive run
+        // tracks per-node evaluations, the uniform run does not.
+        assert!(adaptive.stats.truths.node_evals > 0);
+        assert_eq!(uniform.stats.truths.node_evals, 0);
+    }
+}
+
+#[test]
+fn phase_durations_are_observable_and_match_the_stats() {
+    let core = cancellation();
+    let target = builtin::by_name("c99").unwrap();
+    let session = Session::new(Config::fast());
+    let prepared = session.prepare(&core).unwrap();
+
+    let events: Mutex<Vec<Progress>> = Mutex::new(Vec::new());
+    let observer = |event: &Progress| events.lock().unwrap().push(*event);
+    let ctl = SearchControl::new().with_progress(&observer);
+    let result = prepared.compile_with(&target, &ctl).unwrap();
+    let events = events.into_inner().unwrap();
+
+    // Every started phase finishes, in order, and the reported duration is
+    // exactly what lands in `SearchStats`.
+    let finished: Vec<(Phase, Duration)> = events
+        .iter()
+        .filter_map(|e| match e {
+            Progress::PhaseFinished { phase, duration } => Some((*phase, *duration)),
+            _ => None,
+        })
+        .collect();
+    let phases: Vec<Phase> = finished.iter().map(|(p, _)| *p).collect();
+    assert_eq!(
+        phases,
+        vec![
+            Phase::Lowering,
+            Phase::Improve,
+            Phase::Regimes,
+            Phase::FinalEvaluation
+        ]
+    );
+    let stats = &result.stats;
+    for (phase, duration) in &finished {
+        let in_stats = match phase {
+            Phase::Prepare => unreachable!("prepare happens before compile_with"),
+            Phase::Lowering => stats.lowering,
+            Phase::Improve => stats.improve,
+            Phase::Regimes => stats.regimes,
+            Phase::FinalEvaluation => stats.final_evaluation,
+        };
+        assert_eq!(in_stats, *duration, "{phase:?} duration mismatch");
+    }
+    // The improve loop did real work and accounted for it.
+    assert!(stats.improve > Duration::ZERO);
+    assert!(stats.saturation > Duration::ZERO, "saturation was timed");
+    assert!(stats.candidates_scored >= 1);
+    assert!(
+        stats.truths.misses > 0,
+        "a fresh compile must miss the ground-truth cache at least once"
+    );
+}

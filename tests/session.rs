@@ -1,6 +1,7 @@
 //! Integration tests of the session API: prepare-once/compile-many
 //! determinism, the prepare-exactly-once guarantee of `compile_many`, budget
-//! degradation, progress observability, and the deprecated `Chassis` shim.
+//! degradation, progress observability, and thread-count independence of the
+//! parallel search.
 
 use chassis::{Budget, CompilationResult, Config, Phase, Progress, SearchControl, Session};
 use fpcore::parse_fpcore;
@@ -75,23 +76,31 @@ fn prepare_once_compile_twice_matches_fresh_compiles() {
 }
 
 #[test]
-#[allow(deprecated)]
-fn chassis_shim_is_bit_identical_to_the_session_path() {
-    // The deprecated one-shot entry point ran sample → improve → regimes with
-    // the same seed and configuration; the session path must reproduce it
-    // exactly (this is the pre-redesign per-target behavior, preserved).
-    use chassis::Chassis;
+fn results_are_bit_identical_across_thread_counts() {
+    // The parallel search (candidate batches, scoring, regime sweeps, final
+    // evaluation) must reproduce the serial result exactly at the same seed:
+    // all fan-out is order-preserving and admission stays serial. Forcing the
+    // global thread count is safe against concurrently running tests because
+    // every result is thread-count-independent by construction.
     let core = cancellation();
     for target_name in ["c99", "arith-fma"] {
         let target = builtin::by_name(target_name).unwrap();
-        let shim = Chassis::new(target.clone())
-            .with_config(Config::fast())
-            .compile(&core)
-            .unwrap();
-        let session = Session::new(Config::fast())
+        chassis::par::set_thread_count(1);
+        let serial = Session::new(Config::fast())
             .compile(&core, &target)
             .unwrap();
-        assert_bit_identical(&shim, &session, target_name);
+        for threads in [2, 8] {
+            chassis::par::set_thread_count(threads);
+            let parallel = Session::new(Config::fast())
+                .compile(&core, &target)
+                .unwrap();
+            assert_bit_identical(
+                &serial,
+                &parallel,
+                &format!("{target_name} at {threads} threads"),
+            );
+        }
+        chassis::par::set_thread_count(0);
     }
 }
 
