@@ -1,0 +1,261 @@
+//! Chaos gate: the corpus must survive seeded fault injection.
+//!
+//! Runs a small corpus through [`Session::compile_many`] under hundreds of
+//! seeded [`fault::FaultPlan`]s, each arming 1–3 named fault points
+//! ([`fault::SITES`]) with deterministic abort or panic actions. The gate
+//! holds the resilience contract of docs/RESILIENCE.md:
+//!
+//! 1. **No process aborts.** Every injected panic is caught at a job
+//!    boundary; an unwind escaping `compile_many` fails the gate.
+//! 2. **Every cell is `Ok` or a typed error.** Each `Err` cell must render
+//!    its `Display` and `source()` chain, and be classified by
+//!    [`CompileError::kind`]; every failed cell must also have reported a
+//!    [`Progress::JobFailed`] event.
+//! 3. **The unarmed layer is free.** With an installed-but-empty plan the
+//!    frontiers are bit-identical to a run with no plan at all.
+//!
+//! ```text
+//! cargo run --release -p chassis-bench --bin chaos -- --plans 200 --limit 3
+//! ```
+//!
+//! Exit status 1 on any violation; the run is deterministic per `--seed`.
+
+use chassis::{CompilationResult, CompileError, Progress, SearchControl, Session};
+use chassis_bench::HarnessOptions;
+use fpcore::FPCore;
+use std::error::Error as _;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use targets::{builtin, Target};
+
+/// Targets every plan compiles for: one all-emulated and one partly native
+/// (same pair as `search_throughput`).
+const TARGETS: &[&str] = &["c99", "arith-fma"];
+
+type Grid = Vec<Vec<Result<CompilationResult, CompileError>>>;
+
+/// Parses `--plans N` (default 200). [`HarnessOptions::from_args`] ignores
+/// flags it does not know, so the two parsers compose.
+fn plans_from_args() -> u64 {
+    let args: Vec<String> = std::env::args().collect();
+    match args.iter().position(|a| a == "--plans") {
+        Some(i) => args
+            .get(i + 1)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or_else(|| {
+                eprintln!("bad or missing value for --plans");
+                std::process::exit(2);
+            }),
+        None => 200,
+    }
+}
+
+/// One corpus run under a fresh session (sessions cache prepared state, so a
+/// fresh one per run keeps every run independent and deterministic per seed).
+fn run_corpus(
+    cores: &[FPCore],
+    target_list: &[Target],
+    config: &chassis::Config,
+    ctl: &SearchControl,
+) -> Grid {
+    Session::new(config.clone()).compile_many_with(cores, target_list, ctl)
+}
+
+/// Bit-level equality of two corpus grids: frontier renderings, cost and
+/// error bits, and the typed errors themselves.
+fn identical(a: &Grid, b: &Grid) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    a.iter().zip(b).all(|(ra, rb)| {
+        ra.len() == rb.len()
+            && ra.iter().zip(rb).all(|(ca, cb)| match (ca, cb) {
+                (Ok(x), Ok(y)) => {
+                    x.implementations.len() == y.implementations.len()
+                        && x.initial.rendered == y.initial.rendered
+                        && x.implementations
+                            .iter()
+                            .zip(&y.implementations)
+                            .all(|(i, j)| {
+                                i.rendered == j.rendered
+                                    && i.cost.to_bits() == j.cost.to_bits()
+                                    && i.error_bits.to_bits() == j.error_bits.to_bits()
+                            })
+                }
+                (Err(x), Err(y)) => x == y,
+                _ => false,
+            })
+    })
+}
+
+/// Checks one fault-plan run's grid: every cell `Ok` or a *well-formed* typed
+/// error. Returns the number of failed cells, or `Err` with a description of
+/// the malformed cell.
+fn check_grid(grid: &Grid) -> Result<usize, String> {
+    let mut failed = 0;
+    for (b, row) in grid.iter().enumerate() {
+        for (t, cell) in row.iter().enumerate() {
+            if let Err(e) = cell {
+                failed += 1;
+                // The whole taxonomy must render: Display, kind, and the
+                // source() chain (a panic inside any of these is caught by
+                // the per-plan boundary and fails the gate).
+                let rendered = format!("{} [{}]", e, e.kind());
+                if rendered.is_empty() {
+                    return Err(format!("benchmark {b}, target {t}: empty error rendering"));
+                }
+                let mut source = e.source();
+                let mut depth = 0;
+                while let Some(cause) = source {
+                    depth += 1;
+                    if depth > 8 {
+                        return Err(format!("benchmark {b}, target {t}: cyclic source chain"));
+                    }
+                    source = cause.source();
+                }
+            }
+        }
+    }
+    Ok(failed)
+}
+
+fn main() {
+    let options = HarnessOptions::from_args();
+    let n_plans = plans_from_args();
+
+    // A micro search configuration: the gate exercises control flow, not
+    // search quality, so a few points and one iteration per job keep hundreds
+    // of corpus runs fast.
+    let mut config = options.config();
+    config.train_points = 8;
+    config.test_points = 8;
+    config.improve.iterations = 1;
+    config.improve.isel.node_limit = 1_000;
+    config.improve.isel.iter_limit = 3;
+    let seed = config.seed;
+
+    let benchmarks = {
+        let limited = HarnessOptions {
+            limit: options.limit.min(3),
+            ..options
+        };
+        limited.benchmarks()
+    };
+    let cores: Vec<FPCore> = benchmarks.iter().map(|b| b.fpcore()).collect();
+    let target_list: Vec<Target> = TARGETS
+        .iter()
+        .filter_map(|n| {
+            let target = builtin::by_name(n);
+            if target.is_none() {
+                eprintln!("warning: unknown builtin target {n:?}, skipping");
+            }
+            target
+        })
+        .collect();
+    println!(
+        "chaos: {} benchmarks x {} targets, {} fault plans, seed {seed}",
+        cores.len(),
+        target_list.len(),
+        n_plans
+    );
+
+    // Gate 3: the unarmed fault layer is invisible. Run once with no plan,
+    // once with an installed-but-empty plan (the slow path armed, nothing
+    // firing), and require bit-identical grids.
+    let ctl = SearchControl::new();
+    let baseline = run_corpus(&cores, &target_list, &config, &ctl);
+    let empty_run = {
+        let _armed = fault::install(fault::FaultPlan::new());
+        run_corpus(&cores, &target_list, &config, &ctl)
+    };
+    if !identical(&baseline, &empty_run) {
+        eprintln!("FAIL: an installed empty fault plan changed the corpus result");
+        std::process::exit(1);
+    }
+    let baseline_failures = match check_grid(&baseline) {
+        Ok(n) => n,
+        Err(why) => {
+            eprintln!("FAIL: baseline grid malformed: {why}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "baseline: {} cells, {baseline_failures} failed, empty plan bit-identical",
+        baseline.len() * target_list.len()
+    );
+
+    // Injected panics are expected by the hundreds below: silence the default
+    // "thread panicked" hook so real diagnostics stay readable. Escapes are
+    // still detected — by the catch_unwind around each plan run.
+    std::panic::set_hook(Box::new(|_| {}));
+
+    let mut escaped = 0usize;
+    let mut malformed = 0usize;
+    let mut event_mismatches = 0usize;
+    let mut total_fires = 0u64;
+    let mut total_failed = 0usize;
+    let mut plans_with_fires = 0u64;
+    for p in 0..n_plans {
+        let plan = fault::FaultPlan::seeded(seed.wrapping_add(p), fault::SITES);
+        let armed = fault::install(plan.clone());
+        let job_failed_events = AtomicUsize::new(0);
+        let observer = |event: &Progress| {
+            if matches!(event, Progress::JobFailed { .. }) {
+                job_failed_events.fetch_add(1, Ordering::Relaxed);
+            }
+        };
+        let ctl = SearchControl::new().with_progress(&observer);
+        // Gate 1: a panic escaping compile_many is a process-level failure.
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_corpus(&cores, &target_list, &config, &ctl)
+        }));
+        let fires = armed.fires();
+        drop(armed);
+        total_fires += fires;
+        if fires > 0 {
+            plans_with_fires += 1;
+        }
+        match outcome {
+            Ok(grid) => match check_grid(&grid) {
+                // Gate 2: typed, well-formed errors only — and one JobFailed
+                // event observed per failed cell.
+                Ok(failed) => {
+                    total_failed += failed;
+                    let events = job_failed_events.load(Ordering::Relaxed);
+                    if events != failed {
+                        eprintln!(
+                            "FAIL: plan {p} ({plan}): {failed} failed cells but \
+                             {events} JobFailed events"
+                        );
+                        event_mismatches += 1;
+                    }
+                }
+                Err(why) => {
+                    eprintln!("FAIL: plan {p} ({plan}): {why}");
+                    malformed += 1;
+                }
+            },
+            Err(_) => {
+                eprintln!("FAIL: plan {p} ({plan}): a panic escaped compile_many");
+                escaped += 1;
+            }
+        }
+    }
+    let _ = std::panic::take_hook();
+
+    println!(
+        "{n_plans} plans: {total_fires} faults fired ({plans_with_fires} plans hit), \
+         {total_failed} jobs failed with typed errors"
+    );
+    if escaped > 0 || malformed > 0 || event_mismatches > 0 {
+        eprintln!(
+            "FAIL: {escaped} escaped panic(s), {malformed} malformed grid(s), \
+             {event_mismatches} event mismatch(es)"
+        );
+        std::process::exit(1);
+    }
+    if n_plans > 0 && total_fires == 0 {
+        eprintln!("FAIL: no fault ever fired — the harness is not injecting");
+        std::process::exit(1);
+    }
+    println!("chaos: OK (no aborts, every failure typed, unarmed layer invisible)");
+}

@@ -764,7 +764,12 @@ fn main() {
     let mut stream = 0u64;
 
     for target_name in TARGETS {
-        let target = builtin::by_name(target_name).expect("builtin target");
+        // A misnamed target is reported and skipped — the rest of the corpus
+        // still measures.
+        let Some(target) = builtin::by_name(target_name) else {
+            eprintln!("warning: unknown builtin target {target_name:?}, skipping");
+            continue;
+        };
         for benchmark in benchsuite::all() {
             stream += 1;
             let core = benchmark.fpcore();
@@ -788,7 +793,10 @@ fn main() {
         }
     }
 
-    assert!(!cases.is_empty(), "no benchmark lowered onto any target");
+    if cases.is_empty() {
+        eprintln!("error: no benchmark lowered onto any target");
+        std::process::exit(1);
+    }
     let totals = Totals::compute(&options, &cases);
     let per_target = per_target_block_pps(&options, &cases, &totals);
     let op_kernels = bench_op_kernels(&options);
@@ -879,8 +887,10 @@ fn main() {
         &op_kernels,
         &history,
     );
-    std::fs::write(&options.out, &json)
-        .unwrap_or_else(|e| panic!("cannot write {}: {e}", options.out));
+    if let Err(e) = std::fs::write(&options.out, &json) {
+        eprintln!("error: cannot write {}: {e}", options.out);
+        std::process::exit(1);
+    }
     println!("wrote {}", options.out);
 
     if mismatches > 0 {

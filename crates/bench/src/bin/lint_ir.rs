@@ -174,9 +174,15 @@ fn main() {
         .map(|b| (b.name.to_string(), b.fpcore()))
         .collect();
     for (name, source) in SYNTHETIC {
-        let core = fpcore::parse_fpcore(source)
-            .unwrap_or_else(|e| panic!("synthetic case {name} does not parse: {e}"));
-        suite.push((format!("synthetic:{name}"), core));
+        // A broken synthetic case is a diagnostic like any other lint
+        // failure: report it and keep linting the rest of the suite.
+        match fpcore::parse_fpcore(source) {
+            Ok(core) => suite.push((format!("synthetic:{name}"), core)),
+            Err(e) => {
+                eprintln!("FAIL synthetic case {name} does not parse: {e}");
+                lint.diagnostics += 1;
+            }
+        }
     }
 
     for target in &targets {

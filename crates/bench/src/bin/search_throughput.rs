@@ -41,7 +41,7 @@
 //!     --limit 8 --min-par-speedup 2 --min-gt-speedup 1.5 --out BENCH_search.json
 //! ```
 
-use chassis::{par, CompilationResult, CompileError, Config, Session, TruthEngine};
+use chassis::{par, CompilationResult, CompileError, Config, SearchStats, Session, TruthEngine};
 use chassis_bench::HarnessOptions;
 use fpcore::FPCore;
 use std::time::{Duration, Instant};
@@ -158,6 +158,7 @@ struct Sweep {
     final_evaluation: Duration,
     saturation: Duration,
     candidates_scored: usize,
+    jobs_failed: usize,
     gt_eval: Duration,
     gt_node_evals: u64,
     gt_evals_saved: u64,
@@ -181,41 +182,38 @@ fn run_sweep(
     let _warm_rows = session.compile_many(cores, target_list);
     let warm = started.elapsed();
 
-    let mut sweep = Sweep {
+    // A failed cell is reported and skipped — the sweep keeps going and the
+    // aggregate counts it, exactly like a corpus run in production would.
+    for (b, row) in rows.iter().enumerate() {
+        for (t, cell) in row.iter().enumerate() {
+            if let Err(e) = cell {
+                eprintln!(
+                    "warning: {label}: benchmark {b}, target {t} failed ({}): {e}",
+                    e.kind()
+                );
+            }
+        }
+    }
+    let agg = SearchStats::aggregate(&rows);
+    Sweep {
         label,
         cold,
         warm,
-        lowering: Duration::ZERO,
-        improve: Duration::ZERO,
-        regimes: Duration::ZERO,
-        final_evaluation: Duration::ZERO,
-        saturation: Duration::ZERO,
-        candidates_scored: 0,
-        gt_eval: Duration::ZERO,
-        gt_node_evals: 0,
-        gt_evals_saved: 0,
-        gt_hits: 0,
-        gt_misses: 0,
-        balanced: 0,
-        rows: Vec::new(),
-    };
-    for result in rows.iter().flatten().flatten() {
-        let s = &result.stats;
-        sweep.lowering += s.lowering;
-        sweep.improve += s.improve;
-        sweep.regimes += s.regimes;
-        sweep.final_evaluation += s.final_evaluation;
-        sweep.saturation += s.saturation;
-        sweep.candidates_scored += s.candidates_scored;
-        sweep.gt_eval += s.truths.eval_time;
-        sweep.gt_node_evals += s.truths.node_evals;
-        sweep.gt_evals_saved += s.truths.evals_saved();
-        sweep.gt_hits += s.truths.hits;
-        sweep.gt_misses += s.truths.misses;
-        sweep.balanced += s.truths.balanced;
+        lowering: agg.lowering,
+        improve: agg.improve,
+        regimes: agg.regimes,
+        final_evaluation: agg.final_evaluation,
+        saturation: agg.saturation,
+        candidates_scored: agg.candidates_scored,
+        jobs_failed: agg.jobs_failed,
+        gt_eval: agg.truths.eval_time,
+        gt_node_evals: agg.truths.node_evals,
+        gt_evals_saved: agg.truths.evals_saved(),
+        gt_hits: agg.truths.hits,
+        gt_misses: agg.truths.misses,
+        balanced: agg.truths.balanced,
+        rows,
     }
-    sweep.rows = rows;
-    sweep
 }
 
 /// Asserts two corpus sweeps produced bit-identical frontiers everywhere.
@@ -269,7 +267,7 @@ fn sweep_json(s: &Sweep) -> String {
     format!(
         "{{\"cold_ms\": {:.1}, \"warm_ms\": {:.1}, \"lowering_ms\": {:.1}, \
          \"improve_ms\": {:.1}, \"regimes_ms\": {:.1}, \"final_ms\": {:.1}, \
-         \"saturation_ms\": {:.1}, \"candidates_scored\": {}, \
+         \"saturation_ms\": {:.1}, \"candidates_scored\": {}, \"jobs_failed\": {}, \
          \"gt_eval_ms\": {:.1}, \"gt_node_evals\": {}, \"gt_evals_saved\": {}, \
          \"gt_hits\": {}, \"gt_misses\": {}, \"balanced\": {}}}",
         ms(s.cold),
@@ -280,6 +278,7 @@ fn sweep_json(s: &Sweep) -> String {
         ms(s.final_evaluation),
         ms(s.saturation),
         s.candidates_scored,
+        s.jobs_failed,
         ms(s.gt_eval),
         s.gt_node_evals,
         s.gt_evals_saved,
@@ -352,7 +351,13 @@ fn main() {
     let cores_list = options.corpus();
     let target_list: Vec<Target> = TARGETS
         .iter()
-        .map(|n| builtin::by_name(n).expect("builtin target"))
+        .filter_map(|n| {
+            let target = builtin::by_name(n);
+            if target.is_none() {
+                eprintln!("warning: unknown builtin target {n:?}, skipping");
+            }
+            target
+        })
         .collect();
     let seed = options.config().seed;
     let cores_available = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
@@ -433,7 +438,10 @@ fn main() {
         gt_speedup,
         &history,
     );
-    std::fs::write(&options.out, &json).expect("write BENCH_search.json");
+    if let Err(e) = std::fs::write(&options.out, &json) {
+        eprintln!("error: cannot write {}: {e}", options.out);
+        std::process::exit(1);
+    }
     println!("wrote {}", options.out);
 
     if !identical {

@@ -78,7 +78,122 @@ impl Config {
     }
 }
 
+/// The resource whose limit a [`CompileError::ResourceExhausted`] hit.
+///
+/// Resource exhaustion *inside* the search degrades gracefully — the
+/// [`Budget`](crate::session::Budget) machinery returns the best frontier
+/// found, saturation keeps the equalities discovered before the cap — so this
+/// error only surfaces where there is nothing to degrade to: the limit fired
+/// before any implementation existed at all.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum ResourceLimit {
+    /// The e-graph node cap (the paper's 8000-node limit).
+    Nodes(usize),
+    /// A wall-clock cap.
+    WallClock(std::time::Duration),
+}
+
+impl std::fmt::Display for ResourceLimit {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ResourceLimit::Nodes(n) => write!(f, "{n} e-graph nodes"),
+            ResourceLimit::WallClock(d) => write!(f, "{}ms wall clock", d.as_millis()),
+        }
+    }
+}
+
+/// A panic captured at a job boundary and converted into a typed error.
+///
+/// [`Session::compile_many`](crate::session::Session::compile_many) wraps
+/// every (benchmark × target) job in `catch_unwind`, so a panic anywhere in
+/// one job — including inside a [`chassis::par`](crate::par) worker thread,
+/// whose payload is transported back to the job — fails that job with
+/// [`CompileError::Internal`] while the rest of the corpus completes.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct JobPanic {
+    message: String,
+}
+
+impl JobPanic {
+    /// A panic record with the given message.
+    pub fn new(message: impl Into<String>) -> JobPanic {
+        JobPanic {
+            message: message.into(),
+        }
+    }
+
+    /// Extracts the human-readable message from a `catch_unwind` payload
+    /// (`&str` and `String` payloads — everything `panic!` produces — are
+    /// recovered verbatim; anything else is labelled opaque).
+    pub fn from_payload(payload: &(dyn std::any::Any + Send)) -> JobPanic {
+        let message = payload
+            .downcast_ref::<&str>()
+            .map(|s| (*s).to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "opaque panic payload".to_string());
+        JobPanic { message }
+    }
+
+    /// The panic message.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl std::fmt::Display for JobPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "job panicked: {}", self.message)
+    }
+}
+
+impl std::error::Error for JobPanic {}
+
+/// The coarse classification of a [`CompileError`], carried on
+/// [`Progress::JobFailed`](crate::session::Progress) events (which must stay
+/// `Copy`) and useful for aggregating failure counts over a corpus run.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum ErrorKind {
+    /// [`CompileError::Sampling`].
+    Sampling,
+    /// [`CompileError::Unsupported`].
+    Unsupported,
+    /// [`CompileError::ResourceExhausted`].
+    ResourceExhausted,
+    /// [`CompileError::GroundTruth`].
+    GroundTruth,
+    /// [`CompileError::Internal`].
+    Internal,
+}
+
+impl std::fmt::Display for ErrorKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            ErrorKind::Sampling => "sampling",
+            ErrorKind::Unsupported => "unsupported",
+            ErrorKind::ResourceExhausted => "resource-exhausted",
+            ErrorKind::GroundTruth => "ground-truth",
+            ErrorKind::Internal => "internal",
+        })
+    }
+}
+
 /// Why compilation failed.
+///
+/// Every failure of the pipeline surfaces as one of these variants — never a
+/// panic escaping [`Session::compile_many`](crate::session::Session) — and
+/// each carries its cause through [`std::error::Error::source`], so a caller
+/// (or a service wrapping the compiler) can both classify and explain:
+///
+/// * [`Sampling`](CompileError::Sampling) / [`GroundTruth`](CompileError::GroundTruth)
+///   — the benchmark's domain, not the target, is the problem (degenerate
+///   `:pre`, NaN-everywhere bodies, non-converging ground truth);
+/// * [`Unsupported`](CompileError::Unsupported) — the (benchmark, target)
+///   pair is genuinely unimplementable;
+/// * [`ResourceExhausted`](CompileError::ResourceExhausted) — a limit fired
+///   before any implementation existed (limits firing later degrade to the
+///   best frontier found instead of erroring);
+/// * [`Internal`](CompileError::Internal) — a bug, captured at the job
+///   boundary.
 #[derive(Clone, PartialEq, Debug)]
 pub enum CompileError {
     /// Sampling could not find enough valid input points.
@@ -86,6 +201,32 @@ pub enum CompileError {
     /// The expression uses operators that cannot be implemented on the target,
     /// even after desugaring and instruction selection.
     Unsupported(String),
+    /// A resource limit fired before any implementation existed, leaving
+    /// nothing to degrade to.
+    ResourceExhausted {
+        /// The phase that hit the limit.
+        phase: crate::session::Phase,
+        /// Which limit fired.
+        limit: ResourceLimit,
+    },
+    /// Ground truth never converged: every sampled point that satisfied the
+    /// precondition topped out Rival's precision ladder undecided.
+    GroundTruth(rival::TruthError),
+    /// A panic inside one compilation job, captured at the job boundary.
+    Internal(JobPanic),
+}
+
+impl CompileError {
+    /// The coarse [`ErrorKind`] of this error.
+    pub fn kind(&self) -> ErrorKind {
+        match self {
+            CompileError::Sampling(_) => ErrorKind::Sampling,
+            CompileError::Unsupported(_) => ErrorKind::Unsupported,
+            CompileError::ResourceExhausted { .. } => ErrorKind::ResourceExhausted,
+            CompileError::GroundTruth(_) => ErrorKind::GroundTruth,
+            CompileError::Internal(_) => ErrorKind::Internal,
+        }
+    }
 }
 
 impl std::fmt::Display for CompileError {
@@ -93,15 +234,34 @@ impl std::fmt::Display for CompileError {
         match self {
             CompileError::Sampling(e) => write!(f, "sampling failed: {e}"),
             CompileError::Unsupported(what) => write!(f, "cannot implement on this target: {what}"),
+            CompileError::ResourceExhausted { phase, limit } => {
+                write!(f, "{phase} exhausted its resource limit ({limit})")
+            }
+            CompileError::GroundTruth(e) => write!(f, "ground truth failed: {e}"),
+            CompileError::Internal(e) => write!(f, "internal error: {e}"),
         }
     }
 }
 
-impl std::error::Error for CompileError {}
+impl std::error::Error for CompileError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CompileError::Sampling(e) => Some(e),
+            CompileError::GroundTruth(e) => Some(e),
+            CompileError::Internal(e) => Some(e),
+            CompileError::Unsupported(_) | CompileError::ResourceExhausted { .. } => None,
+        }
+    }
+}
 
 impl From<SampleError> for CompileError {
     fn from(e: SampleError) -> Self {
-        CompileError::Sampling(e)
+        match e {
+            // A sample set that failed *because ground truth never converged*
+            // is a ground-truth failure, not a domain problem.
+            SampleError::GroundTruth(t) => CompileError::GroundTruth(t),
+            other => CompileError::Sampling(other),
+        }
     }
 }
 

@@ -6,6 +6,9 @@
 //! each, substitutes the extracted variants back into the candidate, and keeps
 //! the Pareto-optimal results.
 
+// On the `compile_many` call path: budget cuts and caught panics are the
+// only ways out of the loop, never an unwrap (docs/RESILIENCE.md).
+#![deny(clippy::unwrap_used, clippy::expect_used)]
 use crate::accuracy;
 use crate::cost_opportunity::{cost_opportunities, CostOppConfig};
 use crate::isel::{InstructionSelector, IselConfig};
@@ -317,6 +320,7 @@ pub fn improve_with(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::lower::{lower_fpcore, variable_types};

@@ -77,11 +77,13 @@ pub mod sample;
 pub mod session;
 pub mod typed_extract;
 
-pub use compiler::{CompilationResult, CompileError, Config, Implementation};
+pub use compiler::{
+    CompilationResult, CompileError, Config, ErrorKind, Implementation, JobPanic, ResourceLimit,
+};
 pub use isel::{InstructionSelector, IselConfig, IselResult};
 pub use lower::{lower_fpcore, DirectLowering, LowerError};
 pub use pareto::ParetoFrontier;
-pub use sample::{GroundTruthCache, SampleSet, Sampler, TruthEngine, TruthStats};
+pub use sample::{GroundTruthCache, SampleError, SampleSet, Sampler, TruthEngine, TruthStats};
 pub use session::{
     Budget, Phase, Prepared, Progress, ProgressFn, SearchControl, SearchCtx, SearchStats, Session,
 };

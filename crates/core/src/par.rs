@@ -13,6 +13,11 @@
 //! environment variable (useful for benchmarking the serial/parallel paths
 //! against each other in one process).
 
+// Part of the `compile_many` call path: every failure must be a typed error
+// or a transported panic payload, never an ad-hoc unwrap (see
+// docs/RESILIENCE.md).
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// 0 means "not overridden": fall back to `CHASSIS_THREADS`, then to the
@@ -96,6 +101,11 @@ where
     if threads <= 1 {
         return serial(0..len);
     }
+    // Chaos harness: an armed abort degrades the fan-out to the serial path,
+    // which is bit-identical by construction.
+    if fault::point("par.spawn") {
+        return serial(0..len);
+    }
     let chunk_size = len.div_ceil(threads);
     let (init, f) = (&init, &f);
     std::thread::scope(|scope| {
@@ -105,14 +115,34 @@ where
                 let end = (start + chunk_size).min(len);
                 scope.spawn(move || {
                     IN_PAR_WORKER.with(|w| w.set(true));
-                    let mut state = init();
-                    (start..end).map(|i| f(&mut state, i)).collect::<Vec<R>>()
+                    // Catch panics inside the worker so the *original* payload
+                    // travels back to the calling thread (a bare join would
+                    // lose it to a generic message at the `expect`, and an
+                    // unjoined scope thread would abort the scope). The
+                    // worker's partial results are discarded wholesale, so
+                    // broken invariants cannot leak: AssertUnwindSafe is
+                    // sound here.
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        let mut state = init();
+                        (start..end).map(|i| f(&mut state, i)).collect::<Vec<R>>()
+                    }))
                 })
             })
             .collect();
         let mut out = Vec::with_capacity(len);
+        let mut panicked: Option<Box<dyn std::any::Any + Send>> = None;
         for handle in handles {
-            out.extend(handle.join().expect("par_map worker panicked"));
+            match handle.join() {
+                Ok(Ok(results)) => out.extend(results),
+                // First worker panic (in chunk order) wins; keep joining the
+                // rest so every worker finishes before the payload resumes.
+                Ok(Err(payload)) | Err(payload) => {
+                    panicked.get_or_insert(payload);
+                }
+            }
+        }
+        if let Some(payload) = panicked {
+            std::panic::resume_unwind(payload);
         }
         out
     })

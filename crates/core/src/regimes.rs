@@ -8,6 +8,9 @@
 //! candidates and keeps a split only when it reduces the training error of the
 //! most accurate known program by a meaningful margin.
 
+// On the `compile_many` call path: regime inference degrades (returns
+// `None`), it never unwraps (docs/RESILIENCE.md).
+#![deny(clippy::unwrap_used, clippy::expect_used)]
 use crate::improve::Candidate;
 use crate::par;
 use crate::pareto::ParetoFrontier;
@@ -188,6 +191,7 @@ pub fn infer_regimes_with(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::accuracy;

@@ -6,6 +6,9 @@
 //! when the ground-truth evaluator can produce a finite correctly rounded result
 //! (points whose true value is NaN or undecidable are discarded, as in Herbie).
 
+// On the `compile_many` call path: sampling failures are typed
+// `SampleError`s and poisoned cache locks recover (docs/RESILIENCE.md).
+#![deny(clippy::unwrap_used, clippy::expect_used)]
 use crate::par;
 use crate::rng::Rng;
 use fpcore::{FPCore, FpType, Symbol};
@@ -52,6 +55,12 @@ impl SampleSet {
 }
 
 /// Why sampling failed.
+///
+/// The variants classify *why* the domain yielded too few points, so callers
+/// can distinguish a benchmark whose precondition admits nothing
+/// ([`EmptyDomain`](SampleError::EmptyDomain)) from one whose ground truth
+/// never converges ([`GroundTruth`](SampleError::GroundTruth)) from plain
+/// scarcity ([`NotEnoughPoints`](SampleError::NotEnoughPoints)).
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub enum SampleError {
     /// Too few valid points were found (precondition too tight, or the expression
@@ -62,6 +71,15 @@ pub enum SampleError {
         /// How many were requested.
         requested: usize,
     },
+    /// Not a single candidate satisfied the precondition: the domain is empty
+    /// (or a measure-zero point set, e.g. `:pre (== x 1)`).
+    EmptyDomain {
+        /// How many candidate points were tried.
+        attempts: usize,
+    },
+    /// Points satisfied the precondition, but the dominant failure was
+    /// Rival's precision ladder topping out undecided.
+    GroundTruth(rival::TruthError),
 }
 
 impl std::fmt::Display for SampleError {
@@ -71,11 +89,36 @@ impl std::fmt::Display for SampleError {
                 f,
                 "could not sample enough valid points ({found} of {requested})"
             ),
+            SampleError::EmptyDomain { attempts } => write!(
+                f,
+                "no candidate point satisfied the precondition ({attempts} attempts)"
+            ),
+            SampleError::GroundTruth(e) => write!(f, "ground truth failed while sampling: {e}"),
         }
     }
 }
 
-impl std::error::Error for SampleError {}
+impl std::error::Error for SampleError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SampleError::GroundTruth(e) => Some(e),
+            SampleError::NotEnoughPoints { .. } | SampleError::EmptyDomain { .. } => None,
+        }
+    }
+}
+
+/// What became of one sampling attempt (see [`Sampler::attempt`]).
+enum Attempt {
+    /// The point satisfied the precondition and ground-truthed to a finite
+    /// value.
+    Accepted(Vec<f64>, f64),
+    /// The precondition rejected the point (or could not be decided).
+    PreFailed,
+    /// The true result is NaN or infinite — a discarded point, as in Herbie.
+    Invalid,
+    /// The precision ladder topped out without deciding the rounding.
+    NonConverged,
+}
 
 /// Samples valid input points for an FPCore benchmark.
 ///
@@ -132,25 +175,20 @@ impl Sampler {
     }
 
     /// Draws, filters, and ground-truths one attempt from its own RNG stream.
-    fn attempt(
-        &self,
-        core: &FPCore,
-        vars: &[Symbol],
-        types: &[FpType],
-        index: u64,
-    ) -> Option<(Vec<f64>, f64)> {
+    fn attempt(&self, core: &FPCore, vars: &[Symbol], types: &[FpType], index: u64) -> Attempt {
         let mut rng = Rng::for_stream(self.seed, index);
         let point: Vec<f64> = types.iter().map(|ty| Self::draw(&mut rng, *ty)).collect();
         let env: Vec<(Symbol, f64)> = vars.iter().copied().zip(point.iter().copied()).collect();
         if let Some(pre) = &core.pre {
             match self.evaluator.eval_bool(pre, &env) {
                 Some(true) => {}
-                _ => return None,
+                _ => return Attempt::PreFailed,
             }
         }
         match self.evaluator.eval(&core.body, &env, core.precision) {
-            GroundTruth::Value(v) if v.is_finite() => Some((point, v)),
-            _ => None,
+            GroundTruth::Value(v) if v.is_finite() => Attempt::Accepted(point, v),
+            GroundTruth::Value(_) | GroundTruth::Nan => Attempt::Invalid,
+            GroundTruth::Unsamplable => Attempt::NonConverged,
         }
     }
 
@@ -184,15 +222,33 @@ impl Sampler {
         let mut batch_size = (requested + requested / 2).clamp(8, 1024);
         let base_stream = self.next_stream;
         let mut attempts = 0usize;
+        let mut pre_passed = 0usize;
+        let mut non_converged = 0usize;
         while points.len() < requested && attempts < max_attempts {
+            // Chaos harness: an armed abort ends the attempt budget early —
+            // the shortfall (if any) surfaces as a typed `SampleError` below.
+            if fault::point("sample.points") {
+                break;
+            }
             let batch = batch_size.min(max_attempts - attempts);
             let candidates = par::par_map_range(batch, |i| {
                 self.attempt(core, &vars, &types, base_stream + (attempts + i) as u64)
             });
-            for (point, truth) in candidates.into_iter().flatten() {
-                if points.len() < requested {
-                    points.push(point);
-                    truths.push(truth);
+            for outcome in candidates {
+                match outcome {
+                    Attempt::Accepted(point, truth) => {
+                        pre_passed += 1;
+                        if points.len() < requested {
+                            points.push(point);
+                            truths.push(truth);
+                        }
+                    }
+                    Attempt::Invalid => pre_passed += 1,
+                    Attempt::NonConverged => {
+                        pre_passed += 1;
+                        non_converged += 1;
+                    }
+                    Attempt::PreFailed => {}
                 }
             }
             attempts += batch;
@@ -209,6 +265,19 @@ impl Sampler {
         }
         self.next_stream = base_stream + attempts as u64;
         if points.len() < (requested / 4).max(2) {
+            // Classify the shortfall: an empty domain (nothing ever passed
+            // the precondition), dominant ground-truth non-convergence, or
+            // plain scarcity.
+            if pre_passed == 0 {
+                return Err(SampleError::EmptyDomain { attempts });
+            }
+            if non_converged > points.len() && non_converged * 2 >= pre_passed {
+                let max_precision = self.evaluator.precisions().last().copied().unwrap_or(0);
+                return Err(SampleError::GroundTruth(rival::TruthError::NonConverged {
+                    points: non_converged,
+                    max_precision,
+                }));
+            }
             return Err(SampleError::NotEnoughPoints {
                 found: points.len(),
                 requested,
@@ -315,6 +384,22 @@ impl TruthStats {
             balanced: self.balanced - earlier.balanced,
             fallbacks: self.fallbacks - earlier.fallbacks,
             eval_time: self.eval_time.saturating_sub(earlier.eval_time),
+        }
+    }
+
+    /// Sums this and another stats record field-wise (the inverse of
+    /// [`since`](TruthStats::since); used for corpus-wide aggregation).
+    #[must_use]
+    pub fn merged(&self, other: &TruthStats) -> TruthStats {
+        TruthStats {
+            hits: self.hits + other.hits,
+            misses: self.misses + other.misses,
+            node_evals: self.node_evals + other.node_evals,
+            node_reuses: self.node_reuses + other.node_reuses,
+            node_seeds: self.node_seeds + other.node_seeds,
+            balanced: self.balanced + other.balanced,
+            fallbacks: self.fallbacks + other.fallbacks,
+            eval_time: self.eval_time + other.eval_time,
         }
     }
 }
@@ -445,7 +530,13 @@ impl GroundTruthCache {
         // only when inserting a brand-new key — then compute outside it so
         // distinct expressions evaluate concurrently.
         let cell: TruthCell = {
-            let mut memo = self.inner.memo.lock().expect("ground-truth cache poisoned");
+            // A poisoned memo only means some writer panicked (e.g. an
+            // injected fault); completed cells are still valid, so recover.
+            let mut memo = self
+                .inner
+                .memo
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
             match memo.get(expr).and_then(|per_ty| per_ty.get(&ty)) {
                 Some(cell) => Arc::clone(cell),
                 None => {
@@ -509,7 +600,13 @@ impl GroundTruthCache {
         // Snapshot the store rows for every non-trivial node up front; the
         // sweep must not hold the lock. Rows are indexed by node id.
         let seeds: Vec<Option<ExactRow>> = {
-            let store = self.inner.exact.lock().expect("exact store poisoned");
+            // Stored rows are only ever written with already-verified exact
+            // values, so recovering from a poisoned lock is sound.
+            let store = self
+                .inner
+                .exact
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
             (0..index.len())
                 .map(|id| match index.node(id) {
                     fpcore::Expr::Num(_) | fpcore::Expr::Var(_) => None,
@@ -532,7 +629,11 @@ impl GroundTruthCache {
             (truth, outcome.exact, outcome.stats, fell_back)
         });
         let mut truths = Vec::with_capacity(outcomes.len());
-        let mut store = self.inner.exact.lock().expect("exact store poisoned");
+        let mut store = self
+            .inner
+            .exact
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         for (i, (truth, exact, stats, fell_back)) in outcomes.into_iter().enumerate() {
             truths.push(truth);
             inner
@@ -607,6 +708,7 @@ impl std::fmt::Debug for GroundTruthCache {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use fpcore::parse_fpcore;
@@ -825,11 +927,13 @@ mod tests {
 
     #[test]
     fn impossible_preconditions_error_out() {
+        // `x < x - 1` is decidably false everywhere: every attempt fails the
+        // precondition, which the taxonomy reports as an empty domain.
         let core = parse_fpcore("(FPCore (x) :pre (< x (- x 1)) x)").unwrap();
         let mut sampler = Sampler::new(5);
         assert!(matches!(
             sampler.sample(&core, 8, 4),
-            Err(SampleError::NotEnoughPoints { .. })
+            Err(SampleError::EmptyDomain { .. })
         ));
     }
 

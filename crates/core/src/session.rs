@@ -29,7 +29,13 @@
 //! the sampling the old path performed inline, and the search itself is
 //! deterministic given the samples.
 
-use crate::compiler::{CompilationResult, CompileError, Config, Implementation};
+// The corpus entry point must never die on one bad job: every failure is a
+// typed `CompileError`, so ad-hoc unwraps are banned here (docs/RESILIENCE.md).
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
+use crate::compiler::{
+    CompilationResult, CompileError, Config, ErrorKind, Implementation, JobPanic, ResourceLimit,
+};
 use crate::improve::{improve_with, Candidate};
 use crate::isel::InstructionSelector;
 use crate::lower::{lower_fpcore, variable_types, LowerError};
@@ -133,6 +139,21 @@ pub enum Progress {
         /// Aggregate slab height after dead-code elimination + compaction.
         regs_compacted: usize,
     },
+    /// One `(benchmark × target)` job under [`Session::compile_many`] failed
+    /// with a typed error — including a panic caught and converted to
+    /// [`CompileError::Internal`] — while the rest of the corpus continued.
+    /// Emitted once per failed cell, after the fan-out completes; a benchmark
+    /// whose *preparation* failed reports one event per target column.
+    JobFailed {
+        /// Index of the benchmark in the `cores` slice passed to
+        /// `compile_many`.
+        benchmark: usize,
+        /// Index of the target in the `targets` slice.
+        target: usize,
+        /// Coarse classification of the failure (the full error lives in the
+        /// returned grid).
+        kind: ErrorKind,
+    },
 }
 
 /// Work and timing summary of one `compile` call, carried on
@@ -160,9 +181,45 @@ pub struct SearchStats {
     pub saturation: Duration,
     /// Candidate programs scored on the training points.
     pub candidates_scored: usize,
+    /// Jobs that ended in a typed [`CompileError`]. Always zero on a single
+    /// `compile` call's stats (a failed call returns `Err`, not stats);
+    /// meaningful on the corpus-wide sum built by [`SearchStats::aggregate`].
+    pub jobs_failed: usize,
     /// Ground-truth cache work attributable to this call (shared caches
     /// subtract a snapshot taken when the call began).
     pub truths: crate::sample::TruthStats,
+}
+
+impl SearchStats {
+    /// Sums this and another stats record field-wise.
+    pub fn merged(&self, other: &SearchStats) -> SearchStats {
+        SearchStats {
+            lowering: self.lowering + other.lowering,
+            improve: self.improve + other.improve,
+            regimes: self.regimes + other.regimes,
+            final_evaluation: self.final_evaluation + other.final_evaluation,
+            saturation: self.saturation + other.saturation,
+            candidates_scored: self.candidates_scored + other.candidates_scored,
+            jobs_failed: self.jobs_failed + other.jobs_failed,
+            truths: self.truths.merged(&other.truths),
+        }
+    }
+
+    /// Corpus-wide summary of a [`Session::compile_many`] result grid: `Ok`
+    /// cells contribute their per-job stats, `Err` cells count into
+    /// [`jobs_failed`](SearchStats::jobs_failed).
+    pub fn aggregate(grid: &[Vec<Result<CompilationResult, CompileError>>]) -> SearchStats {
+        let mut total = SearchStats::default();
+        for row in grid {
+            for cell in row {
+                match cell {
+                    Ok(result) => total = total.merged(&result.stats),
+                    Err(_) => total.jobs_failed += 1,
+                }
+            }
+        }
+        total
+    }
 }
 
 /// A resource bound on one `compile` call.
@@ -461,7 +518,14 @@ impl Prepared {
         ctl: &SearchControl,
     ) -> Result<CompilationResult, CompileError> {
         let inner = &*self.inner;
-        let ctx = SearchCtx::start(ctl, Some(inner.truths.clone()));
+        let mut ctx = SearchCtx::start(ctl, Some(inner.truths.clone()));
+        // Chaos harness: an armed abort spends the job's wall-clock budget up
+        // front, so the search degrades exactly as an exhausted `Budget` does
+        // — the frontier keeps (at least) the initial program.
+        if fault::point("session.compile") {
+            ctx.deadline = Some(Instant::now());
+        }
+        let ctx = ctx;
         // The cache is shared by every compile of this preparation, so the
         // delta is this call's attribution; under `compile_many` concurrent
         // jobs overlap and the split between them is approximate.
@@ -555,26 +619,34 @@ impl Prepared {
                 .iter()
                 .chain(std::iter::once(&initial_impl))
                 .collect();
-            let slabs: Vec<(usize, usize)> = par::par_map(&all, |imp| {
+            let slabs: Vec<Result<(usize, usize), CompileError>> = par::par_map(&all, |imp| {
                 let program = targets::compile(target, &imp.expr);
                 let violations = targets::analysis::verify_with_target(
                     &program,
                     target,
                     targets::analysis::Mode::Ssa,
                 );
-                assert!(
-                    violations.is_empty(),
-                    "compiled implementation failed IR verification on target {}:\n{}",
-                    target.name,
-                    targets::analysis::verify::render(&violations)
-                );
+                // A verifier violation is a compiler bug, not a property of
+                // the input: report it as an internal error on this job so
+                // the rest of a corpus run survives it.
+                if !violations.is_empty() {
+                    return Err(CompileError::Internal(JobPanic::new(format!(
+                        "compiled implementation failed IR verification on target {}:\n{}",
+                        target.name,
+                        targets::analysis::verify::render(&violations)
+                    ))));
+                }
                 let (_, stats) = targets::optimize(&program);
-                (stats.regs_before, stats.regs_after)
+                Ok((stats.regs_before, stats.regs_after))
             });
+            let mut verified = Vec::with_capacity(slabs.len());
+            for slab in slabs {
+                verified.push(slab?);
+            }
             ctx.emit(Progress::ProgramsVerified {
-                programs: slabs.len(),
-                regs: slabs.iter().map(|(before, _)| before).sum(),
-                regs_compacted: slabs.iter().map(|(_, after)| after).sum(),
+                programs: verified.len(),
+                regs: verified.iter().map(|(before, _)| before).sum(),
+                regs_compacted: verified.iter().map(|(_, after)| after).sum(),
             });
         }
         let final_time = phase_started.elapsed();
@@ -590,6 +662,7 @@ impl Prepared {
             final_evaluation: final_time,
             saturation: ctx.saturation_time(),
             candidates_scored: ctx.candidates_scored(),
+            jobs_failed: 0,
             truths: inner.truths.truth_stats().since(&truths_before),
         };
         Ok(CompilationResult {
@@ -626,11 +699,27 @@ fn initial_program(
             let selector = InstructionSelector::new(target, config.improve.isel);
             let vars = variable_types(core);
             let result = selector.run(&core.body, &vars, core.precision);
-            result
-                .best
-                .get(&core.precision)
-                .cloned()
-                .ok_or_else(|| CompileError::Unsupported(format!("{op} at {ty}")))
+            if let Some(best) = result.best.get(&core.precision) {
+                return Ok(best.clone());
+            }
+            // Distinguish "the search ran out of room" from "the target
+            // genuinely cannot express this": a saturation run cut short by
+            // its node or time cap might have found an equivalent form with
+            // a bigger budget, so report the exhausted resource instead of a
+            // flat `Unsupported`.
+            match result.report.stop_reason {
+                egraph::StopReason::NodeLimit => Err(CompileError::ResourceExhausted {
+                    phase: Phase::Lowering,
+                    limit: ResourceLimit::Nodes(config.improve.isel.node_limit),
+                }),
+                egraph::StopReason::TimeLimit => Err(CompileError::ResourceExhausted {
+                    phase: Phase::Lowering,
+                    limit: ResourceLimit::WallClock(config.improve.isel.time_limit),
+                }),
+                egraph::StopReason::Saturated | egraph::StopReason::IterLimit => {
+                    Err(CompileError::Unsupported(format!("{op} at {ty}")))
+                }
+            }
         }
     }
 }
@@ -717,7 +806,15 @@ impl Session {
     /// preparations are not cached; a retry samples again.
     pub fn prepare(&self, core: &FPCore) -> Result<Prepared, CompileError> {
         let key = core.to_string();
-        if let Some(hit) = self.cache.lock().expect("session cache poisoned").get(&key) {
+        // A poisoned cache lock means some prepare panicked *between* map
+        // operations; the map itself is never left mid-edit, so recovering
+        // the guard is sound (see docs/RESILIENCE.md).
+        if let Some(hit) = self
+            .cache
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .get(&key)
+        {
             return Ok(hit.clone());
         }
         // The lock is not held while sampling: preparing different benchmarks
@@ -742,7 +839,7 @@ impl Session {
         };
         self.cache
             .lock()
-            .expect("session cache poisoned")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .insert(key, prepared.clone());
         Ok(prepared)
     }
@@ -791,6 +888,13 @@ impl Session {
     /// Returns one row per benchmark (in input order), each with one result
     /// per target (in input order). A benchmark whose preparation failed
     /// yields its sampling error in every column.
+    ///
+    /// Every job — preparation and compilation alike — runs under a panic
+    /// boundary: a panic in one job becomes [`CompileError::Internal`] in
+    /// that job's cells while the rest of the corpus completes. Each failed
+    /// cell additionally reports a [`Progress::JobFailed`] event to the
+    /// observer, and [`SearchStats::aggregate`] sums the grid into a
+    /// corpus-wide summary.
     pub fn compile_many_with(
         &self,
         cores: &[FPCore],
@@ -799,7 +903,7 @@ impl Session {
     ) -> Vec<Vec<Result<CompilationResult, CompileError>>> {
         // Phase 1: target-independent preparation, parallel across benchmarks.
         let prepared: Vec<Result<Prepared, CompileError>> =
-            par::par_map(cores, |core| self.prepare(core));
+            par::par_map(cores, |core| catch_job(|| self.prepare(core)));
 
         // Phase 2: fan (benchmark, target) jobs out over the worker pool; the
         // Arc-shared prepared state costs nothing to hand to each job.
@@ -812,23 +916,64 @@ impl Session {
             }
         }
         let outcomes = par::par_map(&jobs, |&(b, t)| {
-            prepared[b]
-                .as_ref()
-                .expect("only prepared benchmarks are scheduled")
-                .compile_with(&targets[t], ctl)
+            catch_job(|| match prepared[b].as_ref() {
+                Ok(prep) => prep.compile_with(&targets[t], ctl),
+                // Unreachable: only prepared benchmarks are scheduled.
+                Err(e) => Err(e.clone()),
+            })
         });
 
         // Reassemble rows in (benchmark, target) order.
         let mut outcomes = outcomes.into_iter();
-        prepared
+        let grid: Vec<Vec<Result<CompilationResult, CompileError>>> = prepared
             .into_iter()
             .map(|prep| match prep {
                 Ok(_) => (0..targets.len())
-                    .map(|_| outcomes.next().expect("one outcome per job"))
+                    .map(|_| {
+                        outcomes.next().unwrap_or_else(|| {
+                            // Unreachable: par_map returns one outcome per job.
+                            Err(CompileError::Internal(JobPanic::new(
+                                "corpus fan-out lost a job outcome",
+                            )))
+                        })
+                    })
                     .collect(),
                 Err(e) => targets.iter().map(|_| Err(e.clone())).collect(),
             })
-            .collect()
+            .collect();
+
+        // Report each failed cell to the observer, after the fan-out so the
+        // events arrive in deterministic (benchmark, target) order.
+        if let Some(observer) = ctl.progress {
+            for (b, row) in grid.iter().enumerate() {
+                for (t, cell) in row.iter().enumerate() {
+                    if let Err(e) = cell {
+                        observer(&Progress::JobFailed {
+                            benchmark: b,
+                            target: t,
+                            kind: e.kind(),
+                        });
+                    }
+                }
+            }
+        }
+        grid
+    }
+}
+
+/// Runs one corpus job behind a panic boundary: an unwind becomes
+/// [`CompileError::Internal`] carrying the panic payload's message, so one
+/// crashing job cannot take down a corpus run.
+fn catch_job<R>(job: impl FnOnce() -> Result<R, CompileError>) -> Result<R, CompileError> {
+    // AssertUnwindSafe: on a panic the job's partial state is discarded
+    // wholesale and the shared caches recover from lock poisoning (see
+    // `GroundTruthCache` and `Session::prepare`), so no broken invariant
+    // outlives the catch.
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(job)) {
+        Ok(outcome) => outcome,
+        Err(payload) => Err(CompileError::Internal(JobPanic::from_payload(
+            payload.as_ref(),
+        ))),
     }
 }
 

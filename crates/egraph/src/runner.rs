@@ -98,6 +98,11 @@ impl Runner {
             if iterations >= self.limits.iter_limit {
                 break StopReason::IterLimit;
             }
+            // Chaos harness: an armed abort behaves exactly like hitting the
+            // node cap — the run stops with whatever equalities exist so far.
+            if fault::point("egraph.saturate") {
+                break StopReason::NodeLimit;
+            }
             if egraph.number_of_nodes() >= self.limits.node_limit {
                 break StopReason::NodeLimit;
             }

@@ -355,6 +355,15 @@ impl Evaluator {
         let mut exact_at: Vec<Option<u32>> = vec![None; index.len()];
         let mut seeded: Vec<bool> = vec![false; index.len()];
         let mut stats = AdaptiveStats::default();
+        // Same chaos fault point as the uniform ladder (`Evaluator::eval`):
+        // an armed abort is the non-convergence outcome, before any rung runs.
+        if fault::point("rival.eval") {
+            return PointOutcome {
+                truth: GroundTruth::Unsamplable,
+                exact: Vec::new(),
+                stats,
+            };
+        }
         let mut truth = GroundTruth::Unsamplable;
         for &prec in self.precisions() {
             stats.rungs += 1;

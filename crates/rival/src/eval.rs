@@ -38,6 +38,40 @@ impl GroundTruth {
     }
 }
 
+/// Ground truth failed as a *whole* — not one discarded point, but a sweep
+/// whose every attempt ended [`GroundTruth::Unsamplable`]. Following the Reval
+/// paper, non-convergence is a first-class outcome of precision escalation
+/// (the ladder topped out, it did not crash); this type is how callers report
+/// it as a typed, recoverable error.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TruthError {
+    /// The precision ladder reached its highest rung without the enclosure
+    /// rounding to a single value, at every point attempted.
+    NonConverged {
+        /// How many points failed to converge.
+        points: usize,
+        /// The top rung of the ladder (bits of working precision).
+        max_precision: u32,
+    },
+}
+
+impl std::fmt::Display for TruthError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TruthError::NonConverged {
+                points,
+                max_precision,
+            } => write!(
+                f,
+                "ground truth did not converge at {points} point(s) \
+                 (precision ladder tops out at {max_precision} bits)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TruthError {}
+
 /// Intermediate evaluation failures at a fixed precision.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub(crate) enum EvalError {
@@ -88,6 +122,11 @@ impl Evaluator {
 
     /// Computes the correctly rounded value of `expr` at the given point.
     pub fn eval(&self, expr: &Expr, env: &[(Symbol, f64)], ty: FpType) -> GroundTruth {
+        // Chaos harness: an armed abort forces the ladder's own
+        // non-convergence outcome without running it.
+        if fault::point("rival.eval") {
+            return GroundTruth::Unsamplable;
+        }
         let env: HashMap<Symbol, Interval> = env
             .iter()
             .map(|(s, v)| (*s, Interval::point_f64(*v)))

@@ -43,5 +43,5 @@ pub use adaptive::{AdaptiveStats, ExactRow, NodeIndex, PointOutcome};
 pub use balance::{balance, balance_if_deep, depth};
 pub use bigfloat::{pow2_f64, BigFloat, RoundMode};
 pub use bigint::BigUint;
-pub use eval::{ground_truth, ground_truth_with, Evaluator, GroundTruth};
+pub use eval::{ground_truth, ground_truth_with, Evaluator, GroundTruth, TruthError};
 pub use interval::{BoolInterval, Interval};

@@ -4,6 +4,7 @@
 pub use benchsuite;
 pub use chassis;
 pub use egraph;
+pub use fault;
 pub use fpcore;
 pub use rival;
 pub use targets;

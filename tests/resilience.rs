@@ -1,0 +1,216 @@
+//! Integration tests of the fault-isolation and error-taxonomy contract
+//! (docs/RESILIENCE.md): adversarial benchmarks fail with *typed* errors,
+//! never panics; an injected panic fails exactly one corpus job; and every
+//! error renders a Display message and a `source()` chain.
+//!
+//! Every test here installs a [`fault::FaultPlan`] — an empty one when no
+//! fault is needed — because `fault::install` is process-exclusive: holding
+//! the guard serializes these tests, so one test's armed faults can never
+//! leak into another's unarmed run.
+
+use chassis::{
+    CompileError, Config, ErrorKind, Progress, SampleError, SearchControl, SearchStats, Session,
+};
+use fpcore::parse_fpcore;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use targets::builtin;
+
+/// Renders an error's Display plus its whole `source()` chain (what a CLI
+/// would print); also guards against cyclic chains.
+fn render_chain(top: &dyn std::error::Error) -> String {
+    let mut out = top.to_string();
+    let mut source = top.source();
+    let mut depth = 0;
+    while let Some(cause) = source {
+        out.push_str(": ");
+        out.push_str(&cause.to_string());
+        source = cause.source();
+        depth += 1;
+        assert!(depth <= 8, "cyclic error source chain: {out}");
+    }
+    out
+}
+
+#[test]
+fn adversarial_cores_fail_with_typed_errors() {
+    let _plan = fault::install(fault::FaultPlan::new());
+    let session = Session::new(Config::fast());
+    let c99 = builtin::by_name("c99").unwrap();
+    let arith = builtin::by_name("arith").unwrap();
+
+    // An everywhere-false precondition: the domain is empty.
+    let empty = parse_fpcore("(FPCore (x) :pre (< x (- x 1)) (+ x 1))").unwrap();
+    let err = session.compile(&empty, &c99).unwrap_err();
+    assert_eq!(err.kind(), ErrorKind::Sampling);
+    assert!(
+        matches!(
+            &err,
+            CompileError::Sampling(SampleError::EmptyDomain { .. })
+        ),
+        "empty domain misclassified: {err:?}"
+    );
+    assert!(render_chain(&err).contains("precondition"));
+
+    // A measure-zero point domain: uniform sampling never hits exactly 1.
+    let point = parse_fpcore("(FPCore (x) :pre (== x 1) (+ x 1))").unwrap();
+    let err = session.compile(&point, &c99).unwrap_err();
+    assert_eq!(err.kind(), ErrorKind::Sampling, "point domain: {err:?}");
+
+    // A NaN-only benchmark: sqrt of a value that is negative everywhere.
+    // Points sample fine (no precondition) but every ground truth is NaN, so
+    // the taxonomy reports scarcity, not an empty domain.
+    let nan_only = parse_fpcore("(FPCore (x) (sqrt (- 0 (+ (* x x) 1))))").unwrap();
+    let err = session.compile(&nan_only, &c99).unwrap_err();
+    assert!(
+        matches!(
+            &err,
+            CompileError::Sampling(SampleError::NotEnoughPoints { found: 0, .. })
+        ),
+        "NaN-only benchmark misclassified: {err:?}"
+    );
+
+    // An operator the target cannot express at all.
+    let sine = parse_fpcore("(FPCore (x) (sin x))").unwrap();
+    let err = session.compile(&sine, &arith).unwrap_err();
+    assert_eq!(err.kind(), ErrorKind::Unsupported);
+    assert!(render_chain(&err).contains("sin"));
+}
+
+#[test]
+fn seeded_adversarial_corpus_never_panics() {
+    // A property loop over seeded adversarial variants: every outcome must be
+    // Ok or a typed CompileError that renders without panicking. The corpus
+    // goes through `compile_many`, the path production uses, so a panic
+    // anywhere would surface as `ErrorKind::Internal` — which this corpus
+    // must never produce.
+    let _plan = fault::install(fault::FaultPlan::new());
+    let targets = [
+        builtin::by_name("c99").unwrap(),
+        builtin::by_name("arith").unwrap(),
+    ];
+    let mut config = Config::fast();
+    config.train_points = 6;
+    config.test_points = 6;
+
+    for seed in 0..12u64 {
+        let k = seed % 4;
+        let c = 1 + seed;
+        let sources = [
+            // Domain shrinking toward (possibly reaching) emptiness.
+            format!("(FPCore (x) :pre (and (> x {c}) (< x {c})) (+ x 1))"),
+            // NaN almost everywhere, with a seed-dependent island.
+            format!("(FPCore (x) (sqrt (- {k} (* x x))))"),
+            // Unsupported-on-arith operators nested under arithmetic.
+            format!("(FPCore (x) (+ (sin (* x {c})) (cos x)))"),
+            // A well-behaved control case that must succeed on c99.
+            format!(
+                "(FPCore (x) :pre (and (> x 0.5) (< x {})) (sqrt (+ x {k})))",
+                10 + c
+            ),
+        ];
+        let cores: Vec<fpcore::FPCore> = sources
+            .iter()
+            .map(|s| parse_fpcore(s).unwrap_or_else(|e| panic!("{s}: {e}")))
+            .collect();
+
+        let session = Session::new(config.clone().with_seed(seed));
+        let grid = session.compile_many(&cores, &targets);
+        for (b, row) in grid.iter().enumerate() {
+            for (t, cell) in row.iter().enumerate() {
+                if let Err(e) = cell {
+                    assert_ne!(
+                        e.kind(),
+                        ErrorKind::Internal,
+                        "seed {seed}, benchmark {b}, target {t} panicked: {}",
+                        render_chain(e)
+                    );
+                    assert!(!render_chain(e).is_empty());
+                }
+            }
+        }
+        // The control case stays compilable on c99 at every seed.
+        assert!(
+            grid[3][0].is_ok(),
+            "seed {seed}: control benchmark failed: {:?}",
+            grid[3][0].as_ref().err()
+        );
+    }
+}
+
+#[test]
+fn forced_non_convergence_is_a_ground_truth_error() {
+    // Arm the Rival fault point so every ground-truth evaluation tops out
+    // undecided: sampling must classify the failure as `GroundTruth`, and the
+    // `CompileError` chain must surface the non-convergence.
+    let _plan =
+        fault::install(fault::FaultPlan::new().arm("rival.eval", fault::FaultAction::Abort, 0));
+    let core = parse_fpcore("(FPCore (x) (+ x 1))").unwrap();
+    let err = chassis::Sampler::new(5)
+        .sample(&core, 8, 4)
+        .expect_err("no point can converge under the fault");
+    assert!(matches!(err, SampleError::GroundTruth(_)), "got {err:?}");
+    let compile_err = CompileError::from(err);
+    assert!(matches!(
+        compile_err,
+        CompileError::GroundTruth(rival::TruthError::NonConverged { .. })
+    ));
+    assert!(render_chain(&compile_err).contains("did not converge"));
+}
+
+#[test]
+fn panic_in_one_job_fails_only_that_job() {
+    // Arm the per-job fault point to panic from the third compile job on:
+    // with 2 benchmarks x 2 targets, exactly two jobs complete and two become
+    // `CompileError::Internal` — the corpus run itself survives, reports one
+    // `JobFailed` event per lost cell, and the aggregate counts them.
+    let _plan = fault::install(fault::FaultPlan::new().arm(
+        "session.compile",
+        fault::FaultAction::Panic,
+        2,
+    ));
+    let cores = [
+        parse_fpcore("(FPCore (x) :pre (and (> x 1) (< x 1e6)) (- (sqrt (+ x 1)) (sqrt x)))")
+            .unwrap(),
+        parse_fpcore("(FPCore (x) :pre (and (> x 0.5) (< x 50)) (sqrt (+ x 1)))").unwrap(),
+    ];
+    let targets = [
+        builtin::by_name("c99").unwrap(),
+        builtin::by_name("arith-fma").unwrap(),
+    ];
+    let failed_events = AtomicUsize::new(0);
+    let observer = |event: &Progress| {
+        if let Progress::JobFailed { kind, .. } = event {
+            assert_eq!(*kind, ErrorKind::Internal);
+            failed_events.fetch_add(1, Ordering::Relaxed);
+        }
+    };
+    let ctl = SearchControl::new().with_progress(&observer);
+
+    let session = Session::new(Config::fast());
+    let grid = session.compile_many_with(&cores, &targets, &ctl);
+
+    let mut ok = 0;
+    let mut internal = 0;
+    for cell in grid.iter().flatten() {
+        match cell {
+            Ok(_) => ok += 1,
+            Err(e @ CompileError::Internal(panic)) => {
+                internal += 1;
+                assert!(
+                    panic.message().contains("injected fault"),
+                    "payload lost: {panic:?}"
+                );
+                assert!(render_chain(e).contains("session.compile"));
+            }
+            Err(other) => panic!("unexpected error kind: {other:?}"),
+        }
+    }
+    assert_eq!((ok, internal), (2, 2), "exactly two jobs must survive");
+    assert_eq!(failed_events.load(Ordering::Relaxed), 2);
+    let aggregate = SearchStats::aggregate(&grid);
+    assert_eq!(aggregate.jobs_failed, 2);
+    assert!(
+        aggregate.candidates_scored > 0,
+        "the surviving jobs did work"
+    );
+}

@@ -67,6 +67,83 @@ fn wall_clock_budget_exhausts_mid_saturation() {
 }
 
 #[test]
+fn budget_exhausted_before_first_admission_keeps_the_initial_program() {
+    // A budget spent before the improve loop admits anything must not
+    // produce an empty frontier: the initial program is admitted
+    // unconditionally, and `most_accurate`/`cheapest` fall back to it.
+    let core = cancellation();
+    let target = builtin::by_name("c99").unwrap();
+    let session = Session::new(Config::fast());
+    let prepared = session.prepare(&core).unwrap();
+
+    for budget in [Budget::wall_clock(Duration::ZERO), Budget::iterations(0)] {
+        let ctl = SearchControl::new().with_budget(budget);
+        let result = prepared.compile_with(&target, &ctl).unwrap();
+        assert!(
+            !result.implementations.is_empty(),
+            "{budget:?}: the frontier must keep the initial program"
+        );
+        assert!(
+            result
+                .implementations
+                .iter()
+                .any(|imp| imp.rendered == result.initial.rendered),
+            "{budget:?}: the initial program must survive"
+        );
+        let most_accurate = result.most_accurate();
+        let cheapest = result.cheapest();
+        assert!(
+            most_accurate.error_bits <= result.initial.error_bits,
+            "{budget:?}: most_accurate can only improve on the initial"
+        );
+        assert!(
+            cheapest.cost <= result.initial.cost,
+            "{budget:?}: cheapest can only improve on the initial"
+        );
+    }
+}
+
+#[test]
+fn installed_empty_fault_plan_is_invisible() {
+    // The fault layer's contract: with no fault armed it costs nothing and
+    // changes nothing. An *installed but empty* plan turns on the slow path
+    // in every `fault::point`, so comparing it against a plain run checks
+    // the strongest form of the claim — bit-identical frontiers.
+    let core = cancellation();
+    let target = builtin::by_name("c99").unwrap();
+
+    let plain = Session::new(Config::fast())
+        .compile(&core, &target)
+        .unwrap();
+    let under_plan = {
+        let _armed = fault::install(fault::FaultPlan::new());
+        Session::new(Config::fast())
+            .compile(&core, &target)
+            .unwrap()
+    };
+
+    assert_eq!(
+        plain.implementations.len(),
+        under_plan.implementations.len(),
+        "frontier sizes differ under an empty fault plan"
+    );
+    for (a, b) in plain
+        .implementations
+        .iter()
+        .zip(&under_plan.implementations)
+    {
+        assert_eq!(a.rendered, b.rendered, "programs differ");
+        assert_eq!(a.cost.to_bits(), b.cost.to_bits(), "costs differ");
+        assert_eq!(
+            a.error_bits.to_bits(),
+            b.error_bits.to_bits(),
+            "errors differ"
+        );
+    }
+    assert_eq!(plain.initial.rendered, under_plan.initial.rendered);
+}
+
+#[test]
 fn truth_engines_produce_bit_identical_results() {
     // The mixed-precision engine's reuse rules are restricted to provably
     // precision-independent values, so switching engines must change only
