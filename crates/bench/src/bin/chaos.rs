@@ -2,14 +2,16 @@
 //!
 //! Runs a small corpus through [`Session::compile_many`] under hundreds of
 //! seeded [`fault::FaultPlan`]s, each arming 1–3 named fault points
-//! ([`fault::SITES`]) with deterministic abort or panic actions. The gate
+//! ([`fault::PIPELINE_SITES`]) with deterministic abort or panic actions.
+//! The service-layer sites ([`fault::SERVICE_SITES`]) are exercised by the
+//! daemon's own chaos tests in `tests/service.rs` instead. The gate
 //! holds the resilience contract of docs/RESILIENCE.md:
 //!
 //! 1. **No process aborts.** Every injected panic is caught at a job
 //!    boundary; an unwind escaping `compile_many` fails the gate.
 //! 2. **Every cell is `Ok` or a typed error.** Each `Err` cell must render
 //!    its `Display` and `source()` chain, and be classified by
-//!    [`CompileError::kind`]; every failed cell must also have reported a
+//!    [`chassis::CompileError::kind`]; every failed cell must also have reported a
 //!    [`Progress::JobFailed`] event.
 //! 3. **The unarmed layer is free.** With an installed-but-empty plan the
 //!    frontiers are bit-identical to a run with no plan at all.
@@ -20,18 +22,18 @@
 //!
 //! Exit status 1 on any violation; the run is deterministic per `--seed`.
 
-use chassis::{CompilationResult, CompileError, Progress, SearchControl, Session};
-use chassis_bench::HarnessOptions;
+use chassis::{Progress, SearchControl, Session};
+use chassis_bench::{corpus_cores, grid_mismatches, resolve_targets, HarnessOptions, ResultGrid};
 use fpcore::FPCore;
 use std::error::Error as _;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use targets::{builtin, Target};
+use targets::Target;
 
 /// Targets every plan compiles for: one all-emulated and one partly native
 /// (same pair as `search_throughput`).
 const TARGETS: &[&str] = &["c99", "arith-fma"];
 
-type Grid = Vec<Vec<Result<CompilationResult, CompileError>>>;
+type Grid = ResultGrid;
 
 /// Parses `--plans N` (default 200). [`HarnessOptions::from_args`] ignores
 /// flags it does not know, so the two parsers compose.
@@ -58,33 +60,6 @@ fn run_corpus(
     ctl: &SearchControl,
 ) -> Grid {
     Session::new(config.clone()).compile_many_with(cores, target_list, ctl)
-}
-
-/// Bit-level equality of two corpus grids: frontier renderings, cost and
-/// error bits, and the typed errors themselves.
-fn identical(a: &Grid, b: &Grid) -> bool {
-    if a.len() != b.len() {
-        return false;
-    }
-    a.iter().zip(b).all(|(ra, rb)| {
-        ra.len() == rb.len()
-            && ra.iter().zip(rb).all(|(ca, cb)| match (ca, cb) {
-                (Ok(x), Ok(y)) => {
-                    x.implementations.len() == y.implementations.len()
-                        && x.initial.rendered == y.initial.rendered
-                        && x.implementations
-                            .iter()
-                            .zip(&y.implementations)
-                            .all(|(i, j)| {
-                                i.rendered == j.rendered
-                                    && i.cost.to_bits() == j.cost.to_bits()
-                                    && i.error_bits.to_bits() == j.error_bits.to_bits()
-                            })
-                }
-                (Err(x), Err(y)) => x == y,
-                _ => false,
-            })
-    })
 }
 
 /// Checks one fault-plan run's grid: every cell `Ok` or a *well-formed* typed
@@ -140,17 +115,8 @@ fn main() {
         };
         limited.benchmarks()
     };
-    let cores: Vec<FPCore> = benchmarks.iter().map(|b| b.fpcore()).collect();
-    let target_list: Vec<Target> = TARGETS
-        .iter()
-        .filter_map(|n| {
-            let target = builtin::by_name(n);
-            if target.is_none() {
-                eprintln!("warning: unknown builtin target {n:?}, skipping");
-            }
-            target
-        })
-        .collect();
+    let cores: Vec<FPCore> = corpus_cores(&benchmarks);
+    let target_list: Vec<Target> = resolve_targets(TARGETS);
     println!(
         "chaos: {} benchmarks x {} targets, {} fault plans, seed {seed}",
         cores.len(),
@@ -167,8 +133,12 @@ fn main() {
         let _armed = fault::install(fault::FaultPlan::new());
         run_corpus(&cores, &target_list, &config, &ctl)
     };
-    if !identical(&baseline, &empty_run) {
-        eprintln!("FAIL: an installed empty fault plan changed the corpus result");
+    let drift = grid_mismatches(&baseline, &empty_run, true);
+    if !drift.is_empty() {
+        eprintln!("FAIL: an installed empty fault plan changed the corpus result:");
+        for m in &drift {
+            eprintln!("  {m}");
+        }
         std::process::exit(1);
     }
     let baseline_failures = match check_grid(&baseline) {
@@ -195,7 +165,10 @@ fn main() {
     let mut total_failed = 0usize;
     let mut plans_with_fires = 0u64;
     for p in 0..n_plans {
-        let plan = fault::FaultPlan::seeded(seed.wrapping_add(p), fault::SITES);
+        // Seed over the pipeline subset only: the service sites (store.*,
+        // service.accept) are unreachable from a bare corpus run, and a plan
+        // arming only dead sites would water the gate down.
+        let plan = fault::FaultPlan::seeded(seed.wrapping_add(p), fault::PIPELINE_SITES);
         let armed = fault::install(plan.clone());
         let job_failed_events = AtomicUsize::new(0);
         let observer = |event: &Progress| {

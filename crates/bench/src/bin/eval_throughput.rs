@@ -47,10 +47,11 @@
 
 use chassis::lower_fpcore;
 use chassis::rng::Rng;
+use fpcore::eval::semantic_bits;
 use fpcore::Symbol;
 use std::time::{Duration, Instant};
 use targets::analysis::{self, Mode};
-use targets::{builtin, eval_float_expr_indexed, Columns, FloatExpr, Target};
+use targets::{eval_float_expr_indexed, Columns, FloatExpr, Target};
 
 /// Targets the sweep covers: an all-emulated target (c99), two with native
 /// approximate operators (vdt, avx), and a minimal arithmetic one (arith-fma).
@@ -281,14 +282,15 @@ fn measure(
 
     // Bit-identity first. The tree walk is the reference; the scalar bytecode
     // engine — on both the fresh and the optimized program — and the block
-    // engine at every swept size must match it exactly.
+    // engine at every swept size must match it exactly (through
+    // `semantic_bits`: NaN sign/payload is codegen-dependent and exempt).
     let reference: Vec<u64> = rows
         .iter()
-        .map(|point| eval_float_expr_indexed(target, expr, &vars, point).to_bits())
+        .map(|point| semantic_bits(eval_float_expr_indexed(target, expr, &vars, point)))
         .collect();
     for (point, &want) in rows.iter().zip(&reference) {
         let byte = program.eval_point(&columns, point, &mut regs);
-        if byte.to_bits() != want {
+        if semantic_bits(byte) != want {
             *mismatches += 1;
             eprintln!(
                 "BIT MISMATCH (scalar bytecode): {benchmark} on {target_name} at {point:?}: \
@@ -298,7 +300,7 @@ fn measure(
             );
         }
         let opt = optimized.eval_point(&opt_columns, point, &mut opt_regs);
-        if opt.to_bits() != want {
+        if semantic_bits(opt) != want {
             *mismatches += 1;
             eprintln!(
                 "BIT MISMATCH (optimized bytecode): {benchmark} on {target_name} at {point:?}: \
@@ -314,7 +316,7 @@ fn measure(
         let mut block_regs = optimized.new_block_regs(width);
         optimized.eval_range(&opt_columns, &points, 0, &mut block_regs, &mut block_out);
         for (i, (got, &want)) in block_out.iter().zip(&reference).enumerate() {
-            if got.to_bits() != want {
+            if semantic_bits(*got) != want {
                 *mismatches += 1;
                 eprintln!(
                     "BIT MISMATCH (block {width}): {benchmark} on {target_name} at {:?}: \
@@ -763,11 +765,11 @@ fn main() {
     let mut mismatches = 0usize;
     let mut stream = 0u64;
 
+    // A misnamed target is reported (by `resolve_targets`) and skipped — the
+    // rest of the corpus still measures.
+    let resolved = chassis_bench::resolve_targets(TARGETS);
     for target_name in TARGETS {
-        // A misnamed target is reported and skipped — the rest of the corpus
-        // still measures.
-        let Some(target) = builtin::by_name(target_name) else {
-            eprintln!("warning: unknown builtin target {target_name:?}, skipping");
+        let Some(target) = resolved.iter().find(|t| t.name == *target_name) else {
             continue;
         };
         for benchmark in benchsuite::all() {
@@ -775,12 +777,12 @@ fn main() {
             let core = benchmark.fpcore();
             // Benchmarks using operators the target lacks are skipped, like
             // everywhere else in the harness.
-            let Ok(program) = lower_fpcore(&core, &target) else {
+            let Ok(program) = lower_fpcore(&core, target) else {
                 continue;
             };
             let domains = analysis::domains_from_pre(core.pre.as_ref());
             let (case, diverged) = measure(
-                &target,
+                target,
                 target_name,
                 benchmark.name,
                 &program,

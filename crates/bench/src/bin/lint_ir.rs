@@ -169,10 +169,7 @@ fn main() {
         lint.report(&format!("target description {}", target.name), &violations);
     }
 
-    let mut suite: Vec<(String, fpcore::FPCore)> = benchsuite::all()
-        .iter()
-        .map(|b| (b.name.to_string(), b.fpcore()))
-        .collect();
+    let mut suite: Vec<(String, fpcore::FPCore)> = chassis_bench::named_corpus_cores();
     for (name, source) in SYNTHETIC {
         // A broken synthetic case is a diagnostic like any other lint
         // failure: report it and keep linting the rest of the suite.

@@ -41,11 +41,11 @@
 //!     --limit 8 --min-par-speedup 2 --min-gt-speedup 1.5 --out BENCH_search.json
 //! ```
 
-use chassis::{par, CompilationResult, CompileError, Config, SearchStats, Session, TruthEngine};
-use chassis_bench::HarnessOptions;
+use chassis::{par, Config, SearchStats, Session, TruthEngine};
+use chassis_bench::{corpus_cores, grid_mismatches, HarnessOptions, ResultGrid};
 use fpcore::FPCore;
 use std::time::{Duration, Instant};
-use targets::{builtin, Target};
+use targets::Target;
 
 /// Targets every sweep compiles for: one all-emulated (c99) and one
 /// native-arithmetic (arith-fma) target.
@@ -143,7 +143,7 @@ impl Options {
             fast: !self.thorough,
             seed: self.seed,
         };
-        harness.benchmarks().iter().map(|b| b.fpcore()).collect()
+        corpus_cores(&harness.benchmarks())
     }
 }
 
@@ -165,7 +165,7 @@ struct Sweep {
     gt_hits: usize,
     gt_misses: usize,
     balanced: usize,
-    rows: Vec<Vec<Result<CompilationResult, CompileError>>>,
+    rows: ResultGrid,
 }
 
 fn run_sweep(
@@ -217,46 +217,14 @@ fn run_sweep(
 }
 
 /// Asserts two corpus sweeps produced bit-identical frontiers everywhere.
+/// Error cells are matched loosely (`strict_errors = false`): engine choice
+/// may legitimately change a failure's detail, but never Ok vs. Err.
 fn assert_identical(reference: &Sweep, other: &Sweep) -> bool {
-    let mut ok = true;
-    for (b, (row_a, row_b)) in reference.rows.iter().zip(&other.rows).enumerate() {
-        for (t, (a, b_result)) in row_a.iter().zip(row_b).enumerate() {
-            let cell = format!(
-                "benchmark {b}, target {t} ({} vs {})",
-                reference.label, other.label
-            );
-            match (a, b_result) {
-                (Ok(x), Ok(y)) => {
-                    if x.implementations.len() != y.implementations.len() {
-                        eprintln!("error: {cell}: frontier sizes differ");
-                        ok = false;
-                        continue;
-                    }
-                    for (i, j) in x.implementations.iter().zip(&y.implementations) {
-                        if i.rendered != j.rendered
-                            || i.cost.to_bits() != j.cost.to_bits()
-                            || i.error_bits.to_bits() != j.error_bits.to_bits()
-                        {
-                            eprintln!("error: {cell}: frontier point differs");
-                            ok = false;
-                        }
-                    }
-                    if x.initial.rendered != y.initial.rendered
-                        || x.initial.error_bits.to_bits() != y.initial.error_bits.to_bits()
-                    {
-                        eprintln!("error: {cell}: initial program differs");
-                        ok = false;
-                    }
-                }
-                (Err(_), Err(_)) => {}
-                _ => {
-                    eprintln!("error: {cell}: one run failed where the other succeeded");
-                    ok = false;
-                }
-            }
-        }
+    let mismatches = grid_mismatches(&reference.rows, &other.rows, false);
+    for m in &mismatches {
+        eprintln!("error: {m} ({} vs {})", reference.label, other.label);
     }
-    ok
+    mismatches.is_empty()
 }
 
 fn ms(d: Duration) -> f64 {
@@ -349,16 +317,7 @@ fn to_json(
 fn main() {
     let options = Options::from_args();
     let cores_list = options.corpus();
-    let target_list: Vec<Target> = TARGETS
-        .iter()
-        .filter_map(|n| {
-            let target = builtin::by_name(n);
-            if target.is_none() {
-                eprintln!("warning: unknown builtin target {n:?}, skipping");
-            }
-            target
-        })
-        .collect();
+    let target_list: Vec<Target> = chassis_bench::resolve_targets(TARGETS);
     let seed = options.config().seed;
     let cores_available = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
     println!(

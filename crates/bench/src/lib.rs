@@ -8,9 +8,9 @@
 
 use benchsuite::Benchmark;
 use chassis::baseline::herbie::transcribe;
-use chassis::{CompilationResult, Config, Prepared, Session};
+use chassis::{CompilationResult, CompileError, Config, Prepared, Session};
 use fpcore::FPCore;
-use targets::{program_cost, Target};
+use targets::{builtin, program_cost, Target};
 
 /// One implementation's aggregate-relevant statistics.
 #[derive(Clone, Copy, Debug)]
@@ -181,6 +181,98 @@ impl HarnessOptions {
         }
         picked
     }
+}
+
+/// Resolves builtin target names in order, warning on stderr and skipping any
+/// name [`targets::builtin`] does not know. Every harness binary that takes a
+/// target list goes through this, so a misnamed target degrades the sweep the
+/// same way everywhere instead of aborting it.
+pub fn resolve_targets(names: &[&str]) -> Vec<Target> {
+    names
+        .iter()
+        .filter_map(|n| {
+            let target = builtin::by_name(n);
+            if target.is_none() {
+                eprintln!("warning: unknown builtin target {n:?}, skipping");
+            }
+            target
+        })
+        .collect()
+}
+
+/// Parses a benchmark subset into `FPCore`s, preserving corpus order.
+pub fn corpus_cores(benchmarks: &[&'static Benchmark]) -> Vec<FPCore> {
+    benchmarks.iter().map(|b| b.fpcore()).collect()
+}
+
+/// The full corpus with names attached, for gates that sweep everything and
+/// report per-case (`lint_ir` and friends).
+pub fn named_corpus_cores() -> Vec<(String, FPCore)> {
+    benchsuite::all()
+        .iter()
+        .map(|b| (b.name.to_string(), b.fpcore()))
+        .collect()
+}
+
+/// A corpus compilation grid as produced by [`Session::compile_many`]: rows
+/// are benchmarks, columns targets.
+pub type ResultGrid = Vec<Vec<Result<CompilationResult, CompileError>>>;
+
+/// Bit-level identity check between two corpus grids: frontier renderings,
+/// cost and error bits, and the initial programs must match cell for cell.
+/// With `strict_errors`, failed cells must carry *equal* typed errors (the
+/// chaos gate's empty-plan invariant); without it, two failures match
+/// regardless of message (cross-engine sweeps, where timing-dependent detail
+/// may differ). Returns a human-readable description of every mismatch —
+/// empty means identical.
+pub fn grid_mismatches(a: &ResultGrid, b: &ResultGrid, strict_errors: bool) -> Vec<String> {
+    let mut mismatches = Vec::new();
+    if a.len() != b.len() {
+        mismatches.push(format!(
+            "grid shapes differ: {} vs {} rows",
+            a.len(),
+            b.len()
+        ));
+        return mismatches;
+    }
+    for (bench, (row_a, row_b)) in a.iter().zip(b).enumerate() {
+        if row_a.len() != row_b.len() {
+            mismatches.push(format!("benchmark {bench}: row widths differ"));
+            continue;
+        }
+        for (t, (x, y)) in row_a.iter().zip(row_b).enumerate() {
+            let cell = format!("benchmark {bench}, target {t}");
+            match (x, y) {
+                (Ok(x), Ok(y)) => {
+                    if x.implementations.len() != y.implementations.len() {
+                        mismatches.push(format!("{cell}: frontier sizes differ"));
+                        continue;
+                    }
+                    if x.initial.rendered != y.initial.rendered
+                        || x.initial.error_bits.to_bits() != y.initial.error_bits.to_bits()
+                    {
+                        mismatches.push(format!("{cell}: initial program differs"));
+                    }
+                    for (i, (p, q)) in x.implementations.iter().zip(&y.implementations).enumerate()
+                    {
+                        if p.rendered != q.rendered
+                            || p.cost.to_bits() != q.cost.to_bits()
+                            || p.error_bits.to_bits() != q.error_bits.to_bits()
+                        {
+                            mismatches.push(format!("{cell}: frontier point {i} differs"));
+                        }
+                    }
+                }
+                (Err(x), Err(y)) => {
+                    if strict_errors && x != y {
+                        mismatches.push(format!("{cell}: errors differ ({x} vs {y})"));
+                    }
+                }
+                _ => mismatches.push(format!("{cell}: one run failed where the other succeeded")),
+            }
+        }
+    }
+    mismatches
 }
 
 /// Runs `run` over every benchmark of a corpus subset, fanning benchmarks out
@@ -433,6 +525,24 @@ mod tests {
         assert_eq!(curve.len(), 5);
         assert!(curve[0].speedup > curve[4].speedup);
         assert!(curve[0].total_accuracy < curve[4].total_accuracy);
+    }
+
+    #[test]
+    fn target_resolution_skips_unknown_names() {
+        let resolved = resolve_targets(&["c99", "no-such-target", "arith-fma"]);
+        let names: Vec<&str> = resolved.iter().map(|t| t.name.as_str()).collect();
+        assert_eq!(names, ["c99", "arith-fma"]);
+        assert!(resolve_targets(&[]).is_empty());
+    }
+
+    #[test]
+    fn corpus_loaders_preserve_order_and_names() {
+        let all = benchsuite::all();
+        let cores = corpus_cores(&all.iter().collect::<Vec<_>>());
+        assert_eq!(cores.len(), all.len());
+        let named = named_corpus_cores();
+        assert_eq!(named.len(), all.len());
+        assert!(named.iter().zip(all).all(|((name, _), b)| name == b.name));
     }
 
     #[test]

@@ -76,6 +76,44 @@ impl Config {
         self.seed = seed;
         self
     }
+
+    /// A stable 128-bit fingerprint of every configuration field that can
+    /// change a compilation *result*. The compilation service keys its
+    /// content-addressed cache on this together with the benchmark's
+    /// canonical text, the target fingerprint, and the seed.
+    ///
+    /// Two fields are deliberately excluded:
+    ///
+    /// * `seed` — it is its own key component (the service hashes it
+    ///   separately, and callers reason about "same request, different seed"
+    ///   directly);
+    /// * `truth_engine` — the uniform and adaptive engines are bit-identical
+    ///   by construction (gated by `search_throughput` and tests/search.rs),
+    ///   so folding the engine choice in would only split the cache without
+    ///   ever changing a result.
+    ///
+    /// The saturation *wall-clock* limits are included: a shorter time cap
+    /// can genuinely cut a search differently, so two configs that differ
+    /// there must not share cache entries (equal caps on machines of
+    /// different speeds can still diverge — the cache trades that corner for
+    /// hit rate, exactly as rerunning the compiler would).
+    pub fn fingerprint(&self) -> u128 {
+        let mut h = fpcore::hash::ContentHasher::new();
+        h.u64(self.train_points as u64);
+        h.u64(self.test_points as u64);
+        h.u64(u64::from(self.regimes));
+        h.u64(self.improve.iterations as u64);
+        h.u64(self.improve.candidates_per_iteration as u64);
+        h.u64(self.improve.subexprs_per_candidate as u64);
+        h.u64(self.improve.isel.node_limit as u64);
+        h.u64(self.improve.isel.iter_limit as u64);
+        h.u64(self.improve.isel.time_limit.as_millis() as u64);
+        h.u64(self.improve.isel.max_candidates as u64);
+        h.u64(self.improve.cost_opp.node_limit as u64);
+        h.u64(self.improve.cost_opp.iter_limit as u64);
+        h.u64(self.improve.cost_opp.time_limit.as_millis() as u64);
+        h.digest()
+    }
 }
 
 /// The resource whose limit a [`CompileError::ResourceExhausted`] hit.
@@ -386,6 +424,27 @@ mod tests {
         let target = builtin::by_name("c99").unwrap();
         let result = Session::new(Config::fast()).compile(&core, &target);
         assert!(matches!(result, Err(CompileError::Sampling(_))));
+    }
+
+    #[test]
+    fn config_fingerprints_track_result_relevant_fields_only() {
+        let base = Config::default();
+        assert_eq!(base.fingerprint(), Config::default().fingerprint());
+        assert_ne!(base.fingerprint(), Config::fast().fingerprint());
+        // Seed and truth engine do not change results for a fixed key, so
+        // they are keyed separately / excluded (see the method docs).
+        assert_eq!(
+            base.fingerprint(),
+            Config::default().with_seed(999).fingerprint()
+        );
+        let adaptive_off = Config {
+            truth_engine: crate::sample::TruthEngine::Uniform,
+            ..Config::default()
+        };
+        assert_eq!(base.fingerprint(), adaptive_off.fingerprint());
+        let mut fewer_iters = Config::default();
+        fewer_iters.improve.iterations -= 1;
+        assert_ne!(base.fingerprint(), fewer_iters.fingerprint());
     }
 
     #[test]

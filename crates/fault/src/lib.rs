@@ -46,13 +46,43 @@ use std::sync::{Arc, Mutex, MutexGuard, PoisonError, RwLock};
 ///   degrades to the serial path, a panic exercises worker-panic transport.
 /// * `session.compile` — at the head of each per-target compile job; the
 ///   direct way to prove per-job isolation in `compile_many`.
+/// * `store.read` — in the service result store's disk-read path; an abort
+///   makes the entry unreadable (as a corrupt or torn file would), so the
+///   lookup degrades to a cache miss.
+/// * `store.write` — in the service result store's disk-write path; an abort
+///   skips persistence (disk-full style), degrading the store to memory-only
+///   for that entry.
+/// * `service.accept` — in the compile daemon's accept loop; an abort drops
+///   one incoming connection (transient network failure), a panic exercises
+///   the accept thread's isolation boundary.
 pub const SITES: &[&str] = &[
     "sample.points",
     "rival.eval",
     "egraph.saturate",
     "par.spawn",
     "session.compile",
+    "store.read",
+    "store.write",
+    "service.accept",
 ];
+
+/// The compilation-pipeline subset of [`SITES`]: every point reachable from a
+/// bare [`compile_many`] corpus run, with no daemon in the loop. The `chaos`
+/// gate seeds its plans over this list so every plan can actually fire.
+///
+/// [`compile_many`]: https://docs.rs/ (chassis::Session::compile_many)
+pub const PIPELINE_SITES: &[&str] = &[
+    "sample.points",
+    "rival.eval",
+    "egraph.saturate",
+    "par.spawn",
+    "session.compile",
+];
+
+/// The service subset of [`SITES`]: the result store's disk paths and the
+/// daemon's accept loop. The service chaos tests arm these (usually together
+/// with [`PIPELINE_SITES`], since a daemon request runs the whole pipeline).
+pub const SERVICE_SITES: &[&str] = &["store.read", "store.write", "service.accept"];
 
 /// What an armed fault point does when it fires.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -286,6 +316,14 @@ fn point_armed(site: &str) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn site_subsets_partition_the_registry() {
+        let mut combined: Vec<&str> = Vec::new();
+        combined.extend_from_slice(PIPELINE_SITES);
+        combined.extend_from_slice(SERVICE_SITES);
+        assert_eq!(combined, SITES, "PIPELINE_SITES + SERVICE_SITES == SITES");
+    }
 
     #[test]
     fn unarmed_points_are_inert() {

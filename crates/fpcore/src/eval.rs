@@ -318,6 +318,30 @@ pub fn env_from(names: &[Symbol], values: &[f64]) -> Env {
     names.iter().copied().zip(values.iter().copied()).collect()
 }
 
+/// The bits of `x` for *semantic* comparison: every NaN collapses to the one
+/// canonical quiet NaN, everything else (including signed zeros) compares by
+/// exact bit pattern.
+///
+/// The engines' bit-identity contract is stated modulo this normalization.
+/// IEEE 754 (§6.3) leaves the sign and payload of a NaN *produced by an
+/// arithmetic operation* unspecified, and real hardware disagrees: x86
+/// propagates the first NaN operand of `mulsd`/`mulpd` (so LLVM, which treats
+/// `fmul` as commutative, may swap operands between a scalar loop and its
+/// auto-vectorized clone and flip which NaN comes out — observed as a
+/// NaN *sign* flip at exactly-vector-multiple block widths in release
+/// builds), while RISC-V canonicalizes every NaN result in hardware. No
+/// portable program can depend on those bits, so differential tests and the
+/// corpus bit-identity gates compare through this function. Non-NaN results
+/// remain exact to the last bit.
+#[inline]
+pub fn semantic_bits(x: f64) -> u64 {
+    if x.is_nan() {
+        f64::NAN.to_bits()
+    } else {
+        x.to_bits()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,174 @@
+//! Stable content hashing for cache keys.
+//!
+//! The compilation service (`crates/service`) keys its content-addressed
+//! result store by a hash over the request's semantic content: the canonical
+//! FPCore text, the target fingerprint, the seed, and the configuration
+//! fingerprint. That key must be **stable** — equal across processes, runs,
+//! and compiler versions — which rules out [`std::hash::DefaultHasher`]
+//! (SipHash with unspecified keys, explicitly not guaranteed stable) and
+//! anything seeded per process.
+//!
+//! [`ContentHasher`] is FNV-1a over two independent 64-bit lanes (distinct
+//! offset bases, same prime), concatenated into a 128-bit digest. FNV-1a is
+//! not cryptographic, and does not need to be here: the key guards a *cache*,
+//! not a security boundary, and at 128 bits the collision probability across
+//! even billions of distinct requests is negligible (birthday bound ≈ n²/2¹²⁹).
+//! What matters is that the function is simple enough to specify exactly —
+//! the on-disk store outlives any one binary, so the digest algorithm is part
+//! of the store format (see `docs/SERVICE.md`).
+//!
+//! Every value feeds the hasher through an explicit, length-prefixed
+//! byte encoding ([`ContentHasher::str`], [`ContentHasher::u64`], ...), so
+//! two different field sequences cannot collide by concatenation ambiguity
+//! ("ab" + "c" vs "a" + "bc").
+
+use crate::ast::FPCore;
+
+/// FNV-1a offset basis (the standard 64-bit value).
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// A second, independent offset basis for the high lane: the standard basis
+/// hashed with itself, fixed here as a constant so the digest is fully
+/// specified by this file.
+const FNV_OFFSET_HI: u64 = 0xaf63_bd4c_8601_b7df;
+/// FNV-1a 64-bit prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// A stable 128-bit content hasher (two independent FNV-1a lanes).
+///
+/// ```
+/// use fpcore::hash::ContentHasher;
+/// let mut h = ContentHasher::new();
+/// h.str("hello");
+/// h.u64(7);
+/// let digest = h.digest();
+/// assert_eq!(digest, {
+///     let mut again = ContentHasher::new();
+///     again.str("hello");
+///     again.u64(7);
+///     again.digest()
+/// });
+/// ```
+#[derive(Clone, Debug)]
+pub struct ContentHasher {
+    lo: u64,
+    hi: u64,
+}
+
+impl Default for ContentHasher {
+    fn default() -> Self {
+        ContentHasher::new()
+    }
+}
+
+impl ContentHasher {
+    /// A fresh hasher.
+    pub fn new() -> ContentHasher {
+        ContentHasher {
+            lo: FNV_OFFSET,
+            hi: FNV_OFFSET_HI,
+        }
+    }
+
+    /// Feeds raw bytes (no length prefix — use the typed feeders below for
+    /// anything that concatenates fields).
+    pub fn bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.lo = (self.lo ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+            self.hi = (self.hi ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Feeds a `u64` as eight little-endian bytes.
+    pub fn u64(&mut self, value: u64) {
+        self.bytes(&value.to_le_bytes());
+    }
+
+    /// Feeds an `f64` by bit pattern (NaN payloads and signed zeros are
+    /// distinct, exactly as the evaluation engines treat them).
+    pub fn f64(&mut self, value: f64) {
+        self.u64(value.to_bits());
+    }
+
+    /// Feeds a `u128` as sixteen little-endian bytes (low half first) — used
+    /// to chain digests, e.g. feeding a target fingerprint into a request key.
+    pub fn u128(&mut self, value: u128) {
+        self.u64(value as u64);
+        self.u64((value >> 64) as u64);
+    }
+
+    /// Feeds a string, length-prefixed so adjacent fields cannot alias.
+    pub fn str(&mut self, s: &str) {
+        self.u64(s.len() as u64);
+        self.bytes(s.as_bytes());
+    }
+
+    /// The 128-bit digest of everything fed so far.
+    pub fn digest(&self) -> u128 {
+        (u128::from(self.hi) << 64) | u128::from(self.lo)
+    }
+
+    /// The digest as 32 lowercase hex characters — the textual key format the
+    /// service's store and wire protocol use.
+    pub fn hex_digest(&self) -> String {
+        format!("{:032x}", self.digest())
+    }
+}
+
+/// The canonical text of an FPCore benchmark: printed from the parsed AST, so
+/// whitespace, comments, number spellings that parse equal, and property
+/// order in the source all collapse to one spelling. Two requests whose
+/// FPCore sources differ only textually therefore hash to the same content
+/// key.
+pub fn canonical_text(core: &FPCore) -> String {
+    crate::printer::fpcore_to_sexpr(core)
+}
+
+/// The stable 128-bit content hash of an FPCore benchmark (the hash of its
+/// [`canonical_text`]).
+pub fn fpcore_hash(core: &FPCore) -> u128 {
+    let mut h = ContentHasher::new();
+    h.str(&canonical_text(core));
+    h.digest()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_fpcore;
+
+    #[test]
+    fn digests_are_stable_across_runs() {
+        // Golden values: these must never change, because on-disk store
+        // entries written by one build must be found by the next. If this
+        // test fails, the digest algorithm changed and the store format
+        // version must be bumped.
+        let mut h = ContentHasher::new();
+        assert_eq!(h.digest(), 0xaf63bd4c8601b7dfcbf29ce484222325);
+        h.str("chassis");
+        h.u64(20250413);
+        assert_eq!(h.hex_digest(), "43fb4e0f5f288a0b5f472abb4db8dfe5");
+    }
+
+    #[test]
+    fn field_boundaries_do_not_alias() {
+        let mut a = ContentHasher::new();
+        a.str("ab");
+        a.str("c");
+        let mut b = ContentHasher::new();
+        b.str("a");
+        b.str("bc");
+        assert_ne!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn canonical_text_collapses_formatting() {
+        let a = parse_fpcore("(FPCore (x) :pre (> x 0) (- (sqrt (+ x 1)) (sqrt x)))").unwrap();
+        let b =
+            parse_fpcore("(FPCore   (x)\n   :pre (> x 0)\n   (- (sqrt (+ x 1))\n      (sqrt x)))")
+                .unwrap();
+        assert_eq!(canonical_text(&a), canonical_text(&b));
+        assert_eq!(fpcore_hash(&a), fpcore_hash(&b));
+        let c = parse_fpcore("(FPCore (x) (- (sqrt (+ x 1)) (sqrt x)))").unwrap();
+        assert_ne!(fpcore_hash(&a), fpcore_hash(&c), "the :pre is content");
+    }
+}

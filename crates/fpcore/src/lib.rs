@@ -29,6 +29,7 @@
 pub mod ast;
 pub mod constant;
 pub mod eval;
+pub mod hash;
 pub mod parser;
 pub mod printer;
 pub mod rational;

@@ -1,0 +1,110 @@
+//! A minimal blocking HTTP client for talking to the daemon.
+//!
+//! One connection per call, `Connection: close`: deliberately the simplest
+//! thing that is correct. The replay bench measures *daemon* throughput, and
+//! the dominant costs it compares (search vs cache hit) dwarf connection
+//! setup on loopback.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// A response: status code and body text.
+#[derive(Clone, Debug)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// Body (the daemon always answers JSON).
+    pub body: String,
+}
+
+/// Sends one request and reads the full response.
+///
+/// # Errors
+///
+/// Returns the underlying I/O error message on connection failure, and a
+/// description on a malformed response.
+pub fn request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> Result<Response, String> {
+    let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(600)))
+        .map_err(|e| e.to_string())?;
+    let mut write_half = stream.try_clone().map_err(|e| e.to_string())?;
+    let payload = body.unwrap_or("");
+    write!(
+        write_half,
+        "{method} {path} HTTP/1.1\r\nHost: chassis\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{payload}",
+        payload.len()
+    )
+    .map_err(|e| format!("send: {e}"))?;
+    write_half.flush().map_err(|e| format!("send: {e}"))?;
+
+    let mut reader = BufReader::new(stream);
+    let mut status_line = String::new();
+    reader
+        .read_line(&mut status_line)
+        .map_err(|e| format!("read status: {e}"))?;
+    let status: u16 = status_line
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("malformed status line {status_line:?}"))?;
+
+    let mut content_length: Option<usize> = None;
+    loop {
+        let mut line = String::new();
+        let n = reader
+            .read_line(&mut line)
+            .map_err(|e| format!("read header: {e}"))?;
+        let line = line.trim_end();
+        if n == 0 || line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().ok();
+            }
+        }
+    }
+
+    let body = match content_length {
+        Some(n) => {
+            let mut buf = vec![0u8; n];
+            reader
+                .read_exact(&mut buf)
+                .map_err(|e| format!("read body: {e}"))?;
+            String::from_utf8(buf).map_err(|_| "non-utf8 body".to_owned())?
+        }
+        None => {
+            let mut buf = String::new();
+            reader
+                .read_to_string(&mut buf)
+                .map_err(|e| format!("read body: {e}"))?;
+            buf
+        }
+    };
+    Ok(Response { status, body })
+}
+
+/// `POST` a JSON body to a path.
+///
+/// # Errors
+///
+/// See [`request`].
+pub fn post_json(addr: SocketAddr, path: &str, body: &str) -> Result<Response, String> {
+    request(addr, "POST", path, Some(body))
+}
+
+/// `GET` a path.
+///
+/// # Errors
+///
+/// See [`request`].
+pub fn get(addr: SocketAddr, path: &str) -> Result<Response, String> {
+    request(addr, "GET", path, None)
+}

@@ -1,0 +1,269 @@
+//! A bounded worker pool with fair per-client scheduling.
+//!
+//! Compilation jobs are CPU-bound and can take seconds each, so the daemon
+//! must not let one chatty client starve everyone else. Jobs are queued **per
+//! client** and workers pick the next job **round-robin across clients**: a
+//! client that submits 100 jobs and a client that submits 1 job each get a
+//! worker on the next two dispatches, not after 100.
+//!
+//! The total queue is bounded; [`Pool::submit`] refuses (and the server
+//! answers `503`) rather than queueing unboundedly. Jobs are plain closures —
+//! panic isolation is the job's own responsibility (the server runs compiles
+//! through `Session::compile_many_with`, which already catches panics per
+//! job).
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct Sched {
+    /// Per-client FIFO queues.
+    queues: HashMap<String, VecDeque<Job>>,
+    /// Round-robin order over clients that currently have queued jobs.
+    order: VecDeque<String>,
+    /// Total queued jobs across all clients.
+    queued: usize,
+    shutdown: bool,
+}
+
+struct PoolInner {
+    sched: Mutex<Sched>,
+    work_available: Condvar,
+    max_queued: usize,
+    rejected: AtomicU64,
+    completed: AtomicU64,
+}
+
+/// The pool handle. Dropping it does **not** stop the workers; call
+/// [`Pool::shutdown`] for a clean drain-and-join.
+pub struct Pool {
+    inner: Arc<PoolInner>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+/// `submit` refused because the queue bound was reached.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PoolFull;
+
+fn lock(m: &Mutex<Sched>) -> MutexGuard<'_, Sched> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+impl Pool {
+    /// Starts `workers` worker threads with a total queue bound of
+    /// `max_queued` jobs.
+    pub fn new(workers: usize, max_queued: usize) -> Pool {
+        let inner = Arc::new(PoolInner {
+            sched: Mutex::new(Sched {
+                queues: HashMap::new(),
+                order: VecDeque::new(),
+                queued: 0,
+                shutdown: false,
+            }),
+            work_available: Condvar::new(),
+            max_queued: max_queued.max(1),
+            rejected: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+        });
+        let handles = (0..workers.max(1))
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("chassis-worker-{i}"))
+                    .spawn(move || worker_loop(&inner))
+            })
+            .collect::<Result<Vec<_>, _>>()
+            .unwrap_or_default();
+        Pool {
+            inner,
+            workers: handles,
+        }
+    }
+
+    /// Queues a job on `client`'s queue.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PoolFull`] when the total queue bound is reached (the
+    /// caller should answer `503`), or after shutdown began.
+    pub fn submit(&self, client: &str, job: Job) -> Result<(), PoolFull> {
+        let mut sched = lock(&self.inner.sched);
+        if sched.shutdown || sched.queued >= self.inner.max_queued {
+            drop(sched);
+            self.inner.rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(PoolFull);
+        }
+        let queue = sched.queues.entry(client.to_owned()).or_default();
+        let was_empty = queue.is_empty();
+        queue.push_back(job);
+        sched.queued += 1;
+        if was_empty {
+            sched.order.push_back(client.to_owned());
+        }
+        drop(sched);
+        self.inner.work_available.notify_one();
+        Ok(())
+    }
+
+    /// Jobs refused by the queue bound so far.
+    pub fn rejected(&self) -> u64 {
+        self.inner.rejected.load(Ordering::Relaxed)
+    }
+
+    /// Jobs completed so far.
+    pub fn completed(&self) -> u64 {
+        self.inner.completed.load(Ordering::Relaxed)
+    }
+
+    /// Drains already-queued jobs, then stops and joins every worker. New
+    /// submissions are refused from the moment this is called.
+    pub fn shutdown(mut self) {
+        {
+            let mut sched = lock(&self.inner.sched);
+            sched.shutdown = true;
+        }
+        self.inner.work_available.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(inner: &PoolInner) {
+    loop {
+        let job = {
+            let mut sched = lock(&inner.sched);
+            loop {
+                // Round-robin: take the front client, pop one of its jobs,
+                // and re-queue the client at the back if it has more.
+                if let Some(client) = sched.order.pop_front() {
+                    let (job, more) = match sched.queues.get_mut(&client) {
+                        Some(queue) => (queue.pop_front(), !queue.is_empty()),
+                        None => (None, false),
+                    };
+                    if more {
+                        sched.order.push_back(client);
+                    } else {
+                        sched.queues.remove(&client);
+                    }
+                    if let Some(job) = job {
+                        sched.queued -= 1;
+                        break job;
+                    }
+                    continue;
+                }
+                if sched.shutdown {
+                    return;
+                }
+                sched = inner
+                    .work_available
+                    .wait(sched)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+        };
+        job();
+        inner.completed.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc;
+
+    #[test]
+    fn runs_jobs_and_drains_on_shutdown() {
+        let pool = Pool::new(2, 64);
+        let (tx, rx) = mpsc::channel();
+        for i in 0..10 {
+            let tx = tx.clone();
+            pool.submit("c", Box::new(move || tx.send(i).unwrap()))
+                .unwrap();
+        }
+        pool.shutdown();
+        let mut seen: Vec<i32> = rx.try_iter().collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn queue_bound_refuses_excess_jobs() {
+        // One worker, blocked on a gate: everything else queues.
+        let pool = Pool::new(1, 2);
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        let g = Arc::clone(&gate);
+        pool.submit(
+            "c",
+            Box::new(move || {
+                let (m, cv) = &*g;
+                let mut open = m.lock().unwrap();
+                while !*open {
+                    open = cv.wait(open).unwrap();
+                }
+            }),
+        )
+        .unwrap();
+        // Wait until the worker has picked the blocker up, then fill the queue.
+        while pool.completed() == 0 && lock(&pool.inner.sched).queued > 0 {
+            std::thread::yield_now();
+        }
+        pool.submit("c", Box::new(|| {})).unwrap();
+        pool.submit("c", Box::new(|| {})).unwrap();
+        assert_eq!(pool.submit("c", Box::new(|| {})), Err(PoolFull));
+        assert_eq!(pool.rejected(), 1);
+        let (m, cv) = &*gate;
+        *m.lock().unwrap() = true;
+        cv.notify_all();
+        pool.shutdown();
+    }
+
+    #[test]
+    fn single_worker_alternates_between_clients() {
+        // Submit 3 jobs for a chatty client and 1 for a quiet one while the
+        // single worker is blocked; the quiet client's job must run before
+        // the chatty client's backlog is done.
+        let pool = Pool::new(1, 64);
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        let g = Arc::clone(&gate);
+        pool.submit(
+            "chatty",
+            Box::new(move || {
+                let (m, cv) = &*g;
+                let mut open = m.lock().unwrap();
+                while !*open {
+                    open = cv.wait(open).unwrap();
+                }
+            }),
+        )
+        .unwrap();
+        let order = Arc::new(Mutex::new(Vec::new()));
+        for i in 0..3 {
+            let order = Arc::clone(&order);
+            pool.submit(
+                "chatty",
+                Box::new(move || order.lock().unwrap().push(format!("chatty{i}"))),
+            )
+            .unwrap();
+        }
+        let o = Arc::clone(&order);
+        pool.submit(
+            "quiet",
+            Box::new(move || o.lock().unwrap().push("quiet".to_owned())),
+        )
+        .unwrap();
+        let (m, cv) = &*gate;
+        *m.lock().unwrap() = true;
+        cv.notify_all();
+        pool.shutdown();
+        let seen = order.lock().unwrap().clone();
+        assert_eq!(seen.len(), 4);
+        let quiet_at = seen.iter().position(|s| s == "quiet").unwrap();
+        assert!(
+            quiet_at <= 1,
+            "quiet client should not wait behind the whole chatty backlog: {seen:?}"
+        );
+    }
+}

@@ -28,6 +28,18 @@
 //! [`Program::eval_point`] and to the tree walk at *any* block width, which
 //! the differential tests and the `eval_throughput` CI gate both assert.
 //!
+//! One carve-out: **NaN sign and payload**. IEEE 754 §6.3 leaves both
+//! unspecified for the NaN an arithmetic operation produces, and optimizing
+//! codegen exploits that — LLVM may commute the operands of an
+//! auto-vectorized `fmul`, changing which input NaN x86 propagates, so a
+//! release build can flip a propagated NaN's sign bit at exactly
+//! vector-multiple widths. The identity contract is therefore *semantic*
+//! bits: exact bit equality for every non-NaN value (signed zeros and
+//! subnormals included), any NaN equal to any NaN
+//! ([`fpcore::eval::semantic_bits`]). Nothing downstream can see the
+//! difference: every consumer of these engines (error bits, costs, regime
+//! decisions) treats all NaNs alike.
+//!
 //! The slab layout leans on the program's register discipline: an
 //! instruction's destination register is always strictly above its operands
 //! (the verifier's `operand-order` rule — see `docs/PROGRAM_IR.md`), so

@@ -120,6 +120,43 @@ impl Target {
             .map(|i| OpId(i as u32))
     }
 
+    /// A stable 128-bit fingerprint of everything about this target that can
+    /// influence a compilation result: the name, every operator (name,
+    /// signature, desugaring, cost, native/emulated), and the cost-model
+    /// scalars. Two targets with equal fingerprints compile every expression
+    /// identically, so the compilation service keys its content-addressed
+    /// result cache on this (together with the benchmark, seed, and config —
+    /// see `docs/SERVICE.md`).
+    ///
+    /// Native function *pointers* cannot be hashed portably; a linked
+    /// operator is identified by its name plus a `native` tag, which is sound
+    /// because operator names name fixed documented semantics (the
+    /// sweep/scalar pairing rule already depends on that).
+    pub fn fingerprint(&self) -> u128 {
+        let mut h = fpcore::hash::ContentHasher::new();
+        h.str(&self.name);
+        h.u64(self.operators.len() as u64);
+        for op in &self.operators {
+            h.str(&op.name);
+            h.u64(op.arg_types.len() as u64);
+            for ty in &op.arg_types {
+                h.str(ty.name());
+            }
+            h.str(op.ret_type.name());
+            h.str(&fpcore::to_sexpr(&op.desugaring));
+            h.f64(op.cost);
+            h.str(if op.is_linked() { "native" } else { "emulated" });
+        }
+        h.str(match self.if_cost_style {
+            IfCostStyle::Scalar => "scalar",
+            IfCostStyle::Vector => "vector",
+        });
+        h.f64(self.if_base_cost);
+        h.f64(self.literal_cost);
+        h.f64(self.variable_cost);
+        h.digest()
+    }
+
     /// All operator ids.
     pub fn operator_ids(&self) -> impl Iterator<Item = OpId> + '_ {
         (0..self.operators.len()).map(|i| OpId(i as u32))
@@ -234,5 +271,21 @@ mod tests {
         let display = tiny_target().to_string();
         assert!(display.contains("tiny"));
         assert!(display.contains("3 operators"));
+    }
+
+    #[test]
+    fn fingerprints_separate_semantic_changes() {
+        let base = tiny_target();
+        assert_eq!(base.fingerprint(), tiny_target().fingerprint());
+        // The description is cosmetic; the cost model is not.
+        let mut cosmetic = tiny_target();
+        cosmetic.description = "renamed description".to_owned();
+        assert_eq!(base.fingerprint(), cosmetic.fingerprint());
+        let mut costlier = tiny_target();
+        costlier.literal_cost = 3.5;
+        assert_ne!(base.fingerprint(), costlier.fingerprint());
+        let mut fewer_ops = tiny_target();
+        fewer_ops.operators.pop();
+        assert_ne!(base.fingerprint(), fewer_ops.fingerprint());
     }
 }

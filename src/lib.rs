@@ -7,5 +7,6 @@ pub use egraph;
 pub use fault;
 pub use fpcore;
 pub use rival;
+pub use service;
 pub use targets;
 pub use vecmath;

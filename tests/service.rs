@@ -1,0 +1,404 @@
+//! Integration tests for the compilation service: the daemon end to end over
+//! real sockets, the content-addressed store's failure modes, request
+//! coalescing, and chaos plans over the service fault points.
+//!
+//! Every test that starts a daemon installs a [`fault::FaultPlan`] — an empty
+//! one when no fault is needed — because `fault::install` is
+//! process-exclusive: holding the guard serializes these tests against each
+//! other, so a test arming `store.read` can never inject faults into a
+//! neighbouring test's daemon.
+
+use service::json::Json;
+use service::{client, content_key, start, ServerConfig};
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Barrier};
+
+const SQRT_CANCEL: &str = "(FPCore (x) :pre (and (> x 1) (< x 1e14)) (- (sqrt (+ x 1)) (sqrt x)))";
+const QUADRATIC: &str = "(FPCore (a b c) (/ (- (- b) (sqrt (- (* b b) (* 4 (* a c))))) (* 2 a)))";
+
+/// A per-test scratch directory under the target dir (no external tempfile
+/// crate; cleaned up on entry so reruns start fresh).
+fn scratch_dir(name: &str) -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn small_server(disk: Option<PathBuf>) -> ServerConfig {
+    ServerConfig {
+        workers: 2,
+        memory_capacity: 64,
+        disk_dir: disk,
+        ..ServerConfig::default()
+    }
+}
+
+fn compile_request(fpcore: &str, target: &str, seed: u64) -> String {
+    Json::Obj(vec![
+        ("fpcore".to_owned(), Json::Str(fpcore.to_owned())),
+        ("target".to_owned(), Json::Str(target.to_owned())),
+        ("seed".to_owned(), Json::from_u64(seed)),
+        ("config".to_owned(), Json::Str("fast".to_owned())),
+    ])
+    .to_string()
+}
+
+fn post_compile(addr: SocketAddr, body: &str) -> (u16, Json) {
+    let response = client::post_json(addr, "/compile", body).expect("request should succeed");
+    let doc = Json::parse(&response.body)
+        .unwrap_or_else(|e| panic!("non-json body {:?}: {e}", response.body));
+    (response.status, doc)
+}
+
+fn cache_of(doc: &Json) -> &str {
+    doc.get("cache").and_then(Json::as_str).unwrap_or("?")
+}
+
+fn stat(addr: SocketAddr, field: &str) -> u64 {
+    let response = client::get(addr, "/stats").expect("stats should answer");
+    let doc = Json::parse(&response.body).expect("stats is json");
+    doc.get(field)
+        .and_then(Json::as_u64)
+        .unwrap_or_else(|| panic!("stats missing {field}: {}", response.body))
+}
+
+#[test]
+fn content_keys_are_stable_and_semantic() {
+    // No daemon here, but the golden below is part of the on-disk store
+    // format: if it changes, the key algorithm changed and the store
+    // version must be bumped (see crates/service/src/store.rs).
+    let core = fpcore::parse_fpcore(SQRT_CANCEL).unwrap();
+    let reformatted = fpcore::parse_fpcore(&SQRT_CANCEL.replace(' ', "\n  ")).unwrap();
+    let c99 = targets::builtin::by_name("c99").unwrap();
+    let avx = targets::builtin::by_name("avx").unwrap();
+
+    let key = content_key(&core, &c99, 42, "fast");
+    assert_eq!(key.len(), 32);
+    assert_eq!(key, content_key(&core, &c99, 42, "fast"), "deterministic");
+    assert_eq!(
+        key,
+        content_key(&reformatted, &c99, 42, "fast"),
+        "formatting is not content"
+    );
+    for different in [
+        content_key(&core, &avx, 42, "fast"),
+        content_key(&core, &c99, 43, "fast"),
+        content_key(&core, &c99, 42, "default"),
+        content_key(&fpcore::parse_fpcore(QUADRATIC).unwrap(), &c99, 42, "fast"),
+    ] {
+        assert_ne!(key, different);
+    }
+}
+
+#[test]
+fn daemon_serves_compile_cache_and_introspection_routes() {
+    let _plan = fault::install(fault::FaultPlan::new());
+    let handle = start(small_server(None)).unwrap();
+    let addr = handle.addr();
+
+    let health = client::get(addr, "/healthz").unwrap();
+    assert_eq!(
+        (health.status, health.body.as_str()),
+        (200, "{\"status\":\"ok\"}")
+    );
+
+    // Cold: a miss that compiles; warm: a memory hit with an identical body.
+    let request = compile_request(SQRT_CANCEL, "c99", 7);
+    let (status, cold) = post_compile(addr, &request);
+    assert_eq!(status, 200, "cold compile should succeed: {cold}");
+    assert_eq!(cache_of(&cold), "miss");
+    let (status, warm) = post_compile(addr, &request);
+    assert_eq!(status, 200);
+    assert_eq!(cache_of(&warm), "memory");
+
+    // The bodies differ only in the cache tag; implementations are
+    // bit-identical (the stored body is reused verbatim).
+    let strip = |doc: &Json| {
+        let Json::Obj(members) = doc else {
+            panic!("not an object")
+        };
+        Json::Obj(
+            members
+                .iter()
+                .filter(|(k, _)| k != "cache")
+                .cloned()
+                .collect(),
+        )
+        .to_string()
+    };
+    assert_eq!(strip(&cold), strip(&warm));
+
+    // The response key works on GET /result/{key}.
+    let key = cold.get("key").and_then(Json::as_str).unwrap().to_owned();
+    let fetched = client::get(addr, &format!("/result/{key}")).unwrap();
+    assert_eq!(fetched.status, 200);
+
+    // The daemon result matches a direct in-process compilation bit for bit.
+    let core = fpcore::parse_fpcore(SQRT_CANCEL).unwrap();
+    let target = targets::builtin::by_name("c99").unwrap();
+    let session = chassis::Session::new(chassis::Config::fast().with_seed(7));
+    let direct = session.compile(&core, &target).unwrap();
+    let served = cold.get("implementations").and_then(Json::as_arr).unwrap();
+    assert_eq!(served.len(), direct.implementations.len());
+    for (json, imp) in served.iter().zip(&direct.implementations) {
+        assert_eq!(
+            json.get("rendered").and_then(Json::as_str),
+            Some(imp.rendered.as_str())
+        );
+        assert_eq!(
+            json.get("cost_hex").and_then(Json::as_str),
+            Some(service::json::hex_bits(imp.cost).as_str())
+        );
+        assert_eq!(
+            json.get("error_bits_hex").and_then(Json::as_str),
+            Some(service::json::hex_bits(imp.error_bits).as_str())
+        );
+    }
+
+    // Stats reflect what happened.
+    assert_eq!(stat(addr, "hits_memory"), 2, "warm POST + GET /result");
+    assert_eq!(stat(addr, "compiles"), 1);
+    assert_eq!(stat(addr, "jobs_failed"), 0);
+
+    // Error paths: malformed JSON, bad FPCore, unknown target, bad key,
+    // unknown route, unknown result.
+    let cases = [
+        ("{not json", 400),
+        ("{\"fpcore\":\"(FPCore (x) x\",\"target\":\"c99\"}", 400),
+        ("{\"fpcore\":\"(FPCore (x) x)\",\"target\":\"m68k\"}", 400),
+        ("{\"target\":\"c99\"}", 400),
+        (
+            "{\"fpcore\":\"(FPCore (x) x)\",\"target\":\"c99\",\"seed\":-1}",
+            400,
+        ),
+    ];
+    for (body, expected) in cases {
+        let response = client::post_json(addr, "/compile", body).unwrap();
+        assert_eq!(response.status, expected, "for body {body:?}");
+    }
+    assert_eq!(client::get(addr, "/result/zz").unwrap().status, 400);
+    assert_eq!(
+        client::get(addr, &format!("/result/{}", "0".repeat(32)))
+            .unwrap()
+            .status,
+        404
+    );
+    assert_eq!(client::get(addr, "/no-such-route").unwrap().status, 404);
+    assert_eq!(client::get(addr, "/compile").unwrap().status, 405);
+
+    handle.stop();
+}
+
+#[test]
+fn unsamplable_requests_get_typed_422_and_are_not_cached() {
+    let _plan = fault::install(fault::FaultPlan::new());
+    let handle = start(small_server(None)).unwrap();
+    let addr = handle.addr();
+    // An unsatisfiable precondition cannot be sampled: typed CompileError
+    // mapped to 422, and retrying recompiles (errors are never stored).
+    let body = compile_request("(FPCore (x) :pre (and (> x 1) (< x 0)) (sqrt x))", "c99", 1);
+    let (status, doc) = post_compile(addr, &body);
+    assert_eq!(status, 422, "sampling failure is a 422: {doc}");
+    assert_eq!(
+        doc.get("error")
+            .and_then(|e| e.get("kind"))
+            .and_then(Json::as_str),
+        Some("sampling")
+    );
+    let (status, _) = post_compile(addr, &body);
+    assert_eq!(status, 422);
+    assert_eq!(
+        stat(addr, "compiles"),
+        2,
+        "errors are recomputed, not cached"
+    );
+    assert_eq!(stat(addr, "jobs_failed"), 2);
+    handle.stop();
+}
+
+#[test]
+fn disk_store_survives_restart_corruption_and_truncation() {
+    let _plan = fault::install(fault::FaultPlan::new());
+    let dir = scratch_dir("service-disk");
+    let request = compile_request(SQRT_CANCEL, "arith", 11);
+
+    // First daemon: cold compile, persisted to disk.
+    let first = start(small_server(Some(dir.clone()))).unwrap();
+    let (status, cold) = post_compile(first.addr(), &request);
+    assert_eq!(status, 200);
+    let key = cold.get("key").and_then(Json::as_str).unwrap().to_owned();
+    first.stop();
+
+    // Second daemon on the same directory: warm from disk, no compile.
+    let second = start(small_server(Some(dir.clone()))).unwrap();
+    let (status, warm) = post_compile(second.addr(), &request);
+    assert_eq!(status, 200);
+    assert_eq!(cache_of(&warm), "disk");
+    assert_eq!(stat(second.addr(), "compiles"), 0);
+    second.stop();
+
+    // Corrupt the entry; the next daemon must recover by recompiling.
+    let entry = dir.join(&key[0..2]).join(&key);
+    let mut bytes = std::fs::read(&entry).unwrap();
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0x40;
+    std::fs::write(&entry, &bytes).unwrap();
+    let third = start(small_server(Some(dir.clone()))).unwrap();
+    let (status, recovered) = post_compile(third.addr(), &request);
+    assert_eq!(status, 200);
+    assert_eq!(cache_of(&recovered), "miss", "corrupt entry must not serve");
+    assert_eq!(stat(third.addr(), "corrupt_recovered"), 1);
+    assert_eq!(stat(third.addr(), "compiles"), 1);
+    third.stop();
+
+    // Truncate mid-body (a crash mid-write that somehow hit the final
+    // name, e.g. a torn rename on a crude filesystem): same recovery.
+    let bytes = std::fs::read(&entry).unwrap();
+    std::fs::write(&entry, &bytes[..bytes.len() / 2]).unwrap();
+    let fourth = start(small_server(Some(dir))).unwrap();
+    let (status, recovered) = post_compile(fourth.addr(), &request);
+    assert_eq!(status, 200);
+    assert_eq!(cache_of(&recovered), "miss");
+    assert_eq!(stat(fourth.addr(), "corrupt_recovered"), 1);
+    fourth.stop();
+}
+
+#[test]
+fn concurrent_identical_requests_coalesce_onto_one_search() {
+    let _plan = fault::install(fault::FaultPlan::new());
+    let handle = start(small_server(None)).unwrap();
+    let addr = handle.addr();
+    let request = Arc::new(compile_request(QUADRATIC, "arith-fma", 23));
+
+    const CLIENTS: usize = 6;
+    let barrier = Arc::new(Barrier::new(CLIENTS));
+    let misses = Arc::new(AtomicUsize::new(0));
+    let coalesced = Arc::new(AtomicUsize::new(0));
+    let threads: Vec<_> = (0..CLIENTS)
+        .map(|_| {
+            let (request, barrier) = (Arc::clone(&request), Arc::clone(&barrier));
+            let (misses, coalesced) = (Arc::clone(&misses), Arc::clone(&coalesced));
+            std::thread::spawn(move || {
+                barrier.wait();
+                let (status, doc) = post_compile(addr, &request);
+                assert_eq!(status, 200, "coalesced request failed: {doc}");
+                match cache_of(&doc) {
+                    "miss" => misses.fetch_add(1, Ordering::Relaxed),
+                    "coalesced" => coalesced.fetch_add(1, Ordering::Relaxed),
+                    // A straggler that arrived after the job stored is fine.
+                    "memory" => 0,
+                    other => panic!("unexpected cache tag {other}"),
+                };
+                doc.get("key").and_then(Json::as_str).unwrap().to_owned()
+            })
+        })
+        .collect();
+    let keys: Vec<String> = threads.into_iter().map(|t| t.join().unwrap()).collect();
+    assert!(
+        keys.windows(2).all(|w| w[0] == w[1]),
+        "all got the same key"
+    );
+    assert_eq!(misses.load(Ordering::Relaxed), 1, "exactly one search ran");
+    assert!(coalesced.load(Ordering::Relaxed) >= 1, "others coalesced");
+    assert_eq!(stat(addr, "compiles"), 1);
+    assert_eq!(
+        stat(addr, "coalesced") as usize,
+        coalesced.load(Ordering::Relaxed)
+    );
+    handle.stop();
+}
+
+#[test]
+fn memory_eviction_falls_back_to_disk_level() {
+    let _plan = fault::install(fault::FaultPlan::new());
+    let dir = scratch_dir("service-evict");
+    let config = ServerConfig {
+        workers: 2,
+        memory_capacity: 1,
+        disk_dir: Some(dir),
+        ..ServerConfig::default()
+    };
+    let handle = start(config).unwrap();
+    let addr = handle.addr();
+    let first = compile_request(SQRT_CANCEL, "arith", 3);
+    let second = compile_request(QUADRATIC, "arith", 3);
+    assert_eq!(post_compile(addr, &first).0, 200);
+    assert_eq!(post_compile(addr, &second).0, 200, "evicts the first entry");
+    assert_eq!(stat(addr, "evictions"), 1);
+    // The evicted entry is gone from memory but still on disk.
+    let (status, doc) = post_compile(addr, &first);
+    assert_eq!(status, 200);
+    assert_eq!(cache_of(&doc), "disk");
+    assert_eq!(stat(addr, "compiles"), 2, "no recompilation after eviction");
+    handle.stop();
+}
+
+/// Chaos over the service sites: seeded plans arming `store.read`,
+/// `store.write`, and `service.accept` (aborts and panics). The daemon must
+/// answer every request correctly — a store fault may only cost cache hits,
+/// an accept fault only a dropped (retried) connection.
+#[test]
+fn chaos_plans_over_service_sites_never_break_correctness() {
+    let dir = scratch_dir("service-chaos");
+    let request = compile_request(SQRT_CANCEL, "arith", 99);
+    let core = fpcore::parse_fpcore(SQRT_CANCEL).unwrap();
+    let target = targets::builtin::by_name("arith").unwrap();
+    let expected_key = content_key(&core, &target, 99, "fast");
+
+    let mut total_fires = 0u64;
+    let mut plans_fully_served = 0u32;
+    for plan_seed in 0..12u64 {
+        let plan = fault::FaultPlan::seeded(plan_seed, fault::SERVICE_SITES);
+        // An armed Abort keeps firing once triggered, so a plan that aborts
+        // `service.accept` legitimately costs *availability* (every later
+        // connection dropped). Every other fault — accept panics, store
+        // aborts/panics — may only cost cache hits, never a request.
+        let may_go_deaf = plan
+            .arms()
+            .iter()
+            .any(|arm| arm.site == "service.accept" && arm.action == fault::FaultAction::Abort);
+        let armed = fault::install(plan);
+        let handle = start(small_server(Some(dir.clone()))).unwrap();
+        let addr = handle.addr();
+        let mut served = 0u32;
+        for _attempt in 0..4 {
+            // An accept panic drops exactly one connection; retry a few times.
+            let response = (0..8).find_map(|_| client::post_json(addr, "/compile", &request).ok());
+            let Some(response) = response else {
+                assert!(
+                    may_go_deaf,
+                    "plan {plan_seed} stopped answering without an accept-abort arm"
+                );
+                continue;
+            };
+            assert_eq!(response.status, 200, "plan {plan_seed}: {}", response.body);
+            let doc = Json::parse(&response.body).unwrap();
+            assert_eq!(
+                doc.get("key").and_then(Json::as_str),
+                Some(expected_key.as_str()),
+                "faults must never change results"
+            );
+            served += 1;
+        }
+        if !may_go_deaf {
+            assert_eq!(served, 4, "plan {plan_seed} dropped requests");
+        }
+        if served == 4 {
+            plans_fully_served += 1;
+        }
+        // The daemon still shuts down cleanly with faults armed.
+        handle.stop();
+        total_fires += armed.fires();
+    }
+    assert!(
+        total_fires > 0,
+        "the chaos run never fired a fault — plans or sites are miswired"
+    );
+    assert!(
+        plans_fully_served >= 4,
+        "almost every plan lost availability ({plans_fully_served}/12 served) — \
+         accept-abort should not dominate the seeded mix this heavily"
+    );
+}
