@@ -184,7 +184,10 @@ pub fn improve(
 ///
 /// When the budget runs out the loop stops and returns the frontier found so
 /// far — the initial program is inserted before the first iteration, so the
-/// result is never empty.
+/// result is never empty. A fired [`CancelToken`](crate::CancelToken) cuts at
+/// exactly the same points (it is folded into the context's `out_of_time`
+/// check), so cancellation degrades identically — and, like the wall-clock
+/// cut, trades determinism for latency only once it actually fires.
 pub fn improve_with(
     target: &Target,
     initial: FloatExpr,

@@ -85,5 +85,6 @@ pub use lower::{lower_fpcore, DirectLowering, LowerError};
 pub use pareto::ParetoFrontier;
 pub use sample::{GroundTruthCache, SampleError, SampleSet, Sampler, TruthEngine, TruthStats};
 pub use session::{
-    Budget, Phase, Prepared, Progress, ProgressFn, SearchControl, SearchCtx, SearchStats, Session,
+    Budget, CancelToken, Phase, Prepared, Progress, ProgressFn, SearchControl, SearchCtx,
+    SearchStats, Session,
 };

@@ -73,8 +73,9 @@ pub fn infer_regimes(
 /// [`infer_regimes`] under a [`SearchCtx`]: the wall-clock budget is checked
 /// once before the per-candidate error sweeps and again at the start of each
 /// variable's threshold scan, so an exhausted budget returns the best split
-/// found so far (or `None`) instead of finishing the scan. With an unlimited
-/// budget this is [`infer_regimes`] exactly.
+/// found so far (or `None`) instead of finishing the scan. A fired
+/// [`CancelToken`](crate::CancelToken) cuts at the same two points. With an
+/// unlimited budget and no cancellation this is [`infer_regimes`] exactly.
 ///
 /// Both expensive stages fan out over [`chassis::par`](crate::par):
 ///

@@ -44,10 +44,49 @@ use crate::regimes::infer_regimes_with;
 use crate::sample::{GroundTruthCache, SampleSet, Sampler};
 use fpcore::{FPCore, FpType, Symbol};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 use targets::{program_cost, CompileOptions, FloatExpr, Target};
+
+/// A shared, cheap cancellation signal for in-flight searches.
+///
+/// A token is an `Arc`'d atomic flag: clone it freely, hand one side to the
+/// search via [`SearchControl::with_cancel`] and keep the other wherever the
+/// cancel decision lives (a daemon watchdog, a ctrl-C handler, a dropped
+/// client connection). Firing it is [`CancelToken::cancel`] — idempotent,
+/// lock-free, callable from any thread.
+///
+/// The search checks the token at exactly the cut points the wall-clock
+/// [`Budget`] already checks (improve iteration heads, per-candidate work
+/// inside `par` workers, regime sweeps, the final-evaluation boundary), so a
+/// cancelled search **degrades, never fails**: it returns the
+/// initial-containing Pareto frontier found so far, exactly as an exhausted
+/// budget does, and emits [`Progress::JobCancelled`] once on the way out. A
+/// token that never fires is observationally inert — results are bit-identical
+/// to a search run without one, at any thread count.
+#[derive(Clone, Default, Debug)]
+pub struct CancelToken {
+    fired: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, unfired token.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Fires the token: every search holding it stops at its next cut point.
+    /// Idempotent; callable from any thread.
+    pub fn cancel(&self) {
+        self.fired.store(true, Ordering::Relaxed);
+    }
+
+    /// True once [`CancelToken::cancel`] has been called on any clone.
+    pub fn is_cancelled(&self) -> bool {
+        self.fired.load(Ordering::Relaxed)
+    }
+}
 
 /// The phases of one compilation, reported through [`Progress`].
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -154,6 +193,11 @@ pub enum Progress {
         /// returned grid).
         kind: ErrorKind,
     },
+    /// The search's [`CancelToken`] fired: the search stopped at its next cut
+    /// point and returned the initial-containing frontier found so far (the
+    /// same degradation an exhausted [`Budget`] takes). Emitted once per
+    /// cancelled `compile` call, just before it returns.
+    JobCancelled,
 }
 
 /// Work and timing summary of one `compile` call, carried on
@@ -294,6 +338,7 @@ pub struct SearchControl<'a> {
     progress: Option<&'a ProgressFn<'a>>,
     budget: Budget,
     options: CompileOptions,
+    cancel: Option<&'a CancelToken>,
 }
 
 impl<'a> SearchControl<'a> {
@@ -324,6 +369,14 @@ impl<'a> SearchControl<'a> {
         self
     }
 
+    /// Attaches a cancellation token: the search stops at its next budget cut
+    /// point once the token fires and returns the frontier found so far. A
+    /// token that never fires changes nothing — results stay bit-identical.
+    pub fn with_cancel(mut self, token: &'a CancelToken) -> SearchControl<'a> {
+        self.cancel = Some(token);
+        self
+    }
+
     /// The configured budget.
     pub fn budget(&self) -> Budget {
         self.budget
@@ -333,6 +386,11 @@ impl<'a> SearchControl<'a> {
     pub fn compile_options(&self) -> CompileOptions {
         self.options
     }
+
+    /// The attached cancellation token, if any.
+    pub fn cancel_token(&self) -> Option<&'a CancelToken> {
+        self.cancel
+    }
 }
 
 impl std::fmt::Debug for SearchControl<'_> {
@@ -341,6 +399,7 @@ impl std::fmt::Debug for SearchControl<'_> {
             .field("progress", &self.progress.map(|_| "<observer>"))
             .field("budget", &self.budget)
             .field("options", &self.options)
+            .field("cancel", &self.cancel.map(CancelToken::is_cancelled))
             .finish()
     }
 }
@@ -355,6 +414,7 @@ impl std::fmt::Debug for SearchControl<'_> {
 pub struct SearchCtx<'a> {
     progress: Option<&'a ProgressFn<'a>>,
     deadline: Option<Instant>,
+    cancel: Option<&'a CancelToken>,
     max_iterations: Option<usize>,
     truths: Option<GroundTruthCache>,
     options: CompileOptions,
@@ -377,6 +437,7 @@ impl<'a> SearchCtx<'a> {
                 .budget
                 .max_duration
                 .and_then(|d| Instant::now().checked_add(d)),
+            cancel: ctl.cancel,
             max_iterations: ctl.budget.max_iterations,
             truths,
             options: ctl.options,
@@ -390,6 +451,7 @@ impl<'a> SearchCtx<'a> {
         SearchCtx {
             progress: None,
             deadline: None,
+            cancel: None,
             max_iterations: None,
             truths: None,
             options: CompileOptions::default(),
@@ -405,9 +467,17 @@ impl<'a> SearchCtx<'a> {
         }
     }
 
-    /// True once the wall-clock budget has run out.
+    /// True once the wall-clock budget has run out *or* the attached
+    /// [`CancelToken`] has fired. Every budget cut point in the search polls
+    /// this, which is what gives cancellation the exact degradation semantics
+    /// of budget exhaustion with no extra checks at the sites.
     pub fn out_of_time(&self) -> bool {
-        self.deadline.is_some_and(|d| Instant::now() >= d)
+        self.cancelled() || self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+
+    /// True once the attached [`CancelToken`] (if any) has fired.
+    pub fn cancelled(&self) -> bool {
+        self.cancel.is_some_and(CancelToken::is_cancelled)
     }
 
     /// True when the budget forbids starting improve iteration `iteration`
@@ -598,15 +668,24 @@ impl Prepared {
         });
         let phase_started = Instant::now();
         let options = *ctx.options();
-        let finals: Vec<(f64, FloatExpr)> = frontier
-            .into_sorted()
-            .into_iter()
-            .map(|(cost, _, candidate)| (cost, candidate.expr))
-            .collect();
+        let initial_cost = program_cost(target, &initial);
+        // The final-evaluation cut point: a search cancelled by this boundary
+        // collapses the frontier to the initial program so only one scoring
+        // pass stands between the cancel and the worker being free. (A plain
+        // budget deadline does not cut here — final evaluation is what turns
+        // a frontier into a result, and its cost is small next to the search.)
+        let finals: Vec<(f64, FloatExpr)> = if ctx.cancelled() {
+            vec![(initial_cost, initial.clone())]
+        } else {
+            frontier
+                .into_sorted()
+                .into_iter()
+                .map(|(cost, _, candidate)| (cost, candidate.expr))
+                .collect()
+        };
         let implementations: Vec<Implementation> = par::par_map(&finals, |(cost, expr)| {
             describe(target, expr.clone(), *cost, &inner.samples, &options)
         });
-        let initial_cost = program_cost(target, &initial);
         let initial_impl = describe(target, initial, initial_cost, &inner.samples, &options);
 
         // Verify every program this result hands out (the debug hook inside
@@ -665,6 +744,9 @@ impl Prepared {
             jobs_failed: 0,
             truths: inner.truths.truth_stats().since(&truths_before),
         };
+        if ctx.cancelled() {
+            ctx.emit(Progress::JobCancelled);
+        }
         Ok(CompilationResult {
             implementations,
             initial: initial_impl,

@@ -16,7 +16,11 @@
 //!   (the site decides what that means: a stopped saturation, a non-converged
 //!   ground truth, an empty sample batch), a [`Panic`](FaultAction::Panic)
 //!   panics right at the site, which is how the harness proves panics are
-//!   isolated per job instead of killing the process.
+//!   isolated per job instead of killing the process. The latency actions —
+//!   [`Delay`](FaultAction::Delay) (sleep, then proceed) and
+//!   [`Stall`](FaultAction::Stall) (block until the plan is disarmed) — let
+//!   a harness manufacture slow and hung executions for deadline/watchdog
+//!   testing.
 //! * [`FaultPlan::seeded`] derives a plan from a single `u64` with SplitMix64
 //!   (the same construction as the `chassis` sampler's stream derivation and
 //!   the `targets` mutation harness), so a chaos run is reproducible from its
@@ -91,14 +95,26 @@ pub enum FaultAction {
     Abort,
     /// The site panics, as a latent bug would.
     Panic,
+    /// The site sleeps for the given number of milliseconds, then proceeds
+    /// normally — a slow disk, a scheduling hiccup, a long GC pause in a
+    /// neighbouring process. Fires on every hit at or past `after`.
+    Delay(u64),
+    /// The site blocks until the installed plan is dropped — a hung
+    /// execution. Unlike the other actions this fires **exactly once** (on
+    /// hit `after`): a stall models one wedged thread, and later hits must
+    /// pass so a harness can prove the system recovers capacity *around* the
+    /// stuck execution while it is still stuck.
+    Stall,
 }
 
 impl std::fmt::Display for FaultAction {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str(match self {
-            FaultAction::Abort => "abort",
-            FaultAction::Panic => "panic",
-        })
+        match self {
+            FaultAction::Abort => f.write_str("abort"),
+            FaultAction::Panic => f.write_str("panic"),
+            FaultAction::Delay(ms) => write!(f, "delay({ms}ms)"),
+            FaultAction::Stall => f.write_str("stall"),
+        }
     }
 }
 
@@ -180,6 +196,39 @@ impl FaultPlan {
         plan
     }
 
+    /// Like [`FaultPlan::seeded`] but with the latency actions in the mix:
+    /// arms draw from abort, panic, [`Delay`](FaultAction::Delay) (10–150 ms),
+    /// and — only on sites listed in `stall_sites` — [`Stall`](FaultAction::Stall).
+    /// Kept separate from `seeded` on purpose: a stall blocks until the plan
+    /// is disarmed, so it is only safe where a watchdog (or the harness
+    /// itself) bounds how long the plan stays installed, and existing gates
+    /// seeded over `seeded` keep their action distribution.
+    ///
+    /// Returns the empty plan when `sites` is empty.
+    pub fn seeded_latency(seed: u64, sites: &[&str], stall_sites: &[&str]) -> FaultPlan {
+        let mut state = seed ^ 0xA5A5_5A5A_C3C3_3C3C;
+        let mut plan = FaultPlan::new();
+        if sites.is_empty() {
+            return plan;
+        }
+        let n_arms = 1 + (splitmix64(&mut state) % 3);
+        for _ in 0..n_arms {
+            let site = sites[(splitmix64(&mut state) % sites.len() as u64) as usize];
+            let roll = splitmix64(&mut state) % 8;
+            let delay_ms = 10 + splitmix64(&mut state) % 140;
+            let action = match roll {
+                0 => FaultAction::Panic,
+                1 | 2 => FaultAction::Abort,
+                3 if stall_sites.contains(&site) => FaultAction::Stall,
+                3 => FaultAction::Abort,
+                _ => FaultAction::Delay(delay_ms),
+            };
+            let after = splitmix64(&mut state) % 6;
+            plan = plan.arm(site, action, after);
+        }
+        plan
+    }
+
     /// The armed sites.
     pub fn arms(&self) -> &[Arm] {
         &self.arms
@@ -227,6 +276,30 @@ static ARMED: AtomicBool = AtomicBool::new(false);
 static ACTIVE: RwLock<Option<Active>> = RwLock::new(None);
 /// Serializes installations: one plan at a time, process-wide.
 static INSTALL: Mutex<()> = Mutex::new(());
+/// Bumped on every install *and* disarm; a firing [`Stall`](FaultAction::Stall)
+/// captures the epoch and blocks until it changes, so dropping the
+/// [`ArmedPlan`] releases every stalled thread.
+static EPOCH: Mutex<u64> = Mutex::new(0);
+static EPOCH_CV: std::sync::Condvar = std::sync::Condvar::new();
+
+fn bump_epoch() {
+    let mut epoch = EPOCH.lock().unwrap_or_else(PoisonError::into_inner);
+    *epoch = epoch.wrapping_add(1);
+    EPOCH_CV.notify_all();
+}
+
+/// Blocks until the epoch moves past `entered` (i.e. the plan that armed the
+/// stall is disarmed). The periodic timeout is belt-and-braces against a
+/// missed notification; correctness comes from re-reading the epoch.
+fn stall_until_disarmed(entered: u64) {
+    let mut epoch = EPOCH.lock().unwrap_or_else(PoisonError::into_inner);
+    while *epoch == entered {
+        let (guard, _) = EPOCH_CV
+            .wait_timeout(epoch, std::time::Duration::from_millis(100))
+            .unwrap_or_else(PoisonError::into_inner);
+        epoch = guard;
+    }
+}
 
 /// The guard of an installed [`FaultPlan`]: the plan stays armed until this
 /// is dropped. Holding it gives exclusive use of the fault machinery, so
@@ -248,6 +321,7 @@ impl Drop for ArmedPlan {
     fn drop(&mut self) {
         ARMED.store(false, Ordering::SeqCst);
         *ACTIVE.write().unwrap_or_else(PoisonError::into_inner) = None;
+        bump_epoch();
     }
 }
 
@@ -271,6 +345,7 @@ pub fn install(plan: FaultPlan) -> ArmedPlan {
     };
     *ACTIVE.write().unwrap_or_else(PoisonError::into_inner) = Some(active);
     ARMED.store(true, Ordering::SeqCst);
+    bump_epoch();
     ArmedPlan {
         fired,
         _exclusive: exclusive,
@@ -280,6 +355,9 @@ pub fn install(plan: FaultPlan) -> ArmedPlan {
 /// The fault point hook. Returns `true` when the calling site must take its
 /// graceful early-out (an armed [`Abort`](FaultAction::Abort) fired), `false`
 /// otherwise — which is the only possible answer while no plan is installed.
+/// A firing [`Delay`](FaultAction::Delay) sleeps and then returns `false`
+/// (the site proceeds, late); a firing [`Stall`](FaultAction::Stall) blocks
+/// until the plan is disarmed and then returns `false`.
 ///
 /// # Panics
 ///
@@ -296,21 +374,47 @@ pub fn point(site: &str) -> bool {
 
 #[cold]
 fn point_armed(site: &str) -> bool {
-    let guard = ACTIVE.read().unwrap_or_else(PoisonError::into_inner);
-    let Some(active) = guard.as_ref() else {
-        return false;
-    };
-    for arm in active.arms.iter().filter(|arm| arm.site == site) {
-        let hit = arm.hits.fetch_add(1, Ordering::Relaxed);
-        if hit >= arm.after {
-            active.fired.fetch_add(1, Ordering::Relaxed);
-            match arm.action {
-                FaultAction::Abort => return true,
-                FaultAction::Panic => panic!("injected fault at {site}"),
+    // Decide which action fires under the read lock, but *act* only after
+    // releasing it: a Delay or Stall must not hold the lock, or the plan's
+    // disarm (which takes the write lock) could never run and a stalled
+    // site would block forever.
+    let fired: Option<(FaultAction, u64)> = {
+        let guard = ACTIVE.read().unwrap_or_else(PoisonError::into_inner);
+        let Some(active) = guard.as_ref() else {
+            return false;
+        };
+        let mut decision = None;
+        for arm in active.arms.iter().filter(|arm| arm.site == site) {
+            let hit = arm.hits.fetch_add(1, Ordering::Relaxed);
+            // A stall models exactly one wedged execution: it fires on hit
+            // `after` only, so later hits pass and the system can prove it
+            // recovers capacity around the stuck thread.
+            let fires = match arm.action {
+                FaultAction::Stall => hit == arm.after,
+                _ => hit >= arm.after,
+            };
+            if fires {
+                active.fired.fetch_add(1, Ordering::Relaxed);
+                let entered = *EPOCH.lock().unwrap_or_else(PoisonError::into_inner);
+                decision = Some((arm.action, entered));
+                break;
             }
         }
+        decision
+    };
+    match fired {
+        None => false,
+        Some((FaultAction::Abort, _)) => true,
+        Some((FaultAction::Panic, _)) => panic!("injected fault at {site}"),
+        Some((FaultAction::Delay(ms), _)) => {
+            std::thread::sleep(std::time::Duration::from_millis(ms));
+            false
+        }
+        Some((FaultAction::Stall, entered)) => {
+            stall_until_disarmed(entered);
+            false
+        }
     }
-    false
 }
 
 #[cfg(test)]
@@ -392,10 +496,77 @@ mod tests {
                 match arm.action {
                     FaultAction::Abort => aborts += 1,
                     FaultAction::Panic => panics += 1,
+                    other => panic!("seeded() must not arm {other}"),
                 }
             }
         }
         assert!(aborts > 0 && panics > 0, "{aborts} aborts, {panics} panics");
+    }
+
+    #[test]
+    fn seeded_latency_plans_cover_the_latency_actions_and_respect_stall_sites() {
+        let stall_sites = &["session.compile"];
+        let (mut delays, mut stalls, mut classic) = (0, 0, 0);
+        for seed in 0..256 {
+            let plan = FaultPlan::seeded_latency(seed, SITES, stall_sites);
+            assert_eq!(
+                plan,
+                FaultPlan::seeded_latency(seed, SITES, stall_sites),
+                "seed {seed} not reproducible"
+            );
+            for arm in plan.arms() {
+                match arm.action {
+                    FaultAction::Delay(ms) => {
+                        assert!((10..160).contains(&ms));
+                        delays += 1;
+                    }
+                    FaultAction::Stall => {
+                        assert!(stall_sites.contains(&arm.site.as_str()));
+                        stalls += 1;
+                    }
+                    _ => classic += 1,
+                }
+            }
+        }
+        assert!(
+            delays > 0 && stalls > 0 && classic > 0,
+            "{delays} delays, {stalls} stalls, {classic} abort/panic"
+        );
+        assert!(FaultPlan::seeded_latency(7, &[], stall_sites).is_empty());
+    }
+
+    #[test]
+    fn delay_faults_sleep_then_proceed() {
+        let armed = install(FaultPlan::new().arm("store.write", FaultAction::Delay(30), 1));
+        let start = std::time::Instant::now();
+        assert!(!point("store.write"), "hit 0 passes untouched");
+        assert!(start.elapsed() < std::time::Duration::from_millis(20));
+        let start = std::time::Instant::now();
+        assert!(!point("store.write"), "a delay still lets the site proceed");
+        assert!(start.elapsed() >= std::time::Duration::from_millis(30));
+        assert_eq!(armed.fires(), 1);
+    }
+
+    #[test]
+    fn stall_faults_block_until_disarm_and_fire_exactly_once() {
+        let armed = install(FaultPlan::new().arm("store.read", FaultAction::Stall, 0));
+        let stalled = std::thread::spawn(|| {
+            let start = std::time::Instant::now();
+            let aborted = point("store.read");
+            (aborted, start.elapsed())
+        });
+        // Give the thread time to reach the stall, then prove the *second*
+        // hit passes while the first is still stuck.
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        let start = std::time::Instant::now();
+        assert!(!point("store.read"), "later hits pass");
+        assert!(start.elapsed() < std::time::Duration::from_millis(20));
+        assert!(!stalled.is_finished(), "the stalled hit is still blocked");
+        assert_eq!(armed.fires(), 1);
+        drop(armed);
+        let (aborted, held) = stalled.join().expect("stalled thread must not panic");
+        assert!(!aborted, "a released stall proceeds normally");
+        assert!(held >= std::time::Duration::from_millis(50));
     }
 
     #[test]

@@ -4,6 +4,12 @@
 //! thing that is correct. The replay bench measures *daemon* throughput, and
 //! the dominant costs it compares (search vs cache hit) dwarf connection
 //! setup on loopback.
+//!
+//! For overload conditions there is [`request_with_retry`]: capped
+//! exponential backoff with deterministic jitter that honours the daemon's
+//! `Retry-After` header on 503/504 answers, retrying transport errors and
+//! overload statuses and returning everything else (including typed 4xx/5xx
+//! compile failures) untouched.
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpStream};
@@ -16,6 +22,9 @@ pub struct Response {
     pub status: u16,
     /// Body (the daemon always answers JSON).
     pub body: String,
+    /// The `Retry-After` header, in seconds, when the daemon sent one
+    /// (it does on every 503/504).
+    pub retry_after: Option<u64>,
 }
 
 /// Sends one request and reads the full response.
@@ -56,6 +65,7 @@ pub fn request(
         .ok_or_else(|| format!("malformed status line {status_line:?}"))?;
 
     let mut content_length: Option<usize> = None;
+    let mut retry_after: Option<u64> = None;
     loop {
         let mut line = String::new();
         let n = reader
@@ -68,6 +78,8 @@ pub fn request(
         if let Some((name, value)) = line.split_once(':') {
             if name.trim().eq_ignore_ascii_case("content-length") {
                 content_length = value.trim().parse().ok();
+            } else if name.trim().eq_ignore_ascii_case("retry-after") {
+                retry_after = value.trim().parse().ok();
             }
         }
     }
@@ -88,7 +100,101 @@ pub fn request(
             buf
         }
     };
-    Ok(Response { status, body })
+    Ok(Response {
+        status,
+        body,
+        retry_after,
+    })
+}
+
+/// Backoff policy for [`request_with_retry`].
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Total attempts (first try included). `1` means no retries.
+    pub attempts: u32,
+    /// Backoff before the first retry; doubles per retry after that.
+    pub base: Duration,
+    /// Cap on any single wait, including server-suggested `Retry-After`s.
+    pub cap: Duration,
+    /// Seed for the deterministic jitter stream (so a fleet of clients with
+    /// distinct seeds de-synchronizes instead of thundering back together).
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            attempts: 4,
+            base: Duration::from_millis(100),
+            cap: Duration::from_secs(2),
+            seed: 0x5EED,
+        }
+    }
+}
+
+/// SplitMix64 step, the workspace's standard seed expander.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl RetryPolicy {
+    /// The wait before retry number `retry` (zero-based), given the server's
+    /// `Retry-After` suggestion if any: capped exponential backoff from
+    /// [`base`](RetryPolicy::base), jittered into `[50%, 100%]` of itself,
+    /// raised to the server's suggestion (and capped again) when one was
+    /// sent. Deterministic in `(seed, retry)`.
+    pub fn wait_before(&self, retry: u32, retry_after: Option<u64>) -> Duration {
+        let exp = self
+            .base
+            .saturating_mul(1u32 << retry.min(16))
+            .min(self.cap);
+        let mut state = self.seed.wrapping_add(u64::from(retry));
+        let jitter_permille = 500 + splitmix64(&mut state) % 501; // 50%..=100%
+        let jittered = exp.mul_f64(jitter_permille as f64 / 1000.0);
+        match retry_after {
+            Some(secs) => jittered.max(Duration::from_secs(secs)).min(self.cap),
+            None => jittered,
+        }
+    }
+}
+
+/// [`request`] with retries: transport errors and overload answers (503/504)
+/// are retried under `policy`, honouring the daemon's `Retry-After`; any
+/// other response — success or a typed compile failure — returns immediately.
+/// The last error or overload response is returned when attempts run out.
+///
+/// # Errors
+///
+/// Returns the final transport error after exhausting attempts.
+pub fn request_with_retry(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+    policy: &RetryPolicy,
+) -> Result<Response, String> {
+    let attempts = policy.attempts.max(1);
+    let mut last: Result<Response, String> = Err("no attempts made".to_owned());
+    for attempt in 0..attempts {
+        if attempt > 0 {
+            let suggested = match &last {
+                Ok(response) => response.retry_after,
+                Err(_) => None,
+            };
+            std::thread::sleep(policy.wait_before(attempt - 1, suggested));
+        }
+        last = request(addr, method, path, body);
+        match &last {
+            Ok(response) if response.status == 503 || response.status == 504 => {}
+            Ok(_) => return last,
+            Err(_) => {}
+        }
+    }
+    last
 }
 
 /// `POST` a JSON body to a path.
@@ -107,4 +213,46 @@ pub fn post_json(addr: SocketAddr, path: &str, body: &str) -> Result<Response, S
 /// See [`request`].
 pub fn get(addr: SocketAddr, path: &str) -> Result<Response, String> {
     request(addr, "GET", path, None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_grows_caps_and_honours_retry_after() {
+        let policy = RetryPolicy::default();
+        let first = policy.wait_before(0, None);
+        assert!(first >= policy.base / 2 && first <= policy.base);
+        assert_eq!(
+            first,
+            policy.wait_before(0, None),
+            "jitter is deterministic"
+        );
+        assert!(policy.wait_before(5, None) <= policy.cap);
+        // A server hint raises the wait (up to the cap).
+        assert_eq!(policy.wait_before(0, Some(1)), Duration::from_secs(1));
+        assert_eq!(policy.wait_before(0, Some(60)), policy.cap);
+        // Distinct seeds de-synchronize.
+        let other = RetryPolicy {
+            seed: 7,
+            ..RetryPolicy::default()
+        };
+        assert_ne!(policy.wait_before(2, None), other.wait_before(2, None));
+    }
+
+    #[test]
+    fn retries_against_a_dead_daemon_fail_with_the_transport_error() {
+        // Port 1 on loopback: nothing listens there.
+        let addr: SocketAddr = "127.0.0.1:1".parse().unwrap();
+        let policy = RetryPolicy {
+            attempts: 2,
+            base: Duration::from_millis(1),
+            ..RetryPolicy::default()
+        };
+        let started = std::time::Instant::now();
+        let outcome = request_with_retry(addr, "GET", "/healthz", None, &policy);
+        assert!(outcome.is_err());
+        assert!(started.elapsed() < Duration::from_secs(30));
+    }
 }

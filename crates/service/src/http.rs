@@ -8,6 +8,7 @@
 //! memory.
 
 use std::io::{BufRead, Write};
+use std::time::Instant;
 
 /// Request line length bound (method + path + version).
 const MAX_REQUEST_LINE: usize = 8 * 1024;
@@ -56,6 +57,9 @@ pub enum HttpError {
     TooLarge(&'static str),
     /// `Content-Length` missing on a method that requires a body.
     LengthRequired,
+    /// The whole request (line + headers + body) took longer to arrive than
+    /// the caller's deadline allowed — a slowloris-style dribbling client.
+    Timeout,
 }
 
 impl HttpError {
@@ -66,6 +70,7 @@ impl HttpError {
             HttpError::Malformed(_) => Some((400, "Bad Request")),
             HttpError::TooLarge(_) => Some((413, "Payload Too Large")),
             HttpError::LengthRequired => Some((411, "Length Required")),
+            HttpError::Timeout => Some((408, "Request Timeout")),
         }
     }
 }
@@ -77,20 +82,26 @@ impl std::fmt::Display for HttpError {
             HttpError::Malformed(what) => write!(f, "malformed request: {what}"),
             HttpError::TooLarge(what) => write!(f, "request too large: {what}"),
             HttpError::LengthRequired => write!(f, "content-length required"),
+            HttpError::Timeout => write!(f, "request read deadline exceeded"),
         }
     }
 }
 
 impl std::error::Error for HttpError {}
 
-/// Reads one line up to CRLF (or bare LF, accepted leniently), bounded.
+/// Reads one line up to CRLF (or bare LF, accepted leniently), bounded in
+/// both size and (when a deadline is given) arrival time.
 fn read_line(
     stream: &mut impl BufRead,
     bound: usize,
     what: &'static str,
+    deadline: Option<Instant>,
 ) -> Result<Option<String>, HttpError> {
     let mut line = Vec::new();
     loop {
+        if deadline.is_some_and(|d| Instant::now() >= d) {
+            return Err(HttpError::Timeout);
+        }
         let mut byte = [0u8; 1];
         match stream.read(&mut byte) {
             Ok(0) => {
@@ -122,12 +133,22 @@ fn read_line(
 /// connection cleanly between requests (the normal end of a keep-alive
 /// session).
 ///
+/// `deadline` bounds how long the *whole* request (line, headers, body) may
+/// take to arrive; a client that dribbles bytes slower than that gets
+/// [`HttpError::Timeout`] (408) instead of pinning the reader thread. The
+/// check runs between reads, so its granularity is the socket's read timeout:
+/// a silent peer is cut by the socket timeout, a dribbling one by this
+/// deadline within one socket timeout of it expiring.
+///
 /// # Errors
 ///
 /// Returns an [`HttpError`]; the caller answers with
 /// [`HttpError::status`] if the connection is still writable.
-pub fn read_request(stream: &mut impl BufRead) -> Result<Option<Request>, HttpError> {
-    let Some(request_line) = read_line(stream, MAX_REQUEST_LINE, "request line")? else {
+pub fn read_request(
+    stream: &mut impl BufRead,
+    deadline: Option<Instant>,
+) -> Result<Option<Request>, HttpError> {
+    let Some(request_line) = read_line(stream, MAX_REQUEST_LINE, "request line", deadline)? else {
         return Ok(None);
     };
     let mut parts = request_line.split(' ');
@@ -144,7 +165,7 @@ pub fn read_request(stream: &mut impl BufRead) -> Result<Option<Request>, HttpEr
     let mut headers = Vec::new();
     let mut content_length: Option<usize> = None;
     loop {
-        let Some(line) = read_line(stream, MAX_HEADER_LINE, "header")? else {
+        let Some(line) = read_line(stream, MAX_HEADER_LINE, "header", deadline)? else {
             return Err(HttpError::ConnectionLost);
         };
         if line.is_empty() {
@@ -184,10 +205,19 @@ pub fn read_request(stream: &mut impl BufRead) -> Result<Option<Request>, HttpEr
     let mut body = Vec::new();
     match content_length {
         Some(n) => {
+            // Chunked so a dribbled body is still subject to the deadline.
             body.resize(n, 0);
-            stream
-                .read_exact(&mut body)
-                .map_err(|_| HttpError::ConnectionLost)?;
+            let mut filled = 0;
+            while filled < n {
+                if deadline.is_some_and(|d| Instant::now() >= d) {
+                    return Err(HttpError::Timeout);
+                }
+                let step = (n - filled).min(4096);
+                stream
+                    .read_exact(&mut body[filled..filled + step])
+                    .map_err(|_| HttpError::ConnectionLost)?;
+                filled += step;
+            }
         }
         None => {
             if method == "POST" || method == "PUT" {
@@ -208,6 +238,8 @@ pub fn read_request(stream: &mut impl BufRead) -> Result<Option<Request>, HttpEr
 /// Writes a response with a JSON (or plain-text) body. `keep_alive` controls
 /// the `Connection` header; the body always carries an exact
 /// `Content-Length`, so the peer can reuse the connection safely.
+/// `extra_headers` (e.g. `Retry-After`) are written verbatim after the
+/// standard ones.
 ///
 /// # Errors
 ///
@@ -219,13 +251,18 @@ pub fn write_response(
     content_type: &str,
     body: &[u8],
     keep_alive: bool,
+    extra_headers: &[(&str, String)],
 ) -> std::io::Result<()> {
     let connection = if keep_alive { "keep-alive" } else { "close" };
     write!(
         stream,
-        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: {connection}\r\n\r\n",
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: {connection}\r\n",
         body.len()
     )?;
+    for (name, value) in extra_headers {
+        write!(stream, "{name}: {value}\r\n")?;
+    }
+    stream.write_all(b"\r\n")?;
     stream.write_all(body)?;
     stream.flush()
 }
@@ -237,12 +274,14 @@ pub fn reason(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        408 => "Request Timeout",
         411 => "Length Required",
         413 => "Payload Too Large",
         422 => "Unprocessable Entity",
         500 => "Internal Server Error",
         501 => "Not Implemented",
         503 => "Service Unavailable",
+        504 => "Gateway Timeout",
         _ => "Unknown",
     }
 }
@@ -253,7 +292,7 @@ mod tests {
     use std::io::BufReader;
 
     fn parse(raw: &str) -> Result<Option<Request>, HttpError> {
-        read_request(&mut BufReader::new(raw.as_bytes()))
+        read_request(&mut BufReader::new(raw.as_bytes()), None)
     }
 
     #[test]
@@ -300,11 +339,41 @@ mod tests {
     #[test]
     fn responses_have_exact_content_length() {
         let mut out = Vec::new();
-        write_response(&mut out, 200, "OK", "application/json", b"{}", true).unwrap();
+        write_response(&mut out, 200, "OK", "application/json", b"{}", true, &[]).unwrap();
         let text = String::from_utf8(out).unwrap();
         assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
         assert!(text.contains("Content-Length: 2\r\n"));
         assert!(text.contains("Connection: keep-alive\r\n"));
         assert!(text.ends_with("\r\n\r\n{}"));
+    }
+
+    #[test]
+    fn extra_headers_are_written_before_the_body() {
+        let mut out = Vec::new();
+        write_response(
+            &mut out,
+            503,
+            "Service Unavailable",
+            "application/json",
+            b"{}",
+            false,
+            &[("Retry-After", "3".to_string())],
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("Retry-After: 3\r\n"));
+        let headers_end = text.find("\r\n\r\n").unwrap();
+        assert!(text.find("Retry-After").unwrap() < headers_end);
+    }
+
+    #[test]
+    fn an_expired_deadline_times_the_request_out() {
+        let already_passed = Instant::now() - std::time::Duration::from_millis(1);
+        let raw = "GET /healthz HTTP/1.1\r\n\r\n";
+        assert_eq!(
+            read_request(&mut BufReader::new(raw.as_bytes()), Some(already_passed)),
+            Err(HttpError::Timeout)
+        );
+        assert_eq!(HttpError::Timeout.status(), Some((408, "Request Timeout")));
     }
 }

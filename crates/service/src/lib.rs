@@ -32,12 +32,23 @@
 //! * [`server`] — routing, request coalescing, the session cache, and the
 //!   daemon lifecycle ([`server::start`] / [`server::Handle`]).
 //! * [`client`] — a tiny blocking client used by the tests, the
-//!   `serve_throughput` replay bench, and `curl`-less scripting.
+//!   `serve_throughput`/`serve_soak` benches, and `curl`-less scripting,
+//!   with [`client::request_with_retry`] for overload-aware backoff.
 //!
 //! Compile jobs run through [`chassis::Session::compile_many_with`], so the
 //! daemon inherits the library's per-job panic isolation and typed error
 //! taxonomy; [`server::status_for`] maps [`chassis::ErrorKind`] onto HTTP
 //! status codes.
+//!
+//! ## Deadlines, cancellation, and overload (docs/RESILIENCE.md)
+//!
+//! A `POST /compile` may carry `deadline_ms`: the daemon sheds the request
+//! at admission when its deadline cannot survive the queue (504 +
+//! `Retry-After`), caps the search's wall-clock budget to the remainder,
+//! and cancels the search cooperatively when the deadline expires or every
+//! waiter disappears. A watchdog thread reclaims genuinely stuck workers,
+//! and a per-client circuit breaker sheds clients whose deadlines keep
+//! expiring. Every 503/504 carries `Retry-After`.
 
 pub mod client;
 pub mod http;
@@ -46,7 +57,8 @@ pub mod pool;
 pub mod server;
 pub mod store;
 
-pub use client::post_json;
+pub use client::{post_json, request_with_retry, RetryPolicy};
 pub use json::Json;
+pub use pool::JobOutcome;
 pub use server::{content_key, start, Handle, ServerConfig};
 pub use store::{ResultStore, StoreConfig, StoreHit};

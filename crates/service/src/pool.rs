@@ -7,17 +7,31 @@
 //! worker on the next two dispatches, not after 100.
 //!
 //! The total queue is bounded; [`Pool::submit`] refuses (and the server
-//! answers `503`) rather than queueing unboundedly. Jobs are plain closures —
-//! panic isolation is the job's own responsibility (the server runs compiles
-//! through `Session::compile_many_with`, which already catches panics per
-//! job).
+//! answers `503`) rather than queueing unboundedly. Jobs are closures that
+//! report a [`JobOutcome`] — panic isolation is the job's own responsibility
+//! (the server runs compiles through `Session::compile_many_with`, which
+//! already catches panics per job), but a job that discovers it was
+//! *abandoned* (its worker was written off as stuck and replaced via
+//! [`Pool::note_worker_lost`]) returns [`JobOutcome::Abandoned`] and its
+//! worker retires instead of double-staffing the pool.
 
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 
-type Job = Box<dyn FnOnce() + Send + 'static>;
+/// What a finished job tells its worker.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JobOutcome {
+    /// Normal completion; the worker picks the next job.
+    Done,
+    /// A watchdog wrote this job's worker off as stuck and already spawned a
+    /// replacement ([`Pool::note_worker_lost`]); now that the job has in fact
+    /// finished, its worker retires to keep the worker count steady.
+    Abandoned,
+}
+
+type Job = Box<dyn FnOnce() -> JobOutcome + Send + 'static>;
 
 struct Sched {
     /// Per-client FIFO queues.
@@ -35,13 +49,16 @@ struct PoolInner {
     max_queued: usize,
     rejected: AtomicU64,
     completed: AtomicU64,
+    replacements: AtomicU64,
 }
 
 /// The pool handle. Dropping it does **not** stop the workers; call
 /// [`Pool::shutdown`] for a clean drain-and-join.
 pub struct Pool {
     inner: Arc<PoolInner>,
-    workers: Vec<JoinHandle<()>>,
+    /// Worker handles; a `Mutex` because [`Pool::note_worker_lost`] appends
+    /// replacement workers while the pool is live.
+    workers: Mutex<Vec<JoinHandle<()>>>,
 }
 
 /// `submit` refused because the queue bound was reached.
@@ -67,6 +84,7 @@ impl Pool {
             max_queued: max_queued.max(1),
             rejected: AtomicU64::new(0),
             completed: AtomicU64::new(0),
+            replacements: AtomicU64::new(0),
         });
         let handles = (0..workers.max(1))
             .map(|i| {
@@ -79,7 +97,7 @@ impl Pool {
             .unwrap_or_default();
         Pool {
             inner,
-            workers: handles,
+            workers: Mutex::new(handles),
         }
     }
 
@@ -118,15 +136,62 @@ impl Pool {
         self.inner.completed.load(Ordering::Relaxed)
     }
 
+    /// Jobs currently queued (not yet picked up by a worker).
+    pub fn queued(&self) -> usize {
+        lock(&self.inner.sched).queued
+    }
+
+    /// Replacement workers spawned so far via [`Pool::note_worker_lost`].
+    pub fn replacements(&self) -> u64 {
+        self.inner.replacements.load(Ordering::Relaxed)
+    }
+
+    /// Declares one worker lost (stuck in a job a watchdog has written off)
+    /// and spawns a replacement so pool capacity is restored *while the stuck
+    /// job is still running*. The caller must also mark the written-off job
+    /// so that it returns [`JobOutcome::Abandoned`] when (if) it finishes —
+    /// that retires its worker and keeps the live worker count steady.
+    ///
+    /// No-op after shutdown began.
+    pub fn note_worker_lost(&self) {
+        {
+            let sched = lock(&self.inner.sched);
+            if sched.shutdown {
+                return;
+            }
+        }
+        let n = self.inner.replacements.fetch_add(1, Ordering::Relaxed);
+        let inner = Arc::clone(&self.inner);
+        if let Ok(handle) = std::thread::Builder::new()
+            .name(format!("chassis-worker-r{n}"))
+            .spawn(move || worker_loop(&inner))
+        {
+            self.workers
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .push(handle);
+        }
+    }
+
     /// Drains already-queued jobs, then stops and joins every worker. New
     /// submissions are refused from the moment this is called.
-    pub fn shutdown(mut self) {
+    ///
+    /// A worker stuck in a job blocks the join until its job returns; bound
+    /// that externally (the daemon's watchdog answers the job's waiters long
+    /// before this runs, and chaos stalls release when their plan disarms).
+    pub fn shutdown(self) {
         {
             let mut sched = lock(&self.inner.sched);
             sched.shutdown = true;
         }
         self.inner.work_available.notify_all();
-        for handle in self.workers.drain(..) {
+        let handles: Vec<JoinHandle<()>> = self
+            .workers
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .drain(..)
+            .collect();
+        for handle in handles {
             let _ = handle.join();
         }
     }
@@ -164,8 +229,12 @@ fn worker_loop(inner: &PoolInner) {
                     .unwrap_or_else(PoisonError::into_inner);
             }
         };
-        job();
+        let outcome = job();
         inner.completed.fetch_add(1, Ordering::Relaxed);
+        if outcome == JobOutcome::Abandoned {
+            // A replacement for this worker is already running; retire.
+            return;
+        }
     }
 }
 
@@ -174,14 +243,39 @@ mod tests {
     use super::*;
     use std::sync::mpsc;
 
+    /// A job that blocks until the shared gate opens.
+    fn gated_job(gate: &Arc<(Mutex<bool>, Condvar)>) -> Job {
+        let g = Arc::clone(gate);
+        Box::new(move || {
+            let (m, cv) = &*g;
+            let mut open = m.lock().unwrap();
+            while !*open {
+                open = cv.wait(open).unwrap();
+            }
+            JobOutcome::Done
+        })
+    }
+
+    fn open_gate(gate: &Arc<(Mutex<bool>, Condvar)>) {
+        let (m, cv) = &**gate;
+        *m.lock().unwrap() = true;
+        cv.notify_all();
+    }
+
     #[test]
     fn runs_jobs_and_drains_on_shutdown() {
         let pool = Pool::new(2, 64);
         let (tx, rx) = mpsc::channel();
         for i in 0..10 {
             let tx = tx.clone();
-            pool.submit("c", Box::new(move || tx.send(i).unwrap()))
-                .unwrap();
+            pool.submit(
+                "c",
+                Box::new(move || {
+                    tx.send(i).unwrap();
+                    JobOutcome::Done
+                }),
+            )
+            .unwrap();
         }
         pool.shutdown();
         let mut seen: Vec<i32> = rx.try_iter().collect();
@@ -194,29 +288,19 @@ mod tests {
         // One worker, blocked on a gate: everything else queues.
         let pool = Pool::new(1, 2);
         let gate = Arc::new((Mutex::new(false), Condvar::new()));
-        let g = Arc::clone(&gate);
-        pool.submit(
-            "c",
-            Box::new(move || {
-                let (m, cv) = &*g;
-                let mut open = m.lock().unwrap();
-                while !*open {
-                    open = cv.wait(open).unwrap();
-                }
-            }),
-        )
-        .unwrap();
+        pool.submit("c", gated_job(&gate)).unwrap();
         // Wait until the worker has picked the blocker up, then fill the queue.
         while pool.completed() == 0 && lock(&pool.inner.sched).queued > 0 {
             std::thread::yield_now();
         }
-        pool.submit("c", Box::new(|| {})).unwrap();
-        pool.submit("c", Box::new(|| {})).unwrap();
-        assert_eq!(pool.submit("c", Box::new(|| {})), Err(PoolFull));
+        pool.submit("c", Box::new(|| JobOutcome::Done)).unwrap();
+        pool.submit("c", Box::new(|| JobOutcome::Done)).unwrap();
+        assert_eq!(
+            pool.submit("c", Box::new(|| JobOutcome::Done)),
+            Err(PoolFull)
+        );
         assert_eq!(pool.rejected(), 1);
-        let (m, cv) = &*gate;
-        *m.lock().unwrap() = true;
-        cv.notify_all();
+        open_gate(&gate);
         pool.shutdown();
     }
 
@@ -227,36 +311,29 @@ mod tests {
         // the chatty client's backlog is done.
         let pool = Pool::new(1, 64);
         let gate = Arc::new((Mutex::new(false), Condvar::new()));
-        let g = Arc::clone(&gate);
-        pool.submit(
-            "chatty",
-            Box::new(move || {
-                let (m, cv) = &*g;
-                let mut open = m.lock().unwrap();
-                while !*open {
-                    open = cv.wait(open).unwrap();
-                }
-            }),
-        )
-        .unwrap();
+        pool.submit("chatty", gated_job(&gate)).unwrap();
         let order = Arc::new(Mutex::new(Vec::new()));
         for i in 0..3 {
             let order = Arc::clone(&order);
             pool.submit(
                 "chatty",
-                Box::new(move || order.lock().unwrap().push(format!("chatty{i}"))),
+                Box::new(move || {
+                    order.lock().unwrap().push(format!("chatty{i}"));
+                    JobOutcome::Done
+                }),
             )
             .unwrap();
         }
         let o = Arc::clone(&order);
         pool.submit(
             "quiet",
-            Box::new(move || o.lock().unwrap().push("quiet".to_owned())),
+            Box::new(move || {
+                o.lock().unwrap().push("quiet".to_owned());
+                JobOutcome::Done
+            }),
         )
         .unwrap();
-        let (m, cv) = &*gate;
-        *m.lock().unwrap() = true;
-        cv.notify_all();
+        open_gate(&gate);
         pool.shutdown();
         let seen = order.lock().unwrap().clone();
         assert_eq!(seen.len(), 4);
@@ -265,5 +342,95 @@ mod tests {
             quiet_at <= 1,
             "quiet client should not wait behind the whole chatty backlog: {seen:?}"
         );
+    }
+
+    #[test]
+    fn a_lost_worker_is_replaced_while_its_job_is_still_stuck() {
+        // One worker wedges on a gate. After note_worker_lost, a second job
+        // must complete *while the first is still blocked* — capacity is
+        // restored around the stuck thread, and when the stuck job finally
+        // returns Abandoned its worker retires (shutdown still joins clean).
+        let pool = Pool::new(1, 64);
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        let g = Arc::clone(&gate);
+        pool.submit(
+            "stuck",
+            Box::new(move || {
+                let (m, cv) = &*g;
+                let mut open = m.lock().unwrap();
+                while !*open {
+                    open = cv.wait(open).unwrap();
+                }
+                JobOutcome::Abandoned
+            }),
+        )
+        .unwrap();
+        while pool.queued() > 0 {
+            std::thread::yield_now();
+        }
+        pool.note_worker_lost();
+        assert_eq!(pool.replacements(), 1);
+        let (tx, rx) = mpsc::channel();
+        pool.submit(
+            "other",
+            Box::new(move || {
+                tx.send(()).unwrap();
+                JobOutcome::Done
+            }),
+        )
+        .unwrap();
+        rx.recv_timeout(std::time::Duration::from_secs(10))
+            .expect("the replacement worker must run jobs while the original is stuck");
+        open_gate(&gate);
+        let inner = Arc::clone(&pool.inner);
+        pool.shutdown();
+        assert_eq!(inner.completed.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn churned_client_entries_drain_without_delaying_others() {
+        // A flood client parks 40 already-cancelled (no-op) entries, then a
+        // quiet client submits one real job: round-robin must schedule the
+        // quiet job within the first two dispatches after the gate opens, and
+        // the flood client's queue must vanish entirely once drained.
+        let pool = Pool::new(1, 64);
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        pool.submit("flood", gated_job(&gate)).unwrap();
+        let order = Arc::new(Mutex::new(Vec::new()));
+        for _ in 0..40 {
+            let order = Arc::clone(&order);
+            pool.submit(
+                "flood",
+                Box::new(move || {
+                    // A shed entry: its flight was already answered, so the
+                    // job body is a cheap fast-exit.
+                    order.lock().unwrap().push("flood");
+                    JobOutcome::Done
+                }),
+            )
+            .unwrap();
+        }
+        let o = Arc::clone(&order);
+        pool.submit(
+            "quiet",
+            Box::new(move || {
+                o.lock().unwrap().push("quiet");
+                JobOutcome::Done
+            }),
+        )
+        .unwrap();
+        open_gate(&gate);
+        let inner = Arc::clone(&pool.inner);
+        pool.shutdown();
+        let seen = order.lock().unwrap().clone();
+        assert_eq!(seen.len(), 41);
+        let quiet_at = seen.iter().position(|s| *s == "quiet").unwrap();
+        assert!(
+            quiet_at <= 1,
+            "quiet job delayed behind churned flood entries: position {quiet_at}"
+        );
+        let sched = lock(&inner.sched);
+        assert_eq!(sched.queued, 0);
+        assert!(sched.queues.is_empty());
     }
 }

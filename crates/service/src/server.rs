@@ -31,16 +31,19 @@
 #![deny(clippy::unwrap_used, clippy::expect_used)]
 
 use std::collections::HashMap;
-use std::io::BufReader;
+use std::io::{BufRead, BufReader};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use chassis::{CompilationResult, CompileError, Config, ErrorKind, Implementation, Session};
+use chassis::{
+    Budget, CancelToken, CompilationResult, CompileError, Config, ErrorKind, Implementation,
+    SearchControl, Session,
+};
 use fpcore::hash::{canonical_text, ContentHasher};
 use fpcore::FPCore;
 use targets::builtin;
@@ -48,7 +51,7 @@ use targets::target::Target;
 
 use crate::http::{read_request, reason, write_response, Request};
 use crate::json::{hex_bits, Json};
-use crate::pool::Pool;
+use crate::pool::{JobOutcome, Pool};
 use crate::store::{ResultStore, StoreConfig, StoreHit};
 
 /// Daemon configuration.
@@ -68,6 +71,26 @@ pub struct ServerConfig {
     pub max_sessions: usize,
     /// Idle keep-alive connections are dropped after this long.
     pub read_timeout: Duration,
+    /// Once a request's first byte arrives, the whole request (line, headers,
+    /// body) must arrive within this long — a slowloris client dribbling
+    /// bytes gets a 408 instead of pinning the connection thread.
+    pub header_timeout: Duration,
+    /// Socket write timeout, so a client that stops reading cannot pin a
+    /// connection thread mid-response.
+    pub write_timeout: Duration,
+    /// How often the watchdog scans in-flight jobs.
+    pub watchdog_interval: Duration,
+    /// A job with a deadline is written off as stuck once it has been running
+    /// for `stuck_multiple ×` its deadline budget (cooperative cancellation
+    /// should have ended it right after the deadline itself).
+    pub stuck_multiple: u32,
+    /// A job *without* a deadline is written off as stuck after this long.
+    pub stuck_after: Duration,
+    /// Consecutive deadline expiries from one client before its circuit
+    /// breaker opens.
+    pub breaker_threshold: u32,
+    /// How long an open breaker rejects that client's compiles (503).
+    pub breaker_cooldown: Duration,
 }
 
 impl Default for ServerConfig {
@@ -80,6 +103,13 @@ impl Default for ServerConfig {
             max_queued: 256,
             max_sessions: 8,
             read_timeout: Duration::from_secs(30),
+            header_timeout: Duration::from_secs(10),
+            write_timeout: Duration::from_secs(30),
+            watchdog_interval: Duration::from_millis(50),
+            stuck_multiple: 4,
+            stuck_after: Duration::from_secs(600),
+            breaker_threshold: 4,
+            breaker_cooldown: Duration::from_secs(2),
         }
     }
 }
@@ -122,10 +152,23 @@ pub fn status_for(kind: ErrorKind) -> u16 {
 }
 
 /// One in-flight compile job; concurrent requests for the same key block on
-/// this instead of starting duplicate searches.
+/// this instead of starting duplicate searches. Waiters are counted: when
+/// the last one abandons (its deadline expired or its client hung up), the
+/// flight's [`CancelToken`] fires and the underlying search winds down at
+/// its next cancellation point, freeing the worker for live requests.
 struct Flight {
     done: Mutex<Option<(u16, String)>>,
     cv: Condvar,
+    waiters: AtomicUsize,
+    cancel: CancelToken,
+}
+
+/// Why [`Flight::wait_until`] returned without an answer.
+enum Abandoned {
+    /// The waiter's own request deadline expired.
+    Deadline,
+    /// The waiter's client disconnected.
+    ClientGone,
 }
 
 impl Flight {
@@ -133,38 +176,75 @@ impl Flight {
         Flight {
             done: Mutex::new(None),
             cv: Condvar::new(),
+            waiters: AtomicUsize::new(0),
+            cancel: CancelToken::new(),
         }
     }
 
-    fn fill(&self, status: u16, body: String) {
+    /// Fills the flight. First writer wins — the watchdog and the job itself
+    /// can race, and every waiter must see exactly one answer. Returns
+    /// whether this call was the one that filled it.
+    fn fill(&self, status: u16, body: String) -> bool {
         let mut done = self.done.lock().unwrap_or_else(PoisonError::into_inner);
+        if done.is_some() {
+            return false;
+        }
         *done = Some((status, body));
         self.cv.notify_all();
+        true
     }
 
-    /// Blocks until filled. The bound is a safety net: jobs either complete
-    /// or are filled with 503 on shutdown, so a full wait means a bug.
-    fn wait(&self) -> (u16, String) {
+    /// Registers one waiter (call before releasing the flight-map lock, so
+    /// the count can never be observed at zero while a request still cares).
+    fn join(&self) {
+        self.waiters.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// One waiter gives up or is answered. The last waiter out of an
+    /// unanswered flight cancels the underlying search — nobody is left to
+    /// read its result.
+    fn leave(&self) {
+        if self.waiters.fetch_sub(1, Ordering::SeqCst) == 1 {
+            let done = self.done.lock().unwrap_or_else(PoisonError::into_inner);
+            if done.is_none() {
+                self.cancel.cancel();
+            }
+        }
+    }
+
+    /// Blocks until filled, the waiter's deadline expires, or its client
+    /// disconnects (probed between condvar waits). The 600 s cap is a safety
+    /// net: jobs complete, are cancelled, or are reclaimed by the watchdog,
+    /// so a full wait means a bug.
+    fn wait_until(
+        &self,
+        deadline: Option<Instant>,
+        client_gone: &dyn Fn() -> bool,
+    ) -> Result<(u16, String), Abandoned> {
         let mut done = self.done.lock().unwrap_or_else(PoisonError::into_inner);
-        let deadline = Duration::from_secs(600);
-        let mut waited = Duration::ZERO;
+        let started = Instant::now();
         while done.is_none() {
-            let step = Duration::from_millis(500);
-            let (next, timeout) = self
+            if deadline.is_some_and(|d| Instant::now() >= d) {
+                return Err(Abandoned::Deadline);
+            }
+            let (next, _) = self
                 .cv
-                .wait_timeout(done, step)
+                .wait_timeout(done, Duration::from_millis(100))
                 .unwrap_or_else(PoisonError::into_inner);
             done = next;
-            if timeout.timed_out() {
-                waited += step;
-                if waited >= deadline {
-                    return (500, error_body(None, "internal", "compile job timed out"));
-                }
+            if done.is_some() {
+                break;
+            }
+            if client_gone() {
+                return Err(Abandoned::ClientGone);
+            }
+            if started.elapsed() >= Duration::from_secs(600) {
+                return Ok((500, error_body(None, "internal", "compile job timed out")));
             }
         }
         match done.as_ref() {
-            Some((status, body)) => (*status, body.clone()),
-            None => (500, error_body(None, "internal", "flight signalled empty")),
+            Some((status, body)) => Ok((*status, body.clone())),
+            None => Ok((500, error_body(None, "internal", "flight signalled empty"))),
         }
     }
 }
@@ -184,6 +264,14 @@ struct Counters {
     queue_rejected: AtomicU64,
     accept_drops: AtomicU64,
     panics_recovered: AtomicU64,
+    /// Searches cancelled mid-flight (deadline expiry or all waiters gone).
+    cancelled: AtomicU64,
+    /// Requests shed at admission: their deadline could not survive the queue.
+    deadline_shed: AtomicU64,
+    /// Stuck workers written off and replaced by the watchdog.
+    watchdog_fired: AtomicU64,
+    /// Compiles rejected because the client's circuit breaker was open.
+    breaker_rejected: AtomicU64,
     jobs_failed: [AtomicU64; 5],
 }
 
@@ -205,6 +293,30 @@ const KIND_NAMES: [&str; 5] = [
     "internal",
 ];
 
+/// Watchdog bookkeeping for one submitted compile job.
+struct InflightJob {
+    key: String,
+    client: String,
+    flight: Arc<Flight>,
+    accepted: Instant,
+    deadline: Option<Instant>,
+    /// When a worker actually picked the job up (`None` while queued).
+    started: Mutex<Option<Instant>>,
+    /// The deadline 504 has been delivered (watchdog or dequeue fast-path).
+    expired: AtomicBool,
+    /// The watchdog wrote this worker off as stuck: its pool slot was
+    /// replaced, and the worker retires when (if) the job finally returns.
+    abandoned: AtomicBool,
+}
+
+/// Per-client circuit breaker: repeated consecutive deadline expiries open
+/// it, and an open breaker sheds that client's compiles for a cooldown.
+#[derive(Default)]
+struct Breaker {
+    consecutive_expiries: u32,
+    open_until: Option<Instant>,
+}
+
 struct ServerState {
     config: ServerConfig,
     local_addr: SocketAddr,
@@ -214,6 +326,14 @@ struct ServerState {
     sessions: Mutex<SessionCache>,
     counters: Counters,
     shutdown: AtomicBool,
+    /// Jobs registered for the watchdog, keyed by a monotonic id.
+    inflight: Mutex<HashMap<u64, Arc<InflightJob>>>,
+    next_job: AtomicU64,
+    breakers: Mutex<HashMap<String, Breaker>>,
+    started: Instant,
+    /// EWMA of successful job durations (nanoseconds), for the admission
+    /// controller's queue-wait estimate. Zero until the first completion.
+    avg_job_nanos: AtomicU64,
 }
 
 fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
@@ -254,6 +374,80 @@ impl ServerState {
     fn failed_job(&self, kind: ErrorKind) {
         self.counters.jobs_failed[kind_index(kind)].fetch_add(1, Ordering::Relaxed);
     }
+
+    /// Registers a job with the watchdog; returns its registry id.
+    fn track(&self, job: Arc<InflightJob>) -> u64 {
+        let id = self.next_job.fetch_add(1, Ordering::Relaxed);
+        lock(&self.inflight).insert(id, job);
+        id
+    }
+
+    fn untrack(&self, id: u64) {
+        lock(&self.inflight).remove(&id);
+    }
+
+    /// Estimated wait before a newly queued job starts running: queue depth
+    /// over worker count, times the EWMA of past job durations. Zero until
+    /// the first job completes (optimistic: with no history, admit).
+    fn estimated_queue_wait(&self) -> Duration {
+        let queued = lock(&self.pool).as_ref().map_or(0, Pool::queued);
+        if queued == 0 {
+            return Duration::ZERO;
+        }
+        let avg = Duration::from_nanos(self.avg_job_nanos.load(Ordering::Relaxed));
+        avg.mul_f64(queued as f64 / self.config.workers.max(1) as f64)
+    }
+
+    fn note_job_duration(&self, took: Duration) {
+        let nanos = u64::try_from(took.as_nanos()).unwrap_or(u64::MAX);
+        let old = self.avg_job_nanos.load(Ordering::Relaxed);
+        let next = if old == 0 {
+            nanos
+        } else {
+            (old / 8).saturating_mul(7).saturating_add(nanos / 8)
+        };
+        self.avg_job_nanos.store(next.max(1), Ordering::Relaxed);
+    }
+
+    /// Whether `client`'s breaker is open; returns the remaining cooldown in
+    /// whole seconds (at least 1) when it is. An elapsed cooldown closes the
+    /// breaker and resets its expiry streak.
+    fn breaker_open(&self, client: &str) -> Option<u64> {
+        let mut breakers = lock(&self.breakers);
+        let breaker = breakers.get_mut(client)?;
+        let until = breaker.open_until?;
+        let now = Instant::now();
+        if now >= until {
+            breaker.open_until = None;
+            breaker.consecutive_expiries = 0;
+            return None;
+        }
+        Some((until - now).as_secs().max(1))
+    }
+
+    /// One deadline expiry for `client`; enough in a row trips its breaker.
+    fn note_expiry(&self, client: &str) {
+        let mut breakers = lock(&self.breakers);
+        let breaker = breakers.entry(client.to_owned()).or_default();
+        breaker.consecutive_expiries += 1;
+        if breaker.consecutive_expiries >= self.config.breaker_threshold.max(1) {
+            breaker.open_until = Some(Instant::now() + self.config.breaker_cooldown);
+        }
+    }
+
+    /// A completed (uncancelled) compile for `client` resets its breaker.
+    fn note_success(&self, client: &str) {
+        lock(&self.breakers).remove(client);
+    }
+}
+
+/// Removes `key → flight` from the flight map iff it still maps to this
+/// exact flight; a newer flight for the same key keeps its own entry.
+fn detach_flight(state: &ServerState, key: &str, flight: &Arc<Flight>) {
+    let mut flights = lock(&state.flights);
+    if flights.get(key).is_some_and(|f| Arc::ptr_eq(f, flight)) {
+        flights.remove(key);
+    }
 }
 
 /// A running daemon. Obtained from [`start`]; used in-process by the tests
@@ -262,6 +456,7 @@ pub struct Handle {
     addr: SocketAddr,
     state: Arc<ServerState>,
     accept: Option<JoinHandle<()>>,
+    watchdog: Option<JoinHandle<()>>,
 }
 
 impl Handle {
@@ -289,6 +484,9 @@ impl Handle {
     fn join_inner(&mut self) {
         if let Some(accept) = self.accept.take() {
             let _ = accept.join();
+        }
+        if let Some(watchdog) = self.watchdog.take() {
+            let _ = watchdog.join();
         }
         if let Some(pool) = lock(&self.state.pool).take() {
             pool.shutdown();
@@ -331,16 +529,98 @@ pub fn start(config: ServerConfig) -> std::io::Result<Handle> {
         }),
         counters: Counters::default(),
         shutdown: AtomicBool::new(false),
+        inflight: Mutex::new(HashMap::new()),
+        next_job: AtomicU64::new(0),
+        breakers: Mutex::new(HashMap::new()),
+        started: Instant::now(),
+        avg_job_nanos: AtomicU64::new(0),
     });
     let accept_state = Arc::clone(&state);
     let accept = std::thread::Builder::new()
         .name("chassis-accept".to_owned())
         .spawn(move || accept_loop(&listener, &accept_state))?;
+    let watchdog_state = Arc::clone(&state);
+    let watchdog = std::thread::Builder::new()
+        .name("chassis-watchdog".to_owned())
+        .spawn(move || watchdog_loop(&watchdog_state))?;
     Ok(Handle {
         addr,
         state,
         accept: Some(accept),
+        watchdog: Some(watchdog),
     })
+}
+
+/// Scans in-flight jobs every [`ServerConfig::watchdog_interval`]:
+///
+/// - a job past its **deadline** gets its 504 delivered immediately (waiters
+///   unblock now, not when the worker notices) and its search cancelled;
+/// - a job running **stuck-long** (a hard multiple of its deadline budget,
+///   or [`ServerConfig::stuck_after`] without one) is written off: its pool
+///   slot is replaced so capacity recovers even if the worker never returns.
+fn watchdog_loop(state: &Arc<ServerState>) {
+    while !state.shutdown.load(Ordering::SeqCst) {
+        std::thread::sleep(state.config.watchdog_interval);
+        let now = Instant::now();
+        let jobs: Vec<Arc<InflightJob>> = lock(&state.inflight).values().map(Arc::clone).collect();
+        let mut lost = 0usize;
+        for job in jobs {
+            if let Some(deadline) = job.deadline {
+                if now >= deadline && !job.expired.swap(true, Ordering::SeqCst) {
+                    job.flight.cancel.cancel();
+                    if job.flight.fill(
+                        504,
+                        error_body(
+                            Some(&job.key),
+                            "deadline",
+                            "deadline expired before completion",
+                        ),
+                    ) {
+                        detach_flight(state, &job.key, &job.flight);
+                    }
+                    state.note_expiry(&job.client);
+                }
+            }
+            let Some(started) = *lock(&job.started) else {
+                continue; // still queued; its worker is not wedged
+            };
+            let allowed = match job.deadline {
+                Some(deadline) => deadline
+                    .saturating_duration_since(job.accepted)
+                    .saturating_mul(state.config.stuck_multiple.max(2))
+                    .max(state.config.watchdog_interval.saturating_mul(4)),
+                None => state.config.stuck_after,
+            };
+            if now.saturating_duration_since(started) > allowed
+                && !job.abandoned.swap(true, Ordering::SeqCst)
+            {
+                job.flight.cancel.cancel();
+                let (status, kind) = if job.deadline.is_some() {
+                    (504, "deadline")
+                } else {
+                    (503, "cancelled")
+                };
+                if job.flight.fill(
+                    status,
+                    error_body(Some(&job.key), kind, "job reclaimed by the watchdog"),
+                ) {
+                    detach_flight(state, &job.key, &job.flight);
+                }
+                state
+                    .counters
+                    .watchdog_fired
+                    .fetch_add(1, Ordering::Relaxed);
+                lost += 1;
+            }
+        }
+        if lost > 0 {
+            if let Some(pool) = lock(&state.pool).as_ref() {
+                for _ in 0..lost {
+                    pool.note_worker_lost();
+                }
+            }
+        }
+    }
 }
 
 fn accept_loop(listener: &TcpListener, state: &Arc<ServerState>) {
@@ -379,15 +659,72 @@ fn accept_loop(listener: &TcpListener, state: &Arc<ServerState>) {
     }
 }
 
+/// A routed response: status, JSON body, and an optional explicit
+/// `Retry-After` (seconds). Overload answers (503/504) without an explicit
+/// value still get `Retry-After: 1` at write time.
+struct Reply {
+    status: u16,
+    body: String,
+    retry_after: Option<u64>,
+}
+
+impl Reply {
+    fn new(status: u16, body: String) -> Reply {
+        Reply {
+            status,
+            body,
+            retry_after: None,
+        }
+    }
+
+    fn retry(status: u16, body: String, after: u64) -> Reply {
+        Reply {
+            status,
+            body,
+            retry_after: Some(after),
+        }
+    }
+}
+
+/// Whether the connection's client has gone away, probed with a
+/// non-blocking peek: a closed or reset socket reports gone; a merely idle
+/// one (or a pipelining one with bytes in flight) does not.
+fn client_gone(stream: &TcpStream) -> bool {
+    if stream.set_nonblocking(true).is_err() {
+        return false;
+    }
+    let mut byte = [0u8; 1];
+    let gone = match stream.peek(&mut byte) {
+        Ok(0) => true,
+        Ok(_) => false,
+        Err(e) => e.kind() != std::io::ErrorKind::WouldBlock,
+    };
+    let _ = stream.set_nonblocking(false);
+    gone
+}
+
 fn connection_loop(stream: TcpStream, state: &Arc<ServerState>) {
     let _ = stream.set_read_timeout(Some(state.config.read_timeout));
+    let _ = stream.set_write_timeout(Some(state.config.write_timeout));
     let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let Ok(probe_half) = stream.try_clone() else {
         return;
     };
     let mut write_half = write_half;
     let mut reader = BufReader::new(stream);
     loop {
-        let request = match read_request(&mut reader) {
+        // Wait (up to the idle read timeout) for the request's first byte,
+        // then hold the whole request to the header budget: a slowloris
+        // client dribbling a byte per read-timeout window gets a 408 instead
+        // of pinning this thread indefinitely.
+        match reader.fill_buf() {
+            Ok([]) | Err(_) => return,
+            Ok(_) => {}
+        }
+        let header_deadline = Instant::now() + state.config.header_timeout;
+        let request = match read_request(&mut reader, Some(header_deadline)) {
             Ok(Some(request)) => request,
             Ok(None) => return,
             Err(e) => {
@@ -400,34 +737,46 @@ fn connection_loop(stream: TcpStream, state: &Arc<ServerState>) {
                         "application/json",
                         body.as_bytes(),
                         false,
+                        &[],
                     );
                 }
                 return;
             }
         };
         let keep_alive = request.keep_alive && !state.shutdown.load(Ordering::SeqCst);
+        let probe = || client_gone(&probe_half);
         // Route under a panic boundary: a handler bug answers 500 and keeps
         // the daemon (and even this connection) alive.
-        let (status, body) = match catch_unwind(AssertUnwindSafe(|| route(&request, state))) {
-            Ok(response) => response,
+        let reply = match catch_unwind(AssertUnwindSafe(|| route(&request, state, &probe))) {
+            Ok(reply) => reply,
             Err(_) => {
                 state
                     .counters
                     .panics_recovered
                     .fetch_add(1, Ordering::Relaxed);
-                (
+                Reply::new(
                     500,
                     error_body(None, "internal", "request handler panicked"),
                 )
             }
         };
+        // Every overload answer carries a Retry-After, so a well-behaved
+        // client backs off instead of hammering.
+        let retry_after = reply
+            .retry_after
+            .or_else(|| (reply.status == 503 || reply.status == 504).then_some(1));
+        let extra: Vec<(&str, String)> = retry_after
+            .map(|secs| ("Retry-After", secs.to_string()))
+            .into_iter()
+            .collect();
         if write_response(
             &mut write_half,
-            status,
-            reason(status),
+            reply.status,
+            reason(reply.status),
             "application/json",
-            body.as_bytes(),
+            reply.body.as_bytes(),
             keep_alive,
+            &extra,
         )
         .is_err()
             || !keep_alive
@@ -437,39 +786,39 @@ fn connection_loop(stream: TcpStream, state: &Arc<ServerState>) {
     }
 }
 
-fn route(request: &Request, state: &Arc<ServerState>) -> (u16, String) {
+fn route(request: &Request, state: &Arc<ServerState>, client_gone: &dyn Fn() -> bool) -> Reply {
     state.counters.requests.fetch_add(1, Ordering::Relaxed);
     match (request.method.as_str(), request.path.as_str()) {
-        ("GET", "/healthz") => (200, "{\"status\":\"ok\"}".to_owned()),
-        ("GET", "/stats") => (200, stats_body(state)),
+        ("GET", "/healthz") => Reply::new(200, "{\"status\":\"ok\"}".to_owned()),
+        ("GET", "/stats") => Reply::new(200, stats_body(state)),
         ("POST", "/shutdown") => {
             state.shutdown.store(true, Ordering::SeqCst);
             // Unblock our own accept loop so `Handle::wait` returns.
             let _ = TcpStream::connect(state.local_addr);
-            (200, "{\"status\":\"shutting-down\"}".to_owned())
+            Reply::new(200, "{\"status\":\"shutting-down\"}".to_owned())
         }
-        ("POST", "/compile") => handle_compile(request, state),
+        ("POST", "/compile") => handle_compile(request, state, client_gone),
         ("GET", path) if path.starts_with("/result/") => {
             handle_result(&path["/result/".len()..], state)
         }
         (_, "/healthz" | "/stats" | "/compile" | "/shutdown") => {
-            (405, error_body(None, "bad-request", "method not allowed"))
+            Reply::new(405, error_body(None, "bad-request", "method not allowed"))
         }
-        _ => (404, error_body(None, "not-found", "no such route")),
+        _ => Reply::new(404, error_body(None, "not-found", "no such route")),
     }
 }
 
-fn handle_result(key: &str, state: &Arc<ServerState>) -> (u16, String) {
+fn handle_result(key: &str, state: &Arc<ServerState>) -> Reply {
     if key.len() != 32 || !key.bytes().all(|b| b.is_ascii_hexdigit()) {
         state.counters.bad_requests.fetch_add(1, Ordering::Relaxed);
-        return (
+        return Reply::new(
             400,
             error_body(None, "bad-request", "keys are 32 hex characters"),
         );
     }
     match state.store.get(key) {
-        Some((body, hit)) => (200, with_cache(&body, cache_tag(hit))),
-        None => (404, error_body(Some(key), "not-found", "no stored result")),
+        Some((body, hit)) => Reply::new(200, with_cache(&body, cache_tag(hit))),
+        None => Reply::new(404, error_body(Some(key), "not-found", "no stored result")),
     }
 }
 
@@ -480,10 +829,15 @@ fn cache_tag(hit: StoreHit) -> &'static str {
     }
 }
 
-fn handle_compile(request: &Request, state: &Arc<ServerState>) -> (u16, String) {
+fn handle_compile(
+    request: &Request,
+    state: &Arc<ServerState>,
+    client_gone: &dyn Fn() -> bool,
+) -> Reply {
+    let received = Instant::now();
     let bad = |message: &str| {
         state.counters.bad_requests.fetch_add(1, Ordering::Relaxed);
-        (400, error_body(None, "bad-request", message))
+        Reply::new(400, error_body(None, "bad-request", message))
     };
     let Ok(body_text) = std::str::from_utf8(&request.body) else {
         return bad("body is not utf-8");
@@ -519,6 +873,17 @@ fn handle_compile(request: &Request, state: &Arc<ServerState>) -> (u16, String) 
         .get("client")
         .and_then(Json::as_str)
         .unwrap_or("anonymous");
+    // The end-to-end deadline: `deadline_ms` in the body, `x-deadline-ms` as
+    // a header fallback, measured from request receipt. It becomes an
+    // admission check, a wall-clock cap on the search, and a cancel signal.
+    let deadline_ms = match doc.get("deadline_ms") {
+        Some(v) => match v.as_u64() {
+            Some(ms) => Some(ms),
+            None => return bad("\"deadline_ms\" must be a non-negative integer (milliseconds)"),
+        },
+        None => request.header("x-deadline-ms").and_then(|v| v.parse().ok()),
+    };
+    let deadline = deadline_ms.map(|ms| received + Duration::from_millis(ms));
     let core = match fpcore::parse_fpcore(fpcore_text) {
         Ok(core) => core,
         Err(e) => return bad(&format!("invalid fpcore: {e}")),
@@ -527,32 +892,92 @@ fn handle_compile(request: &Request, state: &Arc<ServerState>) -> (u16, String) 
         return bad(&format!("unknown target {target_name:?}"));
     };
 
-    let key = content_key(&core, &target, seed, config_name);
-
-    // Level 1 + 2: the content-addressed store.
-    if let Some((body, hit)) = state.store.get(&key) {
-        return (200, with_cache(&body, cache_tag(hit)));
+    // A client whose deadlines keep expiring gets shed outright until its
+    // breaker cools down — protecting everyone else's queue time.
+    if let Some(cooldown) = state.breaker_open(client) {
+        state
+            .counters
+            .breaker_rejected
+            .fetch_add(1, Ordering::Relaxed);
+        return Reply::retry(
+            503,
+            error_body(
+                None,
+                "breaker-open",
+                "circuit breaker open: too many consecutive deadline expiries",
+            ),
+            cooldown,
+        );
     }
 
-    // Level 3: coalesce onto an in-flight job for the same key.
+    let key = content_key(&core, &target, seed, config_name);
+
+    // Level 1 + 2: the content-addressed store (cheap — served regardless of
+    // how tight the deadline is).
+    if let Some((body, hit)) = state.store.get(&key) {
+        return Reply::new(200, with_cache(&body, cache_tag(hit)));
+    }
+
+    // Admission control: if the queue is long enough that this job cannot
+    // plausibly start before its deadline, shed it now (504, never cached)
+    // instead of letting it hold a queue slot it can never use.
+    if let Some(deadline) = deadline {
+        let est = state.estimated_queue_wait();
+        if Instant::now() + est >= deadline {
+            state.counters.deadline_shed.fetch_add(1, Ordering::Relaxed);
+            state.note_expiry(client);
+            return Reply::retry(
+                504,
+                error_body(
+                    Some(&key),
+                    "deadline",
+                    "deadline expires before the job could start",
+                ),
+                est.as_secs().clamp(1, 30),
+            );
+        }
+    }
+
+    // Level 3: coalesce onto an in-flight job for the same key. Joining
+    // under the map lock keeps the waiter count from dipping to zero (and
+    // cancelling the job) while this request still cares.
     let flight = {
         let mut flights = lock(&state.flights);
         if let Some(existing) = flights.get(&key) {
             let existing = Arc::clone(existing);
+            existing.join();
             drop(flights);
             state.counters.coalesced.fetch_add(1, Ordering::Relaxed);
-            let (status, body) = existing.wait();
-            return (status, with_cache(&body, "coalesced"));
+            return finish_wait(
+                state,
+                &existing,
+                deadline,
+                client_gone,
+                client,
+                &key,
+                "coalesced",
+            );
         }
         let flight = Arc::new(Flight::new());
+        flight.join();
         flights.insert(key.clone(), Arc::clone(&flight));
         flight
     };
 
-    // Level 4: a fresh compile job on the worker pool.
+    // Level 4: a fresh compile job on the worker pool, registered with the
+    // watchdog before submission so even a queued job has a deadline escort.
+    let job = Arc::new(InflightJob {
+        key: key.clone(),
+        client: client.to_owned(),
+        flight: Arc::clone(&flight),
+        accepted: received,
+        deadline,
+        started: Mutex::new(None),
+        expired: AtomicBool::new(false),
+        abandoned: AtomicBool::new(false),
+    });
+    let id = state.track(Arc::clone(&job));
     let job_state = Arc::clone(state);
-    let job_flight = Arc::clone(&flight);
-    let job_key = key.clone();
     let job_config = config_name.to_owned();
     let job_target = target;
     let submitted = {
@@ -561,45 +986,97 @@ fn handle_compile(request: &Request, state: &Arc<ServerState>) -> (u16, String) 
             Some(pool) => pool.submit(
                 client,
                 Box::new(move || {
-                    compile_job(
-                        &job_state,
-                        &job_flight,
-                        &job_key,
-                        &core,
-                        &job_target,
-                        seed,
-                        &job_config,
-                    );
+                    compile_job(&job_state, id, &job, &core, &job_target, seed, &job_config)
                 }),
             ),
             None => Err(crate::pool::PoolFull),
         }
     };
     if submitted.is_err() {
-        lock(&state.flights).remove(&key);
+        state.untrack(id);
+        detach_flight(state, &key, &flight);
         state
             .counters
             .queue_rejected
             .fetch_add(1, Ordering::Relaxed);
         let body = error_body(Some(&key), "resource-exhausted", "compile queue is full");
         flight.fill(503, body.clone());
-        return (503, body);
+        flight.leave();
+        return Reply::retry(503, body, 1);
     }
     state.counters.compiles.fetch_add(1, Ordering::Relaxed);
-    let (status, body) = flight.wait();
-    (status, with_cache(&body, "miss"))
+    finish_wait(state, &flight, deadline, client_gone, client, &key, "miss")
 }
 
-/// Runs on a pool worker: compile, store on success, fill the flight.
+/// Waits on a flight as one counted waiter, honouring the request's own
+/// deadline and the client-liveness probe. The waiter always [`leave`]s —
+/// the last one out of an unanswered flight cancels the search.
+fn finish_wait(
+    state: &Arc<ServerState>,
+    flight: &Arc<Flight>,
+    deadline: Option<Instant>,
+    client_gone: &dyn Fn() -> bool,
+    client: &str,
+    key: &str,
+    how: &str,
+) -> Reply {
+    let outcome = flight.wait_until(deadline, client_gone);
+    flight.leave();
+    match outcome {
+        Ok((status, body)) => Reply::new(status, with_cache(&body, how)),
+        Err(Abandoned::Deadline) => {
+            state.note_expiry(client);
+            Reply::retry(
+                504,
+                error_body(Some(key), "deadline", "deadline expired before completion"),
+                1,
+            )
+        }
+        // Nobody is left to read this; the connection write will fail.
+        Err(Abandoned::ClientGone) => Reply::new(
+            503,
+            error_body(Some(key), "cancelled", "client disconnected"),
+        ),
+    }
+}
+
+/// Runs on a pool worker: compile under the flight's cancel token and any
+/// remaining deadline budget, store on success (never when cancelled), fill
+/// the flight. Returns [`JobOutcome::Abandoned`] when the watchdog already
+/// wrote this worker off, so the pool retires it (its replacement is
+/// already running).
 fn compile_job(
     state: &Arc<ServerState>,
-    flight: &Flight,
-    key: &str,
+    id: u64,
+    job: &Arc<InflightJob>,
     core: &FPCore,
     target: &Target,
     seed: u64,
     config_name: &str,
-) {
+) -> JobOutcome {
+    let begun = Instant::now();
+    *lock(&job.started) = Some(begun);
+    let token = job.flight.cancel.clone();
+    // Dequeued dead: the deadline passed while queued (the watchdog already
+    // answered 504) or every waiter abandoned. Don't start the search.
+    if token.is_cancelled()
+        || job.expired.load(Ordering::SeqCst)
+        || job.deadline.is_some_and(|d| begun >= d)
+    {
+        state.counters.cancelled.fetch_add(1, Ordering::Relaxed);
+        if job.flight.fill(
+            504,
+            error_body(
+                Some(&job.key),
+                "deadline",
+                "deadline expired before the job started",
+            ),
+        ) {
+            detach_flight(state, &job.key, &job.flight);
+        }
+        state.untrack(id);
+        return JobOutcome::Done;
+    }
     let outcome = state.session(config_name, seed).map_or_else(
         || {
             Err(CompileError::Unsupported(format!(
@@ -608,11 +1085,20 @@ fn compile_job(
         },
         |session| {
             // Run through the corpus entry point (a 1×1 grid) so the job
-            // inherits its panic isolation and typed-error reporting.
+            // inherits its panic isolation and typed-error reporting. The
+            // cancel token and the remaining deadline budget bound the
+            // search cooperatively: both degrade to an initial-containing
+            // frontier, never an error.
+            let mut ctl = SearchControl::new().with_cancel(&token);
+            if let Some(deadline) = job.deadline {
+                ctl = ctl.with_budget(Budget::wall_clock(
+                    deadline.saturating_duration_since(Instant::now()),
+                ));
+            }
             let mut grid = session.compile_many_with(
                 std::slice::from_ref(core),
                 std::slice::from_ref(target),
-                &Default::default(),
+                &ctl,
             );
             match grid.pop().and_then(|mut row| row.pop()) {
                 Some(cell) => cell,
@@ -622,25 +1108,59 @@ fn compile_job(
             }
         },
     );
+    let was_cancelled = token.is_cancelled();
+    let missed_deadline = job.deadline.is_some_and(|d| Instant::now() >= d);
     let (status, body) = match outcome {
-        Ok(result) => {
-            let body = result_body(key, core, &target.name, seed, config_name, &result);
-            state.store.put(key, &body);
+        Ok(result) if !was_cancelled && !missed_deadline => {
+            state.note_job_duration(begun.elapsed());
+            state.note_success(&job.client);
+            let body = result_body(&job.key, core, &target.name, seed, config_name, &result);
+            state.store.put(&job.key, &body);
             (200, body)
+        }
+        Ok(_) => {
+            // A cancelled or past-deadline search was cut short, so its
+            // frontier is not the key's truth: never store it.
+            state.counters.cancelled.fetch_add(1, Ordering::Relaxed);
+            if missed_deadline {
+                (
+                    504,
+                    error_body(
+                        Some(&job.key),
+                        "deadline",
+                        "deadline expired before completion",
+                    ),
+                )
+            } else {
+                (
+                    503,
+                    error_body(
+                        Some(&job.key),
+                        "cancelled",
+                        "all waiters abandoned the request",
+                    ),
+                )
+            }
         }
         Err(e) => {
             state.failed_job(e.kind());
             (
                 status_for(e.kind()),
-                error_body(Some(key), &e.kind().to_string(), &e.to_string()),
+                error_body(Some(&job.key), &e.kind().to_string(), &e.to_string()),
             )
         }
     };
     // Remove the flight *before* filling it: a request arriving after the
     // fill must start fresh (or hit the store), not wait on a dead flight.
     // Waiters that grabbed the Arc before the removal still get notified.
-    lock(&state.flights).remove(key);
-    flight.fill(status, body);
+    detach_flight(state, &job.key, &job.flight);
+    job.flight.fill(status, body);
+    state.untrack(id);
+    if job.abandoned.load(Ordering::SeqCst) {
+        JobOutcome::Abandoned
+    } else {
+        JobOutcome::Done
+    }
 }
 
 /// The serialized success response (without the per-request `cache` field —
@@ -742,10 +1262,11 @@ fn stats_body(state: &Arc<ServerState>) -> String {
     let store = state.store.stats();
     let c = &state.counters;
     let n = |v: u64| Json::from_u64(v);
-    let (completed, rejected) = {
+    let (completed, rejected, replaced) = {
         let pool = lock(&state.pool);
-        pool.as_ref()
-            .map_or((0, 0), |p| (p.completed(), p.rejected()))
+        pool.as_ref().map_or((0, 0, 0), |p| {
+            (p.completed(), p.rejected(), p.replacements())
+        })
     };
     let failed: Vec<(String, Json)> = KIND_NAMES
         .iter()
@@ -787,6 +1308,28 @@ fn stats_body(state: &Arc<ServerState>) -> String {
         ("jobs_rejected".to_owned(), n(rejected)),
         ("jobs_failed".to_owned(), n(failed_total)),
         ("jobs_failed_by_kind".to_owned(), Json::Obj(failed)),
+        (
+            "cancelled".to_owned(),
+            n(c.cancelled.load(Ordering::Relaxed)),
+        ),
+        (
+            "deadline_shed".to_owned(),
+            n(c.deadline_shed.load(Ordering::Relaxed)),
+        ),
+        (
+            "watchdog_fired".to_owned(),
+            n(c.watchdog_fired.load(Ordering::Relaxed)),
+        ),
+        (
+            "breaker_rejected".to_owned(),
+            n(c.breaker_rejected.load(Ordering::Relaxed)),
+        ),
+        ("workers_replaced".to_owned(), n(replaced)),
+        ("inflight".to_owned(), n(lock(&state.inflight).len() as u64)),
+        (
+            "uptime_ms".to_owned(),
+            n(u64::try_from(state.started.elapsed().as_millis()).unwrap_or(u64::MAX)),
+        ),
         (
             "memory_entries".to_owned(),
             n(state.store.memory_len() as u64),

@@ -9,7 +9,8 @@
 //! leak into another's unarmed run.
 
 use chassis::{
-    CompileError, Config, ErrorKind, Progress, SampleError, SearchControl, SearchStats, Session,
+    CancelToken, CompileError, Config, ErrorKind, Phase, Progress, SampleError, SearchControl,
+    SearchStats, Session,
 };
 use fpcore::parse_fpcore;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -155,6 +156,126 @@ fn forced_non_convergence_is_a_ground_truth_error() {
         CompileError::GroundTruth(rival::TruthError::NonConverged { .. })
     ));
     assert!(render_chain(&compile_err).contains("did not converge"));
+}
+
+#[test]
+fn cancellation_fired_at_any_phase_degrades_and_never_panics() {
+    // Fire the cancel token from inside the search at each cut point in
+    // turn: before anything ran, on the first improve iteration, at the
+    // regimes boundary, and at final evaluation. Every outcome must be an
+    // Ok initial-containing frontier with exactly one JobCancelled event —
+    // cancellation is budget exhaustion, never an error path.
+    let _plan = fault::install(fault::FaultPlan::new());
+    let core =
+        parse_fpcore("(FPCore (x) :pre (and (> x 1) (< x 1e14)) (- (sqrt (+ x 1)) (sqrt x)))")
+            .unwrap();
+    let target = builtin::by_name("c99").unwrap();
+    let session = Session::new(Config::fast());
+    let prepared = session.prepare(&core).unwrap();
+
+    #[derive(Clone, Copy, Debug)]
+    enum FireAt {
+        Immediately,
+        FirstImproveIteration,
+        RegimesStart,
+        FinalEvaluationStart,
+    }
+    for fire_at in [
+        FireAt::Immediately,
+        FireAt::FirstImproveIteration,
+        FireAt::RegimesStart,
+        FireAt::FinalEvaluationStart,
+    ] {
+        let token = CancelToken::new();
+        if matches!(fire_at, FireAt::Immediately) {
+            token.cancel();
+        }
+        let cancelled_events = AtomicUsize::new(0);
+        let observer = |event: &Progress| {
+            match (fire_at, event) {
+                (FireAt::FirstImproveIteration, Progress::ImproveIteration { .. })
+                | (
+                    FireAt::RegimesStart,
+                    Progress::PhaseStarted {
+                        phase: Phase::Regimes,
+                    },
+                )
+                | (
+                    FireAt::FinalEvaluationStart,
+                    Progress::PhaseStarted {
+                        phase: Phase::FinalEvaluation,
+                    },
+                ) => token.cancel(),
+                _ => {}
+            }
+            if matches!(event, Progress::JobCancelled) {
+                cancelled_events.fetch_add(1, Ordering::Relaxed);
+            }
+        };
+        let ctl = SearchControl::new()
+            .with_cancel(&token)
+            .with_progress(&observer);
+        let result = prepared
+            .compile_with(&target, &ctl)
+            .unwrap_or_else(|e| panic!("{fire_at:?}: cancellation must not error: {e}"));
+        assert!(
+            result
+                .implementations
+                .iter()
+                .any(|imp| imp.rendered == result.initial.rendered),
+            "{fire_at:?}: the initial program must survive cancellation"
+        );
+        assert_eq!(
+            cancelled_events.load(Ordering::Relaxed),
+            1,
+            "{fire_at:?}: exactly one JobCancelled per cancelled compile"
+        );
+        // Cancellation at final evaluation collapses the frontier to the
+        // initial program (the cut point before per-candidate test scoring).
+        if matches!(fire_at, FireAt::FinalEvaluationStart | FireAt::Immediately) {
+            assert_eq!(result.implementations.len(), 1, "{fire_at:?}");
+        }
+    }
+}
+
+#[test]
+fn corpus_compilation_under_a_fired_token_degrades_every_cell() {
+    // The corpus path: a token cancelled before `compile_many_with` starts
+    // degrades every grid cell to its initial-containing frontier — no
+    // errors, no panics, and one JobCancelled per cell.
+    let _plan = fault::install(fault::FaultPlan::new());
+    let cores = [
+        parse_fpcore("(FPCore (x) :pre (and (> x 1) (< x 1e6)) (- (sqrt (+ x 1)) (sqrt x)))")
+            .unwrap(),
+        parse_fpcore("(FPCore (x) :pre (and (> x 0.5) (< x 50)) (sqrt (+ x 1)))").unwrap(),
+    ];
+    let targets = [
+        builtin::by_name("c99").unwrap(),
+        builtin::by_name("arith-fma").unwrap(),
+    ];
+    let token = CancelToken::new();
+    token.cancel();
+    let cancelled_events = AtomicUsize::new(0);
+    let observer = |event: &Progress| {
+        if matches!(event, Progress::JobCancelled) {
+            cancelled_events.fetch_add(1, Ordering::Relaxed);
+        }
+    };
+    let ctl = SearchControl::new()
+        .with_cancel(&token)
+        .with_progress(&observer);
+    let session = Session::new(Config::fast());
+    let grid = session.compile_many_with(&cores, &targets, &ctl);
+    for row in &grid {
+        for cell in row {
+            let result = cell.as_ref().expect("cancelled cells still compile");
+            assert!(result
+                .implementations
+                .iter()
+                .any(|imp| imp.rendered == result.initial.rendered));
+        }
+    }
+    assert_eq!(cancelled_events.load(Ordering::Relaxed), 4);
 }
 
 #[test]

@@ -14,6 +14,7 @@ use std::net::SocketAddr;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Barrier};
+use std::time::Duration;
 
 const SQRT_CANCEL: &str = "(FPCore (x) :pre (and (> x 1) (< x 1e14)) (- (sqrt (+ x 1)) (sqrt x)))";
 const QUADRATIC: &str = "(FPCore (a b c) (/ (- (- b) (sqrt (- (* b b) (* 4 (* a c))))) (* 2 a)))";
@@ -36,13 +37,36 @@ fn small_server(disk: Option<PathBuf>) -> ServerConfig {
 }
 
 fn compile_request(fpcore: &str, target: &str, seed: u64) -> String {
-    Json::Obj(vec![
+    compile_request_full(fpcore, target, seed, None, None)
+}
+
+fn compile_request_full(
+    fpcore: &str,
+    target: &str,
+    seed: u64,
+    client: Option<&str>,
+    deadline_ms: Option<u64>,
+) -> String {
+    let mut members = vec![
         ("fpcore".to_owned(), Json::Str(fpcore.to_owned())),
         ("target".to_owned(), Json::Str(target.to_owned())),
         ("seed".to_owned(), Json::from_u64(seed)),
         ("config".to_owned(), Json::Str("fast".to_owned())),
-    ])
-    .to_string()
+    ];
+    if let Some(client) = client {
+        members.push(("client".to_owned(), Json::Str(client.to_owned())));
+    }
+    if let Some(ms) = deadline_ms {
+        members.push(("deadline_ms".to_owned(), Json::from_u64(ms)));
+    }
+    Json::Obj(members).to_string()
+}
+
+fn kind_of(doc: &Json) -> &str {
+    doc.get("error")
+        .and_then(|e| e.get("kind"))
+        .and_then(Json::as_str)
+        .unwrap_or("?")
 }
 
 fn post_compile(addr: SocketAddr, body: &str) -> (u16, Json) {
@@ -401,4 +425,317 @@ fn chaos_plans_over_service_sites_never_break_correctness() {
         "almost every plan lost availability ({plans_fully_served}/12 served) — \
          accept-abort should not dominate the seeded mix this heavily"
     );
+}
+
+/// Latency chaos over the service sites: seeded plans mixing
+/// [`fault::FaultAction::Delay`] into the abort/panic distribution. A delay
+/// may only cost time, never a result — every answered request must carry
+/// the same content key, and at least one delay must actually fire so the
+/// coverage is not vacuous. Stalls are deliberately absent here: a stalled
+/// *connection* thread has no watchdog (only pool workers do), so stall
+/// coverage lives in the watchdog test below and in the `serve_soak` gate.
+#[test]
+fn latency_chaos_over_service_sites_only_costs_time() {
+    let dir = scratch_dir("service-latency-chaos");
+    let request = compile_request(SQRT_CANCEL, "arith", 41);
+    let core = fpcore::parse_fpcore(SQRT_CANCEL).unwrap();
+    let target = targets::builtin::by_name("arith").unwrap();
+    let expected_key = content_key(&core, &target, 41, "fast");
+
+    let mut total_fires = 0u64;
+    let mut delay_plans = 0u32;
+    for plan_seed in 0..10u64 {
+        let plan = fault::FaultPlan::seeded_latency(plan_seed, fault::SERVICE_SITES, &[]);
+        if plan
+            .arms()
+            .iter()
+            .any(|arm| matches!(arm.action, fault::FaultAction::Delay(_)))
+        {
+            delay_plans += 1;
+        }
+        // As in the abort/panic chaos test above: an armed accept abort or
+        // panic keeps firing once triggered and legitimately costs
+        // availability; a delay, or any store fault, may not.
+        let may_go_deaf = plan.arms().iter().any(|arm| {
+            arm.site == "service.accept"
+                && matches!(
+                    arm.action,
+                    fault::FaultAction::Abort | fault::FaultAction::Panic
+                )
+        });
+        let armed = fault::install(plan);
+        let handle = start(small_server(Some(dir.clone()))).unwrap();
+        let addr = handle.addr();
+        for _attempt in 0..3 {
+            let response = (0..8).find_map(|_| client::post_json(addr, "/compile", &request).ok());
+            let Some(response) = response else {
+                assert!(
+                    may_go_deaf,
+                    "plan {plan_seed} stopped answering without an accept-abort arm"
+                );
+                continue;
+            };
+            assert_eq!(response.status, 200, "plan {plan_seed}: {}", response.body);
+            let doc = Json::parse(&response.body).unwrap();
+            assert_eq!(
+                doc.get("key").and_then(Json::as_str),
+                Some(expected_key.as_str()),
+                "a latency fault must never change results"
+            );
+        }
+        handle.stop();
+        total_fires += armed.fires();
+    }
+    assert!(total_fires > 0, "the latency chaos run never fired a fault");
+    assert!(
+        delay_plans >= 3,
+        "only {delay_plans}/10 plans armed a delay — seeded_latency's action mix drifted"
+    );
+}
+
+#[test]
+fn an_unmeetable_deadline_is_shed_with_a_typed_504_and_never_cached() {
+    let _plan = fault::install(fault::FaultPlan::new());
+    let handle = start(small_server(None)).unwrap();
+    let addr = handle.addr();
+
+    // deadline_ms = 0 expires before the job could even be queued: the
+    // admission controller sheds it with a typed 504 + Retry-After.
+    let hopeless = compile_request_full(SQRT_CANCEL, "c99", 77, None, Some(0));
+    let response = client::post_json(addr, "/compile", &hopeless).unwrap();
+    assert_eq!(response.status, 504, "{}", response.body);
+    assert!(response.retry_after.is_some(), "504 carries Retry-After");
+    let doc = Json::parse(&response.body).unwrap();
+    assert_eq!(kind_of(&doc), "deadline");
+    assert_eq!(stat(addr, "deadline_shed"), 1);
+    assert_eq!(stat(addr, "compiles"), 0, "shed before any search");
+
+    // A 504 is never cached: the same request without a deadline compiles
+    // fresh...
+    let relaxed = compile_request(SQRT_CANCEL, "c99", 77);
+    let (status, doc) = post_compile(addr, &relaxed);
+    assert_eq!(status, 200, "{doc}");
+    assert_eq!(cache_of(&doc), "miss");
+
+    // ...and once stored, even a hopeless deadline is served from cache
+    // (hits are cheap; deadlines only gate searches).
+    let (status, doc) = post_compile(addr, &hopeless);
+    assert_eq!(status, 200);
+    assert_eq!(cache_of(&doc), "memory");
+
+    // The new gauges are present and sane once the daemon is idle.
+    assert_eq!(stat(addr, "inflight"), 0);
+    let _uptime = stat(addr, "uptime_ms");
+    handle.stop();
+}
+
+#[test]
+fn a_stalled_job_is_reclaimed_by_the_watchdog_while_others_complete() {
+    // One worker, and a Stall armed on the first `session.compile` hit: job
+    // A wedges its worker until the plan is dropped. Its deadline must still
+    // be answered (504, by the watchdog — the worker can't), the watchdog
+    // must then write the worker off and replace it, and a concurrent
+    // no-deadline request must complete on the replacement — bit-identical
+    // to a direct in-process compile.
+    let plan = fault::install(fault::FaultPlan::new().arm(
+        "session.compile",
+        fault::FaultAction::Stall,
+        0,
+    ));
+    let config = ServerConfig {
+        workers: 1,
+        watchdog_interval: Duration::from_millis(25),
+        ..small_server(None)
+    };
+    let handle = start(config).unwrap();
+    let addr = handle.addr();
+
+    let stuck = compile_request_full(SQRT_CANCEL, "c99", 5, Some("hurried"), Some(150));
+    let started = std::time::Instant::now();
+    let response = client::post_json(addr, "/compile", &stuck).unwrap();
+    assert_eq!(response.status, 504, "{}", response.body);
+    assert!(response.retry_after.is_some());
+    assert_eq!(kind_of(&Json::parse(&response.body).unwrap()), "deadline");
+    assert!(
+        started.elapsed() < Duration::from_secs(10),
+        "the 504 must arrive at the deadline, not when the worker unwedges"
+    );
+
+    // The single worker is still stuck; the quiet request below can only
+    // complete if the watchdog replaced it. (The Stall arm fires exactly
+    // once, so the replacement passes the fault point untouched.)
+    let quiet = compile_request(QUADRATIC, "c99", 5);
+    let (status, doc) = post_compile(addr, &quiet);
+    assert_eq!(status, 200, "capacity must recover: {doc}");
+
+    let core = fpcore::parse_fpcore(QUADRATIC).unwrap();
+    let target = targets::builtin::by_name("c99").unwrap();
+    let session = chassis::Session::new(chassis::Config::fast().with_seed(5));
+    let direct = session.compile(&core, &target).unwrap();
+    let served = doc.get("implementations").and_then(Json::as_arr).unwrap();
+    assert_eq!(served.len(), direct.implementations.len());
+    for (json, imp) in served.iter().zip(&direct.implementations) {
+        assert_eq!(
+            json.get("rendered").and_then(Json::as_str),
+            Some(imp.rendered.as_str())
+        );
+        assert_eq!(
+            json.get("cost_hex").and_then(Json::as_str),
+            Some(service::json::hex_bits(imp.cost).as_str())
+        );
+        assert_eq!(
+            json.get("error_bits_hex").and_then(Json::as_str),
+            Some(service::json::hex_bits(imp.error_bits).as_str())
+        );
+    }
+
+    assert!(
+        stat(addr, "watchdog_fired") >= 1,
+        "the watchdog reclaimed A"
+    );
+    assert!(stat(addr, "workers_replaced") >= 1);
+    // Release the stalled worker before shutdown: it wakes, notices its
+    // cancelled token, degrades immediately, and retires as Abandoned.
+    drop(plan);
+    handle.stop();
+}
+
+#[test]
+fn repeated_deadline_expiries_trip_a_per_client_circuit_breaker() {
+    let _plan = fault::install(fault::FaultPlan::new());
+    let config = ServerConfig {
+        breaker_threshold: 2,
+        breaker_cooldown: Duration::from_millis(400),
+        ..small_server(None)
+    };
+    let handle = start(config).unwrap();
+    let addr = handle.addr();
+
+    // Two consecutive hopeless deadlines from one client trip its breaker.
+    for _ in 0..2 {
+        let body = compile_request_full(SQRT_CANCEL, "arith", 31, Some("impatient"), Some(0));
+        let response = client::post_json(addr, "/compile", &body).unwrap();
+        assert_eq!(response.status, 504, "{}", response.body);
+    }
+    // Now even a deadline-free request from that client is shed while the
+    // breaker cools down...
+    let plain = compile_request_full(SQRT_CANCEL, "arith", 31, Some("impatient"), None);
+    let response = client::post_json(addr, "/compile", &plain).unwrap();
+    assert_eq!(response.status, 503, "{}", response.body);
+    assert_eq!(
+        kind_of(&Json::parse(&response.body).unwrap()),
+        "breaker-open"
+    );
+    assert!(response.retry_after.is_some());
+    assert_eq!(stat(addr, "breaker_rejected"), 1);
+
+    // ...while other clients are untouched.
+    let other = compile_request_full(SQRT_CANCEL, "arith", 31, Some("patient"), None);
+    let (status, doc) = post_compile(addr, &other);
+    assert_eq!(status, 200, "{doc}");
+
+    // After the cooldown the breaker closes and the client is served again
+    // (from cache, even: the patient client already paid for the search).
+    std::thread::sleep(Duration::from_millis(500));
+    let (status, doc) = post_compile(addr, &plain);
+    assert_eq!(status, 200, "{doc}");
+    assert_eq!(cache_of(&doc), "memory");
+    handle.stop();
+}
+
+#[test]
+fn a_dribbling_client_is_cut_off_by_the_header_deadline() {
+    use std::io::{Read, Write};
+    let _plan = fault::install(fault::FaultPlan::new());
+    let config = ServerConfig {
+        read_timeout: Duration::from_millis(200),
+        header_timeout: Duration::from_millis(300),
+        ..small_server(None)
+    };
+    let handle = start(config).unwrap();
+    let addr = handle.addr();
+
+    // Dribble bytes forever without finishing the request line: once the
+    // first byte lands, the whole request must arrive within the header
+    // budget, so the daemon answers 408 and closes instead of letting the
+    // slowloris pin a connection thread.
+    let mut slow = std::net::TcpStream::connect(addr).unwrap();
+    slow.set_read_timeout(Some(Duration::from_millis(30)))
+        .unwrap();
+    slow.write_all(b"GET /healthz HTT").unwrap();
+    let started = std::time::Instant::now();
+    let mut got = Vec::new();
+    let mut buf = [0u8; 1024];
+    while started.elapsed() < Duration::from_secs(5) {
+        let _ = slow.write_all(b"P"); // keep dribbling (ignore post-close errors)
+        match slow.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => {
+                got.extend_from_slice(&buf[..n]);
+                if got.windows(4).any(|w| w == b"\r\n\r\n") {
+                    break;
+                }
+            }
+            Err(_) => {}
+        }
+        std::thread::sleep(Duration::from_millis(40));
+    }
+    let text = String::from_utf8_lossy(&got);
+    assert!(
+        text.starts_with("HTTP/1.1 408"),
+        "expected a 408 within the header budget, got {text:?}"
+    );
+    assert!(started.elapsed() < Duration::from_secs(5));
+
+    // A prompt client is still served immediately.
+    let health = client::get(addr, "/healthz").unwrap();
+    assert_eq!(health.status, 200);
+    handle.stop();
+}
+
+#[test]
+fn a_flooding_client_that_disconnects_frees_the_daemon_for_others() {
+    use std::io::Write;
+    // Hold every search at its head for longer than the waiter's client-gone
+    // probe cadence (100 ms): without the delay a release-mode search can
+    // finish before the daemon ever notices the disconnect, and nothing
+    // would be left to cancel.
+    let _plan = fault::install(fault::FaultPlan::new().arm(
+        "session.compile",
+        fault::FaultAction::Delay(400),
+        0,
+    ));
+    let handle = start(ServerConfig {
+        workers: 1,
+        ..small_server(None)
+    })
+    .unwrap();
+    let addr = handle.addr();
+
+    // Flood: fire distinct compile requests and hang up without reading the
+    // answers. The waiter accounting notices each disconnect and cancels
+    // the orphaned searches instead of grinding through them.
+    for i in 0..4u64 {
+        let body = compile_request(SQRT_CANCEL, "arith", 1000 + i);
+        let mut s = std::net::TcpStream::connect(addr).unwrap();
+        write!(
+            s,
+            "POST /compile HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        )
+        .unwrap();
+        s.flush().unwrap();
+        drop(s);
+    }
+
+    // A live client still gets its (different) compile in bounded time.
+    let started = std::time::Instant::now();
+    let (status, doc) = post_compile(addr, &compile_request(QUADRATIC, "arith", 7));
+    assert_eq!(status, 200, "{doc}");
+    assert!(started.elapsed() < Duration::from_secs(60));
+    assert!(
+        stat(addr, "cancelled") >= 1,
+        "at least the in-flight flooded search must have been cancelled"
+    );
+    handle.stop();
 }

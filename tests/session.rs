@@ -3,7 +3,9 @@
 //! degradation, progress observability, and thread-count independence of the
 //! parallel search.
 
-use chassis::{Budget, CompilationResult, Config, Phase, Progress, SearchControl, Session};
+use chassis::{
+    Budget, CancelToken, CompilationResult, Config, Phase, Progress, SearchControl, Session,
+};
 use fpcore::parse_fpcore;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -216,6 +218,66 @@ fn tiny_budgets_still_yield_an_initial_containing_frontier() {
         .unwrap();
     let plain = prepared.compile(&target).unwrap();
     assert_bit_identical(&unlimited, &plain, "explicit unlimited budget");
+}
+
+#[test]
+fn an_unfired_cancel_token_is_observationally_inert_at_any_thread_count() {
+    // Cancellation is polled at exactly the points the wall-clock budget
+    // already checks, so a token that never fires must not change a single
+    // bit of the result — serial or parallel.
+    let core = cancellation();
+    let target = builtin::by_name("c99").unwrap();
+    chassis::par::set_thread_count(1);
+    let baseline = Session::new(Config::fast())
+        .compile(&core, &target)
+        .unwrap();
+    for threads in [1, 2, 8] {
+        chassis::par::set_thread_count(threads);
+        let token = CancelToken::new();
+        let session = Session::new(Config::fast());
+        let prepared = session.prepare(&core).unwrap();
+        let ctl = SearchControl::new().with_cancel(&token);
+        let result = prepared.compile_with(&target, &ctl).unwrap();
+        assert!(!token.is_cancelled());
+        assert_bit_identical(
+            &baseline,
+            &result,
+            &format!("unfired cancel token at {threads} threads"),
+        );
+    }
+    chassis::par::set_thread_count(0);
+}
+
+#[test]
+fn a_pre_fired_cancel_token_degrades_like_an_exhausted_budget() {
+    // A token fired before the search starts must behave exactly like a
+    // zero wall-clock budget: Ok, initial-containing frontier, and one
+    // JobCancelled event — never an error.
+    let core = cancellation();
+    let target = builtin::by_name("c99").unwrap();
+    let session = Session::new(Config::fast());
+    let prepared = session.prepare(&core).unwrap();
+
+    let token = CancelToken::new();
+    token.cancel();
+    let cancelled_events = AtomicUsize::new(0);
+    let observer = |event: &Progress| {
+        if matches!(event, Progress::JobCancelled) {
+            cancelled_events.fetch_add(1, Ordering::Relaxed);
+        }
+    };
+    let ctl = SearchControl::new()
+        .with_cancel(&token)
+        .with_progress(&observer);
+    let result = prepared.compile_with(&target, &ctl).unwrap();
+    assert!(
+        result
+            .implementations
+            .iter()
+            .any(|imp| imp.rendered == result.initial.rendered),
+        "a cancelled search keeps the initial program on its frontier"
+    );
+    assert_eq!(cancelled_events.load(Ordering::Relaxed), 1);
 }
 
 #[test]
